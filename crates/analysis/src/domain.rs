@@ -1,0 +1,187 @@
+//! Whole-domain analysis (§3.3, last paragraph).
+//!
+//! "It is rather simple to extend the analysis to the entire input domain
+//! ... the best case is where at each input where one or more algorithms
+//! perform badly, they have at least \[one\] counterpart which performs
+//! well." This module quantifies that: given a times matrix (alternatives ×
+//! inputs), it computes the domain-level improvement and a
+//! *complementarity* measure of how well the alternatives cover for each
+//! other.
+
+use crate::model::PerfModel;
+
+/// Analysis over a whole input domain.
+#[derive(Debug, Clone)]
+pub struct DomainAnalysis {
+    /// `times[a][i]` = runtime of alternative `a` on input `i`.
+    times: Vec<Vec<f64>>,
+    /// Overhead charged per input (the block's `τ(overhead)`).
+    overhead: f64,
+}
+
+impl DomainAnalysis {
+    /// Build from a times matrix. All rows must have the same length ≥ 1
+    /// and all entries must be positive.
+    pub fn new(times: Vec<Vec<f64>>, overhead: f64) -> Self {
+        assert!(!times.is_empty(), "need at least one alternative");
+        let n = times[0].len();
+        assert!(n >= 1, "need at least one input");
+        for row in &times {
+            assert_eq!(row.len(), n, "ragged times matrix");
+            assert!(row.iter().all(|&t| t > 0.0), "times must be positive");
+        }
+        assert!(overhead >= 0.0);
+        DomainAnalysis { times, overhead }
+    }
+
+    /// Number of alternatives.
+    pub fn alternatives(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Number of inputs in the domain.
+    pub fn inputs(&self) -> usize {
+        self.times[0].len()
+    }
+
+    /// The point model at input `i`.
+    pub fn point(&self, i: usize) -> PerfModel {
+        let col: Vec<f64> = self.times.iter().map(|row| row[i]).collect();
+        PerfModel::from_times(&col, self.overhead)
+    }
+
+    /// Mean `PI` across the domain (each input weighted equally).
+    pub fn mean_pi(&self) -> f64 {
+        let n = self.inputs();
+        (0..n).map(|i| self.point(i).pi()).sum::<f64>() / n as f64
+    }
+
+    /// Fraction of inputs on which speculation wins (`PI > 1`).
+    pub fn win_fraction(&self) -> f64 {
+        let n = self.inputs();
+        (0..n).filter(|&i| self.point(i).wins()).count() as f64 / n as f64
+    }
+
+    /// Total domain cost of always speculating vs. the expected cost of
+    /// random selection: `Σᵢ (best + overhead)` vs `Σᵢ mean` — the
+    /// domain-level `PI`.
+    pub fn domain_pi(&self) -> f64 {
+        let mut spec_cost = 0.0;
+        let mut rand_cost = 0.0;
+        for i in 0..self.inputs() {
+            let col: Vec<f64> = self.times.iter().map(|row| row[i]).collect();
+            let best = col.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            spec_cost += best + self.overhead;
+            rand_cost += mean;
+        }
+        rand_cost / spec_cost
+    }
+
+    /// How often is each alternative the per-input winner? Returns counts
+    /// per alternative (ties award the lowest index, matching the
+    /// simulator's deterministic tie-break).
+    pub fn winner_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.alternatives()];
+        for i in 0..self.inputs() {
+            let mut best = 0;
+            for a in 1..self.alternatives() {
+                if self.times[a][i] < self.times[best][i] {
+                    best = a;
+                }
+            }
+            hist[best] += 1;
+        }
+        hist
+    }
+
+    /// Complementarity index in `[0, 1]`: 1 − (domain cost of the single
+    /// best *fixed* alternative ÷ domain cost of the per-input best). 0
+    /// means one alternative dominates everywhere (speculation buys
+    /// nothing over statically picking it); larger values mean the
+    /// alternatives genuinely cover for each other — the paper's "best
+    /// case".
+    pub fn complementarity(&self) -> f64 {
+        let per_input_best: f64 = (0..self.inputs())
+            .map(|i| {
+                self.times
+                    .iter()
+                    .map(|row| row[i])
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        let best_fixed: f64 = self
+            .times
+            .iter()
+            .map(|row| row.iter().sum::<f64>())
+            .fold(f64::INFINITY, f64::min);
+        1.0 - per_input_best / best_fixed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two alternatives that mirror each other: each is fast on half the
+    /// domain — the paper's ideal.
+    fn complementary() -> DomainAnalysis {
+        DomainAnalysis::new(
+            vec![
+                vec![1.0, 1.0, 10.0, 10.0],
+                vec![10.0, 10.0, 1.0, 1.0],
+            ],
+            0.0,
+        )
+    }
+
+    #[test]
+    fn complementary_domain_wins_everywhere() {
+        let d = complementary();
+        assert_eq!(d.win_fraction(), 1.0);
+        assert!((d.domain_pi() - 5.5).abs() < 1e-12); // mean 5.5 vs best 1
+        assert_eq!(d.winner_histogram(), vec![2, 2]);
+        assert!(d.complementarity() > 0.8, "mirrored alts are highly complementary");
+    }
+
+    #[test]
+    fn dominated_domain_has_zero_complementarity() {
+        let d = DomainAnalysis::new(
+            vec![vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0]],
+            0.0,
+        );
+        assert_eq!(d.complementarity(), 0.0);
+        assert_eq!(d.winner_histogram(), vec![3, 0]);
+    }
+
+    #[test]
+    fn overhead_erodes_wins() {
+        let close = DomainAnalysis::new(
+            vec![vec![1.0, 1.0], vec![1.2, 1.2]],
+            1.0, // overhead as large as the best time
+        );
+        assert_eq!(close.win_fraction(), 0.0, "tiny dispersion + big overhead loses");
+        assert!(close.domain_pi() < 1.0);
+    }
+
+    #[test]
+    fn point_model_agrees_with_column() {
+        let d = complementary();
+        let p = d.point(0);
+        assert!((p.r_mu - 5.5).abs() < 1e-12);
+        assert_eq!(p.r_o, 0.0);
+    }
+
+    #[test]
+    fn mean_pi_is_average_of_points() {
+        let d = complementary();
+        let avg: f64 = (0..4).map(|i| d.point(i).pi()).sum::<f64>() / 4.0;
+        assert!((d.mean_pi() - avg).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_rejected() {
+        let _ = DomainAnalysis::new(vec![vec![1.0, 2.0], vec![1.0]], 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Data export: figure series as CSV / gnuplot-style .dat text.
+//!
+//! The regenerator binaries print human-readable plots *and* write the
+//! underlying series to disk so external tooling can re-plot the paper's
+//! figures. Everything is plain text; no serialization dependencies.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::series::FigPoint;
+
+/// Render one or more series as CSV. The first column is the shared `x`;
+/// each series contributes one named column. Series must be aligned on
+/// identical `x` grids (the regenerators guarantee this by construction).
+pub fn to_csv(x_name: &str, series: &[(&str, &[FigPoint])]) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let n = series[0].1.len();
+    for (name, pts) in series {
+        assert_eq!(pts.len(), n, "series {name} has a different length");
+        for (a, b) in pts.iter().zip(series[0].1.iter()) {
+            assert!(
+                (a.x - b.x).abs() <= 1e-12 * b.x.abs().max(1.0),
+                "series {name} is on a different x grid"
+            );
+        }
+    }
+    let mut out = String::new();
+    out.push_str(x_name);
+    for (name, _) in series {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for i in 0..n {
+        out.push_str(&format!("{}", series[0].1[i].x));
+        for (_, pts) in series {
+            out.push_str(&format!(",{}", pts[i].pi));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write CSV to a file, creating parent directories. Returns the byte
+/// count written.
+pub fn write_csv(
+    path: &Path,
+    x_name: &str,
+    series: &[(&str, &[FigPoint])],
+) -> std::io::Result<usize> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let csv = to_csv(x_name, series);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(csv.as_bytes())?;
+    Ok(csv.len())
+}
+
+/// A parsed series: its column name and points.
+pub type NamedSeries = (String, Vec<FigPoint>);
+
+/// Parse a CSV produced by [`to_csv`] back into named series (round-trip
+/// support for tests and downstream tools).
+pub fn from_csv(csv: &str) -> Option<(String, Vec<NamedSeries>)> {
+    let mut lines = csv.lines();
+    let header = lines.next()?;
+    let mut cols = header.split(',');
+    let x_name = cols.next()?.to_string();
+    let names: Vec<String> = cols.map(|c| c.to_string()).collect();
+    if names.is_empty() {
+        return None;
+    }
+    let mut series: Vec<(String, Vec<FigPoint>)> =
+        names.into_iter().map(|n| (n, Vec::new())).collect();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut vals = line.split(',');
+        let x: f64 = vals.next()?.parse().ok()?;
+        for s in series.iter_mut() {
+            let y: f64 = vals.next()?.parse().ok()?;
+            s.1.push(FigPoint { x, pi: y });
+        }
+        if vals.next().is_some() {
+            return None; // ragged row
+        }
+    }
+    Some((x_name, series))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::fig3_series;
+
+    #[test]
+    fn csv_round_trip() {
+        let a = fig3_series(0.5, 5.0, 6);
+        let b = fig3_series(0.0, 5.0, 6);
+        let csv = to_csv("r_mu", &[("analytic", &a), ("ideal", &b)]);
+        assert!(csv.starts_with("r_mu,analytic,ideal\n"));
+        assert_eq!(csv.lines().count(), 7);
+
+        let (x_name, series) = from_csv(&csv).expect("parses");
+        assert_eq!(x_name, "r_mu");
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, "analytic");
+        for (orig, parsed) in a.iter().zip(&series[0].1) {
+            assert!((orig.x - parsed.x).abs() < 1e-12);
+            assert!((orig.pi - parsed.pi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn write_csv_creates_directories() {
+        let dir = std::env::temp_dir().join(format!("mw-export-{}", std::process::id()));
+        let path = dir.join("nested/dir/fig3.csv");
+        let a = fig3_series(0.5, 5.0, 4);
+        let n = write_csv(&path, "r_mu", &[("pi", &a)]).expect("writes");
+        assert!(n > 0);
+        let back = std::fs::read_to_string(&path).expect("readable");
+        assert!(back.contains("r_mu,pi"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "different length")]
+    fn mismatched_series_rejected() {
+        let a = fig3_series(0.5, 5.0, 4);
+        let b = fig3_series(0.5, 5.0, 5);
+        let _ = to_csv("x", &[("a", &a), ("b", &b)]);
+    }
+
+    #[test]
+    fn from_csv_rejects_garbage() {
+        assert!(from_csv("").is_none());
+        assert!(from_csv("x\n1.0\n").is_none(), "no series columns");
+        assert!(from_csv("x,y\n1.0,2.0,3.0\n").is_none(), "ragged row");
+        assert!(from_csv("x,y\nfoo,2.0\n").is_none(), "non-numeric");
+    }
+}

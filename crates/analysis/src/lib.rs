@@ -1,0 +1,40 @@
+//! # worlds-analysis — the paper's performance model
+//!
+//! §3 of "Exploring 'Multiple Worlds' in Parallel" derives when speculative
+//! parallel execution of `N` alternatives beats the nondeterministic
+//! sequential choice. With
+//!
+//! * `τ(C_best, λ) ≤ … ≤ τ(C_worst, λ)` the alternatives' runtimes on input
+//!   `λ`,
+//! * `τ(C_mean, λ)` their arithmetic mean (the expected cost of Scheme B:
+//!   pick an alternative at random), and
+//! * `τ(overhead)` the speculation machinery's cost,
+//!
+//! the **performance improvement** is
+//!
+//! ```text
+//! PI = τ(C_mean) / (τ(C_best) + τ(overhead)) = (1 / (1 + Ro)) · Rμ
+//! ```
+//!
+//! where `Rμ = τ(C_mean)/τ(C_best)` captures runtime *dispersion* and
+//! `Ro = τ(overhead)/τ(C_best)` captures *overhead*. Parallel execution
+//! wins iff `PI > 1`; with enough dispersion and little enough overhead,
+//! `N` processors can deliver `PI > N` — superlinear speedup versus the
+//! expected sequential cost.
+//!
+//! This crate implements that algebra ([`PerfModel`]), the whole-domain
+//! extension of §3.3 ([`domain`]), the exact data series behind the paper's
+//! Figures 3 and 4 ([`series`]), and a small ASCII plotter ([`plot`]) used
+//! by the figure regenerators in `worlds-bench`.
+
+pub mod domain;
+pub mod export;
+pub mod model;
+pub mod plot;
+pub mod series;
+pub mod stats;
+
+pub use domain::DomainAnalysis;
+pub use model::PerfModel;
+pub use export::{from_csv, to_csv, write_csv};
+pub use series::{fig3_series, fig4_series, FigPoint};

@@ -1,0 +1,141 @@
+//! The point-wise performance model: `PI = Rμ / (1 + Ro)`.
+
+/// The paper's §3.3 model for a single input `λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfModel {
+    /// `Rμ = τ(C_mean, λ) / τ(C_best, λ)` — dispersion of the alternatives'
+    /// runtimes. Always ≥ 1 for non-degenerate inputs.
+    pub r_mu: f64,
+    /// `Ro = τ(overhead) / τ(C_best, λ)` — relative cost of the Multiple
+    /// Worlds machinery. Always ≥ 0.
+    pub r_o: f64,
+}
+
+impl PerfModel {
+    /// Build from the two ratios directly.
+    pub fn new(r_mu: f64, r_o: f64) -> Self {
+        assert!(r_mu.is_finite() && r_mu >= 0.0, "Rμ must be a finite non-negative ratio");
+        assert!(r_o.is_finite() && r_o >= 0.0, "Ro must be a finite non-negative ratio");
+        PerfModel { r_mu, r_o }
+    }
+
+    /// Build from measured times: the alternatives' runtimes on one input
+    /// plus the measured overhead. Panics if `times` is empty or any time
+    /// is non-positive.
+    pub fn from_times(times: &[f64], overhead: f64) -> Self {
+        assert!(!times.is_empty(), "need at least one alternative time");
+        assert!(times.iter().all(|&t| t > 0.0), "times must be positive");
+        assert!(overhead >= 0.0, "overhead cannot be negative");
+        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        PerfModel { r_mu: mean / best, r_o: overhead / best }
+    }
+
+    /// The performance improvement `PI = Rμ / (1 + Ro)` — "essentially a
+    /// ratio of execution times" (§3.3): expected sequential cost over
+    /// parallel cost.
+    pub fn pi(&self) -> f64 {
+        self.r_mu / (1.0 + self.r_o)
+    }
+
+    /// Does speculation win on this input (`PI > 1`)?
+    pub fn wins(&self) -> bool {
+        self.pi() > 1.0
+    }
+
+    /// Is the speedup superlinear against `n` processors (`PI > n`)? §3.3:
+    /// "with sufficient variance, and small enough overhead, N processors
+    /// can exhibit superlinear speedup by parallel execution of N serial
+    /// algorithms".
+    pub fn superlinear(&self, n: usize) -> bool {
+        self.pi() > n as f64
+    }
+
+    /// The dispersion needed to break even at this overhead:
+    /// `Rμ* = 1 + Ro` (from `PI = 1`).
+    pub fn break_even_r_mu(&self) -> f64 {
+        1.0 + self.r_o
+    }
+
+    /// The overhead budget at this dispersion: `Ro* = Rμ − 1` (from
+    /// `PI = 1`). Negative means no budget — the dispersion is too small to
+    /// ever win.
+    pub fn break_even_r_o(&self) -> f64 {
+        self.r_mu - 1.0
+    }
+
+    /// Slope of the Figure 3 line: at fixed `Ro`, `PI` is directly
+    /// proportional to `Rμ` with slope `1/(1+Ro)`; "Ro determines the slope
+    /// of the line, with Ro = 0 the best case giving a slope of 1".
+    pub fn fig3_slope(&self) -> f64 {
+        1.0 / (1.0 + self.r_o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi_formula() {
+        let m = PerfModel::new(3.0, 0.5);
+        assert!((m.pi() - 2.0).abs() < 1e-12);
+        assert!(m.wins());
+        assert!(!m.superlinear(2));
+        assert!(m.superlinear(1));
+    }
+
+    #[test]
+    fn zero_overhead_gives_pi_equals_r_mu() {
+        let m = PerfModel::new(2.5, 0.0);
+        assert_eq!(m.pi(), 2.5);
+        assert_eq!(m.fig3_slope(), 1.0);
+    }
+
+    #[test]
+    fn from_times_matches_hand_computation() {
+        // times 1, 2, 3 → best 1, mean 2; overhead 0.5 → Ro 0.5.
+        let m = PerfModel::from_times(&[1.0, 2.0, 3.0], 0.5);
+        assert!((m.r_mu - 2.0).abs() < 1e-12);
+        assert!((m.r_o - 0.5).abs() < 1e-12);
+        assert!((m.pi() - 2.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn break_even_surfaces() {
+        let m = PerfModel::new(2.0, 0.5);
+        assert!((m.break_even_r_mu() - 1.5).abs() < 1e-12);
+        assert!((m.break_even_r_o() - 1.0).abs() < 1e-12);
+        // At exactly the break-even dispersion, PI == 1.
+        let at = PerfModel::new(m.break_even_r_mu(), 0.5);
+        assert!((at.pi() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_alternatives_never_win_with_overhead() {
+        let m = PerfModel::from_times(&[5.0, 5.0, 5.0], 1.0);
+        assert_eq!(m.r_mu, 1.0);
+        assert!(!m.wins());
+        assert!(m.break_even_r_o() == 0.0);
+    }
+
+    #[test]
+    fn paper_fig4_reference_point() {
+        // Figure 4 uses Rμ = e; at Ro = e − 1, PI = 1.
+        let e = std::f64::consts::E;
+        let m = PerfModel::new(e, e - 1.0);
+        assert!((m.pi() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_times_rejected() {
+        let _ = PerfModel::from_times(&[1.0, 0.0], 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_times_rejected() {
+        let _ = PerfModel::from_times(&[], 0.1);
+    }
+}

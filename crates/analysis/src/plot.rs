@@ -1,0 +1,137 @@
+//! A small ASCII plotter for the figure regenerators.
+//!
+//! The bench binaries print the paper's figures as terminal plots plus the
+//! underlying table, so `cargo run -p worlds-bench --bin fig3` is a
+//! self-contained reproduction artifact.
+
+use crate::series::FigPoint;
+
+/// Axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axes (Figure 3).
+    Linear,
+    /// Log–log axes (Figure 4).
+    LogLog,
+}
+
+/// Render one or two series as an ASCII scatter plot of `width × height`
+/// characters (plus axes). The first series plots as `*`, the second as
+/// `o`; collisions show `#`.
+pub fn ascii_plot(
+    title: &str,
+    series_a: &[FigPoint],
+    series_b: Option<&[FigPoint]>,
+    scale: Scale,
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 10 && height >= 5, "plot too small to be readable");
+    let all: Vec<FigPoint> = series_a
+        .iter()
+        .chain(series_b.into_iter().flatten())
+        .copied()
+        .collect();
+    assert!(!all.is_empty(), "nothing to plot");
+
+    let tx = |v: f64| -> f64 {
+        match scale {
+            Scale::Linear => v,
+            Scale::LogLog => v.max(1e-12).log10(),
+        }
+    };
+    let xs: Vec<f64> = all.iter().map(|p| tx(p.x)).collect();
+    let ys: Vec<f64> = all.iter().map(|p| tx(p.pi)).collect();
+    let (x_min, x_max) = (fmin(&xs), fmax(&xs));
+    let (y_min, y_max) = (fmin(&ys), fmax(&ys));
+    let x_span = (x_max - x_min).max(1e-12);
+    let y_span = (y_max - y_min).max(1e-12);
+
+    let mut grid = vec![vec![b' '; width]; height];
+    let mut place = |pts: &[FigPoint], glyph: u8| {
+        for p in pts {
+            let cx = (((tx(p.x) - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let cy = (((tx(p.pi) - y_min) / y_span) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy;
+            let cell = &mut grid[row][cx];
+            *cell = if *cell == b' ' || *cell == glyph { glyph } else { b'#' };
+        }
+    };
+    place(series_a, b'*');
+    if let Some(b) = series_b {
+        place(b, b'o');
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let y_here = y_max - y_span * i as f64 / (height - 1) as f64;
+        let label = match scale {
+            Scale::Linear => format!("{y_here:8.2} |"),
+            Scale::LogLog => format!("{:8.2} |", 10f64.powf(y_here)),
+        };
+        out.push_str(&label);
+        out.push_str(std::str::from_utf8(row).expect("ascii grid"));
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let (x_lo, x_hi) = match scale {
+        Scale::Linear => (x_min, x_max),
+        Scale::LogLog => (10f64.powf(x_min), 10f64.powf(x_max)),
+    };
+    out.push_str(&format!("{}{:<10.3}{}{:>10.3}\n", " ".repeat(10), x_lo, " ".repeat(width.saturating_sub(20)), x_hi));
+    out
+}
+
+fn fmin(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
+fn fmax(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::fig3_series;
+
+    #[test]
+    fn plot_contains_points_and_axes() {
+        let pts = fig3_series(0.5, 5.0, 20);
+        let s = ascii_plot("Figure 3", &pts, None, Scale::Linear, 40, 12);
+        assert!(s.starts_with("Figure 3\n"));
+        assert!(s.contains('*'));
+        assert!(s.contains('+'));
+        assert!(s.lines().count() >= 14);
+    }
+
+    #[test]
+    fn two_series_use_distinct_glyphs() {
+        let a = fig3_series(0.0, 5.0, 10);
+        let b = fig3_series(1.0, 5.0, 10);
+        let s = ascii_plot("both", &a, Some(&b), Scale::Linear, 40, 12);
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn loglog_plots_positive_data() {
+        let pts = crate::series::fig4_series(std::f64::consts::E, 0.01, 1.0, 20);
+        let s = ascii_plot("Figure 4", &pts, None, Scale::LogLog, 50, 15);
+        assert!(s.contains('*'));
+        // Axis labels show untransformed values.
+        assert!(s.contains("0.01"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_plot_rejected() {
+        let pts = fig3_series(0.5, 5.0, 5);
+        let _ = ascii_plot("x", &pts, None, Scale::Linear, 5, 2);
+    }
+}

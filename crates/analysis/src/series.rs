@@ -1,0 +1,106 @@
+//! Data series behind the paper's Figures 3 and 4.
+//!
+//! * **Figure 3**: `PI` as a function of `Rμ ∈ [0, 5]` with `Ro = 0.5` — a
+//!   straight line of slope `1/1.5` crossing `PI = 1` at `Rμ = 1.5`. The
+//!   paper picks `Ro = 0.5` because the measured COW *write fraction* fell
+//!   between 0.2 and 0.5, making copying the dominant overhead.
+//! * **Figure 4**: `PI` as a function of `Ro ∈ [0.01, 1.0]` with
+//!   `Rμ = e ≈ 2.718`, drawn log–log — a hyperbola `e/(1+Ro)` crossing
+//!   `PI = 1` at `Ro = e − 1 ≈ 1.718` (outside the plotted range; within
+//!   the range `PI` falls from ≈ e toward ≈ e/2).
+
+use crate::model::PerfModel;
+
+/// One point of a figure series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FigPoint {
+    /// The swept independent variable (`Rμ` for Fig. 3, `Ro` for Fig. 4).
+    pub x: f64,
+    /// The resulting performance improvement.
+    pub pi: f64,
+}
+
+/// Figure 3's analytic series: `PI(Rμ)` at fixed `Ro`, swept over
+/// `[0, r_mu_max]` in `steps` points. The paper uses `Ro = 0.5`,
+/// `r_mu_max = 5`.
+pub fn fig3_series(r_o: f64, r_mu_max: f64, steps: usize) -> Vec<FigPoint> {
+    assert!(steps >= 2, "a series needs at least two points");
+    (0..steps)
+        .map(|i| {
+            let r_mu = r_mu_max * i as f64 / (steps - 1) as f64;
+            FigPoint { x: r_mu, pi: PerfModel::new(r_mu, r_o).pi() }
+        })
+        .collect()
+}
+
+/// Figure 4's analytic series: `PI(Ro)` at fixed `Rμ`, swept
+/// **logarithmically** over `[r_o_min, r_o_max]` in `steps` points (the
+/// paper's axes are log–log, `Ro` from 0.01 to 1.0, `Rμ = e`).
+pub fn fig4_series(r_mu: f64, r_o_min: f64, r_o_max: f64, steps: usize) -> Vec<FigPoint> {
+    assert!(steps >= 2, "a series needs at least two points");
+    assert!(r_o_min > 0.0 && r_o_max > r_o_min, "log sweep needs 0 < min < max");
+    let (lo, hi) = (r_o_min.ln(), r_o_max.ln());
+    (0..steps)
+        .map(|i| {
+            let r_o = (lo + (hi - lo) * i as f64 / (steps - 1) as f64).exp();
+            FigPoint { x: r_o, pi: PerfModel::new(r_mu, r_o).pi() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_is_a_line_through_origin() {
+        let pts = fig3_series(0.5, 5.0, 11);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0].x, 0.0);
+        assert_eq!(pts[0].pi, 0.0);
+        assert_eq!(pts[10].x, 5.0);
+        // Slope 1/1.5 everywhere.
+        for w in pts.windows(2) {
+            let slope = (w[1].pi - w[0].pi) / (w[1].x - w[0].x);
+            assert!((slope - 1.0 / 1.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fig3_break_even_at_1_5() {
+        // PI crosses 1 exactly at Rμ = 1 + Ro = 1.5.
+        let pi_at = |r_mu: f64| PerfModel::new(r_mu, 0.5).pi();
+        assert!(pi_at(1.49) < 1.0);
+        assert!((pi_at(1.5) - 1.0).abs() < 1e-12);
+        assert!(pi_at(1.51) > 1.0);
+    }
+
+    #[test]
+    fn fig4_is_monotone_decreasing_hyperbola() {
+        let e = std::f64::consts::E;
+        let pts = fig4_series(e, 0.01, 1.0, 25);
+        assert_eq!(pts.len(), 25);
+        assert!((pts[0].x - 0.01).abs() < 1e-12);
+        assert!((pts[24].x - 1.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            assert!(w[1].pi < w[0].pi, "PI must fall as overhead grows");
+            assert!(w[1].x > w[0].x);
+        }
+        // Endpoint values: e/1.01 and e/2.
+        assert!((pts[0].pi - e / 1.01).abs() < 1e-9);
+        assert!((pts[24].pi - e / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig4_log_spacing() {
+        let pts = fig4_series(2.0, 0.01, 1.0, 3);
+        // Log-spaced midpoint of [0.01, 1] is 0.1.
+        assert!((pts[1].x - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "log sweep")]
+    fn fig4_rejects_zero_min() {
+        let _ = fig4_series(2.0, 0.0, 1.0, 5);
+    }
+}

@@ -1,0 +1,113 @@
+//! Small statistics helpers used by benches and workload generators.
+
+use rand::Rng;
+
+/// Arithmetic mean. Panics on an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. Panics on an empty slice.
+pub fn variance(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum. Panics on an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "min of empty slice");
+    xs.iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum. Panics on an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "max of empty slice");
+    xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Draw from a lognormal distribution with the given *location* and
+/// *scale* (parameters of the underlying normal). Lognormal runtimes are
+/// the canonical model for heuristic-search execution times — heavy right
+/// tail, always positive — exactly the dispersion regime where the paper's
+/// scheme shines.
+pub fn lognormal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    // Box–Muller from two uniforms.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// Generate `n` alternative runtimes whose empirical `Rμ` is approximately
+/// `target_r_mu ≥ 1`: one fast alternative at `base`, the rest padded so
+/// the mean lands where requested. Deterministic.
+pub fn times_with_r_mu(n: usize, base: f64, target_r_mu: f64) -> Vec<f64> {
+    assert!(n >= 1 && base > 0.0 && target_r_mu >= 1.0);
+    if n == 1 {
+        return vec![base];
+    }
+    // mean = base * target ⇒ sum = n*base*target; the other n-1 share the
+    // remainder equally (each ≥ base so `base` stays the minimum).
+    let total = n as f64 * base * target_r_mu;
+    let rest = ((total - base) / (n - 1) as f64).max(base);
+    let mut v = vec![rest; n];
+    v[0] = base;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_stats() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert_eq!(min(&xs), 1.0);
+        assert_eq!(max(&xs), 4.0);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_dispersed() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..2000).map(|_| lognormal(&mut rng, 0.0, 1.0)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        // Median of lognormal(0,1) is 1; loose sanity band.
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[xs.len() / 2];
+        assert!((0.8..1.25).contains(&median), "median {median} out of band");
+        assert!(max(&xs) / min(&xs) > 10.0, "heavy tail expected");
+    }
+
+    #[test]
+    fn times_with_r_mu_hits_target() {
+        for &target in &[1.0, 1.5, 2.0, 3.0, 5.0] {
+            let v = times_with_r_mu(4, 10.0, target);
+            let r_mu = mean(&v) / min(&v);
+            assert!((r_mu - target).abs() < 1e-9, "target {target}, got {r_mu}");
+            assert_eq!(min(&v), 10.0, "base must stay the minimum");
+        }
+    }
+
+    #[test]
+    fn times_with_r_mu_single_alt() {
+        assert_eq!(times_with_r_mu(1, 5.0, 3.0), vec![5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mean_of_empty_panics() {
+        let _ = mean(&[]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Ablation: copy-on-write vs eager state copy (§2.3's motivation),
+//! swept across the paper's observed write-fraction band (0.2–0.5) and
+//! beyond.
+//!
+//! COW's cost is proportional to the *written* fraction; an eager fork
+//! pays for every page up front. The crossover the bench exposes is the
+//! paper's argument in one picture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use worlds_pagestore::PageStore;
+
+const PAGES: u64 = 160; // 320 KB at 2 KiB pages
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cow_vs_eager");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_millis(900));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+
+    for &wf in &[0.0f64, 0.2, 0.5, 1.0] {
+        let touched = (wf * PAGES as f64) as u64;
+
+        g.bench_with_input(BenchmarkId::new("cow", format!("wf{wf}")), &touched, |b, &touched| {
+            let store = PageStore::new(2048);
+            let parent = store.create_world();
+            for vpn in 0..PAGES {
+                store.write(parent, vpn, 0, &[1]).expect("parent live");
+            }
+            b.iter(|| {
+                let child = store.fork_world(parent).expect("parent live");
+                for vpn in 0..touched {
+                    store.write(child, vpn, 0, &[2]).expect("child live");
+                }
+                store.drop_world(child).expect("child live");
+            });
+        });
+
+        g.bench_with_input(
+            BenchmarkId::new("eager", format!("wf{wf}")),
+            &touched,
+            |b, &touched| {
+                let store = PageStore::new(2048);
+                let parent = store.create_world();
+                let page = vec![1u8; 2048];
+                for vpn in 0..PAGES {
+                    store.write(parent, vpn, 0, &page).expect("parent live");
+                }
+                b.iter(|| {
+                    // Eager fork: copy every page into a fresh world up
+                    // front (what a copying fork would do), then write.
+                    let child = store.create_world();
+                    let mut buf = vec![0u8; 2048];
+                    for vpn in 0..PAGES {
+                        store.read(parent, vpn, 0, &mut buf).expect("parent live");
+                        store.write(child, vpn, 0, &buf).expect("child live");
+                    }
+                    for vpn in 0..touched {
+                        store.write(child, vpn, 0, &[2]).expect("child live");
+                    }
+                    store.drop_world(child).expect("child live");
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: the distributed (rfork) case vs shared memory (§3.1's
+//! "Memory Copying" penalty discussion), and 1989 vs modern networks.
+//!
+//! Measures the harness cost of a distributed block (checkpoint bytes
+//! really move between stores) at the two network presets; the virtual
+//! times inside the reports carry the paper-shaped story (rfork dominates
+//! short computations on the 1989 LAN, vanishes in a datacenter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use worlds_kernel::VirtualTime;
+use worlds_remote::{run_distributed_block, Cluster, DistAlt, NetModel, NodeId};
+
+fn run_once(net: NetModel, pages: u64) -> worlds_remote::DistReport {
+    let mut cluster = Cluster::new(3, 4096, net);
+    let origin = cluster.create_world(NodeId(0));
+    for vpn in 0..pages {
+        cluster.write(origin, vpn, &[0xCC]).expect("origin live");
+    }
+    run_distributed_block(
+        &mut cluster,
+        origin,
+        vec![
+            DistAlt::new("fast", VirtualTime::from_secs(5.0), |c, w| {
+                for vpn in 0..4 {
+                    c.write(w, vpn, &[0xDD]).expect("replica live");
+                }
+            }),
+            DistAlt::new("slow", VirtualTime::from_secs(20.0), |c, w| {
+                for vpn in 0..4 {
+                    c.write(w, vpn, &[0xEE]).expect("replica live");
+                }
+            }),
+        ],
+    )
+    .expect("block runs")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributed_block");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(900));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+
+    for (name, net) in [("lan_1989", NetModel::lan_1989()), ("datacenter", NetModel::datacenter())]
+    {
+        for &pages in &[18u64, 160] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{pages}pages")),
+                &pages,
+                |b, &pages| {
+                    b.iter(|| {
+                        let report = run_once(net, pages);
+                        assert!(report.succeeded());
+                        report.wall
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

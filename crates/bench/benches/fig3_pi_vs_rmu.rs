@@ -1,0 +1,40 @@
+//! Figure 3 companion bench: cost of running one simulated alternative
+//! block at representative `Rμ` points (the figure itself is regenerated
+//! by `cargo run -p worlds-bench --bin fig3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use worlds_analysis::stats::times_with_r_mu;
+use worlds_kernel::{AltSpec, BlockSpec, CostModel, Machine, VirtualTime};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_block_at_rmu");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_millis(900));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    for &r_mu in &[1.0f64, 2.0, 4.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(r_mu), &r_mu, |b, &r_mu| {
+            let times = times_with_r_mu(4, 1_000.0, r_mu);
+            let block = BlockSpec::new(
+                times
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &ms)| AltSpec::new(format!("alt{i}")).compute_ms(ms))
+                    .collect(),
+            )
+            .shared_pages(0);
+            let mut cost = CostModel::ideal(4);
+            cost.fork = VirtualTime::from_ms(450.0);
+            cost.rendezvous = VirtualTime::from_ms(50.0);
+            b.iter(|| {
+                let mut m = Machine::new(cost.clone());
+                let report = m.run_block(&block);
+                assert!(report.pi().is_some());
+                report.wall
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation: guard placement (§2.2) — serially before spawning
+//! (throughput-friendly), in the child (default), or at the
+//! synchronization point (redundancy), across guard cost and failure-mix
+//! settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use worlds_kernel::{AltSpec, BlockSpec, CostModel, GuardPlacement, Machine, VirtualTime};
+
+fn block(placement: GuardPlacement, guard_ms: f64) -> BlockSpec {
+    // Four alternatives; two fail their guards.
+    BlockSpec::new(
+        (0..4)
+            .map(|i| {
+                AltSpec::new(format!("a{i}"))
+                    .compute_ms(40.0 + 10.0 * i as f64)
+                    .guard(i % 2 == 0)
+                    .guard_cost(VirtualTime::from_ms(guard_ms))
+            })
+            .collect(),
+    )
+    .guard_placement(placement)
+    .shared_pages(0)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("guard_placement");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_millis(900));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    for (name, placement) in [
+        ("pre_spawn", GuardPlacement::PreSpawn),
+        ("in_child", GuardPlacement::InChild),
+        ("at_sync", GuardPlacement::AtSync),
+    ] {
+        for &guard_ms in &[1.0f64, 20.0] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("guard{guard_ms}ms")),
+                &guard_ms,
+                |b, &guard_ms| {
+                    b.iter(|| {
+                        let mut m = Machine::new(CostModel::hp9000_350().with_cpus(4));
+                        m.run_block(&block(placement, guard_ms)).wall
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

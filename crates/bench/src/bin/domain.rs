@@ -1,0 +1,54 @@
+//! Regenerate the §3.3 **whole-domain** experiment: speculation's win
+//! depends on alternatives performing well at *different* inputs.
+
+use worlds_bench::domain_exp::{run_scenario, scenarios};
+use worlds_bench::render_table;
+use worlds_kernel::CostModel;
+
+fn main() {
+    println!("Whole-domain analysis (paper section 3.3, last paragraph)\n");
+    println!(
+        "\"the best case is where at each input where one or more algorithms perform\n\
+         badly, they have at least [a] counterpart which performs well\"\n"
+    );
+
+    let cost = CostModel::modern(4);
+    let inputs = 32;
+    let overhead_ms = 0.5;
+
+    let mut rows = Vec::new();
+    for sc in scenarios() {
+        let (d, walls) = run_scenario(&sc, inputs, &cost, overhead_ms);
+        let mean_wall = walls.iter().sum::<f64>() / walls.len() as f64;
+        rows.push(vec![
+            sc.name.to_string(),
+            format!("{}", d.alternatives()),
+            format!("{:.2}", d.domain_pi()),
+            format!("{:.0}%", 100.0 * d.win_fraction()),
+            format!("{:.2}", d.complementarity()),
+            format!("{:?}", d.winner_histogram()),
+            format!("{mean_wall:.0} ms"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "scenario",
+                "alts",
+                "domain PI",
+                "inputs won",
+                "complementarity",
+                "winner histogram",
+                "mean parallel wall",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "\nreading: the complementary and hash-scattered scenarios reward speculation\n\
+         (domain PI well above 1, every input a win); the dominated scenario shows why\n\
+         a statically-chosen champion (the paper's Scheme A) suffices when one\n\
+         algorithm wins everywhere — complementarity 0 means speculation buys little."
+    );
+}

@@ -1,0 +1,29 @@
+//! # worlds-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | artifact | regenerator |
+//! |----------|-------------|
+//! | Figure 3 (`PI` vs `Rμ`, `Ro = 0.5`) | `cargo run -p worlds-bench --bin fig3` |
+//! | Figure 4 (`PI` vs `Ro`, `Rμ = e`, log–log) | `cargo run -p worlds-bench --bin fig4` |
+//! | §3.4 measured overheads | `cargo run -p worlds-bench --bin overheads` |
+//! | §3.3 whole-domain analysis | `cargo run -p worlds-bench --bin domain` |
+//! | Table I (parallel rootfinder) | `cargo run -p worlds-bench --bin table1` |
+//!
+//! plus criterion micro-benches (`cargo bench -p worlds-bench`) for the
+//! ablations DESIGN.md calls out (sync/async elimination, guard placement,
+//! COW vs eager copy, IPC split cost).
+//!
+//! This library holds the shared machinery: measured-series builders that
+//! drive the virtual-time simulator to *measure* `PI` (as opposed to the
+//! closed-form curves), the Table I workload and row builder, and plain
+//! text table rendering.
+
+pub mod domain_exp;
+pub mod measured;
+pub mod table1;
+pub mod text;
+
+pub use measured::{fig3_measured, fig4_measured};
+pub use table1::{table1_rows, table1_workload, Table1Row};
+pub use text::render_table;

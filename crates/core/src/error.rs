@@ -1,0 +1,54 @@
+//! Errors visible to alternative closures and block callers.
+
+use std::fmt;
+
+/// Why an alternative did not produce a committed result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AltError {
+    /// The alternative's guard condition failed (either it returned this
+    /// directly — in-child placement — or its at-sync guard rejected the
+    /// value).
+    GuardFailed(String),
+    /// The alternative observed cancellation (a sibling won first) and
+    /// aborted cooperatively.
+    Cancelled,
+    /// State access failed (a named cell outgrew its extent, a world
+    /// disappeared, ...). Carries the substrate's message.
+    State(String),
+}
+
+impl fmt::Display for AltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AltError::GuardFailed(why) => write!(f, "guard failed: {why}"),
+            AltError::Cancelled => write!(f, "cancelled: a sibling alternative won"),
+            AltError::State(why) => write!(f, "state access failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for AltError {}
+
+impl From<worlds_pagestore::PageStoreError> for AltError {
+    fn from(e: worlds_pagestore::PageStoreError) -> Self {
+        AltError::State(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(AltError::GuardFailed("x<0".into()).to_string().contains("x<0"));
+        assert!(AltError::Cancelled.to_string().contains("sibling"));
+        assert!(AltError::State("boom".into()).to_string().contains("boom"));
+    }
+
+    #[test]
+    fn from_pagestore_error() {
+        let e: AltError = worlds_pagestore::PageStoreError::NoSuchWorld(3).into();
+        assert!(matches!(e, AltError::State(_)));
+    }
+}

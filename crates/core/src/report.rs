@@ -1,0 +1,200 @@
+//! What a block execution reports back.
+
+use std::time::Duration;
+
+use worlds_pagestore::StoreStats;
+
+/// Block-level outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// An alternative won; its state, output and value were committed.
+    Winner {
+        /// Index into the block's alternative list.
+        index: usize,
+        /// The winner's label.
+        label: String,
+    },
+    /// Every alternative failed its guard: the block's failure path.
+    AllFailed,
+    /// The `alt_wait` timeout expired before any alternative succeeded.
+    TimedOut,
+}
+
+/// Per-alternative outcome, as far as the parent observed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AltRunStatus {
+    /// Won the race and was committed.
+    Won,
+    /// Finished successfully but too late; discarded.
+    Eliminated,
+    /// Returned an error / failed a guard.
+    Failed(String),
+    /// Had not reported by the time the block completed (async elimination
+    /// lets it finish in the background; its effects are discarded).
+    StillRunning,
+}
+
+/// One alternative's run record.
+#[derive(Debug, Clone)]
+pub struct AltRun {
+    /// Label from the block.
+    pub label: String,
+    /// What happened to it.
+    pub status: AltRunStatus,
+    /// Time from block start to this alternative's report (if it
+    /// reported).
+    pub reported_after: Option<Duration>,
+    /// Pages its world copied (COW + zero-fill) before the block ended.
+    pub pages_dirtied: Option<u64>,
+}
+
+/// Full report of one block execution.
+#[derive(Debug)]
+pub struct RunReport<T> {
+    /// Winner / all-failed / timeout.
+    pub outcome: RunOutcome,
+    /// The winning value, if any.
+    pub value: Option<T>,
+    /// Wall-clock response time of the block (spawn → commit).
+    pub wall: Duration,
+    /// Per-alternative records, in block order.
+    pub alts: Vec<AltRun>,
+    /// Store counters for the block (forks, COW faults, bytes copied...).
+    pub store_delta: StoreStats,
+    /// Teletype lines the winner committed (losers' lines are gone).
+    pub committed_output: Vec<String>,
+}
+
+impl<T> RunReport<T> {
+    /// Did any alternative win?
+    pub fn succeeded(&self) -> bool {
+        matches!(self.outcome, RunOutcome::Winner { .. })
+    }
+
+    /// The winner's label, if any.
+    pub fn winner_label(&self) -> Option<&str> {
+        match &self.outcome {
+            RunOutcome::Winner { label, .. } => Some(label),
+            _ => None,
+        }
+    }
+
+    /// Render a human-readable block summary (used by the CLI and
+    /// examples): outcome, wall time, and one line per alternative.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("outcome: {:?}  (wall {:?})\n", self.outcome, self.wall));
+        for a in &self.alts {
+            let when = a
+                .reported_after
+                .map(|d| format!("{d:?}"))
+                .unwrap_or_else(|| "-".to_string());
+            let pages = a
+                .pages_dirtied
+                .map(|p| format!("{p} pages"))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "  {:<20} {:<12} reported {:<12} dirtied {}\n",
+                a.label,
+                match &a.status {
+                    AltRunStatus::Won => "WON".to_string(),
+                    AltRunStatus::Eliminated => "eliminated".to_string(),
+                    AltRunStatus::Failed(_) => "failed".to_string(),
+                    AltRunStatus::StillRunning => "running".to_string(),
+                },
+                when,
+                pages
+            ));
+        }
+        if !self.committed_output.is_empty() {
+            out.push_str(&format!("  committed output: {} line(s)\n", self.committed_output.len()));
+        }
+        out
+    }
+
+    /// Number of alternatives that failed.
+    pub fn failures(&self) -> usize {
+        self.alts
+            .iter()
+            .filter(|a| matches!(a.status, AltRunStatus::Failed(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers() {
+        let r: RunReport<u32> = RunReport {
+            outcome: RunOutcome::Winner { index: 0, label: "a".into() },
+            value: Some(1),
+            wall: Duration::from_millis(5),
+            alts: vec![
+                AltRun {
+                    label: "a".into(),
+                    status: AltRunStatus::Won,
+                    reported_after: Some(Duration::from_millis(4)),
+                    pages_dirtied: Some(2),
+                },
+                AltRun {
+                    label: "b".into(),
+                    status: AltRunStatus::Failed("guard".into()),
+                    reported_after: Some(Duration::from_millis(1)),
+                    pages_dirtied: Some(0),
+                },
+            ],
+            store_delta: StoreStats::default(),
+            committed_output: vec![],
+        };
+        assert!(r.succeeded());
+        assert_eq!(r.winner_label(), Some("a"));
+        assert_eq!(r.failures(), 1);
+    }
+
+    #[test]
+    fn render_mentions_every_alternative() {
+        let r: RunReport<u32> = RunReport {
+            outcome: RunOutcome::Winner { index: 0, label: "a".into() },
+            value: Some(1),
+            wall: Duration::from_millis(5),
+            alts: vec![
+                AltRun {
+                    label: "a".into(),
+                    status: AltRunStatus::Won,
+                    reported_after: Some(Duration::from_millis(4)),
+                    pages_dirtied: Some(2),
+                },
+                AltRun {
+                    label: "b".into(),
+                    status: AltRunStatus::StillRunning,
+                    reported_after: None,
+                    pages_dirtied: None,
+                },
+            ],
+            store_delta: StoreStats::default(),
+            committed_output: vec!["hello".into()],
+        };
+        let s = r.render();
+        assert!(s.contains("WON"));
+        assert!(s.contains("running"));
+        assert!(s.contains("a") && s.contains("b"));
+        assert!(s.contains("committed output: 1 line(s)"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn failed_outcome_helpers() {
+        let r: RunReport<u32> = RunReport {
+            outcome: RunOutcome::AllFailed,
+            value: None,
+            wall: Duration::ZERO,
+            alts: vec![],
+            store_delta: StoreStats::default(),
+            committed_output: vec![],
+        };
+        assert!(!r.succeeded());
+        assert_eq!(r.winner_label(), None);
+    }
+}

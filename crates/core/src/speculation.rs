@@ -1,0 +1,726 @@
+//! The speculation session and its real-thread executor.
+//!
+//! A [`Speculation`] plays the role of the paper's parent process plus
+//! kernel: it owns the single-level store (all sink state), the teletype
+//! (source state), and a root world. [`Speculation::run`] is
+//! `alt_spawn(n)` + `alt_wait(TIMEOUT)`:
+//!
+//! 1. every alternative gets a fresh pid, sibling-rivalry predicates, and a
+//!    COW fork of the root world, and runs on its own OS thread;
+//! 2. the parent blocks; the **first** alternative to report success wins
+//!    the rendezvous — "`alt_wait()` is an 'at most once' operation for any
+//!    group of child processes" (§2.2.1);
+//! 3. the winner's world is adopted into the root world (atomic page-map
+//!    replacement) and its buffered teletype output becomes observable;
+//! 4. the siblings are eliminated: cancelled cooperatively and either
+//!    joined before returning ([`ElimMode::Sync`]) or left to drain in the
+//!    background ([`ElimMode::Async`], the paper's faster choice).
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use worlds_ipc::{SourceDevice, Teletype};
+use worlds_pagestore::{FileSystem, PageStore, WorldId, PAGE_SIZE_DEFAULT};
+use worlds_predicate::{Pid, PredicateSet};
+
+use crate::block::{AltBlock, ElimMode};
+use crate::ctx::{CancelToken, WorldCtx};
+use crate::error::AltError;
+use crate::report::{AltRun, AltRunStatus, RunOutcome, RunReport};
+
+/// A speculation session: persistent state plus the block executor.
+pub struct Speculation {
+    store: PageStore,
+    fs: FileSystem,
+    tty: Teletype,
+    root_world: WorldId,
+    root_pid: Pid,
+}
+
+impl Clone for Speculation {
+    fn clone(&self) -> Self {
+        // A clone shares the same store/files/teletype/root world — it is
+        // another handle on the same session, which is what lets an
+        // alternative closure capture one and run *nested* blocks against
+        // its own world via [`Speculation::run_in`].
+        Speculation {
+            store: self.store.clone(),
+            fs: self.fs.clone(),
+            tty: self.tty.clone(),
+            root_world: self.root_world,
+            root_pid: self.root_pid,
+        }
+    }
+}
+
+impl Default for Speculation {
+    fn default() -> Self {
+        Speculation::new()
+    }
+}
+
+/// What each child thread reports back at its synchronization attempt.
+struct ChildReport<T> {
+    index: usize,
+    result: Result<T, AltError>,
+    world: WorldId,
+    output: Vec<String>,
+    elapsed: Duration,
+}
+
+impl Speculation {
+    /// A session with a default (4 KiB) page size.
+    pub fn new() -> Self {
+        Speculation::with_page_size(PAGE_SIZE_DEFAULT)
+    }
+
+    /// A session with an explicit page size (the paper's machines used
+    /// 2 KiB and 4 KiB).
+    pub fn with_page_size(page_size: usize) -> Self {
+        let store = PageStore::new(page_size);
+        let root_world = store.create_world();
+        let fs = FileSystem::new(store.clone());
+        Speculation { store, fs, tty: Teletype::new(), root_world, root_pid: Pid::fresh() }
+    }
+
+    /// The session's page store (for stats and diagnostics).
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// The session teletype: only committed output ever appears here.
+    pub fn tty(&self) -> &Teletype {
+        &self.tty
+    }
+
+    /// Run non-speculative code against the root world (initialise shared
+    /// state before a block). Output prints immediately — the root runs
+    /// under no assumptions.
+    pub fn setup<R>(
+        &self,
+        f: impl FnOnce(&mut WorldCtx) -> Result<R, AltError>,
+    ) -> Result<R, AltError> {
+        let mut ctx = WorldCtx::new(
+            self.fs.clone(),
+            self.root_world,
+            self.root_pid,
+            PredicateSet::empty(),
+            CancelToken::new(),
+        );
+        let r = f(&mut ctx)?;
+        for line in &ctx.output {
+            self.tty
+                .emit(&PredicateSet::empty(), line.as_bytes())
+                .expect("root world is resolved");
+        }
+        Ok(r)
+    }
+
+    /// Read the committed state (the root world's current view).
+    pub fn read<R>(&self, f: impl FnOnce(&WorldCtx) -> R) -> R {
+        let ctx = WorldCtx::new(
+            self.fs.clone(),
+            self.root_world,
+            self.root_pid,
+            PredicateSet::empty(),
+            CancelToken::new(),
+        );
+        f(&ctx)
+    }
+
+    /// Execute an alternative block: run every alternative concurrently in
+    /// its own world, commit at most one.
+    pub fn run<T: Send + 'static>(&self, block: AltBlock<T>) -> RunReport<T> {
+        self.run_in(self.root_world, &PredicateSet::empty(), block)
+    }
+
+    /// Execute a block **nested inside an existing world**: alternatives
+    /// fork from `parent_world`, inherit `parent_preds` ("the predicates
+    /// of a 'child' process consist of those of the 'parent'; this allows
+    /// for nesting and potentially complex dependencies", §2.3), and the
+    /// winner commits into `parent_world`.
+    ///
+    /// An alternative closure nests by capturing a clone of the session
+    /// and calling this with its own [`WorldCtx::world_id`] /
+    /// [`WorldCtx::predicates`]. When `parent_preds` is unresolved (a
+    /// speculative caller), the winner's output is **not** released to
+    /// the teletype — it is returned in
+    /// [`RunReport::committed_output`] for the caller to re-buffer into
+    /// its own context.
+    pub fn run_in<T: Send + 'static>(
+        &self,
+        parent_world: WorldId,
+        parent_preds: &PredicateSet,
+        block: AltBlock<T>,
+    ) -> RunReport<T> {
+        let n = block.alts.len();
+        let start = Instant::now();
+        let stats_before = self.store.stats();
+
+        if n == 0 {
+            return RunReport {
+                outcome: RunOutcome::AllFailed,
+                value: None,
+                wall: start.elapsed(),
+                alts: Vec::new(),
+                store_delta: self.store.stats().delta_since(&stats_before),
+                committed_output: Vec::new(),
+            };
+        }
+
+        let cancel = CancelToken::new();
+        let (report_tx, report_rx) = mpsc::channel::<ChildReport<T>>();
+
+        // Pids first: sibling-rivalry predicates need the whole cohort.
+        let pids: Vec<Pid> = (0..n).map(|_| Pid::fresh()).collect();
+
+        let mut verdict_txs: Vec<Option<mpsc::Sender<bool>>> = Vec::with_capacity(n);
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::with_capacity(n);
+        let mut labels: Vec<String> = Vec::with_capacity(n);
+
+        let mut skipped: Vec<bool> = Vec::with_capacity(n);
+        for (i, alt) in block.alts.into_iter().enumerate() {
+            labels.push(alt.label.clone());
+            // Pre-spawn guards run serially in the parent; failing
+            // alternatives never get a world or a thread.
+            if let Some(g) = &alt.pre_spawn_guard {
+                if !g() {
+                    skipped.push(true);
+                    verdict_txs.push(None);
+                    continue;
+                }
+            }
+            skipped.push(false);
+            let world = self.store.fork_world(parent_world).expect("parent world is live");
+            let preds = PredicateSet::for_spawned_child(parent_preds, pids[i], &pids);
+            let fs = self.fs.clone();
+            let store = self.store.clone();
+            let cancel = cancel.clone();
+            let tx = report_tx.clone();
+            let (verdict_tx, verdict_rx) = mpsc::channel::<bool>();
+            verdict_txs.push(Some(verdict_tx));
+            let pid = pids[i];
+            let child_start = start;
+
+            handles.push(std::thread::spawn(move || {
+                let mut ctx = WorldCtx::new(fs, world, pid, preds, cancel);
+                let result = alt.execute(&mut ctx);
+                let output = std::mem::take(&mut ctx.output);
+                let _ = tx.send(ChildReport {
+                    index: i,
+                    result,
+                    world,
+                    output,
+                    elapsed: child_start.elapsed(),
+                });
+                // Await the parent's verdict; losers clean up their own
+                // world (asynchronous elimination happens right here, off
+                // the parent's critical path).
+                let won = verdict_rx.recv().unwrap_or(false);
+                if !won && store.world_exists(world) {
+                    let _ = store.drop_world(world);
+                }
+            }));
+        }
+        drop(report_tx);
+
+        let deadline = block.timeout.map(|t| start + t);
+        let mut alt_runs: Vec<AltRun> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| AltRun {
+                label: l.clone(),
+                status: if skipped[i] {
+                    AltRunStatus::Failed("pre-spawn guard failed; never spawned".into())
+                } else {
+                    AltRunStatus::StillRunning
+                },
+                reported_after: None,
+                pages_dirtied: None,
+            })
+            .collect();
+
+        let spawned_count = skipped.iter().filter(|&&s| !s).count();
+        if spawned_count == 0 {
+            // Every alternative was rejected before spawning.
+            cancel.cancel();
+            return RunReport {
+                outcome: RunOutcome::AllFailed,
+                value: None,
+                wall: start.elapsed(),
+                alts: alt_runs,
+                store_delta: self.store.stats().delta_since(&stats_before),
+                committed_output: Vec::new(),
+            };
+        }
+
+        let mut outcome = RunOutcome::AllFailed;
+        let mut value: Option<T> = None;
+        let mut committed_output: Vec<String> = Vec::new();
+        let mut reported = 0usize;
+
+        // alt_wait(TIMEOUT): wait for the first success, a full set of
+        // failures, or the deadline.
+        loop {
+            let msg = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        outcome = RunOutcome::TimedOut;
+                        break;
+                    }
+                    match report_rx.recv_timeout(d - now) {
+                        Ok(m) => m,
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            outcome = RunOutcome::TimedOut;
+                            break;
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                None => match report_rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                },
+            };
+
+            reported += 1;
+            let i = msg.index;
+            alt_runs[i].reported_after = Some(msg.elapsed);
+            alt_runs[i].pages_dirtied = self
+                .store
+                .world_stats(msg.world)
+                .ok()
+                .map(|s| s.pages_cowed + s.pages_zero_filled);
+
+            match msg.result {
+                Ok(v) => {
+                    // First success wins: commit.
+                    alt_runs[i].status = AltRunStatus::Won;
+                    outcome = RunOutcome::Winner { index: i, label: labels[i].clone() };
+                    value = Some(v);
+                    self.store
+                        .adopt(parent_world, msg.world)
+                        .expect("winner world is a child of the parent");
+                    if parent_preds.is_resolved() {
+                        for line in &msg.output {
+                            self.tty
+                                .emit(parent_preds, line.as_bytes())
+                                .expect("committed world is resolved");
+                        }
+                    }
+                    committed_output = msg.output;
+                    break;
+                }
+                Err(e) => {
+                    alt_runs[i].status = AltRunStatus::Failed(e.to_string());
+                    if reported == spawned_count {
+                        outcome = RunOutcome::AllFailed;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Eliminate the siblings: cancel cooperatively, deliver verdicts.
+        cancel.cancel();
+        let winner_index = match &outcome {
+            RunOutcome::Winner { index, .. } => Some(*index),
+            _ => None,
+        };
+        for (i, tx) in verdict_txs.iter_mut().enumerate() {
+            if let Some(tx) = tx.take() {
+                let _ = tx.send(Some(i) == winner_index);
+            }
+        }
+
+        if block.elim == ElimMode::Sync {
+            // Synchronous elimination: wait for every sibling to terminate
+            // before resuming the parent (§2.2.1's slower option).
+            for h in handles {
+                let _ = h.join();
+            }
+            // Late reports tell us how the losers ended.
+            while let Ok(msg) = report_rx.try_recv() {
+                let i = msg.index;
+                if alt_runs[i].reported_after.is_none() {
+                    alt_runs[i].reported_after = Some(msg.elapsed);
+                }
+                if matches!(alt_runs[i].status, AltRunStatus::StillRunning) {
+                    alt_runs[i].status = match msg.result {
+                        Ok(_) => AltRunStatus::Eliminated,
+                        Err(e) => AltRunStatus::Failed(e.to_string()),
+                    };
+                }
+            }
+        } else {
+            // Asynchronous elimination: detach; the loser threads drop
+            // their worlds on their own time.
+            drop(handles);
+        }
+
+        RunReport {
+            outcome,
+            value,
+            wall: start.elapsed(),
+            alts: alt_runs,
+            store_delta: self.store.stats().delta_since(&stats_before),
+            committed_output,
+        }
+    }
+}
+
+impl std::fmt::Debug for Speculation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Speculation")
+            .field("root_world", &self.root_world)
+            .field("store", &self.store)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alternative::Alternative;
+
+    #[test]
+    fn single_alternative_commits() {
+        let spec = Speculation::new();
+        let r = spec.run(AltBlock::new().alt("only", |ctx| {
+            ctx.put_u64("x", 7)?;
+            Ok(7u64)
+        }));
+        assert_eq!(r.value, Some(7));
+        assert!(r.succeeded());
+        assert_eq!(spec.read(|c| c.get_u64("x")), Some(7));
+    }
+
+    #[test]
+    fn loser_state_never_leaks() {
+        let spec = Speculation::new();
+        spec.setup(|ctx| ctx.put_str("who", "nobody")).unwrap();
+        let r = spec.run(
+            AltBlock::new()
+                .alt("fast", |ctx| {
+                    ctx.put_str("who", "fast")?;
+                    Ok(1u32)
+                })
+                .alt("slow", |ctx| {
+                    std::thread::sleep(Duration::from_millis(300));
+                    ctx.checkpoint()?; // sees cancellation, aborts
+                    ctx.put_str("who", "slow")?;
+                    Ok(2)
+                })
+                .elim(ElimMode::Sync),
+        );
+        assert_eq!(r.winner_label(), Some("fast"));
+        assert_eq!(spec.read(|c| c.get_str("who")).as_deref(), Some("fast"));
+    }
+
+    #[test]
+    fn all_failures_reported() {
+        let spec = Speculation::new();
+        let r: RunReport<u32> = spec.run(
+            AltBlock::new()
+                .alt("a", |_| Err(AltError::GuardFailed("a bad".into())))
+                .alt("b", |_| Err(AltError::GuardFailed("b bad".into())))
+                .elim(ElimMode::Sync),
+        );
+        assert_eq!(r.outcome, RunOutcome::AllFailed);
+        assert_eq!(r.failures(), 2);
+        assert_eq!(r.value, None);
+    }
+
+    #[test]
+    fn at_sync_guard_rejects_and_other_wins() {
+        let spec = Speculation::new();
+        let r = spec.run(
+            AltBlock::new()
+                .alternative(Alternative::new("bogus", |_| Ok(-1i64)).guard(|v| *v >= 0))
+                .alternative(Alternative::new("valid", |_| {
+                    std::thread::sleep(Duration::from_millis(20));
+                    Ok(10i64)
+                }))
+                .elim(ElimMode::Sync),
+        );
+        assert_eq!(r.winner_label(), Some("valid"));
+        assert_eq!(r.value, Some(10));
+    }
+
+    #[test]
+    fn timeout_fails_the_block() {
+        let spec = Speculation::new();
+        let r: RunReport<u32> = spec.run(
+            AltBlock::new()
+                .alt("glacial", |ctx| {
+                    for _ in 0..200 {
+                        std::thread::sleep(Duration::from_millis(10));
+                        ctx.checkpoint()?;
+                    }
+                    Ok(1)
+                })
+                .timeout(Duration::from_millis(50))
+                .elim(ElimMode::Sync),
+        );
+        assert_eq!(r.outcome, RunOutcome::TimedOut);
+        assert!(r.wall < Duration::from_millis(1500), "timeout must not hang");
+    }
+
+    #[test]
+    fn losers_output_is_never_observable() {
+        let spec = Speculation::new();
+        let r = spec.run(
+            AltBlock::new()
+                .alt("winner", |ctx| {
+                    ctx.print("winner speaks");
+                    Ok(1u8)
+                })
+                .alt("loser", |ctx| {
+                    ctx.print("loser speaks");
+                    std::thread::sleep(Duration::from_millis(200));
+                    Ok(2)
+                })
+                .elim(ElimMode::Sync),
+        );
+        assert_eq!(r.winner_label(), Some("winner"));
+        assert_eq!(spec.tty().output_strings(), vec!["winner speaks"]);
+        assert_eq!(r.committed_output, vec!["winner speaks"]);
+    }
+
+    #[test]
+    fn empty_block_is_failure() {
+        let spec = Speculation::new();
+        let r: RunReport<u8> = spec.run(AltBlock::new());
+        assert_eq!(r.outcome, RunOutcome::AllFailed);
+    }
+
+    #[test]
+    fn sequential_blocks_accumulate_state() {
+        let spec = Speculation::new();
+        spec.setup(|c| c.put_u64("acc", 0)).unwrap();
+        for i in 1..=3u64 {
+            let r = spec.run(AltBlock::new().alt("inc", move |ctx| {
+                let cur = ctx.get_u64("acc").unwrap();
+                ctx.put_u64("acc", cur + i)?;
+                Ok(cur + i)
+            }));
+            assert!(r.succeeded());
+        }
+        assert_eq!(spec.read(|c| c.get_u64("acc")), Some(6));
+    }
+
+    #[test]
+    fn store_accounting_shows_cow_traffic() {
+        let spec = Speculation::new();
+        spec.setup(|c| c.put_bytes("blob", &[1u8; 4096])).unwrap();
+        let r = spec.run(
+            AltBlock::new()
+                .alt("toucher", |ctx| {
+                    ctx.put_bytes("blob", &[2u8; 4096])?;
+                    Ok(())
+                })
+                .elim(ElimMode::Sync),
+        );
+        assert!(r.store_delta.forks >= 1);
+        assert!(r.store_delta.cow_faults >= 1, "rewriting the blob must COW");
+    }
+
+    #[test]
+    fn async_elim_returns_before_losers_finish() {
+        let spec = Speculation::new();
+        let t0 = Instant::now();
+        let r = spec.run(
+            AltBlock::new()
+                .alt("instant", |_| Ok(1u8))
+                .alt("sleepy", |_| {
+                    std::thread::sleep(Duration::from_millis(400));
+                    Ok(2)
+                })
+                .elim(ElimMode::Async),
+        );
+        assert_eq!(r.winner_label(), Some("instant"));
+        assert!(
+            t0.elapsed() < Duration::from_millis(300),
+            "async elimination must not wait for the sleeper"
+        );
+        assert_eq!(
+            r.alts[1].status,
+            AltRunStatus::StillRunning,
+            "the loser was still running at commit"
+        );
+    }
+
+    #[test]
+    fn nested_blocks_commit_into_the_outer_alternative() {
+        // An outer block whose alternative runs an inner block against its
+        // own speculative world: the inner winner's state must be visible
+        // to the outer alternative, and committed to the root only if the
+        // outer alternative wins.
+        let spec = Speculation::new();
+        spec.setup(|c| c.put_u64("x", 1)).unwrap();
+        let session = spec.clone();
+        let report = spec.run(
+            AltBlock::new()
+                .alt("outer", move |ctx| {
+                    ctx.put_u64("outer_mark", 7)?;
+                    let inner = session.run_in(
+                        ctx.world_id(),
+                        ctx.predicates(),
+                        AltBlock::new()
+                            .alt("inner-a", |ictx| {
+                                let x = ictx.get_u64("x").unwrap();
+                                let m = ictx.get_u64("outer_mark").unwrap();
+                                ictx.put_u64("x", x + m)?;
+                                Ok(1u8)
+                            })
+                            .alt("inner-b", |ictx| {
+                                let x = ictx.get_u64("x").unwrap();
+                                let m = ictx.get_u64("outer_mark").unwrap();
+                                ictx.put_u64("x", x + m)?;
+                                Ok(2u8)
+                            })
+                            .elim(ElimMode::Sync),
+                    );
+                    assert!(inner.succeeded(), "an inner alternative must win");
+                    // The inner commit is visible here, pre-outer-commit.
+                    assert_eq!(ctx.get_u64("x"), Some(8));
+                    Ok(inner.value.unwrap())
+                })
+                .elim(ElimMode::Sync),
+        );
+        assert!(report.succeeded());
+        assert_eq!(spec.read(|c| c.get_u64("x")), Some(8), "nested result committed to root");
+    }
+
+    #[test]
+    fn nested_block_in_losing_alternative_never_escapes() {
+        let spec = Speculation::new();
+        spec.setup(|c| c.put_u64("x", 100)).unwrap();
+        let session = spec.clone();
+        let report = spec.run(
+            AltBlock::new()
+                .alt("fast-winner", |ctx| {
+                    ctx.put_u64("x", 200)?;
+                    Ok("winner")
+                })
+                .alt("slow-nester", move |ctx| {
+                    std::thread::sleep(Duration::from_millis(100));
+                    let inner = session.run_in(
+                        ctx.world_id(),
+                        ctx.predicates(),
+                        AltBlock::new().alt("inner", |ictx| {
+                            ictx.put_u64("x", 999)?;
+                            Ok(0u8)
+                        }).elim(ElimMode::Sync),
+                    );
+                    let _ = inner;
+                    ctx.checkpoint()?;
+                    Ok("nester")
+                })
+                .elim(ElimMode::Sync),
+        );
+        assert_eq!(report.winner_label(), Some("fast-winner"));
+        assert_eq!(
+            spec.read(|c| c.get_u64("x")),
+            Some(200),
+            "the losing alternative's nested commit died with its world"
+        );
+    }
+
+    #[test]
+    fn nested_output_is_not_released_by_speculative_parents() {
+        let spec = Speculation::new();
+        let session = spec.clone();
+        let report = spec.run(
+            AltBlock::new()
+                .alt("outer", move |ctx| {
+                    let inner = session.run_in(
+                        ctx.world_id(),
+                        ctx.predicates(),
+                        AltBlock::new().alt("inner", |ictx| {
+                            ictx.print("inner speaks");
+                            Ok(0u8)
+                        }).elim(ElimMode::Sync),
+                    );
+                    // The inner output is handed back, not printed; the
+                    // outer alternative re-buffers it.
+                    for line in &inner.committed_output {
+                        ctx.print(format!("relayed: {line}"));
+                    }
+                    Ok(0u8)
+                })
+                .elim(ElimMode::Sync),
+        );
+        assert!(report.succeeded());
+        assert_eq!(spec.tty().output_strings(), vec!["relayed: inner speaks"]);
+    }
+
+    #[test]
+    fn pre_spawn_guards_skip_alternatives_without_forking() {
+        let spec = Speculation::new();
+        let before = spec.store().stats();
+        let r = spec.run(
+            AltBlock::new()
+                .alternative(
+                    Alternative::new("rejected", |_| Ok(1u32)).pre_guard(|| false),
+                )
+                .alternative(Alternative::new("accepted", |_| Ok(2u32)).pre_guard(|| true))
+                .elim(ElimMode::Sync),
+        );
+        assert_eq!(r.value, Some(2));
+        assert_eq!(
+            spec.store().stats().delta_since(&before).forks,
+            1,
+            "the rejected alternative must never fork a world"
+        );
+        assert!(matches!(r.alts[0].status, AltRunStatus::Failed(_)));
+    }
+
+    #[test]
+    fn all_pre_spawn_rejections_fail_the_block() {
+        let spec = Speculation::new();
+        let r: RunReport<u8> = spec.run(
+            AltBlock::new()
+                .alternative(Alternative::new("a", |_| Ok(1u8)).pre_guard(|| false))
+                .alternative(Alternative::new("b", |_| Ok(2u8)).pre_guard(|| false))
+                .elim(ElimMode::Sync),
+        );
+        assert_eq!(r.outcome, RunOutcome::AllFailed);
+        assert_eq!(r.failures(), 2);
+        assert_eq!(spec.store().world_count(), 1, "no worlds created");
+    }
+
+    #[test]
+    fn mixed_pre_spawn_and_runtime_failures() {
+        let spec = Speculation::new();
+        let r: RunReport<u8> = spec.run(
+            AltBlock::new()
+                .alternative(Alternative::new("never", |_| Ok(1u8)).pre_guard(|| false))
+                .alt("errors", |_| Err(AltError::GuardFailed("later".into())))
+                .elim(ElimMode::Sync),
+        );
+        // One skipped + one runtime failure = AllFailed, promptly (the
+        // reported-count bookkeeping must use spawned, not total, count).
+        assert_eq!(r.outcome, RunOutcome::AllFailed);
+    }
+
+    #[test]
+    fn worlds_are_reclaimed_after_sync_block() {
+        let spec = Speculation::new();
+        spec.setup(|c| c.put_u64("x", 1)).unwrap();
+        let _ = spec.run(
+            AltBlock::new()
+                .alt("a", |ctx| {
+                    ctx.put_u64("x", 2)?;
+                    Ok(())
+                })
+                .alt("b", |ctx| {
+                    ctx.put_u64("x", 3)?;
+                    Ok(())
+                })
+                .elim(ElimMode::Sync),
+        );
+        assert_eq!(spec.store().world_count(), 1, "only the root world survives");
+    }
+}

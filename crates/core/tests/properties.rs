@@ -1,0 +1,98 @@
+//! Property-based tests of the real-thread executor: committed-choice
+//! semantics hold for arbitrary small alternative sets.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use worlds::{AltBlock, AltError, ElimMode, RunOutcome, Speculation};
+
+#[derive(Debug, Clone)]
+struct AltGen {
+    sleep_ms: u8,
+    guard: bool,
+    value: u64,
+}
+
+fn arb_alt() -> impl Strategy<Value = AltGen> {
+    (0u8..15, prop::bool::weighted(0.7), 1u64..1000)
+        .prop_map(|(sleep_ms, guard, value)| AltGen { sleep_ms, guard, value })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any alternative set: a winner exists iff some guard passes;
+    /// the committed cell holds exactly the winner's value; only the
+    /// winner's output is observable.
+    #[test]
+    fn committed_choice_semantics(alts in proptest::collection::vec(arb_alt(), 1..4)) {
+        let spec = Speculation::new();
+        spec.setup(|c| c.put_u64("cell", 0)).unwrap();
+
+        let mut block: AltBlock<u64> = AltBlock::new().elim(ElimMode::Sync);
+        for (i, a) in alts.iter().enumerate() {
+            let a = a.clone();
+            block = block.alt(format!("alt{i}"), move |ctx| {
+                if a.sleep_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(a.sleep_ms as u64));
+                }
+                ctx.checkpoint()?;
+                if !a.guard {
+                    return Err(AltError::GuardFailed("scripted".into()));
+                }
+                ctx.put_u64("cell", a.value)?;
+                ctx.print(format!("winner says {}", a.value));
+                Ok(a.value)
+            });
+        }
+        let report = spec.run(block);
+
+        let any_pass = alts.iter().any(|a| a.guard);
+        match &report.outcome {
+            RunOutcome::Winner { index, .. } => {
+                prop_assert!(any_pass);
+                prop_assert!(alts[*index].guard, "winner's guard must pass");
+                let v = report.value.expect("winner has a value");
+                prop_assert_eq!(v, alts[*index].value);
+                // Committed state is the winner's write, exactly.
+                prop_assert_eq!(spec.read(|c| c.get_u64("cell")), Some(v));
+                // Exactly one line of output, and it is the winner's.
+                let out = spec.tty().output_strings();
+                prop_assert_eq!(out.len(), 1);
+                prop_assert_eq!(out[0].clone(), format!("winner says {v}"));
+            }
+            RunOutcome::AllFailed => {
+                prop_assert!(!any_pass, "a passing guard must produce a winner");
+                prop_assert_eq!(spec.read(|c| c.get_u64("cell")), Some(0), "state untouched");
+                prop_assert!(spec.tty().output_strings().is_empty());
+            }
+            RunOutcome::TimedOut => prop_assert!(false, "no timeout configured"),
+        }
+
+        // Resource hygiene: only the root world survives a sync block.
+        prop_assert_eq!(spec.store().world_count(), 1);
+    }
+
+    /// Sequencing blocks preserves state: each block sees the previous
+    /// block's committed value.
+    #[test]
+    fn blocks_compose_sequentially(values in proptest::collection::vec(1u64..100, 1..5)) {
+        let spec = Speculation::new();
+        spec.setup(|c| c.put_u64("acc", 0)).unwrap();
+        let mut expect = 0u64;
+        for v in values {
+            expect += v;
+            let r = spec.run(
+                AltBlock::new()
+                    .alt("add", move |ctx| {
+                        let cur = ctx.get_u64("acc").unwrap();
+                        ctx.put_u64("acc", cur + v)?;
+                        Ok(cur + v)
+                    })
+                    .elim(ElimMode::Sync),
+            );
+            prop_assert_eq!(r.value, Some(expect));
+        }
+        prop_assert_eq!(spec.read(|c| c.get_u64("acc")), Some(expect));
+    }
+}

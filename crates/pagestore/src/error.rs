@@ -1,0 +1,81 @@
+//! Error type for page-store operations.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PageStoreError>;
+
+/// Errors raised by [`crate::PageStore`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageStoreError {
+    /// The referenced world does not exist (never created, or already
+    /// eliminated / adopted away).
+    NoSuchWorld(u64),
+    /// The referenced file name is unknown to the file system layer.
+    NoSuchFile(String),
+    /// A file with this name already exists.
+    FileExists(String),
+    /// An access crossed the end of a page: offset + len > page size.
+    OutOfPageBounds {
+        /// Byte offset of the access within the page.
+        offset: usize,
+        /// Length of the access in bytes.
+        len: usize,
+        /// Page size of the store.
+        page_size: usize,
+    },
+    /// `adopt` was called with a child that is not a descendant world of the
+    /// parent. The paper's rendezvous only ever commits a child created by
+    /// the parent's own `alt_spawn`.
+    NotAChild {
+        /// The world doing the adopting.
+        parent: u64,
+        /// The world that was offered for adoption.
+        child: u64,
+    },
+}
+
+impl fmt::Display for PageStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageStoreError::NoSuchWorld(w) => write!(f, "no such world: {w}"),
+            PageStoreError::NoSuchFile(n) => write!(f, "no such file: {n:?}"),
+            PageStoreError::FileExists(n) => write!(f, "file already exists: {n:?}"),
+            PageStoreError::OutOfPageBounds { offset, len, page_size } => write!(
+                f,
+                "access of {len} bytes at offset {offset} exceeds page size {page_size}"
+            ),
+            PageStoreError::NotAChild { parent, child } => {
+                write!(f, "world {child} is not a child of world {parent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PageStoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(
+            PageStoreError::NoSuchWorld(7).to_string(),
+            "no such world: 7"
+        );
+        assert!(PageStoreError::NoSuchFile("db".into())
+            .to_string()
+            .contains("db"));
+        let e = PageStoreError::OutOfPageBounds { offset: 100, len: 30, page_size: 128 };
+        assert!(e.to_string().contains("128"));
+        let e = PageStoreError::NotAChild { parent: 1, child: 9 };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&PageStoreError::NoSuchWorld(0));
+    }
+}

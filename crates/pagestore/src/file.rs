@@ -1,0 +1,259 @@
+//! Files as named sets of pages — the single-level store surface.
+//!
+//! §2.1: "files are named sets of pages, and thus mechanisms which are used
+//! to transparently access files over networks ... can be utilized to hide
+//! the network through the page management abstraction". A [`FileSystem`]
+//! maps names to contiguous VPN extents in a base region of the address
+//! space, so speculative alternatives update "database files" through the
+//! very same COW page maps as anonymous memory — which is what lets recovery
+//! blocks and OR-parallel Prolog touch files speculatively.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{PageStoreError, Result};
+use crate::page::Vpn;
+use crate::store::{PageStore, WorldId};
+
+/// A named file: an extent of pages plus a logical length in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileHandle {
+    /// First VPN of the extent.
+    pub base_vpn: Vpn,
+    /// Number of pages reserved.
+    pub pages: u64,
+    /// Current logical file length in bytes.
+    pub len: u64,
+}
+
+#[derive(Debug, Default)]
+struct FsInner {
+    files: HashMap<String, FileHandle>,
+    next_vpn: Vpn,
+}
+
+/// A tiny single-level-store file system layered over a [`PageStore`].
+///
+/// The *name table* is shared (it is directory metadata), but the *contents*
+/// live in per-world pages: two worlds can hold different bytes for the same
+/// file, and a commit (`adopt`) publishes the winner's version — exactly the
+/// transaction-like behaviour the paper describes for sink state.
+#[derive(Clone)]
+pub struct FileSystem {
+    store: PageStore,
+    inner: Arc<RwLock<FsInner>>,
+}
+
+impl FileSystem {
+    /// File extents are carved from VPNs at and above this base, keeping
+    /// them clear of low anonymous-memory VPNs used by applications.
+    pub const FILE_REGION_BASE: Vpn = 1 << 32;
+
+    /// Wrap a store with a fresh, empty name table.
+    pub fn new(store: PageStore) -> Self {
+        FileSystem {
+            store,
+            inner: Arc::new(RwLock::new(FsInner {
+                files: HashMap::new(),
+                next_vpn: Self::FILE_REGION_BASE,
+            })),
+        }
+    }
+
+    /// The underlying page store.
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// Create a file able to hold `max_len` bytes. Fails if the name exists.
+    pub fn create(&self, name: &str, max_len: u64) -> Result<FileHandle> {
+        let page = self.store.page_size() as u64;
+        let pages = max_len.div_ceil(page).max(1);
+        let mut inner = self.inner.write();
+        if inner.files.contains_key(name) {
+            return Err(PageStoreError::FileExists(name.to_string()));
+        }
+        let handle = FileHandle { base_vpn: inner.next_vpn, pages, len: 0 };
+        inner.next_vpn += pages;
+        inner.files.insert(name.to_string(), handle);
+        Ok(handle)
+    }
+
+    /// Look up a file by name.
+    pub fn open(&self, name: &str) -> Result<FileHandle> {
+        self.inner
+            .read()
+            .files
+            .get(name)
+            .copied()
+            .ok_or_else(|| PageStoreError::NoSuchFile(name.to_string()))
+    }
+
+    /// Names of all files, sorted (deterministic listing).
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.read().files.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Write `data` at byte `pos` of `name` as seen by `world`. Grows the
+    /// logical length (directory metadata) if the write extends the file.
+    pub fn write_at(&self, world: WorldId, name: &str, pos: u64, data: &[u8]) -> Result<()> {
+        let handle = self.open(name)?;
+        let page = self.store.page_size() as u64;
+        let end = pos + data.len() as u64;
+        if end > handle.pages * page {
+            return Err(PageStoreError::OutOfPageBounds {
+                offset: pos as usize,
+                len: data.len(),
+                page_size: (handle.pages * page) as usize,
+            });
+        }
+        let mut written = 0usize;
+        while written < data.len() {
+            let abs = pos + written as u64;
+            let vpn = handle.base_vpn + abs / page;
+            let off = (abs % page) as usize;
+            let n = ((page as usize) - off).min(data.len() - written);
+            self.store.write(world, vpn, off, &data[written..written + n])?;
+            written += n;
+        }
+        if end > handle.len {
+            self.inner
+                .write()
+                .files
+                .get_mut(name)
+                .expect("file existed above")
+                .len = end;
+        }
+        Ok(())
+    }
+
+    /// Read `len` bytes at byte `pos` of `name` as seen by `world`.
+    pub fn read_at(&self, world: WorldId, name: &str, pos: u64, len: usize) -> Result<Vec<u8>> {
+        let handle = self.open(name)?;
+        let page = self.store.page_size() as u64;
+        if pos + len as u64 > handle.pages * page {
+            return Err(PageStoreError::OutOfPageBounds {
+                offset: pos as usize,
+                len,
+                page_size: (handle.pages * page) as usize,
+            });
+        }
+        let mut out = vec![0u8; len];
+        let mut done = 0usize;
+        while done < len {
+            let abs = pos + done as u64;
+            let vpn = handle.base_vpn + abs / page;
+            let off = (abs % page) as usize;
+            let n = ((page as usize) - off).min(len - done);
+            self.store.read(world, vpn, off, &mut out[done..done + n])?;
+            done += n;
+        }
+        Ok(out)
+    }
+
+    /// Current logical length of `name` (shared directory metadata).
+    pub fn len(&self, name: &str) -> Result<u64> {
+        Ok(self.open(name)?.len)
+    }
+
+    /// True when `name` has logical length zero.
+    pub fn is_empty(&self, name: &str) -> Result<bool> {
+        Ok(self.len(name)? == 0)
+    }
+}
+
+impl std::fmt::Debug for FileSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileSystem")
+            .field("files", &self.inner.read().files.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> (FileSystem, WorldId) {
+        let store = PageStore::new(64);
+        let w = store.create_world();
+        (FileSystem::new(store), w)
+    }
+
+    #[test]
+    fn create_open_list() {
+        let (fs, _) = fs();
+        fs.create("b.db", 100).unwrap();
+        fs.create("a.db", 100).unwrap();
+        assert_eq!(fs.list(), vec!["a.db".to_string(), "b.db".to_string()]);
+        assert!(fs.open("a.db").is_ok());
+        assert!(matches!(fs.open("zzz"), Err(PageStoreError::NoSuchFile(_))));
+        assert!(matches!(fs.create("a.db", 10), Err(PageStoreError::FileExists(_))));
+    }
+
+    #[test]
+    fn write_read_within_one_page() {
+        let (fs, w) = fs();
+        fs.create("f", 64).unwrap();
+        fs.write_at(w, "f", 5, b"hello").unwrap();
+        assert_eq!(fs.read_at(w, "f", 5, 5).unwrap(), b"hello");
+        assert_eq!(fs.len("f").unwrap(), 10);
+    }
+
+    #[test]
+    fn write_read_across_page_boundary() {
+        let (fs, w) = fs();
+        fs.create("f", 256).unwrap();
+        let data: Vec<u8> = (0..150).map(|i| i as u8).collect();
+        fs.write_at(w, "f", 60, &data).unwrap(); // spans pages 0..=3 at 64B pages
+        assert_eq!(fs.read_at(w, "f", 60, 150).unwrap(), data);
+    }
+
+    #[test]
+    fn writes_beyond_extent_rejected() {
+        let (fs, w) = fs();
+        fs.create("f", 64).unwrap(); // one page
+        assert!(fs.write_at(w, "f", 60, b"spill!").is_err());
+        assert!(fs.read_at(w, "f", 0, 65).is_err());
+    }
+
+    #[test]
+    fn files_are_speculative_per_world() {
+        let store = PageStore::new(64);
+        let parent = store.create_world();
+        let fs = FileSystem::new(store.clone());
+        fs.create("db", 128).unwrap();
+        fs.write_at(parent, "db", 0, b"original").unwrap();
+
+        let child = store.fork_world(parent).unwrap();
+        fs.write_at(child, "db", 0, b"specular").unwrap();
+        assert_eq!(fs.read_at(parent, "db", 0, 8).unwrap(), b"original");
+        assert_eq!(fs.read_at(child, "db", 0, 8).unwrap(), b"specular");
+
+        store.adopt(parent, child).unwrap();
+        assert_eq!(fs.read_at(parent, "db", 0, 8).unwrap(), b"specular");
+    }
+
+    #[test]
+    fn extents_do_not_overlap() {
+        let (fs, w) = fs();
+        let a = fs.create("a", 200).unwrap();
+        let b = fs.create("b", 200).unwrap();
+        assert!(a.base_vpn + a.pages <= b.base_vpn);
+        fs.write_at(w, "a", 0, &[0xAA; 200]).unwrap();
+        fs.write_at(w, "b", 0, &[0xBB; 200]).unwrap();
+        assert_eq!(fs.read_at(w, "a", 199, 1).unwrap(), vec![0xAA]);
+        assert_eq!(fs.read_at(w, "b", 0, 1).unwrap(), vec![0xBB]);
+    }
+
+    #[test]
+    fn zero_len_file_is_empty() {
+        let (fs, _) = fs();
+        fs.create("f", 64).unwrap();
+        assert!(fs.is_empty("f").unwrap());
+    }
+}

@@ -1,0 +1,177 @@
+//! The frame table: reference-counted physical pages.
+//!
+//! Worlds share frames until someone writes; the reference count is what
+//! tells a write whether it may mutate in place (count == 1) or must copy
+//! (count > 1) — the core of copy-on-write.
+
+use crate::page::PageData;
+
+/// Index of a physical frame in the store's frame table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(pub(crate) u32);
+
+impl FrameId {
+    /// Raw index (exposed for diagnostics and tests).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// One slot in the frame table.
+#[derive(Debug)]
+struct Frame {
+    data: PageData,
+    /// Number of page-map entries referencing this frame across all worlds.
+    refs: u32,
+}
+
+/// A reference-counted table of physical frames with a free list.
+///
+/// Not itself thread-safe; [`crate::PageStore`] wraps it in a lock.
+#[derive(Debug, Default)]
+pub(crate) struct FrameTable {
+    frames: Vec<Option<Frame>>,
+    free: Vec<u32>,
+}
+
+impl FrameTable {
+    pub(crate) fn new() -> Self {
+        FrameTable::default()
+    }
+
+    /// Allocate a frame holding `data`, with an initial reference count of 1.
+    pub(crate) fn alloc(&mut self, data: PageData) -> FrameId {
+        let frame = Frame { data, refs: 1 };
+        if let Some(idx) = self.free.pop() {
+            debug_assert!(self.frames[idx as usize].is_none());
+            self.frames[idx as usize] = Some(frame);
+            FrameId(idx)
+        } else {
+            self.frames.push(Some(frame));
+            FrameId((self.frames.len() - 1) as u32)
+        }
+    }
+
+    /// Bump the reference count (a new page-map entry now points here).
+    pub(crate) fn incref(&mut self, id: FrameId) {
+        let f = self.frame_mut(id);
+        f.refs += 1;
+    }
+
+    /// Drop one reference; frees the frame when the count reaches zero.
+    /// Returns `true` if the frame was freed.
+    pub(crate) fn decref(&mut self, id: FrameId) -> bool {
+        let f = self.frame_mut(id);
+        debug_assert!(f.refs > 0, "decref of frame with zero refs");
+        f.refs -= 1;
+        if f.refs == 0 {
+            self.frames[id.0 as usize] = None;
+            self.free.push(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current reference count of a live frame.
+    pub(crate) fn refs(&self, id: FrameId) -> u32 {
+        self.frame(id).refs
+    }
+
+    /// Read access to a frame's page data.
+    pub(crate) fn data(&self, id: FrameId) -> &PageData {
+        &self.frame(id).data
+    }
+
+    /// Write access to a frame's page data. The caller (the store) must have
+    /// established exclusivity (refs == 1) first.
+    pub(crate) fn data_mut(&mut self, id: FrameId) -> &mut PageData {
+        let f = self.frame_mut(id);
+        debug_assert_eq!(f.refs, 1, "in-place write to a shared frame breaks COW");
+        &mut f.data
+    }
+
+    /// Number of live (allocated) frames.
+    pub(crate) fn live_frames(&self) -> usize {
+        self.frames.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Total slots ever allocated (live + free-listed); a high-water mark.
+    #[allow(dead_code)] // diagnostics; exercised in tests
+    pub(crate) fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn frame(&self, id: FrameId) -> &Frame {
+        self.frames[id.0 as usize]
+            .as_ref()
+            .expect("reference to a freed frame")
+    }
+
+    fn frame_mut(&mut self, id: FrameId) -> &mut Frame {
+        self.frames[id.0 as usize]
+            .as_mut()
+            .expect("reference to a freed frame")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(fill: u8) -> PageData {
+        let mut p = PageData::zeroed(8);
+        p.bytes_mut().fill(fill);
+        p
+    }
+
+    #[test]
+    fn alloc_and_read() {
+        let mut t = FrameTable::new();
+        let a = t.alloc(page(1));
+        let b = t.alloc(page(2));
+        assert_ne!(a, b);
+        assert_eq!(t.data(a).bytes()[0], 1);
+        assert_eq!(t.data(b).bytes()[0], 2);
+        assert_eq!(t.live_frames(), 2);
+    }
+
+    #[test]
+    fn refcounting_frees_at_zero() {
+        let mut t = FrameTable::new();
+        let a = t.alloc(page(1));
+        t.incref(a);
+        assert_eq!(t.refs(a), 2);
+        assert!(!t.decref(a));
+        assert_eq!(t.refs(a), 1);
+        assert!(t.decref(a));
+        assert_eq!(t.live_frames(), 0);
+    }
+
+    #[test]
+    fn free_slots_are_reused() {
+        let mut t = FrameTable::new();
+        let a = t.alloc(page(1));
+        t.decref(a);
+        let b = t.alloc(page(2));
+        assert_eq!(a.index(), b.index(), "freed slot should be reused");
+        assert_eq!(t.capacity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "freed frame")]
+    fn use_after_free_panics() {
+        let mut t = FrameTable::new();
+        let a = t.alloc(page(1));
+        t.decref(a);
+        let _ = t.data(a);
+    }
+
+    #[test]
+    fn exclusive_write_access() {
+        let mut t = FrameTable::new();
+        let a = t.alloc(page(0));
+        t.data_mut(a).bytes_mut()[0] = 42;
+        assert_eq!(t.data(a).bytes()[0], 42);
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-world page maps: virtual page number → frame.
+//!
+//! This is the "per-process descriptor table" of the paper's Figure 2. A
+//! fork copies only this map; the frames stay shared.
+
+use std::collections::BTreeMap;
+
+use crate::frame::FrameId;
+use crate::page::Vpn;
+
+/// A world's page map. Sparse: absent VPNs read as demand-zero.
+///
+/// `BTreeMap` keeps iteration ordered, which makes diffs, dirty-page
+/// accounting, and file extents deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct PageMap {
+    entries: BTreeMap<Vpn, FrameId>,
+}
+
+impl PageMap {
+    /// An empty map (a fresh world before any write).
+    pub fn new() -> Self {
+        PageMap::default()
+    }
+
+    /// Frame currently mapped at `vpn`, if any.
+    pub fn get(&self, vpn: Vpn) -> Option<FrameId> {
+        self.entries.get(&vpn).copied()
+    }
+
+    /// Map `vpn` to `frame`, returning the previously mapped frame, if any.
+    /// The caller owns the refcount bookkeeping for both.
+    pub(crate) fn insert(&mut self, vpn: Vpn, frame: FrameId) -> Option<FrameId> {
+        self.entries.insert(vpn, frame)
+    }
+
+    /// Remove the mapping at `vpn`, returning the frame that was mapped.
+    #[allow(dead_code)] // part of the map's complete API; exercised in tests
+    pub(crate) fn remove(&mut self, vpn: Vpn) -> Option<FrameId> {
+        self.entries.remove(&vpn)
+    }
+
+    /// Number of mapped (materialised) pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterate `(vpn, frame)` pairs in ascending VPN order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, FrameId)> + '_ {
+        self.entries.iter().map(|(&v, &f)| (v, f))
+    }
+
+    /// VPNs where `self` maps a different frame than `other` (including VPNs
+    /// mapped on only one side). After a COW fork this is exactly the set of
+    /// pages written since the fork — the numerator of the paper's *write
+    /// fraction*.
+    pub fn diff(&self, other: &PageMap) -> Vec<Vpn> {
+        let mut out = Vec::new();
+        let mut a = self.entries.iter().peekable();
+        let mut b = other.entries.iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some((&va, &fa)), Some((&vb, &fb))) => {
+                    if va < vb {
+                        out.push(va);
+                        a.next();
+                    } else if vb < va {
+                        out.push(vb);
+                        b.next();
+                    } else {
+                        if fa != fb {
+                            out.push(va);
+                        }
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some((&va, _)), None) => {
+                    out.push(va);
+                    a.next();
+                }
+                (None, Some((&vb, _))) => {
+                    out.push(vb);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(n: u32) -> FrameId {
+        FrameId(n)
+    }
+
+    #[test]
+    fn empty_map_reads_none() {
+        let m = PageMap::new();
+        assert_eq!(m.get(0), None);
+        assert_eq!(m.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = PageMap::new();
+        assert_eq!(m.insert(5, fid(1)), None);
+        assert_eq!(m.get(5), Some(fid(1)));
+        assert_eq!(m.insert(5, fid(2)), Some(fid(1)));
+        assert_eq!(m.remove(5), Some(fid(2)));
+        assert_eq!(m.get(5), None);
+    }
+
+    #[test]
+    fn iteration_is_vpn_ordered() {
+        let mut m = PageMap::new();
+        m.insert(9, fid(0));
+        m.insert(2, fid(1));
+        m.insert(5, fid(2));
+        let vpns: Vec<Vpn> = m.iter().map(|(v, _)| v).collect();
+        assert_eq!(vpns, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn diff_finds_divergent_pages() {
+        let mut a = PageMap::new();
+        let mut b = PageMap::new();
+        a.insert(1, fid(10)); // shared, same frame
+        b.insert(1, fid(10));
+        a.insert(2, fid(11)); // same vpn, different frame (COW'd)
+        b.insert(2, fid(12));
+        a.insert(3, fid(13)); // only in a
+        b.insert(4, fid(14)); // only in b
+        assert_eq!(a.diff(&b), vec![2, 3, 4]);
+        assert_eq!(b.diff(&a), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn diff_of_identical_maps_is_empty() {
+        let mut a = PageMap::new();
+        a.insert(7, fid(3));
+        let b = a.clone();
+        assert!(a.diff(&b).is_empty());
+    }
+}

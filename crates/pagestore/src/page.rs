@@ -1,0 +1,117 @@
+//! Fixed-size page data and virtual page numbering.
+
+/// Default page size: 4 KiB, matching the HP 9000/350 measurements in the
+/// paper's §3.4 (1034 4K-pages/second page-copy service rate).
+pub const PAGE_SIZE_DEFAULT: usize = 4096;
+
+/// 2 KiB pages, matching the AT&T 3B2/310 (326 2K-pages/second in §3.4).
+pub const PAGE_SIZE_2K: usize = 2048;
+
+/// 4 KiB pages (alias of the default; named for symmetry with
+/// [`PAGE_SIZE_2K`]).
+pub const PAGE_SIZE_4K: usize = 4096;
+
+/// A virtual page number within a world's address space.
+///
+/// Address spaces are sparse: any `u64` is a valid VPN and pages materialise
+/// on first write (reads of never-written pages observe zeroes, like
+/// demand-zero pages in a real VM system).
+pub type Vpn = u64;
+
+/// The backing bytes of one physical page (a *frame*'s contents).
+///
+/// Pages are heap-allocated boxed slices so that a frame table of `N` frames
+/// costs exactly `N * page_size` bytes plus small constant bookkeeping.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PageData {
+    bytes: Box<[u8]>,
+}
+
+impl PageData {
+    /// A fresh zero-filled page of `page_size` bytes.
+    pub fn zeroed(page_size: usize) -> Self {
+        PageData { bytes: vec![0u8; page_size].into_boxed_slice() }
+    }
+
+    /// Page contents, immutably.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Page contents, mutably. Callers outside the store go through
+    /// [`crate::PageStore::write`], which enforces COW; this is exposed for
+    /// the store itself and for tests.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// The page size this page was allocated with.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the page size is zero (never the case for store-allocated
+    /// pages; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// True when every byte is zero, i.e. indistinguishable from a
+    /// demand-zero page.
+    pub fn is_zero(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+}
+
+impl std::fmt::Debug for PageData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let nonzero = self.bytes.iter().filter(|&&b| b != 0).count();
+        write!(f, "PageData({} bytes, {} nonzero)", self.bytes.len(), nonzero)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_page_is_zero() {
+        let p = PageData::zeroed(64);
+        assert_eq!(p.len(), 64);
+        assert!(p.is_zero());
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn mutation_round_trips() {
+        let mut p = PageData::zeroed(16);
+        p.bytes_mut()[3] = 0xAB;
+        assert!(!p.is_zero());
+        assert_eq!(p.bytes()[3], 0xAB);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = PageData::zeroed(8);
+        a.bytes_mut()[0] = 1;
+        let b = a.clone();
+        a.bytes_mut()[0] = 2;
+        assert_eq!(b.bytes()[0], 1);
+        assert_eq!(a.bytes()[0], 2);
+    }
+
+    #[test]
+    fn debug_reports_nonzero_count() {
+        let mut p = PageData::zeroed(8);
+        p.bytes_mut()[1] = 9;
+        p.bytes_mut()[2] = 9;
+        assert_eq!(format!("{p:?}"), "PageData(8 bytes, 2 nonzero)");
+    }
+
+    #[test]
+    fn page_size_constants() {
+        assert_eq!(PAGE_SIZE_2K, 2048);
+        assert_eq!(PAGE_SIZE_4K, 4096);
+        assert_eq!(PAGE_SIZE_DEFAULT, PAGE_SIZE_4K);
+    }
+}

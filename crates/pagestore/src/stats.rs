@@ -1,0 +1,128 @@
+//! Fault/copy accounting.
+//!
+//! §3.4 of the paper phrases its measurements in these terms: page-copy
+//! service rate (pages/second), fork latency, and the *write fraction* —
+//! "the fraction of the pages in the address space which are written is the
+//! important independent variable for a program with a known address space
+//! size, using copy-on-write". The store keeps exact counters so benches and
+//! experiments can report the same quantities.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global (whole-store) counters. All counters are monotonic.
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub forks: AtomicU64,
+    pub adopts: AtomicU64,
+    pub cow_faults: AtomicU64,
+    pub bytes_copied: AtomicU64,
+    pub zero_fills: AtomicU64,
+    pub reads: AtomicU64,
+    pub writes: AtomicU64,
+    pub worlds_dropped: AtomicU64,
+}
+
+impl StatsInner {
+    pub(crate) fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            forks: self.forks.load(Ordering::Relaxed),
+            adopts: self.adopts.load(Ordering::Relaxed),
+            cow_faults: self.cow_faults.load(Ordering::Relaxed),
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
+            zero_fills: self.zero_fills.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            worlds_dropped: self.worlds_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of store-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Worlds created by `fork_world` (page-map inheritances).
+    pub forks: u64,
+    /// `adopt` commits performed (successful `alt_wait` rendezvous).
+    pub adopts: u64,
+    /// Copy-on-write faults taken (each copies exactly one page).
+    pub cow_faults: u64,
+    /// Bytes copied by COW faults.
+    pub bytes_copied: u64,
+    /// Demand-zero pages materialised by first writes.
+    pub zero_fills: u64,
+    /// Page read operations.
+    pub reads: u64,
+    /// Page write operations.
+    pub writes: u64,
+    /// Worlds dropped (eliminated siblings or adopted-away children).
+    pub worlds_dropped: u64,
+}
+
+impl StoreStats {
+    /// Difference of two snapshots (`later - earlier`), for measuring a
+    /// region of execution.
+    pub fn delta_since(&self, earlier: &StoreStats) -> StoreStats {
+        StoreStats {
+            forks: self.forks - earlier.forks,
+            adopts: self.adopts - earlier.adopts,
+            cow_faults: self.cow_faults - earlier.cow_faults,
+            bytes_copied: self.bytes_copied - earlier.bytes_copied,
+            zero_fills: self.zero_fills - earlier.zero_fills,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            worlds_dropped: self.worlds_dropped - earlier.worlds_dropped,
+        }
+    }
+}
+
+/// Per-world accounting, kept alongside each world's page map.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Pages this world copied via COW faults since it was forked.
+    pub pages_cowed: u64,
+    /// Demand-zero pages this world materialised.
+    pub pages_zero_filled: u64,
+    /// Pages inherited (shared) from the parent at fork time.
+    pub pages_inherited: u64,
+}
+
+impl WorldStats {
+    /// The paper's *write fraction*: pages privately (re)written over pages
+    /// inherited at fork. Returns `None` for a root world (nothing
+    /// inherited, the ratio is undefined).
+    pub fn write_fraction(&self) -> Option<f64> {
+        if self.pages_inherited == 0 {
+            None
+        } else {
+            Some(self.pages_cowed as f64 / self.pages_inherited as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let inner = StatsInner::default();
+        inner.forks.store(3, Ordering::Relaxed);
+        inner.bytes_copied.store(100, Ordering::Relaxed);
+        let a = inner.snapshot();
+        inner.forks.store(5, Ordering::Relaxed);
+        inner.bytes_copied.store(180, Ordering::Relaxed);
+        let b = inner.snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.forks, 2);
+        assert_eq!(d.bytes_copied, 80);
+        assert_eq!(d.adopts, 0);
+    }
+
+    #[test]
+    fn write_fraction_matches_paper_definition() {
+        let ws = WorldStats { pages_cowed: 2, pages_zero_filled: 0, pages_inherited: 10 };
+        assert_eq!(ws.write_fraction(), Some(0.2));
+        let root = WorldStats::default();
+        assert_eq!(root.write_fraction(), None);
+    }
+}

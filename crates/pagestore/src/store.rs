@@ -1,0 +1,684 @@
+//! The page store: worlds, COW faults, fork and adopt.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{PageStoreError, Result};
+use crate::frame::{FrameId, FrameTable};
+use crate::map::PageMap;
+use crate::page::{PageData, Vpn};
+use crate::stats::{StatsInner, StoreStats, WorldStats};
+
+/// Identifier of a world (a speculative address space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorldId(pub(crate) u64);
+
+impl WorldId {
+    /// Raw id, for diagnostics.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct World {
+    map: PageMap,
+    parent: Option<WorldId>,
+    stats: WorldStats,
+}
+
+#[derive(Debug)]
+struct Inner {
+    frames: FrameTable,
+    worlds: HashMap<u64, World>,
+    /// Parent at creation time for every world ever created. Survives world
+    /// drops so `adopt` can verify descent through eliminated intermediates.
+    lineage: HashMap<u64, Option<u64>>,
+    next_world: u64,
+}
+
+/// A thread-safe single-level store of fixed-size pages with copy-on-write
+/// world forking.
+///
+/// Cloning a `PageStore` is cheap: clones share the same underlying store
+/// (it is an `Arc` internally), so the thread executor can hand one to each
+/// alternative.
+#[derive(Clone)]
+pub struct PageStore {
+    inner: Arc<RwLock<Inner>>,
+    stats: Arc<StatsInner>,
+    page_size: usize,
+}
+
+impl std::fmt::Debug for PageStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("PageStore")
+            .field("page_size", &self.page_size)
+            .field("worlds", &inner.worlds.len())
+            .field("live_frames", &inner.frames.live_frames())
+            .finish()
+    }
+}
+
+impl PageStore {
+    /// A new, empty store with the given page size (bytes). Page size must
+    /// be nonzero; the paper's machines used 2 KiB (3B2) and 4 KiB (HP).
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be nonzero");
+        PageStore {
+            inner: Arc::new(RwLock::new(Inner {
+                frames: FrameTable::new(),
+                worlds: HashMap::new(),
+                lineage: HashMap::new(),
+                next_world: 1,
+            })),
+            stats: Arc::new(StatsInner::default()),
+            page_size,
+        }
+    }
+
+    /// The store's page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Create a fresh root world with an empty (all demand-zero) map.
+    pub fn create_world(&self) -> WorldId {
+        let mut inner = self.inner.write();
+        let id = WorldId(inner.next_world);
+        inner.next_world += 1;
+        inner.lineage.insert(id.0, None);
+        inner.worlds.insert(
+            id.0,
+            World { map: PageMap::new(), parent: None, stats: WorldStats::default() },
+        );
+        id
+    }
+
+    /// Fork `parent` into a new child world that shares every page
+    /// copy-on-write. Only the page map is copied (page-map inheritance,
+    /// §2.3); no page bytes move.
+    pub fn fork_world(&self, parent: WorldId) -> Result<WorldId> {
+        let mut inner = self.inner.write();
+        let (map, inherited) = {
+            let p = inner
+                .worlds
+                .get(&parent.0)
+                .ok_or(PageStoreError::NoSuchWorld(parent.0))?;
+            (p.map.clone(), p.map.mapped_pages() as u64)
+        };
+        for (_, frame) in map.iter() {
+            inner.frames.incref(frame);
+        }
+        let id = WorldId(inner.next_world);
+        inner.next_world += 1;
+        inner.lineage.insert(id.0, Some(parent.0));
+        inner.worlds.insert(
+            id.0,
+            World {
+                map,
+                parent: Some(parent),
+                stats: WorldStats { pages_inherited: inherited, ..WorldStats::default() },
+            },
+        );
+        self.stats.forks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Read `len` bytes at `offset` within page `vpn` of `world`. Unmapped
+    /// pages read as zeroes (demand-zero semantics).
+    pub fn read(&self, world: WorldId, vpn: Vpn, offset: usize, buf: &mut [u8]) -> Result<()> {
+        self.check_bounds(offset, buf.len())?;
+        let inner = self.inner.read();
+        let w = inner
+            .worlds
+            .get(&world.0)
+            .ok_or(PageStoreError::NoSuchWorld(world.0))?;
+        match w.map.get(vpn) {
+            Some(frame) => {
+                buf.copy_from_slice(&inner.frames.data(frame).bytes()[offset..offset + buf.len()]);
+            }
+            None => buf.fill(0),
+        }
+        self.stats.reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Convenience: read into a freshly allocated `Vec`.
+    pub fn read_vec(&self, world: WorldId, vpn: Vpn, offset: usize, len: usize) -> Result<Vec<u8>> {
+        let mut v = vec![0u8; len];
+        self.read(world, vpn, offset, &mut v)?;
+        Ok(v)
+    }
+
+    /// Write `data` at `offset` within page `vpn` of `world`, taking a COW
+    /// fault if the page is shared with any other world.
+    pub fn write(&self, world: WorldId, vpn: Vpn, offset: usize, data: &[u8]) -> Result<()> {
+        self.check_bounds(offset, data.len())?;
+        let mut inner = self.inner.write();
+        if !inner.worlds.contains_key(&world.0) {
+            return Err(PageStoreError::NoSuchWorld(world.0));
+        }
+        let frame = self.ensure_private_page(&mut inner, world, vpn);
+        inner.frames.data_mut(frame).bytes_mut()[offset..offset + data.len()]
+            .copy_from_slice(data);
+        self.stats.writes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Atomically replace `parent`'s page map with `child`'s and destroy the
+    /// child: the `alt_wait` commit. After `adopt`, reads in `parent` see
+    /// exactly what the child saw; the child id is gone. The child must be a
+    /// descendant of `parent` (transitively), mirroring the paper's
+    /// parent/child rendezvous.
+    pub fn adopt(&self, parent: WorldId, child: WorldId) -> Result<()> {
+        let mut inner = self.inner.write();
+        if !inner.worlds.contains_key(&parent.0) {
+            return Err(PageStoreError::NoSuchWorld(parent.0));
+        }
+        if !inner.worlds.contains_key(&child.0) {
+            return Err(PageStoreError::NoSuchWorld(child.0));
+        }
+        // Verify lineage: walk the child's parent chain up to `parent`,
+        // through intermediates even if they were already eliminated.
+        let mut cur = child.0;
+        let mut is_descendant = false;
+        while let Some(&Some(p)) = inner.lineage.get(&cur) {
+            if p == parent.0 {
+                is_descendant = true;
+                break;
+            }
+            cur = p;
+        }
+        if !is_descendant {
+            return Err(PageStoreError::NotAChild { parent: parent.0, child: child.0 });
+        }
+
+        // Remove the child world; its map (with its refcounts) transfers to
+        // the parent wholesale, so no refcount traffic is needed for it.
+        let child_world = inner.worlds.remove(&child.0).expect("checked above");
+        let old_map = {
+            let p = inner.worlds.get_mut(&parent.0).expect("checked above");
+            std::mem::replace(&mut p.map, child_world.map)
+        };
+        for (_, frame) in old_map.iter() {
+            inner.frames.decref(frame);
+        }
+        // Fold the child's copy accounting into the parent so write-fraction
+        // measurements survive the commit.
+        let p = inner.worlds.get_mut(&parent.0).expect("checked above");
+        p.stats.pages_cowed += child_world.stats.pages_cowed;
+        p.stats.pages_zero_filled += child_world.stats.pages_zero_filled;
+        self.stats.adopts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Destroy a world (sibling elimination). All of its map's references
+    /// are dropped; frames shared with survivors live on.
+    pub fn drop_world(&self, world: WorldId) -> Result<()> {
+        let mut inner = self.inner.write();
+        let w = inner
+            .worlds
+            .remove(&world.0)
+            .ok_or(PageStoreError::NoSuchWorld(world.0))?;
+        for (_, frame) in w.map.iter() {
+            inner.frames.decref(frame);
+        }
+        self.stats.worlds_dropped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Does this world currently exist?
+    pub fn world_exists(&self, world: WorldId) -> bool {
+        self.inner.read().worlds.contains_key(&world.0)
+    }
+
+    /// Number of live worlds.
+    pub fn world_count(&self) -> usize {
+        self.inner.read().worlds.len()
+    }
+
+    /// Number of live physical frames (for leak checks and memory
+    /// accounting: `live_frames * page_size` bytes of page data).
+    pub fn live_frames(&self) -> usize {
+        self.inner.read().frames.live_frames()
+    }
+
+    /// The VPNs currently mapped in `world`, ascending.
+    pub fn mapped_vpns(&self, world: WorldId) -> Result<Vec<Vpn>> {
+        let inner = self.inner.read();
+        inner
+            .worlds
+            .get(&world.0)
+            .map(|w| w.map.iter().map(|(v, _)| v).collect())
+            .ok_or(PageStoreError::NoSuchWorld(world.0))
+    }
+
+    /// Number of pages mapped in `world`.
+    pub fn mapped_pages(&self, world: WorldId) -> Result<usize> {
+        let inner = self.inner.read();
+        inner
+            .worlds
+            .get(&world.0)
+            .map(|w| w.map.mapped_pages())
+            .ok_or(PageStoreError::NoSuchWorld(world.0))
+    }
+
+    /// VPNs at which `a` and `b` differ (see [`PageMap::diff`]).
+    pub fn diff_worlds(&self, a: WorldId, b: WorldId) -> Result<Vec<Vpn>> {
+        let inner = self.inner.read();
+        let wa = inner.worlds.get(&a.0).ok_or(PageStoreError::NoSuchWorld(a.0))?;
+        let wb = inner.worlds.get(&b.0).ok_or(PageStoreError::NoSuchWorld(b.0))?;
+        Ok(wa.map.diff(&wb.map))
+    }
+
+    /// Frame-sharing histogram: `histogram[k]` = number of live frames
+    /// referenced by exactly `k+1` worlds. The paper's memory argument in
+    /// one structure: heavy sharing (mass at high `k`) is what makes
+    /// speculation affordable.
+    pub fn sharing_histogram(&self) -> Vec<usize> {
+        let inner = self.inner.read();
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for w in inner.worlds.values() {
+            for (_, frame) in w.map.iter() {
+                *counts.entry(frame.index()).or_insert(0) += 1;
+            }
+        }
+        let mut hist = Vec::new();
+        for (_, refs) in counts {
+            if hist.len() < refs {
+                hist.resize(refs, 0);
+            }
+            hist[refs - 1] += 1;
+        }
+        hist
+    }
+
+    /// Mean number of worlds referencing each live frame (1.0 = no
+    /// sharing at all; higher = more COW leverage).
+    pub fn sharing_factor(&self) -> f64 {
+        let hist = self.sharing_histogram();
+        let frames: usize = hist.iter().sum();
+        if frames == 0 {
+            return 1.0;
+        }
+        let refs: usize = hist.iter().enumerate().map(|(i, &n)| (i + 1) * n).sum();
+        refs as f64 / frames as f64
+    }
+
+    /// Store-wide counters snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.stats.snapshot()
+    }
+
+    /// Per-world counters snapshot.
+    pub fn world_stats(&self, world: WorldId) -> Result<WorldStats> {
+        let inner = self.inner.read();
+        inner
+            .worlds
+            .get(&world.0)
+            .map(|w| w.stats)
+            .ok_or(PageStoreError::NoSuchWorld(world.0))
+    }
+
+    /// Parent of `world`, if it was forked rather than created.
+    pub fn parent_of(&self, world: WorldId) -> Result<Option<WorldId>> {
+        let inner = self.inner.read();
+        inner
+            .worlds
+            .get(&world.0)
+            .map(|w| w.parent)
+            .ok_or(PageStoreError::NoSuchWorld(world.0))
+    }
+
+    fn check_bounds(&self, offset: usize, len: usize) -> Result<()> {
+        if offset.checked_add(len).is_none_or(|end| end > self.page_size) {
+            Err(PageStoreError::OutOfPageBounds { offset, len, page_size: self.page_size })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Make page `vpn` of `world` privately writable, taking a zero-fill or
+    /// COW fault as needed, and return its frame.
+    fn ensure_private_page(&self, inner: &mut Inner, world: WorldId, vpn: Vpn) -> FrameId {
+        use std::sync::atomic::Ordering::Relaxed;
+        let existing = inner.worlds[&world.0].map.get(vpn);
+        match existing {
+            None => {
+                // Demand-zero fill.
+                let frame = inner.frames.alloc(PageData::zeroed(self.page_size));
+                let w = inner.worlds.get_mut(&world.0).expect("world checked by caller");
+                w.map.insert(vpn, frame);
+                w.stats.pages_zero_filled += 1;
+                self.stats.zero_fills.fetch_add(1, Relaxed);
+                frame
+            }
+            Some(frame) if inner.frames.refs(frame) == 1 => frame, // already private
+            Some(shared) => {
+                // COW fault: copy one page, remap, drop one ref on the old.
+                let copy = inner.frames.data(shared).clone();
+                let new_frame = inner.frames.alloc(copy);
+                let w = inner.worlds.get_mut(&world.0).expect("world checked by caller");
+                w.map.insert(vpn, new_frame);
+                w.stats.pages_cowed += 1;
+                inner.frames.decref(shared);
+                self.stats.cow_faults.fetch_add(1, Relaxed);
+                self.stats.bytes_copied.fetch_add(self.page_size as u64, Relaxed);
+                new_frame
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PAGE_SIZE_DEFAULT;
+
+    fn store() -> PageStore {
+        PageStore::new(64)
+    }
+
+    #[test]
+    fn demand_zero_reads() {
+        let s = store();
+        let w = s.create_world();
+        assert_eq!(s.read_vec(w, 99, 0, 8).unwrap(), vec![0u8; 8]);
+        assert_eq!(s.mapped_pages(w).unwrap(), 0, "reads must not materialise pages");
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let s = store();
+        let w = s.create_world();
+        s.write(w, 3, 10, b"hello").unwrap();
+        assert_eq!(s.read_vec(w, 3, 10, 5).unwrap(), b"hello");
+        assert_eq!(s.mapped_pages(w).unwrap(), 1);
+        assert_eq!(s.stats().zero_fills, 1);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let s = store();
+        let w = s.create_world();
+        let err = s.write(w, 0, 60, b"too long").unwrap_err();
+        assert!(matches!(err, PageStoreError::OutOfPageBounds { .. }));
+        let mut buf = [0u8; 8];
+        let err = s.read(w, 0, 60, &mut buf).unwrap_err();
+        assert!(matches!(err, PageStoreError::OutOfPageBounds { .. }));
+    }
+
+    #[test]
+    fn offset_plus_len_overflow_rejected() {
+        let s = store();
+        let w = s.create_world();
+        let err = s.write(w, 0, usize::MAX, b"x").unwrap_err();
+        assert!(matches!(err, PageStoreError::OutOfPageBounds { .. }));
+    }
+
+    #[test]
+    fn fork_shares_pages_without_copying() {
+        let s = store();
+        let parent = s.create_world();
+        for vpn in 0..10 {
+            s.write(parent, vpn, 0, &[vpn as u8]).unwrap();
+        }
+        let before = s.stats();
+        let child = s.fork_world(parent).unwrap();
+        let after = s.stats();
+        assert_eq!(after.delta_since(&before).bytes_copied, 0, "fork must copy no page bytes");
+        assert_eq!(s.live_frames(), 10, "no new frames at fork");
+        for vpn in 0..10 {
+            assert_eq!(s.read_vec(child, vpn, 0, 1).unwrap(), vec![vpn as u8]);
+        }
+        assert_eq!(s.world_stats(child).unwrap().pages_inherited, 10);
+    }
+
+    #[test]
+    fn cow_fault_copies_exactly_one_page() {
+        let s = store();
+        let parent = s.create_world();
+        for vpn in 0..10 {
+            s.write(parent, vpn, 0, &[1]).unwrap();
+        }
+        let child = s.fork_world(parent).unwrap();
+        let before = s.stats();
+        s.write(child, 4, 0, &[2]).unwrap();
+        let d = s.stats().delta_since(&before);
+        assert_eq!(d.cow_faults, 1);
+        assert_eq!(d.bytes_copied, 64);
+        // Parent unchanged; child sees its write.
+        assert_eq!(s.read_vec(parent, 4, 0, 1).unwrap(), vec![1]);
+        assert_eq!(s.read_vec(child, 4, 0, 1).unwrap(), vec![2]);
+        assert_eq!(s.live_frames(), 11);
+    }
+
+    #[test]
+    fn second_write_to_private_page_takes_no_fault() {
+        let s = store();
+        let parent = s.create_world();
+        s.write(parent, 0, 0, &[1]).unwrap();
+        let child = s.fork_world(parent).unwrap();
+        s.write(child, 0, 0, &[2]).unwrap();
+        let before = s.stats();
+        s.write(child, 0, 1, &[3]).unwrap();
+        assert_eq!(s.stats().delta_since(&before).cow_faults, 0);
+    }
+
+    #[test]
+    fn parent_write_also_cows_when_shared() {
+        // COW is symmetric: if the *parent* writes a shared page first, the
+        // child must keep the pre-fork contents.
+        let s = store();
+        let parent = s.create_world();
+        s.write(parent, 0, 0, &[1]).unwrap();
+        let child = s.fork_world(parent).unwrap();
+        s.write(parent, 0, 0, &[9]).unwrap();
+        assert_eq!(s.read_vec(child, 0, 0, 1).unwrap(), vec![1]);
+        assert_eq!(s.read_vec(parent, 0, 0, 1).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn adopt_commits_child_state_atomically() {
+        let s = store();
+        let parent = s.create_world();
+        s.write(parent, 0, 0, b"AAAA").unwrap();
+        s.write(parent, 1, 0, b"BBBB").unwrap();
+        let child = s.fork_world(parent).unwrap();
+        s.write(child, 1, 0, b"CCCC").unwrap();
+        s.write(child, 2, 0, b"DDDD").unwrap();
+        s.adopt(parent, child).unwrap();
+        assert!(!s.world_exists(child));
+        assert_eq!(s.read_vec(parent, 0, 0, 4).unwrap(), b"AAAA");
+        assert_eq!(s.read_vec(parent, 1, 0, 4).unwrap(), b"CCCC");
+        assert_eq!(s.read_vec(parent, 2, 0, 4).unwrap(), b"DDDD");
+        assert_eq!(s.stats().adopts, 1);
+    }
+
+    #[test]
+    fn adopt_frees_replaced_frames() {
+        let s = store();
+        let parent = s.create_world();
+        s.write(parent, 0, 0, &[1]).unwrap();
+        let child = s.fork_world(parent).unwrap();
+        s.write(child, 0, 0, &[2]).unwrap(); // now 2 frames
+        assert_eq!(s.live_frames(), 2);
+        s.adopt(parent, child).unwrap();
+        assert_eq!(s.live_frames(), 1, "parent's old frame must be freed");
+    }
+
+    #[test]
+    fn adopt_accepts_grandchildren() {
+        let s = store();
+        let a = s.create_world();
+        let b = s.fork_world(a).unwrap();
+        let c = s.fork_world(b).unwrap();
+        s.write(c, 0, 0, &[7]).unwrap();
+        s.drop_world(b).unwrap();
+        s.adopt(a, c).unwrap();
+        assert_eq!(s.read_vec(a, 0, 0, 1).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn adopt_rejects_unrelated_worlds() {
+        let s = store();
+        let a = s.create_world();
+        let b = s.create_world();
+        let err = s.adopt(a, b).unwrap_err();
+        assert!(matches!(err, PageStoreError::NotAChild { .. }));
+        // Sibling is not a child either.
+        let p = s.create_world();
+        let c1 = s.fork_world(p).unwrap();
+        let c2 = s.fork_world(p).unwrap();
+        assert!(matches!(s.adopt(c1, c2), Err(PageStoreError::NotAChild { .. })));
+    }
+
+    #[test]
+    fn drop_world_releases_private_frames_only() {
+        let s = store();
+        let parent = s.create_world();
+        s.write(parent, 0, 0, &[1]).unwrap();
+        let child = s.fork_world(parent).unwrap();
+        s.write(child, 1, 0, &[2]).unwrap();
+        assert_eq!(s.live_frames(), 2);
+        s.drop_world(child).unwrap();
+        assert_eq!(s.live_frames(), 1, "shared frame survives, private frame freed");
+        assert_eq!(s.read_vec(parent, 0, 0, 1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn operations_on_dead_world_fail() {
+        let s = store();
+        let w = s.create_world();
+        s.drop_world(w).unwrap();
+        assert!(matches!(s.write(w, 0, 0, &[1]), Err(PageStoreError::NoSuchWorld(_))));
+        assert!(matches!(s.read_vec(w, 0, 0, 1), Err(PageStoreError::NoSuchWorld(_))));
+        assert!(matches!(s.drop_world(w), Err(PageStoreError::NoSuchWorld(_))));
+        assert!(matches!(s.fork_world(w), Err(PageStoreError::NoSuchWorld(_))));
+    }
+
+    #[test]
+    fn write_fraction_accounting() {
+        let s = store();
+        let parent = s.create_world();
+        for vpn in 0..10 {
+            s.write(parent, vpn, 0, &[1]).unwrap();
+        }
+        let child = s.fork_world(parent).unwrap();
+        for vpn in 0..3 {
+            s.write(child, vpn, 0, &[2]).unwrap();
+        }
+        let ws = s.world_stats(child).unwrap();
+        assert_eq!(ws.write_fraction(), Some(0.3));
+    }
+
+    #[test]
+    fn diff_worlds_reports_divergence() {
+        let s = store();
+        let parent = s.create_world();
+        s.write(parent, 0, 0, &[1]).unwrap();
+        s.write(parent, 1, 0, &[1]).unwrap();
+        let child = s.fork_world(parent).unwrap();
+        s.write(child, 1, 0, &[2]).unwrap();
+        s.write(child, 5, 0, &[2]).unwrap();
+        assert_eq!(s.diff_worlds(parent, child).unwrap(), vec![1, 5]);
+    }
+
+    #[test]
+    fn many_sibling_worlds_share_state() {
+        let s = store();
+        let parent = s.create_world();
+        for vpn in 0..8 {
+            s.write(parent, vpn, 0, &[0xEE]).unwrap();
+        }
+        let kids: Vec<_> = (0..16).map(|_| s.fork_world(parent).unwrap()).collect();
+        assert_eq!(s.live_frames(), 8, "16 forks, zero page copies");
+        for (i, &k) in kids.iter().enumerate() {
+            s.write(k, 0, 0, &[i as u8]).unwrap();
+        }
+        assert_eq!(s.live_frames(), 8 + 16);
+        // Eliminate all siblings.
+        for &k in &kids {
+            s.drop_world(k).unwrap();
+        }
+        assert_eq!(s.live_frames(), 8);
+        assert_eq!(s.stats().worlds_dropped, 16);
+    }
+
+    #[test]
+    fn default_page_size_store() {
+        let s = PageStore::new(PAGE_SIZE_DEFAULT);
+        assert_eq!(s.page_size(), 4096);
+        let w = s.create_world();
+        s.write(w, 0, 4090, &[1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(s.read_vec(w, 0, 4090, 6).unwrap(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn parent_of_tracks_lineage() {
+        let s = store();
+        let a = s.create_world();
+        let b = s.fork_world(a).unwrap();
+        assert_eq!(s.parent_of(a).unwrap(), None);
+        assert_eq!(s.parent_of(b).unwrap(), Some(a));
+    }
+
+    #[test]
+    fn sharing_histogram_reflects_cow_structure() {
+        let s = store();
+        let parent = s.create_world();
+        for vpn in 0..4 {
+            s.write(parent, vpn, 0, &[1]).unwrap();
+        }
+        assert_eq!(s.sharing_histogram(), vec![4], "4 frames, each singly referenced");
+        assert_eq!(s.sharing_factor(), 1.0);
+
+        let c1 = s.fork_world(parent).unwrap();
+        let _c2 = s.fork_world(parent).unwrap();
+        // All 4 frames now shared by 3 worlds.
+        assert_eq!(s.sharing_histogram(), vec![0, 0, 4]);
+        assert_eq!(s.sharing_factor(), 3.0);
+
+        s.write(c1, 0, 0, &[2]).unwrap();
+        // Frame 0 split: one private (c1) + one shared by 2 (parent, c2);
+        // frames 1..3 still shared by 3.
+        let h = s.sharing_histogram();
+        assert_eq!(h, vec![1, 1, 3]);
+        assert!(s.sharing_factor() > 2.0 && s.sharing_factor() < 3.0);
+    }
+
+    #[test]
+    fn concurrent_children_do_not_interfere() {
+        use std::thread;
+        let s = PageStore::new(256);
+        let parent = s.create_world();
+        for vpn in 0..32 {
+            s.write(parent, vpn, 0, &[0xFF]).unwrap();
+        }
+        let kids: Vec<_> = (0..4).map(|_| s.fork_world(parent).unwrap()).collect();
+        let handles: Vec<_> = kids
+            .iter()
+            .map(|&k| {
+                let s = s.clone();
+                thread::spawn(move || {
+                    for vpn in 0..32u64 {
+                        s.write(k, vpn, 0, &[k.raw() as u8]).unwrap();
+                        let got = s.read_vec(k, vpn, 0, 1).unwrap();
+                        assert_eq!(got, vec![k.raw() as u8]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Parent still sees pre-fork bytes everywhere.
+        for vpn in 0..32 {
+            assert_eq!(s.read_vec(parent, vpn, 0, 1).unwrap(), vec![0xFF]);
+        }
+    }
+}

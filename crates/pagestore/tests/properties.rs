@@ -1,0 +1,184 @@
+//! Property-based tests for the COW page store.
+//!
+//! These check the invariants the Multiple Worlds mechanism rests on:
+//! isolation (a child's writes are invisible outside it), commit atomicity
+//! (after `adopt` the parent sees exactly the child's view) and resource
+//! balance (frames never leak across arbitrary fork/write/drop interleavings).
+
+use proptest::prelude::*;
+use worlds_pagestore::{PageStore, WorldId};
+
+const PAGE: usize = 32;
+
+/// A randomly generated store operation over a bounded set of worlds/pages.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { world: usize, vpn: u64, byte: u8 },
+    Fork { parent: usize },
+    Drop { world: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..8, 0u64..16, any::<u8>()).prop_map(|(world, vpn, byte)| Op::Write {
+            world,
+            vpn,
+            byte
+        }),
+        (0usize..8).prop_map(|parent| Op::Fork { parent }),
+        (0usize..8).prop_map(|world| Op::Drop { world }),
+    ]
+}
+
+/// A shadow model: each world is a plain map vpn -> byte. If the store and
+/// the shadow ever disagree, COW sharing has leaked a write between worlds.
+#[derive(Default, Clone)]
+struct Shadow {
+    worlds: Vec<Option<std::collections::BTreeMap<u64, u8>>>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Writes in any world never become visible in any other live world.
+    #[test]
+    fn isolation_against_shadow_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let store = PageStore::new(PAGE);
+        let mut ids: Vec<Option<WorldId>> = vec![Some(store.create_world())];
+        let mut shadow = Shadow::default();
+        shadow.worlds.push(Some(Default::default()));
+
+        for op in ops {
+            match op {
+                Op::Write { world, vpn, byte } => {
+                    let slot = world % ids.len();
+                    if let Some(w) = ids[slot] {
+                        store.write(w, vpn, 0, &[byte]).unwrap();
+                        shadow.worlds[slot].as_mut().unwrap().insert(vpn, byte);
+                    }
+                }
+                Op::Fork { parent } => {
+                    if ids.len() >= 8 { continue; }
+                    let slot = parent % ids.len();
+                    if let Some(p) = ids[slot] {
+                        let c = store.fork_world(p).unwrap();
+                        ids.push(Some(c));
+                        let cloned = shadow.worlds[slot].clone();
+                        shadow.worlds.push(cloned);
+                    }
+                }
+                Op::Drop { world } => {
+                    let slot = world % ids.len();
+                    // Never drop slot 0 so at least one world survives.
+                    if slot != 0 {
+                        if let Some(w) = ids[slot].take() {
+                            store.drop_world(w).unwrap();
+                            shadow.worlds[slot] = None;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Every live world agrees with its shadow on every page it wrote,
+        // and reads zero where the shadow has no entry.
+        for (slot, id) in ids.iter().enumerate() {
+            if let Some(w) = id {
+                let model = shadow.worlds[slot].as_ref().unwrap();
+                for vpn in 0..16u64 {
+                    let got = store.read_vec(*w, vpn, 0, 1).unwrap()[0];
+                    let want = model.get(&vpn).copied().unwrap_or(0);
+                    prop_assert_eq!(got, want, "world slot {} page {}", slot, vpn);
+                }
+            }
+        }
+    }
+
+    /// Dropping every world frees every frame: no leaks, no double frees.
+    #[test]
+    fn frames_never_leak(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let store = PageStore::new(PAGE);
+        let mut ids: Vec<Option<WorldId>> = vec![Some(store.create_world())];
+        for op in ops {
+            match op {
+                Op::Write { world, vpn, byte } => {
+                    let slot = world % ids.len();
+                    if let Some(w) = ids[slot] {
+                        store.write(w, vpn, 0, &[byte]).unwrap();
+                    }
+                }
+                Op::Fork { parent } => {
+                    if ids.len() >= 8 { continue; }
+                    let slot = parent % ids.len();
+                    if let Some(p) = ids[slot] {
+                        ids.push(Some(store.fork_world(p).unwrap()));
+                    }
+                }
+                Op::Drop { world } => {
+                    let slot = world % ids.len();
+                    if let Some(w) = ids[slot].take() {
+                        store.drop_world(w).unwrap();
+                    }
+                }
+            }
+        }
+        for id in ids.iter().flatten() {
+            store.drop_world(*id).unwrap();
+        }
+        prop_assert_eq!(store.live_frames(), 0);
+        prop_assert_eq!(store.world_count(), 0);
+    }
+
+    /// adopt(parent, child) makes the parent's view byte-identical to the
+    /// child's pre-commit view.
+    #[test]
+    fn adopt_is_exact(
+        parent_pages in proptest::collection::btree_map(0u64..12, any::<u8>(), 0..10),
+        child_pages in proptest::collection::btree_map(0u64..12, any::<u8>(), 0..10),
+    ) {
+        let store = PageStore::new(PAGE);
+        let parent = store.create_world();
+        for (&vpn, &b) in &parent_pages {
+            store.write(parent, vpn, 0, &[b]).unwrap();
+        }
+        let child = store.fork_world(parent).unwrap();
+        for (&vpn, &b) in &child_pages {
+            store.write(child, vpn, 0, &[b]).unwrap();
+        }
+        // Record the child's full view, then commit.
+        let mut expected = Vec::new();
+        for vpn in 0..12u64 {
+            expected.push(store.read_vec(child, vpn, 0, 1).unwrap()[0]);
+        }
+        store.adopt(parent, child).unwrap();
+        for vpn in 0..12u64 {
+            prop_assert_eq!(store.read_vec(parent, vpn, 0, 1).unwrap()[0], expected[vpn as usize]);
+        }
+    }
+
+    /// The write fraction reported for a child equals distinct pages written
+    /// over pages inherited.
+    #[test]
+    fn write_fraction_is_distinct_pages_over_inherited(
+        inherited in 1u64..20,
+        writes in proptest::collection::vec(0u64..20, 0..40),
+    ) {
+        let store = PageStore::new(PAGE);
+        let parent = store.create_world();
+        for vpn in 0..inherited {
+            store.write(parent, vpn, 0, &[1]).unwrap();
+        }
+        let child = store.fork_world(parent).unwrap();
+        let mut touched = std::collections::BTreeSet::new();
+        for vpn in writes {
+            let vpn = vpn % inherited; // only write inherited pages
+            store.write(child, vpn, 0, &[2]).unwrap();
+            touched.insert(vpn);
+        }
+        let ws = store.world_stats(child).unwrap();
+        prop_assert_eq!(ws.pages_inherited, inherited);
+        prop_assert_eq!(ws.pages_cowed, touched.len() as u64);
+        let expect = touched.len() as f64 / inherited as f64;
+        prop_assert!((ws.write_fraction().unwrap() - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Accumulated problem knowledge.
+//!
+//! "As different methods are tried and fail, information about the
+//! problem is built up ... (for example, discovering multiple zeros in a
+//! failing root-finder may be useful to the next solution method)."
+
+use std::collections::BTreeMap;
+
+/// Facts learned about a problem: named numeric observations plus a
+/// failure log. Methods read it before attempting and extend it when they
+/// fail.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Knowledge {
+    facts: BTreeMap<String, f64>,
+    failures: Vec<String>,
+}
+
+impl Knowledge {
+    /// Empty knowledge (a fresh problem).
+    pub fn new() -> Knowledge {
+        Knowledge::default()
+    }
+
+    /// Record a numeric fact (e.g. `"bracket_lo"`, `"last_iterate"`).
+    pub fn learn(&mut self, key: impl Into<String>, value: f64) {
+        self.facts.insert(key.into(), value);
+    }
+
+    /// Look up a fact.
+    pub fn fact(&self, key: &str) -> Option<f64> {
+        self.facts.get(key).copied()
+    }
+
+    /// Record that a method failed, with its diagnostic.
+    pub fn record_failure(&mut self, method: &str, why: &str) {
+        self.failures.push(format!("{method}: {why}"));
+    }
+
+    /// Methods that have failed so far.
+    pub fn failures(&self) -> &[String] {
+        &self.failures
+    }
+
+    /// Number of facts known.
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Has the named method already failed on this problem?
+    pub fn has_failed(&self, method: &str) -> bool {
+        self.failures.iter().any(|f| f.starts_with(method))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_round_trip() {
+        let mut k = Knowledge::new();
+        assert_eq!(k.fact("x"), None);
+        k.learn("x", 2.5);
+        k.learn("x", 3.5); // overwrite
+        assert_eq!(k.fact("x"), Some(3.5));
+        assert_eq!(k.fact_count(), 1);
+    }
+
+    #[test]
+    fn failures_accumulate_in_order() {
+        let mut k = Knowledge::new();
+        k.record_failure("newton", "diverged");
+        k.record_failure("secant", "flat");
+        assert_eq!(k.failures().len(), 2);
+        assert!(k.failures()[0].contains("diverged"));
+        assert!(k.has_failed("newton"));
+        assert!(!k.has_failed("bisection"));
+    }
+}

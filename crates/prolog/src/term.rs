@@ -1,0 +1,172 @@
+//! Prolog terms.
+
+use std::fmt;
+
+/// A Horn-clause term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A constant symbol: `tom`, `nil`.
+    Atom(String),
+    /// A logic variable: `X`, `Who`. Internally-generated fresh variables
+    /// are named `_G<n>`.
+    Var(String),
+    /// An integer constant.
+    Int(i64),
+    /// A functor with arguments: `parent(tom, X)`, `cons(H, T)`.
+    Compound(String, Vec<Term>),
+}
+
+impl Term {
+    /// Convenience constructor for an atom.
+    pub fn atom(name: &str) -> Term {
+        Term::Atom(name.to_string())
+    }
+
+    /// Convenience constructor for a variable.
+    pub fn var(name: &str) -> Term {
+        Term::Var(name.to_string())
+    }
+
+    /// Convenience constructor for a compound term.
+    pub fn compound(functor: &str, args: Vec<Term>) -> Term {
+        Term::Compound(functor.to_string(), args)
+    }
+
+    /// Build a proper list term from elements (`.`/2 chains ending in
+    /// `[]`, the classical representation).
+    pub fn list(items: Vec<Term>) -> Term {
+        let mut t = Term::atom("[]");
+        for item in items.into_iter().rev() {
+            t = Term::Compound(".".into(), vec![item, t]);
+        }
+        t
+    }
+
+    /// Functor name and arity, treating atoms as arity-0 functors.
+    pub fn functor(&self) -> Option<(&str, usize)> {
+        match self {
+            Term::Atom(a) => Some((a, 0)),
+            Term::Compound(f, args) => Some((f, args.len())),
+            _ => None,
+        }
+    }
+
+    /// Collect all variable names in this term, in first-occurrence order.
+    pub fn vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Term::Var(v)
+                if !out.contains(v) => {
+                    out.push(v.clone());
+                }
+            Term::Compound(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Rename every variable `V` to `V#<suffix>` — used to freshen clause
+    /// copies before resolution.
+    pub fn rename(&self, suffix: u64) -> Term {
+        match self {
+            Term::Var(v) => Term::Var(format!("{v}#{suffix}")),
+            Term::Compound(f, args) => {
+                Term::Compound(f.clone(), args.iter().map(|a| a.rename(suffix)).collect())
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Atom(a) => write!(f, "{a}"),
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Int(i) => write!(f, "{i}"),
+            Term::Compound(functor, args) if functor == "." && args.len() == 2 => {
+                // List pretty-printing.
+                write!(f, "[")?;
+                let mut head = &args[0];
+                let mut tail = &args[1];
+                loop {
+                    write!(f, "{head}")?;
+                    match tail {
+                        Term::Atom(a) if a == "[]" => break,
+                        Term::Compound(c, next) if c == "." && next.len() == 2 => {
+                            write!(f, ",")?;
+                            head = &next[0];
+                            tail = &next[1];
+                        }
+                        other => {
+                            write!(f, "|{other}")?;
+                            break;
+                        }
+                    }
+                }
+                write!(f, "]")
+            }
+            Term::Compound(functor, args) => {
+                write!(f, "{functor}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_functor() {
+        let t = Term::compound("parent", vec![Term::atom("tom"), Term::var("X")]);
+        assert_eq!(t.functor(), Some(("parent", 2)));
+        assert_eq!(Term::atom("a").functor(), Some(("a", 0)));
+        assert_eq!(Term::var("X").functor(), None);
+        assert_eq!(Term::Int(3).functor(), None);
+    }
+
+    #[test]
+    fn vars_in_order_without_duplicates() {
+        let t = Term::compound("f", vec![Term::var("X"), Term::compound("g", vec![Term::var("Y"), Term::var("X")])]);
+        assert_eq!(t.vars(), vec!["X".to_string(), "Y".to_string()]);
+    }
+
+    #[test]
+    fn rename_freshens_all_vars() {
+        let t = Term::compound("f", vec![Term::var("X"), Term::atom("a")]);
+        let r = t.rename(7);
+        assert_eq!(r, Term::compound("f", vec![Term::var("X#7"), Term::atom("a")]));
+    }
+
+    #[test]
+    fn list_display() {
+        let l = Term::list(vec![Term::Int(1), Term::Int(2), Term::Int(3)]);
+        assert_eq!(l.to_string(), "[1,2,3]");
+        assert_eq!(Term::list(vec![]).to_string(), "[]");
+        // Improper list tail.
+        let improper = Term::Compound(".".into(), vec![Term::Int(1), Term::var("T")]);
+        assert_eq!(improper.to_string(), "[1|T]");
+    }
+
+    #[test]
+    fn compound_display() {
+        let t = Term::compound("parent", vec![Term::atom("tom"), Term::var("X")]);
+        assert_eq!(t.to_string(), "parent(tom,X)");
+    }
+}

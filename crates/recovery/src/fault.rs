@@ -1,0 +1,140 @@
+//! Scriptable fault injection.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A fault plan decides, per invocation, whether the guarded computation
+/// "fails" (produces a value the acceptance test must reject, or errors
+/// outright). Plans are cheap to clone and thread-safe — parallel
+/// alternates consult the same plan.
+#[derive(Debug, Clone)]
+pub enum FaultPlan {
+    /// Never fail.
+    None,
+    /// Fail invocations whose zero-based global sequence number is in the
+    /// list (deterministic scripting: "the primary fails the first two
+    /// times").
+    OnInvocations {
+        /// Which invocation numbers fail.
+        numbers: Arc<Vec<u64>>,
+        /// Shared invocation counter.
+        counter: Arc<AtomicU64>,
+    },
+    /// Fail with fixed probability, driven by a cheap deterministic hash
+    /// of the invocation counter and a seed (reproducible pseudo-randomness
+    /// without threading an RNG through alternates).
+    Probabilistic {
+        /// Failure probability in `[0, 1]`.
+        p: f64,
+        /// Seed for the hash.
+        seed: u64,
+        /// Shared invocation counter.
+        counter: Arc<AtomicU64>,
+    },
+}
+
+impl FaultPlan {
+    /// A plan that never fails.
+    pub fn none() -> FaultPlan {
+        FaultPlan::None
+    }
+
+    /// Fail exactly the given invocation numbers (0-based, global across
+    /// clones of this plan).
+    pub fn on_invocations(numbers: impl Into<Vec<u64>>) -> FaultPlan {
+        FaultPlan::OnInvocations {
+            numbers: Arc::new(numbers.into()),
+            counter: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Fail each invocation independently with probability `p`.
+    pub fn probabilistic(p: f64, seed: u64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        FaultPlan::Probabilistic { p, seed, counter: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Consume one invocation slot and report whether it faults.
+    pub fn next_faults(&self) -> bool {
+        match self {
+            FaultPlan::None => false,
+            FaultPlan::OnInvocations { numbers, counter } => {
+                let n = counter.fetch_add(1, Ordering::Relaxed);
+                numbers.contains(&n)
+            }
+            FaultPlan::Probabilistic { p, seed, counter } => {
+                let n = counter.fetch_add(1, Ordering::Relaxed);
+                // SplitMix64 step: decorrelates consecutive invocations.
+                let mut z = n.wrapping_add(*seed).wrapping_add(0x9E3779B97F4A7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                (z as f64 / u64::MAX as f64) < *p
+            }
+        }
+    }
+
+    /// Invocations consumed so far (0 for [`FaultPlan::None`]).
+    pub fn invocations(&self) -> u64 {
+        match self {
+            FaultPlan::None => 0,
+            FaultPlan::OnInvocations { counter, .. }
+            | FaultPlan::Probabilistic { counter, .. } => counter.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_faults() {
+        let p = FaultPlan::none();
+        for _ in 0..10 {
+            assert!(!p.next_faults());
+        }
+        assert_eq!(p.invocations(), 0);
+    }
+
+    #[test]
+    fn scripted_invocations_fault_exactly() {
+        let p = FaultPlan::on_invocations(vec![0, 2]);
+        assert!(p.next_faults()); // 0
+        assert!(!p.next_faults()); // 1
+        assert!(p.next_faults()); // 2
+        assert!(!p.next_faults()); // 3
+        assert_eq!(p.invocations(), 4);
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let p = FaultPlan::on_invocations(vec![1]);
+        let q = p.clone();
+        assert!(!p.next_faults()); // 0 via p
+        assert!(q.next_faults()); // 1 via q — shared sequence
+    }
+
+    #[test]
+    fn probabilistic_rate_is_roughly_right() {
+        let p = FaultPlan::probabilistic(0.3, 99);
+        let faults = (0..10_000).filter(|_| p.next_faults()).count();
+        let rate = faults as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn probabilistic_is_reproducible() {
+        let a = FaultPlan::probabilistic(0.5, 7);
+        let b = FaultPlan::probabilistic(0.5, 7);
+        let seq_a: Vec<bool> = (0..32).map(|_| a.next_faults()).collect();
+        let seq_b: Vec<bool> = (0..32).map(|_| b.next_faults()).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_rejected() {
+        let _ = FaultPlan::probabilistic(1.5, 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Nodes and remote forking.
+
+use worlds_kernel::VirtualTime;
+use worlds_pagestore::{checkpoint, restore, PageStore, WorldId};
+
+use crate::net::NetModel;
+
+/// Identifier of a node in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// One machine: an independent page store plus accounting.
+#[derive(Debug)]
+pub struct Node {
+    /// The node's id.
+    pub id: NodeId,
+    store: PageStore,
+    bytes_received: u64,
+    bytes_sent: u64,
+}
+
+impl Node {
+    fn new(id: NodeId, page_size: usize) -> Node {
+        Node { id, store: PageStore::new(page_size), bytes_received: 0, bytes_sent: 0 }
+    }
+
+    /// The node's local page store.
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// Total bytes this node has received over the network.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+
+    /// Total bytes this node has sent.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+}
+
+/// A world living on a remote node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteWorld {
+    /// Which node holds it.
+    pub node: NodeId,
+    /// The world id within that node's store.
+    pub world: WorldId,
+}
+
+/// A set of nodes joined by a modelled network. Node 0 is the *origin*
+/// (where the parent process lives).
+#[derive(Debug)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    net: NetModel,
+    page_size: usize,
+}
+
+impl Cluster {
+    /// Build a cluster of `n ≥ 1` nodes with the given page size and
+    /// network model.
+    pub fn new(n: usize, page_size: usize, net: NetModel) -> Cluster {
+        assert!(n >= 1, "a cluster needs at least the origin node");
+        Cluster {
+            nodes: (0..n).map(|i| Node::new(NodeId(i), page_size)).collect(),
+            net,
+            page_size,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the origin exists.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The network model.
+    pub fn net(&self) -> &NetModel {
+        &self.net
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// The origin node (node 0).
+    pub fn origin(&self) -> &Node {
+        &self.nodes[0]
+    }
+
+    /// Create a fresh world on a node.
+    pub fn create_world(&mut self, node: NodeId) -> RemoteWorld {
+        let world = self.nodes[node.0].store.create_world();
+        RemoteWorld { node, world }
+    }
+
+    /// `rfork()`: replicate `src` onto node `dst` by checkpoint/restore —
+    /// the paper's construction. Returns the new remote world plus the
+    /// virtual time the checkpoint transfer cost (the ≈ 1 s of §3.4 for a
+    /// 70 KB process on the 1989 LAN).
+    pub fn rfork(
+        &mut self,
+        src: RemoteWorld,
+        dst: NodeId,
+    ) -> Result<(RemoteWorld, VirtualTime), worlds_pagestore::PageStoreError> {
+        if src.node == dst {
+            // Same node: a local COW fork, no network traffic.
+            let world = self.nodes[src.node.0].store.fork_world(src.world)?;
+            return Ok((RemoteWorld { node: dst, world }, VirtualTime::ZERO));
+        }
+        let image = checkpoint(&self.nodes[src.node.0].store, src.world)?;
+        let cost = self.net.transfer_time(image.len());
+        self.nodes[src.node.0].bytes_sent += image.len() as u64;
+        self.nodes[dst.0].bytes_received += image.len() as u64;
+        let world = restore(&self.nodes[dst.0].store, &image)?;
+        Ok((RemoteWorld { node: dst, world }, cost))
+    }
+
+    /// Ship only the pages of `child` that differ from `base` back to the
+    /// origin-side `base` world and commit them — "there is more copying
+    /// to be performed during synchronization, as the changed state is
+    /// updated in the parent's storage" (§3.1). Returns the virtual time
+    /// the diff transfer cost and the number of pages moved.
+    pub fn commit_back(
+        &mut self,
+        base: RemoteWorld,
+        child: RemoteWorld,
+    ) -> Result<(VirtualTime, usize), worlds_pagestore::PageStoreError> {
+        if child.node == base.node {
+            // Local child: the ordinary atomic adoption.
+            self.nodes[base.node.0].store.adopt(base.world, child.world)?;
+            return Ok((VirtualTime::ZERO, 0));
+        }
+        // Compute the dirty set on the child's node: pages whose bytes
+        // differ from the base world's view. (The base was replicated from
+        // `base`, so comparing contents is exact.)
+        let child_store = &self.nodes[child.node.0].store;
+        let base_store = &self.nodes[base.node.0].store;
+        let mut moved = Vec::new();
+        let mut cbuf = vec![0u8; self.page_size];
+        let mut bbuf = vec![0u8; self.page_size];
+        for vpn in child_store.mapped_vpns(child.world)? {
+            child_store.read(child.world, vpn, 0, &mut cbuf)?;
+            base_store.read(base.world, vpn, 0, &mut bbuf)?;
+            if cbuf != bbuf {
+                moved.push((vpn, cbuf.clone()));
+            }
+        }
+        let bytes: usize = moved.len() * (8 + self.page_size);
+        let cost = self.net.transfer_time(bytes);
+        self.nodes[child.node.0].bytes_sent += bytes as u64;
+        self.nodes[base.node.0].bytes_received += bytes as u64;
+        let n = moved.len();
+        for (vpn, data) in moved {
+            self.nodes[base.node.0].store.write(base.world, vpn, 0, &data)?;
+        }
+        // The remote replica is done with.
+        self.nodes[child.node.0].store.drop_world(child.world)?;
+        Ok((cost, n))
+    }
+
+    /// Discard a remote world (sibling elimination on another node).
+    pub fn discard(&mut self, w: RemoteWorld) -> Result<(), worlds_pagestore::PageStoreError> {
+        self.nodes[w.node.0].store.drop_world(w.world)
+    }
+
+    /// Read from a remote world (test/diagnostic path; charged no time).
+    pub fn read(
+        &self,
+        w: RemoteWorld,
+        vpn: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, worlds_pagestore::PageStoreError> {
+        self.nodes[w.node.0].store.read_vec(w.world, vpn, 0, len)
+    }
+
+    /// Write into a remote world (the remote child computing locally).
+    pub fn write(
+        &self,
+        w: RemoteWorld,
+        vpn: u64,
+        data: &[u8],
+    ) -> Result<(), worlds_pagestore::PageStoreError> {
+        self.nodes[w.node.0].store.write(w.world, vpn, 0, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(n, 4096, NetModel::lan_1989())
+    }
+
+    #[test]
+    fn rfork_replicates_state_across_nodes() {
+        let mut c = cluster(2);
+        let origin = c.create_world(NodeId(0));
+        c.write(origin, 0, b"hello remote").unwrap();
+        let (replica, cost) = c.rfork(origin, NodeId(1)).unwrap();
+        assert_eq!(replica.node, NodeId(1));
+        assert_eq!(c.read(replica, 0, 12).unwrap(), b"hello remote");
+        assert!(cost > VirtualTime::ZERO, "cross-node rfork costs network time");
+        // Accounting.
+        assert!(c.node(NodeId(1)).bytes_received() > 0);
+        assert_eq!(c.node(NodeId(0)).bytes_sent(), c.node(NodeId(1)).bytes_received());
+    }
+
+    #[test]
+    fn rfork_of_70kb_process_costs_about_a_second() {
+        let mut c = cluster(2);
+        let origin = c.create_world(NodeId(0));
+        for vpn in 0..18 {
+            c.write(origin, vpn, &[1u8; 4096]).unwrap(); // ≈ 72 KB
+        }
+        let (_, cost) = c.rfork(origin, NodeId(1)).unwrap();
+        assert!(
+            (0.8..1.3).contains(&cost.as_secs()),
+            "paper: ~1 s for a 70 KB rfork; got {cost}"
+        );
+    }
+
+    #[test]
+    fn same_node_rfork_is_free_cow() {
+        let mut c = cluster(2);
+        let origin = c.create_world(NodeId(0));
+        c.write(origin, 0, &[1]).unwrap();
+        let (child, cost) = c.rfork(origin, NodeId(0)).unwrap();
+        assert_eq!(cost, VirtualTime::ZERO);
+        assert_eq!(c.read(child, 0, 1).unwrap(), vec![1]);
+        assert_eq!(c.origin().bytes_sent(), 0);
+    }
+
+    #[test]
+    fn remote_writes_stay_remote_until_commit() {
+        let mut c = cluster(2);
+        let origin = c.create_world(NodeId(0));
+        c.write(origin, 0, b"base").unwrap();
+        let (replica, _) = c.rfork(origin, NodeId(1)).unwrap();
+        c.write(replica, 0, b"edit").unwrap();
+        assert_eq!(c.read(origin, 0, 4).unwrap(), b"base");
+        let (cost, pages) = c.commit_back(origin, replica).unwrap();
+        assert_eq!(c.read(origin, 0, 4).unwrap(), b"edit");
+        assert_eq!(pages, 1, "only the dirty page travels");
+        assert!(cost > VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn commit_back_moves_only_dirty_pages() {
+        let mut c = cluster(2);
+        let origin = c.create_world(NodeId(0));
+        for vpn in 0..20 {
+            c.write(origin, vpn, &[7u8; 64]).unwrap();
+        }
+        let (replica, _) = c.rfork(origin, NodeId(1)).unwrap();
+        let sent_before = c.node(NodeId(1)).bytes_sent();
+        // Touch 3 pages.
+        for vpn in 0..3 {
+            c.write(replica, vpn, &[9u8; 64]).unwrap();
+        }
+        let (_, pages) = c.commit_back(origin, replica).unwrap();
+        assert_eq!(pages, 3);
+        let sent = c.node(NodeId(1)).bytes_sent() - sent_before;
+        assert_eq!(sent, 3 * (8 + 4096) as u64, "3 page records, not 20");
+    }
+
+    #[test]
+    fn rewrite_of_identical_bytes_is_not_dirty() {
+        // The diff is content-based: a write that restores the original
+        // bytes ships nothing.
+        let mut c = cluster(2);
+        let origin = c.create_world(NodeId(0));
+        c.write(origin, 0, b"same").unwrap();
+        let (replica, _) = c.rfork(origin, NodeId(1)).unwrap();
+        c.write(replica, 0, b"same").unwrap();
+        let (_, pages) = c.commit_back(origin, replica).unwrap();
+        assert_eq!(pages, 0);
+    }
+
+    #[test]
+    fn discard_eliminates_remote_sibling() {
+        let mut c = cluster(3);
+        let origin = c.create_world(NodeId(0));
+        c.write(origin, 0, &[1]).unwrap();
+        let (r1, _) = c.rfork(origin, NodeId(1)).unwrap();
+        let (r2, _) = c.rfork(origin, NodeId(2)).unwrap();
+        c.discard(r1).unwrap();
+        assert!(c.read(r1, 0, 1).is_err(), "discarded world is gone");
+        assert!(c.read(r2, 0, 1).is_ok());
+        assert_eq!(c.node(NodeId(1)).store().world_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the origin")]
+    fn empty_cluster_rejected() {
+        let _ = Cluster::new(0, 4096, NetModel::ideal());
+    }
+}

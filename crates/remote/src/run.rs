@@ -1,0 +1,352 @@
+//! Distributed alternative blocks: speculation across nodes.
+
+use worlds_kernel::VirtualTime;
+use worlds_pagestore::PageStoreError;
+
+use crate::cluster::{Cluster, NodeId, RemoteWorld};
+
+/// The replica-mutation callback type.
+pub type MutateFn = Box<dyn FnMut(&Cluster, RemoteWorld) + Send>;
+
+/// One alternative destined for a remote node.
+pub struct DistAlt {
+    /// Label for reports.
+    pub label: String,
+    /// Virtual compute time the alternative burns on its node.
+    pub compute: VirtualTime,
+    /// The state mutation it performs in its replica (runs against the
+    /// cluster's real stores; only the winner's effects survive).
+    pub mutate: MutateFn,
+    /// Whether its guard condition holds.
+    pub guard_pass: bool,
+}
+
+impl DistAlt {
+    /// Convenience constructor with a passing guard.
+    pub fn new(
+        label: impl Into<String>,
+        compute: VirtualTime,
+        mutate: impl FnMut(&Cluster, RemoteWorld) + Send + 'static,
+    ) -> DistAlt {
+        DistAlt { label: label.into(), compute, mutate: Box::new(mutate), guard_pass: true }
+    }
+
+    /// Set the guard outcome (builder).
+    pub fn guard(mut self, pass: bool) -> DistAlt {
+        self.guard_pass = pass;
+        self
+    }
+}
+
+impl std::fmt::Debug for DistAlt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistAlt")
+            .field("label", &self.label)
+            .field("compute", &self.compute)
+            .field("guard_pass", &self.guard_pass)
+            .finish()
+    }
+}
+
+/// Block outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistOutcome {
+    /// An alternative won; its dirty pages were shipped home and
+    /// committed.
+    Winner {
+        /// Index into the alternative list.
+        index: usize,
+        /// Its label.
+        label: String,
+    },
+    /// No guard passed.
+    AllFailed,
+}
+
+/// Measurements of one distributed block.
+#[derive(Debug)]
+pub struct DistReport {
+    /// Winner / failure.
+    pub outcome: DistOutcome,
+    /// Response time: last rfork issue → commit complete.
+    pub wall: VirtualTime,
+    /// Time spent shipping replicas out (sum over alternatives; they are
+    /// issued serially from the origin).
+    pub rfork_total: VirtualTime,
+    /// Time spent shipping the winner's dirty pages back.
+    pub commit_cost: VirtualTime,
+    /// Dirty pages that travelled home.
+    pub pages_shipped: usize,
+    /// Per-alternative completion times (virtual, `None` for failed
+    /// guards).
+    pub finish_times: Vec<Option<VirtualTime>>,
+}
+
+impl DistReport {
+    /// Did the block commit?
+    pub fn succeeded(&self) -> bool {
+        matches!(self.outcome, DistOutcome::Winner { .. })
+    }
+}
+
+/// Execute a block of alternatives distributed round-robin over the
+/// cluster's non-origin nodes (or the origin itself for a 1-node
+/// cluster). Virtual-time semantics:
+///
+/// 1. replicas ship serially from the origin (`rfork` per alternative);
+/// 2. each alternative computes on its node for its `compute` time, all
+///    in parallel (one alternative per node at a time is guaranteed by
+///    round-robin placement only when `alts ≤ nodes − 1`; surplus
+///    alternatives *queue* on their node);
+/// 3. the earliest finisher with a passing guard wins; its content-diff
+///    against the origin's world ships back and commits;
+/// 4. losers are discarded in place (asynchronously — no wall cost).
+pub fn run_distributed_block(
+    cluster: &mut Cluster,
+    origin_world: RemoteWorld,
+    mut alts: Vec<DistAlt>,
+) -> Result<DistReport, PageStoreError> {
+    assert!(!alts.is_empty(), "a block needs at least one alternative");
+    assert_eq!(origin_world.node, NodeId(0), "the parent lives on the origin node");
+
+    let n_nodes = cluster.len();
+    let target = |i: usize| -> NodeId {
+        if n_nodes == 1 {
+            NodeId(0)
+        } else {
+            NodeId(1 + (i % (n_nodes - 1)))
+        }
+    };
+
+    // 1. Ship replicas serially.
+    let mut replicas: Vec<RemoteWorld> = Vec::with_capacity(alts.len());
+    let mut ready_at: Vec<VirtualTime> = Vec::with_capacity(alts.len());
+    let mut clock = VirtualTime::ZERO;
+    let mut rfork_total = VirtualTime::ZERO;
+    for (i, _alt) in alts.iter().enumerate() {
+        let (replica, cost) = cluster.rfork(origin_world, target(i))?;
+        clock += cost;
+        rfork_total += cost;
+        replicas.push(replica);
+        ready_at.push(clock);
+    }
+
+    // 2. Compute, with per-node FIFO queueing for surplus alternatives.
+    let mut node_free_at: Vec<VirtualTime> = vec![VirtualTime::ZERO; n_nodes];
+    let mut finish: Vec<Option<VirtualTime>> = Vec::with_capacity(alts.len());
+    for (i, alt) in alts.iter_mut().enumerate() {
+        let node = replicas[i].node.0;
+        let start = ready_at[i].max(node_free_at[node]);
+        let done = start + alt.compute;
+        node_free_at[node] = done;
+        // Perform the real state mutation in the replica.
+        (alt.mutate)(cluster, replicas[i]);
+        finish.push(if alt.guard_pass { Some(done) } else { None });
+    }
+
+    // 3. Earliest passing finisher wins.
+    let winner = finish
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.map(|t| (t, i)))
+        .min();
+
+    let (outcome, wall, commit_cost, pages_shipped) = match winner {
+        Some((t_done, w)) => {
+            let (cost, pages) = cluster.commit_back(origin_world, replicas[w])?;
+            // 4. Discard the losers asynchronously.
+            for (i, &r) in replicas.iter().enumerate() {
+                if i != w {
+                    cluster.discard(r)?;
+                }
+            }
+            (
+                DistOutcome::Winner { index: w, label: alts[w].label.clone() },
+                t_done + cost,
+                cost,
+                pages,
+            )
+        }
+        None => {
+            for &r in &replicas {
+                cluster.discard(r)?;
+            }
+            // Failure is known once the last (slowest) alternative gives
+            // up; approximate with the last finish of compute.
+            let last = alts
+                .iter()
+                .enumerate()
+                .map(|(i, a)| ready_at[i] + a.compute)
+                .max()
+                .expect("nonempty");
+            (DistOutcome::AllFailed, last, VirtualTime::ZERO, 0)
+        }
+    };
+
+    Ok(DistReport {
+        outcome,
+        wall,
+        rfork_total,
+        commit_cost,
+        pages_shipped,
+        finish_times: finish,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetModel;
+
+    fn setup(nodes: usize, pages: u64) -> (Cluster, RemoteWorld) {
+        let mut c = Cluster::new(nodes, 4096, NetModel::lan_1989());
+        let origin = c.create_world(NodeId(0));
+        for vpn in 0..pages {
+            c.write(origin, vpn, &[0xCC]).expect("origin live");
+        }
+        (c, origin)
+    }
+
+    fn writer(pages: u64) -> impl FnMut(&Cluster, RemoteWorld) + Send + 'static {
+        move |c, w| {
+            for vpn in 0..pages {
+                c.write(w, vpn, &[0xDD]).expect("replica live");
+            }
+        }
+    }
+
+    #[test]
+    fn fastest_remote_alternative_wins_and_commits() {
+        let (mut c, origin) = setup(3, 18); // ~70 KB
+        let report = run_distributed_block(
+            &mut c,
+            origin,
+            vec![
+                DistAlt::new("slow", VirtualTime::from_secs(30.0), writer(4)),
+                DistAlt::new("fast", VirtualTime::from_secs(5.0), writer(2)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(report.outcome, DistOutcome::Winner { index: 1, label: "fast".into() });
+        // The winner's edits are home.
+        assert_eq!(c.read(origin, 0, 1).unwrap(), vec![0xDD]);
+        assert_eq!(c.read(origin, 2, 1).unwrap(), vec![0xCC], "untouched page stays");
+        assert_eq!(report.pages_shipped, 2);
+        // Wall = 2 rforks (~1 s each) + 5 s compute + small commit.
+        assert!(report.wall.as_secs() > 6.0 && report.wall.as_secs() < 9.0, "{}", report.wall);
+    }
+
+    #[test]
+    fn rfork_dominates_short_computations() {
+        // The paper's point about the distributed case: with ~1 s forks,
+        // speculation on sub-second computations cannot win.
+        let (mut c, origin) = setup(3, 18);
+        let report = run_distributed_block(
+            &mut c,
+            origin,
+            vec![
+                DistAlt::new("a", VirtualTime::from_ms(100.0), writer(1)),
+                DistAlt::new("b", VirtualTime::from_ms(200.0), writer(1)),
+            ],
+        )
+        .unwrap();
+        let t_best = VirtualTime::from_ms(100.0);
+        assert!(
+            report.wall.as_ns() > 10 * t_best.as_ns(),
+            "overhead must dominate: wall {} vs best {}",
+            report.wall,
+            t_best
+        );
+        // Measured Ro >> break-even for any plausible Rμ here.
+    }
+
+    #[test]
+    fn guard_failures_fall_through_to_surviving_alternative() {
+        let (mut c, origin) = setup(3, 4);
+        let report = run_distributed_block(
+            &mut c,
+            origin,
+            vec![
+                DistAlt::new("bad-fast", VirtualTime::from_secs(1.0), writer(1)).guard(false),
+                DistAlt::new("good-slow", VirtualTime::from_secs(10.0), writer(1)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(report.outcome, DistOutcome::Winner { index: 1, label: "good-slow".into() });
+        assert_eq!(report.finish_times[0], None);
+    }
+
+    #[test]
+    fn all_failed_discards_every_replica() {
+        let (mut c, origin) = setup(3, 4);
+        let report = run_distributed_block(
+            &mut c,
+            origin,
+            vec![
+                DistAlt::new("a", VirtualTime::from_secs(1.0), writer(1)).guard(false),
+                DistAlt::new("b", VirtualTime::from_secs(2.0), writer(1)).guard(false),
+            ],
+        )
+        .unwrap();
+        assert_eq!(report.outcome, DistOutcome::AllFailed);
+        assert_eq!(c.read(origin, 0, 1).unwrap(), vec![0xCC], "no speculative leak");
+        for id in 1..3 {
+            assert_eq!(c.node(NodeId(id)).store().world_count(), 0, "node {id} clean");
+        }
+    }
+
+    #[test]
+    fn surplus_alternatives_queue_on_their_nodes() {
+        // 2 nodes (1 worker) and 2 alternatives: they serialise.
+        let (mut c, origin) = setup(2, 2);
+        let report = run_distributed_block(
+            &mut c,
+            origin,
+            vec![
+                DistAlt::new("first", VirtualTime::from_secs(10.0), writer(1)),
+                DistAlt::new("second", VirtualTime::from_secs(1.0), writer(1)),
+            ],
+        )
+        .unwrap();
+        // "second" cannot start until "first" releases the single worker:
+        // the winner is "first" despite being slower in isolation.
+        assert_eq!(report.outcome, DistOutcome::Winner { index: 0, label: "first".into() });
+    }
+
+    #[test]
+    fn single_node_cluster_degenerates_to_local_cow() {
+        let (mut c, origin) = setup(1, 4);
+        let report = run_distributed_block(
+            &mut c,
+            origin,
+            vec![DistAlt::new("only", VirtualTime::from_secs(1.0), writer(2))],
+        )
+        .unwrap();
+        assert!(report.succeeded());
+        assert_eq!(report.rfork_total, VirtualTime::ZERO, "local fork is COW, free");
+        assert_eq!(report.commit_cost, VirtualTime::ZERO, "local commit is adoption");
+        assert_eq!(c.read(origin, 0, 1).unwrap(), vec![0xDD]);
+    }
+
+    #[test]
+    fn modern_network_restores_the_win() {
+        // Same workload, datacenter network: overhead collapses and
+        // speculation wins again — the Figure 4 story in distributed form.
+        let mut c = Cluster::new(3, 4096, NetModel::datacenter());
+        let origin = c.create_world(NodeId(0));
+        for vpn in 0..18 {
+            c.write(origin, vpn, &[0xCC]).unwrap();
+        }
+        let report = run_distributed_block(
+            &mut c,
+            origin,
+            vec![
+                DistAlt::new("a", VirtualTime::from_ms(100.0), writer(1)),
+                DistAlt::new("b", VirtualTime::from_ms(500.0), writer(1)),
+            ],
+        )
+        .unwrap();
+        // Wall ≈ best + ε.
+        assert!(report.wall.as_ms() < 110.0, "wall {}", report.wall);
+    }
+}

@@ -1,0 +1,232 @@
+//! Complex arithmetic, implemented locally (the allowed-crates set has no
+//! num-complex; the operations needed are small).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number in Cartesian form.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// 0 + 0i.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// 1 + 0i.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// 0 + 1i.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Build from parts.
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// A real number as a complex.
+    pub fn real(re: f64) -> Complex {
+        Complex { re, im: 0.0 }
+    }
+
+    /// From polar form `r·e^{iθ}`.
+    pub fn from_polar(r: f64, theta: f64) -> Complex {
+        Complex { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    /// Modulus `|z|` (hypot, overflow-safe).
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Multiplicative inverse. Division by (exact) zero produces
+    /// infinities, matching IEEE semantics.
+    pub fn inv(self) -> Complex {
+        let d = self.norm_sqr();
+        Complex { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Is either component NaN?
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Are both components finite?
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Complex {
+        let r = self.abs();
+        let z = Complex { re: (0.5 * (r + self.re)).max(0.0).sqrt(), im: (0.5 * (r - self.re)).max(0.0).sqrt() };
+        if self.im < 0.0 {
+            Complex { re: z.re, im: -z.im }
+        } else {
+            z
+        }
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, k: f64) -> Complex {
+        Complex { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, o: Complex) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, o: Complex) -> Complex {
+        // Smith's algorithm: avoids overflow for extreme magnitudes.
+        if o.re.abs() >= o.im.abs() {
+            let r = o.im / o.re;
+            let d = o.re + o.im * r;
+            Complex { re: (self.re + self.im * r) / d, im: (self.im - self.re * r) / d }
+        } else {
+            let r = o.re / o.im;
+            let d = o.re * r + o.im;
+            Complex { re: (self.re * r + self.im) / d, im: (self.im * r - self.re) / d }
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert!(close(a + b, Complex::new(4.0, 1.0)));
+        assert!(close(a - b, Complex::new(-2.0, 3.0)));
+        assert!(close(a * b, Complex::new(5.0, 5.0)));
+        assert!(close(-a, Complex::new(-1.0, -2.0)));
+        let mut c = a;
+        c += b;
+        assert!(close(c, Complex::new(4.0, 1.0)));
+    }
+
+    #[test]
+    fn division_and_inverse() {
+        let a = Complex::new(5.0, 5.0);
+        let b = Complex::new(3.0, -1.0);
+        assert!(close(a * b / b, a));
+        assert!(close(b * b.inv(), Complex::ONE));
+        // Smith's algorithm path with |im| > |re|.
+        let c = Complex::new(0.001, 1000.0);
+        assert!(close(a / c * c, a));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_and_norms() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!(close(z.conj(), Complex::new(3.0, -4.0)));
+        assert!(close(z * z.conj(), Complex::real(25.0)));
+    }
+
+    #[test]
+    fn sqrt_branches() {
+        let z = Complex::new(0.0, 2.0);
+        let s = z.sqrt();
+        assert!(close(s * s, z));
+        let w = Complex::new(-4.0, 0.0);
+        let sw = w.sqrt();
+        assert!(close(sw, Complex::new(0.0, 2.0)));
+        let neg = Complex::new(0.0, -2.0);
+        let sn = neg.sqrt();
+        assert!(close(sn * sn, neg));
+        assert!(sn.im < 0.0, "principal branch");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Complex::new(f64::NAN, 0.0).is_nan());
+        assert!(!Complex::ONE.is_nan());
+        assert!(Complex::ONE.is_finite());
+        assert!(!Complex::new(f64::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1.000000-2.000000i");
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1.000000+2.000000i");
+    }
+}

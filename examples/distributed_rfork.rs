@@ -1,0 +1,60 @@
+//! The distributed case (§2.2, §3.4): Multiple Worlds across machines via
+//! rfork (checkpoint/restore) — with the paper's 1989 LAN costs and a
+//! modern datacenter for contrast.
+//!
+//! ```sh
+//! cargo run --example distributed_rfork
+//! ```
+
+use worlds_kernel::VirtualTime;
+use worlds_remote::{run_distributed_block, Cluster, DistAlt, NetModel, NodeId};
+
+fn demo(net: NetModel) {
+    println!("--- network: {} ---", net.name);
+    // A 70 KB parent process (the §3.4 reference size).
+    let mut cluster = Cluster::new(4, 4096, net);
+    let origin = cluster.create_world(NodeId(0));
+    for vpn in 0..18 {
+        cluster.write(origin, vpn, &[0xAA; 64]).expect("origin live");
+    }
+
+    let report = run_distributed_block(
+        &mut cluster,
+        origin,
+        vec![
+            DistAlt::new("conservative", VirtualTime::from_secs(40.0), |c, w| {
+                c.write(w, 0, b"conservative answer").expect("replica live");
+            }),
+            DistAlt::new("heuristic", VirtualTime::from_secs(8.0), |c, w| {
+                c.write(w, 0, b"heuristic answer!!!").expect("replica live");
+            }),
+            DistAlt::new("broken", VirtualTime::from_secs(1.0), |c, w| {
+                c.write(w, 0, b"garbage").expect("replica live");
+            })
+            .guard(false),
+        ],
+    )
+    .expect("block runs");
+
+    println!("outcome:        {:?}", report.outcome);
+    println!("response time:  {}", report.wall);
+    println!("  rfork (out):  {}", report.rfork_total);
+    println!("  commit (back):{} ({} dirty page(s))", report.commit_cost, report.pages_shipped);
+    let committed = cluster.read(origin, 0, 19).expect("origin live");
+    println!("committed state: {:?}", String::from_utf8_lossy(&committed));
+    assert!(report.succeeded());
+    assert_eq!(&committed, b"heuristic answer!!!");
+    println!();
+}
+
+fn main() {
+    println!("distributed Multiple Worlds: alternatives rfork'ed to remote nodes,");
+    println!("winner's dirty pages shipped home (paper: ~1 s per 70 KB rfork, 1989 LAN)\n");
+    demo(NetModel::lan_1989());
+    demo(NetModel::datacenter());
+    println!(
+        "reading: on the 1989 LAN the ~1 s rforks wash out unless the alternatives run\n\
+         tens of seconds (the paper's caveat); on a modern network the same block's\n\
+         overhead is microseconds — R_o collapses and PI → R_mu (Figure 4's lesson)."
+    );
+}

@@ -1,0 +1,90 @@
+//! Quickstart: run mutually exclusive alternatives in parallel, commit
+//! exactly one.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Three methods race to "solve" the same problem over shared speculative
+//! state; the fastest one whose guard holds wins, its state and output are
+//! committed, and the losers' side effects vanish as if they never ran.
+
+use std::time::Duration;
+
+use worlds::{AltBlock, Alternative, ElimMode, Speculation};
+
+fn main() {
+    let spec = Speculation::new();
+
+    // Shared sink state, visible to every alternative at spawn time.
+    spec.setup(|ctx| {
+        ctx.put_u64("input", 1_000_000)?;
+        ctx.print("parent: state initialised");
+        Ok(())
+    })
+    .expect("setup runs in the resolved root world");
+
+    let report = spec.run(
+        AltBlock::new()
+            // A slow but reliable method.
+            .alt("exhaustive", |ctx| {
+                let n = ctx.get_u64("input").expect("setup wrote it");
+                let mut acc = 0u64;
+                for i in 0..n {
+                    acc = acc.wrapping_add(i);
+                    if i % 65_536 == 0 {
+                        ctx.checkpoint()?; // cooperative elimination point
+                    }
+                }
+                ctx.put_u64("answer", acc)?;
+                ctx.print("exhaustive: done the long way");
+                Ok(acc)
+            })
+            // A fast closed-form method.
+            .alt("closed-form", |ctx| {
+                let n = ctx.get_u64("input").expect("setup wrote it");
+                let acc = (n * (n - 1)) / 2;
+                ctx.put_u64("answer", acc)?;
+                ctx.print("closed-form: n(n-1)/2");
+                Ok(acc)
+            })
+            // A heuristic whose guard rejects its (wrong) result.
+            .alternative(
+                Alternative::new("bad-heuristic", |ctx| {
+                    ctx.put_u64("answer", 42)?; // speculative garbage
+                    Ok(42u64)
+                })
+                .guard(|&v| v > 1_000), // at-sync guard: 42 never commits
+            )
+            .timeout(Duration::from_secs(10))
+            .elim(ElimMode::Sync),
+    );
+
+    println!("outcome:  {:?}", report.outcome);
+    println!("value:    {:?}", report.value);
+    println!("wall:     {:?}", report.wall);
+    for alt in &report.alts {
+        println!("  alt {:<12} -> {:?}", alt.label, alt.status);
+    }
+
+    // Only the winner's writes are visible in the committed world.
+    let committed = spec.read(|ctx| ctx.get_u64("answer"));
+    println!("committed answer: {committed:?}");
+    println!("observable output: {:?}", spec.tty().output_strings());
+
+    let expected = (1_000_000u64 * 999_999) / 2;
+    assert_eq!(committed, Some(expected), "exactly one correct result committed");
+    let _ = report
+        .value
+        .map(|v| assert_eq!(v, expected, "the winning value matches the committed state"));
+
+    // The failed heuristic's garbage never leaked, even though it wrote
+    // `answer` in its own world.
+    let guard_failures: Vec<_> = report
+        .alts
+        .iter()
+        .filter(|a| matches!(a.status, worlds::AltRunStatus::Failed(_)))
+        .map(|a| a.label.as_str())
+        .collect();
+    println!("rejected alternatives: {guard_failures:?}");
+}

@@ -1,0 +1,66 @@
+//! The paper's §4.3 / Table I scenario: race Jenkins–Traub starting
+//! angles over one polynomial, commit the first full set of roots.
+//!
+//! ```sh
+//! cargo run --release --example rootfinder_race
+//! ```
+
+use std::time::Instant;
+
+use worlds::Speculation;
+use worlds_rootfinder::parallel::{committed_roots, parallel_find_roots};
+use worlds_rootfinder::{find_all_roots, legendre_like, JtConfig, TEST_ANGLES};
+
+fn main() {
+    let (poly, true_roots) = legendre_like(14);
+    // A starved fixed-shift budget makes the algorithm angle-sensitive,
+    // exactly the regime the paper exploits.
+    let cfg = JtConfig { stage2_iters: 10, stage3_iters: 10, ..JtConfig::default() };
+
+    println!("polynomial: degree {} (clustered Legendre-like roots)", poly.degree());
+    println!("\n--- sequential, one angle at a time ---");
+    for &angle in &TEST_ANGLES[..4] {
+        let t0 = Instant::now();
+        match find_all_roots(&poly, angle, &cfg) {
+            Ok(rep) => println!(
+                "angle {angle:>5.1}: ok, {} iterations, residual {:.2e}, {:?}",
+                rep.iterations, rep.max_residual, t0.elapsed()
+            ),
+            Err(e) => println!("angle {angle:>5.1}: FAILED ({e})"),
+        }
+    }
+
+    println!("\n--- Multiple Worlds: all four angles race ---");
+    let spec = Speculation::new();
+    let t0 = Instant::now();
+    let report = parallel_find_roots(&spec, &poly, &TEST_ANGLES[..4], &cfg, None);
+    let wall = t0.elapsed();
+
+    match &report.outcome {
+        worlds::RunOutcome::Winner { label, .. } => {
+            let result = report.value.as_ref().expect("winner carries its roots");
+            println!("winner: {label} after {} iterations, wall {wall:?}", result.iterations);
+            let committed = committed_roots(&spec).expect("winner committed its roots");
+            println!("committed {} roots; checking against the constructed ones:", committed.len());
+            let mut worst = 0.0f64;
+            for r in &committed {
+                let d = true_roots
+                    .iter()
+                    .map(|t| (*r - *t).abs())
+                    .fold(f64::INFINITY, f64::min);
+                worst = worst.max(d);
+            }
+            println!("worst distance to a true root: {worst:.2e}");
+            assert!(worst < 1e-4, "roots must be genuine");
+        }
+        other => println!("no winner: {other:?}"),
+    }
+
+    for alt in &report.alts {
+        println!("  {:<12} {:?}", alt.label, alt.status);
+    }
+    println!(
+        "\n(the losers' speculative root cells were discarded with their worlds; \
+         only the winner's survive in the committed state)"
+    );
+}

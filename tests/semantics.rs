@@ -1,0 +1,165 @@
+//! Figure 1 semantics, end to end: an alternative block behaves as a
+//! nondeterministic *sequential* choice — at most one alternative's state
+//! change occurs, guards filter, failure and timeout paths work — across
+//! both the real-thread executor and the virtual-time simulator.
+
+use std::time::Duration;
+
+use multiple_worlds::worlds::{
+    AltBlock, AltError, Alternative, ElimMode, RunOutcome, Speculation,
+};
+use multiple_worlds::worlds_kernel::{
+    AltSpec, BlockSpec, CostModel, Machine, Outcome, VirtualTime,
+};
+
+#[test]
+fn exactly_one_alternative_commits_thread_executor() {
+    let spec = Speculation::new();
+    spec.setup(|c| c.put_u64("slot", 0)).unwrap();
+    let report = spec.run(
+        AltBlock::new()
+            .alt("w1", |ctx| {
+                ctx.put_u64("slot", 1)?;
+                Ok(1u64)
+            })
+            .alt("w2", |ctx| {
+                ctx.put_u64("slot", 2)?;
+                Ok(2u64)
+            })
+            .alt("w3", |ctx| {
+                ctx.put_u64("slot", 3)?;
+                Ok(3u64)
+            })
+            .elim(ElimMode::Sync),
+    );
+    let winner = report.value.expect("someone wins");
+    let committed = spec.read(|c| c.get_u64("slot")).unwrap();
+    assert_eq!(
+        committed, winner,
+        "the committed state must be exactly the winner's write"
+    );
+    let wins = report
+        .alts
+        .iter()
+        .filter(|a| matches!(a.status, multiple_worlds::worlds::AltRunStatus::Won))
+        .count();
+    assert_eq!(wins, 1, "at most one alternative takes effect");
+}
+
+#[test]
+fn result_is_always_a_sequential_possibility() {
+    // Whatever the race produces must equal what *some* sequential
+    // execution of a single alternative would have produced — the
+    // "apples and oranges" guard of §3.3.
+    for _ in 0..5 {
+        let spec = Speculation::new();
+        spec.setup(|c| c.put_u64("x", 100)).unwrap();
+        let report = spec.run(
+            AltBlock::new()
+                .alt("add", |ctx| {
+                    let x = ctx.get_u64("x").unwrap();
+                    ctx.put_u64("x", x + 1)?;
+                    Ok(x + 1)
+                })
+                .alt("double", |ctx| {
+                    let x = ctx.get_u64("x").unwrap();
+                    ctx.put_u64("x", x * 2)?;
+                    Ok(x * 2)
+                })
+                .elim(ElimMode::Sync),
+        );
+        let committed = spec.read(|c| c.get_u64("x")).unwrap();
+        assert!(
+            committed == 101 || committed == 200,
+            "must match one sequential world, got {committed}"
+        );
+        assert_eq!(Some(committed), report.value);
+    }
+}
+
+#[test]
+fn failure_path_when_every_guard_fails() {
+    let spec = Speculation::new();
+    let report: multiple_worlds::worlds::RunReport<u32> = spec.run(
+        AltBlock::new()
+            .alternative(Alternative::new("neg", |_| Ok(1u32)).guard(|_| false))
+            .alt("err", |_| Err(AltError::GuardFailed("no".into())))
+            .elim(ElimMode::Sync),
+    );
+    assert_eq!(report.outcome, RunOutcome::AllFailed);
+    assert_eq!(report.value, None);
+}
+
+#[test]
+fn timeout_is_the_alt_wait_timeout() {
+    let spec = Speculation::new();
+    let report: multiple_worlds::worlds::RunReport<u32> = spec.run(
+        AltBlock::new()
+            .alt("hang", |ctx| loop {
+                std::thread::sleep(Duration::from_millis(5));
+                ctx.checkpoint()?;
+            })
+            .timeout(Duration::from_millis(60))
+            .elim(ElimMode::Sync),
+    );
+    assert_eq!(report.outcome, RunOutcome::TimedOut);
+}
+
+#[test]
+fn simulator_and_thread_executor_agree_on_winner_identity() {
+    // Same workload shape in both executors: the cheap alternative wins.
+    let mut machine = Machine::new(CostModel::ideal(2));
+    let sim = machine.run_block(&BlockSpec::new(vec![
+        AltSpec::new("slow").compute_ms(500.0),
+        AltSpec::new("fast").compute_ms(5.0),
+    ]));
+    assert_eq!(sim.outcome, Outcome::Winner { index: 1, label: "fast".into() });
+
+    let spec = Speculation::new();
+    let threaded = spec.run(
+        AltBlock::new()
+            .alt("slow", |ctx| {
+                for _ in 0..100 {
+                    std::thread::sleep(Duration::from_millis(5));
+                    ctx.checkpoint()?;
+                }
+                Ok("slow")
+            })
+            .alt("fast", |_| Ok("fast"))
+            .elim(ElimMode::Sync),
+    );
+    assert_eq!(threaded.winner_label(), Some("fast"));
+}
+
+#[test]
+fn sim_guard_placements_preserve_the_winner_set() {
+    use multiple_worlds::worlds_kernel::GuardPlacement;
+    for placement in [GuardPlacement::PreSpawn, GuardPlacement::InChild, GuardPlacement::AtSync] {
+        let mut machine = Machine::new(CostModel::hp9000_350().with_cpus(2));
+        let report = machine.run_block(
+            &BlockSpec::new(vec![
+                AltSpec::new("bad-fast").compute_ms(1.0).guard(false),
+                AltSpec::new("good").compute_ms(50.0),
+            ])
+            .guard_placement(placement),
+        );
+        assert_eq!(
+            report.outcome,
+            Outcome::Winner { index: 1, label: "good".into() },
+            "placement {placement:?} changed the winner"
+        );
+    }
+}
+
+#[test]
+fn sim_timeout_value_from_the_paper_recipe() {
+    // §2.2: choose TIMEOUT as "an execution time which is clearly
+    // unacceptable to the application".
+    let mut machine = Machine::new(CostModel::ideal(1));
+    let report = machine.run_block(
+        &BlockSpec::new(vec![AltSpec::new("too-slow").compute(VirtualTime::from_secs(60.0))])
+            .timeout(VirtualTime::from_secs(1.0)),
+    );
+    assert_eq!(report.outcome, Outcome::TimedOut);
+    assert_eq!(report.wall, VirtualTime::from_secs(1.0));
+}

@@ -1,0 +1,133 @@
+//! Soak tests: long chains of blocks must not leak worlds, frames, or
+//! output, and committed state must stay exact.
+
+use std::time::Duration;
+
+use multiple_worlds::worlds::{AltBlock, AltError, ElimMode, Speculation};
+
+#[test]
+fn fifty_sequential_blocks_leak_nothing() {
+    let spec = Speculation::new();
+    spec.setup(|c| c.put_u64("counter", 0)).unwrap();
+
+    for round in 0..50u64 {
+        let report = spec.run(
+            AltBlock::new()
+                .alt("inc", move |ctx| {
+                    let v = ctx.get_u64("counter").unwrap();
+                    ctx.put_u64("counter", v + 1)?;
+                    ctx.print(format!("round {round}"));
+                    Ok(v + 1)
+                })
+                .alt("inc-slower", move |ctx| {
+                    std::thread::sleep(Duration::from_millis(1));
+                    ctx.checkpoint()?;
+                    let v = ctx.get_u64("counter").unwrap();
+                    ctx.put_u64("counter", v + 1)?;
+                    ctx.print(format!("round {round}"));
+                    Ok(v + 1)
+                })
+                .alt("reject", |_| {
+                    Err(AltError::GuardFailed("never eligible".into()))
+                })
+                .elim(ElimMode::Sync),
+        );
+        assert!(report.succeeded(), "round {round} failed: {:?}", report.outcome);
+        assert_eq!(spec.store().world_count(), 1, "leak after round {round}");
+    }
+
+    assert_eq!(spec.read(|c| c.get_u64("counter")), Some(50));
+    // Exactly one line of output per block (the winner's).
+    assert_eq!(spec.tty().output_strings().len(), 50);
+}
+
+#[test]
+fn wide_blocks_with_heavy_state() {
+    let spec = Speculation::with_page_size(2048);
+    // 160 pages of shared state (the paper's 320 KB configuration).
+    spec.setup(|c| {
+        for i in 0..40u64 {
+            c.put_bytes(&format!("seg{i}"), &vec![i as u8; 2048])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+
+    let before = spec.store().stats();
+    let report = spec.run(
+        (0..8u64)
+            .fold(AltBlock::new(), |block, i| {
+                block.alt(format!("w{i}"), move |ctx| {
+                    // Each alternative rewrites a different slice of state.
+                    for k in 0..5u64 {
+                        let name = format!("seg{}", (i * 5 + k) % 40);
+                        ctx.put_bytes(&name, &vec![0xF0 | i as u8; 2048])?;
+                        ctx.checkpoint()?;
+                    }
+                    Ok(i)
+                })
+            })
+            .elim(ElimMode::Sync),
+    );
+    assert!(report.succeeded());
+    let delta = spec.store().stats().delta_since(&before);
+    assert_eq!(delta.forks, 8, "one world per alternative");
+    assert!(delta.cow_faults >= 5, "the winner alone dirtied 5+ pages");
+    assert_eq!(spec.store().world_count(), 1);
+
+    // The committed state is internally consistent: exactly the winner's
+    // five segments carry its signature.
+    let winner = report.value.unwrap();
+    let mut signed = 0;
+    for i in 0..40u64 {
+        let seg = spec.read(|c| c.get_bytes(&format!("seg{i}"))).unwrap();
+        if seg[0] & 0xF0 == 0xF0 {
+            assert_eq!(seg[0], 0xF0 | winner as u8, "foreign write leaked into seg{i}");
+            signed += 1;
+        }
+    }
+    assert_eq!(signed, 5);
+}
+
+#[test]
+fn deeply_nested_blocks_commit_transitively() {
+    // A 4-deep nest of single-alternative blocks: each level multiplies
+    // the accumulator; the root must see the full product.
+    let spec = Speculation::new();
+    spec.setup(|c| c.put_u64("acc", 1)).unwrap();
+
+    fn nest(session: &Speculation, ctx: &mut multiple_worlds::worlds::WorldCtx, depth: u32) -> Result<(), AltError> {
+        let v = ctx.get_u64("acc").unwrap();
+        ctx.put_u64("acc", v * 2)?;
+        if depth > 0 {
+            let inner_session = session.clone();
+            let report = session.run_in(
+                ctx.world_id(),
+                ctx.predicates(),
+                AltBlock::new()
+                    .alt("deeper", move |ictx| {
+                        nest(&inner_session, ictx, depth - 1)?;
+                        Ok(())
+                    })
+                    .elim(ElimMode::Sync),
+            );
+            if !report.succeeded() {
+                return Err(AltError::GuardFailed("nested level failed".into()));
+            }
+        }
+        Ok(())
+    }
+
+    let session = spec.clone();
+    let report = spec.run(
+        AltBlock::new()
+            .alt("outer", move |ctx| {
+                nest(&session, ctx, 3)?;
+                Ok(())
+            })
+            .elim(ElimMode::Sync),
+    );
+    assert!(report.succeeded());
+    assert_eq!(spec.read(|c| c.get_u64("acc")), Some(16), "2^4 through 4 nested commits");
+    assert_eq!(spec.store().world_count(), 1);
+}

@@ -127,10 +127,7 @@ mod tests {
     /// domain — the paper's ideal.
     fn complementary() -> DomainAnalysis {
         DomainAnalysis::new(
-            vec![
-                vec![1.0, 1.0, 10.0, 10.0],
-                vec![10.0, 10.0, 1.0, 1.0],
-            ],
+            vec![vec![1.0, 1.0, 10.0, 10.0], vec![10.0, 10.0, 1.0, 1.0]],
             0.0,
         )
     }
@@ -141,15 +138,15 @@ mod tests {
         assert_eq!(d.win_fraction(), 1.0);
         assert!((d.domain_pi() - 5.5).abs() < 1e-12); // mean 5.5 vs best 1
         assert_eq!(d.winner_histogram(), vec![2, 2]);
-        assert!(d.complementarity() > 0.8, "mirrored alts are highly complementary");
+        assert!(
+            d.complementarity() > 0.8,
+            "mirrored alts are highly complementary"
+        );
     }
 
     #[test]
     fn dominated_domain_has_zero_complementarity() {
-        let d = DomainAnalysis::new(
-            vec![vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0]],
-            0.0,
-        );
+        let d = DomainAnalysis::new(vec![vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0]], 0.0);
         assert_eq!(d.complementarity(), 0.0);
         assert_eq!(d.winner_histogram(), vec![3, 0]);
     }
@@ -160,7 +157,11 @@ mod tests {
             vec![vec![1.0, 1.0], vec![1.2, 1.2]],
             1.0, // overhead as large as the best time
         );
-        assert_eq!(close.win_fraction(), 0.0, "tiny dispersion + big overhead loses");
+        assert_eq!(
+            close.win_fraction(),
+            0.0,
+            "tiny dispersion + big overhead loses"
+        );
         assert!(close.domain_pi() < 1.0);
     }
 

@@ -35,6 +35,6 @@ pub mod series;
 pub mod stats;
 
 pub use domain::DomainAnalysis;
-pub use model::PerfModel;
 pub use export::{from_csv, to_csv, write_csv};
+pub use model::PerfModel;
 pub use series::{fig3_series, fig4_series, FigPoint};

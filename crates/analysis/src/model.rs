@@ -14,8 +14,14 @@ pub struct PerfModel {
 impl PerfModel {
     /// Build from the two ratios directly.
     pub fn new(r_mu: f64, r_o: f64) -> Self {
-        assert!(r_mu.is_finite() && r_mu >= 0.0, "Rμ must be a finite non-negative ratio");
-        assert!(r_o.is_finite() && r_o >= 0.0, "Ro must be a finite non-negative ratio");
+        assert!(
+            r_mu.is_finite() && r_mu >= 0.0,
+            "Rμ must be a finite non-negative ratio"
+        );
+        assert!(
+            r_o.is_finite() && r_o >= 0.0,
+            "Ro must be a finite non-negative ratio"
+        );
         PerfModel { r_mu, r_o }
     }
 
@@ -28,7 +34,10 @@ impl PerfModel {
         assert!(overhead >= 0.0, "overhead cannot be negative");
         let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
         let mean = times.iter().sum::<f64>() / times.len() as f64;
-        PerfModel { r_mu: mean / best, r_o: overhead / best }
+        PerfModel {
+            r_mu: mean / best,
+            r_o: overhead / best,
+        }
     }
 
     /// The performance improvement `PI = Rμ / (1 + Ro)` — "essentially a

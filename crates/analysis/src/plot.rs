@@ -54,7 +54,11 @@ pub fn ascii_plot(
             let cy = (((tx(p.pi) - y_min) / y_span) * (height - 1) as f64).round() as usize;
             let row = height - 1 - cy;
             let cell = &mut grid[row][cx];
-            *cell = if *cell == b' ' || *cell == glyph { glyph } else { b'#' };
+            *cell = if *cell == b' ' || *cell == glyph {
+                glyph
+            } else {
+                b'#'
+            };
         }
     };
     place(series_a, b'*');
@@ -83,7 +87,13 @@ pub fn ascii_plot(
         Scale::Linear => (x_min, x_max),
         Scale::LogLog => (10f64.powf(x_min), 10f64.powf(x_max)),
     };
-    out.push_str(&format!("{}{:<10.3}{}{:>10.3}\n", " ".repeat(10), x_lo, " ".repeat(width.saturating_sub(20)), x_hi));
+    out.push_str(&format!(
+        "{}{:<10.3}{}{:>10.3}\n",
+        " ".repeat(10),
+        x_lo,
+        " ".repeat(width.saturating_sub(20)),
+        x_hi
+    ));
     out
 }
 

@@ -28,7 +28,10 @@ pub fn fig3_series(r_o: f64, r_mu_max: f64, steps: usize) -> Vec<FigPoint> {
     (0..steps)
         .map(|i| {
             let r_mu = r_mu_max * i as f64 / (steps - 1) as f64;
-            FigPoint { x: r_mu, pi: PerfModel::new(r_mu, r_o).pi() }
+            FigPoint {
+                x: r_mu,
+                pi: PerfModel::new(r_mu, r_o).pi(),
+            }
         })
         .collect()
 }
@@ -38,12 +41,18 @@ pub fn fig3_series(r_o: f64, r_mu_max: f64, steps: usize) -> Vec<FigPoint> {
 /// paper's axes are log–log, `Ro` from 0.01 to 1.0, `Rμ = e`).
 pub fn fig4_series(r_mu: f64, r_o_min: f64, r_o_max: f64, steps: usize) -> Vec<FigPoint> {
     assert!(steps >= 2, "a series needs at least two points");
-    assert!(r_o_min > 0.0 && r_o_max > r_o_min, "log sweep needs 0 < min < max");
+    assert!(
+        r_o_min > 0.0 && r_o_max > r_o_min,
+        "log sweep needs 0 < min < max"
+    );
     let (lo, hi) = (r_o_min.ln(), r_o_max.ln());
     (0..steps)
         .map(|i| {
             let r_o = (lo + (hi - lo) * i as f64 / (steps - 1) as f64).exp();
-            FigPoint { x: r_o, pi: PerfModel::new(r_mu, r_o).pi() }
+            FigPoint {
+                x: r_o,
+                pi: PerfModel::new(r_mu, r_o).pi(),
+            }
         })
         .collect()
 }

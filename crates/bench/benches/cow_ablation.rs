@@ -20,20 +20,24 @@ fn bench(c: &mut Criterion) {
     for &wf in &[0.0f64, 0.2, 0.5, 1.0] {
         let touched = (wf * PAGES as f64) as u64;
 
-        g.bench_with_input(BenchmarkId::new("cow", format!("wf{wf}")), &touched, |b, &touched| {
-            let store = PageStore::new(2048);
-            let parent = store.create_world();
-            for vpn in 0..PAGES {
-                store.write(parent, vpn, 0, &[1]).expect("parent live");
-            }
-            b.iter(|| {
-                let child = store.fork_world(parent).expect("parent live");
-                for vpn in 0..touched {
-                    store.write(child, vpn, 0, &[2]).expect("child live");
+        g.bench_with_input(
+            BenchmarkId::new("cow", format!("wf{wf}")),
+            &touched,
+            |b, &touched| {
+                let store = PageStore::new(2048);
+                let parent = store.create_world();
+                for vpn in 0..PAGES {
+                    store.write(parent, vpn, 0, &[1]).expect("parent live");
                 }
-                store.drop_world(child).expect("child live");
-            });
-        });
+                b.iter(|| {
+                    let child = store.fork_world(parent).expect("parent live");
+                    for vpn in 0..touched {
+                        store.write(child, vpn, 0, &[2]).expect("child live");
+                    }
+                    store.drop_world(child).expect("child live");
+                });
+            },
+        );
 
         g.bench_with_input(
             BenchmarkId::new("eager", format!("wf{wf}")),

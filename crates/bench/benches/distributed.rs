@@ -41,8 +41,10 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_millis(900));
     g.warm_up_time(std::time::Duration::from_millis(200));
 
-    for (name, net) in [("lan_1989", NetModel::lan_1989()), ("datacenter", NetModel::datacenter())]
-    {
+    for (name, net) in [
+        ("lan_1989", NetModel::lan_1989()),
+        ("datacenter", NetModel::datacenter()),
+    ] {
         for &pages in &[18u64, 160] {
             g.bench_with_input(
                 BenchmarkId::new(name, format!("{pages}pages")),

@@ -19,7 +19,11 @@ fn bench_classify(c: &mut Criterion) {
     let accept_r = PredicateSet::new([Pid(10)], [Pid(11)]);
     let ignore_r = PredicateSet::new([Pid(11)], [Pid(10)]);
     let split_r = PredicateSet::empty();
-    for (name, r) in [("accept", &accept_r), ("ignore", &ignore_r), ("split", &split_r)] {
+    for (name, r) in [
+        ("accept", &accept_r),
+        ("ignore", &ignore_r),
+        ("split", &split_r),
+    ] {
         g.bench_function(name, |b| b.iter(|| classify(r, &msg)));
     }
     g.finish();
@@ -34,7 +38,12 @@ fn bench_transport(c: &mut Criterion) {
     g.bench_function("send_recv_round_trip", |b| {
         let net = Network::new();
         b.iter(|| {
-            net.send(Message::new(Pid(1), Pid(2), PredicateSet::empty(), vec![0u8; 64]));
+            net.send(Message::new(
+                Pid(1),
+                Pid(2),
+                PredicateSet::empty(),
+                vec![0u8; 64],
+            ));
             net.recv(Pid(2)).expect("just sent")
         });
     });

@@ -26,7 +26,10 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_millis(900));
     g.warm_up_time(std::time::Duration::from_millis(200));
 
-    for (name, problem) in [("friendly", friendly_problem()), ("hostile", hostile_problem())] {
+    for (name, problem) in [
+        ("friendly", friendly_problem()),
+        ("hostile", hostile_problem()),
+    ] {
         let p = problem.clone();
         g.bench_function(format!("sequential/{name}"), move |b| {
             let poly = standard_polyalgorithm();

@@ -33,8 +33,7 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("race", procs), &procs, |b, &procs| {
             b.iter(|| {
                 let spec = Speculation::new();
-                let report =
-                    parallel_find_roots(&spec, &poly, &TABLE1_ANGLES[..procs], &cfg, None);
+                let report = parallel_find_roots(&spec, &poly, &TABLE1_ANGLES[..procs], &cfg, None);
                 report.succeeded()
             });
         });

@@ -44,7 +44,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["R_mu", "PI analytic", "PI measured", "delta"], &rows));
+    println!(
+        "{}",
+        render_table(&["R_mu", "PI analytic", "PI measured", "delta"], &rows)
+    );
 
     // Persist the series for external plotting (separate files: the
     // analytic sweep is denser than the measured one).

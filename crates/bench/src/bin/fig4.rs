@@ -38,7 +38,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["R_o", "PI analytic", "PI measured", "delta"], &rows));
+    println!(
+        "{}",
+        render_table(&["R_o", "PI analytic", "PI measured", "delta"], &rows)
+    );
 
     for (name, series) in [("fig4_analytic", &analytic), ("fig4_measured", &measured)] {
         let out = std::path::PathBuf::from(format!("target/experiments/{name}.csv"));

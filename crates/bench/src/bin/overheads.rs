@@ -28,8 +28,12 @@ fn main() {
         (fork, r2, r4, el)
     };
     #[cfg(not(unix))]
-    let (fork_ms, rate_2k, rate_4k, elim): (f64, f64, f64, Option<(std::time::Duration, std::time::Duration)>) =
-        (f64::NAN, f64::NAN, f64::NAN, None);
+    let (fork_ms, rate_2k, rate_4k, elim): (
+        f64,
+        f64,
+        f64,
+        Option<(std::time::Duration, std::time::Duration)>,
+    ) = (f64::NAN, f64::NAN, f64::NAN, None);
 
     let (elim_sync_ms, elim_async_ms) = elim
         .map(|(s, a)| (s.as_secs_f64() * 1e3, a.as_secs_f64() * 1e3))
@@ -75,7 +79,15 @@ fn main() {
     ];
     println!(
         "{}",
-        render_table(&["quantity", "paper (1989)", "simulator model", "this host (live)"], &rows)
+        render_table(
+            &[
+                "quantity",
+                "paper (1989)",
+                "simulator model",
+                "this host (live)"
+            ],
+            &rows
+        )
     );
 
     // --- write fraction: the user-level pagestore measuring the paper's
@@ -85,7 +97,9 @@ fn main() {
     let parent = store.create_world();
     let total_pages = 160u64; // 320 KB at 2 KiB pages
     for vpn in 0..total_pages {
-        store.write(parent, vpn, 0, &[1]).expect("parent world live");
+        store
+            .write(parent, vpn, 0, &[1])
+            .expect("parent world live");
     }
     let mut wf_rows = Vec::new();
     for touched in [32u64, 48, 64, 80] {
@@ -101,7 +115,13 @@ fn main() {
         ]);
         store.drop_world(child).expect("child live");
     }
-    println!("{}", render_table(&["child behaviour", "write fraction", "COW traffic"], &wf_rows));
+    println!(
+        "{}",
+        render_table(
+            &["child behaviour", "write fraction", "COW traffic"],
+            &wf_rows
+        )
+    );
     println!("(the paper observed write fractions between 0.2 and 0.5 — the 32..80 page rows)");
 
     // --- this host, as a simulator cost model ---

@@ -13,8 +13,8 @@ use std::time::Instant;
 use worlds::Speculation;
 use worlds_bench::table1::TABLE1_ANGLES;
 use worlds_bench::{render_table, table1_rows, table1_workload};
-use worlds_rootfinder::parallel::parallel_find_roots;
 use worlds_rootfinder::find_all_roots;
+use worlds_rootfinder::parallel::parallel_find_roots;
 
 fn main() {
     println!("Table I reproduction: parallel Jenkins-Traub rootfinder");
@@ -40,7 +40,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["procs", "max", "min", "avg", "fails", "par"], &table));
+    println!(
+        "{}",
+        render_table(&["procs", "max", "min", "avg", "fails", "par"], &table)
+    );
     println!(
         "shape notes: par stays near min for <=2 procs (speculation beats avg),\n\
          then degrades past the CPU count — the paper's 2-CPU contention pattern.\n"
@@ -68,9 +71,18 @@ fn main() {
         let win = report.succeeded();
         real_rows.push(vec![
             procs.to_string(),
-            format!("{:.4}", ok_times.iter().cloned().fold(f64::NEG_INFINITY, f64::max)),
-            format!("{:.4}", ok_times.iter().cloned().fold(f64::INFINITY, f64::min)),
-            format!("{:.4}", ok_times.iter().sum::<f64>() / ok_times.len().max(1) as f64),
+            format!(
+                "{:.4}",
+                ok_times.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            ),
+            format!(
+                "{:.4}",
+                ok_times.iter().cloned().fold(f64::INFINITY, f64::min)
+            ),
+            format!(
+                "{:.4}",
+                ok_times.iter().sum::<f64>() / ok_times.len().max(1) as f64
+            ),
             fails.to_string(),
             format!("{:.4}{}", par, if win { "" } else { "!" }),
         ]);
@@ -83,6 +95,8 @@ fn main() {
         "(host has {} CPU(s); with fewer CPUs than procs the real-time par column\n\
          shows contention rather than speedup — use the virtual-time table above\n\
          for the paper's 2-CPU shape)",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
 }

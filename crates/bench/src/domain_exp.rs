@@ -84,6 +84,7 @@ pub fn run_scenario(
     let n_alts = sc.alts.len();
     let mut times = vec![vec![0.0f64; inputs]; n_alts];
     let mut walls = Vec::with_capacity(inputs);
+    #[allow(clippy::needless_range_loop)] // `input` indexes the inner axis of `times`
     for input in 0..inputs {
         let block = BlockSpec::new(
             (0..n_alts)
@@ -114,7 +115,11 @@ mod tests {
         let sc = &scenarios()[0];
         let (d, walls) = run_scenario(sc, 16, &cost(), 0.2);
         assert_eq!(d.win_fraction(), 1.0);
-        assert!(d.complementarity() > 0.4, "complementarity {}", d.complementarity());
+        assert!(
+            d.complementarity() > 0.4,
+            "complementarity {}",
+            d.complementarity()
+        );
         assert!(d.domain_pi() > 1.5);
         // The simulated walls actually track the per-input best.
         for (input, w) in walls.iter().enumerate() {
@@ -140,7 +145,10 @@ mod tests {
         let sc = &scenarios()[1];
         let (d, _) = run_scenario(sc, 48, &cost(), 0.2);
         let hist = d.winner_histogram();
-        assert!(hist.iter().all(|&c| c > 0), "every algorithm wins somewhere: {hist:?}");
+        assert!(
+            hist.iter().all(|&c| c > 0),
+            "every algorithm wins somewhere: {hist:?}"
+        );
         assert!(d.domain_pi() > 1.5, "scattered winners reward speculation");
     }
 
@@ -150,6 +158,9 @@ mod tests {
         let (cheap, _) = run_scenario(sc, 16, &cost(), 0.2);
         let (dear, _) = run_scenario(sc, 16, &cost(), 400.0);
         assert!(dear.domain_pi() < cheap.domain_pi());
-        assert!(dear.win_fraction() < 1.0, "400 ms overhead loses some inputs");
+        assert!(
+            dear.win_fraction() < 1.0,
+            "400 ms overhead loses some inputs"
+        );
     }
 }

@@ -48,7 +48,10 @@ pub fn fig3_measured(r_o: f64, r_mu_max: f64, steps: usize) -> Vec<FigPoint> {
             let r_mu = 1.0 + (r_mu_max - 1.0) * i as f64 / (steps - 1) as f64;
             let mut machine = Machine::new(model_with_ro(r_o));
             let report = machine.run_block(&block_with_rmu(r_mu));
-            FigPoint { x: r_mu, pi: report.pi().expect("block succeeds") }
+            FigPoint {
+                x: r_mu,
+                pi: report.pi().expect("block succeeds"),
+            }
         })
         .collect()
 }
@@ -62,7 +65,10 @@ pub fn fig4_measured(r_mu: f64, r_o_min: f64, r_o_max: f64, steps: usize) -> Vec
             let r_o = (lo + (hi - lo) * i as f64 / (steps - 1) as f64).exp();
             let mut machine = Machine::new(model_with_ro(r_o));
             let report = machine.run_block(&block_with_rmu(r_mu));
-            FigPoint { x: r_o, pi: report.pi().expect("block succeeds") }
+            FigPoint {
+                x: r_o,
+                pi: report.pi().expect("block succeeds"),
+            }
         })
         .collect()
 }
@@ -77,7 +83,12 @@ mod tests {
         for p in fig3_measured(0.5, 5.0, 9) {
             let analytic = PerfModel::new(p.x, 0.5).pi();
             let err = (p.pi - analytic).abs() / analytic;
-            assert!(err < 0.02, "Rμ={}: measured {} vs analytic {analytic}", p.x, p.pi);
+            assert!(
+                err < 0.02,
+                "Rμ={}: measured {} vs analytic {analytic}",
+                p.x,
+                p.pi
+            );
         }
     }
 
@@ -87,7 +98,12 @@ mod tests {
         for p in fig4_measured(e, 0.01, 1.0, 7) {
             let analytic = PerfModel::new(e, p.x).pi();
             let err = (p.pi - analytic).abs() / analytic;
-            assert!(err < 0.02, "Ro={}: measured {} vs analytic {analytic}", p.x, p.pi);
+            assert!(
+                err < 0.02,
+                "Ro={}: measured {} vs analytic {analytic}",
+                p.x,
+                p.pi
+            );
         }
     }
 

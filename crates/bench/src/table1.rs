@@ -48,7 +48,11 @@ pub struct Table1Row {
 /// fail — reproducing the paper's nonzero `fails` column.
 pub fn table1_workload() -> (Poly, JtConfig) {
     let (poly, _) = legendre_like(16);
-    let cfg = JtConfig { stage2_iters: 12, stage3_iters: 10, ..JtConfig::default() };
+    let cfg = JtConfig {
+        stage2_iters: 12,
+        stage3_iters: 10,
+        ..JtConfig::default()
+    };
     (poly, cfg)
 }
 
@@ -75,7 +79,9 @@ fn per_angle_seconds(poly: &Poly, cfg: &JtConfig, calibrate_min_s: f64) -> Vec<(
         .min()
         .expect("at least one angle must succeed for Table I");
     let scale = calibrate_min_s / min_ok as f64;
-    raw.into_iter().map(|(it, ok)| (it as f64 * scale, ok)).collect()
+    raw.into_iter()
+        .map(|(it, ok)| (it as f64 * scale, ok))
+        .collect()
 }
 
 /// Build Table I rows for 1..=`max_procs` processes.
@@ -123,7 +129,14 @@ pub fn table1_rows(max_procs: usize) -> Vec<Table1Row> {
                 Outcome::Winner { .. } => report.wall.as_secs(),
                 _ => f64::NAN,
             };
-            Table1Row { procs, max_s, min_s, avg_s, fails, par_s }
+            Table1Row {
+                procs,
+                max_s,
+                min_s,
+                avg_s,
+                fails,
+                par_s,
+            }
         })
         .collect()
 }
@@ -138,7 +151,10 @@ mod tests {
         let seconds = per_angle_seconds(&poly, &cfg, 4.01);
         let oks = seconds.iter().filter(|(_, ok)| *ok).count();
         assert!(oks >= 4, "most angles should succeed, got {oks}/6");
-        assert!(oks < seconds.len(), "some angle must fail for the fails column");
+        assert!(
+            oks < seconds.len(),
+            "some angle must fail for the fails column"
+        );
         assert!(seconds[0].1, "the first (calibration) angle must succeed");
     }
 
@@ -159,7 +175,10 @@ mod tests {
         }
         // With only 2 CPUs, large process counts contend: the last row's
         // par is worse than the 2-process row's.
-        assert!(rows[5].par_s > rows[1].par_s, "contention shape lost: {rows:?}");
+        assert!(
+            rows[5].par_s > rows[1].par_s,
+            "contention shape lost: {rows:?}"
+        );
         // Speculation wins somewhere: par beats avg on some row with ≥ 2
         // procs (the paper's row 2: 4.25 < 4.28).
         assert!(
@@ -173,8 +192,15 @@ mod tests {
         let rows = table1_rows(1);
         let r = &rows[0];
         assert_eq!(r.fails, 0, "the calibrated first angle succeeds");
-        assert!((r.min_s - 4.01).abs() < 0.2, "calibration anchor: {}", r.min_s);
-        assert!(r.par_s > r.min_s, "1-proc parallel run still pays fork+commit");
+        assert!(
+            (r.min_s - 4.01).abs() < 0.2,
+            "calibration anchor: {}",
+            r.min_s
+        );
+        assert!(
+            r.par_s > r.min_s,
+            "1-proc parallel run still pays fork+commit"
+        );
         assert!(r.par_s < r.min_s * 1.2, "overhead should be small: {r:?}");
     }
 

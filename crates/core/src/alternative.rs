@@ -110,9 +110,13 @@ mod tests {
 
     #[test]
     fn in_child_guard_is_an_early_err() {
-        let alt: Alternative<u32> =
-            Alternative::new("nope", |_| Err(AltError::GuardFailed("precondition".into())));
-        assert!(matches!(alt.execute(&mut ctx()), Err(AltError::GuardFailed(_))));
+        let alt: Alternative<u32> = Alternative::new("nope", |_| {
+            Err(AltError::GuardFailed("precondition".into()))
+        });
+        assert!(matches!(
+            alt.execute(&mut ctx()),
+            Err(AltError::GuardFailed(_))
+        ));
     }
 
     #[test]
@@ -120,7 +124,10 @@ mod tests {
         let pass = Alternative::new("ok", |_| Ok(10)).guard(|v| *v > 5);
         let fail = Alternative::new("ko", |_| Ok(3)).guard(|v| *v > 5);
         assert_eq!(pass.execute(&mut ctx()).unwrap(), 10);
-        assert!(matches!(fail.execute(&mut ctx()), Err(AltError::GuardFailed(_))));
+        assert!(matches!(
+            fail.execute(&mut ctx()),
+            Err(AltError::GuardFailed(_))
+        ));
     }
 
     #[test]

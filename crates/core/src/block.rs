@@ -29,7 +29,11 @@ pub struct AltBlock<T> {
 
 impl<T> Default for AltBlock<T> {
     fn default() -> Self {
-        AltBlock { alts: Vec::new(), timeout: None, elim: ElimMode::default() }
+        AltBlock {
+            alts: Vec::new(),
+            timeout: None,
+            elim: ElimMode::default(),
+        }
     }
 }
 
@@ -85,7 +89,10 @@ impl<T> AltBlock<T> {
 impl<T> std::fmt::Debug for AltBlock<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AltBlock")
-            .field("alts", &self.alts.iter().map(|a| &a.label).collect::<Vec<_>>())
+            .field(
+                "alts",
+                &self.alts.iter().map(|a| &a.label).collect::<Vec<_>>(),
+            )
             .field("timeout", &self.timeout)
             .field("elim", &self.elim)
             .finish()

@@ -56,7 +56,14 @@ impl WorldCtx {
         predicates: PredicateSet,
         cancel: CancelToken,
     ) -> Self {
-        WorldCtx { fs, world, pid, predicates, cancel, output: Vec::new() }
+        WorldCtx {
+            fs,
+            world,
+            pid,
+            predicates,
+            cancel,
+            output: Vec::new(),
+        }
     }
 
     /// This world's process id.
@@ -195,7 +202,13 @@ mod tests {
         let store = PageStore::new(256);
         let world = store.create_world();
         let fs = FileSystem::new(store);
-        WorldCtx::new(fs, world, Pid::fresh(), PredicateSet::empty(), CancelToken::new())
+        WorldCtx::new(
+            fs,
+            world,
+            Pid::fresh(),
+            PredicateSet::empty(),
+            CancelToken::new(),
+        )
     }
 
     #[test]
@@ -241,7 +254,10 @@ mod tests {
         let mut c = ctx();
         c.print("line one");
         c.print(String::from("line two"));
-        assert_eq!(c.buffered_output(), &["line one".to_string(), "line two".to_string()]);
+        assert_eq!(
+            c.buffered_output(),
+            &["line one".to_string(), "line two".to_string()]
+        );
     }
 
     #[test]

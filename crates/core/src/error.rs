@@ -41,7 +41,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(AltError::GuardFailed("x<0".into()).to_string().contains("x<0"));
+        assert!(AltError::GuardFailed("x<0".into())
+            .to_string()
+            .contains("x<0"));
         assert!(AltError::Cancelled.to_string().contains("sibling"));
         assert!(AltError::State("boom".into()).to_string().contains("boom"));
     }

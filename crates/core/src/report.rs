@@ -83,7 +83,10 @@ impl<T> RunReport<T> {
     /// examples): outcome, wall time, and one line per alternative.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("outcome: {:?}  (wall {:?})\n", self.outcome, self.wall));
+        out.push_str(&format!(
+            "outcome: {:?}  (wall {:?})\n",
+            self.outcome, self.wall
+        ));
         for a in &self.alts {
             let when = a
                 .reported_after
@@ -107,7 +110,10 @@ impl<T> RunReport<T> {
             ));
         }
         if !self.committed_output.is_empty() {
-            out.push_str(&format!("  committed output: {} line(s)\n", self.committed_output.len()));
+            out.push_str(&format!(
+                "  committed output: {} line(s)\n",
+                self.committed_output.len()
+            ));
         }
         out
     }
@@ -128,7 +134,10 @@ mod tests {
     #[test]
     fn helpers() {
         let r: RunReport<u32> = RunReport {
-            outcome: RunOutcome::Winner { index: 0, label: "a".into() },
+            outcome: RunOutcome::Winner {
+                index: 0,
+                label: "a".into(),
+            },
             value: Some(1),
             wall: Duration::from_millis(5),
             alts: vec![
@@ -156,7 +165,10 @@ mod tests {
     #[test]
     fn render_mentions_every_alternative() {
         let r: RunReport<u32> = RunReport {
-            outcome: RunOutcome::Winner { index: 0, label: "a".into() },
+            outcome: RunOutcome::Winner {
+                index: 0,
+                label: "a".into(),
+            },
             value: Some(1),
             wall: Duration::from_millis(5),
             alts: vec![

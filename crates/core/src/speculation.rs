@@ -20,6 +20,7 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use worlds_ipc::{SourceDevice, Teletype};
+use worlds_obs::{Event as ObsEvent, EventKind, Registry};
 use worlds_pagestore::{FileSystem, PageStore, WorldId, PAGE_SIZE_DEFAULT};
 use worlds_predicate::{Pid, PredicateSet};
 
@@ -75,17 +76,37 @@ impl Speculation {
     }
 
     /// A session with an explicit page size (the paper's machines used
-    /// 2 KiB and 4 KiB).
+    /// 2 KiB and 4 KiB). Observability comes from the environment
+    /// ([`Registry::from_env`]): unset means a disabled, zero-cost
+    /// registry.
     pub fn with_page_size(page_size: usize) -> Self {
-        let store = PageStore::new(page_size);
+        Speculation::with_obs(page_size, Registry::from_env())
+    }
+
+    /// A session with an explicit observability registry; the page store
+    /// and every block executed through [`Speculation::run`] report into
+    /// it.
+    pub fn with_obs(page_size: usize, obs: Registry) -> Self {
+        let store = PageStore::with_obs(page_size, obs);
         let root_world = store.create_world();
         let fs = FileSystem::new(store.clone());
-        Speculation { store, fs, tty: Teletype::new(), root_world, root_pid: Pid::fresh() }
+        Speculation {
+            store,
+            fs,
+            tty: Teletype::new(),
+            root_world,
+            root_pid: Pid::fresh(),
+        }
     }
 
     /// The session's page store (for stats and diagnostics).
     pub fn store(&self) -> &PageStore {
         &self.store
+    }
+
+    /// The session's observability registry (disabled unless configured).
+    pub fn obs(&self) -> &Registry {
+        self.store.obs()
     }
 
     /// The session teletype: only committed output ever appears here.
@@ -156,6 +177,14 @@ impl Speculation {
         let n = block.alts.len();
         let start = Instant::now();
         let stats_before = self.store.stats();
+        // Real threads have no discrete-event clock: virtual time is wall
+        // time since the registry was enabled. The store clock is advanced
+        // at every parent-side step so COW events carry sane stamps.
+        let obs = self.store.obs().clone();
+        let obs_on = obs.is_enabled();
+        if obs_on {
+            self.store.set_clock_ns(obs.now_ns());
+        }
 
         if n == 0 {
             return RunReport {
@@ -179,6 +208,7 @@ impl Speculation {
         let mut labels: Vec<String> = Vec::with_capacity(n);
 
         let mut skipped: Vec<bool> = Vec::with_capacity(n);
+        let mut child_worlds: Vec<Option<WorldId>> = Vec::with_capacity(n);
         for (i, alt) in block.alts.into_iter().enumerate() {
             labels.push(alt.label.clone());
             // Pre-spawn guards run serially in the parent; failing
@@ -187,11 +217,32 @@ impl Speculation {
                 if !g() {
                     skipped.push(true);
                     verdict_txs.push(None);
+                    child_worlds.push(None);
+                    obs.emit(|| {
+                        ObsEvent::new(
+                            EventKind::GuardVerdict { pass: false },
+                            parent_world.raw(),
+                            None,
+                            obs.now_ns(),
+                        )
+                    });
                     continue;
                 }
             }
             skipped.push(false);
-            let world = self.store.fork_world(parent_world).expect("parent world is live");
+            let world = self
+                .store
+                .fork_world(parent_world)
+                .expect("parent world is live");
+            child_worlds.push(Some(world));
+            obs.emit(|| {
+                ObsEvent::new(
+                    EventKind::Spawn { alt: i as u64 },
+                    world.raw(),
+                    Some(parent_world.raw()),
+                    obs.now_ns(),
+                )
+            });
             let preds = PredicateSet::for_spawned_child(parent_preds, pids[i], &pids);
             let fs = self.fs.clone();
             let store = self.store.clone();
@@ -292,16 +343,52 @@ impl Speculation {
                 .world_stats(msg.world)
                 .ok()
                 .map(|s| s.pages_cowed + s.pages_zero_filled);
+            if obs_on {
+                self.store.set_clock_ns(obs.now_ns());
+                let pass = msg.result.is_ok();
+                obs.emit(|| {
+                    ObsEvent::new(
+                        EventKind::GuardVerdict { pass },
+                        msg.world.raw(),
+                        Some(parent_world.raw()),
+                        obs.now_ns(),
+                    )
+                });
+            }
 
             match msg.result {
                 Ok(v) => {
                     // First success wins: commit.
                     alt_runs[i].status = AltRunStatus::Won;
-                    outcome = RunOutcome::Winner { index: i, label: labels[i].clone() };
+                    obs.emit(|| {
+                        ObsEvent::new(
+                            EventKind::Rendezvous,
+                            msg.world.raw(),
+                            Some(parent_world.raw()),
+                            obs.now_ns(),
+                        )
+                    });
+                    outcome = RunOutcome::Winner {
+                        index: i,
+                        label: labels[i].clone(),
+                    };
                     value = Some(v);
+                    let adopt_start = Instant::now();
                     self.store
                         .adopt(parent_world, msg.world)
                         .expect("winner world is a child of the parent");
+                    let dirty_pages = alt_runs[i].pages_dirtied.unwrap_or(0);
+                    obs.emit(|| {
+                        ObsEvent::new(
+                            EventKind::Commit {
+                                dirty_pages,
+                                overhead_ns: adopt_start.elapsed().as_nanos() as u64,
+                            },
+                            msg.world.raw(),
+                            Some(parent_world.raw()),
+                            obs.now_ns(),
+                        )
+                    });
                     if parent_preds.is_resolved() {
                         for line in &msg.output {
                             self.tty
@@ -328,11 +415,20 @@ impl Speculation {
             RunOutcome::Winner { index, .. } => Some(*index),
             _ => None,
         };
+        if obs_on {
+            self.store.set_clock_ns(obs.now_ns());
+            if matches!(outcome, RunOutcome::TimedOut) {
+                obs.emit(|| {
+                    ObsEvent::new(EventKind::Timeout, parent_world.raw(), None, obs.now_ns())
+                });
+            }
+        }
         for (i, tx) in verdict_txs.iter_mut().enumerate() {
             if let Some(tx) = tx.take() {
                 let _ = tx.send(Some(i) == winner_index);
             }
         }
+        let elim_start = Instant::now();
 
         if block.elim == ElimMode::Sync {
             // Synchronous elimination: wait for every sibling to terminate
@@ -340,11 +436,35 @@ impl Speculation {
             for h in handles {
                 let _ = h.join();
             }
-            // Late reports tell us how the losers ended.
+            // Late reports tell us how the losers ended. Each is that
+            // child's only report, so its guard verdict has not been
+            // recorded yet; losers that reached the sync point with a
+            // passing guard still count as a rendezvous.
             while let Ok(msg) = report_rx.try_recv() {
                 let i = msg.index;
                 if alt_runs[i].reported_after.is_none() {
                     alt_runs[i].reported_after = Some(msg.elapsed);
+                }
+                if obs_on {
+                    let pass = msg.result.is_ok();
+                    obs.emit(|| {
+                        ObsEvent::new(
+                            EventKind::GuardVerdict { pass },
+                            msg.world.raw(),
+                            Some(parent_world.raw()),
+                            obs.now_ns(),
+                        )
+                    });
+                    if pass {
+                        obs.emit(|| {
+                            ObsEvent::new(
+                                EventKind::Rendezvous,
+                                msg.world.raw(),
+                                Some(parent_world.raw()),
+                                obs.now_ns(),
+                            )
+                        });
+                    }
                 }
                 if matches!(alt_runs[i].status, AltRunStatus::StillRunning) {
                     alt_runs[i].status = match msg.result {
@@ -357,6 +477,37 @@ impl Speculation {
             // Asynchronous elimination: detach; the loser threads drop
             // their worlds on their own time.
             drop(handles);
+        }
+
+        if obs_on {
+            // Every spawned world that did not commit is eliminated —
+            // exactly once, whatever state its thread was in. Sync mode
+            // charges the join wait; async elimination is off the
+            // parent's critical path and charges nothing.
+            let overhead_ns = match block.elim {
+                ElimMode::Sync => elim_start.elapsed().as_nanos() as u64,
+                ElimMode::Async => 0,
+            };
+            self.store.set_clock_ns(obs.now_ns());
+            for (i, world) in child_worlds.iter().enumerate() {
+                let Some(world) = world else { continue };
+                if Some(i) == winner_index {
+                    continue;
+                }
+                let kind = match block.elim {
+                    ElimMode::Sync => EventKind::EliminateSync { overhead_ns },
+                    ElimMode::Async => EventKind::EliminateAsync,
+                };
+                obs.emit(|| {
+                    ObsEvent::new(
+                        kind.clone(),
+                        world.raw(),
+                        Some(parent_world.raw()),
+                        obs.now_ns(),
+                    )
+                });
+            }
+            obs.flush();
         }
 
         RunReport {
@@ -464,7 +615,10 @@ mod tests {
                 .elim(ElimMode::Sync),
         );
         assert_eq!(r.outcome, RunOutcome::TimedOut);
-        assert!(r.wall < Duration::from_millis(1500), "timeout must not hang");
+        assert!(
+            r.wall < Duration::from_millis(1500),
+            "timeout must not hang"
+        );
     }
 
     #[test]
@@ -590,7 +744,11 @@ mod tests {
                 .elim(ElimMode::Sync),
         );
         assert!(report.succeeded());
-        assert_eq!(spec.read(|c| c.get_u64("x")), Some(8), "nested result committed to root");
+        assert_eq!(
+            spec.read(|c| c.get_u64("x")),
+            Some(8),
+            "nested result committed to root"
+        );
     }
 
     #[test]
@@ -609,10 +767,12 @@ mod tests {
                     let inner = session.run_in(
                         ctx.world_id(),
                         ctx.predicates(),
-                        AltBlock::new().alt("inner", |ictx| {
-                            ictx.put_u64("x", 999)?;
-                            Ok(0u8)
-                        }).elim(ElimMode::Sync),
+                        AltBlock::new()
+                            .alt("inner", |ictx| {
+                                ictx.put_u64("x", 999)?;
+                                Ok(0u8)
+                            })
+                            .elim(ElimMode::Sync),
                     );
                     let _ = inner;
                     ctx.checkpoint()?;
@@ -638,10 +798,12 @@ mod tests {
                     let inner = session.run_in(
                         ctx.world_id(),
                         ctx.predicates(),
-                        AltBlock::new().alt("inner", |ictx| {
-                            ictx.print("inner speaks");
-                            Ok(0u8)
-                        }).elim(ElimMode::Sync),
+                        AltBlock::new()
+                            .alt("inner", |ictx| {
+                                ictx.print("inner speaks");
+                                Ok(0u8)
+                            })
+                            .elim(ElimMode::Sync),
                     );
                     // The inner output is handed back, not printed; the
                     // outer alternative re-buffers it.
@@ -662,9 +824,7 @@ mod tests {
         let before = spec.store().stats();
         let r = spec.run(
             AltBlock::new()
-                .alternative(
-                    Alternative::new("rejected", |_| Ok(1u32)).pre_guard(|| false),
-                )
+                .alternative(Alternative::new("rejected", |_| Ok(1u32)).pre_guard(|| false))
                 .alternative(Alternative::new("accepted", |_| Ok(2u32)).pre_guard(|| true))
                 .elim(ElimMode::Sync),
         );
@@ -706,6 +866,47 @@ mod tests {
     }
 
     #[test]
+    fn obs_accounts_for_every_world_in_real_thread_mode() {
+        let spec = Speculation::with_obs(PAGE_SIZE_DEFAULT, Registry::enabled());
+        spec.setup(|c| c.put_u64("x", 1)).unwrap();
+        let r = spec.run(
+            AltBlock::new()
+                .alternative(Alternative::new("skipped", |_| Ok(0u8)).pre_guard(|| false))
+                .alt("fails", |_| Err(AltError::GuardFailed("no".into())))
+                .alt("wins", |ctx| {
+                    ctx.put_u64("x", 2)?;
+                    Ok(1u8)
+                })
+                .alt("loses", |ctx| {
+                    std::thread::sleep(Duration::from_millis(150));
+                    ctx.checkpoint()?;
+                    Ok(2)
+                })
+                .elim(ElimMode::Sync),
+        );
+        assert_eq!(r.winner_label(), Some("wins"));
+        let s = spec.obs().stats().expect("registry is enabled");
+        let spawned = s.kernel.worlds_spawned.get();
+        assert_eq!(spawned, 3, "three alternatives pass the pre-spawn guard");
+        assert_eq!(
+            s.kernel.commits.get()
+                + s.kernel.eliminations_sync.get()
+                + s.kernel.eliminations_async.get(),
+            spawned,
+            "every spawned world commits or is eliminated"
+        );
+        assert_eq!(s.kernel.commits.get(), 1);
+        assert!(
+            s.kernel.guard_fail.get() >= 2,
+            "pre-spawn + runtime failures"
+        );
+        assert!(
+            s.pagestore.page_copies.get() >= 1,
+            "the winner rewrote a shared page"
+        );
+    }
+
+    #[test]
     fn worlds_are_reclaimed_after_sync_block() {
         let spec = Speculation::new();
         spec.setup(|c| c.put_u64("x", 1)).unwrap();
@@ -721,6 +922,10 @@ mod tests {
                 })
                 .elim(ElimMode::Sync),
         );
-        assert_eq!(spec.store().world_count(), 1, "only the root world survives");
+        assert_eq!(
+            spec.store().world_count(),
+            1,
+            "only the root world survives"
+        );
     }
 }

@@ -14,8 +14,11 @@ struct AltGen {
 }
 
 fn arb_alt() -> impl Strategy<Value = AltGen> {
-    (0u8..15, prop::bool::weighted(0.7), 1u64..1000)
-        .prop_map(|(sleep_ms, guard, value)| AltGen { sleep_ms, guard, value })
+    (0u8..15, prop::bool::weighted(0.7), 1u64..1000).prop_map(|(sleep_ms, guard, value)| AltGen {
+        sleep_ms,
+        guard,
+        value,
+    })
 }
 
 proptest! {

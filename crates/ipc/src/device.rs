@@ -33,7 +33,9 @@ pub enum DeviceError {
 impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DeviceError::Unresolved { pending_assumptions } => write!(
+            DeviceError::Unresolved {
+                pending_assumptions,
+            } => write!(
                 f,
                 "world has {pending_assumptions} unresolved assumption(s); source access denied"
             ),
@@ -80,7 +82,9 @@ impl Teletype {
 impl SourceDevice for Teletype {
     fn emit(&self, predicates: &PredicateSet, data: &[u8]) -> Result<(), DeviceError> {
         if !predicates.is_resolved() {
-            return Err(DeviceError::Unresolved { pending_assumptions: predicates.len() });
+            return Err(DeviceError::Unresolved {
+                pending_assumptions: predicates.len(),
+            });
         }
         self.lines.lock().push(data.to_vec());
         Ok(())
@@ -99,7 +103,10 @@ pub struct BufferedSource<D: SourceDevice> {
 impl<D: SourceDevice> BufferedSource<D> {
     /// Wrap `inner` with an empty speculation buffer.
     pub fn new(inner: D) -> Self {
-        BufferedSource { inner, pending: Mutex::new(Vec::new()) }
+        BufferedSource {
+            inner,
+            pending: Mutex::new(Vec::new()),
+        }
     }
 
     /// Queue an emission regardless of predicate state. Resolved worlds
@@ -118,7 +125,9 @@ impl<D: SourceDevice> BufferedSource<D> {
     /// now-resolved predicates at commit.
     pub fn commit(&self, predicates: &PredicateSet) -> Result<usize, DeviceError> {
         if !predicates.is_resolved() {
-            return Err(DeviceError::Unresolved { pending_assumptions: predicates.len() });
+            return Err(DeviceError::Unresolved {
+                pending_assumptions: predicates.len(),
+            });
         }
         let drained: Vec<Vec<u8>> = std::mem::take(&mut *self.pending.lock());
         let n = drained.len();
@@ -157,7 +166,12 @@ mod tests {
         let tty = Teletype::new();
         let preds = PredicateSet::new([Pid(1)], [Pid(2)]);
         let err = tty.emit(&preds, b"leak!").unwrap_err();
-        assert_eq!(err, DeviceError::Unresolved { pending_assumptions: 2 });
+        assert_eq!(
+            err,
+            DeviceError::Unresolved {
+                pending_assumptions: 2
+            }
+        );
         assert!(tty.output().is_empty(), "nothing observable leaked");
     }
 
@@ -208,7 +222,9 @@ mod tests {
 
     #[test]
     fn device_error_display() {
-        let e = DeviceError::Unresolved { pending_assumptions: 3 };
+        let e = DeviceError::Unresolved {
+            pending_assumptions: 3,
+        };
         assert!(e.to_string().contains('3'));
     }
 }

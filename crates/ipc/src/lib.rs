@@ -35,6 +35,6 @@ mod router;
 pub use channel::{Mailbox, Network};
 pub use device::{BufferedSource, DeviceError, SourceDevice, Teletype};
 pub use message::{Message, MsgId};
-pub use router::{classify, DeliveryAction};
+pub use router::{classify, classify_observed, DeliveryAction};
 
 pub use worlds_predicate::{Compat, Pid, PredicateSet};

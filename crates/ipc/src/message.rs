@@ -30,7 +30,13 @@ impl Message {
     /// Build a message; the network stamps `id` at send time, so it starts
     /// as `MsgId(0)` here.
     pub fn new(src: Pid, dst: Pid, predicate: PredicateSet, payload: impl Into<Vec<u8>>) -> Self {
-        Message { id: MsgId(0), src, dst, predicate, payload: payload.into() }
+        Message {
+            id: MsgId(0),
+            src,
+            dst,
+            predicate,
+            payload: payload.into(),
+        }
     }
 
     /// Payload interpreted as UTF-8, for diagnostics and tests.

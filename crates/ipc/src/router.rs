@@ -42,6 +42,31 @@ pub fn classify(receiver: &PredicateSet, msg: &Message) -> DeliveryAction {
     }
 }
 
+/// [`classify`], reported to an observability registry: the decision is
+/// emitted as a `MsgAccept` / `MsgExtend` / `MsgIgnore` / `MsgSplit`
+/// event stamped with the receiving world and the caller's virtual
+/// time. `classify` itself stays pure; kernels that route predicated
+/// messages call this wrapper.
+pub fn classify_observed(
+    receiver: &PredicateSet,
+    msg: &Message,
+    obs: &worlds_obs::Registry,
+    world: u64,
+    vt_ns: u64,
+) -> DeliveryAction {
+    let action = classify(receiver, msg);
+    obs.emit(|| {
+        let kind = match &action {
+            DeliveryAction::Deliver => worlds_obs::EventKind::MsgAccept,
+            DeliveryAction::DeliverExtended { .. } => worlds_obs::EventKind::MsgExtend,
+            DeliveryAction::Ignore => worlds_obs::EventKind::MsgIgnore,
+            DeliveryAction::SplitReceiver { .. } => worlds_obs::EventKind::MsgSplit,
+        };
+        worlds_obs::Event::new(kind, world, None, vt_ns)
+    });
+    action
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -223,7 +223,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let m = CostModel::ideal(4).with_cpus(6).with_fork(VirtualTime::from_ms(1.0));
+        let m = CostModel::ideal(4)
+            .with_cpus(6)
+            .with_fork(VirtualTime::from_ms(1.0));
         assert_eq!(m.cpus, 6);
         assert_eq!(m.fork.as_ms(), 1.0);
         let m = m.with_page_copy(VirtualTime::from_ms(2.0));

@@ -4,6 +4,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use worlds_obs::{Event as ObsEvent, EventKind, Registry};
 use worlds_pagestore::{PageStore, WorldId};
 
 use crate::costs::CostModel;
@@ -65,13 +66,29 @@ enum Ev {
 pub struct Machine {
     cost: CostModel,
     store: PageStore,
+    obs: Registry,
 }
 
 impl Machine {
     /// Build a machine; its page store uses the model's page size.
+    /// Observability is disabled (zero-cost); use [`Machine::with_obs`]
+    /// to wire a registry.
     pub fn new(cost: CostModel) -> Self {
-        let store = PageStore::new(cost.page_size);
-        Machine { cost, store }
+        Self::with_obs(cost, Registry::disabled())
+    }
+
+    /// Build a machine wired to an observability registry. The page
+    /// store shares the registry and is driven by the machine's virtual
+    /// clock, so page events carry the same world ids and timestamps as
+    /// kernel events.
+    pub fn with_obs(cost: CostModel, obs: Registry) -> Self {
+        let store = PageStore::with_obs(cost.page_size, obs.clone());
+        Machine { cost, store, obs }
+    }
+
+    /// The machine's observability registry.
+    pub fn obs(&self) -> &Registry {
+        &self.obs
     }
 
     /// The machine's cost model.
@@ -111,6 +128,7 @@ impl Machine {
     pub fn run_block_traced(&mut self, spec: &BlockSpec) -> (SimReport, Trace) {
         let n = spec.alts.len();
         let quantum = self.cost.quantum.as_ns().max(1);
+        let obs_on = self.obs.is_enabled();
 
         // --- Parent setup: shared state, pre-spawn guards, forks. ---
         let parent_world = self.store.create_world();
@@ -122,13 +140,13 @@ impl Machine {
 
         let mut t_setup: u64 = 0;
         let mut spawned: Vec<bool> = vec![true; n];
+        let mut guard_times: Vec<u64> = vec![0; n];
         if spec.guard_placement == GuardPlacement::PreSpawn {
-            for alt in &spec.alts {
+            for (i, alt) in spec.alts.iter().enumerate() {
                 t_setup += alt.guard_cost.as_ns();
+                guard_times[i] = t_setup;
                 // A failing guard is discovered here; that alternative is
                 // never spawned.
-            }
-            for (i, alt) in spec.alts.iter().enumerate() {
                 spawned[i] = alt.guard_pass;
             }
         }
@@ -138,10 +156,10 @@ impl Machine {
         let mut payloads: Vec<Ev> = Vec::new();
         let mut seq: u64 = 0;
         let push_ev = |events: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
-                           payloads: &mut Vec<Ev>,
-                           seq: &mut u64,
-                           time: u64,
-                           ev: Ev| {
+                       payloads: &mut Vec<Ev>,
+                       seq: &mut u64,
+                       time: u64,
+                       ev: Ev| {
             payloads.push(ev);
             events.push(Reverse((time, *seq, payloads.len() - 1)));
             *seq += 1;
@@ -167,7 +185,10 @@ impl Machine {
             // ready once its fork completes.
             t_setup += self.cost.fork.as_ns();
             spawn_overhead += self.cost.fork.as_ns();
-            let world = self.store.fork_world(parent_world).expect("parent world is live");
+            let world = self
+                .store
+                .fork_world(parent_world)
+                .expect("parent world is live");
             let ops = compile(alt, spec.guard_placement);
             procs.push(Proc {
                 alt_index: i,
@@ -203,6 +224,11 @@ impl Machine {
 
         'sim: while let Some(Reverse((t, _s, pidx))) = events.pop() {
             now = t;
+            if obs_on {
+                // Keep the store's virtual clock current so page events
+                // (COW copies, zero fills) carry simulation timestamps.
+                self.store.set_clock_ns(now);
+            }
             match &payloads[pidx] {
                 Ev::Ready(p) => {
                     ready.push_back(*p);
@@ -305,9 +331,9 @@ impl Machine {
             // All processes finished without a winner?
             if winner.is_none()
                 && !timed_out
-                && procs.iter().all(|p| {
-                    matches!(p.state, ProcState::Done | ProcState::Aborted)
-                })
+                && procs
+                    .iter()
+                    .all(|p| matches!(p.state, ProcState::Done | ProcState::Aborted))
                 && cpus.iter().all(|c| c.is_none())
                 && ready.is_empty()
             {
@@ -338,8 +364,7 @@ impl Machine {
 
         let outcome = if let Some(w) = winner {
             let dirty = per_proc_dirty[w];
-            commit_overhead = self.cost.rendezvous.as_ns()
-                + dirty * self.cost.commit_copy.as_ns();
+            commit_overhead = self.cost.rendezvous.as_ns() + dirty * self.cost.commit_copy.as_ns();
             // Adopt the winner's world into the parent: the atomic page-map
             // replacement of §2.2.
             self.store
@@ -349,8 +374,7 @@ impl Machine {
             let losers = procs
                 .iter()
                 .filter(|p| {
-                    p.alt_index != procs[w].alt_index
-                        && !matches!(p.state, ProcState::Aborted)
+                    p.alt_index != procs[w].alt_index && !matches!(p.state, ProcState::Aborted)
                 })
                 .count() as u64;
             match spec.elim {
@@ -361,7 +385,10 @@ impl Machine {
             // a child that synchronizes earlier waits for the rendezvous.
             now = now.max(t_setup) + commit_overhead + elim_overhead;
             total_cpu += commit_overhead + elim_overhead + elim_background;
-            Outcome::Winner { index: procs[w].alt_index, label: spec.alts[procs[w].alt_index].label.clone() }
+            Outcome::Winner {
+                index: procs[w].alt_index,
+                label: spec.alts[procs[w].alt_index].label.clone(),
+            }
         } else if timed_out {
             let losers = procs
                 .iter()
@@ -417,56 +444,177 @@ impl Machine {
                 self.store.drop_world(p.world).expect("loser world is live");
             }
         }
-        self.store.drop_world(parent_world).expect("parent world is live");
+        self.store
+            .drop_world(parent_world)
+            .expect("parent world is live");
 
-        // Assemble the execution history from what the scheduler recorded.
-        let mut raw: Vec<TraceEvent> = Vec::new();
+        // Assemble the execution history as observability events. The
+        // Trace is a projection of the same stream ([`TraceEvent::from_obs`]),
+        // and the registry — when enabled — absorbs every event into its
+        // counters, histograms and sinks. Every spawned world ends in
+        // exactly one of {commit, sync elimination, async elimination},
+        // so `commits + eliminations == worlds_spawned` after any run.
+        //
+        // Each entry is (event, alt index for the trace, traced?):
+        // bookkeeping eliminations of worlds that already self-aborted
+        // keep the counters exact but have no trace analogue.
+        let pw = parent_world.raw();
+        let elim_event = |charged: bool| match spec.elim {
+            ElimMode::Sync => EventKind::EliminateSync {
+                overhead_ns: if charged {
+                    self.cost.elim_sync.as_ns()
+                } else {
+                    0
+                },
+            },
+            ElimMode::Async => EventKind::EliminateAsync,
+        };
+        let mut history: Vec<(ObsEvent, Option<usize>, bool)> = Vec::new();
         for (i, t) in spawn_times.iter().enumerate() {
             if let Some(t) = t {
-                raw.push(TraceEvent::Spawned { alt: procs[i].alt_index, at: VirtualTime(*t) });
+                let alt = procs[i].alt_index;
+                history.push((
+                    ObsEvent::new(
+                        EventKind::Spawn { alt: alt as u64 },
+                        procs[i].world.raw(),
+                        Some(pw),
+                        *t,
+                    ),
+                    Some(alt),
+                    true,
+                ));
             }
         }
-        for (pi, p) in procs.iter().enumerate() {
-            let _ = pi;
+        if spec.guard_placement == GuardPlacement::PreSpawn {
+            // Passing pre-spawn verdicts are the parent's work, stamped at
+            // guard-evaluation time; failing ones are reported below via
+            // their aborted pseudo-process. (InChild/AtSync verdicts
+            // surface when a child finishes or aborts.)
+            for i in 0..n {
+                if spawned[i] {
+                    history.push((
+                        ObsEvent::new(
+                            EventKind::GuardVerdict { pass: true },
+                            pw,
+                            None,
+                            guard_times[i],
+                        ),
+                        Some(i),
+                        true,
+                    ));
+                }
+            }
+        }
+        for p in procs.iter() {
+            let (world, parent) = if spawned[p.alt_index] {
+                (p.world.raw(), Some(pw))
+            } else {
+                (pw, None)
+            };
             match (&p.state, p.finished_at) {
                 (ProcState::Done, Some(at)) if p.guard_pass => {
-                    raw.push(TraceEvent::Synchronized { alt: p.alt_index, at: VirtualTime(at) });
+                    if spec.guard_placement != GuardPlacement::PreSpawn {
+                        history.push((
+                            ObsEvent::new(
+                                EventKind::GuardVerdict { pass: true },
+                                world,
+                                parent,
+                                at,
+                            ),
+                            Some(p.alt_index),
+                            true,
+                        ));
+                    }
+                    history.push((
+                        ObsEvent::new(EventKind::Rendezvous, world, parent, at),
+                        Some(p.alt_index),
+                        true,
+                    ));
                 }
                 (ProcState::Done, Some(at)) | (ProcState::Aborted, Some(at)) => {
-                    raw.push(TraceEvent::GuardFailed { alt: p.alt_index, at: VirtualTime(at) });
+                    history.push((
+                        ObsEvent::new(EventKind::GuardVerdict { pass: false }, world, parent, at),
+                        Some(p.alt_index),
+                        true,
+                    ));
                 }
                 _ => {}
             }
         }
         match &outcome {
             Outcome::Winner { index, .. } => {
-                raw.push(TraceEvent::Committed { alt: *index, at: VirtualTime(now) });
-                for p in &procs {
-                    if p.alt_index != *index && !matches!(p.state, ProcState::Aborted) {
-                        raw.push(TraceEvent::Eliminated {
-                            alt: p.alt_index,
-                            at: VirtualTime(now),
-                        });
+                let w = winner.expect("winner outcome records the winning proc");
+                history.push((
+                    ObsEvent::new(
+                        EventKind::Commit {
+                            dirty_pages: per_proc_dirty[w],
+                            overhead_ns: commit_overhead,
+                        },
+                        procs[w].world.raw(),
+                        Some(pw),
+                        now,
+                    ),
+                    Some(*index),
+                    true,
+                ));
+                for (pi, p) in procs.iter().enumerate() {
+                    if pi == w || !spawned[p.alt_index] {
+                        continue;
                     }
+                    // A charged loser was still live at the rendezvous and
+                    // is eliminated by the parent; an already-aborted world
+                    // is reaped for free.
+                    let charged = !matches!(p.state, ProcState::Aborted);
+                    history.push((
+                        ObsEvent::new(elim_event(charged), p.world.raw(), Some(pw), now),
+                        Some(p.alt_index),
+                        charged,
+                    ));
                 }
             }
             Outcome::TimedOut => {
-                raw.push(TraceEvent::TimedOut { at: VirtualTime(now) });
+                history.push((ObsEvent::new(EventKind::Timeout, pw, None, now), None, true));
                 for p in &procs {
-                    if !matches!(p.state, ProcState::Done | ProcState::Aborted) {
-                        raw.push(TraceEvent::Eliminated {
-                            alt: p.alt_index,
-                            at: VirtualTime(now),
-                        });
+                    if !spawned[p.alt_index] {
+                        continue;
+                    }
+                    let charged = !matches!(p.state, ProcState::Done | ProcState::Aborted);
+                    history.push((
+                        ObsEvent::new(elim_event(charged), p.world.raw(), Some(pw), now),
+                        Some(p.alt_index),
+                        charged,
+                    ));
+                }
+            }
+            Outcome::AllFailed => {
+                // Nothing survived to the rendezvous; reap every spawned
+                // world (bookkeeping only — the trace records the guard
+                // failures themselves).
+                for p in &procs {
+                    if spawned[p.alt_index] {
+                        history.push((
+                            ObsEvent::new(elim_event(false), p.world.raw(), Some(pw), now),
+                            Some(p.alt_index),
+                            false,
+                        ));
                     }
                 }
             }
-            Outcome::AllFailed => {}
         }
-        raw.sort_by_key(|e| e.at());
+        history.sort_by_key(|(ev, _, _)| ev.vt_ns);
         let mut trace = Trace::default();
-        for e in raw {
-            trace.push(e);
+        for (ev, alt, traced) in &history {
+            if *traced {
+                if let Some(te) = TraceEvent::from_obs(ev, *alt) {
+                    trace.push(te);
+                }
+            }
+        }
+        if obs_on {
+            self.store.set_clock_ns(now);
+            for (ev, _, _) in &history {
+                self.obs.emit(|| ev.clone());
+            }
         }
 
         let report = SimReport {
@@ -595,8 +743,18 @@ mod tests {
             AltSpec::new("fast").compute_ms(10.0),
         ]);
         let r = m.run_block(&block);
-        assert_eq!(r.outcome, Outcome::Winner { index: 1, label: "fast".into() });
-        assert_eq!(r.wall.as_ms(), 10.0, "zero-overhead machine: wall = fastest");
+        assert_eq!(
+            r.outcome,
+            Outcome::Winner {
+                index: 1,
+                label: "fast".into()
+            }
+        );
+        assert_eq!(
+            r.wall.as_ms(),
+            10.0,
+            "zero-overhead machine: wall = fastest"
+        );
         assert_eq!(r.alts[0].status, AltStatus::Eliminated);
         assert_eq!(r.alts[1].status, AltStatus::Won);
     }
@@ -611,7 +769,13 @@ mod tests {
             AltSpec::new("b").compute_ms(20.0),
         ]);
         let r = m.run_block(&block);
-        assert_eq!(r.outcome, Outcome::Winner { index: 0, label: "a".into() });
+        assert_eq!(
+            r.outcome,
+            Outcome::Winner {
+                index: 0,
+                label: "a".into()
+            }
+        );
         assert_eq!(r.wall.as_ms(), 30.0);
     }
 
@@ -628,7 +792,13 @@ mod tests {
         // Child 0 is ready at 5 ms and finishes at 15 ms.
         assert_eq!(r.wall.as_ms(), 15.0);
         assert_eq!(r.spawn_overhead.as_ms(), 15.0);
-        assert_eq!(r.outcome, Outcome::Winner { index: 0, label: "a".into() });
+        assert_eq!(
+            r.outcome,
+            Outcome::Winner {
+                index: 0,
+                label: "a".into()
+            }
+        );
     }
 
     #[test]
@@ -639,7 +809,13 @@ mod tests {
             AltSpec::new("good").compute_ms(50.0),
         ]);
         let r = m.run_block(&block);
-        assert_eq!(r.outcome, Outcome::Winner { index: 1, label: "good".into() });
+        assert_eq!(
+            r.outcome,
+            Outcome::Winner {
+                index: 1,
+                label: "good".into()
+            }
+        );
         assert_eq!(r.alts[0].status, AltStatus::GuardFailed);
         // The bad alternative never ran its compute segment.
         assert_eq!(r.alts[0].cpu_time.as_ms(), 0.0);
@@ -654,9 +830,19 @@ mod tests {
         ])
         .guard_placement(GuardPlacement::AtSync);
         let r = m.run_block(&block);
-        assert_eq!(r.outcome, Outcome::Winner { index: 1, label: "good".into() });
+        assert_eq!(
+            r.outcome,
+            Outcome::Winner {
+                index: 1,
+                label: "good".into()
+            }
+        );
         assert_eq!(r.alts[0].status, AltStatus::GuardFailed);
-        assert_eq!(r.alts[0].cpu_time.as_ms(), 30.0, "ran to completion before guard check");
+        assert_eq!(
+            r.alts[0].cpu_time.as_ms(),
+            30.0,
+            "ran to completion before guard check"
+        );
     }
 
     #[test]
@@ -664,8 +850,13 @@ mod tests {
         let cost = CostModel::ideal(2).with_fork(VirtualTime::from_ms(10.0));
         let mut m = Machine::new(cost);
         let block = BlockSpec::new(vec![
-            AltSpec::new("bad").compute_ms(1.0).guard(false).guard_cost(VirtualTime::from_ms(2.0)),
-            AltSpec::new("good").compute_ms(5.0).guard_cost(VirtualTime::from_ms(2.0)),
+            AltSpec::new("bad")
+                .compute_ms(1.0)
+                .guard(false)
+                .guard_cost(VirtualTime::from_ms(2.0)),
+            AltSpec::new("good")
+                .compute_ms(5.0)
+                .guard_cost(VirtualTime::from_ms(2.0)),
         ])
         .guard_placement(GuardPlacement::PreSpawn);
         let r = m.run_block(&block);
@@ -705,7 +896,13 @@ mod tests {
         let block = BlockSpec::new(vec![AltSpec::new("quick").compute_ms(10.0)])
             .timeout(VirtualTime::from_ms(50.0));
         let r = m.run_block(&block);
-        assert_eq!(r.outcome, Outcome::Winner { index: 0, label: "quick".into() });
+        assert_eq!(
+            r.outcome,
+            Outcome::Winner {
+                index: 0,
+                label: "quick".into()
+            }
+        );
         assert_eq!(r.wall.as_ms(), 10.0);
     }
 
@@ -722,7 +919,9 @@ mod tests {
 
     #[test]
     fn sync_elimination_blocks_the_parent() {
-        let cost = CostModel::att_3b2().with_cpus(4).with_fork(VirtualTime::ZERO);
+        let cost = CostModel::att_3b2()
+            .with_cpus(4)
+            .with_fork(VirtualTime::ZERO);
         let mut m = Machine::new(cost.clone());
         let alts = |n: usize| -> Vec<AltSpec> {
             (0..n)
@@ -738,7 +937,10 @@ mod tests {
             sync.wall,
             asyn.wall
         );
-        assert_eq!(sync.elim_overhead.as_ns(), 3 * CostModel::att_3b2().elim_sync.as_ns());
+        assert_eq!(
+            sync.elim_overhead.as_ns(),
+            3 * CostModel::att_3b2().elim_sync.as_ns()
+        );
         assert_eq!(asyn.elim_overhead, VirtualTime::ZERO);
         assert!(asyn.elim_background > VirtualTime::ZERO);
     }
@@ -825,7 +1027,9 @@ mod tests {
         let mut cost = CostModel::ideal(1);
         cost.message = VirtualTime::from_ms(3.0);
         let mut m = Machine::new(cost);
-        let block = BlockSpec::new(vec![AltSpec::new("chatty").send_message(64).send_message(64)]);
+        let block = BlockSpec::new(vec![AltSpec::new("chatty")
+            .send_message(64)
+            .send_message(64)]);
         let r = m.run_block(&block);
         assert_eq!(r.wall.as_ms(), 6.0);
     }
@@ -836,12 +1040,25 @@ mod tests {
         // completes, the waiting sibling must still be dispatched.
         let mut m = Machine::new(CostModel::ideal(1));
         let block = BlockSpec::new(vec![
-            AltSpec::new("bad").guard(false).guard_cost(VirtualTime::from_ms(2.0)).compute_ms(1.0),
+            AltSpec::new("bad")
+                .guard(false)
+                .guard_cost(VirtualTime::from_ms(2.0))
+                .compute_ms(1.0),
             AltSpec::new("good").compute_ms(5.0),
         ]);
         let r = m.run_block(&block);
-        assert_eq!(r.outcome, Outcome::Winner { index: 1, label: "good".into() });
-        assert_eq!(r.wall.as_ms(), 7.0, "2 ms guard abort + 5 ms winner on one CPU");
+        assert_eq!(
+            r.outcome,
+            Outcome::Winner {
+                index: 1,
+                label: "good".into()
+            }
+        );
+        assert_eq!(
+            r.wall.as_ms(),
+            7.0,
+            "2 ms guard abort + 5 ms winner on one CPU"
+        );
     }
 
     #[test]
@@ -853,16 +1070,35 @@ mod tests {
             AltSpec::new("fast").compute_ms(5.0),
         ]);
         let (report, trace) = m.run_block_traced(&block);
-        assert_eq!(report.outcome, Outcome::Winner { index: 2, label: "fast".into() });
+        assert_eq!(
+            report.outcome,
+            Outcome::Winner {
+                index: 2,
+                label: "fast".into()
+            }
+        );
         assert_eq!(trace.winner(), Some(2));
         // Three spawns, one guard failure, one sync, one commit, one
         // elimination (the slow sibling).
         use crate::trace::TraceEvent as E;
-        let spawns = trace.events().iter().filter(|e| matches!(e, E::Spawned { .. })).count();
+        let spawns = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, E::Spawned { .. }))
+            .count();
         assert_eq!(spawns, 3);
-        assert!(trace.events().iter().any(|e| matches!(e, E::GuardFailed { alt: 0, .. })));
-        assert!(trace.events().iter().any(|e| matches!(e, E::Synchronized { alt: 2, .. })));
-        assert!(trace.events().iter().any(|e| matches!(e, E::Eliminated { alt: 1, .. })));
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, E::GuardFailed { alt: 0, .. })));
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, E::Synchronized { alt: 2, .. })));
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, E::Eliminated { alt: 1, .. })));
         // Time-ordered and renderable.
         let times: Vec<u64> = trace.events().iter().map(|e| e.at().as_ns()).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
@@ -877,8 +1113,14 @@ mod tests {
         let (report, trace) = m.run_block_traced(&block);
         assert_eq!(report.outcome, Outcome::TimedOut);
         use crate::trace::TraceEvent as E;
-        assert!(trace.events().iter().any(|e| matches!(e, E::TimedOut { .. })));
-        assert!(trace.events().iter().any(|e| matches!(e, E::Eliminated { alt: 0, .. })));
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, E::TimedOut { .. })));
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, E::Eliminated { alt: 0, .. })));
         assert_eq!(trace.winner(), None);
     }
 

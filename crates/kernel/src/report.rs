@@ -93,11 +93,16 @@ impl SimReport {
     /// isolated runtimes — the expected cost of the paper's Scheme B
     /// (pick one at random). `None` when no alternative succeeds.
     pub fn t_mean(&self) -> Option<VirtualTime> {
-        let times: Vec<u64> = self.successful_isolated_times().map(|t| t.as_ns()).collect();
+        let times: Vec<u64> = self
+            .successful_isolated_times()
+            .map(|t| t.as_ns())
+            .collect();
         if times.is_empty() {
             None
         } else {
-            Some(VirtualTime::from_ns(times.iter().sum::<u64>() / times.len() as u64))
+            Some(VirtualTime::from_ns(
+                times.iter().sum::<u64>() / times.len() as u64,
+            ))
         }
     }
 
@@ -152,7 +157,10 @@ impl SimReport {
         self.alts
             .iter()
             .filter(|a| {
-                matches!(a.status, AltStatus::Won | AltStatus::Eliminated | AltStatus::TimedOut)
+                matches!(
+                    a.status,
+                    AltStatus::Won | AltStatus::Eliminated | AltStatus::TimedOut
+                )
             })
             .map(|a| a.isolated_time)
     }
@@ -164,7 +172,10 @@ mod tests {
 
     fn mk_report() -> SimReport {
         SimReport {
-            outcome: Outcome::Winner { index: 1, label: "fast".into() },
+            outcome: Outcome::Winner {
+                index: 1,
+                label: "fast".into(),
+            },
             wall: VirtualTime::from_ms(120.0),
             alts: vec![
                 AltOutcome {

@@ -171,7 +171,10 @@ impl BlockSpec {
     /// address space (the §3.4 measurement configuration), no timeout,
     /// in-child guards, asynchronous elimination.
     pub fn new(alts: Vec<AltSpec>) -> Self {
-        assert!(!alts.is_empty(), "an alternative block needs at least one alternative");
+        assert!(
+            !alts.is_empty(),
+            "an alternative block needs at least one alternative"
+        );
         BlockSpec {
             alts,
             shared_pages: 160, // 320 KB at 2 KiB pages
@@ -255,7 +258,11 @@ mod tests {
 
     #[test]
     fn totals_over_multiple_segments() {
-        let alt = AltSpec::new("a").compute_ms(1.0).write_pages(2).compute_ms(3.0).write_pages(5);
+        let alt = AltSpec::new("a")
+            .compute_ms(1.0)
+            .write_pages(2)
+            .compute_ms(3.0)
+            .write_pages(5);
         assert_eq!(alt.total_pages_written(), 7);
         assert_eq!(alt.total_compute().as_ms(), 4.0);
     }

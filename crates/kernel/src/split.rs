@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use worlds_ipc::{classify, DeliveryAction, Message, Network};
+use worlds_ipc::{classify_observed, DeliveryAction, Message, Network};
 use worlds_pagestore::{PageStore, WorldId};
 use worlds_predicate::{Fate, FateBoard, Pid, PredicateSet};
 
@@ -70,12 +70,25 @@ pub struct SplitKernel {
 impl SplitKernel {
     /// Fresh kernel over a store with the given page size.
     pub fn new(page_size: usize) -> Self {
+        Self::with_obs(page_size, worlds_obs::Registry::disabled())
+    }
+
+    /// Like [`SplitKernel::new`], wired to an observability registry:
+    /// delivery decisions emit `MsgAccept`/`MsgExtend`/`MsgIgnore`/
+    /// `MsgSplit` events, and the shared page store reports its COW
+    /// traffic.
+    pub fn with_obs(page_size: usize, obs: worlds_obs::Registry) -> Self {
         SplitKernel {
-            store: PageStore::new(page_size),
+            store: PageStore::with_obs(page_size, obs),
             net: Network::new(),
             fates: FateBoard::new(),
             procs: HashMap::new(),
         }
+    }
+
+    /// The kernel's observability registry (shared with its page store).
+    pub fn obs(&self) -> &worlds_obs::Registry {
+        self.store.obs()
     }
 
     /// The underlying page store.
@@ -109,15 +122,27 @@ impl SplitKernel {
     /// with a COW copy of the parent's world and sibling-rivalry
     /// predicates.
     pub fn alt_spawn(&mut self, parent: Pid, n: usize) -> Vec<Pid> {
-        let parent_proc = self.procs.get(&parent).expect("alt_spawn of unknown process").clone();
+        let parent_proc = self
+            .procs
+            .get(&parent)
+            .expect("alt_spawn of unknown process")
+            .clone();
         let kids: Vec<Pid> = (0..n).map(|_| Pid::fresh()).collect();
         for &kid in &kids {
-            let world = self.store.fork_world(parent_proc.world).expect("parent world live");
-            let predicates =
-                PredicateSet::for_spawned_child(&parent_proc.predicates, kid, &kids);
+            let world = self
+                .store
+                .fork_world(parent_proc.world)
+                .expect("parent world live");
+            let predicates = PredicateSet::for_spawned_child(&parent_proc.predicates, kid, &kids);
             self.procs.insert(
                 kid,
-                SplitProcess { pid: kid, world, predicates, parent: Some(parent), split_copy: false },
+                SplitProcess {
+                    pid: kid,
+                    world,
+                    predicates,
+                    parent: Some(parent),
+                    split_copy: false,
+                },
             );
         }
         kids
@@ -142,7 +167,9 @@ impl SplitKernel {
     /// Read from a process's speculative world.
     pub fn read_state(&self, pid: Pid, vpn: u64, len: usize) -> Vec<u8> {
         let p = &self.procs[&pid];
-        self.store.read_vec(p.world, vpn, 0, len).expect("world live")
+        self.store
+            .read_vec(p.world, vpn, 0, len)
+            .expect("world live")
     }
 
     /// Send a message from `from` to `to`, stamped with the sender's
@@ -155,10 +182,18 @@ impl SplitKernel {
     /// Process the next message queued for `to`, applying the §2.4.2
     /// acceptance rule, including receiver duplication.
     pub fn deliver_next(&mut self, to: Pid) -> Delivered {
-        let Some(msg) = self.net.recv(to) else { return Delivered::Empty };
+        let Some(msg) = self.net.recv(to) else {
+            return Delivered::Empty;
+        };
         let action = {
             let receiver = &self.procs[&to];
-            classify(&receiver.predicates, &msg)
+            classify_observed(
+                &receiver.predicates,
+                &msg,
+                self.store.obs(),
+                receiver.world.raw(),
+                self.store.clock_ns(),
+            )
         };
         match action {
             DeliveryAction::Deliver => Delivered::Accepted(msg.payload),
@@ -173,7 +208,10 @@ impl SplitKernel {
                 // only to the accepting copy).
                 let orig = self.procs[&to].clone();
                 let accepting = Pid::fresh();
-                let world = self.store.fork_world(orig.world).expect("receiver world live");
+                let world = self
+                    .store
+                    .fork_world(orig.world)
+                    .expect("receiver world live");
                 self.net.duplicate_mailbox(to, accepting);
                 self.procs.insert(
                     accepting,
@@ -186,7 +224,10 @@ impl SplitKernel {
                     },
                 );
                 self.procs.get_mut(&to).expect("receiver live").predicates = without;
-                Delivered::Split { accepting, payload: msg.payload }
+                Delivered::Split {
+                    accepting,
+                    payload: msg.payload,
+                }
             }
         }
     }
@@ -197,7 +238,14 @@ impl SplitKernel {
     /// eliminated (worlds dropped, mailboxes discarded). Returns the
     /// eliminated pids, sorted.
     pub fn resolve(&mut self, pid: Pid, completed: bool) -> Vec<Pid> {
-        self.fates.record(pid, if completed { Fate::Completed } else { Fate::Failed });
+        self.fates.record(
+            pid,
+            if completed {
+                Fate::Completed
+            } else {
+                Fate::Failed
+            },
+        );
         let mut eliminated = Vec::new();
         // Fixpoint sweep: dooming a process records complete() = FALSE for
         // it, and a split copy whose assumptions all came true records
@@ -244,10 +292,15 @@ impl SplitKernel {
     /// and the rivalry resolves — dooming its siblings. Returns the
     /// eliminated pids.
     pub fn commit(&mut self, child: Pid) -> Vec<Pid> {
-        let child_proc = self.procs.remove(&child).expect("commit of unknown process");
+        let child_proc = self
+            .procs
+            .remove(&child)
+            .expect("commit of unknown process");
         let parent = child_proc.parent.expect("root processes cannot commit");
         let parent_world = self.procs[&parent].world;
-        self.store.adopt(parent_world, child_proc.world).expect("child world adoptable");
+        self.store
+            .adopt(parent_world, child_proc.world)
+            .expect("child world adoptable");
         self.net.discard_mailbox(child);
         self.resolve(child, true)
     }
@@ -291,7 +344,11 @@ mod tests {
         assert_eq!(k.read_state(root, 0, 4), b"orig");
         let eliminated = k.commit(kids[0]);
         assert_eq!(eliminated, vec![kids[1]]);
-        assert_eq!(k.read_state(root, 0, 4), b"left", "winner's state committed");
+        assert_eq!(
+            k.read_state(root, 0, 4),
+            b"left",
+            "winner's state committed"
+        );
         assert!(k.process(kids[1]).is_none(), "loser eliminated");
         assert_eq!(k.live_processes(), 1);
     }
@@ -385,11 +442,19 @@ mod tests {
 
         // kids[0] → obs1 splits; obs1's accepting copy → obs2 splits.
         k.send(kids[0], obs1, "first hop");
-        let Delivered::Split { accepting: obs1_yes, .. } = k.deliver_next(obs1) else {
+        let Delivered::Split {
+            accepting: obs1_yes,
+            ..
+        } = k.deliver_next(obs1)
+        else {
             panic!("expected split");
         };
         k.send(obs1_yes, obs2, "second hop");
-        let Delivered::Split { accepting: obs2_yes, .. } = k.deliver_next(obs2) else {
+        let Delivered::Split {
+            accepting: obs2_yes,
+            ..
+        } = k.deliver_next(obs2)
+        else {
             panic!("expected split");
         };
         let before = k.live_processes();
@@ -400,7 +465,10 @@ mod tests {
         let eliminated = k.commit(kids[1]);
         assert!(eliminated.contains(&kids[0]));
         assert!(eliminated.contains(&obs1_yes));
-        assert!(eliminated.contains(&obs2_yes), "cascade must reach second-hop copies");
+        assert!(
+            eliminated.contains(&obs2_yes),
+            "cascade must reach second-hop copies"
+        );
         assert!(k.process(obs1).is_some());
         assert!(k.process(obs2).is_some());
     }
@@ -426,6 +494,28 @@ mod tests {
         let mut k = kernel();
         let a = k.spawn_root();
         assert_eq!(k.deliver_next(a), Delivered::Empty);
+    }
+
+    #[test]
+    fn delivery_decisions_are_observed() {
+        let mut k = SplitKernel::with_obs(64, worlds_obs::Registry::enabled());
+        let root = k.spawn_root();
+        let observer = k.spawn_root();
+        let kids = k.alt_spawn(root, 2);
+        // Ignore: sibling rivalry.
+        k.send(kids[0], kids[1], "psst");
+        let _ = k.deliver_next(kids[1]);
+        // Split: speculative message to an outsider.
+        k.send(kids[0], observer, "hello");
+        let _ = k.deliver_next(observer);
+        // Accept: non-speculative root-to-root traffic.
+        k.send(root, observer, "plain");
+        let _ = k.deliver_next(observer);
+        let stats = k.obs().stats().expect("registry is enabled");
+        assert_eq!(stats.ipc.ignores.get(), 1);
+        assert_eq!(stats.ipc.splits.get(), 1);
+        assert_eq!(stats.ipc.accepts.get(), 1);
+        assert_eq!(stats.ipc.extends.get(), 0);
     }
 
     #[test]

@@ -72,7 +72,11 @@ impl AddAssign for VirtualTime {
 impl Sub for VirtualTime {
     type Output = VirtualTime;
     fn sub(self, rhs: VirtualTime) -> VirtualTime {
-        VirtualTime(self.0.checked_sub(rhs.0).expect("virtual time went negative"))
+        VirtualTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("virtual time went negative"),
+        )
     }
 }
 

@@ -5,8 +5,16 @@
 //! dispatches, guard verdicts, the rendezvous, eliminations — in virtual
 //! time, so tests and tools can assert on *how* a result was reached, not
 //! just what it was. `Machine::run_block_traced` produces one.
+//!
+//! Since the `worlds-obs` layer landed, a trace is a thin projection of
+//! the machine's observability event stream: the scheduler records
+//! [`worlds_obs::Event`]s once, and [`TraceEvent::from_obs`] maps each
+//! onto the trace vocabulary (dropping events with no trace analogue,
+//! such as passing guard verdicts or bookkeeping eliminations of worlds
+//! that already self-aborted).
 
 use crate::time::VirtualTime;
+use worlds_obs::{Event as ObsEvent, EventKind};
 
 /// One event in a block's execution history.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +77,30 @@ impl TraceEvent {
         }
     }
 
+    /// Project an observability event onto the trace vocabulary.
+    ///
+    /// `alt` is the alternative index of the world the event concerns
+    /// (the obs layer speaks world ids, the trace speaks alternative
+    /// indices; the machine knows the mapping). Events with no trace
+    /// analogue — passing guard verdicts, page traffic, RPC activity —
+    /// return `None`.
+    pub(crate) fn from_obs(ev: &ObsEvent, alt: Option<usize>) -> Option<TraceEvent> {
+        let at = VirtualTime(ev.vt_ns);
+        match ev.kind {
+            EventKind::Spawn { .. } => Some(TraceEvent::Spawned { alt: alt?, at }),
+            EventKind::GuardVerdict { pass: false } => {
+                Some(TraceEvent::GuardFailed { alt: alt?, at })
+            }
+            EventKind::Rendezvous => Some(TraceEvent::Synchronized { alt: alt?, at }),
+            EventKind::Commit { .. } => Some(TraceEvent::Committed { alt: alt?, at }),
+            EventKind::EliminateSync { .. } | EventKind::EliminateAsync => {
+                Some(TraceEvent::Eliminated { alt: alt?, at })
+            }
+            EventKind::Timeout => Some(TraceEvent::TimedOut { at }),
+            _ => None,
+        }
+    }
+
     /// The alternative the event concerns, if any.
     pub fn alt(&self) -> Option<usize> {
         match self {
@@ -104,7 +136,10 @@ impl Trace {
 
     /// Events concerning one alternative.
     pub fn for_alt(&self, alt: usize) -> Vec<&TraceEvent> {
-        self.events.iter().filter(|e| e.alt() == Some(alt)).collect()
+        self.events
+            .iter()
+            .filter(|e| e.alt() == Some(alt))
+            .collect()
     }
 
     /// The committed alternative, if the block succeeded.

@@ -14,8 +14,11 @@ struct AltGen {
 }
 
 fn arb_alt() -> impl Strategy<Value = AltGen> {
-    (1u32..200, 0u8..20, prop::bool::weighted(0.8))
-        .prop_map(|(compute_ms, pages, guard)| AltGen { compute_ms, pages, guard })
+    (1u32..200, 0u8..20, prop::bool::weighted(0.8)).prop_map(|(compute_ms, pages, guard)| AltGen {
+        compute_ms,
+        pages,
+        guard,
+    })
 }
 
 fn build_block(alts: &[AltGen]) -> BlockSpec {
@@ -174,6 +177,50 @@ proptest! {
                 Outcome::AllFailed => prop_assert!(!any_pass, "{placement:?} lost a winner"),
                 Outcome::TimedOut => prop_assert!(false),
             }
+        }
+    }
+
+    /// worlds-obs reconciliation: after any block, every spawned world has
+    /// ended as exactly one of {commit, sync elimination, async
+    /// elimination}, whatever the guards, placement, elimination mode, CPU
+    /// count or timeout did.
+    #[test]
+    fn obs_reconciles_spawns_commits_and_eliminations(
+        alts in proptest::collection::vec(arb_alt(), 1..6),
+        cpus in 1usize..4,
+        placement_idx in 0usize..3,
+        elim_sync in prop::bool::weighted(0.5),
+        timeout_step in 0u32..3,
+    ) {
+        let placement = [GuardPlacement::PreSpawn, GuardPlacement::InChild, GuardPlacement::AtSync]
+            [placement_idx];
+        let elim = if elim_sync { ElimMode::Sync } else { ElimMode::Async };
+        let mut block = build_block(&alts).guard_placement(placement).elim(elim);
+        if timeout_step > 0 {
+            // Short enough to fire under many generated workloads.
+            block = block.timeout(VirtualTime::from_ms(timeout_step as f64 * 20.0));
+        }
+        let mut m = Machine::with_obs(
+            CostModel::hp9000_350().with_cpus(cpus),
+            worlds_obs::Registry::enabled(),
+        );
+        let _ = m.run_block(&block);
+        let s = m.obs().stats().expect("registry is enabled");
+        let spawned = s.kernel.worlds_spawned.get();
+        let resolved = s.kernel.commits.get()
+            + s.kernel.eliminations_sync.get()
+            + s.kernel.eliminations_async.get();
+        prop_assert_eq!(
+            resolved, spawned,
+            "commits + eliminations must account for every spawned world"
+        );
+        // Consistency of the surrounding lifecycle counters.
+        prop_assert!(s.kernel.commits.get() <= s.kernel.rendezvous.get());
+        prop_assert!(s.kernel.commits.get() <= 1, "one block commits at most once");
+        prop_assert!(spawned <= alts.len() as u64);
+        match elim {
+            ElimMode::Sync => prop_assert_eq!(s.kernel.eliminations_async.get(), 0),
+            ElimMode::Async => prop_assert_eq!(s.kernel.eliminations_sync.get(), 0),
         }
     }
 }

@@ -1,0 +1,75 @@
+//! `worlds-report` — replay a JSONL event stream into the summary table.
+//!
+//! ```text
+//! worlds-report run.jsonl     # from a file
+//! worlds-report -             # from stdin
+//! ```
+//!
+//! Replays every event through the same [`RunStats`] mapping the live
+//! registry uses, so the printed table matches what the run itself
+//! would have printed. Malformed lines are counted and reported, not
+//! fatal — a truncated file from a crashed run still yields a report.
+
+use std::io::{BufRead, BufReader, Read};
+
+use worlds_obs::{Event, RunStats};
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+fn run(args: Vec<String>) -> i32 {
+    let path = match args.as_slice() {
+        [p] => p.clone(),
+        [] => "-".to_string(),
+        _ => {
+            eprintln!("usage: worlds-report [<events.jsonl> | -]");
+            return 2;
+        }
+    };
+    let reader: Box<dyn Read> = if path == "-" {
+        Box::new(std::io::stdin())
+    } else {
+        match std::fs::File::open(&path) {
+            Ok(f) => Box::new(f),
+            Err(e) => {
+                eprintln!("worlds-report: cannot open {path}: {e}");
+                return 1;
+            }
+        }
+    };
+
+    let stats = RunStats::new();
+    let mut total = 0u64;
+    let mut bad = 0u64;
+    for line in BufReader::new(reader).lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("worlds-report: read error: {e}");
+                return 1;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        total += 1;
+        match Event::from_json(&line) {
+            Ok(ev) => stats.absorb(&ev),
+            Err(e) => {
+                bad += 1;
+                if bad <= 5 {
+                    eprintln!("worlds-report: line {total}: {e}");
+                }
+            }
+        }
+    }
+
+    println!("{}", stats.render_summary());
+    println!("events replayed: {} ({} malformed)", total - bad, bad);
+    if total == 0 {
+        eprintln!("worlds-report: no events in input");
+        return 1;
+    }
+    0
+}

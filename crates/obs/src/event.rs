@@ -1,0 +1,512 @@
+//! The speculation lifecycle as a flat event stream.
+//!
+//! Every observable moment in a world's life — spawn, guard verdict,
+//! rendezvous, commit, elimination, CoW fault, checkpoint, predicated
+//! message routing, remote RPC — becomes one [`Event`]: a kind plus the
+//! world it happened to, that world's parent, and both clocks (virtual
+//! simulation time and wall time since the registry was created).
+//!
+//! Events serialise to one flat JSON object per line (JSONL). The codec
+//! is hand-rolled: the schema is flat (string/number/bool/null values
+//! only), so a full JSON parser buys nothing.
+
+use std::fmt;
+
+/// What happened. Payload fields are the quantities a report needs —
+/// page numbers, byte counts, overhead durations — all plain integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A speculative world was forked to run alternative `alt`.
+    Spawn { alt: u64 },
+    /// A world's guard predicate was evaluated.
+    GuardVerdict { pass: bool },
+    /// A finished world reached the rendezvous point.
+    Rendezvous,
+    /// The winning world was committed into its parent.
+    Commit { dirty_pages: u64, overhead_ns: u64 },
+    /// A losing sibling was eliminated synchronously (parent waits).
+    EliminateSync { overhead_ns: u64 },
+    /// A losing sibling was queued for background elimination.
+    EliminateAsync,
+    /// A world ran past its deadline and was aborted.
+    Timeout,
+    /// A write fault copied a shared page (copy-on-write).
+    CowCopy { vpn: u64, bytes: u64 },
+    /// A write fault materialised a fresh zero page.
+    ZeroFill { vpn: u64 },
+    /// A world's pages were serialised to a checkpoint image.
+    Checkpoint {
+        pages: u64,
+        bytes: u64,
+        duration_ns: u64,
+    },
+    /// A predicated message matched the receiver's predicate set.
+    MsgAccept,
+    /// A message was accepted by extending the receiver's predicate set.
+    MsgExtend,
+    /// A message fell outside the receiver's predicate set.
+    MsgIgnore,
+    /// A message forced the receiver to split into two worlds.
+    MsgSplit,
+    /// A remote fork/commit RPC left for node `node`.
+    RpcSend {
+        node: u64,
+        bytes: u64,
+        latency_ns: u64,
+    },
+    /// An RPC attempt was re-sent after a timeout.
+    RpcRetry { node: u64, attempt: u64 },
+    /// An RPC attempt timed out after `waited_ns`.
+    RpcTimeout { node: u64, waited_ns: u64 },
+}
+
+impl EventKind {
+    /// Stable wire name (the JSONL `ev` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Spawn { .. } => "spawn",
+            EventKind::GuardVerdict { .. } => "guard",
+            EventKind::Rendezvous => "rendezvous",
+            EventKind::Commit { .. } => "commit",
+            EventKind::EliminateSync { .. } => "elim_sync",
+            EventKind::EliminateAsync => "elim_async",
+            EventKind::Timeout => "timeout",
+            EventKind::CowCopy { .. } => "cow_copy",
+            EventKind::ZeroFill { .. } => "zero_fill",
+            EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::MsgAccept => "msg_accept",
+            EventKind::MsgExtend => "msg_extend",
+            EventKind::MsgIgnore => "msg_ignore",
+            EventKind::MsgSplit => "msg_split",
+            EventKind::RpcSend { .. } => "rpc_send",
+            EventKind::RpcRetry { .. } => "rpc_retry",
+            EventKind::RpcTimeout { .. } => "rpc_timeout",
+        }
+    }
+}
+
+/// One observed moment: kind + world lineage + both clocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// The world it happened to.
+    pub world: u64,
+    /// That world's parent, if it has one.
+    pub parent: Option<u64>,
+    /// Virtual (simulated) time in nanoseconds.
+    pub vt_ns: u64,
+    /// Wall-clock nanoseconds since the registry's epoch (stamped by the
+    /// registry at emit time; 0 until then).
+    pub wall_ns: u64,
+}
+
+impl Event {
+    /// An event with `wall_ns` unset (the registry stamps it).
+    pub fn new(kind: EventKind, world: u64, parent: Option<u64>, vt_ns: u64) -> Event {
+        Event {
+            kind,
+            world,
+            parent,
+            vt_ns,
+            wall_ns: 0,
+        }
+    }
+
+    /// One flat JSON object, no trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"ev\":\"");
+        s.push_str(self.kind.name());
+        s.push_str("\",\"world\":");
+        push_u64(&mut s, self.world);
+        s.push_str(",\"parent\":");
+        match self.parent {
+            Some(p) => push_u64(&mut s, p),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"vt\":");
+        push_u64(&mut s, self.vt_ns);
+        s.push_str(",\"wt\":");
+        push_u64(&mut s, self.wall_ns);
+        match &self.kind {
+            EventKind::Spawn { alt } => push_field(&mut s, "alt", *alt),
+            EventKind::GuardVerdict { pass } => {
+                s.push_str(",\"pass\":");
+                s.push_str(if *pass { "true" } else { "false" });
+            }
+            EventKind::Commit {
+                dirty_pages,
+                overhead_ns,
+            } => {
+                push_field(&mut s, "dirty", *dirty_pages);
+                push_field(&mut s, "overhead", *overhead_ns);
+            }
+            EventKind::EliminateSync { overhead_ns } => {
+                push_field(&mut s, "overhead", *overhead_ns)
+            }
+            EventKind::CowCopy { vpn, bytes } => {
+                push_field(&mut s, "vpn", *vpn);
+                push_field(&mut s, "bytes", *bytes);
+            }
+            EventKind::ZeroFill { vpn } => push_field(&mut s, "vpn", *vpn),
+            EventKind::Checkpoint {
+                pages,
+                bytes,
+                duration_ns,
+            } => {
+                push_field(&mut s, "pages", *pages);
+                push_field(&mut s, "bytes", *bytes);
+                push_field(&mut s, "dur", *duration_ns);
+            }
+            EventKind::RpcSend {
+                node,
+                bytes,
+                latency_ns,
+            } => {
+                push_field(&mut s, "node", *node);
+                push_field(&mut s, "bytes", *bytes);
+                push_field(&mut s, "latency", *latency_ns);
+            }
+            EventKind::RpcRetry { node, attempt } => {
+                push_field(&mut s, "node", *node);
+                push_field(&mut s, "attempt", *attempt);
+            }
+            EventKind::RpcTimeout { node, waited_ns } => {
+                push_field(&mut s, "node", *node);
+                push_field(&mut s, "waited", *waited_ns);
+            }
+            EventKind::Rendezvous
+            | EventKind::EliminateAsync
+            | EventKind::Timeout
+            | EventKind::MsgAccept
+            | EventKind::MsgExtend
+            | EventKind::MsgIgnore
+            | EventKind::MsgSplit => {}
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse one JSONL line produced by [`Event::to_json`].
+    pub fn from_json(line: &str) -> Result<Event, ParseError> {
+        let fields = parse_flat_object(line)?;
+        let ev = fields.str_field("ev")?;
+        let kind = match ev {
+            "spawn" => EventKind::Spawn {
+                alt: fields.u64_field("alt")?,
+            },
+            "guard" => EventKind::GuardVerdict {
+                pass: fields.bool_field("pass")?,
+            },
+            "rendezvous" => EventKind::Rendezvous,
+            "commit" => EventKind::Commit {
+                dirty_pages: fields.u64_field("dirty")?,
+                overhead_ns: fields.u64_field("overhead")?,
+            },
+            "elim_sync" => EventKind::EliminateSync {
+                overhead_ns: fields.u64_field("overhead")?,
+            },
+            "elim_async" => EventKind::EliminateAsync,
+            "timeout" => EventKind::Timeout,
+            "cow_copy" => EventKind::CowCopy {
+                vpn: fields.u64_field("vpn")?,
+                bytes: fields.u64_field("bytes")?,
+            },
+            "zero_fill" => EventKind::ZeroFill {
+                vpn: fields.u64_field("vpn")?,
+            },
+            "checkpoint" => EventKind::Checkpoint {
+                pages: fields.u64_field("pages")?,
+                bytes: fields.u64_field("bytes")?,
+                duration_ns: fields.u64_field("dur")?,
+            },
+            "msg_accept" => EventKind::MsgAccept,
+            "msg_extend" => EventKind::MsgExtend,
+            "msg_ignore" => EventKind::MsgIgnore,
+            "msg_split" => EventKind::MsgSplit,
+            "rpc_send" => EventKind::RpcSend {
+                node: fields.u64_field("node")?,
+                bytes: fields.u64_field("bytes")?,
+                latency_ns: fields.u64_field("latency")?,
+            },
+            "rpc_retry" => EventKind::RpcRetry {
+                node: fields.u64_field("node")?,
+                attempt: fields.u64_field("attempt")?,
+            },
+            "rpc_timeout" => EventKind::RpcTimeout {
+                node: fields.u64_field("node")?,
+                waited_ns: fields.u64_field("waited")?,
+            },
+            other => return Err(ParseError(format!("unknown event kind {other:?}"))),
+        };
+        Ok(Event {
+            kind,
+            world: fields.u64_field("world")?,
+            parent: fields.opt_u64_field("parent")?,
+            vt_ns: fields.u64_field("vt")?,
+            wall_ns: fields.u64_field("wt")?,
+        })
+    }
+}
+
+/// A malformed JSONL line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad event line: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn push_u64(s: &mut String, v: u64) {
+    s.push_str(&v.to_string());
+}
+
+fn push_field(s: &mut String, name: &str, v: u64) {
+    s.push_str(",\"");
+    s.push_str(name);
+    s.push_str("\":");
+    push_u64(s, v);
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Num(u64),
+    Bool(bool),
+    Str(String),
+    Null,
+}
+
+struct FlatObject(Vec<(String, JsonValue)>);
+
+impl FlatObject {
+    fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn str_field(&self, key: &str) -> Result<&str, ParseError> {
+        match self.get(key) {
+            Some(JsonValue::Str(s)) => Ok(s),
+            other => Err(ParseError(format!(
+                "field {key:?}: expected string, got {other:?}"
+            ))),
+        }
+    }
+
+    fn u64_field(&self, key: &str) -> Result<u64, ParseError> {
+        match self.get(key) {
+            Some(JsonValue::Num(n)) => Ok(*n),
+            other => Err(ParseError(format!(
+                "field {key:?}: expected number, got {other:?}"
+            ))),
+        }
+    }
+
+    fn bool_field(&self, key: &str) -> Result<bool, ParseError> {
+        match self.get(key) {
+            Some(JsonValue::Bool(b)) => Ok(*b),
+            other => Err(ParseError(format!(
+                "field {key:?}: expected bool, got {other:?}"
+            ))),
+        }
+    }
+
+    fn opt_u64_field(&self, key: &str) -> Result<Option<u64>, ParseError> {
+        match self.get(key) {
+            Some(JsonValue::Num(n)) => Ok(Some(*n)),
+            Some(JsonValue::Null) | None => Ok(None),
+            other => Err(ParseError(format!(
+                "field {key:?}: expected number|null, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Parse `{"k":v,...}` with string/unsigned-number/bool/null values.
+/// Strings never contain escapes in this schema (event names only), so
+/// escape handling is rejection, not interpretation.
+fn parse_flat_object(line: &str) -> Result<FlatObject, ParseError> {
+    let s = line.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| ParseError("not a JSON object".into()))?;
+    let mut fields = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        // Key.
+        rest = rest
+            .strip_prefix('"')
+            .ok_or_else(|| ParseError("expected quoted key".into()))?;
+        let kq = rest
+            .find('"')
+            .ok_or_else(|| ParseError("unterminated key".into()))?;
+        let key = rest[..kq].to_string();
+        rest = rest[kq + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| ParseError(format!("missing ':' after key {key:?}")))?
+            .trim_start();
+        // Value.
+        let (value, after) = if let Some(r) = rest.strip_prefix('"') {
+            let vq = r
+                .find('"')
+                .ok_or_else(|| ParseError("unterminated string".into()))?;
+            let raw = &r[..vq];
+            if raw.contains('\\') {
+                return Err(ParseError(format!("escapes unsupported in value {raw:?}")));
+            }
+            (JsonValue::Str(raw.to_string()), &r[vq + 1..])
+        } else if let Some(r) = rest.strip_prefix("true") {
+            (JsonValue::Bool(true), r)
+        } else if let Some(r) = rest.strip_prefix("false") {
+            (JsonValue::Bool(false), r)
+        } else if let Some(r) = rest.strip_prefix("null") {
+            (JsonValue::Null, r)
+        } else {
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            if end == 0 {
+                return Err(ParseError(format!(
+                    "bad value near {:?}",
+                    &rest[..rest.len().min(12)]
+                )));
+            }
+            let n = rest[..end]
+                .parse()
+                .map_err(|_| ParseError(format!("bad number {:?}", &rest[..end])))?;
+            (JsonValue::Num(n), &rest[end..])
+        };
+        fields.push((key, value));
+        rest = after.trim_start();
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r.trim_start(),
+            None if rest.is_empty() => break,
+            None => {
+                return Err(ParseError(format!(
+                    "expected ',' near {:?}",
+                    &rest[..rest.len().min(12)]
+                )))
+            }
+        }
+    }
+    Ok(FlatObject(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> Vec<EventKind> {
+        vec![
+            EventKind::Spawn { alt: 3 },
+            EventKind::GuardVerdict { pass: true },
+            EventKind::GuardVerdict { pass: false },
+            EventKind::Rendezvous,
+            EventKind::Commit {
+                dirty_pages: 7,
+                overhead_ns: 1234,
+            },
+            EventKind::EliminateSync { overhead_ns: 88 },
+            EventKind::EliminateAsync,
+            EventKind::Timeout,
+            EventKind::CowCopy {
+                vpn: 42,
+                bytes: 4096,
+            },
+            EventKind::ZeroFill { vpn: 9 },
+            EventKind::Checkpoint {
+                pages: 5,
+                bytes: 20480,
+                duration_ns: 999,
+            },
+            EventKind::MsgAccept,
+            EventKind::MsgExtend,
+            EventKind::MsgIgnore,
+            EventKind::MsgSplit,
+            EventKind::RpcSend {
+                node: 2,
+                bytes: 8192,
+                latency_ns: 150_000_000,
+            },
+            EventKind::RpcRetry {
+                node: 2,
+                attempt: 1,
+            },
+            EventKind::RpcTimeout {
+                node: 2,
+                waited_ns: 1_000_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        for (i, kind) in all_kinds().into_iter().enumerate() {
+            let ev = Event {
+                kind,
+                world: i as u64 + 1,
+                parent: if i % 2 == 0 { Some(i as u64) } else { None },
+                vt_ns: 17 * i as u64,
+                wall_ns: 1000 + i as u64,
+            };
+            let line = ev.to_json();
+            let back = Event::from_json(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev, "line {line}");
+        }
+    }
+
+    #[test]
+    fn json_is_flat_single_line() {
+        let ev = Event::new(
+            EventKind::Commit {
+                dirty_pages: 1,
+                overhead_ns: 2,
+            },
+            5,
+            Some(1),
+            77,
+        );
+        let line = ev.to_json();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"ev\":\"commit\""), "{line}");
+        assert!(line.contains("\"parent\":1"), "{line}");
+    }
+
+    #[test]
+    fn null_parent_round_trips() {
+        let ev = Event::new(EventKind::Rendezvous, 1, None, 0);
+        let line = ev.to_json();
+        assert!(line.contains("\"parent\":null"), "{line}");
+        assert_eq!(Event::from_json(&line).unwrap().parent, None);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"ev\":\"spawn\"}",
+            "{\"ev\":\"nonsense\",\"world\":1,\"parent\":null,\"vt\":0,\"wt\":0}",
+            "{\"ev\":\"spawn\",\"world\":-1,\"parent\":null,\"vt\":0,\"wt\":0,\"alt\":0}",
+            "{\"ev\":\"spawn\",\"world\":1,\"parent\":null,\"vt\":0,\"wt\":0,\"alt\":\"x\"}",
+            "{\"ev\":\"spawn\",\"world\":1",
+        ] {
+            assert!(Event::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerant_parse() {
+        let line = "{ \"ev\" : \"zero_fill\" , \"world\" : 3 , \"parent\" : 1 , \"vt\" : 9 , \"wt\" : 0 , \"vpn\" : 4 }";
+        let ev = Event::from_json(line).unwrap();
+        assert_eq!(ev.kind, EventKind::ZeroFill { vpn: 4 });
+        assert_eq!(ev.world, 3);
+    }
+}

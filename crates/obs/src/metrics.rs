@@ -1,0 +1,299 @@
+//! Lock-free metric primitives: counters, gauges, and log2-bucket
+//! histograms. Everything here is plain relaxed atomics — safe to hammer
+//! from any thread, never blocking, and cheap enough to leave enabled.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A level that moves both ways (e.g. frames currently resident).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite with an absolute level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Raise the level by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Lower the level by `n` (saturating at zero would require a CAS
+    /// loop; callers never decrement below their own increments).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i` holds
+/// values with `2^(i-1) <= v < 2^i`, so 65 buckets cover all of `u64`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Fixed-bucket log2 latency histogram. Recording is one relaxed
+/// `fetch_add` per value; no allocation, no locks, no resizing.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0u64; HIST_BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value (typically nanoseconds).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+    }
+
+    /// A consistent-enough copy for reporting. (Individual loads are
+    /// relaxed; concurrent recording can skew a snapshot by in-flight
+    /// values, which reports tolerate.)
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, `HIST_BUCKETS` long.
+    pub buckets: Vec<u64>,
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of recorded values, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile
+    /// (`0.0 < p <= 1.0`), or 0 when empty. Log2 buckets bound the
+    /// estimate within 2x of the true quantile.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 {
+                    0
+                } else {
+                    (1u64 << (i - 1)).saturating_mul(2) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// One human-readable line: `count=… mean=… p50=… p99=…`.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "count={} mean={} p50<={} p99<={}",
+            self.count,
+            fmt_ns(self.mean()),
+            fmt_ns(self.quantile(0.5)),
+            fmt_ns(self.quantile(0.99)),
+        )
+    }
+}
+
+/// Render nanoseconds with a readable unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Declare a struct of [`Counter`]s with a `snapshot()` that lists
+/// `(field_name, value)` pairs — the introspection the run report and
+/// the property tests use.
+#[macro_export]
+macro_rules! counter_struct {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident {
+            $( $(#[$fmeta:meta])* pub $field:ident ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        $vis struct $name {
+            $( $(#[$fmeta])* pub $field: $crate::Counter, )+
+        }
+
+        impl $name {
+            /// `(counter_name, value)` for every counter, declaration order.
+            pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+                vec![ $( (stringify!($field), self.$field.get()) ),+ ]
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1030);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2..4
+        assert_eq!(s.buckets[11], 1); // 1024..2048
+        assert_eq!(s.mean(), 206);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 7: 64..128
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 127);
+        assert!(s.quantile(1.0) >= 1_000_000);
+        assert_eq!(
+            HistogramSnapshot {
+                buckets: vec![0; HIST_BUCKETS],
+                count: 0,
+                sum: 0
+            }
+            .quantile(0.5),
+            0
+        );
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[64], 2);
+        assert!(s.quantile(0.99) >= 1u64 << 63);
+    }
+
+    counter_struct! {
+        /// Test counter block.
+        pub struct DemoCounters { pub alpha, pub beta }
+    }
+
+    #[test]
+    fn counter_struct_snapshots_in_order() {
+        let d = DemoCounters::default();
+        d.alpha.add(3);
+        d.beta.incr();
+        assert_eq!(d.snapshot(), vec![("alpha", 3), ("beta", 1)]);
+    }
+}

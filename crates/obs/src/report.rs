@@ -1,0 +1,332 @@
+//! Aggregated run statistics and the end-of-run summary table.
+//!
+//! [`RunStats`] is the single event→metric mapping: the live registry
+//! routes every emitted event through [`RunStats::absorb`], and
+//! `worlds-report` replays a JSONL file through the same function — so a
+//! replayed report is bit-identical to the live one by construction.
+
+use crate::counter_struct;
+use crate::event::{Event, EventKind};
+use crate::metrics::{Gauge, Histogram};
+
+counter_struct! {
+    /// Speculation lifecycle (kernel::machine).
+    pub struct KernelCounters {
+        /// Speculative worlds forked.
+        pub worlds_spawned,
+        /// Guard predicates that passed.
+        pub guard_pass,
+        /// Guard predicates that failed.
+        pub guard_fail,
+        /// Worlds that reached the rendezvous point.
+        pub rendezvous,
+        /// Winning worlds committed into their parents.
+        pub commits,
+        /// Losers eliminated while the parent waited.
+        pub eliminations_sync,
+        /// Losers handed to background elimination.
+        pub eliminations_async,
+        /// Worlds aborted at their deadline.
+        pub timeouts,
+    }
+}
+
+counter_struct! {
+    /// Memory behaviour (pagestore::store).
+    pub struct PageCounters {
+        /// All write faults (CoW copies + zero fills).
+        pub faults,
+        /// Pages privatised by copy-on-write.
+        pub page_copies,
+        /// Pages materialised from the zero page.
+        pub zero_fills,
+        /// Bytes physically copied by CoW.
+        pub bytes_copied,
+        /// Checkpoint images written.
+        pub checkpoints,
+        /// Total checkpoint image bytes.
+        pub checkpoint_bytes,
+    }
+}
+
+counter_struct! {
+    /// Predicated message routing (ipc::router).
+    pub struct IpcCounters {
+        /// Messages matching the receiver's predicate set.
+        pub accepts,
+        /// Messages accepted by extending the predicate set.
+        pub extends,
+        /// Messages outside the predicate set.
+        pub ignores,
+        /// Messages that split the receiver into two worlds.
+        pub splits,
+    }
+}
+
+counter_struct! {
+    /// Remote speculation (remote::cluster).
+    pub struct RemoteCounters {
+        /// RPCs dispatched (rforks + commit-backs).
+        pub rpc_sends,
+        /// Attempts re-sent after a timeout.
+        pub rpc_retries,
+        /// Attempts that timed out.
+        pub rpc_timeouts,
+        /// Payload bytes shipped over the modeled network.
+        pub bytes_sent,
+    }
+}
+
+/// Every counter and histogram the observability layer maintains,
+/// grouped by subsystem. Plain atomics throughout — shared freely.
+#[derive(Debug, Default)]
+pub struct RunStats {
+    /// kernel::machine counters.
+    pub kernel: KernelCounters,
+    /// pagestore::store counters.
+    pub pagestore: PageCounters,
+    /// ipc::router counters.
+    pub ipc: IpcCounters,
+    /// remote::cluster counters.
+    pub remote: RemoteCounters,
+    /// Frames currently resident in the page store (level, not count).
+    pub frames_resident: Gauge,
+    /// Commit overhead per winning world (virtual ns).
+    pub commit_latency: Histogram,
+    /// Synchronous elimination overhead per loser (virtual ns).
+    pub elim_latency: Histogram,
+    /// Checkpoint serialisation duration (virtual ns).
+    pub checkpoint_duration: Histogram,
+    /// End-to-end RPC latency over the modeled network (virtual ns).
+    pub rpc_latency: Histogram,
+}
+
+impl RunStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> RunStats {
+        RunStats::default()
+    }
+
+    /// Fold one event into counters and histograms. This is the
+    /// canonical mapping used both live and on JSONL replay.
+    pub fn absorb(&self, ev: &Event) {
+        match &ev.kind {
+            EventKind::Spawn { .. } => self.kernel.worlds_spawned.incr(),
+            EventKind::GuardVerdict { pass: true } => self.kernel.guard_pass.incr(),
+            EventKind::GuardVerdict { pass: false } => self.kernel.guard_fail.incr(),
+            EventKind::Rendezvous => self.kernel.rendezvous.incr(),
+            EventKind::Commit { overhead_ns, .. } => {
+                self.kernel.commits.incr();
+                self.commit_latency.record(*overhead_ns);
+            }
+            EventKind::EliminateSync { overhead_ns } => {
+                self.kernel.eliminations_sync.incr();
+                self.elim_latency.record(*overhead_ns);
+            }
+            EventKind::EliminateAsync => self.kernel.eliminations_async.incr(),
+            EventKind::Timeout => self.kernel.timeouts.incr(),
+            EventKind::CowCopy { bytes, .. } => {
+                self.pagestore.faults.incr();
+                self.pagestore.page_copies.incr();
+                self.pagestore.bytes_copied.add(*bytes);
+            }
+            EventKind::ZeroFill { .. } => {
+                self.pagestore.faults.incr();
+                self.pagestore.zero_fills.incr();
+            }
+            EventKind::Checkpoint {
+                bytes, duration_ns, ..
+            } => {
+                self.pagestore.checkpoints.incr();
+                self.pagestore.checkpoint_bytes.add(*bytes);
+                self.checkpoint_duration.record(*duration_ns);
+            }
+            EventKind::MsgAccept => self.ipc.accepts.incr(),
+            EventKind::MsgExtend => self.ipc.extends.incr(),
+            EventKind::MsgIgnore => self.ipc.ignores.incr(),
+            EventKind::MsgSplit => self.ipc.splits.incr(),
+            EventKind::RpcSend {
+                bytes, latency_ns, ..
+            } => {
+                self.remote.rpc_sends.incr();
+                self.remote.bytes_sent.add(*bytes);
+                self.rpc_latency.record(*latency_ns);
+            }
+            EventKind::RpcRetry { .. } => self.remote.rpc_retries.incr(),
+            EventKind::RpcTimeout { .. } => self.remote.rpc_timeouts.incr(),
+        }
+    }
+
+    /// Guard pass rate in [0, 1], or `None` before any verdicts.
+    pub fn guard_pass_rate(&self) -> Option<f64> {
+        let pass = self.kernel.guard_pass.get();
+        let total = pass + self.kernel.guard_fail.get();
+        (total > 0).then(|| pass as f64 / total as f64)
+    }
+
+    /// The human-readable end-of-run summary table.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== worlds observability summary ==\n");
+
+        section(&mut out, "kernel", &self.kernel.snapshot());
+        if let Some(rate) = self.guard_pass_rate() {
+            out.push_str(&format!(
+                "  {:<22} {:.1}%\n",
+                "guard_pass_rate",
+                rate * 100.0
+            ));
+        }
+        hist_line(&mut out, "commit_latency", &self.commit_latency);
+        hist_line(&mut out, "elim_latency", &self.elim_latency);
+
+        section(&mut out, "pagestore", &self.pagestore.snapshot());
+        out.push_str(&format!(
+            "  {:<22} {}\n",
+            "frames_resident",
+            self.frames_resident.get()
+        ));
+        hist_line(&mut out, "checkpoint_duration", &self.checkpoint_duration);
+
+        section(&mut out, "ipc", &self.ipc.snapshot());
+        section(&mut out, "remote", &self.remote.snapshot());
+        hist_line(&mut out, "rpc_latency", &self.rpc_latency);
+        out
+    }
+}
+
+fn section(out: &mut String, name: &str, counters: &[(&'static str, u64)]) {
+    out.push_str(&format!("[{name}]\n"));
+    for (cname, v) in counters {
+        out.push_str(&format!("  {cname:<22} {v}\n"));
+    }
+}
+
+fn hist_line(out: &mut String, name: &str, hist: &Histogram) {
+    let snap = hist.snapshot();
+    if snap.count > 0 {
+        out.push_str(&format!("  {name:<22} {}\n", snap.summary_line()));
+    }
+}
+
+/// Replay parsed events into fresh statistics.
+pub fn replay<'a>(events: impl IntoIterator<Item = &'a Event>) -> RunStats {
+    let stats = RunStats::new();
+    for ev in events {
+        stats.absorb(ev);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind) -> Event {
+        Event::new(kind, 1, Some(0), 100)
+    }
+
+    #[test]
+    fn absorb_routes_every_kind() {
+        let s = RunStats::new();
+        s.absorb(&ev(EventKind::Spawn { alt: 0 }));
+        s.absorb(&ev(EventKind::GuardVerdict { pass: true }));
+        s.absorb(&ev(EventKind::GuardVerdict { pass: false }));
+        s.absorb(&ev(EventKind::Rendezvous));
+        s.absorb(&ev(EventKind::Commit {
+            dirty_pages: 3,
+            overhead_ns: 500,
+        }));
+        s.absorb(&ev(EventKind::EliminateSync { overhead_ns: 50 }));
+        s.absorb(&ev(EventKind::EliminateAsync));
+        s.absorb(&ev(EventKind::Timeout));
+        s.absorb(&ev(EventKind::CowCopy {
+            vpn: 1,
+            bytes: 4096,
+        }));
+        s.absorb(&ev(EventKind::ZeroFill { vpn: 2 }));
+        s.absorb(&ev(EventKind::Checkpoint {
+            pages: 2,
+            bytes: 8192,
+            duration_ns: 900,
+        }));
+        s.absorb(&ev(EventKind::MsgAccept));
+        s.absorb(&ev(EventKind::MsgExtend));
+        s.absorb(&ev(EventKind::MsgIgnore));
+        s.absorb(&ev(EventKind::MsgSplit));
+        s.absorb(&ev(EventKind::RpcSend {
+            node: 1,
+            bytes: 100,
+            latency_ns: 2000,
+        }));
+        s.absorb(&ev(EventKind::RpcRetry {
+            node: 1,
+            attempt: 1,
+        }));
+        s.absorb(&ev(EventKind::RpcTimeout {
+            node: 1,
+            waited_ns: 99,
+        }));
+
+        assert_eq!(s.kernel.worlds_spawned.get(), 1);
+        assert_eq!(s.kernel.guard_pass.get(), 1);
+        assert_eq!(s.kernel.guard_fail.get(), 1);
+        assert_eq!(s.kernel.commits.get(), 1);
+        assert_eq!(s.kernel.eliminations_sync.get(), 1);
+        assert_eq!(s.kernel.eliminations_async.get(), 1);
+        assert_eq!(s.kernel.timeouts.get(), 1);
+        assert_eq!(s.pagestore.faults.get(), 2);
+        assert_eq!(s.pagestore.page_copies.get(), 1);
+        assert_eq!(s.pagestore.zero_fills.get(), 1);
+        assert_eq!(s.pagestore.bytes_copied.get(), 4096);
+        assert_eq!(s.pagestore.checkpoints.get(), 1);
+        assert_eq!(s.ipc.snapshot().iter().map(|(_, v)| v).sum::<u64>(), 4);
+        assert_eq!(s.remote.rpc_sends.get(), 1);
+        assert_eq!(s.remote.rpc_retries.get(), 1);
+        assert_eq!(s.remote.rpc_timeouts.get(), 1);
+        assert_eq!(s.commit_latency.snapshot().count, 1);
+        assert_eq!(s.elim_latency.snapshot().count, 1);
+        assert_eq!(s.rpc_latency.snapshot().count, 1);
+        assert_eq!(s.guard_pass_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn replay_equals_live_absorption() {
+        let events: Vec<Event> = (0..20)
+            .map(|i| {
+                ev(match i % 4 {
+                    0 => EventKind::Spawn { alt: i },
+                    1 => EventKind::Commit {
+                        dirty_pages: i,
+                        overhead_ns: i * 10,
+                    },
+                    2 => EventKind::EliminateSync { overhead_ns: i },
+                    _ => EventKind::CowCopy {
+                        vpn: i,
+                        bytes: 4096,
+                    },
+                })
+            })
+            .collect();
+        let live = replay(&events);
+        let replayed = replay(&events);
+        assert_eq!(live.render_summary(), replayed.render_summary());
+    }
+
+    #[test]
+    fn summary_mentions_each_subsystem() {
+        let s = RunStats::new();
+        s.absorb(&ev(EventKind::Spawn { alt: 0 }));
+        let text = s.render_summary();
+        for needle in [
+            "[kernel]",
+            "[pagestore]",
+            "[ipc]",
+            "[remote]",
+            "worlds_spawned",
+            "frames_resident",
+        ] {
+            assert!(text.contains(needle), "summary missing {needle}:\n{text}");
+        }
+    }
+}

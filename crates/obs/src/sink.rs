@@ -1,0 +1,145 @@
+//! Pluggable event destinations.
+//!
+//! A [`Registry`](crate::Registry) fans every emitted event out to its
+//! sinks. Two ship here: a bounded in-memory ring (tests, postmortems)
+//! and a JSONL writer (offline analysis via `worlds-report` or
+//! `crates/analysis`).
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// Receives every event the registry emits. Implementations must be
+/// cheap and non-blocking-ish: they run inline at the emit site.
+pub trait EventSink: Send + Sync {
+    /// Record one event.
+    fn record(&self, ev: &Event);
+    /// Push buffered output to its destination.
+    fn flush(&self) {}
+}
+
+/// Keeps the last `capacity` events in memory.
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+            dropped: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// How many events were evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl EventSink for RingSink {
+    fn record(&self, ev: &Event) {
+        let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        buf.push_back(ev.clone());
+    }
+}
+
+/// Writes one JSON object per line to any `Write`.
+pub struct JsonlSink<W: Write + Send> {
+    out: Mutex<BufWriter<W>>,
+}
+
+impl JsonlSink<File> {
+    /// Create (truncate) `path` and stream events into it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink<File>> {
+        Ok(JsonlSink::new(File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Stream events into `writer`.
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink {
+            out: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn record(&self, ev: &Event) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        // Disk-full mid-run should not take the simulation down with it;
+        // flush() surfaces errors for callers that care.
+        let _ = writeln!(out, "{}", ev.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap_or_else(|e| e.into_inner()).flush();
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        EventSink::flush(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(world: u64) -> Event {
+        Event::new(EventKind::Rendezvous, world, None, world * 10)
+    }
+
+    #[test]
+    fn ring_keeps_only_the_tail() {
+        let ring = RingSink::new(3);
+        for w in 1..=5 {
+            ring.record(&ev(w));
+        }
+        let worlds: Vec<u64> = ring.events().iter().map(|e| e.world).collect();
+        assert_eq!(worlds, vec![3, 4, 5]);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn jsonl_writes_parseable_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.record(&ev(1));
+        sink.record(&ev(2));
+        sink.flush();
+        let bytes = {
+            let guard = sink.out.lock().unwrap();
+            guard.get_ref().clone()
+        };
+        let text = String::from_utf8(bytes).unwrap();
+        let parsed: Vec<Event> = text.lines().map(|l| Event::from_json(l).unwrap()).collect();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].world, 2);
+    }
+}

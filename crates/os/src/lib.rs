@@ -34,4 +34,4 @@
 pub mod measure;
 mod race;
 
-pub use race::{ForkAlt, ForkElim, ForkOutcome, ForkReport, ForkRace};
+pub use race::{ForkAlt, ForkElim, ForkOutcome, ForkRace, ForkReport};

@@ -174,7 +174,9 @@ pub fn elimination_cost_best_of(n: usize, rounds: usize) -> io::Result<(Duration
 /// the §3.4 measurement kit; elimination costs from a best-of-3 run.
 pub fn calibrated_cost_model() -> io::Result<worlds_kernel::CostModel> {
     use worlds_kernel::{CostModel, VirtualTime};
-    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let fork = fork_latency(320 * 1024, 20)?;
     let rate = page_copy_rate(512, 4096)?;
     let (elim_sync, elim_async) = elimination_cost_best_of(16, 3)?;
@@ -223,8 +225,14 @@ mod tests {
     #[test]
     fn elimination_sync_geq_async() {
         let (sync, asynchronous) = elimination_cost_best_of(16, 3).unwrap();
-        assert!(sync >= asynchronous, "sync {sync:?} must cost at least async {asynchronous:?}");
-        assert!(sync < Duration::from_millis(500), "elimination should be fast");
+        assert!(
+            sync >= asynchronous,
+            "sync {sync:?} must cost at least async {asynchronous:?}"
+        );
+        assert!(
+            sync < Duration::from_millis(500),
+            "elimination should be fast"
+        );
     }
 
     #[test]

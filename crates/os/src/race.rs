@@ -31,7 +31,10 @@ impl ForkAlt {
         label: impl Into<String>,
         run: impl FnMut(&mut [u8]) -> Result<usize, ()> + Send + 'static,
     ) -> Self {
-        ForkAlt { label: label.into(), run: Box::new(run) }
+        ForkAlt {
+            label: label.into(),
+            run: Box::new(run),
+        }
     }
 }
 
@@ -108,7 +111,11 @@ impl ForkRace {
     pub fn new(alts: Vec<ForkAlt>) -> Self {
         assert!(!alts.is_empty(), "a race needs at least one alternative");
         assert!(alts.len() <= 255, "indices are one byte on the pipe");
-        ForkRace { alts, timeout: None, elim: ForkElim::default() }
+        ForkRace {
+            alts,
+            timeout: None,
+            elim: ForkElim::default(),
+        }
     }
 
     /// Set the parent's wait timeout.
@@ -172,16 +179,15 @@ impl ForkRace {
                             msg_buf[2] = ((len >> 8) & 0xFF) as u8;
                             msg_buf[3..3 + len].copy_from_slice(&scratch[..len]);
                             let total = 3 + len;
-                            let wrote = unsafe {
-                                libc::write(write_fd, msg_buf.as_ptr().cast(), total)
-                            };
+                            let wrote =
+                                unsafe { libc::write(write_fd, msg_buf.as_ptr().cast(), total) };
                             if wrote == total as isize {
                                 0
                             } else {
                                 2
                             }
                         }
-                        Ok(_) => 3,  // oversized result: protocol violation
+                        Ok(_) => 3,   // oversized result: protocol violation
                         Err(()) => 1, // guard failed: exit silently
                     };
                     unsafe { libc::_exit(status) };
@@ -222,7 +228,11 @@ impl ForkRace {
                 }
             }
             ForkElim::Async => {
-                pending = pids.iter().copied().filter(|&p| Some(p) != winner_pid).collect();
+                pending = pids
+                    .iter()
+                    .copied()
+                    .filter(|&p| Some(p) != winner_pid)
+                    .collect();
             }
         }
         Ok(ForkReport { outcome, pending })
@@ -253,7 +263,11 @@ impl ForkRace {
                 }
                 left as i32
             };
-            let mut pfd = libc::pollfd { fd: read_fd, events: libc::POLLIN, revents: 0 };
+            let mut pfd = libc::pollfd {
+                fd: read_fd,
+                events: libc::POLLIN,
+                revents: 0,
+            };
             let pr = unsafe { libc::poll(&mut pfd, 1, remaining_ms) };
             if pr == 0 {
                 return Ok(ForkOutcome::TimedOut);
@@ -268,9 +282,7 @@ impl ForkRace {
             // Read the 3-byte header, then the payload (the message was a
             // single atomic write, so it is fully available).
             while got < 3 {
-                let r = unsafe {
-                    libc::read(read_fd, header[got..].as_mut_ptr().cast(), 3 - got)
-                };
+                let r = unsafe { libc::read(read_fd, header[got..].as_mut_ptr().cast(), 3 - got) };
                 if r == 0 {
                     return Ok(ForkOutcome::AllFailed); // EOF: every child died silently
                 }
@@ -288,9 +300,8 @@ impl ForkRace {
             let mut payload = vec![0u8; len];
             let mut have = 0usize;
             while have < len {
-                let r = unsafe {
-                    libc::read(read_fd, payload[have..].as_mut_ptr().cast(), len - have)
-                };
+                let r =
+                    unsafe { libc::read(read_fd, payload[have..].as_mut_ptr().cast(), len - have) };
                 if r <= 0 {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
@@ -299,7 +310,11 @@ impl ForkRace {
                 }
                 have += r as usize;
             }
-            return Ok(ForkOutcome::Winner { index, label: labels[index].clone(), payload });
+            return Ok(ForkOutcome::Winner {
+                index,
+                label: labels[index].clone(),
+                payload,
+            });
         }
     }
 }
@@ -333,7 +348,11 @@ mod tests {
         .elim(ForkElim::Sync);
         let report = race.run().unwrap();
         match &report.outcome {
-            ForkOutcome::Winner { index, label, payload } => {
+            ForkOutcome::Winner {
+                index,
+                label,
+                payload,
+            } => {
                 assert_eq!(*index, 1);
                 assert_eq!(label, "fast");
                 assert_eq!(payload, b"FAST");
@@ -365,7 +384,10 @@ mod tests {
         ])
         .elim(ForkElim::Sync);
         let report = race.run().unwrap();
-        assert!(matches!(&report.outcome, ForkOutcome::Winner { index: 1, .. }));
+        assert!(matches!(
+            &report.outcome,
+            ForkOutcome::Winner { index: 1, .. }
+        ));
     }
 
     #[test]
@@ -380,7 +402,10 @@ mod tests {
         let t0 = std::time::Instant::now();
         let report = race.run().unwrap();
         assert_eq!(report.outcome, ForkOutcome::TimedOut);
-        assert!(t0.elapsed() < Duration::from_millis(2_000), "SIGKILL must cut the wait short");
+        assert!(
+            t0.elapsed() < Duration::from_millis(2_000),
+            "SIGKILL must cut the wait short"
+        );
     }
 
     #[test]
@@ -391,8 +416,7 @@ mod tests {
         let shared: Vec<u8> = vec![7u8; 64 * 1024];
         let probe = shared.as_ptr() as usize; // moved into the closure as a value
         let race = ForkRace::new(vec![ForkAlt::new("mutator", move |buf| {
-            let slice =
-                unsafe { std::slice::from_raw_parts_mut(probe as *mut u8, 64 * 1024) };
+            let slice = unsafe { std::slice::from_raw_parts_mut(probe as *mut u8, 64 * 1024) };
             for b in slice.iter_mut() {
                 *b = 9;
             }
@@ -405,7 +429,10 @@ mod tests {
             ForkOutcome::Winner { payload, .. } => assert_eq!(payload[0], 9),
             other => panic!("expected winner, got {other:?}"),
         }
-        assert!(shared.iter().all(|&b| b == 7), "parent pages must be COW-protected");
+        assert!(
+            shared.iter().all(|&b| b == 7),
+            "parent pages must be COW-protected"
+        );
     }
 
     #[test]
@@ -423,7 +450,10 @@ mod tests {
         ])
         .elim(ForkElim::Async);
         let mut report = race.run().unwrap();
-        assert!(matches!(&report.outcome, ForkOutcome::Winner { index: 0, .. }));
+        assert!(matches!(
+            &report.outcome,
+            ForkOutcome::Winner { index: 0, .. }
+        ));
         assert_eq!(report.pending_reaps(), 1);
         report.reap();
         assert_eq!(report.pending_reaps(), 0);

@@ -25,6 +25,7 @@ const VERSION: u32 = 1;
 
 /// Serialise every mapped page of `world` into a checkpoint image.
 pub fn checkpoint(store: &PageStore, world: WorldId) -> Result<Vec<u8>> {
+    let started = std::time::Instant::now();
     let pages = store.mapped_vpns(world)?;
     let page_size = store.page_size();
     let mut out = Vec::with_capacity(24 + pages.len() * (8 + page_size));
@@ -33,11 +34,27 @@ pub fn checkpoint(store: &PageStore, world: WorldId) -> Result<Vec<u8>> {
     out.extend_from_slice(&(page_size as u64).to_le_bytes());
     out.extend_from_slice(&(pages.len() as u64).to_le_bytes());
     let mut buf = vec![0u8; page_size];
+    let page_count = pages.len() as u64;
     for vpn in pages {
         out.extend_from_slice(&vpn.to_le_bytes());
         store.read(world, vpn, 0, &mut buf)?;
         out.extend_from_slice(&buf);
     }
+    store.obs().emit(|| {
+        let parent = store.parent_of(world).ok().flatten().map(WorldId::raw);
+        worlds_obs::Event::new(
+            worlds_obs::EventKind::Checkpoint {
+                pages: page_count,
+                bytes: out.len() as u64,
+                // Serialisation is real work (not simulated), so the
+                // duration is measured wall time.
+                duration_ns: started.elapsed().as_nanos() as u64,
+            },
+            world.raw(),
+            parent,
+            0,
+        )
+    });
     Ok(out)
 }
 
@@ -94,7 +111,11 @@ mod tests {
         let r = restore(&store, &image).unwrap();
         assert_eq!(store.read_vec(r, 3, 10, 5).unwrap(), b"alpha");
         assert_eq!(store.read_vec(r, 9, 0, 4).unwrap(), b"beta");
-        assert_eq!(store.read_vec(r, 0, 0, 1).unwrap(), vec![0], "unmapped stays zero");
+        assert_eq!(
+            store.read_vec(r, 0, 0, 1).unwrap(),
+            vec![0],
+            "unmapped stays zero"
+        );
         assert_eq!(store.mapped_pages(r).unwrap(), 2);
     }
 
@@ -109,7 +130,10 @@ mod tests {
         let image = checkpoint(&here, w).unwrap();
         let remote = restore(&there, &image).unwrap();
         for vpn in 0..10 {
-            assert_eq!(there.read_vec(remote, vpn, 0, 1).unwrap(), vec![vpn as u8 + 1]);
+            assert_eq!(
+                there.read_vec(remote, vpn, 0, 1).unwrap(),
+                vec![vpn as u8 + 1]
+            );
         }
         // The two worlds are fully independent.
         there.write(remote, 0, 0, &[99]).unwrap();
@@ -130,7 +154,10 @@ mod tests {
     fn corrupt_images_are_rejected() {
         let store = PageStore::new(64);
         assert!(restore(&store, b"BOGUS").is_err());
-        assert!(restore(&store, b"MWCK\x02\x00\x00\x00").is_err(), "short header");
+        assert!(
+            restore(&store, b"MWCK\x02\x00\x00\x00").is_err(),
+            "short header"
+        );
         // Valid header, wrong page size.
         let other = PageStore::new(128);
         let w = other.create_world();

@@ -41,7 +41,11 @@ impl fmt::Display for PageStoreError {
             PageStoreError::NoSuchWorld(w) => write!(f, "no such world: {w}"),
             PageStoreError::NoSuchFile(n) => write!(f, "no such file: {n:?}"),
             PageStoreError::FileExists(n) => write!(f, "file already exists: {n:?}"),
-            PageStoreError::OutOfPageBounds { offset, len, page_size } => write!(
+            PageStoreError::OutOfPageBounds {
+                offset,
+                len,
+                page_size,
+            } => write!(
                 f,
                 "access of {len} bytes at offset {offset} exceeds page size {page_size}"
             ),
@@ -67,9 +71,16 @@ mod tests {
         assert!(PageStoreError::NoSuchFile("db".into())
             .to_string()
             .contains("db"));
-        let e = PageStoreError::OutOfPageBounds { offset: 100, len: 30, page_size: 128 };
+        let e = PageStoreError::OutOfPageBounds {
+            offset: 100,
+            len: 30,
+            page_size: 128,
+        };
         assert!(e.to_string().contains("128"));
-        let e = PageStoreError::NotAChild { parent: 1, child: 9 };
+        let e = PageStoreError::NotAChild {
+            parent: 1,
+            child: 9,
+        };
         assert!(e.to_string().contains('9'));
     }
 

@@ -75,7 +75,11 @@ impl FileSystem {
         if inner.files.contains_key(name) {
             return Err(PageStoreError::FileExists(name.to_string()));
         }
-        let handle = FileHandle { base_vpn: inner.next_vpn, pages, len: 0 };
+        let handle = FileHandle {
+            base_vpn: inner.next_vpn,
+            pages,
+            len: 0,
+        };
         inner.next_vpn += pages;
         inner.files.insert(name.to_string(), handle);
         Ok(handle)
@@ -117,7 +121,8 @@ impl FileSystem {
             let vpn = handle.base_vpn + abs / page;
             let off = (abs % page) as usize;
             let n = ((page as usize) - off).min(data.len() - written);
-            self.store.write(world, vpn, off, &data[written..written + n])?;
+            self.store
+                .write(world, vpn, off, &data[written..written + n])?;
             written += n;
         }
         if end > handle.len {
@@ -192,7 +197,10 @@ mod tests {
         assert_eq!(fs.list(), vec!["a.db".to_string(), "b.db".to_string()]);
         assert!(fs.open("a.db").is_ok());
         assert!(matches!(fs.open("zzz"), Err(PageStoreError::NoSuchFile(_))));
-        assert!(matches!(fs.create("a.db", 10), Err(PageStoreError::FileExists(_))));
+        assert!(matches!(
+            fs.create("a.db", 10),
+            Err(PageStoreError::FileExists(_))
+        ));
     }
 
     #[test]

@@ -60,6 +60,6 @@ pub use error::{PageStoreError, Result};
 pub use file::{FileHandle, FileSystem};
 pub use frame::FrameId;
 pub use map::PageMap;
-pub use page::{PageData, Vpn, PAGE_SIZE_DEFAULT, PAGE_SIZE_2K, PAGE_SIZE_4K};
+pub use page::{PageData, Vpn, PAGE_SIZE_2K, PAGE_SIZE_4K, PAGE_SIZE_DEFAULT};
 pub use stats::{StoreStats, WorldStats};
 pub use store::{PageStore, WorldId};

@@ -30,7 +30,9 @@ pub struct PageData {
 impl PageData {
     /// A fresh zero-filled page of `page_size` bytes.
     pub fn zeroed(page_size: usize) -> Self {
-        PageData { bytes: vec![0u8; page_size].into_boxed_slice() }
+        PageData {
+            bytes: vec![0u8; page_size].into_boxed_slice(),
+        }
     }
 
     /// Page contents, immutably.
@@ -66,7 +68,12 @@ impl PageData {
 impl std::fmt::Debug for PageData {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let nonzero = self.bytes.iter().filter(|&&b| b != 0).count();
-        write!(f, "PageData({} bytes, {} nonzero)", self.bytes.len(), nonzero)
+        write!(
+            f,
+            "PageData({} bytes, {} nonzero)",
+            self.bytes.len(),
+            nonzero
+        )
     }
 }
 

@@ -6,33 +6,38 @@
 //! important independent variable for a program with a known address space
 //! size, using copy-on-write". The store keeps exact counters so benches and
 //! experiments can report the same quantities.
+//!
+//! Since the `worlds-obs` layer landed, this module is a thin adapter: the
+//! counters themselves are [`worlds_obs::Counter`]s (the same lock-free
+//! primitive the observability registry uses), and [`StoreStats`] remains
+//! the stable snapshot API callers were written against.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use worlds_obs::Counter;
 
 /// Global (whole-store) counters. All counters are monotonic.
 #[derive(Debug, Default)]
 pub(crate) struct StatsInner {
-    pub forks: AtomicU64,
-    pub adopts: AtomicU64,
-    pub cow_faults: AtomicU64,
-    pub bytes_copied: AtomicU64,
-    pub zero_fills: AtomicU64,
-    pub reads: AtomicU64,
-    pub writes: AtomicU64,
-    pub worlds_dropped: AtomicU64,
+    pub forks: Counter,
+    pub adopts: Counter,
+    pub cow_faults: Counter,
+    pub bytes_copied: Counter,
+    pub zero_fills: Counter,
+    pub reads: Counter,
+    pub writes: Counter,
+    pub worlds_dropped: Counter,
 }
 
 impl StatsInner {
     pub(crate) fn snapshot(&self) -> StoreStats {
         StoreStats {
-            forks: self.forks.load(Ordering::Relaxed),
-            adopts: self.adopts.load(Ordering::Relaxed),
-            cow_faults: self.cow_faults.load(Ordering::Relaxed),
-            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
-            zero_fills: self.zero_fills.load(Ordering::Relaxed),
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            worlds_dropped: self.worlds_dropped.load(Ordering::Relaxed),
+            forks: self.forks.get(),
+            adopts: self.adopts.get(),
+            cow_faults: self.cow_faults.get(),
+            bytes_copied: self.bytes_copied.get(),
+            zero_fills: self.zero_fills.get(),
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            worlds_dropped: self.worlds_dropped.get(),
         }
     }
 }
@@ -106,11 +111,11 @@ mod tests {
     #[test]
     fn snapshot_and_delta() {
         let inner = StatsInner::default();
-        inner.forks.store(3, Ordering::Relaxed);
-        inner.bytes_copied.store(100, Ordering::Relaxed);
+        inner.forks.add(3);
+        inner.bytes_copied.add(100);
         let a = inner.snapshot();
-        inner.forks.store(5, Ordering::Relaxed);
-        inner.bytes_copied.store(180, Ordering::Relaxed);
+        inner.forks.add(2);
+        inner.bytes_copied.add(80);
         let b = inner.snapshot();
         let d = b.delta_since(&a);
         assert_eq!(d.forks, 2);
@@ -120,7 +125,11 @@ mod tests {
 
     #[test]
     fn write_fraction_matches_paper_definition() {
-        let ws = WorldStats { pages_cowed: 2, pages_zero_filled: 0, pages_inherited: 10 };
+        let ws = WorldStats {
+            pages_cowed: 2,
+            pages_zero_filled: 0,
+            pages_inherited: 10,
+        };
         assert_eq!(ws.write_fraction(), Some(0.2));
         let root = WorldStats::default();
         assert_eq!(root.write_fraction(), None);

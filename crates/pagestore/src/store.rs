@@ -1,9 +1,11 @@
 //! The page store: worlds, COW faults, fork and adopt.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use worlds_obs::{Event, EventKind, Registry};
 
 use crate::error::{PageStoreError, Result};
 use crate::frame::{FrameId, FrameTable};
@@ -50,6 +52,10 @@ pub struct PageStore {
     inner: Arc<RwLock<Inner>>,
     stats: Arc<StatsInner>,
     page_size: usize,
+    obs: Registry,
+    /// Virtual-time stamp for emitted events, settable by whoever owns the
+    /// clock (the kernel simulator); standalone users leave it at 0.
+    clock: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for PageStore {
@@ -67,6 +73,13 @@ impl PageStore {
     /// A new, empty store with the given page size (bytes). Page size must
     /// be nonzero; the paper's machines used 2 KiB (3B2) and 4 KiB (HP).
     pub fn new(page_size: usize) -> Self {
+        Self::with_obs(page_size, Registry::disabled())
+    }
+
+    /// Like [`PageStore::new`], with an observability registry: every CoW
+    /// copy, zero fill, and checkpoint emits an event, and the registry's
+    /// `frames_resident` gauge tracks live frames.
+    pub fn with_obs(page_size: usize, obs: Registry) -> Self {
         assert!(page_size > 0, "page size must be nonzero");
         PageStore {
             inner: Arc::new(RwLock::new(Inner {
@@ -77,7 +90,44 @@ impl PageStore {
             })),
             stats: Arc::new(StatsInner::default()),
             page_size,
+            obs,
+            clock: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// The store's observability registry (disabled unless constructed
+    /// with [`PageStore::with_obs`] / [`PageStore::set_obs`]).
+    pub fn obs(&self) -> &Registry {
+        &self.obs
+    }
+
+    /// Attach a registry after construction. Call before handing out
+    /// clones: clones made earlier keep the registry they were built with.
+    pub fn set_obs(&mut self, obs: Registry) {
+        self.obs = obs;
+    }
+
+    /// Set the virtual-time stamp applied to subsequently emitted events.
+    /// Shared by all clones of this store.
+    pub fn set_clock_ns(&self, ns: u64) {
+        self.clock.store(ns, Relaxed);
+    }
+
+    /// The current virtual-time stamp (last [`PageStore::set_clock_ns`]).
+    pub fn clock_ns(&self) -> u64 {
+        self.vt()
+    }
+
+    fn vt(&self) -> u64 {
+        self.clock.load(Relaxed)
+    }
+
+    fn sync_frames_gauge(&self, inner: &Inner) {
+        self.obs.with(|o| {
+            o.stats
+                .frames_resident
+                .set(inner.frames.live_frames() as u64)
+        });
     }
 
     /// The store's page size in bytes.
@@ -93,7 +143,11 @@ impl PageStore {
         inner.lineage.insert(id.0, None);
         inner.worlds.insert(
             id.0,
-            World { map: PageMap::new(), parent: None, stats: WorldStats::default() },
+            World {
+                map: PageMap::new(),
+                parent: None,
+                stats: WorldStats::default(),
+            },
         );
         id
     }
@@ -121,10 +175,13 @@ impl PageStore {
             World {
                 map,
                 parent: Some(parent),
-                stats: WorldStats { pages_inherited: inherited, ..WorldStats::default() },
+                stats: WorldStats {
+                    pages_inherited: inherited,
+                    ..WorldStats::default()
+                },
             },
         );
-        self.stats.forks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.forks.incr();
         Ok(id)
     }
 
@@ -143,7 +200,7 @@ impl PageStore {
             }
             None => buf.fill(0),
         }
-        self.stats.reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.reads.incr();
         Ok(())
     }
 
@@ -163,9 +220,8 @@ impl PageStore {
             return Err(PageStoreError::NoSuchWorld(world.0));
         }
         let frame = self.ensure_private_page(&mut inner, world, vpn);
-        inner.frames.data_mut(frame).bytes_mut()[offset..offset + data.len()]
-            .copy_from_slice(data);
-        self.stats.writes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        inner.frames.data_mut(frame).bytes_mut()[offset..offset + data.len()].copy_from_slice(data);
+        self.stats.writes.incr();
         Ok(())
     }
 
@@ -194,7 +250,10 @@ impl PageStore {
             cur = p;
         }
         if !is_descendant {
-            return Err(PageStoreError::NotAChild { parent: parent.0, child: child.0 });
+            return Err(PageStoreError::NotAChild {
+                parent: parent.0,
+                child: child.0,
+            });
         }
 
         // Remove the child world; its map (with its refcounts) transfers to
@@ -212,7 +271,8 @@ impl PageStore {
         let p = inner.worlds.get_mut(&parent.0).expect("checked above");
         p.stats.pages_cowed += child_world.stats.pages_cowed;
         p.stats.pages_zero_filled += child_world.stats.pages_zero_filled;
-        self.stats.adopts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.adopts.incr();
+        self.sync_frames_gauge(&inner);
         Ok(())
     }
 
@@ -227,7 +287,8 @@ impl PageStore {
         for (_, frame) in w.map.iter() {
             inner.frames.decref(frame);
         }
-        self.stats.worlds_dropped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.worlds_dropped.incr();
+        self.sync_frames_gauge(&inner);
         Ok(())
     }
 
@@ -270,8 +331,14 @@ impl PageStore {
     /// VPNs at which `a` and `b` differ (see [`PageMap::diff`]).
     pub fn diff_worlds(&self, a: WorldId, b: WorldId) -> Result<Vec<Vpn>> {
         let inner = self.inner.read();
-        let wa = inner.worlds.get(&a.0).ok_or(PageStoreError::NoSuchWorld(a.0))?;
-        let wb = inner.worlds.get(&b.0).ok_or(PageStoreError::NoSuchWorld(b.0))?;
+        let wa = inner
+            .worlds
+            .get(&a.0)
+            .ok_or(PageStoreError::NoSuchWorld(a.0))?;
+        let wb = inner
+            .worlds
+            .get(&b.0)
+            .ok_or(PageStoreError::NoSuchWorld(b.0))?;
         Ok(wa.map.diff(&wb.map))
     }
 
@@ -335,8 +402,15 @@ impl PageStore {
     }
 
     fn check_bounds(&self, offset: usize, len: usize) -> Result<()> {
-        if offset.checked_add(len).is_none_or(|end| end > self.page_size) {
-            Err(PageStoreError::OutOfPageBounds { offset, len, page_size: self.page_size })
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.page_size)
+        {
+            Err(PageStoreError::OutOfPageBounds {
+                offset,
+                len,
+                page_size: self.page_size,
+            })
         } else {
             Ok(())
         }
@@ -345,16 +419,25 @@ impl PageStore {
     /// Make page `vpn` of `world` privately writable, taking a zero-fill or
     /// COW fault as needed, and return its frame.
     fn ensure_private_page(&self, inner: &mut Inner, world: WorldId, vpn: Vpn) -> FrameId {
-        use std::sync::atomic::Ordering::Relaxed;
         let existing = inner.worlds[&world.0].map.get(vpn);
         match existing {
             None => {
                 // Demand-zero fill.
                 let frame = inner.frames.alloc(PageData::zeroed(self.page_size));
-                let w = inner.worlds.get_mut(&world.0).expect("world checked by caller");
+                let w = inner
+                    .worlds
+                    .get_mut(&world.0)
+                    .expect("world checked by caller");
                 w.map.insert(vpn, frame);
                 w.stats.pages_zero_filled += 1;
-                self.stats.zero_fills.fetch_add(1, Relaxed);
+                self.stats.zero_fills.incr();
+                if self.obs.is_enabled() {
+                    let parent = inner.worlds[&world.0].parent.map(WorldId::raw);
+                    self.obs.emit(|| {
+                        Event::new(EventKind::ZeroFill { vpn }, world.0, parent, self.vt())
+                    });
+                    self.sync_frames_gauge(inner);
+                }
                 frame
             }
             Some(frame) if inner.frames.refs(frame) == 1 => frame, // already private
@@ -362,12 +445,28 @@ impl PageStore {
                 // COW fault: copy one page, remap, drop one ref on the old.
                 let copy = inner.frames.data(shared).clone();
                 let new_frame = inner.frames.alloc(copy);
-                let w = inner.worlds.get_mut(&world.0).expect("world checked by caller");
+                let w = inner
+                    .worlds
+                    .get_mut(&world.0)
+                    .expect("world checked by caller");
                 w.map.insert(vpn, new_frame);
                 w.stats.pages_cowed += 1;
                 inner.frames.decref(shared);
-                self.stats.cow_faults.fetch_add(1, Relaxed);
-                self.stats.bytes_copied.fetch_add(self.page_size as u64, Relaxed);
+                self.stats.cow_faults.incr();
+                self.stats.bytes_copied.add(self.page_size as u64);
+                if self.obs.is_enabled() {
+                    let parent = inner.worlds[&world.0].parent.map(WorldId::raw);
+                    let bytes = self.page_size as u64;
+                    self.obs.emit(|| {
+                        Event::new(
+                            EventKind::CowCopy { vpn, bytes },
+                            world.0,
+                            parent,
+                            self.vt(),
+                        )
+                    });
+                    self.sync_frames_gauge(inner);
+                }
                 new_frame
             }
         }
@@ -388,7 +487,11 @@ mod tests {
         let s = store();
         let w = s.create_world();
         assert_eq!(s.read_vec(w, 99, 0, 8).unwrap(), vec![0u8; 8]);
-        assert_eq!(s.mapped_pages(w).unwrap(), 0, "reads must not materialise pages");
+        assert_eq!(
+            s.mapped_pages(w).unwrap(),
+            0,
+            "reads must not materialise pages"
+        );
     }
 
     #[test]
@@ -430,7 +533,11 @@ mod tests {
         let before = s.stats();
         let child = s.fork_world(parent).unwrap();
         let after = s.stats();
-        assert_eq!(after.delta_since(&before).bytes_copied, 0, "fork must copy no page bytes");
+        assert_eq!(
+            after.delta_since(&before).bytes_copied,
+            0,
+            "fork must copy no page bytes"
+        );
         assert_eq!(s.live_frames(), 10, "no new frames at fork");
         for vpn in 0..10 {
             assert_eq!(s.read_vec(child, vpn, 0, 1).unwrap(), vec![vpn as u8]);
@@ -534,7 +641,10 @@ mod tests {
         let p = s.create_world();
         let c1 = s.fork_world(p).unwrap();
         let c2 = s.fork_world(p).unwrap();
-        assert!(matches!(s.adopt(c1, c2), Err(PageStoreError::NotAChild { .. })));
+        assert!(matches!(
+            s.adopt(c1, c2),
+            Err(PageStoreError::NotAChild { .. })
+        ));
     }
 
     #[test]
@@ -546,7 +656,11 @@ mod tests {
         s.write(child, 1, 0, &[2]).unwrap();
         assert_eq!(s.live_frames(), 2);
         s.drop_world(child).unwrap();
-        assert_eq!(s.live_frames(), 1, "shared frame survives, private frame freed");
+        assert_eq!(
+            s.live_frames(),
+            1,
+            "shared frame survives, private frame freed"
+        );
         assert_eq!(s.read_vec(parent, 0, 0, 1).unwrap(), vec![1]);
     }
 
@@ -555,10 +669,22 @@ mod tests {
         let s = store();
         let w = s.create_world();
         s.drop_world(w).unwrap();
-        assert!(matches!(s.write(w, 0, 0, &[1]), Err(PageStoreError::NoSuchWorld(_))));
-        assert!(matches!(s.read_vec(w, 0, 0, 1), Err(PageStoreError::NoSuchWorld(_))));
-        assert!(matches!(s.drop_world(w), Err(PageStoreError::NoSuchWorld(_))));
-        assert!(matches!(s.fork_world(w), Err(PageStoreError::NoSuchWorld(_))));
+        assert!(matches!(
+            s.write(w, 0, 0, &[1]),
+            Err(PageStoreError::NoSuchWorld(_))
+        ));
+        assert!(matches!(
+            s.read_vec(w, 0, 0, 1),
+            Err(PageStoreError::NoSuchWorld(_))
+        ));
+        assert!(matches!(
+            s.drop_world(w),
+            Err(PageStoreError::NoSuchWorld(_))
+        ));
+        assert!(matches!(
+            s.fork_world(w),
+            Err(PageStoreError::NoSuchWorld(_))
+        ));
     }
 
     #[test]
@@ -634,7 +760,11 @@ mod tests {
         for vpn in 0..4 {
             s.write(parent, vpn, 0, &[1]).unwrap();
         }
-        assert_eq!(s.sharing_histogram(), vec![4], "4 frames, each singly referenced");
+        assert_eq!(
+            s.sharing_histogram(),
+            vec![4],
+            "4 frames, each singly referenced"
+        );
         assert_eq!(s.sharing_factor(), 1.0);
 
         let c1 = s.fork_world(parent).unwrap();

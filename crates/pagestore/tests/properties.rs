@@ -181,4 +181,83 @@ proptest! {
         let expect = touched.len() as f64 / inherited as f64;
         prop_assert!((ws.write_fraction().unwrap() - expect).abs() < 1e-12);
     }
+
+    /// The observability layer's `page_copies` counter matches ground
+    /// truth: a write copies a page iff the page's frame is shared at
+    /// that instant. The shadow here is a reference-counted frame table —
+    /// the data structure the store is *supposed* to implement.
+    #[test]
+    fn obs_page_copies_match_cow_ground_truth(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let obs = worlds_obs::Registry::enabled();
+        let store = PageStore::with_obs(PAGE, obs.clone());
+        let mut ids: Vec<Option<WorldId>> = vec![Some(store.create_world())];
+        // Shadow frame table: per-world vpn → frame id, frame → refcount.
+        let mut maps: Vec<Option<std::collections::BTreeMap<u64, u64>>> =
+            vec![Some(Default::default())];
+        let mut rc: std::collections::BTreeMap<u64, u64> = Default::default();
+        let mut next_frame = 0u64;
+        let (mut copies, mut zero_fills) = (0u64, 0u64);
+        for op in ops {
+            match op {
+                Op::Write { world, vpn, byte } => {
+                    let slot = world % ids.len();
+                    if let Some(w) = ids[slot] {
+                        store.write(w, vpn, 0, &[byte]).unwrap();
+                        let map = maps[slot].as_mut().unwrap();
+                        match map.get(&vpn).copied() {
+                            None => {
+                                // First touch: demand-zero fill, no copy.
+                                zero_fills += 1;
+                                map.insert(vpn, next_frame);
+                                rc.insert(next_frame, 1);
+                                next_frame += 1;
+                            }
+                            Some(f) if rc[&f] > 1 => {
+                                // Shared frame: the write must copy.
+                                copies += 1;
+                                *rc.get_mut(&f).unwrap() -= 1;
+                                map.insert(vpn, next_frame);
+                                rc.insert(next_frame, 1);
+                                next_frame += 1;
+                            }
+                            Some(_) => {} // sole owner: write in place
+                        }
+                    }
+                }
+                Op::Fork { parent } => {
+                    if ids.len() >= 8 { continue; }
+                    let slot = parent % ids.len();
+                    if let Some(p) = ids[slot] {
+                        ids.push(Some(store.fork_world(p).unwrap()));
+                        let cloned = maps[slot].clone();
+                        if let Some(m) = &cloned {
+                            for f in m.values() {
+                                *rc.get_mut(f).unwrap() += 1;
+                            }
+                        }
+                        maps.push(cloned);
+                    }
+                }
+                Op::Drop { world } => {
+                    let slot = world % ids.len();
+                    // Keep the root world alive as a fork source.
+                    if slot != 0 {
+                        if let Some(w) = ids[slot].take() {
+                            store.drop_world(w).unwrap();
+                            for f in maps[slot].take().unwrap().values() {
+                                *rc.get_mut(f).unwrap() -= 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let s = obs.stats().expect("registry is enabled");
+        prop_assert_eq!(s.pagestore.page_copies.get(), copies);
+        prop_assert_eq!(s.pagestore.zero_fills.get(), zero_fills);
+        prop_assert_eq!(s.pagestore.bytes_copied.get(), copies * PAGE as u64);
+        prop_assert_eq!(s.pagestore.faults.get(), copies + zero_fills);
+    }
 }

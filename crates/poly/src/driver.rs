@@ -45,7 +45,9 @@ where
 {
     /// An empty polyalgorithm.
     pub fn new() -> Self {
-        Polyalgorithm { methods: Vec::new() }
+        Polyalgorithm {
+            methods: Vec::new(),
+        }
     }
 
     /// Add a method (builder).
@@ -72,7 +74,9 @@ where
         idx.sort_by(|&a, &b| {
             let la = self.methods[a].likelihood(problem, knowledge);
             let lb = self.methods[b].likelihood(problem, knowledge);
-            lb.partial_cmp(&la).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            lb.partial_cmp(&la)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
         idx
     }
@@ -133,8 +137,13 @@ where
             block = block.timeout(t);
         }
         for rot in 0..n {
-            let order: Vec<usize> =
-                base_order.iter().cycle().skip(rot).take(n).copied().collect();
+            let order: Vec<usize> = base_order
+                .iter()
+                .cycle()
+                .skip(rot)
+                .take(n)
+                .copied()
+                .collect();
             let methods = self.methods.clone();
             let problem = problem.clone();
             let first = self.methods[order[0]].name.clone();
@@ -163,7 +172,11 @@ where
         }
         let report = spec.run(block);
         match report.value {
-            Some((result, method)) => PolyOutcome::Solved { result, method, attempts: n },
+            Some((result, method)) => PolyOutcome::Solved {
+                result,
+                method,
+                attempts: n,
+            },
             None => {
                 // Reconstruct the knowledge sequentially for the caller's
                 // diagnostics (the speculative knowledge died with the
@@ -183,7 +196,9 @@ where
     R: Send + 'static,
 {
     fn default() -> Self {
-        Polyalgorithm { methods: Vec::new() }
+        Polyalgorithm {
+            methods: Vec::new(),
+        }
     }
 }
 
@@ -215,7 +230,11 @@ mod tests {
         assert_eq!(plan, vec![0, 2, 1], "0.9, 0.5, 0.1");
         let mut k = Knowledge::new();
         k.learn("hint", 1.0);
-        assert_eq!(p.plan(&1.0, &k), vec![1, 0, 2], "hint boosts needs-hint to 1.0");
+        assert_eq!(
+            p.plan(&1.0, &k),
+            vec![1, 0, 2],
+            "hint boosts needs-hint to 1.0"
+        );
     }
 
     #[test]
@@ -224,7 +243,11 @@ mod tests {
         // is needs-hint, which now succeeds.
         let out = poly().run_sequential(&1.0);
         match out {
-            PolyOutcome::Solved { result, method, attempts } => {
+            PolyOutcome::Solved {
+                result,
+                method,
+                attempts,
+            } => {
                 assert_eq!(method, "needs-hint");
                 assert_eq!(result, 43.0);
                 assert_eq!(attempts, 2);
@@ -236,7 +259,9 @@ mod tests {
     #[test]
     fn sequential_unsolved_keeps_diagnostics() {
         let p: Polyalgorithm<f64, f64> = Polyalgorithm::new()
-            .method(Method::new("a", 0.9, |_, _| Err(MethodError::Diverged("x".into()))))
+            .method(Method::new("a", 0.9, |_, _| {
+                Err(MethodError::Diverged("x".into()))
+            }))
             .method(Method::new("b", 0.1, |_, _| {
                 Err(MethodError::NotApplicable("y".into()))
             }));
@@ -273,8 +298,10 @@ mod tests {
 
     #[test]
     fn fastest_first_on_unsolvable_problem() {
-        let p: Polyalgorithm<f64, f64> = Polyalgorithm::new()
-            .method(Method::new("a", 0.9, |_, _| Err(MethodError::Diverged("no".into()))));
+        let p: Polyalgorithm<f64, f64> =
+            Polyalgorithm::new().method(Method::new("a", 0.9, |_, _| {
+                Err(MethodError::Diverged("no".into()))
+            }));
         let spec = Speculation::new();
         match p.run_fastest_first(&spec, &0.0, None) {
             PolyOutcome::Unsolved(k) => assert!(k.has_failed("a")),

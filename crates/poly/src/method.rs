@@ -60,7 +60,11 @@ impl<P, R> Method<P, R> {
         likelihood: impl Fn(&P, &Knowledge) -> f64 + Send + Sync + 'static,
         solve: impl Fn(&P, &mut Knowledge) -> Result<R, MethodError> + Send + Sync + 'static,
     ) -> Self {
-        Method { name: name.into(), solve: Arc::new(solve), likelihood: Arc::new(likelihood) }
+        Method {
+            name: name.into(),
+            solve: Arc::new(solve),
+            likelihood: Arc::new(likelihood),
+        }
     }
 
     /// Evaluate the likelihood heuristic.
@@ -119,8 +123,9 @@ mod tests {
 
     #[test]
     fn failing_method_reports() {
-        let m: Method<i32, i32> =
-            Method::new("nope", 0.5, |_, _| Err(MethodError::Diverged("oops".into())));
+        let m: Method<i32, i32> = Method::new("nope", 0.5, |_, _| {
+            Err(MethodError::Diverged("oops".into()))
+        });
         let e = m.attempt(&1, &mut Knowledge::new()).unwrap_err();
         assert!(e.to_string().contains("oops"));
     }

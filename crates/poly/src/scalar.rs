@@ -33,7 +33,12 @@ pub struct ScalarProblem {
 impl ScalarProblem {
     /// A problem from a function and a guess (no bracket).
     pub fn new(f: impl Fn(f64) -> f64 + Send + Sync + 'static, guess: f64) -> Self {
-        ScalarProblem { f: Arc::new(f), bracket: None, guess, tol: 1e-10 }
+        ScalarProblem {
+            f: Arc::new(f),
+            bracket: None,
+            guess,
+            tol: 1e-10,
+        }
     }
 
     /// Provide a bracket (builder).
@@ -75,7 +80,8 @@ pub fn bisection() -> Method<ScalarProblem, f64> {
     Method::with_likelihood(
         "bisection",
         |p: &ScalarProblem, k: &Knowledge| {
-            if p.bracket.is_some() || (k.fact("bracket_lo").is_some() && k.fact("bracket_hi").is_some())
+            if p.bracket.is_some()
+                || (k.fact("bracket_lo").is_some() && k.fact("bracket_hi").is_some())
             {
                 0.95
             } else {
@@ -156,41 +162,49 @@ pub fn newton(max_iters: usize) -> Method<ScalarProblem, f64> {
                 x = next;
             }
             k.learn("last_iterate", x);
-            Err(MethodError::Diverged(format!("no convergence after {max_iters} iters")))
+            Err(MethodError::Diverged(format!(
+                "no convergence after {max_iters} iters"
+            )))
         },
     )
 }
 
 /// Secant from `guess` and `guess + 1`.
 pub fn secant(max_iters: usize) -> Method<ScalarProblem, f64> {
-    Method::new("secant", 0.5, move |p: &ScalarProblem, k: &mut Knowledge| {
-        let (mut x0, mut x1) = (p.guess, p.guess + 1.0);
-        let (mut f0, mut f1) = (p.eval(x0), p.eval(x1));
-        for _ in 0..max_iters {
-            if f1.abs() <= p.tol {
-                return Ok(x1);
+    Method::new(
+        "secant",
+        0.5,
+        move |p: &ScalarProblem, k: &mut Knowledge| {
+            let (mut x0, mut x1) = (p.guess, p.guess + 1.0);
+            let (mut f0, mut f1) = (p.eval(x0), p.eval(x1));
+            for _ in 0..max_iters {
+                if f1.abs() <= p.tol {
+                    return Ok(x1);
+                }
+                if f0.signum() != f1.signum() {
+                    k.learn("bracket_lo", x0.min(x1));
+                    k.learn("bracket_hi", x0.max(x1));
+                }
+                let denom = f1 - f0;
+                if denom.abs() < 1e-300 {
+                    return Err(MethodError::Diverged(format!("flat secant at {x1}")));
+                }
+                let next = x1 - f1 * (x1 - x0) / denom;
+                if !next.is_finite() || next.abs() > 1e12 {
+                    k.learn("last_iterate", x1);
+                    return Err(MethodError::Diverged(format!("iterate escaped from {x1}")));
+                }
+                x0 = x1;
+                f0 = f1;
+                x1 = next;
+                f1 = p.eval(x1);
             }
-            if f0.signum() != f1.signum() {
-                k.learn("bracket_lo", x0.min(x1));
-                k.learn("bracket_hi", x0.max(x1));
-            }
-            let denom = f1 - f0;
-            if denom.abs() < 1e-300 {
-                return Err(MethodError::Diverged(format!("flat secant at {x1}")));
-            }
-            let next = x1 - f1 * (x1 - x0) / denom;
-            if !next.is_finite() || next.abs() > 1e12 {
-                k.learn("last_iterate", x1);
-                return Err(MethodError::Diverged(format!("iterate escaped from {x1}")));
-            }
-            x0 = x1;
-            f0 = f1;
-            x1 = next;
-            f1 = p.eval(x1);
-        }
-        k.learn("last_iterate", x1);
-        Err(MethodError::Diverged(format!("no convergence after {max_iters} iters")))
-    })
+            k.learn("last_iterate", x1);
+            Err(MethodError::Diverged(format!(
+                "no convergence after {max_iters} iters"
+            )))
+        },
+    )
 }
 
 /// The standard scalar polyalgorithm: Newton, secant, bisection, with
@@ -283,9 +297,16 @@ mod tests {
         let p = ScalarProblem::new(|x| x.atan(), 2.0);
         let out = standard_polyalgorithm().run_sequential(&p);
         match out {
-            PolyOutcome::Solved { result, method, attempts } => {
+            PolyOutcome::Solved {
+                result,
+                method,
+                attempts,
+            } => {
                 assert!(result.abs() < 1e-6, "root of tanh is 0, got {result}");
-                assert!(attempts >= 2, "the first method must have failed (got {method})");
+                assert!(
+                    attempts >= 2,
+                    "the first method must have failed (got {method})"
+                );
             }
             PolyOutcome::Unsolved(k) => {
                 // Acceptable only if no method ever scouted a bracket —
@@ -316,7 +337,10 @@ mod tests {
             let out = standard_polyalgorithm().run_sequential(&p);
             match out {
                 PolyOutcome::Solved { result, .. } => {
-                    assert!((result - expect).abs() < 1e-7, "got {result}, want {expect}")
+                    assert!(
+                        (result - expect).abs() < 1e-7,
+                        "got {result}, want {expect}"
+                    )
                 }
                 other => panic!("expected solved, got {other:?}"),
             }

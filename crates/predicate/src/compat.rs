@@ -50,7 +50,10 @@ mod tests {
         assert!(Compat::Accept.delivers());
         assert!(Compat::AcceptExtend(PredicateSet::empty()).delivers());
         assert!(!Compat::Ignore.delivers());
-        let split = Compat::Split { with: PredicateSet::empty(), without: PredicateSet::empty() };
+        let split = Compat::Split {
+            with: PredicateSet::empty(),
+            without: PredicateSet::empty(),
+        };
         assert!(split.delivers());
         assert!(split.splits());
         assert!(!Compat::Accept.splits());

@@ -46,7 +46,10 @@ impl PredicateSet {
         M: IntoIterator<Item = Pid>,
         C: IntoIterator<Item = Pid>,
     {
-        let set = PredicateSet { must: must.into_iter().collect(), cant: cant.into_iter().collect() };
+        let set = PredicateSet {
+            must: must.into_iter().collect(),
+            cant: cant.into_iter().collect(),
+        };
         assert!(set.is_consistent(), "predicate set with p in both lists");
         set
     }
@@ -66,7 +69,10 @@ impl PredicateSet {
                 set.cant.insert(sib);
             }
         }
-        debug_assert!(set.is_consistent(), "parent set conflicted with spawn assumptions");
+        debug_assert!(
+            set.is_consistent(),
+            "parent set conflicted with spawn assumptions"
+        );
         set
     }
 
@@ -166,7 +172,10 @@ impl PredicateSet {
         with.must.extend(sender_set.must.iter().copied());
         with.cant.extend(sender_set.cant.iter().copied());
         with.must.insert(sender);
-        debug_assert!(with.is_consistent(), "conflict should have been caught above");
+        debug_assert!(
+            with.is_consistent(),
+            "conflict should have been caught above"
+        );
 
         if self.assumes_completes(sender) {
             // The receiver already assumed complete(sender); rejecting the
@@ -371,10 +380,16 @@ mod tests {
                 // complete(sender).
                 assert!(with.assumes_completes(p(10)));
                 assert!(with.assumes_fails(p(11)));
-                assert!(with.assumes_completes(p(1)), "receiver's own assumptions kept");
+                assert!(
+                    with.assumes_completes(p(1)),
+                    "receiver's own assumptions kept"
+                );
                 // The rejecting copy only adds ¬complete(sender).
                 assert!(without.assumes_fails(p(10)));
-                assert!(!without.assumes_fails(p(11)), "must NOT negate each sender predicate");
+                assert!(
+                    !without.assumes_fails(p(11)),
+                    "must NOT negate each sender predicate"
+                );
                 assert!(without.assumes_completes(p(1)));
                 assert!(with.is_consistent() && without.is_consistent());
             }
@@ -405,8 +420,14 @@ mod tests {
         // sends unconditional messages: S = ∅ ⊆ R for every R.
         let sender = p(10);
         let spec_receiver = PredicateSet::new([p(1)], [p(2)]);
-        assert_eq!(spec_receiver.compat(sender, &PredicateSet::empty()), Compat::Accept);
-        assert_eq!(PredicateSet::empty().compat(sender, &PredicateSet::empty()), Compat::Accept);
+        assert_eq!(
+            spec_receiver.compat(sender, &PredicateSet::empty()),
+            Compat::Accept
+        );
+        assert_eq!(
+            PredicateSet::empty().compat(sender, &PredicateSet::empty()),
+            Compat::Accept
+        );
     }
 
     #[test]

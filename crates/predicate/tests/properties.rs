@@ -10,7 +10,10 @@ fn arb_set() -> impl Strategy<Value = PredicateSet> {
     )
         .prop_filter_map("must/cant overlap", |(m, c)| {
             if m.is_disjoint(&c) {
-                Some(PredicateSet::new(m.into_iter().map(Pid), c.into_iter().map(Pid)))
+                Some(PredicateSet::new(
+                    m.into_iter().map(Pid),
+                    c.into_iter().map(Pid),
+                ))
             } else {
                 None
             }

@@ -53,7 +53,9 @@ pub fn eval_arith(s: &Subst, t: &Term) -> Option<i64> {
 
 /// Try `goal` as a builtin, extending `s` on success.
 pub(crate) fn try_builtin(s: &mut Subst, goal: &Term) -> Builtin {
-    let Term::Compound(f, args) = goal else { return Builtin::NotBuiltin };
+    let Term::Compound(f, args) = goal else {
+        return Builtin::NotBuiltin;
+    };
     match (f.as_str(), args.len()) {
         ("eq", 2) => {
             if unify(s, &args[0], &args[1]) {
@@ -126,36 +128,75 @@ mod tests {
     #[test]
     fn is_binds_the_result() {
         let mut s = Subst::new();
-        assert!(matches!(try_builtin(&mut s, &goal("is(X, plus(1, 2))")), Builtin::Succeeded));
+        assert!(matches!(
+            try_builtin(&mut s, &goal("is(X, plus(1, 2))")),
+            Builtin::Succeeded
+        ));
         assert_eq!(s.resolve(&Term::var("X")), Term::Int(3));
         // is with a bound, equal left side succeeds; unequal fails.
-        assert!(matches!(try_builtin(&mut s, &goal("is(X, plus(1, 2))")), Builtin::Succeeded));
-        assert!(matches!(try_builtin(&mut s, &goal("is(X, plus(2, 2))")), Builtin::Failed));
+        assert!(matches!(
+            try_builtin(&mut s, &goal("is(X, plus(1, 2))")),
+            Builtin::Succeeded
+        ));
+        assert!(matches!(
+            try_builtin(&mut s, &goal("is(X, plus(2, 2))")),
+            Builtin::Failed
+        ));
     }
 
     #[test]
     fn comparisons() {
         let mut s = Subst::new();
-        assert!(matches!(try_builtin(&mut s, &goal("lt(1, 2)")), Builtin::Succeeded));
-        assert!(matches!(try_builtin(&mut s, &goal("lt(2, 1)")), Builtin::Failed));
-        assert!(matches!(try_builtin(&mut s, &goal("geq(2, 2)")), Builtin::Succeeded));
-        assert!(matches!(try_builtin(&mut s, &goal("neq(1, 2)")), Builtin::Succeeded));
-        assert!(matches!(try_builtin(&mut s, &goal("eqq(3, plus(1, 2))")), Builtin::Succeeded));
-        assert!(matches!(try_builtin(&mut s, &goal("lt(X, 2)")), Builtin::Failed), "unbound");
+        assert!(matches!(
+            try_builtin(&mut s, &goal("lt(1, 2)")),
+            Builtin::Succeeded
+        ));
+        assert!(matches!(
+            try_builtin(&mut s, &goal("lt(2, 1)")),
+            Builtin::Failed
+        ));
+        assert!(matches!(
+            try_builtin(&mut s, &goal("geq(2, 2)")),
+            Builtin::Succeeded
+        ));
+        assert!(matches!(
+            try_builtin(&mut s, &goal("neq(1, 2)")),
+            Builtin::Succeeded
+        ));
+        assert!(matches!(
+            try_builtin(&mut s, &goal("eqq(3, plus(1, 2))")),
+            Builtin::Succeeded
+        ));
+        assert!(
+            matches!(try_builtin(&mut s, &goal("lt(X, 2)")), Builtin::Failed),
+            "unbound"
+        );
     }
 
     #[test]
     fn eq_is_unification() {
         let mut s = Subst::new();
-        assert!(matches!(try_builtin(&mut s, &goal("eq(X, f(1))")), Builtin::Succeeded));
+        assert!(matches!(
+            try_builtin(&mut s, &goal("eq(X, f(1))")),
+            Builtin::Succeeded
+        ));
         assert_eq!(s.resolve(&Term::var("X")).to_string(), "f(1)");
-        assert!(matches!(try_builtin(&mut s, &goal("eq(a, b)")), Builtin::Failed));
+        assert!(matches!(
+            try_builtin(&mut s, &goal("eq(a, b)")),
+            Builtin::Failed
+        ));
     }
 
     #[test]
     fn non_builtins_pass_through() {
         let mut s = Subst::new();
-        assert!(matches!(try_builtin(&mut s, &goal("parent(a, b)")), Builtin::NotBuiltin));
-        assert!(matches!(try_builtin(&mut s, &goal("is(X, Y, Z)")), Builtin::NotBuiltin));
+        assert!(matches!(
+            try_builtin(&mut s, &goal("parent(a, b)")),
+            Builtin::NotBuiltin
+        ));
+        assert!(matches!(
+            try_builtin(&mut s, &goal("is(X, Y, Z)")),
+            Builtin::NotBuiltin
+        ));
     }
 }

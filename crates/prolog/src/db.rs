@@ -38,7 +38,9 @@ impl Database {
 
     /// Parse and load a program text.
     pub fn consult(src: &str) -> Result<Database, ParseError> {
-        Ok(Database { clauses: parse_program(src)? })
+        Ok(Database {
+            clauses: parse_program(src)?,
+        })
     }
 
     /// Append a clause.
@@ -54,7 +56,9 @@ impl Database {
     /// Clauses whose head could match the goal's functor/arity — the
     /// goal's *choice point*. OR-parallelism races exactly this set.
     pub fn matching(&self, goal: &Term) -> Vec<&Clause> {
-        let Some((f, n)) = goal.functor() else { return Vec::new() };
+        let Some((f, n)) = goal.functor() else {
+            return Vec::new();
+        };
         self.clauses
             .iter()
             .filter(|c| c.head.functor() == Some((f, n)))
@@ -113,7 +117,10 @@ mod tests {
     #[test]
     fn assert_clause_appends() {
         let mut db = Database::new();
-        db.assert_clause(Clause { head: Term::atom("yes"), body: vec![] });
+        db.assert_clause(Clause {
+            head: Term::atom("yes"),
+            body: vec![],
+        });
         assert_eq!(db.len(), 1);
         assert_eq!(db.matching(&Term::atom("yes")).len(), 1);
     }

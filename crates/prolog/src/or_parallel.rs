@@ -106,7 +106,9 @@ pub fn or_parallel_solve(
             ctx.checkpoint()?;
             let (sol, steps) = solve_first(&db, &remaining, &cfg);
             let Some(tail_bindings) = sol else {
-                return Err(AltError::GuardFailed(format!("clause #{ci} derivation failed")));
+                return Err(AltError::GuardFailed(format!(
+                    "clause #{ci} derivation failed"
+                )));
             };
             // Compose: query vars resolved through s, then through the
             // tail solution's bindings.
@@ -212,7 +214,9 @@ fn deep_solve(
     preds: &worlds::PredicateSet,
     fresh_base: u64,
 ) -> Option<Subst> {
-    let Some((goal, rest)) = goals.split_first() else { return Some(s) };
+    let Some((goal, rest)) = goals.split_first() else {
+        return Some(s);
+    };
     let goal = s.resolve(goal);
 
     if depth_left == 0 {
@@ -244,7 +248,17 @@ fn deep_solve(
         }
         let mut next: Vec<Term> = fresh.body.clone();
         next.extend_from_slice(rest);
-        return deep_solve(spec, db, next, s2, cfg, depth_left, world, preds, fresh_base + 1);
+        return deep_solve(
+            spec,
+            db,
+            next,
+            s2,
+            cfg,
+            depth_left,
+            world,
+            preds,
+            fresh_base + 1,
+        );
     }
 
     // A real choice point: race the clauses in a nested block.
@@ -385,8 +399,7 @@ mod tests {
             assert_eq!(provable, !seq.is_empty(), "fixture sanity for {query}");
             if let Some(b) = deep {
                 // The deep answer must be one of the sequential answers.
-                let rendered: Vec<String> =
-                    seq.iter().map(|m| format!("{m:?}")).collect();
+                let rendered: Vec<String> = seq.iter().map(|m| format!("{m:?}")).collect();
                 assert!(
                     rendered.contains(&format!("{b:?}")),
                     "deep answer {b:?} not among sequential {rendered:?}"
@@ -402,7 +415,11 @@ mod tests {
         let spec = Speculation::new();
         let b = or_parallel_solve_deep(&spec, &db, &goals, &SolveConfig::default(), 0)
             .expect("solvable");
-        assert_eq!(b["Z"].to_string(), "ann", "depth 0 = program-order first solution");
+        assert_eq!(
+            b["Z"].to_string(),
+            "ann",
+            "depth 0 = program-order first solution"
+        );
     }
 
     #[test]

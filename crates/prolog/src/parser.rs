@@ -40,11 +40,17 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
-        Parser { src: src.as_bytes(), pos: 0 }
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { at: self.pos, msg: msg.into() })
+        Err(ParseError {
+            at: self.pos,
+            msg: msg.into(),
+        })
     }
 
     fn skip_ws(&mut self) {
@@ -170,7 +176,11 @@ impl<'a> Parser<'a> {
         if head.functor().is_none() {
             return self.err("clause head must be an atom or compound term");
         }
-        let body = if self.eat_str(":-") { self.terms()? } else { Vec::new() };
+        let body = if self.eat_str(":-") {
+            self.terms()?
+        } else {
+            Vec::new()
+        };
         self.eat(b'.')?;
         Ok(Clause { head, body })
     }
@@ -198,7 +208,10 @@ pub fn parse_query(src: &str) -> Result<Vec<Term>, ParseError> {
     }
     for g in &goals {
         if g.functor().is_none() {
-            return Err(ParseError { at: 0, msg: format!("goal {g} is not callable") });
+            return Err(ParseError {
+                at: 0,
+                msg: format!("goal {g} is not callable"),
+            });
         }
     }
     Ok(goals)

@@ -27,7 +27,11 @@ pub struct SolveConfig {
 
 impl Default for SolveConfig {
     fn default() -> Self {
-        SolveConfig { max_depth: 512, max_solutions: usize::MAX, max_steps: 10_000_000 }
+        SolveConfig {
+            max_depth: 512,
+            max_solutions: usize::MAX,
+            max_steps: 10_000_000,
+        }
     }
 }
 
@@ -131,12 +135,18 @@ pub fn solve(db: &Database, goals: &[Term], cfg: &SolveConfig) -> (Vec<Bindings>
         query_vars,
     };
     search.run(goals, &Subst::new(), 0);
-    (search.solutions.into_iter().map(|(b, _)| b).collect(), search.steps)
+    (
+        search.solutions.into_iter().map(|(b, _)| b).collect(),
+        search.steps,
+    )
 }
 
 /// First solution only (committed choice), plus steps spent.
 pub fn solve_first(db: &Database, goals: &[Term], cfg: &SolveConfig) -> (Option<Bindings>, u64) {
-    let cfg = SolveConfig { max_solutions: 1, ..*cfg };
+    let cfg = SolveConfig {
+        max_solutions: 1,
+        ..*cfg
+    };
     let (mut sols, steps) = solve(db, goals, &cfg);
     (sols.pop(), steps)
 }
@@ -186,7 +196,11 @@ mod tests {
 
     #[test]
     fn conjunction_shares_bindings() {
-        let (sols, _) = solve(&db(), &q("parent(tom, Y), parent(Y, ann)"), &SolveConfig::default());
+        let (sols, _) = solve(
+            &db(),
+            &q("parent(tom, Y), parent(Y, ann)"),
+            &SolveConfig::default(),
+        );
         assert_eq!(sols.len(), 1);
         assert_eq!(sols[0]["Y"].to_string(), "bob");
     }
@@ -218,10 +232,16 @@ mod tests {
     #[test]
     fn depth_limit_stops_left_recursion() {
         let db = Database::consult("loop(X) :- loop(X).").unwrap();
-        let cfg = SolveConfig { max_depth: 50, ..SolveConfig::default() };
+        let cfg = SolveConfig {
+            max_depth: 50,
+            ..SolveConfig::default()
+        };
         let (sols, steps) = solve(&db, &q("loop(a)"), &cfg);
         assert!(sols.is_empty());
-        assert!(steps <= 60, "depth limit must bound the search: {steps} steps");
+        assert!(
+            steps <= 60,
+            "depth limit must bound the search: {steps} steps"
+        );
     }
 
     #[test]
@@ -231,7 +251,10 @@ mod tests {
              n(s(X)) :- n(X).",
         )
         .unwrap();
-        let cfg = SolveConfig { max_steps: 100, ..SolveConfig::default() };
+        let cfg = SolveConfig {
+            max_steps: 100,
+            ..SolveConfig::default()
+        };
         let (sols, steps) = solve(&db, &q("n(Q)"), &cfg);
         assert!(steps <= 100);
         assert!(!sols.is_empty(), "some solutions found before the cap");
@@ -239,7 +262,10 @@ mod tests {
 
     #[test]
     fn solutions_respect_max_solutions() {
-        let cfg = SolveConfig { max_solutions: 1, ..SolveConfig::default() };
+        let cfg = SolveConfig {
+            max_solutions: 1,
+            ..SolveConfig::default()
+        };
         let (sols, _) = solve(&db(), &q("sib(X, Y)"), &cfg);
         assert_eq!(sols.len(), 1);
     }
@@ -328,6 +354,9 @@ mod tests {
     fn variables_absent_from_query_are_not_reported() {
         let (sols, _) = solve(&db(), &q("grand(tom, Z)"), &SolveConfig::default());
         assert!(sols[0].contains_key("Z"));
-        assert!(!sols[0].contains_key("Y"), "rule-internal variables stay internal");
+        assert!(
+            !sols[0].contains_key("Y"),
+            "rule-internal variables stay internal"
+        );
     }
 }

@@ -60,10 +60,9 @@ impl Term {
 
     fn collect_vars(&self, out: &mut Vec<String>) {
         match self {
-            Term::Var(v)
-                if !out.contains(v) => {
-                    out.push(v.clone());
-                }
+            Term::Var(v) if !out.contains(v) => {
+                out.push(v.clone());
+            }
             Term::Compound(_, args) => {
                 for a in args {
                     a.collect_vars(out);
@@ -143,7 +142,13 @@ mod tests {
 
     #[test]
     fn vars_in_order_without_duplicates() {
-        let t = Term::compound("f", vec![Term::var("X"), Term::compound("g", vec![Term::var("Y"), Term::var("X")])]);
+        let t = Term::compound(
+            "f",
+            vec![
+                Term::var("X"),
+                Term::compound("g", vec![Term::var("Y"), Term::var("X")]),
+            ],
+        );
         assert_eq!(t.vars(), vec!["X".to_string(), "Y".to_string()]);
     }
 
@@ -151,7 +156,10 @@ mod tests {
     fn rename_freshens_all_vars() {
         let t = Term::compound("f", vec![Term::var("X"), Term::atom("a")]);
         let r = t.rename(7);
-        assert_eq!(r, Term::compound("f", vec![Term::var("X#7"), Term::atom("a")]));
+        assert_eq!(
+            r,
+            Term::compound("f", vec![Term::var("X#7"), Term::atom("a")])
+        );
     }
 
     #[test]

@@ -150,7 +150,10 @@ mod tests {
         let mut s = Subst::new();
         let x = Term::var("X");
         let fx = Term::compound("f", vec![Term::var("X")]);
-        assert!(!unify(&mut s, &x, &fx), "X = f(X) must fail the occurs check");
+        assert!(
+            !unify(&mut s, &x, &fx),
+            "X = f(X) must fail the occurs check"
+        );
     }
 
     #[test]

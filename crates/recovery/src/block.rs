@@ -56,7 +56,10 @@ pub struct RecoveryBlock<T> {
 impl<T: Send + 'static> RecoveryBlock<T> {
     /// A block with the given acceptance test and no alternates yet.
     pub fn new(acceptance: impl Fn(&T) -> bool + Send + Sync + 'static) -> Self {
-        RecoveryBlock { alternates: Vec::new(), acceptance: Arc::new(acceptance) }
+        RecoveryBlock {
+            alternates: Vec::new(),
+            acceptance: Arc::new(acceptance),
+        }
     }
 
     /// Add an alternate; the first added is the primary.
@@ -92,13 +95,20 @@ impl<T: Send + 'static> RecoveryBlock<T> {
             let report = spec.run(AltBlock::new().alternative(alt).elim(ElimMode::Sync));
             if report.succeeded() {
                 return RecoveryReport {
-                    outcome: RecoveryOutcome::Accepted { label: label.clone(), attempts: i + 1 },
+                    outcome: RecoveryOutcome::Accepted {
+                        label: label.clone(),
+                        attempts: i + 1,
+                    },
                     value: report.value,
                     wall: start.elapsed(),
                 };
             }
         }
-        RecoveryReport { outcome: RecoveryOutcome::Exhausted, value: None, wall: start.elapsed() }
+        RecoveryReport {
+            outcome: RecoveryOutcome::Exhausted,
+            value: None,
+            wall: start.elapsed(),
+        }
     }
 
     /// Parallel "standby-spares" execution: every alternate races in a
@@ -129,7 +139,11 @@ impl<T: Send + 'static> RecoveryBlock<T> {
             },
             None => RecoveryOutcome::Exhausted,
         };
-        RecoveryReport { outcome, value: report.value, wall: start.elapsed() }
+        RecoveryReport {
+            outcome,
+            value: report.value,
+            wall: start.elapsed(),
+        }
     }
 }
 
@@ -165,7 +179,10 @@ mod tests {
         let r = block.run_sequential(&spec);
         assert_eq!(
             r.outcome,
-            RecoveryOutcome::Accepted { label: "primary".into(), attempts: 1 }
+            RecoveryOutcome::Accepted {
+                label: "primary".into(),
+                attempts: 1
+            }
         );
         assert_eq!(r.value, Some(10));
         assert_eq!(spec.read(|c| c.get_u64("result")), Some(10));
@@ -189,7 +206,10 @@ mod tests {
         let r = block.run_sequential(&spec);
         assert_eq!(
             r.outcome,
-            RecoveryOutcome::Accepted { label: "spare".into(), attempts: 2 }
+            RecoveryOutcome::Accepted {
+                label: "spare".into(),
+                attempts: 2
+            }
         );
         assert_eq!(r.value, Some(20));
         // The corrupt write from the rejected primary never committed.
@@ -213,7 +233,10 @@ mod tests {
             });
         let r = block.run_sequential(&spec);
         assert!(r.accepted());
-        assert_eq!(spec.read(|c| c.get_str("db")).as_deref(), Some("pristine-updated"));
+        assert_eq!(
+            spec.read(|c| c.get_str("db")).as_deref(),
+            Some("pristine-updated")
+        );
     }
 
     #[test]
@@ -267,8 +290,14 @@ mod tests {
         let spec = Speculation::new();
         let block: RecoveryBlock<u64> = RecoveryBlock::new(|_| true);
         assert!(block.is_empty());
-        assert_eq!(block.run_sequential(&spec).outcome, RecoveryOutcome::Exhausted);
-        assert_eq!(block.run_parallel(&spec).outcome, RecoveryOutcome::Exhausted);
+        assert_eq!(
+            block.run_sequential(&spec).outcome,
+            RecoveryOutcome::Exhausted
+        );
+        assert_eq!(
+            block.run_parallel(&spec).outcome,
+            RecoveryOutcome::Exhausted
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ impl FaultPlan {
     /// Fail each invocation independently with probability `p`.
     pub fn probabilistic(p: f64, seed: u64) -> FaultPlan {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
-        FaultPlan::Probabilistic { p, seed, counter: Arc::new(AtomicU64::new(0)) }
+        FaultPlan::Probabilistic {
+            p,
+            seed,
+            counter: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Consume one invocation slot and report whether it faults.
@@ -78,8 +82,9 @@ impl FaultPlan {
     pub fn invocations(&self) -> u64 {
         match self {
             FaultPlan::None => 0,
-            FaultPlan::OnInvocations { counter, .. }
-            | FaultPlan::Probabilistic { counter, .. } => counter.load(Ordering::Relaxed),
+            FaultPlan::OnInvocations { counter, .. } | FaultPlan::Probabilistic { counter, .. } => {
+                counter.load(Ordering::Relaxed)
+            }
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Nodes and remote forking.
 
 use worlds_kernel::VirtualTime;
+use worlds_obs::{Event as ObsEvent, EventKind, Registry};
 use worlds_pagestore::{checkpoint, restore, PageStore, WorldId};
 
 use crate::net::NetModel;
@@ -20,8 +21,13 @@ pub struct Node {
 }
 
 impl Node {
-    fn new(id: NodeId, page_size: usize) -> Node {
-        Node { id, store: PageStore::new(page_size), bytes_received: 0, bytes_sent: 0 }
+    fn with_obs(id: NodeId, page_size: usize, obs: Registry) -> Node {
+        Node {
+            id,
+            store: PageStore::with_obs(page_size, obs),
+            bytes_received: 0,
+            bytes_sent: 0,
+        }
     }
 
     /// The node's local page store.
@@ -56,18 +62,110 @@ pub struct Cluster {
     nodes: Vec<Node>,
     net: NetModel,
     page_size: usize,
+    obs: Registry,
+    clock_ns: u64,
+    /// Deterministic fault injection: every `k`-th cross-node transfer
+    /// times out once and is retried (`None` = no faults).
+    fault_every: Option<u64>,
+    transfers: u64,
 }
 
 impl Cluster {
     /// Build a cluster of `n ≥ 1` nodes with the given page size and
     /// network model.
     pub fn new(n: usize, page_size: usize, net: NetModel) -> Cluster {
+        Self::with_obs(n, page_size, net, Registry::disabled())
+    }
+
+    /// Like [`Cluster::new`], wired to an observability registry: every
+    /// cross-node transfer emits `RpcSend` (plus `RpcTimeout`/`RpcRetry`
+    /// under fault injection), and each node's page store reports its
+    /// COW and checkpoint traffic through the same registry.
+    pub fn with_obs(n: usize, page_size: usize, net: NetModel, obs: Registry) -> Cluster {
         assert!(n >= 1, "a cluster needs at least the origin node");
         Cluster {
-            nodes: (0..n).map(|i| Node::new(NodeId(i), page_size)).collect(),
+            nodes: (0..n)
+                .map(|i| Node::with_obs(NodeId(i), page_size, obs.clone()))
+                .collect(),
             net,
             page_size,
+            obs,
+            clock_ns: 0,
+            fault_every: None,
+            transfers: 0,
         }
+    }
+
+    /// The cluster's observability registry.
+    pub fn obs(&self) -> &Registry {
+        &self.obs
+    }
+
+    /// Inject a deterministic network fault: every `k`-th cross-node
+    /// transfer times out once and is retried (doubling its virtual
+    /// cost). `k = 0` disables injection.
+    pub fn set_fault_every(&mut self, k: u64) {
+        self.fault_every = if k == 0 { None } else { Some(k) };
+    }
+
+    /// Advance the virtual-time stamp applied to subsequently emitted
+    /// events (the driver owns the clock; forwarded to every node store).
+    pub fn set_clock_ns(&mut self, ns: u64) {
+        self.clock_ns = ns;
+        for node in &self.nodes {
+            node.store.set_clock_ns(ns);
+        }
+    }
+
+    /// Account one cross-node transfer of `bytes` toward `dst`: applies
+    /// fault injection, emits the RPC events, and returns the total
+    /// virtual cost including any retry.
+    fn transfer(&mut self, world: u64, dst: NodeId, bytes: usize) -> VirtualTime {
+        let mut cost = self.net.transfer_time(bytes);
+        self.transfers += 1;
+        if self
+            .fault_every
+            .is_some_and(|k| self.transfers.is_multiple_of(k))
+        {
+            // The attempt is lost: the sender waits out the transfer
+            // before retrying, and the retry deterministically succeeds.
+            self.obs.emit(|| {
+                ObsEvent::new(
+                    EventKind::RpcTimeout {
+                        node: dst.0 as u64,
+                        waited_ns: cost.as_ns(),
+                    },
+                    world,
+                    None,
+                    self.clock_ns,
+                )
+            });
+            self.obs.emit(|| {
+                ObsEvent::new(
+                    EventKind::RpcRetry {
+                        node: dst.0 as u64,
+                        attempt: 1,
+                    },
+                    world,
+                    None,
+                    self.clock_ns,
+                )
+            });
+            cost = cost + cost;
+        }
+        self.obs.emit(|| {
+            ObsEvent::new(
+                EventKind::RpcSend {
+                    node: dst.0 as u64,
+                    bytes: bytes as u64,
+                    latency_ns: cost.as_ns(),
+                },
+                world,
+                None,
+                self.clock_ns,
+            )
+        });
+        cost
     }
 
     /// Number of nodes.
@@ -116,7 +214,7 @@ impl Cluster {
             return Ok((RemoteWorld { node: dst, world }, VirtualTime::ZERO));
         }
         let image = checkpoint(&self.nodes[src.node.0].store, src.world)?;
-        let cost = self.net.transfer_time(image.len());
+        let cost = self.transfer(src.world.raw(), dst, image.len());
         self.nodes[src.node.0].bytes_sent += image.len() as u64;
         self.nodes[dst.0].bytes_received += image.len() as u64;
         let world = restore(&self.nodes[dst.0].store, &image)?;
@@ -135,7 +233,9 @@ impl Cluster {
     ) -> Result<(VirtualTime, usize), worlds_pagestore::PageStoreError> {
         if child.node == base.node {
             // Local child: the ordinary atomic adoption.
-            self.nodes[base.node.0].store.adopt(base.world, child.world)?;
+            self.nodes[base.node.0]
+                .store
+                .adopt(base.world, child.world)?;
             return Ok((VirtualTime::ZERO, 0));
         }
         // Compute the dirty set on the child's node: pages whose bytes
@@ -154,12 +254,14 @@ impl Cluster {
             }
         }
         let bytes: usize = moved.len() * (8 + self.page_size);
-        let cost = self.net.transfer_time(bytes);
+        let cost = self.transfer(child.world.raw(), base.node, bytes);
         self.nodes[child.node.0].bytes_sent += bytes as u64;
         self.nodes[base.node.0].bytes_received += bytes as u64;
         let n = moved.len();
         for (vpn, data) in moved {
-            self.nodes[base.node.0].store.write(base.world, vpn, 0, &data)?;
+            self.nodes[base.node.0]
+                .store
+                .write(base.world, vpn, 0, &data)?;
         }
         // The remote replica is done with.
         self.nodes[child.node.0].store.drop_world(child.world)?;
@@ -208,10 +310,16 @@ mod tests {
         let (replica, cost) = c.rfork(origin, NodeId(1)).unwrap();
         assert_eq!(replica.node, NodeId(1));
         assert_eq!(c.read(replica, 0, 12).unwrap(), b"hello remote");
-        assert!(cost > VirtualTime::ZERO, "cross-node rfork costs network time");
+        assert!(
+            cost > VirtualTime::ZERO,
+            "cross-node rfork costs network time"
+        );
         // Accounting.
         assert!(c.node(NodeId(1)).bytes_received() > 0);
-        assert_eq!(c.node(NodeId(0)).bytes_sent(), c.node(NodeId(1)).bytes_received());
+        assert_eq!(
+            c.node(NodeId(0)).bytes_sent(),
+            c.node(NodeId(1)).bytes_received()
+        );
     }
 
     #[test]
@@ -302,5 +410,49 @@ mod tests {
     #[should_panic(expected = "at least the origin")]
     fn empty_cluster_rejected() {
         let _ = Cluster::new(0, 4096, NetModel::ideal());
+    }
+
+    #[test]
+    fn rpc_traffic_is_observed() {
+        let mut c = Cluster::with_obs(2, 4096, NetModel::lan_1989(), Registry::enabled());
+        let origin = c.create_world(NodeId(0));
+        c.write(origin, 0, b"state").unwrap();
+        let (replica, _) = c.rfork(origin, NodeId(1)).unwrap();
+        c.write(replica, 0, b"edits").unwrap();
+        let (_, _) = c.commit_back(origin, replica).unwrap();
+        let stats = c.obs().stats().expect("registry is enabled");
+        assert_eq!(stats.remote.rpc_sends.get(), 2, "rfork out + diff home");
+        assert_eq!(stats.remote.rpc_retries.get(), 0);
+        assert!(stats.remote.bytes_sent.get() > 0);
+        // Node stores share the registry: the replica's checkpoint and
+        // write traffic is visible too.
+        assert!(stats.pagestore.checkpoints.get() >= 1);
+        assert!(stats.rpc_latency.snapshot().count >= 2);
+    }
+
+    #[test]
+    fn fault_injection_retries_deterministically_and_doubles_cost() {
+        let mut faulty = Cluster::with_obs(2, 4096, NetModel::lan_1989(), Registry::enabled());
+        let mut clean = cluster(2);
+        faulty.set_fault_every(1); // every transfer times out once
+        let forigin = faulty.create_world(NodeId(0));
+        let corigin = clean.create_world(NodeId(0));
+        faulty.write(forigin, 0, b"y").unwrap();
+        clean.write(corigin, 0, b"y").unwrap();
+        let (_, fcost) = faulty.rfork(forigin, NodeId(1)).unwrap();
+        let (_, ccost) = clean.rfork(corigin, NodeId(1)).unwrap();
+        assert_eq!(
+            fcost.as_ns(),
+            2 * ccost.as_ns(),
+            "one lost attempt doubles the cost"
+        );
+        let stats = faulty.obs().stats().unwrap();
+        assert_eq!(stats.remote.rpc_timeouts.get(), 1);
+        assert_eq!(stats.remote.rpc_retries.get(), 1);
+        // Determinism: disabling injection stops the faults.
+        faulty.set_fault_every(0);
+        let (_, recost) = faulty.rfork(forigin, NodeId(1)).unwrap();
+        assert_eq!(recost.as_ns(), ccost.as_ns());
+        assert_eq!(faulty.obs().stats().unwrap().remote.rpc_timeouts.get(), 1);
     }
 }

@@ -40,7 +40,11 @@ impl NetModel {
 
     /// An infinitely fast network (for isolating compute effects).
     pub fn ideal() -> NetModel {
-        NetModel { name: "ideal", latency: VirtualTime::ZERO, bandwidth: f64::INFINITY }
+        NetModel {
+            name: "ideal",
+            latency: VirtualTime::ZERO,
+            bandwidth: f64::INFINITY,
+        }
     }
 
     /// Virtual time to move `bytes` across this network once.

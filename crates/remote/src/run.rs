@@ -28,7 +28,12 @@ impl DistAlt {
         compute: VirtualTime,
         mutate: impl FnMut(&Cluster, RemoteWorld) + Send + 'static,
     ) -> DistAlt {
-        DistAlt { label: label.into(), compute, mutate: Box::new(mutate), guard_pass: true }
+        DistAlt {
+            label: label.into(),
+            compute,
+            mutate: Box::new(mutate),
+            guard_pass: true,
+        }
     }
 
     /// Set the guard outcome (builder).
@@ -107,7 +112,11 @@ pub fn run_distributed_block(
     mut alts: Vec<DistAlt>,
 ) -> Result<DistReport, PageStoreError> {
     assert!(!alts.is_empty(), "a block needs at least one alternative");
-    assert_eq!(origin_world.node, NodeId(0), "the parent lives on the origin node");
+    assert_eq!(
+        origin_world.node,
+        NodeId(0),
+        "the parent lives on the origin node"
+    );
 
     let n_nodes = cluster.len();
     let target = |i: usize| -> NodeId {
@@ -124,6 +133,7 @@ pub fn run_distributed_block(
     let mut clock = VirtualTime::ZERO;
     let mut rfork_total = VirtualTime::ZERO;
     for (i, _alt) in alts.iter().enumerate() {
+        cluster.set_clock_ns(clock.as_ns());
         let (replica, cost) = cluster.rfork(origin_world, target(i))?;
         clock += cost;
         rfork_total += cost;
@@ -153,6 +163,7 @@ pub fn run_distributed_block(
 
     let (outcome, wall, commit_cost, pages_shipped) = match winner {
         Some((t_done, w)) => {
+            cluster.set_clock_ns(t_done.as_ns());
             let (cost, pages) = cluster.commit_back(origin_world, replicas[w])?;
             // 4. Discard the losers asynchronously.
             for (i, &r) in replicas.iter().enumerate() {
@@ -161,7 +172,10 @@ pub fn run_distributed_block(
                 }
             }
             (
-                DistOutcome::Winner { index: w, label: alts[w].label.clone() },
+                DistOutcome::Winner {
+                    index: w,
+                    label: alts[w].label.clone(),
+                },
                 t_done + cost,
                 cost,
                 pages,
@@ -227,13 +241,27 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(report.outcome, DistOutcome::Winner { index: 1, label: "fast".into() });
+        assert_eq!(
+            report.outcome,
+            DistOutcome::Winner {
+                index: 1,
+                label: "fast".into()
+            }
+        );
         // The winner's edits are home.
         assert_eq!(c.read(origin, 0, 1).unwrap(), vec![0xDD]);
-        assert_eq!(c.read(origin, 2, 1).unwrap(), vec![0xCC], "untouched page stays");
+        assert_eq!(
+            c.read(origin, 2, 1).unwrap(),
+            vec![0xCC],
+            "untouched page stays"
+        );
         assert_eq!(report.pages_shipped, 2);
         // Wall = 2 rforks (~1 s each) + 5 s compute + small commit.
-        assert!(report.wall.as_secs() > 6.0 && report.wall.as_secs() < 9.0, "{}", report.wall);
+        assert!(
+            report.wall.as_secs() > 6.0 && report.wall.as_secs() < 9.0,
+            "{}",
+            report.wall
+        );
     }
 
     #[test]
@@ -272,7 +300,13 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(report.outcome, DistOutcome::Winner { index: 1, label: "good-slow".into() });
+        assert_eq!(
+            report.outcome,
+            DistOutcome::Winner {
+                index: 1,
+                label: "good-slow".into()
+            }
+        );
         assert_eq!(report.finish_times[0], None);
     }
 
@@ -289,9 +323,17 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.outcome, DistOutcome::AllFailed);
-        assert_eq!(c.read(origin, 0, 1).unwrap(), vec![0xCC], "no speculative leak");
+        assert_eq!(
+            c.read(origin, 0, 1).unwrap(),
+            vec![0xCC],
+            "no speculative leak"
+        );
         for id in 1..3 {
-            assert_eq!(c.node(NodeId(id)).store().world_count(), 0, "node {id} clean");
+            assert_eq!(
+                c.node(NodeId(id)).store().world_count(),
+                0,
+                "node {id} clean"
+            );
         }
     }
 
@@ -310,7 +352,13 @@ mod tests {
         .unwrap();
         // "second" cannot start until "first" releases the single worker:
         // the winner is "first" despite being slower in isolation.
-        assert_eq!(report.outcome, DistOutcome::Winner { index: 0, label: "first".into() });
+        assert_eq!(
+            report.outcome,
+            DistOutcome::Winner {
+                index: 0,
+                label: "first".into()
+            }
+        );
     }
 
     #[test]
@@ -323,8 +371,16 @@ mod tests {
         )
         .unwrap();
         assert!(report.succeeded());
-        assert_eq!(report.rfork_total, VirtualTime::ZERO, "local fork is COW, free");
-        assert_eq!(report.commit_cost, VirtualTime::ZERO, "local commit is adoption");
+        assert_eq!(
+            report.rfork_total,
+            VirtualTime::ZERO,
+            "local fork is COW, free"
+        );
+        assert_eq!(
+            report.commit_cost,
+            VirtualTime::ZERO,
+            "local commit is adoption"
+        );
         assert_eq!(c.read(origin, 0, 1).unwrap(), vec![0xDD]);
     }
 

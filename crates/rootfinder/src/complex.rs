@@ -33,7 +33,10 @@ impl Complex {
 
     /// From polar form `r·e^{iθ}`.
     pub fn from_polar(r: f64, theta: f64) -> Complex {
-        Complex { re: r * theta.cos(), im: r * theta.sin() }
+        Complex {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
     }
 
     /// Modulus `|z|` (hypot, overflow-safe).
@@ -53,14 +56,20 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Complex {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Multiplicative inverse. Division by (exact) zero produces
     /// infinities, matching IEEE semantics.
     pub fn inv(self) -> Complex {
         let d = self.norm_sqr();
-        Complex { re: self.re / d, im: -self.im / d }
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Is either component NaN?
@@ -76,9 +85,15 @@ impl Complex {
     /// Principal square root.
     pub fn sqrt(self) -> Complex {
         let r = self.abs();
-        let z = Complex { re: (0.5 * (r + self.re)).max(0.0).sqrt(), im: (0.5 * (r - self.re)).max(0.0).sqrt() };
+        let z = Complex {
+            re: (0.5 * (r + self.re)).max(0.0).sqrt(),
+            im: (0.5 * (r - self.re)).max(0.0).sqrt(),
+        };
         if self.im < 0.0 {
-            Complex { re: z.re, im: -z.im }
+            Complex {
+                re: z.re,
+                im: -z.im,
+            }
         } else {
             z
         }
@@ -86,14 +101,20 @@ impl Complex {
 
     /// Scale by a real factor.
     pub fn scale(self, k: f64) -> Complex {
-        Complex { re: self.re * k, im: self.im * k }
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 }
 
 impl Add for Complex {
     type Output = Complex;
     fn add(self, o: Complex) -> Complex {
-        Complex { re: self.re + o.re, im: self.im + o.im }
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -107,7 +128,10 @@ impl AddAssign for Complex {
 impl Sub for Complex {
     type Output = Complex;
     fn sub(self, o: Complex) -> Complex {
-        Complex { re: self.re - o.re, im: self.im - o.im }
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -128,11 +152,17 @@ impl Div for Complex {
         if o.re.abs() >= o.im.abs() {
             let r = o.im / o.re;
             let d = o.re + o.im * r;
-            Complex { re: (self.re + self.im * r) / d, im: (self.im - self.re * r) / d }
+            Complex {
+                re: (self.re + self.im * r) / d,
+                im: (self.im - self.re * r) / d,
+            }
         } else {
             let r = o.re / o.im;
             let d = o.re * r + o.im;
-            Complex { re: (self.re * r + self.im) / d, im: (self.im * r - self.re) / d }
+            Complex {
+                re: (self.re * r + self.im) / d,
+                im: (self.im * r - self.re) / d,
+            }
         }
     }
 }
@@ -140,7 +170,10 @@ impl Div for Complex {
 impl Neg for Complex {
     type Output = Complex;
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -64,8 +64,14 @@ pub enum FindError {
 impl std::fmt::Display for FindError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FindError::NoConvergence { at_root, iterations } => {
-                write!(f, "no convergence at root #{at_root} after {iterations} iterations")
+            FindError::NoConvergence {
+                at_root,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "no convergence at root #{at_root} after {iterations} iterations"
+                )
             }
             FindError::ResidualTooLarge { residual, bound } => {
                 write!(f, "residual {residual:.3e} exceeds bound {bound:.3e}")
@@ -164,8 +170,16 @@ pub fn jenkins_traub(p: &Poly, angle_deg: f64, cfg: &JtConfig) -> Option<(Comple
         // Citardauq form with a stable sign choice: q = b ± disc picked to
         // add constructively; the returned root −2c/q is the smaller one,
         // which deflates stably.
-        let q = if (b.conj() * disc).re >= 0.0 { b + disc } else { b - disc };
-        let root = if q.abs() > 0.0 { cc.scale(-2.0) / q } else { Complex::ZERO };
+        let q = if (b.conj() * disc).re >= 0.0 {
+            b + disc
+        } else {
+            b - disc
+        };
+        let root = if q.abs() > 0.0 {
+            cc.scale(-2.0) / q
+        } else {
+            Complex::ZERO
+        };
         return Some((root, 2));
     }
 
@@ -252,7 +266,12 @@ pub fn find_all_roots(p: &Poly, angle_deg: f64, cfg: &JtConfig) -> Result<RootRe
                     work = work.deflate(root);
                 }
             }
-            None => return Err(FindError::NoConvergence { at_root: k, iterations }),
+            None => {
+                return Err(FindError::NoConvergence {
+                    at_root: k,
+                    iterations,
+                })
+            }
         }
     }
 
@@ -282,9 +301,16 @@ pub fn find_all_roots(p: &Poly, angle_deg: f64, cfg: &JtConfig) -> Result<RootRe
         bound = bound.max(cfg.verify_factor * f64::EPSILON * eval_bound(&original, r));
     }
     if max_residual > bound {
-        return Err(FindError::ResidualTooLarge { residual: max_residual, bound });
+        return Err(FindError::ResidualTooLarge {
+            residual: max_residual,
+            bound,
+        });
     }
-    Ok(RootReport { roots, max_residual, iterations })
+    Ok(RootReport {
+        roots,
+        max_residual,
+        iterations,
+    })
 }
 
 /// Robust driver: the classical CPOLY retry policy — on failure, advance
@@ -320,7 +346,12 @@ pub fn find_all_roots_robust(
                     work = work.deflate(root);
                 }
             }
-            None => return Err(FindError::NoConvergence { at_root: k, iterations }),
+            None => {
+                return Err(FindError::NoConvergence {
+                    at_root: k,
+                    iterations,
+                })
+            }
         }
     }
 
@@ -345,7 +376,11 @@ pub fn find_all_roots_robust(
     for &r in &roots {
         max_residual = max_residual.max(original.eval(r).abs());
     }
-    Ok(RootReport { roots, max_residual, iterations })
+    Ok(RootReport {
+        roots,
+        max_residual,
+        iterations,
+    })
 }
 
 #[cfg(test)]
@@ -371,7 +406,11 @@ mod tests {
                 }
             }
             let (d, i) = best.expect("unmatched root");
-            assert!(d < tol, "root {f} is {d} away from nearest expected {}", expected[i]);
+            assert!(
+                d < tol,
+                "root {f} is {d} away from nearest expected {}",
+                expected[i]
+            );
             used[i] = true;
         }
     }
@@ -432,11 +471,7 @@ mod tests {
         // (z-1)² (z+2): multiple roots halve the attainable accuracy.
         let p = Poly::from_roots(&[c(1.0, 0.0), c(1.0, 0.0), c(-2.0, 0.0)]);
         let rep = find_all_roots_robust(&p, 49.0, 3, &JtConfig::default()).unwrap();
-        assert_roots_match(
-            &rep.roots,
-            &[c(1.0, 0.0), c(1.0, 0.0), c(-2.0, 0.0)],
-            1e-4,
-        );
+        assert_roots_match(&rep.roots, &[c(1.0, 0.0), c(1.0, 0.0), c(-2.0, 0.0)], 1e-4);
     }
 
     #[test]
@@ -467,14 +502,20 @@ mod tests {
             .map(|k| Complex::from_polar(0.9 + 0.05 * (k % 4) as f64, 0.39 * k as f64))
             .collect();
         let p = Poly::from_roots(&roots);
-        let starved = JtConfig { stage2_iters: 3, ..JtConfig::default() };
+        let starved = JtConfig {
+            stage2_iters: 3,
+            ..JtConfig::default()
+        };
         let mut failures = 0;
         for angle in (0..24).map(|k| 15.0 * k as f64) {
             if find_all_roots(&p, angle, &starved).is_err() {
                 failures += 1;
             }
         }
-        assert!(failures > 0, "a 3-iteration stage-2 budget should fail somewhere");
+        assert!(
+            failures > 0,
+            "a 3-iteration stage-2 budget should fail somewhere"
+        );
     }
 
     #[test]
@@ -483,7 +524,10 @@ mod tests {
             .map(|k| Complex::from_polar(0.9 + 0.05 * (k % 4) as f64, 0.39 * k as f64))
             .collect();
         let p = Poly::from_roots(&roots);
-        let starved = JtConfig { stage2_iters: 6, ..JtConfig::default() };
+        let starved = JtConfig {
+            stage2_iters: 6,
+            ..JtConfig::default()
+        };
         // Find an angle where strict fails…
         let failing = (0..24)
             .map(|k| 15.0 * k as f64)
@@ -497,9 +541,15 @@ mod tests {
 
     #[test]
     fn find_error_display() {
-        let e = FindError::NoConvergence { at_root: 3, iterations: 120 };
+        let e = FindError::NoConvergence {
+            at_root: 3,
+            iterations: 120,
+        };
         assert!(e.to_string().contains("#3"));
-        let e = FindError::ResidualTooLarge { residual: 1.0, bound: 0.5 };
+        let e = FindError::ResidualTooLarge {
+            residual: 1.0,
+            bound: 0.5,
+        };
         assert!(e.to_string().contains("exceeds"));
     }
 }

@@ -59,7 +59,11 @@ pub fn parallel_find_roots(
             }
             ctx.put_bytes("roots", &bytes)?;
             ctx.put_f64("winning_angle", angle)?;
-            Ok(ParallelRootResult { angle, roots: report.roots, iterations: report.iterations })
+            Ok(ParallelRootResult {
+                angle,
+                roots: report.roots,
+                iterations: report.iterations,
+            })
         });
     }
     spec.run(block)
@@ -88,8 +92,7 @@ mod tests {
     fn parallel_race_finds_all_roots() {
         let (p, expected) = legendre_like(10);
         let spec = Speculation::new();
-        let report =
-            parallel_find_roots(&spec, &p, &TEST_ANGLES[..4], &JtConfig::default(), None);
+        let report = parallel_find_roots(&spec, &p, &TEST_ANGLES[..4], &JtConfig::default(), None);
         assert!(report.succeeded(), "outcome: {:?}", report.outcome);
         let result = report.value.expect("winner value");
         assert_eq!(result.roots.len(), expected.len());
@@ -102,7 +105,11 @@ mod tests {
         }
         // And they are genuine zeros.
         for r in &committed {
-            assert!(p.monic().eval(*r).abs() < 1e-5, "residual {}", p.monic().eval(*r).abs());
+            assert!(
+                p.monic().eval(*r).abs() < 1e-5,
+                "residual {}",
+                p.monic().eval(*r).abs()
+            );
         }
     }
 
@@ -111,7 +118,10 @@ mod tests {
         let (p, _) = legendre_like(12);
         // Starve stage 2 so some angles fail; at least one of eight should
         // still converge.
-        let cfg = JtConfig { stage2_iters: 8, ..JtConfig::default() };
+        let cfg = JtConfig {
+            stage2_iters: 8,
+            ..JtConfig::default()
+        };
         let spec = Speculation::new();
         let report = parallel_find_roots(&spec, &p, &TEST_ANGLES, &cfg, None);
         if report.succeeded() {

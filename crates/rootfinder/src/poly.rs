@@ -17,7 +17,9 @@ impl Poly {
             .iter()
             .position(|c| c.abs() > 0.0)
             .expect("the zero polynomial has no roots to find");
-        Poly { coeffs: coeffs[first_nonzero..].to_vec() }
+        Poly {
+            coeffs: coeffs[first_nonzero..].to_vec(),
+        }
     }
 
     /// Build from real coefficients, leading first.
@@ -66,7 +68,9 @@ impl Poly {
             // Derivative of a constant: conventionally the constant 0 has
             // no roots; callers never differentiate degree-0 polys, but
             // return a harmless constant 1·z⁰ scaled by 0 guard.
-            return Poly { coeffs: vec![Complex::ZERO, Complex::ONE] };
+            return Poly {
+                coeffs: vec![Complex::ZERO, Complex::ONE],
+            };
         }
         let coeffs = self
             .coeffs
@@ -89,11 +93,20 @@ impl Poly {
                 q.push(acc);
             }
         }
-        let rem = if self.coeffs.len() == 1 { self.coeffs[0] } else { acc };
+        let rem = if self.coeffs.len() == 1 {
+            self.coeffs[0]
+        } else {
+            acc
+        };
         if q.is_empty() {
             // Dividing a constant: quotient is zero-degree 0 (callers
             // guard), keep a constant 0 placeholder via ONE*0.
-            return (Poly { coeffs: vec![Complex::ZERO] }, rem);
+            return (
+                Poly {
+                    coeffs: vec![Complex::ZERO],
+                },
+                rem,
+            );
         }
         (Poly { coeffs: q }, rem)
     }
@@ -107,7 +120,9 @@ impl Poly {
     /// Normalise to a monic polynomial (leading coefficient 1).
     pub fn monic(&self) -> Poly {
         let lead = self.coeffs[0];
-        Poly { coeffs: self.coeffs.iter().map(|&c| c / lead).collect() }
+        Poly {
+            coeffs: self.coeffs.iter().map(|&c| c / lead).collect(),
+        }
     }
 
     /// The Cauchy lower bound β on the modulus of the smallest zero: the
@@ -162,7 +177,11 @@ impl Poly {
             }
             let d = fp(x);
             let newton = x - fx / d;
-            x = if newton > lo && newton < hi { newton } else { 0.5 * (lo + hi) };
+            x = if newton > lo && newton < hi {
+                newton
+            } else {
+                0.5 * (lo + hi)
+            };
         }
         x
     }
@@ -267,7 +286,10 @@ mod tests {
         // Roots of modulus 1, 2, 3: β ≤ 1.
         let p = Poly::from_roots(&[c(1.0, 0.0), c(0.0, 2.0), c(-3.0, 0.0)]);
         let b = p.cauchy_bound();
-        assert!(b > 0.0 && b <= 1.0 + 1e-9, "bound {b} must lower-bound min |root| = 1");
+        assert!(
+            b > 0.0 && b <= 1.0 + 1e-9,
+            "bound {b} must lower-bound min |root| = 1"
+        );
         // And the Cauchy polynomial really vanishes at β.
         let mags: Vec<f64> = p.coeffs().iter().map(|z| z.abs()).collect();
         let n = p.degree();

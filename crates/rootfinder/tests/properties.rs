@@ -7,10 +7,13 @@ use worlds_rootfinder::{find_all_roots_robust, Complex, JtConfig, Poly};
 /// Random well-separated roots in an annulus (min pairwise distance
 /// enforced so conditioning stays sane).
 fn arb_roots(n: usize) -> impl Strategy<Value = Vec<Complex>> {
-    proptest::collection::vec((0.5f64..2.5, 0.0f64..std::f64::consts::TAU), n..=n)
-        .prop_filter_map("roots too close", |polar| {
-            let roots: Vec<Complex> =
-                polar.iter().map(|&(r, th)| Complex::from_polar(r, th)).collect();
+    proptest::collection::vec((0.5f64..2.5, 0.0f64..std::f64::consts::TAU), n..=n).prop_filter_map(
+        "roots too close",
+        |polar| {
+            let roots: Vec<Complex> = polar
+                .iter()
+                .map(|&(r, th)| Complex::from_polar(r, th))
+                .collect();
             for (i, a) in roots.iter().enumerate() {
                 for b in &roots[i + 1..] {
                     if (*a - *b).abs() < 0.15 {
@@ -19,7 +22,8 @@ fn arb_roots(n: usize) -> impl Strategy<Value = Vec<Complex>> {
                 }
             }
             Some(roots)
-        })
+        },
+    )
 }
 
 fn matched(found: &[Complex], expected: &[Complex], tol: f64) -> bool {

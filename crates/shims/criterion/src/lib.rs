@@ -1,0 +1,290 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the `worlds-bench` benches use — groups,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_custom`, the
+//! `criterion_group!`/`criterion_main!` macros — with a plain
+//! wall-clock measurement loop: per benchmark, a warm-up phase then
+//! `sample_size` timed samples, reporting min/median/mean per iteration.
+//! No statistics beyond that, no HTML reports, no comparisons — but the
+//! numbers are honest and the benches run unmodified.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs one benchmark's measurement loop.
+pub struct Bencher<'a> {
+    cfg: &'a Config,
+    /// Mean/min/median per-iteration nanoseconds, filled by `iter*`.
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean_ns: f64,
+    min_ns: f64,
+    median_ns: f64,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`, preventing the result from being optimised out.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget elapses, scaling the
+        // per-sample iteration count to roughly fill
+        // measurement_time / sample_size per sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.cfg.warm_up_time.as_secs_f64() / warm_iters as f64;
+        let per_sample = self.cfg.measurement_time.as_secs_f64() / self.cfg.sample_size as f64;
+        let iters = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut samples = Vec::with_capacity(self.cfg.sample_size);
+        for _ in 0..self.cfg.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        self.finish_with(samples, iters);
+    }
+
+    /// Measure with caller-controlled timing: `routine(iters)` runs the
+    /// workload `iters` times and returns the elapsed time.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        let iters_per_sample = 1u64.max(
+            (self.cfg.measurement_time.as_millis() as u64 / self.cfg.sample_size as u64).min(10),
+        );
+        let mut samples = Vec::with_capacity(self.cfg.sample_size);
+        black_box(routine(1)); // warm-up round
+        for _ in 0..self.cfg.sample_size {
+            let d = routine(iters_per_sample);
+            samples.push(d.as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        self.finish_with(samples, iters_per_sample);
+    }
+
+    fn finish_with(&mut self, mut samples: Vec<f64>, iters: u64) {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min_ns = samples[0];
+        let median_ns = samples[samples.len() / 2];
+        let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.result = Some(Sample { mean_ns, min_ns, median_ns, iters });
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.cfg.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.cfg.warm_up_time = t;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher { cfg: &self.cfg, result: None };
+        f(&mut b);
+        report(&self.name, &id.to_string(), b.result);
+        self
+    }
+
+    /// Run one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut b = Bencher { cfg: &self.cfg, result: None };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), b.result);
+        self
+    }
+
+    /// End the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, s: Option<Sample>) {
+    match s {
+        Some(s) => println!(
+            "bench {group}/{id}: mean {} min {} median {} ({} iters/sample)",
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.min_ns),
+            fmt_ns(s.median_ns),
+            s.iters
+        ),
+        None => println!("bench {group}/{id}: no measurement recorded"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Criterion {
+    /// Apply command-line configuration (accepted and ignored: the shim
+    /// has no CLI options, but `cargo bench -- --quick` style invocations
+    /// must not fail).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let cfg = self.cfg.clone();
+        BenchmarkGroup { name: name.into(), cfg, _parent: self }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher { cfg: &self.cfg, result: None };
+        f(&mut b);
+        report("crit", &id.to_string(), b.result);
+        self
+    }
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.measurement_time(Duration::from_millis(10));
+        g.warm_up_time(Duration::from_millis(2));
+        let mut ran = 0u64;
+        g.bench_function("count", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        g.finish();
+        assert!(ran > 0, "routine must actually run");
+    }
+
+    #[test]
+    fn iter_custom_uses_caller_timing() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        let mut calls = 0;
+        g.bench_with_input(BenchmarkId::new("f", 1), &1, |b, _| {
+            b.iter_custom(|iters| {
+                calls += 1;
+                Duration::from_nanos(100 * iters)
+            })
+        });
+        assert!(calls >= 3, "warm-up + samples");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(2.5).to_string(), "2.5");
+    }
+}

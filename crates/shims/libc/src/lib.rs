@@ -1,0 +1,104 @@
+//! Offline stand-in for the `libc` crate.
+//!
+//! The real `libc` crate is unreachable in this container (no network, no
+//! registry mirror), and it is only FFI declarations anyway — the symbols
+//! live in the system C library that every Rust binary already links. So
+//! we declare exactly the subset the `worlds-os` crate calls, with the
+//! glibc x86-64/aarch64 Linux ABI types.
+#![cfg(unix)]
+#![allow(non_camel_case_types)]
+
+pub use core::ffi::c_void;
+
+/// C `int`.
+pub type c_int = i32;
+/// C `short`.
+pub type c_short = i16;
+/// C `long` (LP64).
+pub type c_long = i64;
+/// POSIX process id.
+pub type pid_t = i32;
+/// POSIX clock id.
+pub type clockid_t = i32;
+/// `time_t` (LP64).
+pub type time_t = i64;
+/// `size_t`.
+pub type size_t = usize;
+/// `ssize_t`.
+pub type ssize_t = isize;
+/// Number of poll fds.
+pub type nfds_t = u64;
+
+/// `CLOCK_MONOTONIC` (Linux).
+pub const CLOCK_MONOTONIC: clockid_t = 1;
+/// Data available to read.
+pub const POLLIN: c_short = 0x001;
+/// Unblockable kill signal.
+pub const SIGKILL: c_int = 9;
+
+/// `struct timespec` (LP64 layout).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct timespec {
+    /// Whole seconds.
+    pub tv_sec: time_t,
+    /// Nanoseconds within the second.
+    pub tv_nsec: c_long,
+}
+
+/// `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct pollfd {
+    /// File descriptor to watch.
+    pub fd: c_int,
+    /// Requested events.
+    pub events: c_short,
+    /// Returned events.
+    pub revents: c_short,
+}
+
+extern "C" {
+    pub fn fork() -> pid_t;
+    pub fn _exit(status: c_int) -> !;
+    pub fn waitpid(pid: pid_t, status: *mut c_int, options: c_int) -> pid_t;
+    pub fn kill(pid: pid_t, sig: c_int) -> c_int;
+    pub fn pause() -> c_int;
+    pub fn pipe(fds: *mut c_int) -> c_int;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+    pub fn clock_gettime(clk: clockid_t, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_ticks() {
+        let mut a = timespec::default();
+        let mut b = timespec::default();
+        unsafe {
+            assert_eq!(clock_gettime(CLOCK_MONOTONIC, &mut a), 0);
+            assert_eq!(clock_gettime(CLOCK_MONOTONIC, &mut b), 0);
+        }
+        assert!((b.tv_sec, b.tv_nsec) >= (a.tv_sec, a.tv_nsec));
+    }
+
+    #[test]
+    fn pipe_write_read_round_trip() {
+        let mut fds = [0 as c_int; 2];
+        unsafe {
+            assert_eq!(pipe(fds.as_mut_ptr()), 0);
+            let msg = b"ping";
+            assert_eq!(write(fds[1], msg.as_ptr().cast(), msg.len()), 4);
+            let mut buf = [0u8; 4];
+            assert_eq!(read(fds[0], buf.as_mut_ptr().cast(), 4), 4);
+            assert_eq!(&buf, msg);
+            close(fds[0]);
+            close(fds[1]);
+        }
+    }
+}

@@ -1,0 +1,790 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset this workspace's property tests use, with
+//! honest random generation but **no shrinking**: a failing case reports
+//! its deterministic seed and case number instead of a minimised input.
+//! Strategies are sampled with a per-test seed derived from the test's
+//! name, so failures reproduce across runs and machines.
+//!
+//! Supported surface: [`Strategy`] (`prop_map`, `prop_filter`,
+//! `prop_filter_map`, `prop_recursive`, `boxed`), ranges / tuples /
+//! [`Just`] / [`any`] / simple `"[a-z]{2,5}"` string patterns as
+//! strategies, [`collection`] (`vec`, `btree_set`, `btree_map`),
+//! `prop_oneof!`, `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assert_ne!`, `prop_assume!`, and [`ProptestConfig`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The deterministic RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl TestRng {
+    /// RNG for one (test, case) pair.
+    pub fn for_case(seed: u64, case: u32) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed ^ (0x9E37_79B9 + u64::from(case))))
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a of the test name, overridable
+/// with `PROPTEST_SEED` for replaying a reported failure.
+pub fn test_seed(name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(n) = s.parse() {
+            return n;
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Error produced by a single property-test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed (test failure).
+    Fail(String),
+    /// A `prop_assume!` precondition failed (case skipped).
+    Reject(String),
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A boxed, dynamically typed strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (resampling up to a cap).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason: reason.into(), pred }
+    }
+
+    /// Filter and transform in one step (resampling on `None`).
+    fn prop_filter_map<T, F>(self, reason: impl Into<String>, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<T>,
+    {
+        FilterMap { inner: self, reason: reason.into(), f }
+    }
+
+    /// Build recursive structures: `recurse` receives a strategy for the
+    /// level below and returns the strategy for one level up. `_desired`
+    /// and `_branch` (total size / branching hints) are accepted for API
+    /// compatibility; this shim only bounds by `depth`.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired: u32,
+        _branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf: Rc<dyn Strategy<Value = Self::Value>> = Rc::new(self);
+        let mut cur: Rc<dyn Strategy<Value = Self::Value>> = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(Box::new(RcStrategy(cur.clone())));
+            cur = Rc::new(RecursiveLevel { leaf: leaf.clone(), branch });
+        }
+        Box::new(RcStrategy(cur))
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (**self).new_value(rng)
+    }
+}
+
+struct RcStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for RcStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+struct RecursiveLevel<T, B> {
+    leaf: Rc<dyn Strategy<Value = T>>,
+    branch: B,
+}
+
+impl<T, B: Strategy<Value = T>> Strategy for RecursiveLevel<T, B> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        // Half the mass recurses deeper, half bottoms out — enough bias
+        // toward leaves that expected sizes stay finite and small.
+        if rng.gen_bool(0.5) {
+            self.branch.new_value(rng)
+        } else {
+            self.leaf.new_value(rng)
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+const FILTER_RETRIES: u32 = 1_000;
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.new_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter gave up after {FILTER_RETRIES} tries: {}", self.reason);
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> Option<T>> Strategy for FilterMap<S, F> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        for _ in 0..FILTER_RETRIES {
+            if let Some(v) = (self.f)(self.inner.new_value(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map gave up after {FILTER_RETRIES} tries: {}", self.reason);
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternative strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms. Panics if empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+    fn new_value(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `A`.
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+// --- Simple `[class]{m,n}` string patterns as strategies. ---
+
+#[derive(Debug, Clone)]
+struct PatternPiece {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<PatternPiece> {
+    let mut pieces = Vec::new();
+    let mut chars = pat.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = if c == '[' {
+            let mut set = Vec::new();
+            loop {
+                match chars.next() {
+                    Some(']') => break,
+                    Some(lo) => {
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("bad char class in pattern {pat:?}"));
+                            assert!(hi != ']', "bad char class in pattern {pat:?}");
+                            set.extend(lo..=hi);
+                        } else {
+                            set.push(lo);
+                        }
+                    }
+                    None => panic!("unterminated char class in pattern {pat:?}"),
+                }
+            }
+            assert!(!set.is_empty(), "empty char class in pattern {pat:?}");
+            set
+        } else {
+            vec![c]
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("pattern repeat min"),
+                    b.trim().parse().expect("pattern repeat max"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("pattern repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in pattern {pat:?}");
+        pieces.push(PatternPiece { choices, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let n = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..n {
+                out.push(piece.choices[rng.gen_range(0..piece.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy yielding `true` with probability `p`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted(f64);
+
+    /// `true` with probability `p` (clamped to [0, 1]).
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted(p.clamp(0.0, 1.0))
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(self.0)
+        }
+    }
+}
+
+/// Collection strategies: `vec`, `btree_set`, `btree_map`.
+pub mod collection {
+    use super::*;
+
+    /// Lengths/sizes a collection strategy may take.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.min..=self.max)
+        }
+    }
+
+    /// `Vec`s of `element` values with lengths from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet`s of `element` values with sizes from `size`. When the
+    /// element domain is too small to reach the sampled size, the set
+    /// saturates at what the domain yields (as real proptest's rejection
+    /// budget effectively does).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut misses = 0;
+            while set.len() < target && misses < FILTER_RETRIES {
+                if !set.insert(self.element.new_value(rng)) {
+                    misses += 1;
+                }
+            }
+            set
+        }
+    }
+
+    /// `BTreeMap`s with keys from `key`, values from `value`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.sample(rng);
+            let mut map = BTreeMap::new();
+            let mut misses = 0;
+            while map.len() < target && misses < FILTER_RETRIES {
+                let k = self.key.new_value(rng);
+                let v = self.value.new_value(rng);
+                if map.insert(k, v).is_some() {
+                    misses += 1;
+                }
+            }
+            map
+        }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng, Union,
+    };
+
+    /// The `prop::` facade real proptest exposes from its prelude.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Uniform choice among strategy arms (all producing the same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Assert inside a property; failure reports the case instead of
+/// panicking through strategy state.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Skip the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::test_seed(stringify!($name));
+            $(let $arg = &$crate::Strategy::boxed({ $strat });)+
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::for_case(__seed, __case);
+                $(let $arg = $crate::Strategy::new_value($arg, &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject(_)) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => panic!(
+                        "property {} failed at case {} (seed {}): {}",
+                        stringify!($name), __case, __seed, msg
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_just_sample_in_bounds() {
+        let mut rng = TestRng::for_case(1, 0);
+        let s = (0u64..10, 5i64..=6, Just("x"));
+        for _ in 0..200 {
+            let (a, b, c) = s.new_value(&mut rng);
+            assert!(a < 10);
+            assert!((5..=6).contains(&b));
+            assert_eq!(c, "x");
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_shape() {
+        let mut rng = TestRng::for_case(2, 0);
+        for _ in 0..100 {
+            let s = "[a-c]{2,5}".new_value(&mut rng);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+            let one = "[f-h]".new_value(&mut rng);
+            assert_eq!(one.len(), 1);
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::for_case(3, 0);
+        for _ in 0..50 {
+            let v = collection::vec(0u64..100, 1..5).new_value(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            let s = collection::btree_set(0u64..12, 0..4).new_value(&mut rng);
+            assert!(s.len() < 4);
+            let m = collection::btree_map(0u64..12, any::<u8>(), 2..=3).new_value(&mut rng);
+            assert!((2..=3).contains(&m.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_filter_and_recursive_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum T {
+            Leaf(i64),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = prop_oneof![(0i64..5).prop_map(T::Leaf), Just(T::Leaf(99))]
+            .prop_recursive(3, 16, 3, |inner| {
+                collection::vec(inner, 1..3).prop_map(T::Node)
+            });
+        let mut rng = TestRng::for_case(4, 0);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.new_value(&mut rng);
+            assert!(depth(&t) <= 4);
+            saw_node |= matches!(t, T::Node(_));
+        }
+        assert!(saw_node, "recursion must sometimes recurse");
+
+        let evens = (0u64..100).prop_filter("even", |n| n % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(evens.new_value(&mut rng) % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro wires strategies, assertions, and assumptions.
+        #[test]
+        fn macro_end_to_end(a in 0u64..50, b in 1u64..10) {
+            prop_assume!(a != 13);
+            prop_assert!(a < 50);
+            prop_assert_eq!(a + b - b, a);
+            prop_assert_ne!(b, 0);
+        }
+    }
+}

@@ -25,4 +25,4 @@
 
 mod manager;
 
-pub use manager::{competing, competing_parallel, Conflict, Tx, TxBody, TxManager};
+pub use manager::{competing, competing_parallel, Conflict, ParallelTxBody, Tx, TxBody, TxManager};

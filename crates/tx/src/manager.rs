@@ -17,7 +17,11 @@ pub struct Conflict {
 
 impl std::fmt::Display for Conflict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "conflict with committed version {} on page {}", self.with_version, self.page)
+        write!(
+            f,
+            "conflict with committed version {} on page {}",
+            self.with_version, self.page
+        )
     }
 }
 
@@ -71,7 +75,11 @@ impl TxManager {
     pub fn new(page_size: usize) -> TxManager {
         let store = PageStore::new(page_size);
         let base = store.create_world();
-        TxManager { store, base, history: Arc::new(Mutex::new(History::default())) }
+        TxManager {
+            store,
+            base,
+            history: Arc::new(Mutex::new(History::default())),
+        }
     }
 
     /// Current committed version (number of committed transactions).
@@ -86,7 +94,9 @@ impl TxManager {
 
     /// Read a page of the *committed* state, outside any transaction.
     pub fn read_committed(&self, vpn: Vpn, len: usize) -> Vec<u8> {
-        self.store.read_vec(self.base, vpn, 0, len).expect("base world is live")
+        self.store
+            .read_vec(self.base, vpn, 0, len)
+            .expect("base world is live")
     }
 
     /// Begin a transaction: snapshot the base world COW (the read phase
@@ -95,7 +105,10 @@ impl TxManager {
         // Hold the history lock across the fork so the snapshot matches
         // the begin version exactly.
         let history = self.history.lock();
-        let world = self.store.fork_world(self.base).expect("base world is live");
+        let world = self
+            .store
+            .fork_world(self.base)
+            .expect("base world is live");
         Tx {
             world,
             begin_version: history.committed_writes.len() as u64,
@@ -107,14 +120,18 @@ impl TxManager {
     /// Transactional read.
     pub fn read(&self, tx: &mut Tx, vpn: Vpn, len: usize) -> Vec<u8> {
         tx.reads.insert(vpn);
-        self.store.read_vec(tx.world, vpn, 0, len).expect("tx world is live")
+        self.store
+            .read_vec(tx.world, vpn, 0, len)
+            .expect("tx world is live")
     }
 
     /// Transactional write (at offset 0 of the page; page-granular
     /// conflict detection, as in the paper's page-based design).
     pub fn write(&self, tx: &mut Tx, vpn: Vpn, data: &[u8]) {
         tx.writes.insert(vpn);
-        self.store.write(tx.world, vpn, 0, data).expect("tx world is live");
+        self.store
+            .write(tx.world, vpn, 0, data)
+            .expect("tx world is live");
     }
 
     /// Validate and commit. Backward validation (Kung & Robinson): `tx`
@@ -133,15 +150,22 @@ impl TxManager {
                 // Falsified assumption: this world is doomed.
                 drop(history);
                 self.store.drop_world(tx.world).expect("tx world is live");
-                return Err(Conflict { with_version: i as u64 + 1, page });
+                return Err(Conflict {
+                    with_version: i as u64 + 1,
+                    page,
+                });
             }
         }
         // Valid: install the write set into the base.
         let page_size = self.store.page_size();
         let mut buf = vec![0u8; page_size];
         for &vpn in &tx.writes {
-            self.store.read(tx.world, vpn, 0, &mut buf).expect("tx world is live");
-            self.store.write(self.base, vpn, 0, &buf).expect("base world is live");
+            self.store
+                .read(tx.world, vpn, 0, &mut buf)
+                .expect("tx world is live");
+            self.store
+                .write(self.base, vpn, 0, &buf)
+                .expect("base world is live");
         }
         self.store.drop_world(tx.world).expect("tx world is live");
         history.committed_writes.push(tx.writes);
@@ -212,6 +236,9 @@ pub fn competing<R>(manager: &TxManager, bodies: Vec<TxBody<'_, R>>) -> Option<(
     winner
 }
 
+/// A boxed transaction body for [`competing_parallel`].
+pub type ParallelTxBody<R> = Box<dyn FnOnce(&TxManager, &mut Tx) -> R + Send>;
+
 /// The parallel form of [`competing`]: bodies run on real threads, each
 /// against its own snapshot; the **first to validate commits** and every
 /// other transaction aborts — Multiple Worlds with transactions as the
@@ -222,7 +249,7 @@ pub fn competing<R>(manager: &TxManager, bodies: Vec<TxBody<'_, R>>) -> Option<(
 /// rendezvous.
 pub fn competing_parallel<R: Send + 'static>(
     manager: &TxManager,
-    bodies: Vec<Box<dyn FnOnce(&TxManager, &mut Tx) -> R + Send>>,
+    bodies: Vec<ParallelTxBody<R>>,
 ) -> Option<(usize, R)> {
     let (tx_result, rx_result) = std::sync::mpsc::channel::<(usize, Result<(R, u64), Conflict>)>();
     let mut handles = Vec::new();
@@ -369,7 +396,10 @@ mod tests {
         });
         let (seen, version) = result.unwrap();
         assert_eq!(seen, 1, "the retry observed the rival's write");
-        assert_eq!(version, 2, "rival + retried tx; the aborted attempt is not counted");
+        assert_eq!(
+            version, 2,
+            "rival + retried tx; the aborted attempt is not counted"
+        );
     }
 
     #[test]

@@ -21,14 +21,14 @@ fn main() {
         db.write(&mut init, 0, &100u64.to_le_bytes());
         db.commit(init).expect("initial commit");
     }
-    let price = |m: &TxManager| {
-        u64::from_le_bytes(m.read_committed(0, 8).try_into().expect("8 bytes"))
-    };
+    let price =
+        |m: &TxManager| u64::from_le_bytes(m.read_committed(0, 8).try_into().expect("8 bytes"));
     println!("initial price: {}", price(&db));
 
     // --- competing transactions: at most one takes effect ---
     println!("\nthree strategies race (each reads then rewrites the price page):");
-    let strategies: Vec<(&str, Box<dyn Fn(u64) -> u64 + Send + Sync>)> = vec![
+    type Strategy = Box<dyn Fn(u64) -> u64 + Send + Sync>;
+    let strategies: Vec<(&str, Strategy)> = vec![
         ("undercut", Box::new(|p| p - 7)),
         ("premium", Box::new(|p| p + 25)),
         ("round", Box::new(|p| (p / 10) * 10)),
@@ -42,12 +42,11 @@ fn main() {
                 let new = f(p);
                 m.write(tx, 0, &new.to_le_bytes());
                 new
-            }) as Box<dyn FnOnce(&TxManager, &mut Tx) -> u64 + Send>
+            }) as worlds_tx::ParallelTxBody<u64>
         })
         .collect();
 
-    let (idx, committed) =
-        competing_parallel(&db, bodies).expect("one strategy validates first");
+    let (idx, committed) = competing_parallel(&db, bodies).expect("one strategy validates first");
     println!(
         "winner: {} (committed price {committed}); database version {}",
         names[idx],

@@ -15,7 +15,9 @@ fn demo(net: NetModel) {
     let mut cluster = Cluster::new(4, 4096, net);
     let origin = cluster.create_world(NodeId(0));
     for vpn in 0..18 {
-        cluster.write(origin, vpn, &[0xAA; 64]).expect("origin live");
+        cluster
+            .write(origin, vpn, &[0xAA; 64])
+            .expect("origin live");
     }
 
     let report = run_distributed_block(
@@ -39,7 +41,10 @@ fn demo(net: NetModel) {
     println!("outcome:        {:?}", report.outcome);
     println!("response time:  {}", report.wall);
     println!("  rfork (out):  {}", report.rfork_total);
-    println!("  commit (back):{} ({} dirty page(s))", report.commit_cost, report.pages_shipped);
+    println!(
+        "  commit (back):{} ({} dirty page(s))",
+        report.commit_cost, report.pages_shipped
+    );
     let committed = cluster.read(origin, 0, 19).expect("origin live");
     println!("committed state: {:?}", String::from_utf8_lossy(&committed));
     assert!(report.succeeded());

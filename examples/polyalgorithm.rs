@@ -17,7 +17,11 @@ use worlds_poly::PolyOutcome;
 
 fn describe(tag: &str, out: &PolyOutcome<f64>) {
     match out {
-        PolyOutcome::Solved { result, method, attempts } => {
+        PolyOutcome::Solved {
+            result,
+            method,
+            attempts,
+        } => {
             println!("{tag}: x = {result:.12} via {method} ({attempts} attempt(s)/rotations)")
         }
         PolyOutcome::Unsolved(k) => println!("{tag}: UNSOLVED; knowledge: {k:?}"),
@@ -31,7 +35,10 @@ fn main() {
     let friendly = ScalarProblem::new(|x| x * x * x - 2.0 * x - 5.0, 2.0).bracket(2.0, 3.0);
     describe("sequential   ", &poly.run_sequential(&friendly));
     let spec = Speculation::new();
-    describe("fastest-first", &poly.run_fastest_first(&spec, &friendly, None));
+    describe(
+        "fastest-first",
+        &poly.run_fastest_first(&spec, &friendly, None),
+    );
     println!(
         "committed method cell: {:?}",
         spec.read(|c| c.get_str("poly_method"))
@@ -48,10 +55,7 @@ fn main() {
     describe("fastest-first", &par);
 
     match (&seq, &par) {
-        (
-            PolyOutcome::Solved { result: a, .. },
-            PolyOutcome::Solved { result: b, .. },
-        ) => {
+        (PolyOutcome::Solved { result: a, .. }, PolyOutcome::Solved { result: b, .. }) => {
             assert!(a.abs() < 1e-6 && b.abs() < 1e-6, "the root of atan is 0");
             println!("\nboth drivers agree the root is ~0; the parallel one did not have to");
             println!("wait through the preferred method's divergence before starting the cure.");

@@ -49,12 +49,17 @@ fn main() {
     );
     show(&k, "observer (doubts)", observer);
     show(&k, "observer (believes)", accepting);
-    println!("\nboth copies share the ledger COW; {} live processes\n", k.live_processes());
+    println!(
+        "\nboth copies share the ledger COW; {} live processes\n",
+        k.live_processes()
+    );
 
     // Sibling messages would be ignored outright:
     k.send(methods[0], methods[1], "psst, rival");
     assert_eq!(k.deliver_next(methods[1]), Delivered::Ignored);
-    println!("(a message between rival siblings is ignored — their worlds are mutually exclusive)\n");
+    println!(
+        "(a message between rival siblings is ignored — their worlds are mutually exclusive)\n"
+    );
 
     // Method 1 wins the race.
     println!("method1 synchronizes first: alt_wait commits it\n");
@@ -66,7 +71,10 @@ fn main() {
 
     let surviving = k.process(observer).expect("the skeptic survives");
     assert!(surviving.predicates.is_resolved());
-    assert!(k.process(accepting).is_none(), "the believer died with method2");
+    assert!(
+        k.process(accepting).is_none(),
+        "the believer died with method2"
+    );
     assert_eq!(k.read_state(parent, 0, 15), b"shared input 42");
     println!(
         "\nthe skeptical observer survives with its assumptions resolved; the believing\n\

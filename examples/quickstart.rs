@@ -73,7 +73,11 @@ fn main() {
     println!("observable output: {:?}", spec.tty().output_strings());
 
     let expected = (1_000_000u64 * 999_999) / 2;
-    assert_eq!(committed, Some(expected), "exactly one correct result committed");
+    assert_eq!(
+        committed,
+        Some(expected),
+        "exactly one correct result committed"
+    );
     let _ = report
         .value
         .map(|v| assert_eq!(v, expected, "the winning value matches the committed state"));

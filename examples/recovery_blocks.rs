@@ -54,7 +54,10 @@ fn main() {
     println!("committed db: {:?}", spec.read(|c| c.get_str("db")));
     assert_eq!(
         r.outcome,
-        RecoveryOutcome::Accepted { label: "spare".into(), attempts: 2 }
+        RecoveryOutcome::Accepted {
+            label: "spare".into(),
+            attempts: 2
+        }
     );
     assert_eq!(
         spec.read(|c| c.get_str("db")).as_deref(),
@@ -64,7 +67,9 @@ fn main() {
 
     println!("\n--- parallel standby-spares (faulty primary again) ---");
     let spec2 = Speculation::new();
-    spec2.setup(|ctx| ctx.put_str("db", "ledger-v1")).expect("setup");
+    spec2
+        .setup(|ctx| ctx.put_str("db", "ledger-v1"))
+        .expect("setup");
     let r = build(plan).run_parallel(&spec2);
     println!("outcome: {:?} in {:?}", r.outcome, r.wall);
     println!("committed db: {:?}", spec2.read(|c| c.get_str("db")));
@@ -72,12 +77,17 @@ fn main() {
 
     println!("\n--- parallel with a healthy primary: primary wins ---");
     let spec3 = Speculation::new();
-    spec3.setup(|ctx| ctx.put_str("db", "ledger-v1")).expect("setup");
+    spec3
+        .setup(|ctx| ctx.put_str("db", "ledger-v1"))
+        .expect("setup");
     let r = build(FaultPlan::none()).run_parallel(&spec3);
     println!("outcome: {:?}", r.outcome);
     match r.outcome {
         RecoveryOutcome::Accepted { label, .. } => {
-            assert_eq!(label, "primary", "the fast healthy primary beats the sleepy spare")
+            assert_eq!(
+                label, "primary",
+                "the fast healthy primary beats the sleepy spare"
+            )
         }
         other => panic!("expected acceptance, got {other:?}"),
     }

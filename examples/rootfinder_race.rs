@@ -15,16 +15,25 @@ fn main() {
     let (poly, true_roots) = legendre_like(14);
     // A starved fixed-shift budget makes the algorithm angle-sensitive,
     // exactly the regime the paper exploits.
-    let cfg = JtConfig { stage2_iters: 10, stage3_iters: 10, ..JtConfig::default() };
+    let cfg = JtConfig {
+        stage2_iters: 10,
+        stage3_iters: 10,
+        ..JtConfig::default()
+    };
 
-    println!("polynomial: degree {} (clustered Legendre-like roots)", poly.degree());
+    println!(
+        "polynomial: degree {} (clustered Legendre-like roots)",
+        poly.degree()
+    );
     println!("\n--- sequential, one angle at a time ---");
     for &angle in &TEST_ANGLES[..4] {
         let t0 = Instant::now();
         match find_all_roots(&poly, angle, &cfg) {
             Ok(rep) => println!(
                 "angle {angle:>5.1}: ok, {} iterations, residual {:.2e}, {:?}",
-                rep.iterations, rep.max_residual, t0.elapsed()
+                rep.iterations,
+                rep.max_residual,
+                t0.elapsed()
             ),
             Err(e) => println!("angle {angle:>5.1}: FAILED ({e})"),
         }
@@ -39,9 +48,15 @@ fn main() {
     match &report.outcome {
         worlds::RunOutcome::Winner { label, .. } => {
             let result = report.value.as_ref().expect("winner carries its roots");
-            println!("winner: {label} after {} iterations, wall {wall:?}", result.iterations);
+            println!(
+                "winner: {label} after {} iterations, wall {wall:?}",
+                result.iterations
+            );
             let committed = committed_roots(&spec).expect("winner committed its roots");
-            println!("committed {} roots; checking against the constructed ones:", committed.len());
+            println!(
+                "committed {} roots; checking against the constructed ones:",
+                committed.len()
+            );
             let mut worst = 0.0f64;
             for r in &committed {
                 let d = true_roots
@@ -63,4 +78,12 @@ fn main() {
         "\n(the losers' speculative root cells were discarded with their worlds; \
          only the winner's survive in the committed state)"
     );
+
+    // WORLDS_OBS=1 (and optionally WORLDS_OBS_JSONL=run.jsonl) turn on the
+    // observability layer; the JSONL stream replays through `worlds-report`
+    // into this same table.
+    if let Some(summary) = spec.obs().summary() {
+        spec.obs().flush();
+        println!("\n--- worlds-obs run report ---\n{summary}");
+    }
 }

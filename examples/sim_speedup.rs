@@ -14,7 +14,11 @@ fn block(times_ms: &[f64]) -> BlockSpec {
         times_ms
             .iter()
             .enumerate()
-            .map(|(i, &ms)| AltSpec::new(format!("alt{i}")).compute_ms(ms).write_pages(20))
+            .map(|(i, &ms)| {
+                AltSpec::new(format!("alt{i}"))
+                    .compute_ms(ms)
+                    .write_pages(20)
+            })
             .collect(),
     )
     .shared_pages(160)
@@ -40,9 +44,21 @@ fn main() {
 
     // Dispersion sweep at fixed machine (HP 9000/350 with 4 CPUs).
     println!("-- dispersion sweep (4 alternatives, 4 CPUs, HP-class costs) --");
-    run("identical alts", CostModel::hp9000_350().with_cpus(4), &[400.0, 400.0, 400.0, 400.0]);
-    run("mild dispersion", CostModel::hp9000_350().with_cpus(4), &[400.0, 500.0, 600.0, 700.0]);
-    run("heavy dispersion", CostModel::hp9000_350().with_cpus(4), &[100.0, 900.0, 900.0, 900.0]);
+    run(
+        "identical alts",
+        CostModel::hp9000_350().with_cpus(4),
+        &[400.0, 400.0, 400.0, 400.0],
+    );
+    run(
+        "mild dispersion",
+        CostModel::hp9000_350().with_cpus(4),
+        &[400.0, 500.0, 600.0, 700.0],
+    );
+    run(
+        "heavy dispersion",
+        CostModel::hp9000_350().with_cpus(4),
+        &[100.0, 900.0, 900.0, 900.0],
+    );
 
     // Overhead sweep at fixed dispersion.
     println!("\n-- overhead sweep (same workload, fork cost scaled) --");
@@ -50,7 +66,9 @@ fn main() {
     for fork_ms in [0.0, 12.0, 31.0, 200.0, 1000.0] {
         run(
             &format!("fork = {fork_ms} ms"),
-            CostModel::hp9000_350().with_cpus(4).with_fork(VirtualTime::from_ms(fork_ms)),
+            CostModel::hp9000_350()
+                .with_cpus(4)
+                .with_fork(VirtualTime::from_ms(fork_ms)),
             &times,
         );
     }

@@ -120,8 +120,12 @@ fn cmd_prolog(args: &[String]) -> ExitCode {
 }
 
 fn cmd_roots(args: &[String]) -> ExitCode {
-    let Some((deg, rest)) = args.split_first() else { return usage() };
-    let Ok(degree): Result<usize, _> = deg.parse() else { return usage() };
+    let Some((deg, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Ok(degree): Result<usize, _> = deg.parse() else {
+        return usage();
+    };
     if degree == 0 || degree > 40 {
         eprintln!("mw: degree must be in 1..=40");
         return ExitCode::from(2);
@@ -145,7 +149,10 @@ fn cmd_roots(args: &[String]) -> ExitCode {
     );
     match report.value {
         Some(result) => {
-            println!("winner: angle {} after {} iterations", result.angle, result.iterations);
+            println!(
+                "winner: angle {} after {} iterations",
+                result.angle, result.iterations
+            );
             for r in &result.roots {
                 println!("  {r}");
             }
@@ -160,8 +167,7 @@ fn cmd_roots(args: &[String]) -> ExitCode {
 
 fn cmd_model(args: &[String]) -> ExitCode {
     let [r_mu, r_o] = args else { return usage() };
-    let (Ok(r_mu), Ok(r_o)): (Result<f64, _>, Result<f64, _>) = (r_mu.parse(), r_o.parse())
-    else {
+    let (Ok(r_mu), Ok(r_o)): (Result<f64, _>, Result<f64, _>) = (r_mu.parse(), r_o.parse()) else {
         return usage();
     };
     if !(r_mu.is_finite() && r_mu >= 0.0 && r_o.is_finite() && r_o >= 0.0) {
@@ -169,15 +175,33 @@ fn cmd_model(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     }
     let m = PerfModel::new(r_mu, r_o);
-    println!("PI = {:.4}  ({})", m.pi(), if m.wins() { "speculation wins" } else { "loses" });
-    println!("break-even R_mu at this overhead: {:.4}", m.break_even_r_mu());
-    println!("overhead budget at this dispersion: {:.4}", m.break_even_r_o());
+    println!(
+        "PI = {:.4}  ({})",
+        m.pi(),
+        if m.wins() {
+            "speculation wins"
+        } else {
+            "loses"
+        }
+    );
+    println!(
+        "break-even R_mu at this overhead: {:.4}",
+        m.break_even_r_mu()
+    );
+    println!(
+        "overhead budget at this dispersion: {:.4}",
+        m.break_even_r_o()
+    );
     ExitCode::SUCCESS
 }
 
 fn cmd_sim(args: &[String], traced: bool) -> ExitCode {
-    let Some((name, rest)) = args.split_first() else { return usage() };
-    let Some(cost) = machine(name) else { return usage() };
+    let Some((name, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Some(cost) = machine(name) else {
+        return usage();
+    };
     let Ok(durations): Result<Vec<f64>, _> = rest.iter().map(|a| a.parse()).collect() else {
         return usage();
     };
@@ -188,7 +212,11 @@ fn cmd_sim(args: &[String], traced: bool) -> ExitCode {
         durations
             .iter()
             .enumerate()
-            .map(|(i, &ms)| AltSpec::new(format!("alt{i}")).compute_ms(ms).write_pages(20))
+            .map(|(i, &ms)| {
+                AltSpec::new(format!("alt{i}"))
+                    .compute_ms(ms)
+                    .write_pages(20)
+            })
             .collect(),
     );
     let mut m = Machine::new(cost);
@@ -212,7 +240,9 @@ fn cmd_sim(args: &[String], traced: bool) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = args.split_first() else { return usage() };
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
     match cmd.as_str() {
         "race" => cmd_race(rest),
         "prolog" => cmd_prolog(rest),

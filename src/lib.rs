@@ -27,8 +27,8 @@ pub use worlds_pagestore;
 pub use worlds_poly;
 pub use worlds_predicate;
 pub use worlds_prolog;
-pub use worlds_remote;
 pub use worlds_recovery;
+pub use worlds_remote;
 pub use worlds_rootfinder;
 pub use worlds_tx;
 

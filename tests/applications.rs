@@ -22,12 +22,19 @@ fn rootfinder_race_commits_verified_roots() {
         &JtConfig::default(),
         Some(Duration::from_secs(30)),
     );
-    assert!(report.succeeded(), "default budgets converge: {:?}", report.outcome);
+    assert!(
+        report.succeeded(),
+        "default budgets converge: {:?}",
+        report.outcome
+    );
     let committed = committed_roots(&spec).expect("winner wrote its roots");
     assert_eq!(committed.len(), expected.len());
     // Every committed root is near some constructed root.
     for r in &committed {
-        let d = expected.iter().map(|t| (*r - *t).abs()).fold(f64::INFINITY, f64::min);
+        let d = expected
+            .iter()
+            .map(|t| (*r - *t).abs())
+            .fold(f64::INFINITY, f64::min);
         assert!(d < 1e-4, "root {r} is {d} from the nearest true root");
     }
 }
@@ -91,7 +98,10 @@ fn recovery_block_full_pipeline_with_speculative_file_state() {
     let r = block.run_sequential(&spec);
     assert!(matches!(r.outcome, RecoveryOutcome::Accepted { .. }));
     let committed = spec.read(|c| c.get_str("account")).unwrap();
-    assert!(committed.contains("balance="), "no corruption committed: {committed}");
+    assert!(
+        committed.contains("balance="),
+        "no corruption committed: {committed}"
+    );
     assert_ne!(committed, "###");
 }
 
@@ -120,5 +130,9 @@ fn sequential_then_parallel_blocks_compose_over_one_session() {
         );
         assert!(report.succeeded());
     }
-    assert_eq!(spec.read(|c| c.get_u64("v")), Some(81), "3^4 via four committed blocks");
+    assert_eq!(
+        spec.read(|c| c.get_u64("v")),
+        Some(81),
+        "3^4 via four committed blocks"
+    );
 }

@@ -43,15 +43,25 @@ fn table1_shape_matches_paper() {
 
     // Column sanity.
     for r in &rows {
-        assert!(r.max_s >= r.avg_s && r.avg_s >= r.min_s, "ordering in {r:?}");
+        assert!(
+            r.max_s >= r.avg_s && r.avg_s >= r.min_s,
+            "ordering in {r:?}"
+        );
         assert!(r.par_s.is_finite(), "parallel run must finish: {r:?}");
     }
     // Speculation wins at 2 processes: par < avg (paper: 4.25 < 4.28).
-    assert!(rows[1].par_s < rows[1].avg_s, "2-proc win lost: {:?}", rows[1]);
+    assert!(
+        rows[1].par_s < rows[1].avg_s,
+        "2-proc win lost: {:?}",
+        rows[1]
+    );
     // Oversubscription degrades par beyond the 2 CPUs (paper: 8.61 at 5).
     assert!(rows[4].par_s > rows[1].par_s);
     // fails appears by 5 processes (paper: 2 fails at procs = 5).
-    assert!(rows[4].fails >= 1, "fails column must be nonzero at 5 procs");
+    assert!(
+        rows[4].fails >= 1,
+        "fails column must be nonzero at 5 procs"
+    );
     assert_eq!(rows[0].fails, 0, "the first angle succeeds");
 }
 
@@ -77,8 +87,20 @@ fn domain_analysis_over_simulated_workloads() {
     let inputs = 6usize;
     let alt_time = |alt: usize, input: usize| -> f64 {
         match alt {
-            0 => if input.is_multiple_of(2) { 50.0 } else { 450.0 },
-            _ => if input.is_multiple_of(2) { 450.0 } else { 50.0 },
+            0 => {
+                if input.is_multiple_of(2) {
+                    50.0
+                } else {
+                    450.0
+                }
+            }
+            _ => {
+                if input.is_multiple_of(2) {
+                    450.0
+                } else {
+                    50.0
+                }
+            }
         }
     };
     let mut times = vec![vec![0.0; inputs]; 2];
@@ -103,7 +125,10 @@ fn domain_analysis_over_simulated_workloads() {
     let d = DomainAnalysis::new(times, overhead_ms);
     assert_eq!(d.win_fraction(), 1.0, "complementary alts win everywhere");
     assert!(d.domain_pi() > 2.0, "domain PI {}", d.domain_pi());
-    assert!(d.complementarity() > 0.5, "mirrored algorithms are complementary");
+    assert!(
+        d.complementarity() > 0.5,
+        "mirrored algorithms are complementary"
+    );
     assert_eq!(d.winner_histogram(), vec![3, 3]);
     assert_eq!(wall_wins, inputs, "the simulator agrees input by input");
 }

@@ -7,9 +7,7 @@
 use std::time::Duration;
 
 use multiple_worlds::worlds::{AltBlock, AltError, ElimMode, Speculation};
-use multiple_worlds::worlds_kernel::{
-    AltSpec, BlockSpec, CostModel, Machine, Outcome,
-};
+use multiple_worlds::worlds_kernel::{AltSpec, BlockSpec, CostModel, Machine, Outcome};
 
 /// The shared abstract scenario: three alternatives with distinct speed
 /// classes; the middle one's guard fails; the fast one's guard passes.
@@ -40,7 +38,13 @@ fn simulator_picks_the_expected_winner() {
     );
     let mut m = Machine::new(CostModel::modern(3));
     let r = m.run_block(&block);
-    assert_eq!(r.outcome, Outcome::Winner { index: 0, label: "fast".into() });
+    assert_eq!(
+        r.outcome,
+        Outcome::Winner {
+            index: 0,
+            label: "fast".into()
+        }
+    );
 }
 
 #[test]
@@ -93,7 +97,10 @@ fn fork_backend_picks_the_expected_winner() {
             Ok(1)
         }));
     }
-    let report = ForkRace::new(alts).elim(ForkElim::Sync).run().expect("race runs");
+    let report = ForkRace::new(alts)
+        .elim(ForkElim::Sync)
+        .run()
+        .expect("race runs");
     match &report.outcome {
         ForkOutcome::Winner { index, label, .. } => {
             assert_eq!(*index, 0);

@@ -5,9 +5,7 @@
 
 use std::time::Duration;
 
-use multiple_worlds::worlds::{
-    AltBlock, AltError, Alternative, ElimMode, RunOutcome, Speculation,
-};
+use multiple_worlds::worlds::{AltBlock, AltError, Alternative, ElimMode, RunOutcome, Speculation};
 use multiple_worlds::worlds_kernel::{
     AltSpec, BlockSpec, CostModel, Machine, Outcome, VirtualTime,
 };
@@ -113,7 +111,13 @@ fn simulator_and_thread_executor_agree_on_winner_identity() {
         AltSpec::new("slow").compute_ms(500.0),
         AltSpec::new("fast").compute_ms(5.0),
     ]));
-    assert_eq!(sim.outcome, Outcome::Winner { index: 1, label: "fast".into() });
+    assert_eq!(
+        sim.outcome,
+        Outcome::Winner {
+            index: 1,
+            label: "fast".into()
+        }
+    );
 
     let spec = Speculation::new();
     let threaded = spec.run(
@@ -134,7 +138,11 @@ fn simulator_and_thread_executor_agree_on_winner_identity() {
 #[test]
 fn sim_guard_placements_preserve_the_winner_set() {
     use multiple_worlds::worlds_kernel::GuardPlacement;
-    for placement in [GuardPlacement::PreSpawn, GuardPlacement::InChild, GuardPlacement::AtSync] {
+    for placement in [
+        GuardPlacement::PreSpawn,
+        GuardPlacement::InChild,
+        GuardPlacement::AtSync,
+    ] {
         let mut machine = Machine::new(CostModel::hp9000_350().with_cpus(2));
         let report = machine.run_block(
             &BlockSpec::new(vec![
@@ -145,7 +153,10 @@ fn sim_guard_placements_preserve_the_winner_set() {
         );
         assert_eq!(
             report.outcome,
-            Outcome::Winner { index: 1, label: "good".into() },
+            Outcome::Winner {
+                index: 1,
+                label: "good".into()
+            },
             "placement {placement:?} changed the winner"
         );
     }
@@ -157,8 +168,10 @@ fn sim_timeout_value_from_the_paper_recipe() {
     // unacceptable to the application".
     let mut machine = Machine::new(CostModel::ideal(1));
     let report = machine.run_block(
-        &BlockSpec::new(vec![AltSpec::new("too-slow").compute(VirtualTime::from_secs(60.0))])
-            .timeout(VirtualTime::from_secs(1.0)),
+        &BlockSpec::new(vec![
+            AltSpec::new("too-slow").compute(VirtualTime::from_secs(60.0))
+        ])
+        .timeout(VirtualTime::from_secs(1.0)),
     );
     assert_eq!(report.outcome, Outcome::TimedOut);
     assert_eq!(report.wall, VirtualTime::from_secs(1.0));

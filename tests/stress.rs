@@ -32,7 +32,11 @@ fn fifty_sequential_blocks_leak_nothing() {
                 })
                 .elim(ElimMode::Sync),
         );
-        assert!(report.succeeded(), "round {round} failed: {:?}", report.outcome);
+        assert!(
+            report.succeeded(),
+            "round {round} failed: {:?}",
+            report.outcome
+        );
         assert_eq!(spec.store().world_count(), 1, "leak after round {round}");
     }
 
@@ -82,7 +86,11 @@ fn wide_blocks_with_heavy_state() {
     for i in 0..40u64 {
         let seg = spec.read(|c| c.get_bytes(&format!("seg{i}"))).unwrap();
         if seg[0] & 0xF0 == 0xF0 {
-            assert_eq!(seg[0], 0xF0 | winner as u8, "foreign write leaked into seg{i}");
+            assert_eq!(
+                seg[0],
+                0xF0 | winner as u8,
+                "foreign write leaked into seg{i}"
+            );
             signed += 1;
         }
     }
@@ -96,7 +104,11 @@ fn deeply_nested_blocks_commit_transitively() {
     let spec = Speculation::new();
     spec.setup(|c| c.put_u64("acc", 1)).unwrap();
 
-    fn nest(session: &Speculation, ctx: &mut multiple_worlds::worlds::WorldCtx, depth: u32) -> Result<(), AltError> {
+    fn nest(
+        session: &Speculation,
+        ctx: &mut multiple_worlds::worlds::WorldCtx,
+        depth: u32,
+    ) -> Result<(), AltError> {
         let v = ctx.get_u64("acc").unwrap();
         ctx.put_u64("acc", v * 2)?;
         if depth > 0 {
@@ -128,6 +140,10 @@ fn deeply_nested_blocks_commit_transitively() {
             .elim(ElimMode::Sync),
     );
     assert!(report.succeeded());
-    assert_eq!(spec.read(|c| c.get_u64("acc")), Some(16), "2^4 through 4 nested commits");
+    assert_eq!(
+        spec.read(|c| c.get_u64("acc")),
+        Some(16),
+        "2^4 through 4 nested commits"
+    );
     assert_eq!(spec.store().world_count(), 1);
 }

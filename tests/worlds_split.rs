@@ -116,7 +116,11 @@ fn multi_hop_speculation_chains_resolve_correctly() {
     for (&hop, &bel) in hops.iter().zip(&believers) {
         assert!(eliminated.contains(&hop), "skeptic hop should die");
         let p = k.process(bel).expect("believer survives");
-        assert!(p.predicates.is_resolved(), "all assumptions resolved: {}", p.predicates);
+        assert!(
+            p.predicates.is_resolved(),
+            "all assumptions resolved: {}",
+            p.predicates
+        );
     }
 }
 

@@ -1,0 +1,40 @@
+//! Multi-thread contention: 4 worlds writing disjoint pages concurrently,
+//! on the sharded store vs the preserved global-lock baseline. The same
+//! workload backs the `bench-baseline` bin that records
+//! `BENCH_pagestore.json`; this bench exists so `cargo bench` tracks the
+//! number over time. Pass `--quick` semantics by env: one iteration is a
+//! full workload run, so sample counts are kept small.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use worlds_bench::baseline::GlobalLockStore;
+use worlds_bench::contention::{disjoint_write_elapsed, ContentionConfig, CowStore};
+use worlds_pagestore::PageStore;
+
+fn run<S: CowStore>(c: &mut Criterion, name: &str, store: S) {
+    let cfg = ContentionConfig::default();
+    let mut g = c.benchmark_group("contention");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(100));
+    g.bench_function(format!("disjoint_writes_4_worlds/{name}"), |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| disjoint_write_elapsed(&store, &cfg))
+                .sum()
+        });
+    });
+    g.finish();
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let cfg = ContentionConfig::default();
+    run(c, "sharded", PageStore::new(cfg.page_size));
+}
+
+fn bench_global_lock(c: &mut Criterion) {
+    let cfg = ContentionConfig::default();
+    run(c, "global_lock", GlobalLockStore::new(cfg.page_size));
+}
+
+criterion_group!(benches, bench_sharded, bench_global_lock);
+criterion_main!(benches);

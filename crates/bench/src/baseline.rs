@@ -1,0 +1,183 @@
+//! The pre-sharding page store, preserved verbatim as a benchmark baseline.
+//!
+//! This is the algorithm `worlds-pagestore` shipped with before the sharded
+//! rewrite: every world hangs off one `Arc<RwLock<Inner>>`, and a CoW fault
+//! deep-copies the page *while holding the global write lock*. The contention
+//! bench runs the same workload against this store and the real one so
+//! `BENCH_pagestore.json` records an honest before/after pair.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A world handle in the baseline store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineWorld(u64);
+
+struct Frame {
+    refs: u32,
+    data: Box<[u8]>,
+}
+
+#[derive(Default)]
+struct Inner {
+    frames: Vec<Option<Frame>>,
+    free: Vec<usize>,
+    worlds: HashMap<u64, BTreeMap<u64, usize>>,
+    next_world: u64,
+}
+
+impl Inner {
+    fn alloc(&mut self, data: Box<[u8]>) -> usize {
+        let frame = Frame { refs: 1, data };
+        match self.free.pop() {
+            Some(idx) => {
+                self.frames[idx] = Some(frame);
+                idx
+            }
+            None => {
+                self.frames.push(Some(frame));
+                self.frames.len() - 1
+            }
+        }
+    }
+
+    fn decref(&mut self, idx: usize) {
+        let f = self.frames[idx].as_mut().expect("live frame");
+        f.refs -= 1;
+        if f.refs == 0 {
+            self.frames[idx] = None;
+            self.free.push(idx);
+        }
+    }
+}
+
+/// Single-global-lock copy-on-write store (the old `PageStore` algorithm).
+#[derive(Clone)]
+pub struct GlobalLockStore {
+    inner: Arc<RwLock<Inner>>,
+    page_size: usize,
+}
+
+impl GlobalLockStore {
+    /// An empty store with the given page size.
+    pub fn new(page_size: usize) -> Self {
+        GlobalLockStore {
+            inner: Arc::new(RwLock::new(Inner::default())),
+            page_size,
+        }
+    }
+
+    /// Create a fresh root world.
+    pub fn create_world(&self) -> BaselineWorld {
+        let mut inner = self.inner.write();
+        inner.next_world += 1;
+        let id = inner.next_world;
+        inner.worlds.insert(id, BTreeMap::new());
+        BaselineWorld(id)
+    }
+
+    /// Fork a child sharing every page copy-on-write. The map clone and
+    /// refcount sweep run under the global write lock, as they used to.
+    pub fn fork_world(&self, parent: BaselineWorld) -> BaselineWorld {
+        let mut inner = self.inner.write();
+        let map = inner.worlds[&parent.0].clone();
+        for &idx in map.values() {
+            inner.frames[idx].as_mut().expect("live frame").refs += 1;
+        }
+        inner.next_world += 1;
+        let id = inner.next_world;
+        inner.worlds.insert(id, map);
+        BaselineWorld(id)
+    }
+
+    /// Write one byte at `(vpn, offset)`. Zero fill and CoW deep copy both
+    /// happen while the global write lock is held — the behaviour the
+    /// sharded store was built to eliminate.
+    pub fn write(&self, world: BaselineWorld, vpn: u64, offset: usize, data: &[u8]) {
+        let mut inner = self.inner.write();
+        let end = offset + data.len();
+        assert!(end <= self.page_size, "out of page bounds");
+        match inner.worlds[&world.0].get(&vpn).copied() {
+            None => {
+                let mut page = vec![0u8; self.page_size].into_boxed_slice();
+                page[offset..end].copy_from_slice(data);
+                let idx = inner.alloc(page);
+                inner
+                    .worlds
+                    .get_mut(&world.0)
+                    .expect("live world")
+                    .insert(vpn, idx);
+            }
+            Some(idx) => {
+                let refs = inner.frames[idx].as_ref().expect("live frame").refs;
+                if refs == 1 {
+                    let f = inner.frames[idx].as_mut().expect("live frame");
+                    f.data[offset..end].copy_from_slice(data);
+                } else {
+                    // The deep copy, under the store-wide write lock.
+                    let mut page = inner.frames[idx].as_ref().expect("live frame").data.clone();
+                    page[offset..end].copy_from_slice(data);
+                    let new = inner.alloc(page);
+                    inner
+                        .worlds
+                        .get_mut(&world.0)
+                        .expect("live world")
+                        .insert(vpn, new);
+                    inner.decref(idx);
+                }
+            }
+        }
+    }
+
+    /// Read `len` bytes; the copy-out happens under the global read lock.
+    pub fn read_vec(&self, world: BaselineWorld, vpn: u64, offset: usize, len: usize) -> Vec<u8> {
+        let inner = self.inner.read();
+        match inner.worlds[&world.0].get(&vpn) {
+            Some(&idx) => {
+                inner.frames[idx].as_ref().expect("live frame").data[offset..offset + len].to_vec()
+            }
+            None => vec![0; len],
+        }
+    }
+
+    /// Drop a world, releasing its references.
+    pub fn drop_world(&self, world: BaselineWorld) {
+        let mut inner = self.inner.write();
+        let map = inner.worlds.remove(&world.0).expect("live world");
+        for &idx in map.values() {
+            inner.decref(idx);
+        }
+    }
+
+    /// Live frames, for sanity checks.
+    pub fn live_frames(&self) -> usize {
+        self.inner
+            .read()
+            .frames
+            .iter()
+            .filter(|f| f.is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_store_cows_like_the_real_one() {
+        let s = GlobalLockStore::new(64);
+        let parent = s.create_world();
+        s.write(parent, 0, 0, &[1]);
+        let child = s.fork_world(parent);
+        assert_eq!(s.live_frames(), 1, "fork copies nothing");
+        s.write(child, 0, 0, &[2]);
+        assert_eq!(s.live_frames(), 2, "first write faults one copy");
+        assert_eq!(s.read_vec(parent, 0, 0, 1), vec![1]);
+        assert_eq!(s.read_vec(child, 0, 0, 1), vec![2]);
+        s.drop_world(child);
+        assert_eq!(s.live_frames(), 1);
+    }
+}

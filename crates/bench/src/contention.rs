@@ -1,0 +1,170 @@
+//! The multi-world contention workload: N worlds writing disjoint pages
+//! from N real threads, shared by the criterion bench and the
+//! `bench-baseline` bin so both measure exactly the same thing.
+//!
+//! Each world CoW-faults its own page range once, then keeps rewriting it
+//! (the in-place path). On the old global-lock store every one of those
+//! writes serialises on the store-wide `RwLock`; on the sharded store the
+//! four worlds live in four different shards and never touch the same lock.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::baseline::{BaselineWorld, GlobalLockStore};
+use worlds_pagestore::{PageStore, WorldId};
+
+/// Workload shape. The defaults match the numbers recorded in
+/// `BENCH_pagestore.json`.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentionConfig {
+    /// Concurrent worlds (= threads).
+    pub worlds: usize,
+    /// Pages in each world's private range.
+    pub pages_per_world: u64,
+    /// Full rewrites of the range per world.
+    pub rounds: usize,
+    /// Store page size in bytes.
+    pub page_size: usize,
+}
+
+impl Default for ContentionConfig {
+    fn default() -> Self {
+        ContentionConfig {
+            worlds: 4,
+            pages_per_world: 64,
+            rounds: 50,
+            page_size: 2048,
+        }
+    }
+}
+
+impl ContentionConfig {
+    /// Total write operations one run performs.
+    pub fn total_writes(&self) -> u64 {
+        self.worlds as u64 * self.pages_per_world * self.rounds as u64
+    }
+}
+
+/// The store operations the workload needs, implemented by both the real
+/// sharded store and the preserved global-lock baseline.
+pub trait CowStore: Clone + Send + Sync + 'static {
+    /// World handle type.
+    type World: Copy + Send + 'static;
+    /// Create a root world.
+    fn create_world(&self) -> Self::World;
+    /// Fork a copy-on-write child.
+    fn fork_world(&self, parent: Self::World) -> Self::World;
+    /// Write bytes into a page.
+    fn write(&self, world: Self::World, vpn: u64, offset: usize, data: &[u8]);
+    /// Destroy a world.
+    fn drop_world(&self, world: Self::World);
+}
+
+impl CowStore for PageStore {
+    type World = WorldId;
+    fn create_world(&self) -> WorldId {
+        PageStore::create_world(self)
+    }
+    fn fork_world(&self, parent: WorldId) -> WorldId {
+        PageStore::fork_world(self, parent).expect("parent live")
+    }
+    fn write(&self, world: WorldId, vpn: u64, offset: usize, data: &[u8]) {
+        PageStore::write(self, world, vpn, offset, data).expect("world live")
+    }
+    fn drop_world(&self, world: WorldId) {
+        PageStore::drop_world(self, world).expect("world live")
+    }
+}
+
+impl CowStore for GlobalLockStore {
+    type World = BaselineWorld;
+    fn create_world(&self) -> BaselineWorld {
+        GlobalLockStore::create_world(self)
+    }
+    fn fork_world(&self, parent: BaselineWorld) -> BaselineWorld {
+        GlobalLockStore::fork_world(self, parent)
+    }
+    fn write(&self, world: BaselineWorld, vpn: u64, offset: usize, data: &[u8]) {
+        GlobalLockStore::write(self, world, vpn, offset, data)
+    }
+    fn drop_world(&self, world: BaselineWorld) {
+        GlobalLockStore::drop_world(self, world)
+    }
+}
+
+/// Run the workload once and return the wall time of the threaded phase
+/// (setup — parent population and forks — is not timed).
+pub fn disjoint_write_elapsed<S: CowStore>(store: &S, cfg: &ContentionConfig) -> Duration {
+    let parent = store.create_world();
+    for vpn in 0..(cfg.worlds as u64 * cfg.pages_per_world) {
+        store.write(parent, vpn, 0, &[0xAA]);
+    }
+    let kids: Vec<S::World> = (0..cfg.worlds).map(|_| store.fork_world(parent)).collect();
+    let barrier = Arc::new(Barrier::new(cfg.worlds + 1));
+    let handles: Vec<_> = kids
+        .iter()
+        .enumerate()
+        .map(|(i, &world)| {
+            let store = store.clone();
+            let barrier = Arc::clone(&barrier);
+            let base = i as u64 * cfg.pages_per_world;
+            let pages = cfg.pages_per_world;
+            let rounds = cfg.rounds;
+            thread::spawn(move || {
+                barrier.wait();
+                for round in 0..rounds {
+                    for vpn in base..base + pages {
+                        store.write(world, vpn, 0, &[round as u8]);
+                    }
+                }
+            })
+        })
+        .collect();
+    // Clock starts before the barrier release: once the last party arrives
+    // every worker begins, and on a loaded scheduler the workers may finish
+    // before this thread runs again, so timing must bracket the release.
+    let t0 = Instant::now();
+    barrier.wait();
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    let elapsed = t0.elapsed();
+    for world in kids {
+        store.drop_world(world);
+    }
+    store.drop_world(parent);
+    elapsed
+}
+
+/// Best-of-`reps` throughput in writes/second.
+pub fn best_throughput<S: CowStore>(store: &S, cfg: &ContentionConfig, reps: usize) -> f64 {
+    let best = (0..reps.max(1))
+        .map(|_| disjoint_write_elapsed(store, cfg))
+        .min()
+        .expect("at least one rep");
+    cfg.total_writes() as f64 / best.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_runs_on_both_stores() {
+        let cfg = ContentionConfig {
+            worlds: 4,
+            pages_per_world: 8,
+            rounds: 2,
+            page_size: 256,
+        };
+        let sharded = PageStore::new(cfg.page_size);
+        let d1 = disjoint_write_elapsed(&sharded, &cfg);
+        assert_eq!(sharded.live_frames(), 0, "workload must clean up");
+        let global = GlobalLockStore::new(cfg.page_size);
+        let d2 = disjoint_write_elapsed(&global, &cfg);
+        assert_eq!(global.live_frames(), 0, "workload must clean up");
+        assert!(d1.as_nanos() > 0 && d2.as_nanos() > 0);
+        assert_eq!(cfg.total_writes(), 4 * 8 * 2);
+    }
+}

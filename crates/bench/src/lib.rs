@@ -19,6 +19,8 @@
 //! closed-form curves), the Table I workload and row builder, and plain
 //! text table rendering.
 
+pub mod baseline;
+pub mod contention;
 pub mod domain_exp;
 pub mod measured;
 pub mod table1;

@@ -928,4 +928,64 @@ mod tests {
             "only the root world survives"
         );
     }
+
+    /// Regression: async elimination drops the loser's world from a detached
+    /// thread *after* the winner has been adopted into the root. That drop
+    /// must release only frames the loser held privately — never a frame the
+    /// winner (now the root) still maps, even though both worlds forked the
+    /// same pages.
+    #[test]
+    fn async_elimination_never_frees_winner_mapped_frames() {
+        let spec = Speculation::new();
+        spec.setup(|c| {
+            c.put_u64("a", 100)?;
+            c.put_u64("b", 101)?;
+            c.put_u64("c", 102)?;
+            c.put_u64("d", 103)
+        })
+        .unwrap();
+        let r = spec.run(
+            AltBlock::new()
+                .alt("wins", |ctx| {
+                    ctx.put_u64("a", 42)?;
+                    Ok(1u8)
+                })
+                .alt("slow-loser", |ctx| {
+                    // Touch the same shared pages as the winner, then outlive
+                    // the commit so this world is torn down in the background
+                    // while the root already maps the winner's frames.
+                    ctx.put_u64("a", 7)?;
+                    ctx.put_u64("b", 8)?;
+                    std::thread::sleep(Duration::from_millis(60));
+                    ctx.put_u64("c", 9)?;
+                    Ok(2u8)
+                })
+                .elim(ElimMode::Async),
+        );
+        assert_eq!(r.winner_label(), Some("wins"));
+
+        // Wait for the detached loser thread to finish its drop_world.
+        for _ in 0..400 {
+            if spec.store().world_count() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(spec.store().world_count(), 1, "loser world reclaimed");
+
+        // Every page the winner committed is still readable with the
+        // winner's content — nothing was freed out from under the root.
+        assert_eq!(spec.read(|c| c.get_u64("a")), Some(42));
+        assert_eq!(spec.read(|c| c.get_u64("b")), Some(101));
+        assert_eq!(spec.read(|c| c.get_u64("c")), Some(102));
+        assert_eq!(spec.read(|c| c.get_u64("d")), Some(103));
+
+        // And the frame table balances exactly: the surviving root accounts
+        // for every live frame, so the loser freed its frames and no others.
+        let live = spec
+            .store()
+            .verify_refcounts()
+            .expect("refcount invariant after async elimination");
+        assert_eq!(live, spec.store().live_frames());
+    }
 }

@@ -34,6 +34,11 @@ pub enum EventKind {
     CowCopy { vpn: u64, bytes: u64 },
     /// A write fault materialised a fresh zero page.
     ZeroFill { vpn: u64 },
+    /// `frames` physical frames lost their last reference and were freed
+    /// (world drop, adopt replacing the parent's map, or a COW fault racing
+    /// a sibling drop). Emitting this keeps `frames_resident` pure event
+    /// arithmetic, so JSONL replay reconstructs the gauge exactly.
+    FrameFree { frames: u64 },
     /// A world's pages were serialised to a checkpoint image.
     Checkpoint {
         pages: u64,
@@ -73,6 +78,7 @@ impl EventKind {
             EventKind::Timeout => "timeout",
             EventKind::CowCopy { .. } => "cow_copy",
             EventKind::ZeroFill { .. } => "zero_fill",
+            EventKind::FrameFree { .. } => "frame_free",
             EventKind::Checkpoint { .. } => "checkpoint",
             EventKind::MsgAccept => "msg_accept",
             EventKind::MsgExtend => "msg_extend",
@@ -150,6 +156,7 @@ impl Event {
                 push_field(&mut s, "bytes", *bytes);
             }
             EventKind::ZeroFill { vpn } => push_field(&mut s, "vpn", *vpn),
+            EventKind::FrameFree { frames } => push_field(&mut s, "frames", *frames),
             EventKind::Checkpoint {
                 pages,
                 bytes,
@@ -215,6 +222,9 @@ impl Event {
             },
             "zero_fill" => EventKind::ZeroFill {
                 vpn: fields.u64_field("vpn")?,
+            },
+            "frame_free" => EventKind::FrameFree {
+                frames: fields.u64_field("frames")?,
             },
             "checkpoint" => EventKind::Checkpoint {
                 pages: fields.u64_field("pages")?,
@@ -420,6 +430,7 @@ mod tests {
                 bytes: 4096,
             },
             EventKind::ZeroFill { vpn: 9 },
+            EventKind::FrameFree { frames: 3 },
             EventKind::Checkpoint {
                 pages: 5,
                 bytes: 20480,

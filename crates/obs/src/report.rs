@@ -42,6 +42,8 @@ counter_struct! {
         pub zero_fills,
         /// Bytes physically copied by CoW.
         pub bytes_copied,
+        /// Frames freed (last reference dropped).
+        pub frames_freed,
         /// Checkpoint images written.
         pub checkpoints,
         /// Total checkpoint image bytes.
@@ -90,6 +92,10 @@ pub struct RunStats {
     /// remote::cluster counters.
     pub remote: RemoteCounters,
     /// Frames currently resident in the page store (level, not count).
+    /// Pure event arithmetic — `CowCopy`/`ZeroFill` raise it, `FrameFree`
+    /// lowers it — so JSONL replay reconstructs it exactly. It counts
+    /// frames materialised since this registry attached: a store carrying
+    /// pages from before attachment reports correspondingly fewer.
     pub frames_resident: Gauge,
     /// Commit overhead per winning world (virtual ns).
     pub commit_latency: Histogram,
@@ -129,10 +135,16 @@ impl RunStats {
                 self.pagestore.faults.incr();
                 self.pagestore.page_copies.incr();
                 self.pagestore.bytes_copied.add(*bytes);
+                self.frames_resident.add(1);
             }
             EventKind::ZeroFill { .. } => {
                 self.pagestore.faults.incr();
                 self.pagestore.zero_fills.incr();
+                self.frames_resident.add(1);
+            }
+            EventKind::FrameFree { frames } => {
+                self.pagestore.frames_freed.add(*frames);
+                self.frames_resident.sub(*frames);
             }
             EventKind::Checkpoint {
                 bytes, duration_ns, ..
@@ -245,6 +257,7 @@ mod tests {
             bytes: 4096,
         }));
         s.absorb(&ev(EventKind::ZeroFill { vpn: 2 }));
+        s.absorb(&ev(EventKind::FrameFree { frames: 1 }));
         s.absorb(&ev(EventKind::Checkpoint {
             pages: 2,
             bytes: 8192,
@@ -279,6 +292,12 @@ mod tests {
         assert_eq!(s.pagestore.page_copies.get(), 1);
         assert_eq!(s.pagestore.zero_fills.get(), 1);
         assert_eq!(s.pagestore.bytes_copied.get(), 4096);
+        assert_eq!(s.pagestore.frames_freed.get(), 1);
+        assert_eq!(
+            s.frames_resident.get(),
+            1,
+            "one CoW + one zero-fill - one free"
+        );
         assert_eq!(s.pagestore.checkpoints.get(), 1);
         assert_eq!(s.ipc.snapshot().iter().map(|(_, v)| v).sum::<u64>(), 4);
         assert_eq!(s.remote.rpc_sends.get(), 1);

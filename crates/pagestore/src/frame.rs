@@ -3,6 +3,21 @@
 //! Worlds share frames until someone writes; the reference count is what
 //! tells a write whether it may mutate in place (count == 1) or must copy
 //! (count > 1) — the core of copy-on-write.
+//!
+//! The table is concurrent and its slot-access path is lock-free: slots
+//! live in fixed-size chunks that are allocated once and never move, so
+//! reaching a slot is two array indexings and one `OnceLock` load — no
+//! table-wide lock. Reference counts are atomics; page contents sit behind
+//! an `Arc` guarded by a tiny per-frame mutex; freed page buffers are
+//! recycled through a bounded pool so sibling elimination returns memory to
+//! the next fault instead of the allocator. The store's shard locks (not
+//! this table) decide *when* a frame may be mutated; this table only makes
+//! each individual operation atomic.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
 
 use crate::page::PageData;
 
@@ -17,101 +32,232 @@ impl FrameId {
     }
 }
 
-/// One slot in the frame table.
+/// Freed page buffers kept for reuse; beyond this the allocator takes over.
+const POOL_MAX: usize = 256;
+
+/// Slots per chunk (chunks are allocated whole and never move).
+const CHUNK_SIZE: usize = 1024;
+
+/// Upper bound on chunks: 4 Mi frames, far beyond any workload here.
+const MAX_CHUNKS: usize = 4096;
+
+/// One slot in the frame table. Slots are never removed, only recycled:
+/// `refs == 0` means the slot is on the free list and `data` is `None`.
 #[derive(Debug)]
-struct Frame {
-    data: PageData,
+struct FrameSlot {
     /// Number of page-map entries referencing this frame across all worlds.
-    refs: u32,
+    refs: AtomicU32,
+    /// The page contents. An `Arc` so readers can snapshot a page (clone the
+    /// `Arc` under this mutex, copy bytes after releasing it) while writers
+    /// use `Arc::make_mut` — a concurrent reader at worst keeps the pre-write
+    /// snapshot, never a torn page.
+    data: Mutex<Option<Arc<PageData>>>,
 }
 
-/// A reference-counted table of physical frames with a free list.
-///
-/// Not itself thread-safe; [`crate::PageStore`] wraps it in a lock.
-#[derive(Debug, Default)]
+impl FrameSlot {
+    // Used only as an array-initialiser template; every element becomes an
+    // independent slot, so the shared-const interior-mutability pitfall
+    // (mutating through the const itself) cannot arise.
+    #[allow(clippy::declare_interior_mutable_const)]
+    const EMPTY: FrameSlot = FrameSlot {
+        refs: AtomicU32::new(0),
+        data: Mutex::new(None),
+    };
+}
+
+/// A reference-counted table of physical frames with a free list and a
+/// bounded buffer pool. All operations take `&self`; see the module docs
+/// for the division of labour between this table and the store's shards.
+#[derive(Debug)]
 pub(crate) struct FrameTable {
-    frames: Vec<Option<Frame>>,
-    free: Vec<u32>,
+    /// Chunked slot arena. A chunk, once initialised, is never moved or
+    /// freed, so `&FrameSlot` references obtained through it stay valid for
+    /// the table's lifetime — that is what makes slot access lock-free.
+    chunks: Vec<OnceLock<Box<[FrameSlot; CHUNK_SIZE]>>>,
+    /// High-water mark: slots handed out so far (free-listed ones included).
+    high: AtomicUsize,
+    free: Mutex<Vec<u32>>,
+    live: AtomicUsize,
+    pool: Mutex<Vec<PageData>>,
+}
+
+impl Default for FrameTable {
+    fn default() -> Self {
+        FrameTable::new()
+    }
 }
 
 impl FrameTable {
     pub(crate) fn new() -> Self {
-        FrameTable::default()
+        FrameTable {
+            chunks: (0..MAX_CHUNKS).map(|_| OnceLock::new()).collect(),
+            high: AtomicUsize::new(0),
+            free: Mutex::new(Vec::new()),
+            live: AtomicUsize::new(0),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Lock-free slot access: two indexings and one `OnceLock` load.
+    fn slot(&self, id: FrameId) -> &FrameSlot {
+        let idx = id.0 as usize;
+        let chunk = self.chunks[idx / CHUNK_SIZE]
+            .get()
+            .expect("frame beyond initialised chunks");
+        &chunk[idx % CHUNK_SIZE]
     }
 
     /// Allocate a frame holding `data`, with an initial reference count of 1.
-    pub(crate) fn alloc(&mut self, data: PageData) -> FrameId {
-        let frame = Frame { data, refs: 1 };
-        if let Some(idx) = self.free.pop() {
-            debug_assert!(self.frames[idx as usize].is_none());
-            self.frames[idx as usize] = Some(frame);
-            FrameId(idx)
-        } else {
-            self.frames.push(Some(frame));
-            FrameId((self.frames.len() - 1) as u32)
-        }
+    pub(crate) fn alloc(&self, data: PageData) -> FrameId {
+        let arc = Arc::new(data);
+        self.live.fetch_add(1, Ordering::Relaxed);
+        let idx = match self.free.lock().pop() {
+            Some(idx) => idx,
+            None => {
+                let idx = self.high.fetch_add(1, Ordering::Relaxed);
+                assert!(idx < MAX_CHUNKS * CHUNK_SIZE, "frame table exhausted");
+                self.chunks[idx / CHUNK_SIZE]
+                    .get_or_init(|| Box::new([FrameSlot::EMPTY; CHUNK_SIZE]));
+                idx as u32
+            }
+        };
+        let slot = self.slot(FrameId(idx));
+        let mut d = slot.data.lock();
+        debug_assert!(d.is_none(), "allocating over a live frame");
+        *d = Some(arc);
+        slot.refs.store(1, Ordering::Release);
+        FrameId(idx)
     }
 
     /// Bump the reference count (a new page-map entry now points here).
-    pub(crate) fn incref(&mut self, id: FrameId) {
-        let f = self.frame_mut(id);
-        f.refs += 1;
+    /// `Relaxed` suffices: the caller already holds a reference (it read the
+    /// frame id out of a live page map under a shard lock), so this can
+    /// never race with the final decref — the same argument `Arc::clone`
+    /// uses for its relaxed increment.
+    #[allow(dead_code)] // single-frame form of incref_sweep; exercised in tests
+    pub(crate) fn incref(&self, id: FrameId) {
+        let prev = self.slot(id).refs.fetch_add(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "incref of a freed frame {}", id.0);
     }
 
-    /// Drop one reference; frees the frame when the count reaches zero.
-    /// Returns `true` if the frame was freed.
-    pub(crate) fn decref(&mut self, id: FrameId) -> bool {
-        let f = self.frame_mut(id);
-        debug_assert!(f.refs > 0, "decref of frame with zero refs");
-        f.refs -= 1;
-        if f.refs == 0 {
-            self.frames[id.0 as usize] = None;
-            self.free.push(id.0);
-            true
-        } else {
-            false
+    /// Bulk incref for a fork's map sweep: one pass over the ids with the
+    /// chunk pointer cached, so consecutive frames (the common case — a
+    /// parent's pages allocate sequentially) skip the per-call chunk lookup.
+    pub(crate) fn incref_sweep(&self, ids: impl Iterator<Item = FrameId>) {
+        let mut cached: Option<(usize, &[FrameSlot; CHUNK_SIZE])> = None;
+        for id in ids {
+            let idx = id.0 as usize;
+            let (chunk_no, within) = (idx / CHUNK_SIZE, idx % CHUNK_SIZE);
+            let chunk = match cached {
+                Some((no, c)) if no == chunk_no => c,
+                _ => {
+                    let c = self.chunks[chunk_no]
+                        .get()
+                        .expect("frame beyond initialised chunks");
+                    cached = Some((chunk_no, c));
+                    c
+                }
+            };
+            let prev = chunk[within].refs.fetch_add(1, Ordering::Relaxed);
+            debug_assert!(prev > 0, "incref of a freed frame {}", id.0);
         }
     }
 
-    /// Current reference count of a live frame.
+    /// Drop one reference; frees the frame when the count reaches zero (the
+    /// buffer goes to the recycle pool if no reader still holds it).
+    /// Returns `true` if the frame was freed.
+    pub(crate) fn decref(&self, id: FrameId) -> bool {
+        let slot = self.slot(id);
+        let prev = slot.refs.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "decref of a freed frame {}", id.0);
+        if prev != 1 {
+            return false;
+        }
+        let data = slot.data.lock().take().expect("live frame without data");
+        if let Ok(page) = Arc::try_unwrap(data) {
+            self.recycle(page);
+        }
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        self.free.lock().push(id.0);
+        true
+    }
+
+    /// Current reference count of a frame (0 for a freed one).
+    #[allow(dead_code)] // diagnostics; exercised in tests
     pub(crate) fn refs(&self, id: FrameId) -> u32 {
-        self.frame(id).refs
+        self.slot(id).refs.load(Ordering::Acquire)
     }
 
-    /// Read access to a frame's page data.
-    pub(crate) fn data(&self, id: FrameId) -> &PageData {
-        &self.frame(id).data
+    /// A shared snapshot of a frame's page data. Cloning the `Arc` is O(1);
+    /// callers copy bytes out of it after every lock is released.
+    pub(crate) fn data_arc(&self, id: FrameId) -> Arc<PageData> {
+        self.slot(id)
+            .data
+            .lock()
+            .as_ref()
+            .expect("reference to a freed frame")
+            .clone()
     }
 
-    /// Write access to a frame's page data. The caller (the store) must have
-    /// established exclusivity (refs == 1) first.
-    pub(crate) fn data_mut(&mut self, id: FrameId) -> &mut PageData {
-        let f = self.frame_mut(id);
-        debug_assert_eq!(f.refs, 1, "in-place write to a shared frame breaks COW");
-        &mut f.data
+    /// The private-page write fast path, fused into one slot visit: if the
+    /// frame's refcount is exactly 1, overwrite `bytes` at `offset` in place
+    /// and return `true`; otherwise touch nothing and return `false`. The
+    /// caller must hold the owning world's shard lock (read suffices) so a
+    /// count of 1 cannot rise mid-write — the only way it rises is a fork of
+    /// the owning world, which needs that shard's write lock. A reader
+    /// concurrently holding the page's `Arc` forces `make_mut` to copy,
+    /// which keeps that reader's snapshot consistent.
+    pub(crate) fn write_if_private(&self, id: FrameId, offset: usize, bytes: &[u8]) -> bool {
+        let slot = self.slot(id);
+        if slot.refs.load(Ordering::Acquire) != 1 {
+            return false;
+        }
+        let mut guard = slot.data.lock();
+        let arc = guard.as_mut().expect("write to a freed frame");
+        Arc::make_mut(arc).bytes_mut()[offset..offset + bytes.len()].copy_from_slice(bytes);
+        true
     }
 
     /// Number of live (allocated) frames.
     pub(crate) fn live_frames(&self) -> usize {
-        self.frames.iter().filter(|f| f.is_some()).count()
+        self.live.load(Ordering::Relaxed)
     }
 
     /// Total slots ever allocated (live + free-listed); a high-water mark.
     #[allow(dead_code)] // diagnostics; exercised in tests
     pub(crate) fn capacity(&self) -> usize {
-        self.frames.len()
+        self.high.load(Ordering::Relaxed)
     }
 
-    fn frame(&self, id: FrameId) -> &Frame {
-        self.frames[id.0 as usize]
-            .as_ref()
-            .expect("reference to a freed frame")
+    /// Take a page buffer from the recycle pool, if one is available.
+    pub(crate) fn take_pooled(&self) -> Option<PageData> {
+        self.pool.lock().pop()
     }
 
-    fn frame_mut(&mut self, id: FrameId) -> &mut Frame {
-        self.frames[id.0 as usize]
-            .as_mut()
-            .expect("reference to a freed frame")
+    /// Return a staged-but-unused page buffer to the recycle pool.
+    pub(crate) fn recycle(&self, page: PageData) {
+        let mut pool = self.pool.lock();
+        if pool.len() < POOL_MAX {
+            pool.push(page);
+        }
+    }
+
+    /// Buffers currently waiting in the recycle pool.
+    #[allow(dead_code)] // diagnostics; exercised in tests
+    pub(crate) fn pooled_pages(&self) -> usize {
+        self.pool.lock().len()
+    }
+
+    /// `(frame index, refcount)` for every live frame — the verifier's view.
+    /// Only consistent when the caller has excluded all map mutation (the
+    /// store holds every shard lock).
+    pub(crate) fn snapshot_refs(&self) -> Vec<(u32, u32)> {
+        (0..self.high.load(Ordering::Acquire) as u32)
+            .filter_map(|i| {
+                let r = self.slot(FrameId(i)).refs.load(Ordering::Acquire);
+                (r > 0).then_some((i, r))
+            })
+            .collect()
     }
 }
 
@@ -127,18 +273,18 @@ mod tests {
 
     #[test]
     fn alloc_and_read() {
-        let mut t = FrameTable::new();
+        let t = FrameTable::new();
         let a = t.alloc(page(1));
         let b = t.alloc(page(2));
         assert_ne!(a, b);
-        assert_eq!(t.data(a).bytes()[0], 1);
-        assert_eq!(t.data(b).bytes()[0], 2);
+        assert_eq!(t.data_arc(a).bytes()[0], 1);
+        assert_eq!(t.data_arc(b).bytes()[0], 2);
         assert_eq!(t.live_frames(), 2);
     }
 
     #[test]
     fn refcounting_frees_at_zero() {
-        let mut t = FrameTable::new();
+        let t = FrameTable::new();
         let a = t.alloc(page(1));
         t.incref(a);
         assert_eq!(t.refs(a), 2);
@@ -150,7 +296,7 @@ mod tests {
 
     #[test]
     fn free_slots_are_reused() {
-        let mut t = FrameTable::new();
+        let t = FrameTable::new();
         let a = t.alloc(page(1));
         t.decref(a);
         let b = t.alloc(page(2));
@@ -159,19 +305,102 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "freed frame")]
-    fn use_after_free_panics() {
-        let mut t = FrameTable::new();
-        let a = t.alloc(page(1));
-        t.decref(a);
-        let _ = t.data(a);
+    fn allocation_crosses_chunk_boundaries() {
+        let t = FrameTable::new();
+        let ids: Vec<FrameId> = (0..CHUNK_SIZE + 3)
+            .map(|i| t.alloc(page(i as u8)))
+            .collect();
+        assert_eq!(t.live_frames(), CHUNK_SIZE + 3);
+        assert_eq!(
+            t.data_arc(ids[CHUNK_SIZE + 2]).bytes()[0],
+            (CHUNK_SIZE + 2) as u8
+        );
+        for id in ids {
+            t.decref(id);
+        }
+        assert_eq!(t.live_frames(), 0);
     }
 
     #[test]
-    fn exclusive_write_access() {
-        let mut t = FrameTable::new();
+    fn freed_buffers_land_in_the_pool() {
+        let t = FrameTable::new();
+        let a = t.alloc(page(7));
+        t.decref(a);
+        assert_eq!(t.pooled_pages(), 1);
+        let recycled = t.take_pooled().expect("pool should hold the buffer");
+        assert_eq!(recycled.bytes()[0], 7, "pooled buffers keep stale bytes");
+        assert!(t.take_pooled().is_none());
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let t = FrameTable::new();
+        for _ in 0..POOL_MAX + 50 {
+            t.recycle(PageData::zeroed(8));
+        }
+        assert_eq!(t.pooled_pages(), POOL_MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "freed frame")]
+    fn use_after_free_panics() {
+        let t = FrameTable::new();
+        let a = t.alloc(page(1));
+        t.decref(a);
+        let _ = t.data_arc(a);
+    }
+
+    #[test]
+    fn write_if_private_respects_sharing() {
+        let t = FrameTable::new();
         let a = t.alloc(page(0));
-        t.data_mut(a).bytes_mut()[0] = 42;
-        assert_eq!(t.data(a).bytes()[0], 42);
+        assert!(t.write_if_private(a, 0, &[42]), "refs == 1: in place");
+        assert_eq!(t.data_arc(a).bytes()[0], 42);
+        t.incref(a);
+        assert!(!t.write_if_private(a, 0, &[9]), "refs == 2: refuse");
+        assert_eq!(t.data_arc(a).bytes()[0], 42, "shared page untouched");
+    }
+
+    #[test]
+    fn reader_snapshot_survives_in_place_write() {
+        let t = FrameTable::new();
+        let a = t.alloc(page(1));
+        let snapshot = t.data_arc(a);
+        assert!(t.write_if_private(a, 0, &[9])); // forces make_mut to copy
+        assert_eq!(snapshot.bytes()[0], 1, "held snapshot is immutable");
+        assert_eq!(t.data_arc(a).bytes()[0], 9);
+    }
+
+    #[test]
+    fn snapshot_refs_lists_live_frames_only() {
+        let t = FrameTable::new();
+        let a = t.alloc(page(1));
+        let b = t.alloc(page(2));
+        t.incref(b);
+        t.decref(a);
+        assert_eq!(t.snapshot_refs(), vec![(b.index(), 2)]);
+    }
+
+    #[test]
+    fn concurrent_ref_traffic_balances() {
+        use std::thread;
+        let t = Arc::new(FrameTable::new());
+        let a = t.alloc(page(1));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = t.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        t.incref(a);
+                        t.decref(a);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.refs(a), 1);
+        assert_eq!(t.live_frames(), 1);
     }
 }

@@ -24,9 +24,12 @@
 //! * [`StoreStats`] exposes the fault/copy counters the paper's §3.4
 //!   measurements are phrased in (pages copied per second, write fraction).
 //!
-//! The store is thread-safe: worlds may be read and written concurrently
-//! from real OS threads (the `worlds` crate's thread executor does exactly
-//! that), with per-store locking via `parking_lot`.
+//! The store is thread-safe and built to scale with worlds: the world table
+//! is split across [`NUM_SHARDS`] independently locked shards (two worlds in
+//! different shards never contend), frames carry atomic refcounts, and a COW
+//! fault stages its page copy with **no locks held**, committing under one
+//! shard's write lock only. See the `store` module docs for the full
+//! concurrency model.
 //!
 //! ```
 //! use worlds_pagestore::{PageStore, PAGE_SIZE_DEFAULT};
@@ -62,4 +65,4 @@ pub use frame::FrameId;
 pub use map::PageMap;
 pub use page::{PageData, Vpn, PAGE_SIZE_2K, PAGE_SIZE_4K, PAGE_SIZE_DEFAULT};
 pub use stats::{StoreStats, WorldStats};
-pub use store::{PageStore, WorldId};
+pub use store::{PageStore, WorldId, NUM_SHARDS};

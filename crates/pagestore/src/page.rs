@@ -35,6 +35,14 @@ impl PageData {
         }
     }
 
+    /// A page initialised from `bytes` in one pass (no intermediate
+    /// zero fill) — the staging constructor for copy-on-write faults.
+    pub fn copy_of(bytes: &[u8]) -> Self {
+        PageData {
+            bytes: bytes.to_vec().into_boxed_slice(),
+        }
+    }
+
     /// Page contents, immutably.
     pub fn bytes(&self) -> &[u8] {
         &self.bytes
@@ -95,6 +103,13 @@ mod tests {
         p.bytes_mut()[3] = 0xAB;
         assert!(!p.is_zero());
         assert_eq!(p.bytes()[3], 0xAB);
+    }
+
+    #[test]
+    fn copy_of_round_trips() {
+        let p = PageData::copy_of(&[1, 2, 3]);
+        assert_eq!(p.bytes(), &[1, 2, 3]);
+        assert_eq!(p.len(), 3);
     }
 
     #[test]

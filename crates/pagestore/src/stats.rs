@@ -25,6 +25,8 @@ pub(crate) struct StatsInner {
     pub reads: Counter,
     pub writes: Counter,
     pub worlds_dropped: Counter,
+    pub frames_freed: Counter,
+    pub frames_recycled: Counter,
 }
 
 impl StatsInner {
@@ -38,6 +40,8 @@ impl StatsInner {
             reads: self.reads.get(),
             writes: self.writes.get(),
             worlds_dropped: self.worlds_dropped.get(),
+            frames_freed: self.frames_freed.get(),
+            frames_recycled: self.frames_recycled.get(),
         }
     }
 }
@@ -61,6 +65,11 @@ pub struct StoreStats {
     pub writes: u64,
     /// Worlds dropped (eliminated siblings or adopted-away children).
     pub worlds_dropped: u64,
+    /// Frames whose last reference was dropped (drop_world, adopt, or a COW
+    /// fault racing a sibling drop).
+    pub frames_freed: u64,
+    /// Page buffers served from the recycle pool instead of the allocator.
+    pub frames_recycled: u64,
 }
 
 impl StoreStats {
@@ -76,6 +85,8 @@ impl StoreStats {
             reads: self.reads - earlier.reads,
             writes: self.writes - earlier.writes,
             worlds_dropped: self.worlds_dropped - earlier.worlds_dropped,
+            frames_freed: self.frames_freed - earlier.frames_freed,
+            frames_recycled: self.frames_recycled - earlier.frames_recycled,
         }
     }
 }

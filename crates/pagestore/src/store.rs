@@ -1,17 +1,82 @@
 //! The page store: worlds, COW faults, fork and adopt.
+//!
+//! # Concurrency model
+//!
+//! The store has no store-wide lock. State is split between:
+//!
+//! * **A sharded world table.** Worlds hash by id into [`NUM_SHARDS`]
+//!   shards, each behind its own `RwLock`. Two worlds in different shards
+//!   never block each other; ids are assigned round-robin so sibling
+//!   alternatives land in different shards.
+//! * **A concurrent frame table** ([`FrameTable`]) with atomic refcounts,
+//!   `Arc`-shared page contents, and a bounded recycle pool. Frame
+//!   operations are individually atomic; shard locks decide when they are
+//!   *allowed* (see the invariant below).
+//!
+//! Writes follow a **probe → stage → commit** protocol:
+//!
+//! 1. **Probe** under the shard *read* lock. A private page (refs == 1) is
+//!    written in place right there — refs cannot rise while the read guard
+//!    is held, because the only way refs rise is forking this world, which
+//!    needs the shard write lock. This is the contention-free fast path.
+//! 2. **Stage** with *no locks held*: the CoW deep copy (or zero fill)
+//!    builds the new page in a pooled buffer. This is the work the old
+//!    design did under a store-wide write lock.
+//! 3. **Commit** under the shard *write* lock, re-validating the world's
+//!    map generation. If anything moved since the probe, the staged buffer
+//!    is kept and the write retries from step 1.
+//!
+//! Lock hierarchy (always acquired in this order, never the reverse):
+//! shard locks in ascending shard-index order → frame-table slot locks →
+//! frame-table free-list/pool locks.
+//!
+//! **Invariant:** whenever all shard locks are quiescent, every live
+//! frame's refcount equals the number of page-map entries referencing it
+//! across all worlds; [`PageStore::verify_refcounts`] checks exactly this.
+//! All refcount traffic therefore happens under the shard write lock of
+//! the world whose map gains or loses the entry.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use worlds_obs::{Event, EventKind, Registry};
 
 use crate::error::{PageStoreError, Result};
-use crate::frame::{FrameId, FrameTable};
+use crate::frame::FrameTable;
 use crate::map::PageMap;
 use crate::page::{PageData, Vpn};
 use crate::stats::{StatsInner, StoreStats, WorldStats};
+
+/// Number of world-table shards. A power of two so `id & (NUM_SHARDS - 1)`
+/// is the shard index; monotonically assigned ids then spread round-robin.
+pub const NUM_SHARDS: usize = 32;
+
+#[inline]
+fn shard_index(id: u64) -> usize {
+    (id as usize) & (NUM_SHARDS - 1)
+}
+
+/// Multiply-shift hasher for world-id keys. Ids are small and sequential;
+/// the default SipHash buys no collision resistance worth its ~20 ns on
+/// the write fast path.
+#[derive(Debug, Default, Clone)]
+struct WorldIdHasher(u64);
+
+impl std::hash::Hasher for WorldIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("world ids hash via write_u64");
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type WorldTable<V> = HashMap<u64, V, std::hash::BuildHasherDefault<WorldIdHasher>>;
 
 /// Identifier of a world (a speculative address space).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -29,27 +94,59 @@ struct World {
     map: PageMap,
     parent: Option<WorldId>,
     stats: WorldStats,
+    /// Bumped on every map mutation (insert or wholesale swap). A staged
+    /// CoW commit validates this so a page copied from a stale snapshot can
+    /// never be installed over newer state — including the frame-index
+    /// reuse (ABA) case, which a map-entry recheck alone would miss.
+    generation: u64,
 }
 
-#[derive(Debug)]
-struct Inner {
-    frames: FrameTable,
-    worlds: HashMap<u64, World>,
-    /// Parent at creation time for every world ever created. Survives world
-    /// drops so `adopt` can verify descent through eliminated intermediates.
-    lineage: HashMap<u64, Option<u64>>,
-    next_world: u64,
+/// One shard of the world table: the worlds whose ids hash here, plus
+/// their lineage records (parent at creation time, kept after a world
+/// dies so `adopt` can verify descent through eliminated intermediates;
+/// entries are append-only, which lets the descent walk read one shard
+/// at a time without holding locks across steps).
+#[derive(Debug, Default)]
+struct Shard {
+    worlds: WorldTable<World>,
+    lineage: WorldTable<Option<u64>>,
+}
+
+/// How a write committed (drives counters and event emission, which
+/// happen after every lock is released).
+enum Committed {
+    /// The page was already private; bytes written in place.
+    InPlace,
+    /// A demand-zero page was materialised.
+    ZeroFill { parent: Option<u64> },
+    /// A shared page was copied. `freed` is set in the rare race where the
+    /// last other reference vanished between probe and commit *and* a
+    /// concurrent sharer dropped during the decref — the frame count then
+    /// nets zero and the gauge needs the matching free.
+    Cow { parent: Option<u64>, freed: bool },
+}
+
+/// What the probe decided must happen (when not already done in place).
+enum Plan {
+    ZeroFill,
+    Cow {
+        old: crate::frame::FrameId,
+        snapshot: Arc<PageData>,
+        generation: u64,
+    },
 }
 
 /// A thread-safe single-level store of fixed-size pages with copy-on-write
 /// world forking.
 ///
 /// Cloning a `PageStore` is cheap: clones share the same underlying store
-/// (it is an `Arc` internally), so the thread executor can hand one to each
-/// alternative.
+/// (it is a bundle of `Arc`s internally), so the thread executor can hand
+/// one to each alternative.
 #[derive(Clone)]
 pub struct PageStore {
-    inner: Arc<RwLock<Inner>>,
+    shards: Arc<Vec<RwLock<Shard>>>,
+    frames: Arc<FrameTable>,
+    next_world: Arc<AtomicU64>,
     stats: Arc<StatsInner>,
     page_size: usize,
     obs: Registry,
@@ -60,11 +157,10 @@ pub struct PageStore {
 
 impl std::fmt::Debug for PageStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.read();
         f.debug_struct("PageStore")
             .field("page_size", &self.page_size)
-            .field("worlds", &inner.worlds.len())
-            .field("live_frames", &inner.frames.live_frames())
+            .field("worlds", &self.world_count())
+            .field("live_frames", &self.frames.live_frames())
             .finish()
     }
 }
@@ -77,17 +173,19 @@ impl PageStore {
     }
 
     /// Like [`PageStore::new`], with an observability registry: every CoW
-    /// copy, zero fill, and checkpoint emits an event, and the registry's
-    /// `frames_resident` gauge tracks live frames.
+    /// copy, zero fill, and frame free emits an event, and the registry's
+    /// `frames_resident` gauge follows from event arithmetic alone (so a
+    /// JSONL replay reconstructs it exactly).
     pub fn with_obs(page_size: usize, obs: Registry) -> Self {
         assert!(page_size > 0, "page size must be nonzero");
         PageStore {
-            inner: Arc::new(RwLock::new(Inner {
-                frames: FrameTable::new(),
-                worlds: HashMap::new(),
-                lineage: HashMap::new(),
-                next_world: 1,
-            })),
+            shards: Arc::new(
+                (0..NUM_SHARDS)
+                    .map(|_| RwLock::new(Shard::default()))
+                    .collect(),
+            ),
+            frames: Arc::new(FrameTable::new()),
+            next_world: Arc::new(AtomicU64::new(1)),
             stats: Arc::new(StatsInner::default()),
             page_size,
             obs,
@@ -122,56 +220,119 @@ impl PageStore {
         self.clock.load(Relaxed)
     }
 
-    fn sync_frames_gauge(&self, inner: &Inner) {
-        self.obs.with(|o| {
-            o.stats
-                .frames_resident
-                .set(inner.frames.live_frames() as u64)
-        });
-    }
-
     /// The store's page size in bytes.
     pub fn page_size(&self) -> usize {
         self.page_size
     }
 
+    /// Number of world-table shards (see the module docs).
+    pub fn shard_count(&self) -> usize {
+        NUM_SHARDS
+    }
+
+    #[inline]
+    fn shard(&self, id: u64) -> &RwLock<Shard> {
+        &self.shards[shard_index(id)]
+    }
+
+    /// Write-lock the shards of `a` and `b` following the lock hierarchy
+    /// (ascending shard index). Returned guards are in `(a, b)` order; the
+    /// second is `None` when both ids share a shard.
+    fn lock_pair_write(
+        &self,
+        a: u64,
+        b: u64,
+    ) -> (
+        RwLockWriteGuard<'_, Shard>,
+        Option<RwLockWriteGuard<'_, Shard>>,
+    ) {
+        let (ia, ib) = (shard_index(a), shard_index(b));
+        if ia == ib {
+            (self.shards[ia].write(), None)
+        } else if ia < ib {
+            let ga = self.shards[ia].write();
+            let gb = self.shards[ib].write();
+            (ga, Some(gb))
+        } else {
+            let gb = self.shards[ib].write();
+            let ga = self.shards[ia].write();
+            (ga, Some(gb))
+        }
+    }
+
+    /// Read-lock twin of [`PageStore::lock_pair_write`].
+    fn lock_pair_read(
+        &self,
+        a: u64,
+        b: u64,
+    ) -> (
+        RwLockReadGuard<'_, Shard>,
+        Option<RwLockReadGuard<'_, Shard>>,
+    ) {
+        let (ia, ib) = (shard_index(a), shard_index(b));
+        if ia == ib {
+            (self.shards[ia].read(), None)
+        } else if ia < ib {
+            let ga = self.shards[ia].read();
+            let gb = self.shards[ib].read();
+            (ga, Some(gb))
+        } else {
+            let gb = self.shards[ib].read();
+            let ga = self.shards[ia].read();
+            (ga, Some(gb))
+        }
+    }
+
+    /// Take a pooled page buffer, counting the recycle hit.
+    fn take_recycled(&self) -> Option<PageData> {
+        let page = self.frames.take_pooled();
+        if page.is_some() {
+            self.stats.frames_recycled.incr();
+        }
+        page
+    }
+
     /// Create a fresh root world with an empty (all demand-zero) map.
     pub fn create_world(&self) -> WorldId {
-        let mut inner = self.inner.write();
-        let id = WorldId(inner.next_world);
-        inner.next_world += 1;
-        inner.lineage.insert(id.0, None);
-        inner.worlds.insert(
-            id.0,
+        let id = self.next_world.fetch_add(1, Relaxed);
+        let mut shard = self.shard(id).write();
+        shard.lineage.insert(id, None);
+        shard.worlds.insert(
+            id,
             World {
                 map: PageMap::new(),
                 parent: None,
                 stats: WorldStats::default(),
+                generation: 0,
             },
         );
-        id
+        WorldId(id)
     }
 
     /// Fork `parent` into a new child world that shares every page
     /// copy-on-write. Only the page map is copied (page-map inheritance,
-    /// §2.3); no page bytes move.
+    /// §2.3) and every inherited frame's refcount is bumped; no page bytes
+    /// move. Holds the parent's and child's shard locks together so the
+    /// clone + refcount sweep + insert is atomic with respect to the
+    /// refcount invariant (and so the parent cannot be dropped mid-sweep).
     pub fn fork_world(&self, parent: WorldId) -> Result<WorldId> {
-        let mut inner = self.inner.write();
+        let id = self.next_world.fetch_add(1, Relaxed);
+        let (mut pg, mut cg) = self.lock_pair_write(parent.0, id);
         let (map, inherited) = {
-            let p = inner
+            let p = pg
                 .worlds
                 .get(&parent.0)
                 .ok_or(PageStoreError::NoSuchWorld(parent.0))?;
             (p.map.clone(), p.map.mapped_pages() as u64)
         };
-        for (_, frame) in map.iter() {
-            inner.frames.incref(frame);
-        }
-        let id = WorldId(inner.next_world);
-        inner.next_world += 1;
-        inner.lineage.insert(id.0, Some(parent.0));
-        inner.worlds.insert(
-            id.0,
+        self.frames.incref_sweep(map.iter().map(|(_, frame)| frame));
+        let child_shard: &mut Shard = match cg.as_mut() {
+            Some(g) => g,
+            None => &mut pg,
+        };
+        child_shard.lineage.insert(id, Some(parent.0));
+        child_shard.worlds.insert(
+            id,
             World {
                 map,
                 parent: Some(parent),
@@ -179,49 +340,196 @@ impl PageStore {
                     pages_inherited: inherited,
                     ..WorldStats::default()
                 },
+                generation: 0,
             },
         );
+        drop(cg);
+        drop(pg);
         self.stats.forks.incr();
-        Ok(id)
+        Ok(WorldId(id))
     }
 
     /// Read `len` bytes at `offset` within page `vpn` of `world`. Unmapped
-    /// pages read as zeroes (demand-zero semantics).
+    /// pages read as zeroes (demand-zero semantics). The byte copy happens
+    /// on an `Arc` snapshot of the page, outside every lock.
     pub fn read(&self, world: WorldId, vpn: Vpn, offset: usize, buf: &mut [u8]) -> Result<()> {
         self.check_bounds(offset, buf.len())?;
-        let inner = self.inner.read();
-        let w = inner
-            .worlds
-            .get(&world.0)
-            .ok_or(PageStoreError::NoSuchWorld(world.0))?;
-        match w.map.get(vpn) {
-            Some(frame) => {
-                buf.copy_from_slice(&inner.frames.data(frame).bytes()[offset..offset + buf.len()]);
-            }
+        let data = self.page_snapshot(world, vpn)?;
+        match data {
+            Some(arc) => buf.copy_from_slice(&arc.bytes()[offset..offset + buf.len()]),
             None => buf.fill(0),
         }
         self.stats.reads.incr();
         Ok(())
     }
 
-    /// Convenience: read into a freshly allocated `Vec`.
+    /// Convenience: read into a freshly allocated `Vec`. The buffer is
+    /// filled in a single pass (no zero-then-overwrite).
     pub fn read_vec(&self, world: WorldId, vpn: Vpn, offset: usize, len: usize) -> Result<Vec<u8>> {
-        let mut v = vec![0u8; len];
-        self.read(world, vpn, offset, &mut v)?;
+        self.check_bounds(offset, len)?;
+        let data = self.page_snapshot(world, vpn)?;
+        let mut v = Vec::with_capacity(len);
+        match data {
+            Some(arc) => v.extend_from_slice(&arc.bytes()[offset..offset + len]),
+            None => v.resize(len, 0),
+        }
+        self.stats.reads.incr();
         Ok(v)
     }
 
+    /// Snapshot the page mapped at `vpn`, if any, under the shard read lock.
+    fn page_snapshot(&self, world: WorldId, vpn: Vpn) -> Result<Option<Arc<PageData>>> {
+        let shard = self.shard(world.0).read();
+        let w = shard
+            .worlds
+            .get(&world.0)
+            .ok_or(PageStoreError::NoSuchWorld(world.0))?;
+        Ok(w.map.get(vpn).map(|f| self.frames.data_arc(f)))
+    }
+
     /// Write `data` at `offset` within page `vpn` of `world`, taking a COW
-    /// fault if the page is shared with any other world.
+    /// fault if the page is shared with any other world. See the module
+    /// docs: the deep copy is staged with no locks held.
     pub fn write(&self, world: WorldId, vpn: Vpn, offset: usize, data: &[u8]) -> Result<()> {
         self.check_bounds(offset, data.len())?;
-        let mut inner = self.inner.write();
-        if !inner.worlds.contains_key(&world.0) {
-            return Err(PageStoreError::NoSuchWorld(world.0));
+        let end = offset + data.len();
+        // Staged buffer carried across retries, and recycled on exit.
+        let mut staged: Option<PageData> = None;
+        let committed = loop {
+            // Phase 1 — probe under the shard read lock. Private pages are
+            // written in place here: refs can only rise via a fork of this
+            // world, which needs this shard's write lock.
+            let plan = {
+                let shard = self.shard(world.0).read();
+                let w = shard
+                    .worlds
+                    .get(&world.0)
+                    .ok_or(PageStoreError::NoSuchWorld(world.0))?;
+                match w.map.get(vpn) {
+                    Some(frame) if self.frames.write_if_private(frame, offset, data) => {
+                        break Committed::InPlace;
+                    }
+                    Some(frame) => Plan::Cow {
+                        old: frame,
+                        snapshot: self.frames.data_arc(frame),
+                        generation: w.generation,
+                    },
+                    None => Plan::ZeroFill,
+                }
+            };
+            // Phase 2 — stage outside all locks; Phase 3 — commit under the
+            // shard write lock, revalidating what the probe saw.
+            match plan {
+                Plan::ZeroFill => {
+                    let mut page = match staged.take().or_else(|| self.take_recycled()) {
+                        Some(mut p) => {
+                            p.bytes_mut().fill(0);
+                            p
+                        }
+                        None => PageData::zeroed(self.page_size),
+                    };
+                    page.bytes_mut()[offset..end].copy_from_slice(data);
+                    let mut shard = self.shard(world.0).write();
+                    let Some(w) = shard.worlds.get_mut(&world.0) else {
+                        self.frames.recycle(page);
+                        return Err(PageStoreError::NoSuchWorld(world.0));
+                    };
+                    if w.map.get(vpn).is_some() {
+                        // Someone materialised this page first; retry so
+                        // their bytes are not buried under ours.
+                        staged = Some(page);
+                        continue;
+                    }
+                    let frame = self.frames.alloc(page);
+                    w.map.insert(vpn, frame);
+                    w.generation += 1;
+                    w.stats.pages_zero_filled += 1;
+                    break Committed::ZeroFill {
+                        parent: w.parent.map(WorldId::raw),
+                    };
+                }
+                Plan::Cow {
+                    old,
+                    snapshot,
+                    generation,
+                } => {
+                    let mut page = match staged.take().or_else(|| self.take_recycled()) {
+                        Some(mut p) => {
+                            p.bytes_mut().copy_from_slice(snapshot.bytes());
+                            p
+                        }
+                        None => PageData::copy_of(snapshot.bytes()),
+                    };
+                    page.bytes_mut()[offset..end].copy_from_slice(data);
+                    // Release our snapshot before committing so a racing
+                    // in-place writer is not forced into a spurious copy.
+                    drop(snapshot);
+                    let mut shard = self.shard(world.0).write();
+                    let Some(w) = shard.worlds.get_mut(&world.0) else {
+                        self.frames.recycle(page);
+                        return Err(PageStoreError::NoSuchWorld(world.0));
+                    };
+                    if w.generation != generation {
+                        staged = Some(page);
+                        continue;
+                    }
+                    // Map untouched since the probe: `old` is still mapped
+                    // at `vpn` and our staged copy is current.
+                    if self.frames.write_if_private(old, offset, data) {
+                        // The other sharers vanished while we staged; the
+                        // page is now private (and stays so under this
+                        // write guard). No fault after all.
+                        self.frames.recycle(page);
+                        break Committed::InPlace;
+                    }
+                    let frame = self.frames.alloc(page);
+                    w.map.insert(vpn, frame);
+                    w.generation += 1;
+                    w.stats.pages_cowed += 1;
+                    let parent = w.parent.map(WorldId::raw);
+                    // A sharer in another shard may drop its last reference
+                    // concurrently, so this decref can free.
+                    let freed = self.frames.decref(old);
+                    break Committed::Cow { parent, freed };
+                }
+            }
+        };
+        if let Some(page) = staged.take() {
+            self.frames.recycle(page);
         }
-        let frame = self.ensure_private_page(&mut inner, world, vpn);
-        inner.frames.data_mut(frame).bytes_mut()[offset..offset + data.len()].copy_from_slice(data);
         self.stats.writes.incr();
+        match committed {
+            Committed::InPlace => {}
+            Committed::ZeroFill { parent } => {
+                self.stats.zero_fills.incr();
+                self.obs
+                    .emit(|| Event::new(EventKind::ZeroFill { vpn }, world.0, parent, self.vt()));
+            }
+            Committed::Cow { parent, freed } => {
+                self.stats.cow_faults.incr();
+                self.stats.bytes_copied.add(self.page_size as u64);
+                let bytes = self.page_size as u64;
+                self.obs.emit(|| {
+                    Event::new(
+                        EventKind::CowCopy { vpn, bytes },
+                        world.0,
+                        parent,
+                        self.vt(),
+                    )
+                });
+                if freed {
+                    self.stats.frames_freed.incr();
+                    self.obs.emit(|| {
+                        Event::new(
+                            EventKind::FrameFree { frames: 1 },
+                            world.0,
+                            parent,
+                            self.vt(),
+                        )
+                    });
+                }
+            }
+        }
         Ok(())
     }
 
@@ -231,23 +539,30 @@ impl PageStore {
     /// descendant of `parent` (transitively), mirroring the paper's
     /// parent/child rendezvous.
     pub fn adopt(&self, parent: WorldId, child: WorldId) -> Result<()> {
-        let mut inner = self.inner.write();
-        if !inner.worlds.contains_key(&parent.0) {
+        if !self.world_exists(parent) {
             return Err(PageStoreError::NoSuchWorld(parent.0));
         }
-        if !inner.worlds.contains_key(&child.0) {
+        if !self.world_exists(child) {
             return Err(PageStoreError::NoSuchWorld(child.0));
         }
         // Verify lineage: walk the child's parent chain up to `parent`,
         // through intermediates even if they were already eliminated.
+        // Lineage records are append-only, so the walk can take one shard
+        // read lock per step with nothing held in between.
         let mut cur = child.0;
         let mut is_descendant = false;
-        while let Some(&Some(p)) = inner.lineage.get(&cur) {
-            if p == parent.0 {
-                is_descendant = true;
-                break;
+        loop {
+            let next = self.shard(cur).read().lineage.get(&cur).copied();
+            match next {
+                Some(Some(p)) => {
+                    if p == parent.0 {
+                        is_descendant = true;
+                        break;
+                    }
+                    cur = p;
+                }
+                _ => break,
             }
-            cur = p;
         }
         if !is_descendant {
             return Err(PageStoreError::NotAChild {
@@ -256,62 +571,106 @@ impl PageStore {
             });
         }
 
+        let (mut pg, mut cg) = self.lock_pair_write(parent.0, child.0);
+        if !pg.worlds.contains_key(&parent.0) {
+            return Err(PageStoreError::NoSuchWorld(parent.0));
+        }
         // Remove the child world; its map (with its refcounts) transfers to
         // the parent wholesale, so no refcount traffic is needed for it.
-        let child_world = inner.worlds.remove(&child.0).expect("checked above");
-        let old_map = {
-            let p = inner.worlds.get_mut(&parent.0).expect("checked above");
-            std::mem::replace(&mut p.map, child_world.map)
+        let child_world = {
+            let cs: &mut Shard = match cg.as_mut() {
+                Some(g) => g,
+                None => &mut pg,
+            };
+            cs.worlds
+                .remove(&child.0)
+                .ok_or(PageStoreError::NoSuchWorld(child.0))?
         };
-        for (_, frame) in old_map.iter() {
-            inner.frames.decref(frame);
-        }
+        let p = pg.worlds.get_mut(&parent.0).expect("checked above");
+        let old_map = std::mem::replace(&mut p.map, child_world.map);
+        p.generation += 1;
         // Fold the child's copy accounting into the parent so write-fraction
         // measurements survive the commit.
-        let p = inner.worlds.get_mut(&parent.0).expect("checked above");
         p.stats.pages_cowed += child_world.stats.pages_cowed;
         p.stats.pages_zero_filled += child_world.stats.pages_zero_filled;
+        let grandparent = p.parent.map(WorldId::raw);
+        let mut freed = 0u64;
+        for (_, frame) in old_map.iter() {
+            if self.frames.decref(frame) {
+                freed += 1;
+            }
+        }
+        drop(cg);
+        drop(pg);
         self.stats.adopts.incr();
-        self.sync_frames_gauge(&inner);
+        if freed > 0 {
+            self.stats.frames_freed.add(freed);
+            self.obs.emit(|| {
+                Event::new(
+                    EventKind::FrameFree { frames: freed },
+                    parent.0,
+                    grandparent,
+                    self.vt(),
+                )
+            });
+        }
         Ok(())
     }
 
     /// Destroy a world (sibling elimination). All of its map's references
-    /// are dropped; frames shared with survivors live on.
+    /// are dropped; frames shared with survivors live on, and frames that
+    /// hit zero are freed into the recycle pool (and announced with a
+    /// `FrameFree` event so `frames_resident` replays exactly from JSONL).
     pub fn drop_world(&self, world: WorldId) -> Result<()> {
-        let mut inner = self.inner.write();
-        let w = inner
-            .worlds
-            .remove(&world.0)
-            .ok_or(PageStoreError::NoSuchWorld(world.0))?;
-        for (_, frame) in w.map.iter() {
-            inner.frames.decref(frame);
-        }
+        let (freed, parent) = {
+            let mut shard = self.shard(world.0).write();
+            let w = shard
+                .worlds
+                .remove(&world.0)
+                .ok_or(PageStoreError::NoSuchWorld(world.0))?;
+            let mut freed = 0u64;
+            for (_, frame) in w.map.iter() {
+                if self.frames.decref(frame) {
+                    freed += 1;
+                }
+            }
+            (freed, w.parent.map(WorldId::raw))
+        };
         self.stats.worlds_dropped.incr();
-        self.sync_frames_gauge(&inner);
+        if freed > 0 {
+            self.stats.frames_freed.add(freed);
+            self.obs.emit(|| {
+                Event::new(
+                    EventKind::FrameFree { frames: freed },
+                    world.0,
+                    parent,
+                    self.vt(),
+                )
+            });
+        }
         Ok(())
     }
 
     /// Does this world currently exist?
     pub fn world_exists(&self, world: WorldId) -> bool {
-        self.inner.read().worlds.contains_key(&world.0)
+        self.shard(world.0).read().worlds.contains_key(&world.0)
     }
 
     /// Number of live worlds.
     pub fn world_count(&self) -> usize {
-        self.inner.read().worlds.len()
+        self.shards.iter().map(|s| s.read().worlds.len()).sum()
     }
 
     /// Number of live physical frames (for leak checks and memory
     /// accounting: `live_frames * page_size` bytes of page data).
     pub fn live_frames(&self) -> usize {
-        self.inner.read().frames.live_frames()
+        self.frames.live_frames()
     }
 
     /// The VPNs currently mapped in `world`, ascending.
     pub fn mapped_vpns(&self, world: WorldId) -> Result<Vec<Vpn>> {
-        let inner = self.inner.read();
-        inner
+        let shard = self.shard(world.0).read();
+        shard
             .worlds
             .get(&world.0)
             .map(|w| w.map.iter().map(|(v, _)| v).collect())
@@ -320,8 +679,8 @@ impl PageStore {
 
     /// Number of pages mapped in `world`.
     pub fn mapped_pages(&self, world: WorldId) -> Result<usize> {
-        let inner = self.inner.read();
-        inner
+        let shard = self.shard(world.0).read();
+        shard
             .worlds
             .get(&world.0)
             .map(|w| w.map.mapped_pages())
@@ -330,12 +689,16 @@ impl PageStore {
 
     /// VPNs at which `a` and `b` differ (see [`PageMap::diff`]).
     pub fn diff_worlds(&self, a: WorldId, b: WorldId) -> Result<Vec<Vpn>> {
-        let inner = self.inner.read();
-        let wa = inner
+        let (ga, gb) = self.lock_pair_read(a.0, b.0);
+        let sb: &Shard = match &gb {
+            Some(g) => g,
+            None => &ga,
+        };
+        let wa = ga
             .worlds
             .get(&a.0)
             .ok_or(PageStoreError::NoSuchWorld(a.0))?;
-        let wb = inner
+        let wb = sb
             .worlds
             .get(&b.0)
             .ok_or(PageStoreError::NoSuchWorld(b.0))?;
@@ -345,13 +708,16 @@ impl PageStore {
     /// Frame-sharing histogram: `histogram[k]` = number of live frames
     /// referenced by exactly `k+1` worlds. The paper's memory argument in
     /// one structure: heavy sharing (mass at high `k`) is what makes
-    /// speculation affordable.
+    /// speculation affordable. Takes every shard read lock (ascending, per
+    /// the lock hierarchy) for a consistent snapshot.
     pub fn sharing_histogram(&self) -> Vec<usize> {
-        let inner = self.inner.read();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
         let mut counts: HashMap<u32, usize> = HashMap::new();
-        for w in inner.worlds.values() {
-            for (_, frame) in w.map.iter() {
-                *counts.entry(frame.index()).or_insert(0) += 1;
+        for g in &guards {
+            for w in g.worlds.values() {
+                for (_, frame) in w.map.iter() {
+                    *counts.entry(frame.index()).or_insert(0) += 1;
+                }
             }
         }
         let mut hist = Vec::new();
@@ -376,6 +742,56 @@ impl PageStore {
         refs as f64 / frames as f64
     }
 
+    /// Check the refcount/frame-table invariant: every live frame's
+    /// refcount equals the number of page-map entries referencing it, and
+    /// the live-frame counter matches. Takes every shard read lock
+    /// (ascending) to quiesce map mutation, so it can run concurrently
+    /// with in-place writes and reads but excludes structural changes.
+    /// Returns the number of live frames verified, or a description of the
+    /// first violation found.
+    pub fn verify_refcounts(&self) -> std::result::Result<usize, String> {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let mut expected: HashMap<u32, u32> = HashMap::new();
+        for g in &guards {
+            for w in g.worlds.values() {
+                for (_, frame) in w.map.iter() {
+                    *expected.entry(frame.index()).or_insert(0) += 1;
+                }
+            }
+        }
+        let actual = self.frames.snapshot_refs();
+        for &(idx, refs) in &actual {
+            match expected.get(&idx) {
+                Some(&want) if want == refs => {}
+                Some(&want) => {
+                    return Err(format!(
+                        "frame {idx}: {refs} refs in table but {want} map entries"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "frame {idx}: live with {refs} refs but mapped in no world"
+                    ))
+                }
+            }
+        }
+        if actual.len() != expected.len() {
+            return Err(format!(
+                "{} frames mapped in worlds but only {} live in the table",
+                expected.len(),
+                actual.len()
+            ));
+        }
+        let live = self.frames.live_frames();
+        if live != actual.len() {
+            return Err(format!(
+                "live-frame counter says {live}, table holds {}",
+                actual.len()
+            ));
+        }
+        Ok(live)
+    }
+
     /// Store-wide counters snapshot.
     pub fn stats(&self) -> StoreStats {
         self.stats.snapshot()
@@ -383,8 +799,8 @@ impl PageStore {
 
     /// Per-world counters snapshot.
     pub fn world_stats(&self, world: WorldId) -> Result<WorldStats> {
-        let inner = self.inner.read();
-        inner
+        let shard = self.shard(world.0).read();
+        shard
             .worlds
             .get(&world.0)
             .map(|w| w.stats)
@@ -393,8 +809,8 @@ impl PageStore {
 
     /// Parent of `world`, if it was forked rather than created.
     pub fn parent_of(&self, world: WorldId) -> Result<Option<WorldId>> {
-        let inner = self.inner.read();
-        inner
+        let shard = self.shard(world.0).read();
+        shard
             .worlds
             .get(&world.0)
             .map(|w| w.parent)
@@ -413,62 +829,6 @@ impl PageStore {
             })
         } else {
             Ok(())
-        }
-    }
-
-    /// Make page `vpn` of `world` privately writable, taking a zero-fill or
-    /// COW fault as needed, and return its frame.
-    fn ensure_private_page(&self, inner: &mut Inner, world: WorldId, vpn: Vpn) -> FrameId {
-        let existing = inner.worlds[&world.0].map.get(vpn);
-        match existing {
-            None => {
-                // Demand-zero fill.
-                let frame = inner.frames.alloc(PageData::zeroed(self.page_size));
-                let w = inner
-                    .worlds
-                    .get_mut(&world.0)
-                    .expect("world checked by caller");
-                w.map.insert(vpn, frame);
-                w.stats.pages_zero_filled += 1;
-                self.stats.zero_fills.incr();
-                if self.obs.is_enabled() {
-                    let parent = inner.worlds[&world.0].parent.map(WorldId::raw);
-                    self.obs.emit(|| {
-                        Event::new(EventKind::ZeroFill { vpn }, world.0, parent, self.vt())
-                    });
-                    self.sync_frames_gauge(inner);
-                }
-                frame
-            }
-            Some(frame) if inner.frames.refs(frame) == 1 => frame, // already private
-            Some(shared) => {
-                // COW fault: copy one page, remap, drop one ref on the old.
-                let copy = inner.frames.data(shared).clone();
-                let new_frame = inner.frames.alloc(copy);
-                let w = inner
-                    .worlds
-                    .get_mut(&world.0)
-                    .expect("world checked by caller");
-                w.map.insert(vpn, new_frame);
-                w.stats.pages_cowed += 1;
-                inner.frames.decref(shared);
-                self.stats.cow_faults.incr();
-                self.stats.bytes_copied.add(self.page_size as u64);
-                if self.obs.is_enabled() {
-                    let parent = inner.worlds[&world.0].parent.map(WorldId::raw);
-                    let bytes = self.page_size as u64;
-                    self.obs.emit(|| {
-                        Event::new(
-                            EventKind::CowCopy { vpn, bytes },
-                            world.0,
-                            parent,
-                            self.vt(),
-                        )
-                    });
-                    self.sync_frames_gauge(inner);
-                }
-                new_frame
-            }
         }
     }
 }
@@ -512,6 +872,8 @@ mod tests {
         assert!(matches!(err, PageStoreError::OutOfPageBounds { .. }));
         let mut buf = [0u8; 8];
         let err = s.read(w, 0, 60, &mut buf).unwrap_err();
+        assert!(matches!(err, PageStoreError::OutOfPageBounds { .. }));
+        let err = s.read_vec(w, 0, 60, 8).unwrap_err();
         assert!(matches!(err, PageStoreError::OutOfPageBounds { .. }));
     }
 
@@ -810,5 +1172,114 @@ mod tests {
         for vpn in 0..32 {
             assert_eq!(s.read_vec(parent, vpn, 0, 1).unwrap(), vec![0xFF]);
         }
+    }
+
+    #[test]
+    fn worlds_spread_across_shards() {
+        let s = store();
+        let ids: Vec<_> = (0..NUM_SHARDS as u64).map(|_| s.create_world()).collect();
+        let shards: std::collections::HashSet<usize> =
+            ids.iter().map(|w| shard_index(w.raw())).collect();
+        assert_eq!(
+            shards.len(),
+            NUM_SHARDS,
+            "consecutive ids must hit distinct shards"
+        );
+        assert_eq!(s.shard_count(), NUM_SHARDS);
+    }
+
+    #[test]
+    fn refcount_invariant_holds_through_lifecycle() {
+        let s = store();
+        let parent = s.create_world();
+        for vpn in 0..6 {
+            s.write(parent, vpn, 0, &[1]).unwrap();
+        }
+        assert_eq!(s.verify_refcounts().unwrap(), 6);
+        let kids: Vec<_> = (0..3).map(|_| s.fork_world(parent).unwrap()).collect();
+        assert_eq!(s.verify_refcounts().unwrap(), 6);
+        for (i, &k) in kids.iter().enumerate() {
+            s.write(k, i as u64, 0, &[2]).unwrap();
+        }
+        assert_eq!(s.verify_refcounts().unwrap(), 9);
+        s.adopt(parent, kids[0]).unwrap();
+        s.drop_world(kids[1]).unwrap();
+        s.drop_world(kids[2]).unwrap();
+        s.verify_refcounts().unwrap();
+    }
+
+    #[test]
+    fn eliminated_sibling_frames_are_recycled() {
+        // The pool turns elimination into allocator-free CoW: a dropped
+        // sibling's private pages come back as staging buffers.
+        let s = store();
+        let parent = s.create_world();
+        for vpn in 0..4 {
+            s.write(parent, vpn, 0, &[1]).unwrap();
+        }
+        let a = s.fork_world(parent).unwrap();
+        let b = s.fork_world(parent).unwrap();
+        for vpn in 0..4 {
+            s.write(a, vpn, 0, &[2]).unwrap();
+        }
+        s.drop_world(a).unwrap(); // 4 private frames -> pool
+        let before = s.stats();
+        for vpn in 0..4 {
+            s.write(b, vpn, 0, &[3]).unwrap();
+        }
+        let d = s.stats().delta_since(&before);
+        assert_eq!(d.cow_faults, 4);
+        assert_eq!(
+            d.frames_recycled, 4,
+            "every CoW buffer must come from the pool"
+        );
+    }
+
+    #[test]
+    fn obs_event_stream_tracks_frame_lifecycle() {
+        // ZeroFill -> CowCopy -> FrameFree, in order, and the
+        // frames_resident gauge follows from event arithmetic alone —
+        // which is what makes JSONL replay of the gauge exact.
+        let (obs, ring) = Registry::with_ring(64);
+        let s = PageStore::with_obs(64, obs.clone());
+        let parent = s.create_world();
+        s.write(parent, 0, 0, &[1]).unwrap();
+        let child = s.fork_world(parent).unwrap();
+        s.write(child, 0, 0, &[2]).unwrap();
+        s.drop_world(child).unwrap();
+        let events = ring.events();
+        let kinds: Vec<&'static str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(kinds, vec!["zero_fill", "cow_copy", "frame_free"]);
+        assert_eq!(
+            events[2].kind,
+            EventKind::FrameFree { frames: 1 },
+            "dropping the child frees exactly its private copy"
+        );
+        let gauge = obs.stats().unwrap().frames_resident.get();
+        assert_eq!(gauge as usize, s.live_frames());
+        // Replaying the same events reconstructs the same gauge.
+        let replayed = worlds_obs::replay(events.iter());
+        assert_eq!(replayed.frames_resident.get(), gauge);
+    }
+
+    #[test]
+    fn adopt_emits_frame_free_for_replaced_frames() {
+        let (obs, ring) = Registry::with_ring(64);
+        let s = PageStore::with_obs(64, obs.clone());
+        let parent = s.create_world();
+        s.write(parent, 0, 0, &[1]).unwrap();
+        let child = s.fork_world(parent).unwrap();
+        s.write(child, 0, 0, &[2]).unwrap();
+        s.adopt(parent, child).unwrap();
+        let events = ring.events();
+        assert_eq!(
+            events.last().unwrap().kind,
+            EventKind::FrameFree { frames: 1 },
+            "adopt must announce the parent's replaced frame"
+        );
+        assert_eq!(
+            obs.stats().unwrap().frames_resident.get() as usize,
+            s.live_frames()
+        );
     }
 }

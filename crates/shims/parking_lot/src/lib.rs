@@ -6,7 +6,7 @@
 //! guards. Lock poisoning is deliberately erased — like real
 //! `parking_lot`, a panicked holder does not poison the lock.
 
-use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock with `parking_lot`'s `lock()` signature
 /// (no `Result`, no poisoning).

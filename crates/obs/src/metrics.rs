@@ -55,11 +55,20 @@ impl Gauge {
         self.0.fetch_add(n, Relaxed);
     }
 
-    /// Lower the level by `n` (saturating at zero would require a CAS
-    /// loop; callers never decrement below their own increments).
+    /// Lower the level by `n`, saturating at zero. Under-runs happen
+    /// legitimately on replay: a truncated JSONL stream, or one captured
+    /// from a registry attached mid-run, can carry a decrement whose
+    /// matching increment predates the stream — a clamped level is wrong
+    /// by the missing prefix, a wrapped one is nonsense.
     #[inline]
     pub fn sub(&self, n: u64) {
-        self.0.fetch_sub(n, Relaxed);
+        let mut cur = self.0.load(Relaxed);
+        while let Err(v) =
+            self.0
+                .compare_exchange_weak(cur, cur.saturating_sub(n), Relaxed, Relaxed)
+        {
+            cur = v;
+        }
     }
 
     /// Current level.
@@ -233,6 +242,16 @@ mod tests {
         assert_eq!(g.get(), 7);
         g.set(2);
         assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn gauge_sub_saturates_at_zero() {
+        let g = Gauge::new();
+        g.add(3);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "under-run must clamp, not wrap");
+        g.add(5);
+        assert_eq!(g.get(), 5, "gauge stays usable after clamping");
     }
 
     #[test]

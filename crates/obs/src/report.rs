@@ -95,7 +95,9 @@ pub struct RunStats {
     /// Pure event arithmetic — `CowCopy`/`ZeroFill` raise it, `FrameFree`
     /// lowers it — so JSONL replay reconstructs it exactly. It counts
     /// frames materialised since this registry attached: a store carrying
-    /// pages from before attachment reports correspondingly fewer.
+    /// pages from before attachment reports correspondingly fewer, and a
+    /// `frame_free` whose allocation predates the stream clamps the gauge
+    /// at zero instead of wrapping.
     pub frames_resident: Gauge,
     /// Commit overhead per winning world (virtual ns).
     pub commit_latency: Histogram,
@@ -330,6 +332,21 @@ mod tests {
         let live = replay(&events);
         let replayed = replay(&events);
         assert_eq!(live.render_summary(), replayed.render_summary());
+    }
+
+    #[test]
+    fn truncated_replay_clamps_frames_resident() {
+        // A stream captured from a registry attached mid-run (or truncated
+        // at the front) can free frames it never saw allocated; the gauge
+        // must clamp at zero rather than wrap to ~u64::MAX.
+        let events = vec![
+            ev(EventKind::FrameFree { frames: 3 }),
+            ev(EventKind::ZeroFill { vpn: 0 }),
+            ev(EventKind::CowCopy { vpn: 1, bytes: 64 }),
+        ];
+        let s = replay(&events);
+        assert_eq!(s.frames_resident.get(), 2);
+        assert_eq!(s.pagestore.frames_freed.get(), 3, "counter still exact");
     }
 
     #[test]

@@ -111,7 +111,12 @@ impl FrameTable {
     pub(crate) fn alloc(&self, data: PageData) -> FrameId {
         let arc = Arc::new(data);
         self.live.fetch_add(1, Ordering::Relaxed);
-        let idx = match self.free.lock().pop() {
+        // Bind the pop so the free-list guard drops here: chunk
+        // initialisation below must not run under it, and frame-table
+        // locks are leaves that never nest (see the store's lock
+        // hierarchy).
+        let popped = self.free.lock().pop();
+        let idx = match popped {
             Some(idx) => idx,
             None => {
                 let idx = self.high.fetch_add(1, Ordering::Relaxed);

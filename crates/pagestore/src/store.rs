@@ -23,12 +23,16 @@
 //!    builds the new page in a pooled buffer. This is the work the old
 //!    design did under a store-wide write lock.
 //! 3. **Commit** under the shard *write* lock, re-validating the world's
-//!    map generation. If anything moved since the probe, the staged buffer
-//!    is kept and the write retries from step 1.
+//!    map generation. The generation moves on every map mutation *and* on
+//!    every fork of the world (a fork re-shares frames without touching
+//!    the map, which would otherwise let a stale staged copy bury an
+//!    in-place write — see [`World::generation`]). If it moved since the
+//!    probe, the staged buffer is kept and the write retries from step 1.
 //!
-//! Lock hierarchy (always acquired in this order, never the reverse):
-//! shard locks in ascending shard-index order → frame-table slot locks →
-//! frame-table free-list/pool locks.
+//! Lock hierarchy: shard locks first (in ascending shard-index order when
+//! taking more than one), then frame-table internal locks (per-slot
+//! mutexes, free list, pool). The frame-table locks are leaves: none is
+//! ever held while acquiring a shard lock or another frame-table lock.
 //!
 //! **Invariant:** whenever all shard locks are quiescent, every live
 //! frame's refcount equals the number of page-map entries referencing it
@@ -94,10 +98,14 @@ struct World {
     map: PageMap,
     parent: Option<WorldId>,
     stats: WorldStats,
-    /// Bumped on every map mutation (insert or wholesale swap). A staged
-    /// CoW commit validates this so a page copied from a stale snapshot can
-    /// never be installed over newer state — including the frame-index
-    /// reuse (ABA) case, which a map-entry recheck alone would miss.
+    /// Bumped on every event that can invalidate a staged CoW commit: any
+    /// map mutation (insert or wholesale swap) *and* any fork of this
+    /// world. A fork raises refcounts without touching the map, so a
+    /// commit staged from a pre-fork snapshot could otherwise overwrite an
+    /// in-place write that landed while the frame was briefly private
+    /// (lost update). Validating at commit time also covers the
+    /// frame-index reuse (ABA) case, which a map-entry recheck alone
+    /// would miss.
     generation: u64,
 }
 
@@ -321,8 +329,14 @@ impl PageStore {
         let (map, inherited) = {
             let p = pg
                 .worlds
-                .get(&parent.0)
+                .get_mut(&parent.0)
                 .ok_or(PageStoreError::NoSuchWorld(parent.0))?;
+            // The refcount sweep below can turn a page a concurrent writer
+            // saw as private back into a shared one. That writer's staged
+            // copy (built before an in-place write that landed while refs
+            // were 1) must not be installable afterwards, so invalidate
+            // every in-flight commit against this world.
+            p.generation += 1;
             (p.map.clone(), p.map.mapped_pages() as u64)
         };
         self.frames.incref_sweep(map.iter().map(|(_, frame)| frame));

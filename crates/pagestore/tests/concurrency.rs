@@ -111,3 +111,64 @@ fn refcount_invariant_under_interleaved_fork_write_drop() {
     store.drop_world(root).unwrap();
     assert_eq!(store.live_frames(), 0, "all frames reclaimed at the end");
 }
+
+/// Lost-update regression: a CoW commit staged from a stale snapshot must
+/// never be installed over an in-place write that landed while the frame
+/// was briefly private. The dangerous interleaving is: writer A probes a
+/// shared frame and stages a copy; a sibling drop makes the frame private;
+/// writer B commits in place; a fork re-shares the frame; A's commit then
+/// sees refs > 1 again and — without the generation bump in `fork_world` —
+/// would install its pre-B copy, silently discarding B's write. The churn
+/// thread below manufactures exactly that share/unshare flapping while two
+/// writers own disjoint regions of one page, so any committed write that
+/// later vanishes is a rolled-back commit, not writer interference.
+#[test]
+fn concurrent_writers_never_lose_committed_writes() {
+    const WRITERS: usize = 2;
+    const REGION: usize = 8;
+    const ROUNDS: u8 = 200;
+
+    let store = PageStore::new(PAGE);
+    let root = store.create_world();
+    store.write(root, 0, 0, &[0u8; REGION * WRITERS]).unwrap();
+
+    let running = Arc::new(AtomicBool::new(true));
+
+    // Flip the page between shared (forces the probe/stage/commit path)
+    // and private (enables in-place writes) as fast as possible.
+    let churn = {
+        let store = store.clone();
+        let running = Arc::clone(&running);
+        thread::spawn(move || {
+            while running.load(Ordering::Relaxed) {
+                let child = store.fork_world(root).unwrap();
+                store.drop_world(child).unwrap();
+            }
+        })
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let store = store.clone();
+            thread::spawn(move || {
+                let offset = t * REGION;
+                for i in 1..=ROUNDS {
+                    let val = [i; REGION];
+                    store.write(root, 0, offset, &val).unwrap();
+                    // This region belongs to this thread alone: once the
+                    // write returns, nothing may roll it back until our
+                    // own next write.
+                    let got = store.read_vec(root, 0, offset, REGION).unwrap();
+                    assert_eq!(got, val, "writer {t}'s committed write was lost");
+                }
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().expect("writer thread panicked");
+    }
+    running.store(false, Ordering::Relaxed);
+    churn.join().expect("churn thread panicked");
+    store.verify_refcounts().expect("refcount invariant violated");
+}

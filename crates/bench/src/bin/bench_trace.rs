@@ -1,0 +1,165 @@
+//! `bench-trace` — the cost of watching.
+//!
+//! Emits a representative lifecycle event mix through the registry in
+//! its three operating points and reports events/sec and per-event ns:
+//!
+//! * **disabled** — the `Option` branch every instrumented call site
+//!   pays when observability is off (the closure never runs);
+//! * **counters** — enabled registry, no sinks: event built, folded
+//!   into the lock-free `RunStats`, then dropped;
+//! * **full span capture** — enabled registry with a ring sink big
+//!   enough to keep every event, the mode `worlds-trace` needs.
+//!
+//! Separately measures [`SpanTree::build`] — the offline reconstruction
+//! cost per event — since that is paid at analysis time, not at emit
+//! time. Results land in `BENCH_trace_overhead.json` (or the path given
+//! as the first argument).
+//!
+//! ```text
+//! cargo run --release -p worlds-bench --bin bench-trace [out.json]
+//! ```
+
+use std::time::Instant;
+
+use worlds_obs::{Event, EventKind, Registry, SpanTree};
+
+/// Emit one representative event for step `i` of a synthetic run: a
+/// spawn/guard/fault/commit mix in roughly the ratio a speculation-heavy
+/// workload produces (faults dominate, lifecycle events are rare).
+fn emit_step(obs: &Registry, i: u64) {
+    let world = 1 + (i % 64);
+    let vt = i * 100;
+    match i % 16 {
+        0 => obs.emit(|| Event::new(EventKind::Spawn { alt: i % 4 }, world, Some(world / 2), vt)),
+        1 => obs.emit(|| {
+            Event::new(
+                EventKind::GuardVerdict {
+                    pass: !i.is_multiple_of(3),
+                    duration_ns: 250,
+                },
+                world,
+                None,
+                vt,
+            )
+        }),
+        2 => obs.emit(|| {
+            Event::new(
+                EventKind::Commit {
+                    dirty_pages: 3,
+                    overhead_ns: 500,
+                },
+                world,
+                Some(world / 2),
+                vt,
+            )
+        }),
+        3 => obs.emit(|| Event::new(EventKind::EliminateAsync, world, None, vt)),
+        4 => obs.emit(|| Event::new(EventKind::MsgSplit, world, Some(world / 2), vt)),
+        _ => obs.emit(|| {
+            Event::new(
+                EventKind::CowCopy {
+                    vpn: i % 512,
+                    bytes: 4096,
+                },
+                world,
+                None,
+                vt,
+            )
+        }),
+    }
+}
+
+/// Median per-event nanoseconds over `samples` runs of `n` events each.
+fn bench_emit(samples: usize, n: u64, make_obs: impl Fn() -> Registry) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let obs = make_obs();
+            let t0 = Instant::now();
+            for i in 0..n {
+                emit_step(&obs, i);
+            }
+            t0.elapsed().as_secs_f64() * 1e9 / n as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_trace_overhead.json".to_string());
+    let n: u64 = 200_000;
+    let samples = 9;
+
+    eprintln!("emit mix: {n} events/run, median of {samples} runs");
+    let disabled_ns = bench_emit(samples, n, Registry::disabled);
+    eprintln!("disabled:      {disabled_ns:.1} ns/event");
+    let counters_ns = bench_emit(samples, n, Registry::enabled);
+    eprintln!("counters-only: {counters_ns:.1} ns/event");
+    let capture_ns = bench_emit(samples, n, || Registry::with_ring(n as usize).0);
+    eprintln!("full capture:  {capture_ns:.1} ns/event");
+
+    // Offline reconstruction: build the span tree from a captured run.
+    let (obs, ring) = Registry::with_ring(n as usize);
+    for i in 0..n {
+        emit_step(&obs, i);
+    }
+    let events = ring.events();
+    let build_ns = {
+        let mut times: Vec<f64> = (0..samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                let tree = SpanTree::build(&events);
+                let per = t0.elapsed().as_secs_f64() * 1e9 / events.len() as f64;
+                std::hint::black_box(tree.len());
+                per
+            })
+            .collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        times[times.len() / 2]
+    };
+    eprintln!("span build:    {build_ns:.1} ns/event (offline)");
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"trace_overhead\",\n",
+            "  \"unix_time\": {unix_time},\n",
+            "  \"effective_cores\": {cores},\n",
+            "  \"config\": {{\"events_per_run\": {n}, \"samples\": {samples}}},\n",
+            "  \"disabled\": {{\"per_event_ns\": {disabled:.1}, ",
+            "\"events_per_sec\": {disabled_eps:.0}}},\n",
+            "  \"counters_only\": {{\"per_event_ns\": {counters:.1}, ",
+            "\"events_per_sec\": {counters_eps:.0}}},\n",
+            "  \"full_span_capture\": {{\"per_event_ns\": {capture:.1}, ",
+            "\"events_per_sec\": {capture_eps:.0}}},\n",
+            "  \"span_tree_build_per_event_ns\": {build:.1},\n",
+            "  \"note\": \"single-core container (effective_cores=1): numbers ",
+            "are per-op costs without cross-thread contention; span-tree ",
+            "build is offline analysis cost, never on the emit path\"\n",
+            "}}\n",
+        ),
+        unix_time = unix_time,
+        cores = cores,
+        n = n,
+        samples = samples,
+        disabled = disabled_ns,
+        disabled_eps = 1e9 / disabled_ns,
+        counters = counters_ns,
+        counters_eps = 1e9 / counters_ns,
+        capture = capture_ns,
+        capture_eps = 1e9 / capture_ns,
+        build = build_ns,
+    );
+    std::fs::write(&out, &json).expect("write results file");
+    println!("wrote {out}");
+}

@@ -214,13 +214,17 @@ impl Speculation {
             // Pre-spawn guards run serially in the parent; failing
             // alternatives never get a world or a thread.
             if let Some(g) = &alt.pre_spawn_guard {
+                let guard_start = Instant::now();
                 if !g() {
                     skipped.push(true);
                     verdict_txs.push(None);
                     child_worlds.push(None);
                     obs.emit(|| {
                         ObsEvent::new(
-                            EventKind::GuardVerdict { pass: false },
+                            EventKind::GuardVerdict {
+                                pass: false,
+                                duration_ns: guard_start.elapsed().as_nanos() as u64,
+                            },
                             parent_world.raw(),
                             None,
                             obs.now_ns(),
@@ -346,9 +350,13 @@ impl Speculation {
             if obs_on {
                 self.store.set_clock_ns(obs.now_ns());
                 let pass = msg.result.is_ok();
+                // In the thread executor the whole alternative is the
+                // guard: its verdict is the run's success, its duration
+                // the child's measured run time.
+                let duration_ns = msg.elapsed.as_nanos() as u64;
                 obs.emit(|| {
                     ObsEvent::new(
-                        EventKind::GuardVerdict { pass },
+                        EventKind::GuardVerdict { pass, duration_ns },
                         msg.world.raw(),
                         Some(parent_world.raw()),
                         obs.now_ns(),
@@ -447,9 +455,10 @@ impl Speculation {
                 }
                 if obs_on {
                     let pass = msg.result.is_ok();
+                    let duration_ns = msg.elapsed.as_nanos() as u64;
                     obs.emit(|| {
                         ObsEvent::new(
-                            EventKind::GuardVerdict { pass },
+                            EventKind::GuardVerdict { pass, duration_ns },
                             msg.world.raw(),
                             Some(parent_world.raw()),
                             obs.now_ns(),

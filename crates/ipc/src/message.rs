@@ -1,5 +1,6 @@
 //! The three-part message structure of §2.4.1.
 
+use worlds_obs::TraceCtx;
 use worlds_predicate::{Pid, PredicateSet};
 
 /// Per-network unique message identifier (also the global send order).
@@ -24,6 +25,12 @@ pub struct Message {
     pub predicate: PredicateSet,
     /// The message contents.
     pub payload: Vec<u8>,
+    /// Trace context: which run and which *world* sent this message.
+    /// Pure observability — routing never reads it. When present, the
+    /// receiver's routing events carry the sender world as their causal
+    /// parent, so message-induced splits join the sender's span tree
+    /// instead of appearing as orphan roots.
+    pub trace: Option<TraceCtx>,
 }
 
 impl Message {
@@ -36,7 +43,14 @@ impl Message {
             dst,
             predicate,
             payload: payload.into(),
+            trace: None,
         }
+    }
+
+    /// Attach a trace context (builder style).
+    pub fn with_trace(mut self, ctx: TraceCtx) -> Self {
+        self.trace = Some(ctx);
+        self
     }
 
     /// Payload interpreted as UTF-8, for diagnostics and tests.

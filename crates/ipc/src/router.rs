@@ -45,8 +45,11 @@ pub fn classify(receiver: &PredicateSet, msg: &Message) -> DeliveryAction {
 /// [`classify`], reported to an observability registry: the decision is
 /// emitted as a `MsgAccept` / `MsgExtend` / `MsgIgnore` / `MsgSplit`
 /// event stamped with the receiving world and the caller's virtual
-/// time. `classify` itself stays pure; kernels that route predicated
-/// messages call this wrapper.
+/// time. When the message carries a [`worlds_obs::TraceCtx`], the event's
+/// `parent` field names the *sending* world — the causal edge the span
+/// layer draws as a flow arrow (for routing events, `parent` is a causal
+/// link, never a speculation-tree edge). `classify` itself stays pure;
+/// kernels that route predicated messages call this wrapper.
 pub fn classify_observed(
     receiver: &PredicateSet,
     msg: &Message,
@@ -62,7 +65,8 @@ pub fn classify_observed(
             DeliveryAction::Ignore => worlds_obs::EventKind::MsgIgnore,
             DeliveryAction::SplitReceiver { .. } => worlds_obs::EventKind::MsgSplit,
         };
-        worlds_obs::Event::new(kind, world, None, vt_ns)
+        let sender = msg.trace.as_ref().map(|t| t.world).filter(|&s| s != world);
+        worlds_obs::Event::new(kind, world, sender, vt_ns)
     });
     action
 }

@@ -44,6 +44,9 @@ struct Proc {
     state: ProcState,
     cpu_time: u64,
     finished_at: Option<u64>,
+    /// When the guard evaluation completed (virtual ns), so the verdict
+    /// event lands where the guard actually ran, not at process exit.
+    guard_done_at: Option<u64>,
     guard_pass: bool,
     next_vpn: u64,
 }
@@ -176,6 +179,7 @@ impl Machine {
                     state: ProcState::Aborted,
                     cpu_time: 0,
                     finished_at: Some(t_setup),
+                    guard_done_at: Some(guard_times[i]),
                     guard_pass: false,
                     next_vpn: 0,
                 });
@@ -197,6 +201,7 @@ impl Machine {
                 state: ProcState::Ready,
                 cpu_time: 0,
                 finished_at: None,
+                guard_done_at: None,
                 guard_pass: alt.guard_pass,
                 next_vpn: 0,
             });
@@ -287,7 +292,7 @@ impl Machine {
                         ready.pop_front();
                     }
                     let Some(p) = ready.pop_front() else { break };
-                    let dur = self.execute_next_chunk(&mut procs[p], quantum);
+                    let dur = self.execute_next_chunk(&mut procs[p], quantum, now);
                     match dur {
                         ChunkResult::Ran(ns) => {
                             procs[p].state = ProcState::Running;
@@ -494,7 +499,10 @@ impl Machine {
                 if spawned[i] {
                     history.push((
                         ObsEvent::new(
-                            EventKind::GuardVerdict { pass: true },
+                            EventKind::GuardVerdict {
+                                pass: true,
+                                duration_ns: spec.alts[i].guard_cost.as_ns(),
+                            },
                             pw,
                             None,
                             guard_times[i],
@@ -511,15 +519,23 @@ impl Machine {
             } else {
                 (pw, None)
             };
+            // Verdicts land where the guard actually completed (for
+            // InChild that precedes the rendezvous by the whole compute
+            // phase), with the modeled guard cost as their duration — so
+            // the trace layer can draw guard work as a real sub-span.
+            let guard_cost = spec.alts[p.alt_index].guard_cost.as_ns();
             match (&p.state, p.finished_at) {
                 (ProcState::Done, Some(at)) if p.guard_pass => {
                     if spec.guard_placement != GuardPlacement::PreSpawn {
                         history.push((
                             ObsEvent::new(
-                                EventKind::GuardVerdict { pass: true },
+                                EventKind::GuardVerdict {
+                                    pass: true,
+                                    duration_ns: guard_cost,
+                                },
                                 world,
                                 parent,
-                                at,
+                                p.guard_done_at.unwrap_or(at),
                             ),
                             Some(p.alt_index),
                             true,
@@ -533,7 +549,15 @@ impl Machine {
                 }
                 (ProcState::Done, Some(at)) | (ProcState::Aborted, Some(at)) => {
                     history.push((
-                        ObsEvent::new(EventKind::GuardVerdict { pass: false }, world, parent, at),
+                        ObsEvent::new(
+                            EventKind::GuardVerdict {
+                                pass: false,
+                                duration_ns: guard_cost,
+                            },
+                            world,
+                            parent,
+                            p.guard_done_at.unwrap_or(at),
+                        ),
                         Some(p.alt_index),
                         true,
                     ));
@@ -632,8 +656,9 @@ impl Machine {
     }
 
     /// Begin (or continue) the head op of `proc`, consuming up to `quantum`
-    /// nanoseconds. Performs real page-store traffic for page ops.
-    fn execute_next_chunk(&mut self, proc: &mut Proc, quantum: u64) -> ChunkResult {
+    /// nanoseconds starting at virtual time `now`. Performs real
+    /// page-store traffic for page ops.
+    fn execute_next_chunk(&mut self, proc: &mut Proc, quantum: u64, now: u64) -> ChunkResult {
         match proc.ops.front_mut() {
             None => ChunkResult::Ran(0),
             Some(Op::Cpu(remaining)) => {
@@ -671,6 +696,7 @@ impl Machine {
             Some(Op::GuardEval) => {
                 proc.ops.pop_front();
                 let cost = 0; // guard cost carried as a preceding Cpu op
+                proc.guard_done_at = Some(now);
                 if proc.guard_pass {
                     ChunkResult::Ran(cost)
                 } else {

@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use worlds_ipc::{classify_observed, DeliveryAction, Message, Network};
+use worlds_obs::{Event as ObsEvent, EventKind, TraceCtx};
 use worlds_pagestore::{PageStore, WorldId};
 use worlds_predicate::{Fate, FateBoard, Pid, PredicateSet};
 
@@ -128,11 +129,19 @@ impl SplitKernel {
             .expect("alt_spawn of unknown process")
             .clone();
         let kids: Vec<Pid> = (0..n).map(|_| Pid::fresh()).collect();
-        for &kid in &kids {
+        for (i, &kid) in kids.iter().enumerate() {
             let world = self
                 .store
                 .fork_world(parent_proc.world)
                 .expect("parent world live");
+            self.store.obs().emit(|| {
+                ObsEvent::new(
+                    EventKind::Spawn { alt: i as u64 },
+                    world.raw(),
+                    Some(parent_proc.world.raw()),
+                    self.store.clock_ns(),
+                )
+            });
             let predicates = PredicateSet::for_spawned_child(&parent_proc.predicates, kid, &kids);
             self.procs.insert(
                 kid,
@@ -173,10 +182,37 @@ impl SplitKernel {
     }
 
     /// Send a message from `from` to `to`, stamped with the sender's
-    /// current predicate set.
+    /// current predicate set and its trace context (run root + sender
+    /// world), so the receiver's routing events join the sender's
+    /// speculation tree as causal edges.
     pub fn send(&mut self, from: Pid, to: Pid, payload: impl Into<Vec<u8>>) {
-        let preds = self.procs[&from].predicates.clone();
-        self.net.send(Message::new(from, to, preds, payload));
+        let sender = &self.procs[&from];
+        let ctx = TraceCtx {
+            root: self.root_world_of(from),
+            world: sender.world.raw(),
+        };
+        let preds = sender.predicates.clone();
+        self.net
+            .send(Message::new(from, to, preds, payload).with_trace(ctx));
+    }
+
+    /// The root world of `pid`'s process ancestry (the run id the trace
+    /// context carries across message and RPC boundaries).
+    fn root_world_of(&self, pid: Pid) -> u64 {
+        let mut cur = &self.procs[&pid];
+        let mut hops = 0;
+        while let Some(pp) = cur.parent {
+            match self.procs.get(&pp) {
+                // An eliminated ancestor ends the walk; `hops` bounds it
+                // against malformed parent cycles.
+                Some(p) if hops < self.procs.len() => {
+                    cur = p;
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        cur.world.raw()
     }
 
     /// Process the next message queued for `to`, applying the §2.4.2
@@ -212,6 +248,16 @@ impl SplitKernel {
                     .store
                     .fork_world(orig.world)
                     .expect("receiver world live");
+                // The accepting copy is a new world in the speculation
+                // tree, parented on the receiver it was forked from.
+                self.store.obs().emit(|| {
+                    ObsEvent::new(
+                        EventKind::SplitSpawn,
+                        world.raw(),
+                        Some(orig.world.raw()),
+                        self.store.clock_ns(),
+                    )
+                });
                 self.net.duplicate_mailbox(to, accepting);
                 self.procs.insert(
                     accepting,
@@ -268,6 +314,15 @@ impl SplitKernel {
             doomed.sort();
             for &p in &doomed {
                 let proc_ = self.procs.remove(&p).expect("doomed process exists");
+                // Fate-driven elimination never blocks anyone: async.
+                self.store.obs().emit(|| {
+                    ObsEvent::new(
+                        EventKind::EliminateAsync,
+                        proc_.world.raw(),
+                        None,
+                        self.store.clock_ns(),
+                    )
+                });
                 if self.store.world_exists(proc_.world) {
                     self.store.drop_world(proc_.world).expect("world live");
                 }
@@ -298,9 +353,25 @@ impl SplitKernel {
             .expect("commit of unknown process");
         let parent = child_proc.parent.expect("root processes cannot commit");
         let parent_world = self.procs[&parent].world;
+        let dirty = self
+            .store
+            .world_stats(child_proc.world)
+            .map(|s| s.pages_cowed + s.pages_zero_filled)
+            .unwrap_or(0);
         self.store
             .adopt(parent_world, child_proc.world)
             .expect("child world adoptable");
+        self.store.obs().emit(|| {
+            ObsEvent::new(
+                EventKind::Commit {
+                    dirty_pages: dirty,
+                    overhead_ns: 0,
+                },
+                child_proc.world.raw(),
+                Some(parent_world.raw()),
+                self.store.clock_ns(),
+            )
+        });
         self.net.discard_mailbox(child);
         self.resolve(child, true)
     }

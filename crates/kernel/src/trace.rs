@@ -88,7 +88,7 @@ impl TraceEvent {
         let at = VirtualTime(ev.vt_ns);
         match ev.kind {
             EventKind::Spawn { .. } => Some(TraceEvent::Spawned { alt: alt?, at }),
-            EventKind::GuardVerdict { pass: false } => {
+            EventKind::GuardVerdict { pass: false, .. } => {
                 Some(TraceEvent::GuardFailed { alt: alt?, at })
             }
             EventKind::Rendezvous => Some(TraceEvent::Synchronized { alt: alt?, at }),

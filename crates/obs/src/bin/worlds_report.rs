@@ -1,45 +1,101 @@
-//! `worlds-report` — replay a JSONL event stream into the summary table.
+//! `worlds-report` — replay a JSONL event stream into the summary table
+//! and the worlds-trace analyses.
 //!
 //! ```text
-//! worlds-report run.jsonl     # from a file
-//! worlds-report -             # from stdin
+//! worlds-report run.jsonl                  # summary table from a file
+//! worlds-report -                          # from stdin
+//! worlds-report --critical-path run.jsonl  # + winner-lineage table
+//! worlds-report --waste run.jsonl          # + waste-attribution table
+//! worlds-report --trace-out t.json run.jsonl  # + Chrome trace for Perfetto
 //! ```
 //!
 //! Replays every event through the same [`RunStats`] mapping the live
 //! registry uses, so the printed table matches what the run itself
-//! would have printed. Malformed lines are counted and reported, not
-//! fatal — a truncated file from a crashed run still yields a report.
+//! would have printed. Malformed lines are skipped and counted (count on
+//! stderr), never fatal mid-stream — a truncated file from a crashed run
+//! still yields a report. The exit code is nonzero only when the input
+//! is empty or *every* line was malformed.
 
-use std::io::{BufRead, BufReader, Read};
+use std::io::{BufRead, BufReader, Read, Write};
 
-use worlds_obs::{Event, RunStats};
+use worlds_obs::{chrome_trace_json, Event, RunStats, SpanTree};
 
 fn main() {
     std::process::exit(run(std::env::args().skip(1).collect()));
 }
 
+const USAGE: &str =
+    "usage: worlds-report [--critical-path] [--waste] [--trace-out FILE] [<events.jsonl> | -]";
+
+struct Options {
+    path: String,
+    critical_path: bool,
+    waste: bool,
+    trace_out: Option<String>,
+}
+
+fn parse_args(args: Vec<String>) -> Result<Options, String> {
+    let mut opts = Options {
+        path: "-".to_string(),
+        critical_path: false,
+        waste: false,
+        trace_out: None,
+    };
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--critical-path" => opts.critical_path = true,
+            "--waste" => opts.waste = true,
+            "--trace-out" => {
+                opts.trace_out = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace-out needs a file argument".to_string())?,
+                );
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    match positional.len() {
+        0 => {}
+        1 => opts.path = positional.remove(0),
+        _ => return Err("at most one input path".to_string()),
+    }
+    Ok(opts)
+}
+
 fn run(args: Vec<String>) -> i32 {
-    let path = match args.as_slice() {
-        [p] => p.clone(),
-        [] => "-".to_string(),
-        _ => {
-            eprintln!("usage: worlds-report [<events.jsonl> | -]");
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("worlds-report: {msg}");
+            }
+            eprintln!("{USAGE}");
             return 2;
         }
     };
-    let reader: Box<dyn Read> = if path == "-" {
+    let reader: Box<dyn Read> = if opts.path == "-" {
         Box::new(std::io::stdin())
     } else {
-        match std::fs::File::open(&path) {
+        match std::fs::File::open(&opts.path) {
             Ok(f) => Box::new(f),
             Err(e) => {
-                eprintln!("worlds-report: cannot open {path}: {e}");
+                eprintln!("worlds-report: cannot open {}: {e}", opts.path);
                 return 1;
             }
         }
     };
 
+    // The span analyses need the events themselves, not just the folded
+    // counters; collect as we stream.
+    let need_spans = opts.critical_path || opts.waste || opts.trace_out.is_some();
     let stats = RunStats::new();
+    let mut events: Vec<Event> = Vec::new();
     let mut total = 0u64;
     let mut bad = 0u64;
     for line in BufReader::new(reader).lines() {
@@ -55,7 +111,12 @@ fn run(args: Vec<String>) -> i32 {
         }
         total += 1;
         match Event::from_json(&line) {
-            Ok(ev) => stats.absorb(&ev),
+            Ok(ev) => {
+                stats.absorb(&ev);
+                if need_spans {
+                    events.push(ev);
+                }
+            }
             Err(e) => {
                 bad += 1;
                 if bad <= 5 {
@@ -67,9 +128,41 @@ fn run(args: Vec<String>) -> i32 {
 
     println!("{}", stats.render_summary());
     println!("events replayed: {} ({} malformed)", total - bad, bad);
+    if bad > 0 {
+        eprintln!("worlds-report: skipped {bad} malformed line(s) of {total}");
+    }
     if total == 0 {
         eprintln!("worlds-report: no events in input");
         return 1;
+    }
+    if bad == total {
+        eprintln!("worlds-report: every line was malformed");
+        return 1;
+    }
+
+    if need_spans {
+        let tree = SpanTree::build(&events);
+        if opts.critical_path {
+            println!("{}", tree.render_critical_path());
+        }
+        if opts.waste {
+            println!("{}", tree.render_waste());
+        }
+        if let Some(path) = &opts.trace_out {
+            let doc = chrome_trace_json(&tree);
+            if let Err(e) = std::fs::File::create(path).and_then(|mut f| {
+                f.write_all(doc.as_bytes())?;
+                f.flush()
+            }) {
+                eprintln!("worlds-report: cannot write {path}: {e}");
+                return 1;
+            }
+            eprintln!(
+                "worlds-report: wrote Chrome trace ({} worlds, {} causal edges) to {path}",
+                tree.len(),
+                tree.edges().len()
+            );
+        }
     }
     0
 }

@@ -18,8 +18,11 @@ use std::fmt;
 pub enum EventKind {
     /// A speculative world was forked to run alternative `alt`.
     Spawn { alt: u64 },
-    /// A world's guard predicate was evaluated.
-    GuardVerdict { pass: bool },
+    /// A world's guard predicate was evaluated. `duration_ns` is how long
+    /// the evaluation took (virtual ns in the simulator, wall ns in the
+    /// thread executor; 0 when the emitter cannot time it), so the trace
+    /// layer can render guard work as a real sub-span, not an instant.
+    GuardVerdict { pass: bool, duration_ns: u64 },
     /// A finished world reached the rendezvous point.
     Rendezvous,
     /// The winning world was committed into its parent.
@@ -53,6 +56,15 @@ pub enum EventKind {
     MsgIgnore,
     /// A message forced the receiver to split into two worlds.
     MsgSplit,
+    /// The accepting copy created by a message-induced split. `world` is
+    /// the fresh copy, `parent` the receiver world it was forked from —
+    /// the causal edge that keeps split copies out of the orphan-root
+    /// bucket in the span tree.
+    SplitSpawn,
+    /// A world restored on node `node` by a remote fork. `world` is the
+    /// restored world, `parent` the origin world whose checkpoint it was
+    /// built from — the cross-node causal edge.
+    RemoteFork { node: u64 },
     /// A remote fork/commit RPC left for node `node`.
     RpcSend {
         node: u64,
@@ -84,6 +96,8 @@ impl EventKind {
             EventKind::MsgExtend => "msg_extend",
             EventKind::MsgIgnore => "msg_ignore",
             EventKind::MsgSplit => "msg_split",
+            EventKind::SplitSpawn => "split_spawn",
+            EventKind::RemoteFork { .. } => "rfork",
             EventKind::RpcSend { .. } => "rpc_send",
             EventKind::RpcRetry { .. } => "rpc_retry",
             EventKind::RpcTimeout { .. } => "rpc_timeout",
@@ -137,9 +151,10 @@ impl Event {
         push_u64(&mut s, self.wall_ns);
         match &self.kind {
             EventKind::Spawn { alt } => push_field(&mut s, "alt", *alt),
-            EventKind::GuardVerdict { pass } => {
+            EventKind::GuardVerdict { pass, duration_ns } => {
                 s.push_str(",\"pass\":");
                 s.push_str(if *pass { "true" } else { "false" });
+                push_field(&mut s, "dur", *duration_ns);
             }
             EventKind::Commit {
                 dirty_pages,
@@ -166,6 +181,7 @@ impl Event {
                 push_field(&mut s, "bytes", *bytes);
                 push_field(&mut s, "dur", *duration_ns);
             }
+            EventKind::RemoteFork { node } => push_field(&mut s, "node", *node),
             EventKind::RpcSend {
                 node,
                 bytes,
@@ -189,7 +205,8 @@ impl Event {
             | EventKind::MsgAccept
             | EventKind::MsgExtend
             | EventKind::MsgIgnore
-            | EventKind::MsgSplit => {}
+            | EventKind::MsgSplit
+            | EventKind::SplitSpawn => {}
         }
         s.push('}');
         s
@@ -205,6 +222,9 @@ impl Event {
             },
             "guard" => EventKind::GuardVerdict {
                 pass: fields.bool_field("pass")?,
+                // Lenient: captures from before the field existed parse
+                // as zero-duration verdicts.
+                duration_ns: fields.opt_u64_field("dur")?.unwrap_or(0),
             },
             "rendezvous" => EventKind::Rendezvous,
             "commit" => EventKind::Commit {
@@ -235,6 +255,10 @@ impl Event {
             "msg_extend" => EventKind::MsgExtend,
             "msg_ignore" => EventKind::MsgIgnore,
             "msg_split" => EventKind::MsgSplit,
+            "split_spawn" => EventKind::SplitSpawn,
+            "rfork" => EventKind::RemoteFork {
+                node: fields.u64_field("node")?,
+            },
             "rpc_send" => EventKind::RpcSend {
                 node: fields.u64_field("node")?,
                 bytes: fields.u64_field("bytes")?,
@@ -415,8 +439,14 @@ mod tests {
     fn all_kinds() -> Vec<EventKind> {
         vec![
             EventKind::Spawn { alt: 3 },
-            EventKind::GuardVerdict { pass: true },
-            EventKind::GuardVerdict { pass: false },
+            EventKind::GuardVerdict {
+                pass: true,
+                duration_ns: 250,
+            },
+            EventKind::GuardVerdict {
+                pass: false,
+                duration_ns: 0,
+            },
             EventKind::Rendezvous,
             EventKind::Commit {
                 dirty_pages: 7,
@@ -440,6 +470,8 @@ mod tests {
             EventKind::MsgExtend,
             EventKind::MsgIgnore,
             EventKind::MsgSplit,
+            EventKind::SplitSpawn,
+            EventKind::RemoteFork { node: 2 },
             EventKind::RpcSend {
                 node: 2,
                 bytes: 8192,
@@ -511,6 +543,20 @@ mod tests {
         ] {
             assert!(Event::from_json(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn guard_without_duration_parses_as_zero() {
+        // Captures written before `dur` existed must still replay.
+        let line = "{\"ev\":\"guard\",\"world\":4,\"parent\":1,\"vt\":50,\"wt\":0,\"pass\":true}";
+        let ev = Event::from_json(line).unwrap();
+        assert_eq!(
+            ev.kind,
+            EventKind::GuardVerdict {
+                pass: true,
+                duration_ns: 0
+            }
+        );
     }
 
     #[test]

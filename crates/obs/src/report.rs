@@ -62,6 +62,8 @@ counter_struct! {
         pub ignores,
         /// Messages that split the receiver into two worlds.
         pub splits,
+        /// Accepting copies forked by those splits.
+        pub split_spawns,
     }
 }
 
@@ -76,6 +78,8 @@ counter_struct! {
         pub rpc_timeouts,
         /// Payload bytes shipped over the modeled network.
         pub bytes_sent,
+        /// Worlds restored on a remote node by rfork.
+        pub rforks,
     }
 }
 
@@ -120,8 +124,8 @@ impl RunStats {
     pub fn absorb(&self, ev: &Event) {
         match &ev.kind {
             EventKind::Spawn { .. } => self.kernel.worlds_spawned.incr(),
-            EventKind::GuardVerdict { pass: true } => self.kernel.guard_pass.incr(),
-            EventKind::GuardVerdict { pass: false } => self.kernel.guard_fail.incr(),
+            EventKind::GuardVerdict { pass: true, .. } => self.kernel.guard_pass.incr(),
+            EventKind::GuardVerdict { pass: false, .. } => self.kernel.guard_fail.incr(),
             EventKind::Rendezvous => self.kernel.rendezvous.incr(),
             EventKind::Commit { overhead_ns, .. } => {
                 self.kernel.commits.incr();
@@ -159,6 +163,8 @@ impl RunStats {
             EventKind::MsgExtend => self.ipc.extends.incr(),
             EventKind::MsgIgnore => self.ipc.ignores.incr(),
             EventKind::MsgSplit => self.ipc.splits.incr(),
+            EventKind::SplitSpawn => self.ipc.split_spawns.incr(),
+            EventKind::RemoteFork { .. } => self.remote.rforks.incr(),
             EventKind::RpcSend {
                 bytes, latency_ns, ..
             } => {
@@ -244,8 +250,14 @@ mod tests {
     fn absorb_routes_every_kind() {
         let s = RunStats::new();
         s.absorb(&ev(EventKind::Spawn { alt: 0 }));
-        s.absorb(&ev(EventKind::GuardVerdict { pass: true }));
-        s.absorb(&ev(EventKind::GuardVerdict { pass: false }));
+        s.absorb(&ev(EventKind::GuardVerdict {
+            pass: true,
+            duration_ns: 10,
+        }));
+        s.absorb(&ev(EventKind::GuardVerdict {
+            pass: false,
+            duration_ns: 0,
+        }));
         s.absorb(&ev(EventKind::Rendezvous));
         s.absorb(&ev(EventKind::Commit {
             dirty_pages: 3,
@@ -269,6 +281,8 @@ mod tests {
         s.absorb(&ev(EventKind::MsgExtend));
         s.absorb(&ev(EventKind::MsgIgnore));
         s.absorb(&ev(EventKind::MsgSplit));
+        s.absorb(&ev(EventKind::SplitSpawn));
+        s.absorb(&ev(EventKind::RemoteFork { node: 1 }));
         s.absorb(&ev(EventKind::RpcSend {
             node: 1,
             bytes: 100,
@@ -301,7 +315,9 @@ mod tests {
             "one CoW + one zero-fill - one free"
         );
         assert_eq!(s.pagestore.checkpoints.get(), 1);
-        assert_eq!(s.ipc.snapshot().iter().map(|(_, v)| v).sum::<u64>(), 4);
+        assert_eq!(s.ipc.snapshot().iter().map(|(_, v)| v).sum::<u64>(), 5);
+        assert_eq!(s.ipc.split_spawns.get(), 1);
+        assert_eq!(s.remote.rforks.get(), 1);
         assert_eq!(s.remote.rpc_sends.get(), 1);
         assert_eq!(s.remote.rpc_retries.get(), 1);
         assert_eq!(s.remote.rpc_timeouts.get(), 1);

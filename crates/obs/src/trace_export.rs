@@ -1,0 +1,391 @@
+//! Chrome trace-event export: load the speculation tree in Perfetto.
+//!
+//! Emits the JSON object format (`{"traceEvents": [...]}`) with one
+//! track (thread) per world:
+//!
+//! * `M` metadata names each track `world N (alt i|root|split|rfork@n)`;
+//! * one `X` complete slice per world span, labelled with its outcome;
+//! * nested `X` slices for the guard evaluation and checkpoints;
+//! * `i` instants for CoW faults, zero fills, message routing and RPCs;
+//! * `s`/`f` flow arrows for every causal edge — spawn, commit, split,
+//!   remote fork, and message delivery.
+//!
+//! Timestamps are microseconds (the format's unit); virtual nanoseconds
+//! divide by 1000 with three decimals so nothing collapses to zero.
+
+use crate::span::{CausalEdge, SpanOrigin, SpanTree, WorldSpan};
+
+/// Render the tree as a Chrome trace-event JSON document.
+pub fn chrome_trace_json(tree: &SpanTree) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for span in tree.spans() {
+        push_track_meta(&mut events, span);
+        push_span_slices(&mut events, span);
+    }
+    for (i, edge) in tree.edges().iter().enumerate() {
+        push_flow(&mut events, edge, i as u64);
+    }
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[\n");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str(ev);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+fn ts(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+fn push_track_meta(out: &mut Vec<String>, span: &WorldSpan) {
+    let role = match span.origin {
+        SpanOrigin::Root => "root".to_string(),
+        SpanOrigin::Spawned { alt } => format!("alt {alt}"),
+        SpanOrigin::SplitCopy => "split".to_string(),
+        SpanOrigin::RemoteForked { node } => format!("rfork@{node}"),
+    };
+    out.push(format!(
+        "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{w},\
+         \"args\":{{\"name\":\"world {w} ({role})\"}}}}",
+        w = span.world,
+    ));
+    out.push(format!(
+        "{{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":0,\"tid\":{w},\
+         \"args\":{{\"sort_index\":{w}}}}}",
+        w = span.world,
+    ));
+}
+
+fn push_span_slices(out: &mut Vec<String>, span: &WorldSpan) {
+    let w = span.world;
+    let name = match span.alt {
+        Some(a) => format!("alt {a} \u{00b7} {}", span.outcome.label()),
+        None => format!("world {w} \u{00b7} {}", span.outcome.label()),
+    };
+    out.push(format!(
+        "{{\"ph\":\"X\",\"name\":\"{name}\",\"cat\":\"world\",\"pid\":0,\"tid\":{w},\
+         \"ts\":{},\"dur\":{},\"args\":{{\"world\":{w},\"pages_faulted\":{},\
+         \"bytes_copied\":{}}}}}",
+        ts(span.start_ns),
+        ts(span.duration_ns()),
+        span.pages_faulted(),
+        span.bytes_copied(),
+    ));
+    if let Some(g) = &span.guard {
+        out.push(format!(
+            "{{\"ph\":\"X\",\"name\":\"guard \u{00b7} {}\",\"cat\":\"guard\",\"pid\":0,\
+             \"tid\":{w},\"ts\":{},\"dur\":{},\"args\":{{\"pass\":{}}}}}",
+            if g.pass { "pass" } else { "fail" },
+            ts(g.start_ns),
+            ts(g.end_ns.saturating_sub(g.start_ns)),
+            g.pass,
+        ));
+    }
+    for c in &span.checkpoints {
+        out.push(format!(
+            "{{\"ph\":\"X\",\"name\":\"checkpoint\",\"cat\":\"checkpoint\",\"pid\":0,\
+             \"tid\":{w},\"ts\":{},\"dur\":{},\"args\":{{\"pages\":{},\"bytes\":{}}}}}",
+            ts(c.start_ns),
+            ts(c.end_ns.saturating_sub(c.start_ns)),
+            c.pages,
+            c.bytes,
+        ));
+    }
+    for f in &span.faults {
+        out.push(format!(
+            "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"fault\",\"pid\":0,\"tid\":{w},\
+             \"ts\":{},\"s\":\"t\",\"args\":{{\"vpn\":{},\"bytes\":{}}}}}",
+            if f.zero_fill { "zero_fill" } else { "cow_copy" },
+            ts(f.vt_ns),
+            f.vpn,
+            f.bytes,
+        ));
+    }
+    for m in &span.marks {
+        let from = m.from.map(|f| format!(",\"from\":{f}")).unwrap_or_default();
+        out.push(format!(
+            "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"mark\",\"pid\":0,\"tid\":{w},\
+             \"ts\":{},\"s\":\"t\",\"args\":{{\"world\":{w}{from}}}}}",
+            m.what,
+            ts(m.vt_ns),
+        ));
+    }
+}
+
+/// One `s`→`f` flow pair per causal edge. Start and finish share the
+/// name, category and id; `bp:"e"` binds the arrowhead to the enclosing
+/// slice at the finish timestamp.
+fn push_flow(out: &mut Vec<String>, edge: &CausalEdge, id: u64) {
+    let name = edge.kind.label();
+    let t = ts(edge.vt_ns);
+    out.push(format!(
+        "{{\"ph\":\"s\",\"name\":\"{name}\",\"cat\":\"flow\",\"id\":{id},\
+         \"pid\":0,\"tid\":{},\"ts\":{t}}}",
+        edge.src,
+    ));
+    out.push(format!(
+        "{{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"{name}\",\"cat\":\"flow\",\"id\":{id},\
+         \"pid\":0,\"tid\":{},\"ts\":{t}}}",
+        edge.dst,
+    ));
+}
+
+/// Validate that `s` is one well-formed JSON value. A full parser would
+/// be overkill — this recursive-descent checker exists so tests and the
+/// CI golden job can assert the exported document parses without a JSON
+/// dependency. Accepts exactly RFC 8259 grammar; no size limits.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(b: &[u8], pos: usize) -> Result<usize, String> {
+    match b.get(pos) {
+        None => Err(format!("unexpected end at byte {pos}")),
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {pos}", *c as char)),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &[u8]) -> Result<usize, String> {
+    if b.len() >= pos + lit.len() && &b[pos..pos + lit.len()] == lit {
+        Ok(pos + lit.len())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn string(b: &[u8], pos: usize) -> Result<usize, String> {
+    let mut i = pos + 1; // past the opening quote
+    while i < b.len() {
+        match b[i] {
+            b'"' => return Ok(i + 1),
+            b'\\' => {
+                let esc = b.get(i + 1).ok_or_else(|| "dangling escape".to_string())?;
+                match esc {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => i += 2,
+                    b'u' => {
+                        if i + 6 > b.len() || !b[i + 2..i + 6].iter().all(u8::is_ascii_hexdigit) {
+                            return Err(format!("bad \\u escape at byte {i}"));
+                        }
+                        i += 6;
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control char in string at byte {i}")),
+            _ => i += 1,
+        }
+    }
+    Err(format!("unterminated string from byte {pos}"))
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    let digits = |b: &[u8], mut p: usize| {
+        let s = p;
+        while p < b.len() && b[p].is_ascii_digit() {
+            p += 1;
+        }
+        (p, p > s)
+    };
+    let (p, ok) = digits(b, pos);
+    if !ok {
+        return Err(format!("bad number at byte {start}"));
+    }
+    pos = p;
+    if b.get(pos) == Some(&b'.') {
+        let (p, ok) = digits(b, pos + 1);
+        if !ok {
+            return Err(format!("bad fraction at byte {pos}"));
+        }
+        pos = p;
+    }
+    if matches!(b.get(pos), Some(b'e') | Some(b'E')) {
+        let mut p = pos + 1;
+        if matches!(b.get(p), Some(b'+') | Some(b'-')) {
+            p += 1;
+        }
+        let (p, ok) = digits(b, p);
+        if !ok {
+            return Err(format!("bad exponent at byte {pos}"));
+        }
+        pos = p;
+    }
+    Ok(pos)
+}
+
+fn object(b: &[u8], pos: usize) -> Result<usize, String> {
+    let mut pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(format!("expected key at byte {pos}"));
+        }
+        pos = skip_ws(b, string(b, pos)?);
+        if b.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        pos = skip_ws(b, value(b, skip_ws(b, pos + 1))?);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: usize) -> Result<usize, String> {
+    let mut pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = skip_ws(b, value(b, pos)?);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+
+    fn sample_tree() -> SpanTree {
+        let events = vec![
+            Event::new(EventKind::Spawn { alt: 0 }, 2, Some(1), 10),
+            Event::new(EventKind::Spawn { alt: 1 }, 3, Some(1), 20),
+            Event::new(
+                EventKind::CowCopy {
+                    vpn: 4,
+                    bytes: 4096,
+                },
+                3,
+                Some(1),
+                30,
+            ),
+            Event::new(
+                EventKind::GuardVerdict {
+                    pass: true,
+                    duration_ns: 5,
+                },
+                3,
+                Some(1),
+                40,
+            ),
+            Event::new(EventKind::MsgAccept, 2, Some(3), 45),
+            Event::new(
+                EventKind::Commit {
+                    dirty_pages: 1,
+                    overhead_ns: 9,
+                },
+                3,
+                Some(1),
+                50,
+            ),
+            Event::new(EventKind::EliminateAsync, 2, Some(1), 50),
+        ];
+        SpanTree::build(&events)
+    }
+
+    #[test]
+    fn export_is_valid_json() {
+        let doc = chrome_trace_json(&sample_tree());
+        validate_json(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+    }
+
+    #[test]
+    fn one_track_per_world_and_flow_arrows() {
+        let doc = chrome_trace_json(&sample_tree());
+        for needle in [
+            "\"tid\":1",
+            "\"tid\":2",
+            "\"tid\":3",
+            "world 1 (root)",
+            "world 2 (alt 0)",
+            "world 3 (alt 1)",
+            "\"ph\":\"s\",\"name\":\"spawn\"",
+            "\"ph\":\"f\",\"bp\":\"e\",\"name\":\"spawn\"",
+            "\"ph\":\"s\",\"name\":\"commit\"",
+            "\"ph\":\"s\",\"name\":\"msg\"",
+            "cow_copy",
+            "guard \u{00b7} pass",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+        }
+        // Flow pairs: 2 spawns + 1 commit + 1 message = 4 edges, 8 events.
+        assert_eq!(doc.matches("\"cat\":\"flow\"").count(), 8);
+    }
+
+    #[test]
+    fn empty_tree_exports_empty_valid_document() {
+        let doc = chrome_trace_json(&SpanTree::default());
+        validate_json(&doc).unwrap();
+        assert!(doc.contains("\"traceEvents\":[]") || doc.contains("\"traceEvents\":[\n]"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "\"unterminated",
+            "01suffix",
+            "{\"a\":1}{",
+            "nul",
+            "[1 2]",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_typical_documents() {
+        for good in [
+            "null",
+            "-1.5e-3",
+            "[]",
+            "{}",
+            "{\"a\":[1,2,{\"b\":\"c\\n\\u00e9\"}],\"d\":true}",
+            " { \"x\" : [ 1 , 2 ] } ",
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Golden-fixture test: `worlds-report` on the checked-in capture must
+//! keep producing byte-identical analyses, and the exported Chrome trace
+//! must stay valid JSON. The CI golden-fixture job runs the same
+//! comparison from the command line; this test keeps it honest locally.
+//!
+//! Regenerate the expectation after an intentional output change with:
+//!
+//! ```text
+//! cargo run -q -p worlds-obs --bin worlds-report -- \
+//!   --critical-path --waste --trace-out /tmp/t.json \
+//!   fixtures/golden_run.jsonl 2>/dev/null > fixtures/golden_summary.txt
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+fn fixture(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../fixtures")
+        .join(name)
+}
+
+#[test]
+fn golden_capture_reproduces_checked_in_summary() {
+    let trace_path = std::env::temp_dir().join("worlds_golden_trace.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_worlds-report"))
+        .arg("--critical-path")
+        .arg("--waste")
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .arg(fixture("golden_run.jsonl"))
+        .output()
+        .expect("worlds-report runs");
+    assert!(
+        out.status.success(),
+        "worlds-report failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let got = String::from_utf8(out.stdout).expect("report output is UTF-8");
+    let want = std::fs::read_to_string(fixture("golden_summary.txt")).expect("golden summary");
+    assert_eq!(
+        got, want,
+        "worlds-report output drifted from fixtures/golden_summary.txt \
+         (regenerate it if the change is intentional)"
+    );
+
+    // The fixture contains one deliberately malformed line; the tool
+    // must count it on stderr and still exit zero.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("skipped 1 malformed line(s) of 21"),
+        "stderr should count the malformed line: {stderr}"
+    );
+
+    // The exported trace parses as JSON and names every world track.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    worlds_obs::validate_json(&trace).expect("Chrome trace is valid JSON");
+    for world in [1u64, 2, 3, 4, 5, 6] {
+        assert!(
+            trace.contains(&format!("\"world {world}")),
+            "trace must carry a named track for world {world}"
+        );
+    }
+    assert!(trace.contains("\"ph\":\"s\""), "flow arrows present");
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
+fn all_malformed_input_exits_nonzero() {
+    let dir = std::env::temp_dir().join("worlds_golden_badjsonl");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(&bad, "not json\nalso not json\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_worlds-report"))
+        .arg(&bad)
+        .output()
+        .expect("worlds-report runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a stream with every line malformed is an error"
+    );
+    let _ = std::fs::remove_file(&bad);
+}

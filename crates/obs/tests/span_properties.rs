@@ -1,0 +1,271 @@
+//! Property tests for span reconstruction (satellite of the worlds-trace
+//! PR): whatever the event stream looks like — truncated mid-run by a
+//! crash, or with events from many worlds interleaved arbitrarily — the
+//! reconstructed tree must keep its structural promises:
+//!
+//! 1. every span nests inside its parent's interval;
+//! 2. the critical path, when one exists, is a root-to-commit lineage
+//!    whose consecutive worlds are parent→child links;
+//! 3. waste attribution partitions the run's total virtual time exactly;
+//! 4. reconstruction is insensitive to event interleaving (same events,
+//!    any order → same tree).
+
+use proptest::prelude::*;
+use worlds_obs::{Event, EventKind, SpanOutcome, SpanTree};
+
+/// One abstract step of a speculation run. Concrete worlds/parents are
+/// resolved while replaying the script, so any random script yields a
+/// structurally valid (if chaotic) stream.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Fork a new world off the `n`-th live world, as alternative `alt`.
+    Spawn { of: usize, alt: u64 },
+    /// Message-split the `n`-th live world (receiver copy fork).
+    Split { of: usize },
+    /// Guard verdict on the `n`-th live world.
+    Guard { of: usize, pass: bool, dur: u64 },
+    /// Rendezvous marker on the `n`-th live world.
+    Rendezvous { of: usize },
+    /// Commit the `n`-th live world into its parent (closes the span).
+    Commit { of: usize, dirty: u64 },
+    /// Eliminate the `n`-th live world (closes the span).
+    Eliminate { of: usize, sync: bool },
+    /// A CoW fault in the `n`-th live world.
+    Fault { of: usize, vpn: u64, bytes: u64 },
+    /// A checkpoint of the `n`-th live world.
+    Checkpoint { of: usize, pages: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..8, 0u64..4).prop_map(|(of, alt)| Op::Spawn { of, alt }),
+        (0usize..8).prop_map(|of| Op::Split { of }),
+        (0usize..8, proptest::bool::weighted(0.7), 1u64..500)
+            .prop_map(|(of, pass, dur)| Op::Guard { of, pass, dur }),
+        (0usize..8).prop_map(|of| Op::Rendezvous { of }),
+        (0usize..8, 0u64..20).prop_map(|(of, dirty)| Op::Commit { of, dirty }),
+        (0usize..8, proptest::bool::weighted(0.5))
+            .prop_map(|(of, sync)| Op::Eliminate { of, sync }),
+        (0usize..8, 0u64..64, 1u64..4096).prop_map(|(of, vpn, bytes)| Op::Fault { of, vpn, bytes }),
+        (0usize..8, 1u64..30).prop_map(|(of, pages)| Op::Checkpoint { of, pages }),
+    ]
+}
+
+/// Replay a script into a concrete event stream. World 1 is the root
+/// (born implicitly by its first event); time advances one tick per op.
+fn events_of(script: &[Op]) -> Vec<Event> {
+    let mut events = Vec::new();
+    let mut live: Vec<u64> = vec![1];
+    let mut next_world = 2u64;
+    let mut vt = 0u64;
+    for op in script {
+        vt += 100;
+        match *op {
+            Op::Spawn { of, alt } => {
+                let p = live[of % live.len()];
+                events.push(Event::new(
+                    EventKind::Spawn { alt },
+                    next_world,
+                    Some(p),
+                    vt,
+                ));
+                live.push(next_world);
+                next_world += 1;
+            }
+            Op::Split { of } => {
+                let p = live[of % live.len()];
+                events.push(Event::new(EventKind::SplitSpawn, next_world, Some(p), vt));
+                live.push(next_world);
+                next_world += 1;
+            }
+            Op::Guard { of, pass, dur } => {
+                let w = live[of % live.len()];
+                events.push(Event::new(
+                    EventKind::GuardVerdict {
+                        pass,
+                        duration_ns: dur,
+                    },
+                    w,
+                    None,
+                    vt,
+                ));
+            }
+            Op::Rendezvous { of } => {
+                let w = live[of % live.len()];
+                events.push(Event::new(EventKind::Rendezvous, w, None, vt));
+            }
+            Op::Commit { of, dirty } => {
+                // Never commit the root away: keep at least one live world.
+                if live.len() > 1 {
+                    let i = 1 + (of % (live.len() - 1));
+                    let w = live.remove(i);
+                    events.push(Event::new(
+                        EventKind::Commit {
+                            dirty_pages: dirty,
+                            overhead_ns: 0,
+                        },
+                        w,
+                        None,
+                        vt,
+                    ));
+                }
+            }
+            Op::Eliminate { of, sync } => {
+                if live.len() > 1 {
+                    let i = 1 + (of % (live.len() - 1));
+                    let w = live.remove(i);
+                    let kind = if sync {
+                        EventKind::EliminateSync { overhead_ns: 10 }
+                    } else {
+                        EventKind::EliminateAsync
+                    };
+                    events.push(Event::new(kind, w, None, vt));
+                }
+            }
+            Op::Fault { of, vpn, bytes } => {
+                let w = live[of % live.len()];
+                events.push(Event::new(EventKind::CowCopy { vpn, bytes }, w, None, vt));
+            }
+            Op::Checkpoint { of, pages } => {
+                let w = live[of % live.len()];
+                events.push(Event::new(
+                    EventKind::Checkpoint {
+                        pages,
+                        bytes: pages * 4096,
+                        duration_ns: 50,
+                    },
+                    w,
+                    None,
+                    vt,
+                ));
+            }
+        }
+    }
+    events
+}
+
+/// Assert the structural invariants that must hold for *any* stream.
+fn assert_invariants(tree: &SpanTree) -> Result<(), TestCaseError> {
+    // 1. Nesting: every child interval sits inside its parent's.
+    for span in tree.spans() {
+        if let Some(p) = span.parent {
+            if let Some(parent) = tree.get(p) {
+                prop_assert!(
+                    span.start_ns >= parent.start_ns && span.end_ns <= parent.end_ns,
+                    "span {} [{}, {}] escapes parent {} [{}, {}]",
+                    span.world,
+                    span.start_ns,
+                    span.end_ns,
+                    parent.world,
+                    parent.start_ns,
+                    parent.end_ns
+                );
+            }
+        }
+        prop_assert!(span.start_ns <= span.end_ns);
+    }
+    // 2. Critical path: root-to-commit lineage, consecutively linked.
+    if let Some(cp) = tree.critical_path() {
+        prop_assert!(!cp.worlds.is_empty());
+        let first = tree.get(cp.worlds[0]).expect("path worlds have spans");
+        prop_assert!(
+            first.parent.is_none() || tree.get(first.parent.unwrap()).is_none(),
+            "critical path must start at a root, started at {} (parent {:?})",
+            first.world,
+            first.parent
+        );
+        let last = tree.get(*cp.worlds.last().unwrap()).unwrap();
+        prop_assert_eq!(
+            last.outcome,
+            SpanOutcome::Committed,
+            "critical path must end at a committed world"
+        );
+        prop_assert_eq!(last.world, cp.commit_world);
+        for pair in cp.worlds.windows(2) {
+            let child = tree.get(pair[1]).unwrap();
+            prop_assert_eq!(
+                child.parent,
+                Some(pair[0]),
+                "consecutive critical-path worlds must be parent-child"
+            );
+        }
+    }
+    // 3. Waste partitions total virtual time exactly.
+    let waste = tree.waste();
+    let bucketed: u64 = waste.buckets.iter().map(|(_, b)| b.vt_ns).sum();
+    prop_assert_eq!(
+        waste.lineage.vt_ns + bucketed,
+        waste.total_vt_ns,
+        "lineage + waste buckets must sum to the run total"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any full stream reconstructs to a tree satisfying the invariants.
+    #[test]
+    fn full_streams_reconstruct_cleanly(script in collection::vec(arb_op(), 1..60)) {
+        let events = events_of(&script);
+        let tree = SpanTree::build(&events);
+        assert_invariants(&tree)?;
+        // One span per world mentioned in the stream — including parents
+        // that only ever appear as the source of a spawn edge.
+        let mut mentioned: std::collections::BTreeSet<u64> =
+            events.iter().map(|e| e.world).collect();
+        for e in &events {
+            if matches!(
+                e.kind,
+                EventKind::Spawn { .. } | EventKind::SplitSpawn | EventKind::RemoteFork { .. }
+            ) {
+                mentioned.extend(e.parent);
+            }
+        }
+        prop_assert_eq!(tree.len(), mentioned.len());
+    }
+
+    /// A stream cut off anywhere (crash mid-run) still reconstructs:
+    /// open spans close at the horizon, nesting and critical-path
+    /// structure survive the missing tail.
+    #[test]
+    fn truncated_streams_keep_invariants(
+        script in collection::vec(arb_op(), 1..60),
+        cut_permille in 0u32..1000,
+    ) {
+        let events = events_of(&script);
+        let cut = (events.len() * cut_permille as usize) / 1000;
+        let tree = SpanTree::build(&events[..cut]);
+        assert_invariants(&tree)?;
+    }
+
+    /// Interleaving insensitivity: delivering the same events in any
+    /// order (sinks may reorder across threads) yields the same tree.
+    #[test]
+    fn interleaved_streams_reconstruct_identically(
+        script in collection::vec(arb_op(), 1..40),
+        swaps in collection::vec((0usize..64, 0usize..64), 0..80),
+    ) {
+        let events = events_of(&script);
+        let mut shuffled = events.clone();
+        for &(a, b) in &swaps {
+            if !shuffled.is_empty() {
+                let (a, b) = (a % shuffled.len(), b % shuffled.len());
+                shuffled.swap(a, b);
+            }
+        }
+        let reference = SpanTree::build(&events);
+        let tree = SpanTree::build(&shuffled);
+        assert_invariants(&tree)?;
+        prop_assert_eq!(tree.len(), reference.len());
+        for span in reference.spans() {
+            let other = tree.get(span.world).expect("same worlds");
+            prop_assert_eq!(other.parent, span.parent);
+            prop_assert_eq!(other.start_ns, span.start_ns);
+            prop_assert_eq!(other.end_ns, span.end_ns);
+            prop_assert_eq!(other.outcome, span.outcome);
+        }
+        let (a, b) = (reference.critical_path(), tree.critical_path());
+        prop_assert_eq!(a.map(|c| c.worlds), b.map(|c| c.worlds));
+    }
+}

@@ -35,6 +35,22 @@ impl FrameId {
 /// Freed page buffers kept for reuse; beyond this the allocator takes over.
 const POOL_MAX: usize = 256;
 
+/// The recycling state behind the table's single auxiliary mutex: the
+/// free list of slot indices and the bounded pool of page buffers. They
+/// always travel together — freeing a frame returns both its slot and
+/// (usually) its buffer; allocation consumes a slot and the store's
+/// staging path consumes a buffer — so one lock covers both and a
+/// frame-free is a single acquisition instead of two. The lock is a
+/// documented *leaf* in the store's hierarchy: it is never held while
+/// acquiring a shard lock, a per-slot data mutex, or anything else.
+#[derive(Debug, Default)]
+struct Recycler {
+    /// Slot indices whose frames have been freed, ready for reuse.
+    free: Vec<u32>,
+    /// Freed page buffers kept for the next fault (bounded by [`POOL_MAX`]).
+    pool: Vec<PageData>,
+}
+
 /// Slots per chunk (chunks are allocated whole and never move).
 const CHUNK_SIZE: usize = 1024;
 
@@ -76,9 +92,9 @@ pub(crate) struct FrameTable {
     chunks: Vec<OnceLock<Box<[FrameSlot; CHUNK_SIZE]>>>,
     /// High-water mark: slots handed out so far (free-listed ones included).
     high: AtomicUsize,
-    free: Mutex<Vec<u32>>,
     live: AtomicUsize,
-    pool: Mutex<Vec<PageData>>,
+    /// Free list + buffer pool under one leaf mutex (see [`Recycler`]).
+    recycler: Mutex<Recycler>,
 }
 
 impl Default for FrameTable {
@@ -92,9 +108,8 @@ impl FrameTable {
         FrameTable {
             chunks: (0..MAX_CHUNKS).map(|_| OnceLock::new()).collect(),
             high: AtomicUsize::new(0),
-            free: Mutex::new(Vec::new()),
             live: AtomicUsize::new(0),
-            pool: Mutex::new(Vec::new()),
+            recycler: Mutex::new(Recycler::default()),
         }
     }
 
@@ -111,11 +126,11 @@ impl FrameTable {
     pub(crate) fn alloc(&self, data: PageData) -> FrameId {
         let arc = Arc::new(data);
         self.live.fetch_add(1, Ordering::Relaxed);
-        // Bind the pop so the free-list guard drops here: chunk
+        // Bind the pop so the recycler guard drops here: chunk
         // initialisation below must not run under it, and frame-table
         // locks are leaves that never nest (see the store's lock
         // hierarchy).
-        let popped = self.free.lock().pop();
+        let popped = self.recycler.lock().free.pop();
         let idx = match popped {
             Some(idx) => idx,
             None => {
@@ -179,11 +194,16 @@ impl FrameTable {
             return false;
         }
         let data = slot.data.lock().take().expect("live frame without data");
-        if let Ok(page) = Arc::try_unwrap(data) {
-            self.recycle(page);
-        }
         self.live.fetch_sub(1, Ordering::Relaxed);
-        self.free.lock().push(id.0);
+        // One acquisition frees both halves: the slot index always goes
+        // back, the buffer only if no reader still holds its `Arc`.
+        let mut rec = self.recycler.lock();
+        if let Ok(page) = Arc::try_unwrap(data) {
+            if rec.pool.len() < POOL_MAX {
+                rec.pool.push(page);
+            }
+        }
+        rec.free.push(id.0);
         true
     }
 
@@ -236,21 +256,21 @@ impl FrameTable {
 
     /// Take a page buffer from the recycle pool, if one is available.
     pub(crate) fn take_pooled(&self) -> Option<PageData> {
-        self.pool.lock().pop()
+        self.recycler.lock().pool.pop()
     }
 
     /// Return a staged-but-unused page buffer to the recycle pool.
     pub(crate) fn recycle(&self, page: PageData) {
-        let mut pool = self.pool.lock();
-        if pool.len() < POOL_MAX {
-            pool.push(page);
+        let mut rec = self.recycler.lock();
+        if rec.pool.len() < POOL_MAX {
+            rec.pool.push(page);
         }
     }
 
     /// Buffers currently waiting in the recycle pool.
     #[allow(dead_code)] // diagnostics; exercised in tests
     pub(crate) fn pooled_pages(&self) -> usize {
-        self.pool.lock().len()
+        self.recycler.lock().pool.len()
     }
 
     /// `(frame index, refcount)` for every live frame — the verifier's view.

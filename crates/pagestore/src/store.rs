@@ -31,8 +31,9 @@
 //!
 //! Lock hierarchy: shard locks first (in ascending shard-index order when
 //! taking more than one), then frame-table internal locks (per-slot
-//! mutexes, free list, pool). The frame-table locks are leaves: none is
-//! ever held while acquiring a shard lock or another frame-table lock.
+//! mutexes and the single recycler mutex guarding the free list + buffer
+//! pool together). The frame-table locks are leaves: none is ever held
+//! while acquiring a shard lock or another frame-table lock.
 //!
 //! **Invariant:** whenever all shard locks are quiescent, every live
 //! frame's refcount equals the number of page-map entries referencing it
@@ -198,6 +199,29 @@ impl PageStore {
             page_size,
             obs,
             clock: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A fresh, empty store that *shares this store's world-id allocator*
+    /// (plus its registry, clock, and page size) but owns its own worlds
+    /// and frames. Multi-store topologies — one store per cluster node —
+    /// use this so a world id names at most one world anywhere, letting
+    /// trace consumers treat ids as global: a world restored on another
+    /// node can cite its origin world as a causal parent without the two
+    /// ids colliding.
+    pub fn new_sharing_ids(&self) -> Self {
+        PageStore {
+            shards: Arc::new(
+                (0..NUM_SHARDS)
+                    .map(|_| RwLock::new(Shard::default()))
+                    .collect(),
+            ),
+            frames: Arc::new(FrameTable::new()),
+            next_world: Arc::clone(&self.next_world),
+            stats: Arc::new(StatsInner::default()),
+            page_size: self.page_size,
+            obs: self.obs.clone(),
+            clock: Arc::clone(&self.clock),
         }
     }
 

@@ -170,5 +170,7 @@ fn concurrent_writers_never_lose_committed_writes() {
     }
     running.store(false, Ordering::Relaxed);
     churn.join().expect("churn thread panicked");
-    store.verify_refcounts().expect("refcount invariant violated");
+    store
+        .verify_refcounts()
+        .expect("refcount invariant violated");
 }

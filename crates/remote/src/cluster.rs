@@ -21,10 +21,10 @@ pub struct Node {
 }
 
 impl Node {
-    fn with_obs(id: NodeId, page_size: usize, obs: Registry) -> Node {
+    fn with_store(id: NodeId, store: PageStore) -> Node {
         Node {
             id,
-            store: PageStore::with_obs(page_size, obs),
+            store,
             bytes_received: 0,
             bytes_sent: 0,
         }
@@ -81,12 +81,26 @@ impl Cluster {
     /// cross-node transfer emits `RpcSend` (plus `RpcTimeout`/`RpcRetry`
     /// under fault injection), and each node's page store reports its
     /// COW and checkpoint traffic through the same registry.
+    ///
+    /// All node stores share the origin's world-id allocator
+    /// ([`PageStore::new_sharing_ids`]), so a world id is unique across
+    /// the whole cluster and trace events from any node can name worlds
+    /// on other nodes without ambiguity.
     pub fn with_obs(n: usize, page_size: usize, net: NetModel, obs: Registry) -> Cluster {
         assert!(n >= 1, "a cluster needs at least the origin node");
+        let origin_store = PageStore::with_obs(page_size, obs.clone());
+        let nodes = (0..n)
+            .map(|i| {
+                let store = if i == 0 {
+                    origin_store.clone()
+                } else {
+                    origin_store.new_sharing_ids()
+                };
+                Node::with_store(NodeId(i), store)
+            })
+            .collect();
         Cluster {
-            nodes: (0..n)
-                .map(|i| Node::with_obs(NodeId(i), page_size, obs.clone()))
-                .collect(),
+            nodes,
             net,
             page_size,
             obs,
@@ -218,6 +232,18 @@ impl Cluster {
         self.nodes[src.node.0].bytes_sent += image.len() as u64;
         self.nodes[dst.0].bytes_received += image.len() as u64;
         let world = restore(&self.nodes[dst.0].store, &image)?;
+        // The restored world is a *child* of the origin world in the
+        // speculation tree: node stores share one id allocator, so the
+        // parent reference is unambiguous and the span layer links the
+        // cross-node fork as a tree edge instead of an orphan root.
+        self.obs.emit(|| {
+            ObsEvent::new(
+                EventKind::RemoteFork { node: dst.0 as u64 },
+                world.raw(),
+                Some(src.world.raw()),
+                self.clock_ns,
+            )
+        });
         Ok((RemoteWorld { node: dst, world }, cost))
     }
 
@@ -265,12 +291,34 @@ impl Cluster {
         }
         // The remote replica is done with.
         self.nodes[child.node.0].store.drop_world(child.world)?;
+        // Close the remote world's span: its edits now live in `base`.
+        self.obs.emit(|| {
+            ObsEvent::new(
+                EventKind::Commit {
+                    dirty_pages: n as u64,
+                    overhead_ns: cost.as_ns(),
+                },
+                child.world.raw(),
+                Some(base.world.raw()),
+                self.clock_ns,
+            )
+        });
         Ok((cost, n))
     }
 
     /// Discard a remote world (sibling elimination on another node).
     pub fn discard(&mut self, w: RemoteWorld) -> Result<(), worlds_pagestore::PageStoreError> {
-        self.nodes[w.node.0].store.drop_world(w.world)
+        self.nodes[w.node.0].store.drop_world(w.world)?;
+        // Remote elimination never blocks the winner: always async.
+        self.obs.emit(|| {
+            ObsEvent::new(
+                EventKind::EliminateAsync,
+                w.world.raw(),
+                None,
+                self.clock_ns,
+            )
+        });
+        Ok(())
     }
 
     /// Read from a remote world (test/diagnostic path; charged no time).
@@ -428,6 +476,32 @@ mod tests {
         // write traffic is visible too.
         assert!(stats.pagestore.checkpoints.get() >= 1);
         assert!(stats.rpc_latency.snapshot().count >= 2);
+    }
+
+    #[test]
+    fn cross_node_forks_are_tree_edges_not_orphan_roots() {
+        use worlds_obs::{Registry, SpanTree};
+        let (obs, ring) = Registry::with_ring(256);
+        let mut c = Cluster::with_obs(2, 4096, NetModel::lan_1989(), obs);
+        let origin = c.create_world(NodeId(0));
+        c.write(origin, 0, b"seed").unwrap();
+        let (replica, _) = c.rfork(origin, NodeId(1)).unwrap();
+        // Shared id allocator: the replica's id is unique cluster-wide.
+        assert_ne!(replica.world.raw(), origin.world.raw());
+        c.write(replica, 0, b"edit").unwrap();
+        c.commit_back(origin, replica).unwrap();
+        let tree = SpanTree::build(&ring.events());
+        let span = tree.get(replica.world.raw()).expect("replica has a span");
+        assert_eq!(
+            span.parent,
+            Some(origin.world.raw()),
+            "rfork links the restored world under its origin"
+        );
+        assert_eq!(span.outcome, worlds_obs::SpanOutcome::Committed);
+        assert!(
+            !tree.roots().contains(&replica.world.raw()),
+            "the replica is not an orphan root"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ fn emit_step(obs: &Registry, i: u64) {
                 EventKind::GuardVerdict {
                     pass: !i.is_multiple_of(3),
                     duration_ns: 250,
+                    alt: Some(i % 4),
                 },
                 world,
                 None,

@@ -99,6 +99,10 @@ mod tests {
             Pid::fresh(),
             PredicateSet::empty(),
             CancelToken::new(),
+            worlds_obs::TraceCtx {
+                root: world.raw(),
+                world: world.raw(),
+            },
         )
     }
 

@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use worlds_obs::TraceCtx;
 use worlds_pagestore::{FileSystem, PageStoreError, WorldId};
 use worlds_predicate::{Pid, PredicateSet};
 
@@ -44,6 +45,7 @@ pub struct WorldCtx {
     pid: Pid,
     predicates: PredicateSet,
     cancel: CancelToken,
+    trace: TraceCtx,
     /// Deferred teletype lines (flushed by the parent iff this world wins).
     pub(crate) output: Vec<String>,
 }
@@ -55,6 +57,7 @@ impl WorldCtx {
         pid: Pid,
         predicates: PredicateSet,
         cancel: CancelToken,
+        trace: TraceCtx,
     ) -> Self {
         WorldCtx {
             fs,
@@ -62,6 +65,7 @@ impl WorldCtx {
             pid,
             predicates,
             cancel,
+            trace,
             output: Vec::new(),
         }
     }
@@ -83,12 +87,28 @@ impl WorldCtx {
         self.world
     }
 
+    /// The trace context for causal edges that leave this world: attach
+    /// it to outbound [`worlds_ipc::Message`]s (via `with_trace`) so the
+    /// receiver's events join this run's span tree instead of starting
+    /// an orphan root. `root` is the session's root world; `world` is
+    /// this alternative's own world.
+    ///
+    /// [`worlds_ipc::Message`]: https://docs.rs/worlds
+    pub fn trace_ctx(&self) -> TraceCtx {
+        self.trace
+    }
+
     // ---- named state cells ----
 
     /// Store raw bytes under `name`. Creates the cell on first write with
     /// capacity `max(len, 4096)`; later writes must fit the original
     /// capacity.
     pub fn put_bytes(&mut self, name: &str, data: &[u8]) -> Result<(), AltError> {
+        // Page-fault-boundary cancellation point: a loser that wakes
+        // after the block has been decided is refused here, before it
+        // can dirty any page of its (possibly already queued-for-reap)
+        // world.
+        self.checkpoint()?;
         let total = data.len() + 8;
         match self.fs.open(name) {
             Ok(_) => {}
@@ -208,6 +228,10 @@ mod tests {
             Pid::fresh(),
             PredicateSet::empty(),
             CancelToken::new(),
+            TraceCtx {
+                root: world.raw(),
+                world: world.raw(),
+            },
         )
     }
 
@@ -265,17 +289,33 @@ mod tests {
         let token = CancelToken::new();
         let store = PageStore::new(256);
         let world = store.create_world();
-        let c = WorldCtx::new(
+        let mut c = WorldCtx::new(
             FileSystem::new(store),
             world,
             Pid::fresh(),
             PredicateSet::empty(),
             token.clone(),
+            TraceCtx {
+                root: world.raw(),
+                world: world.raw(),
+            },
         );
         assert!(c.checkpoint().is_ok());
+        assert!(c.put_u64("pre", 1).is_ok());
         token.cancel();
         assert!(c.is_cancelled());
         assert_eq!(c.checkpoint().unwrap_err(), AltError::Cancelled);
+        // Writes are cancellation points too: no page of a cancelled
+        // world can ever be dirtied again.
+        assert_eq!(c.put_u64("post", 2).unwrap_err(), AltError::Cancelled);
+    }
+
+    #[test]
+    fn trace_ctx_is_carried_through() {
+        let c = ctx();
+        let t = c.trace_ctx();
+        assert_eq!(t.root, c.world_id().raw());
+        assert_eq!(t.world, c.world_id().raw());
     }
 
     #[test]

@@ -68,7 +68,8 @@ pub use block::{AltBlock, ElimMode};
 pub use ctx::{CancelToken, WorldCtx};
 pub use error::AltError;
 pub use report::{AltRun, AltRunStatus, RunOutcome, RunReport};
-pub use speculation::Speculation;
+pub use speculation::{ExecMode, Speculation};
+pub use worlds_exec::{Executor, Reaper, WORKERS_ENV};
 
 pub use worlds_pagestore::{StoreStats, WorldId};
 pub use worlds_predicate::{Pid, PredicateSet};

@@ -1,4 +1,4 @@
-//! The speculation session and its real-thread executor.
+//! The speculation session and its pooled executor.
 //!
 //! A [`Speculation`] plays the role of the paper's parent process plus
 //! kernel: it owns the single-level store (all sink state), the teletype
@@ -6,21 +6,29 @@
 //! `alt_spawn(n)` + `alt_wait(TIMEOUT)`:
 //!
 //! 1. every alternative gets a fresh pid, sibling-rivalry predicates, and a
-//!    COW fork of the root world, and runs on its own OS thread;
+//!    COW fork of the root world, and runs as a task on a persistent
+//!    work-stealing pool ([`worlds_exec::Executor`]) shared by every block
+//!    — see [`ExecMode`] for the thread-per-alternative ablation mode;
 //! 2. the parent blocks; the **first** alternative to report success wins
 //!    the rendezvous — "`alt_wait()` is an 'at most once' operation for any
 //!    group of child processes" (§2.2.1);
 //! 3. the winner's world is adopted into the root world (atomic page-map
 //!    replacement) and its buffered teletype output becomes observable;
-//! 4. the siblings are eliminated: cancelled cooperatively and either
-//!    joined before returning ([`ElimMode::Sync`]) or left to drain in the
-//!    background ([`ElimMode::Async`], the paper's faster choice).
+//! 4. the siblings are eliminated: cancelled cooperatively (observed at
+//!    checkpoint and page-write boundaries) and their worlds torn down —
+//!    already-finished losers in one batched [`PageStore::drop_worlds`]
+//!    call ([`ElimMode::Sync`]) or handed to the background
+//!    [`worlds_exec::Reaper`] ([`ElimMode::Async`], the paper's faster
+//!    choice); still-running losers dispose of themselves when they reach
+//!    their sync point.
 
 use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use worlds_exec::{Executor, Reaper};
 use worlds_ipc::{SourceDevice, Teletype};
-use worlds_obs::{Event as ObsEvent, EventKind, Registry};
+use worlds_obs::{Event as ObsEvent, EventKind, Registry, TraceCtx};
 use worlds_pagestore::{FileSystem, PageStore, WorldId, PAGE_SIZE_DEFAULT};
 use worlds_predicate::{Pid, PredicateSet};
 
@@ -29,6 +37,18 @@ use crate::ctx::{CancelToken, WorldCtx};
 use crate::error::AltError;
 use crate::report::{AltRun, AltRunStatus, RunOutcome, RunReport};
 
+/// How a [`Speculation`] dispatches its alternatives.
+#[derive(Clone, Debug)]
+pub enum ExecMode {
+    /// Run alternatives as tasks on a persistent work-stealing pool. The
+    /// default is the process-wide [`Executor::global`]; sessions can be
+    /// pinned to a private pool with [`Speculation::with_executor`].
+    Pooled(Executor),
+    /// Spawn one OS thread per alternative — the pre-pool behaviour,
+    /// kept as the ablation baseline for `bench-exec`.
+    ThreadPerAlt,
+}
+
 /// A speculation session: persistent state plus the block executor.
 pub struct Speculation {
     store: PageStore,
@@ -36,6 +56,7 @@ pub struct Speculation {
     tty: Teletype,
     root_world: WorldId,
     root_pid: Pid,
+    exec: ExecMode,
 }
 
 impl Clone for Speculation {
@@ -50,6 +71,7 @@ impl Clone for Speculation {
             tty: self.tty.clone(),
             root_world: self.root_world,
             root_pid: self.root_pid,
+            exec: self.exec.clone(),
         }
     }
 }
@@ -60,13 +82,72 @@ impl Default for Speculation {
     }
 }
 
-/// What each child thread reports back at its synchronization attempt.
+/// What each child task reports back at its synchronization attempt.
 struct ChildReport<T> {
     index: usize,
     result: Result<T, AltError>,
     world: WorldId,
     output: Vec<String>,
     elapsed: Duration,
+}
+
+/// The elimination handshake between the parent and its child tasks,
+/// replacing the per-child verdict channels of the thread-per-alternative
+/// executor. A loser's world is torn down by whichever side learns the
+/// outcome *last*: children finishing before the decision park their
+/// world in `finished` for the parent to dispose **in one batch**;
+/// children finishing after it see `decided` and dispose of their own
+/// world (off the parent's critical path).
+struct ElimShared {
+    decided: bool,
+    /// The winner's (pre-adoption) world id, if any.
+    winner: Option<WorldId>,
+    /// Worlds of children that reached their sync point before the
+    /// parent decided the block.
+    finished: Vec<WorldId>,
+}
+
+/// A countdown latch the parent waits on in [`ElimMode::Sync`]: one count
+/// per spawned child, counted down by a drop guard so a panicking
+/// alternative still releases the parent.
+struct Latch {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Arc<Latch> {
+        Arc::new(Latch {
+            count: Mutex::new(0),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn add(&self) {
+        *self.count.lock().unwrap() += 1;
+    }
+
+    fn done(&self) {
+        let mut c = self.count.lock().unwrap();
+        *c -= 1;
+        if *c == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let c = self.count.lock().unwrap();
+        let _done = self.cv.wait_while(c, |c| *c > 0).unwrap();
+    }
+}
+
+/// Counts a [`Latch`] down when dropped — normal return or unwind alike.
+struct CountsDown(Arc<Latch>);
+
+impl Drop for CountsDown {
+    fn drop(&mut self) {
+        self.0.done();
+    }
 }
 
 impl Speculation {
@@ -96,7 +177,27 @@ impl Speculation {
             tty: Teletype::new(),
             root_world,
             root_pid: Pid::fresh(),
+            exec: ExecMode::Pooled(Executor::global()),
         }
+    }
+
+    /// Pin this session to a private work-stealing pool instead of the
+    /// process-wide [`Executor::global`].
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = ExecMode::Pooled(exec);
+        self
+    }
+
+    /// Dispatch one OS thread per alternative (the pre-pool executor),
+    /// for ablation measurements.
+    pub fn with_thread_per_alt(mut self) -> Self {
+        self.exec = ExecMode::ThreadPerAlt;
+        self
+    }
+
+    /// How this session dispatches alternatives.
+    pub fn exec_mode(&self) -> &ExecMode {
+        &self.exec
     }
 
     /// The session's page store (for stats and diagnostics).
@@ -127,6 +228,7 @@ impl Speculation {
             self.root_pid,
             PredicateSet::empty(),
             CancelToken::new(),
+            self.root_trace(),
         );
         let r = f(&mut ctx)?;
         for line in &ctx.output {
@@ -145,8 +247,17 @@ impl Speculation {
             self.root_pid,
             PredicateSet::empty(),
             CancelToken::new(),
+            self.root_trace(),
         );
         f(&ctx)
+    }
+
+    /// The root world's trace context (root causes itself).
+    fn root_trace(&self) -> TraceCtx {
+        TraceCtx {
+            root: self.root_world.raw(),
+            world: self.root_world.raw(),
+        }
     }
 
     /// Execute an alternative block: run every alternative concurrently in
@@ -199,31 +310,35 @@ impl Speculation {
 
         let cancel = CancelToken::new();
         let (report_tx, report_rx) = mpsc::channel::<ChildReport<T>>();
+        let shared = Arc::new(Mutex::new(ElimShared {
+            decided: false,
+            winner: None,
+            finished: Vec::new(),
+        }));
+        let latch = Latch::new();
+        let reaper = Reaper::global();
 
         // Pids first: sibling-rivalry predicates need the whole cohort.
         let pids: Vec<Pid> = (0..n).map(|_| Pid::fresh()).collect();
 
-        let mut verdict_txs: Vec<Option<mpsc::Sender<bool>>> = Vec::with_capacity(n);
-        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::with_capacity(n);
         let mut labels: Vec<String> = Vec::with_capacity(n);
-
         let mut skipped: Vec<bool> = Vec::with_capacity(n);
         let mut child_worlds: Vec<Option<WorldId>> = Vec::with_capacity(n);
         for (i, alt) in block.alts.into_iter().enumerate() {
             labels.push(alt.label.clone());
             // Pre-spawn guards run serially in the parent; failing
-            // alternatives never get a world or a thread.
+            // alternatives never get a world or a task.
             if let Some(g) = &alt.pre_spawn_guard {
                 let guard_start = Instant::now();
                 if !g() {
                     skipped.push(true);
-                    verdict_txs.push(None);
                     child_worlds.push(None);
                     obs.emit(|| {
                         ObsEvent::new(
                             EventKind::GuardVerdict {
                                 pass: false,
                                 duration_ns: guard_start.elapsed().as_nanos() as u64,
+                                alt: Some(i as u64),
                             },
                             parent_world.raw(),
                             None,
@@ -248,17 +363,27 @@ impl Speculation {
                 )
             });
             let preds = PredicateSet::for_spawned_child(parent_preds, pids[i], &pids);
+            let trace = TraceCtx {
+                root: self.root_world.raw(),
+                world: world.raw(),
+            };
             let fs = self.fs.clone();
             let store = self.store.clone();
             let cancel = cancel.clone();
             let tx = report_tx.clone();
-            let (verdict_tx, verdict_rx) = mpsc::channel::<bool>();
-            verdict_txs.push(Some(verdict_tx));
+            let shared = shared.clone();
+            let reaper = reaper.clone();
+            let elim = block.elim;
             let pid = pids[i];
             let child_start = start;
+            latch.add();
+            let counts_down = CountsDown(latch.clone());
 
-            handles.push(std::thread::spawn(move || {
-                let mut ctx = WorldCtx::new(fs, world, pid, preds, cancel);
+            let task = move || {
+                // Declared after the latch guard, so disposal (a local
+                // drop) happens before the parent is released.
+                let _counts_down = counts_down;
+                let mut ctx = WorldCtx::new(fs, world, pid, preds, cancel, trace);
                 let result = alt.execute(&mut ctx);
                 let output = std::mem::take(&mut ctx.output);
                 let _ = tx.send(ChildReport {
@@ -268,14 +393,33 @@ impl Speculation {
                     output,
                     elapsed: child_start.elapsed(),
                 });
-                // Await the parent's verdict; losers clean up their own
-                // world (asynchronous elimination happens right here, off
-                // the parent's critical path).
-                let won = verdict_rx.recv().unwrap_or(false);
-                if !won && store.world_exists(world) {
-                    let _ = store.drop_world(world);
+                // Elimination handshake: if the parent has already decided
+                // the block, this world's fate is known — a loser tears it
+                // down right here, off the parent's critical path (queued
+                // to the batching reaper in async mode). Otherwise park it
+                // for the parent's batched disposal at decision time.
+                let mut st = shared.lock().unwrap();
+                if st.decided {
+                    let lost = st.winner != Some(world);
+                    drop(st);
+                    if lost && store.world_exists(world) {
+                        match elim {
+                            ElimMode::Sync => {
+                                let _ = store.drop_world(world);
+                            }
+                            ElimMode::Async => reaper.enqueue(&store, world),
+                        }
+                    }
+                } else {
+                    st.finished.push(world);
                 }
-            }));
+            };
+            match &self.exec {
+                ExecMode::Pooled(exec) => exec.spawn(&obs, task),
+                ExecMode::ThreadPerAlt => {
+                    std::thread::spawn(task);
+                }
+            }
         }
         drop(report_tx);
 
@@ -356,7 +500,11 @@ impl Speculation {
                 let duration_ns = msg.elapsed.as_nanos() as u64;
                 obs.emit(|| {
                     ObsEvent::new(
-                        EventKind::GuardVerdict { pass, duration_ns },
+                        EventKind::GuardVerdict {
+                            pass,
+                            duration_ns,
+                            alt: Some(i as u64),
+                        },
                         msg.world.raw(),
                         Some(parent_world.raw()),
                         obs.now_ns(),
@@ -417,7 +565,9 @@ impl Speculation {
             }
         }
 
-        // Eliminate the siblings: cancel cooperatively, deliver verdicts.
+        // Eliminate the siblings: cancel cooperatively, publish the
+        // decision, and dispose of every loser that already finished in
+        // one batch.
         cancel.cancel();
         let winner_index = match &outcome {
             RunOutcome::Winner { index, .. } => Some(*index),
@@ -431,19 +581,28 @@ impl Speculation {
                 });
             }
         }
-        for (i, tx) in verdict_txs.iter_mut().enumerate() {
-            if let Some(tx) = tx.take() {
-                let _ = tx.send(Some(i) == winner_index);
-            }
-        }
+        let winner_world = winner_index.and_then(|i| child_worlds[i]);
+        let ready: Vec<WorldId> = {
+            let mut st = shared.lock().unwrap();
+            st.decided = true;
+            st.winner = winner_world;
+            std::mem::take(&mut st.finished)
+        };
+        // The winner may have parked itself before we decided; its world
+        // was consumed by `adopt` and must not be disposed of.
+        let losers: Vec<WorldId> = ready
+            .into_iter()
+            .filter(|&w| Some(w) != winner_world)
+            .collect();
         let elim_start = Instant::now();
 
         if block.elim == ElimMode::Sync {
-            // Synchronous elimination: wait for every sibling to terminate
-            // before resuming the parent (§2.2.1's slower option).
-            for h in handles {
-                let _ = h.join();
-            }
+            // Synchronous elimination: one batched drop for the finished
+            // losers (a single recycler acquisition), then wait for every
+            // still-running sibling to reach its sync point and dispose
+            // of itself (§2.2.1's slower option).
+            self.store.drop_worlds(&losers);
+            latch.wait();
             // Late reports tell us how the losers ended. Each is that
             // child's only report, so its guard verdict has not been
             // recorded yet; losers that reached the sync point with a
@@ -458,7 +617,11 @@ impl Speculation {
                     let duration_ns = msg.elapsed.as_nanos() as u64;
                     obs.emit(|| {
                         ObsEvent::new(
-                            EventKind::GuardVerdict { pass, duration_ns },
+                            EventKind::GuardVerdict {
+                                pass,
+                                duration_ns,
+                                alt: Some(i as u64),
+                            },
                             msg.world.raw(),
                             Some(parent_world.raw()),
                             obs.now_ns(),
@@ -483,9 +646,10 @@ impl Speculation {
                 }
             }
         } else {
-            // Asynchronous elimination: detach; the loser threads drop
-            // their worlds on their own time.
-            drop(handles);
+            // Asynchronous elimination: hand the finished losers to the
+            // background reaper (batched frame recycling) and return;
+            // still-running losers queue themselves when they finish.
+            reaper.enqueue_many(&self.store, &losers);
         }
 
         if obs_on {
@@ -996,5 +1160,128 @@ mod tests {
             .verify_refcounts()
             .expect("refcount invariant after async elimination");
         assert_eq!(live, spec.store().live_frames());
+    }
+
+    /// The pool-reuse stress of the executor PR: a session pinned to a
+    /// **one-worker** pool runs nested blocks whose outer alternative
+    /// blocks on its inner block. Without the reserve-or-spawn fallback
+    /// this deadlocks instantly (the only worker is occupied by the task
+    /// that is waiting for the queued ones); with it, every iteration
+    /// completes.
+    #[test]
+    fn nested_blocks_share_a_one_worker_pool_without_deadlock() {
+        let pool = Executor::new(1);
+        let spec = Speculation::new().with_executor(pool.clone());
+        spec.setup(|c| c.put_u64("x", 0)).unwrap();
+        for round in 1..=10u64 {
+            let session = spec.clone();
+            let r = spec.run(
+                AltBlock::new()
+                    .alt("outer", move |ctx| {
+                        let inner = session.run_in(
+                            ctx.world_id(),
+                            ctx.predicates(),
+                            AltBlock::new()
+                                .alt("inner-a", move |ictx| {
+                                    let x = ictx.get_u64("x").unwrap();
+                                    ictx.put_u64("x", x + round)?;
+                                    Ok(1u8)
+                                })
+                                .alt("inner-b", move |ictx| {
+                                    let x = ictx.get_u64("x").unwrap();
+                                    ictx.put_u64("x", x + round)?;
+                                    Ok(2u8)
+                                })
+                                .elim(ElimMode::Sync),
+                        );
+                        assert!(inner.succeeded(), "inner block must win");
+                        Ok(inner.value.unwrap())
+                    })
+                    .elim(ElimMode::Sync),
+            );
+            assert!(r.succeeded(), "round {round} must commit");
+        }
+        assert_eq!(spec.read(|c| c.get_u64("x")), Some((1..=10u64).sum()));
+        assert_eq!(spec.store().world_count(), 1, "no leaked worlds");
+        pool.shutdown();
+    }
+
+    /// Regression for the cancellation point at the page-write boundary:
+    /// a loser that wakes up *after* the winner has committed must be
+    /// refused at its next write — no page of a decided-against world is
+    /// ever dirtied again, in either executor mode.
+    #[test]
+    fn cancelled_loser_never_writes_after_winner_commits() {
+        for spec in [Speculation::new(), Speculation::new().with_thread_per_alt()] {
+            spec.setup(|c| c.put_u64("poison", 0)).unwrap();
+            let r = spec.run(
+                AltBlock::new()
+                    .alt("wins", |ctx| {
+                        ctx.put_u64("x", 1)?;
+                        Ok(1u8)
+                    })
+                    .alt("late-writer", |ctx| {
+                        // Deterministically outlive the commit, then try
+                        // to write.
+                        while !ctx.is_cancelled() {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        match ctx.put_u64("poison", 99) {
+                            Err(AltError::Cancelled) => Err(AltError::Cancelled),
+                            other => panic!("write after cancel must be refused, got {other:?}"),
+                        }
+                    })
+                    .elim(ElimMode::Sync),
+            );
+            assert_eq!(r.winner_label(), Some("wins"));
+            assert_eq!(spec.read(|c| c.get_u64("poison")), Some(0));
+            assert_eq!(spec.store().world_count(), 1);
+        }
+    }
+
+    /// Spans from a pooled-executor run must reconstruct exactly like
+    /// thread-per-alternative ones did: one committed span carrying its
+    /// alternative index, the loser eliminated, and nothing orphaned.
+    #[test]
+    fn pool_run_events_reconstruct_into_a_span_tree() {
+        use worlds_obs::{SpanOutcome, SpanTree};
+        let (obs, ring) = Registry::with_ring(4096);
+        let spec = Speculation::with_obs(PAGE_SIZE_DEFAULT, obs);
+        spec.setup(|c| c.put_u64("x", 1)).unwrap();
+        let root = spec.read(|c| c.world_id().raw());
+        let r = spec.run(
+            AltBlock::new()
+                .alt("wins", |ctx| {
+                    assert_eq!(ctx.trace_ctx().world, ctx.world_id().raw());
+                    ctx.put_u64("x", 2)?;
+                    Ok(1u8)
+                })
+                .alt("loses", |ctx| {
+                    ctx.put_u64("x", 3)?;
+                    std::thread::sleep(Duration::from_millis(50));
+                    Ok(2u8)
+                })
+                .elim(ElimMode::Sync),
+        );
+        assert_eq!(r.winner_label(), Some("wins"));
+        let events = ring.events();
+        let tree = SpanTree::build(events.iter());
+        let committed: Vec<_> = tree
+            .spans()
+            .filter(|s| s.outcome == SpanOutcome::Committed)
+            .collect();
+        assert_eq!(committed.len(), 1, "exactly one world commits");
+        assert_eq!(committed[0].alt, Some(0), "the winner is alternative 0");
+        assert_eq!(committed[0].parent, Some(root));
+        let eliminated = tree
+            .spans()
+            .filter(|s| s.outcome == SpanOutcome::EliminatedSync)
+            .count();
+        assert_eq!(eliminated, 1, "the loser is eliminated synchronously");
+        for s in tree.spans() {
+            if s.world != root {
+                assert_eq!(s.parent, Some(root), "no orphan spans from pool runs");
+            }
+        }
     }
 }

@@ -1,0 +1,603 @@
+//! The persistent work-stealing pool.
+//!
+//! One [`Executor`] outlives every speculation block that runs on it, so
+//! the per-block cost of `alt_spawn` drops from "create an OS thread per
+//! alternative" to "push a closure onto a deque". The layout is the
+//! classic work-stealing shape:
+//!
+//! * each permanent worker owns a **LIFO deque**: it pushes and pops at
+//!   the back, so nested speculation (a task spawning sub-tasks) runs
+//!   depth-first with warm caches;
+//! * other workers **steal from the front** of a victim's deque, taking
+//!   the oldest — and therefore likely largest — piece of work;
+//! * submissions from threads outside the pool land in a shared
+//!   **injector** queue that every worker drains before stealing.
+//!
+//! # Reserve-or-spawn: why blocking tasks cannot starve the pool
+//!
+//! Speculation tasks are arbitrary closures: they sleep, wait on
+//! channels, and run *nested* blocks whose parent waits for its own
+//! children. A fixed pool would deadlock the moment every worker blocks
+//! while the tasks that would unblock them sit queued. This pool makes a
+//! stronger guarantee, enforced at submission time: **after every
+//! `spawn`, the number of queued tasks never exceeds the number of
+//! workers not currently running a task.** If it would, the pool spawns
+//! a temporary *fallback* worker (counted in
+//! `ExecCounters::fallback_threads`) that drains queues and exits once
+//! they are empty. Free workers only become busy by taking a queued
+//! task, only go idle when the queue is empty, and fallback workers only
+//! exit when the queue is empty — so every queued task always has a
+//! runner reserved for it, no matter what the executing tasks do. The
+//! common case (blocks no wider than the pool, submitted from a quiet
+//! pool) runs entirely on persistent workers; the pathological case
+//! degrades to exactly the old thread-per-alternative behaviour.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use worlds_obs::Registry;
+
+/// Environment variable overriding the global pool's worker count.
+pub const WORKERS_ENV: &str = "WORLDS_EXEC_THREADS";
+
+type TaskFn = Box<dyn FnOnce() + Send + 'static>;
+
+/// A unit of work plus the registry its execution is attributed to.
+struct Task {
+    run: TaskFn,
+    obs: Registry,
+}
+
+/// Where a worker found the task it is about to run.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Provenance {
+    /// Popped from the worker's own deque (LIFO fast path).
+    Own,
+    /// Taken from the shared injector queue.
+    Injector,
+    /// Stolen from another worker's deque.
+    Stolen,
+}
+
+/// Counters the submission/pickup protocol keeps consistent under one
+/// mutex. `queued` is incremented *before* the task is pushed and
+/// decremented *after* it is popped, so it is always an upper bound on
+/// visible tasks and never underflows.
+struct State {
+    /// Tasks announced but not yet picked up.
+    queued: usize,
+    /// Tasks currently inside a worker (running or blocked).
+    executing: usize,
+    /// Workers alive: permanent + fallback.
+    live: usize,
+    /// Permanent workers asleep on the condvar.
+    idle: usize,
+    shutdown: bool,
+}
+
+struct Inner {
+    /// One deque per permanent worker; `deques[i]` is owned by slot `i`.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Overflow / external-submission queue, drained by everyone.
+    injector: Mutex<VecDeque<Task>>,
+    state: Mutex<State>,
+    /// Wakes idle permanent workers when `queued` becomes nonzero.
+    cv: Condvar,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    workers: usize,
+}
+
+/// Identity of the pool thread the current OS thread belongs to, if any.
+#[derive(Clone, Copy)]
+struct WorkerId {
+    /// `Arc::as_ptr` of the owning pool's `Inner`.
+    pool: usize,
+    /// Deque slot; `None` for fallback workers (they own no deque).
+    slot: Option<usize>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::Cell<Option<WorkerId>> = const { std::cell::Cell::new(None) };
+}
+
+/// A persistent work-stealing executor. Cloning is a refcount bump; all
+/// clones share the same workers and queues.
+#[derive(Clone)]
+pub struct Executor {
+    inner: Arc<Inner>,
+}
+
+impl Executor {
+    /// A pool with `workers` permanent workers (at least one).
+    pub fn new(workers: usize) -> Executor {
+        let workers = workers.max(1);
+        let inner = Arc::new(Inner {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            state: Mutex::new(State {
+                queued: 0,
+                executing: 0,
+                live: workers,
+                idle: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+            workers,
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for slot in 0..workers {
+            let inner = inner.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("worlds-exec-{slot}"))
+                    .spawn(move || worker_loop(inner, slot))
+                    .expect("spawn pool worker"),
+            );
+        }
+        *inner.handles.lock().unwrap() = handles;
+        Executor { inner }
+    }
+
+    /// The process-wide pool every [`Speculation`] uses by default, sized
+    /// to `effective_cores` (`std::thread::available_parallelism`) unless
+    /// [`WORKERS_ENV`] overrides it. Never shut down.
+    ///
+    /// [`Speculation`]: https://docs.rs/worlds
+    pub fn global() -> Executor {
+        static GLOBAL: OnceLock<Executor> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| Executor::new(default_workers()))
+            .clone()
+    }
+
+    /// Number of permanent workers.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Submit a task. Attribution: queue-depth / steal / run counters for
+    /// this task land in `obs` (`RunStats::exec`), which is free when the
+    /// registry is disabled.
+    ///
+    /// A submission from a pool worker goes to that worker's own deque
+    /// (LIFO, depth-first); any other thread's goes to the injector.
+    pub fn spawn(&self, obs: &Registry, f: impl FnOnce() + Send + 'static) {
+        self.submit(Task {
+            run: Box::new(f),
+            obs: obs.clone(),
+        });
+    }
+
+    /// Run `f`, with every closure it hands to [`Scope::spawn`] allowed to
+    /// borrow from the enclosing frame: `scope` does not return until all
+    /// scoped tasks have finished (even if `f` panics), which is what
+    /// makes the borrows sound. Scoped tasks run on the same pool and are
+    /// attributed to `obs`.
+    pub fn scope<'env, R>(&self, obs: &Registry, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        let scope = Scope {
+            exec: self,
+            obs,
+            latch: Latch::new(),
+            _env: std::marker::PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // The wait must happen on the panic path too: a scoped task may
+        // still be using borrows owned by our caller's frame.
+        scope.latch.wait();
+        match result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Stop the permanent workers and join them. Intended for tests and
+    /// ordered teardown of private pools **after** the pool is quiescent;
+    /// tasks still queued at shutdown may be dropped unrun. Must not be
+    /// called from one of the pool's own workers.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.inner.cv.notify_all();
+        let handles = std::mem::take(&mut *self.inner.handles.lock().unwrap());
+        let me = std::thread::current().id();
+        for h in handles {
+            if h.thread().id() != me {
+                let _ = h.join();
+            }
+        }
+    }
+
+    fn id(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    /// The current thread's deque slot, if it is a permanent worker of
+    /// *this* pool.
+    fn current_slot(&self) -> Option<usize> {
+        CURRENT
+            .get()
+            .and_then(|w| if w.pool == self.id() { w.slot } else { None })
+    }
+
+    fn submit(&self, task: Task) {
+        task.obs.with(|i| i.stats.exec_queue_depth.add(1));
+        let own_slot = self.current_slot();
+        let obs = task.obs.clone();
+        // Announce before pushing: `queued` must never under-count a
+        // pushed task, or the reserve-or-spawn check could strand it.
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.queued += 1;
+            // Reserve-or-spawn: every queued task needs a worker that is
+            // not occupied by a task (idle, scanning, or a fallback).
+            while st.queued > st.live - st.executing {
+                st.live += 1;
+                obs.with(|i| i.stats.exec.fallback_threads.incr());
+                let inner = self.inner.clone();
+                std::thread::Builder::new()
+                    .name("worlds-exec-fallback".into())
+                    .spawn(move || fallback_loop(inner))
+                    .expect("spawn fallback worker");
+            }
+            if st.idle > 0 {
+                self.inner.cv.notify_one();
+            }
+        }
+        match own_slot {
+            Some(slot) => self.inner.deques[slot].lock().unwrap().push_back(task),
+            None => {
+                task.obs.with(|i| i.stats.exec.tasks_injected.incr());
+                self.inner.injector.lock().unwrap().push_back(task);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.inner.workers)
+            .finish()
+    }
+}
+
+fn default_workers() -> usize {
+    std::env::var(WORKERS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Find one task: own deque back (permanent workers), then injector
+/// front, then steal from other deques front.
+fn find_task(inner: &Inner, slot: Option<usize>) -> Option<(Task, Provenance)> {
+    if let Some(s) = slot {
+        if let Some(task) = inner.deques[s].lock().unwrap().pop_back() {
+            return Some((task, Provenance::Own));
+        }
+    }
+    if let Some(task) = inner.injector.lock().unwrap().pop_front() {
+        return Some((task, Provenance::Injector));
+    }
+    let n = inner.deques.len();
+    let start = slot.map_or(0, |s| s + 1);
+    for k in 0..n {
+        let victim = (start + k) % n;
+        if Some(victim) == slot {
+            continue;
+        }
+        if let Some(task) = inner.deques[victim].lock().unwrap().pop_front() {
+            return Some((task, Provenance::Stolen));
+        }
+    }
+    None
+}
+
+fn run_task(inner: &Inner, task: Task, how: Provenance) {
+    {
+        let mut st = inner.state.lock().unwrap();
+        st.queued -= 1;
+        st.executing += 1;
+    }
+    task.obs.with(|i| {
+        i.stats.exec_queue_depth.sub(1);
+        i.stats.exec.tasks_run.incr();
+        if how == Provenance::Stolen {
+            i.stats.exec.tasks_stolen.incr();
+        }
+    });
+    // A panicking task must not take its worker down with it.
+    let _ = catch_unwind(AssertUnwindSafe(task.run));
+    inner.state.lock().unwrap().executing -= 1;
+}
+
+fn worker_loop(inner: Arc<Inner>, slot: usize) {
+    CURRENT.set(Some(WorkerId {
+        pool: Arc::as_ptr(&inner) as usize,
+        slot: Some(slot),
+    }));
+    loop {
+        if let Some((task, how)) = find_task(&inner, Some(slot)) {
+            run_task(&inner, task, how);
+            continue;
+        }
+        let mut st = inner.state.lock().unwrap();
+        if st.shutdown {
+            st.live -= 1;
+            return;
+        }
+        if st.queued > 0 {
+            // Announced but not yet pushed (or sitting in a deque we
+            // raced on): rescan rather than sleep past it.
+            drop(st);
+            std::thread::yield_now();
+            continue;
+        }
+        st.idle += 1;
+        let mut st = inner
+            .cv
+            .wait_while(st, |st| st.queued == 0 && !st.shutdown)
+            .unwrap();
+        st.idle -= 1;
+    }
+}
+
+/// A temporary worker spawned when queued tasks outnumber free workers.
+/// It owns no deque and exits as soon as the queues are empty; the exit
+/// decision is taken under the state lock so it serializes against
+/// submissions (a task announced after the check sees the reduced `live`
+/// and reserves its own runner).
+fn fallback_loop(inner: Arc<Inner>) {
+    loop {
+        if let Some((task, how)) = find_task(&inner, None) {
+            run_task(&inner, task, how);
+            continue;
+        }
+        let mut st = inner.state.lock().unwrap();
+        if st.queued > 0 && !st.shutdown {
+            drop(st);
+            std::thread::yield_now();
+            continue;
+        }
+        st.live -= 1;
+        return;
+    }
+}
+
+/// A countdown latch: `add` before submission, `done` from the task (via
+/// a drop guard, so panics still count down), `wait` blocks until zero.
+struct Latch {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Arc<Latch> {
+        Arc::new(Latch {
+            count: Mutex::new(0),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn add(&self, n: usize) {
+        *self.count.lock().unwrap() += n;
+    }
+
+    fn done(&self) {
+        let mut c = self.count.lock().unwrap();
+        *c -= 1;
+        if *c == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let c = self.count.lock().unwrap();
+        let _unused = self.cv.wait_while(c, |c| *c > 0).unwrap();
+    }
+}
+
+/// Decrements the latch when dropped — normal return or unwind alike.
+struct CountsDown(Arc<Latch>);
+
+impl Drop for CountsDown {
+    fn drop(&mut self) {
+        self.0.done();
+    }
+}
+
+/// Handle for spawning borrowing tasks inside [`Executor::scope`].
+pub struct Scope<'scope, 'env> {
+    exec: &'scope Executor,
+    obs: &'scope Registry,
+    latch: Arc<Latch>,
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Submit a task that may borrow anything outliving the `scope` call.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'env) {
+        self.latch.add(1);
+        let guard = CountsDown(self.latch.clone());
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let _guard = guard;
+            f();
+        });
+        // SAFETY: `Executor::scope` waits for the latch to reach zero
+        // before returning (on the panic path too), so everything the
+        // closure borrows ('env) strictly outlives its execution; the
+        // lifetime can therefore be erased for the 'static task queue.
+        let task: TaskFn = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(task)
+        };
+        self.exec.submit(Task {
+            run: task,
+            obs: self.obs.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn tasks_run_and_pool_survives() {
+        let pool = Executor::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let latch = Latch::new();
+        latch.add(100);
+        for _ in 0..100 {
+            let hits = hits.clone();
+            let guard = CountsDown(latch.clone());
+            pool.spawn(&Registry::disabled(), move || {
+                let _guard = guard;
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        latch.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn blocking_tasks_never_starve_queued_work() {
+        // One worker, two tasks that can only finish if they run
+        // concurrently: the second must get a fallback worker.
+        let pool = Executor::new(1);
+        let (tx, rx) = std::sync::mpsc::channel::<u32>();
+        let (tx2, rx2) = std::sync::mpsc::channel::<u32>();
+        pool.spawn(&Registry::disabled(), move || {
+            // Blocks until the *other* task sends.
+            let v = rx2.recv().unwrap();
+            tx.send(v + 1).unwrap();
+        });
+        pool.spawn(&Registry::disabled(), move || {
+            tx2.send(41).unwrap();
+        });
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Ok(42),
+            "fallback worker must run the unblocking task"
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn scope_tasks_borrow_their_environment() {
+        let pool = Executor::new(2);
+        let results = Mutex::new(Vec::new());
+        pool.scope(&Registry::disabled(), |s| {
+            for i in 0..16u64 {
+                let results = &results;
+                s.spawn(move || results.lock().unwrap().push(i * i));
+            }
+        });
+        let mut got = results.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..16u64).map(|i| i * i).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn scope_waits_even_when_body_panics() {
+        let pool = Executor::new(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = done.clone();
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(&Registry::disabled(), |s| {
+                let done = done2.clone();
+                s.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(50));
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+                panic!("body dies");
+            })
+        }));
+        assert!(r.is_err());
+        assert_eq!(
+            done.load(Ordering::SeqCst),
+            1,
+            "scope must wait for the task before unwinding"
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_its_worker() {
+        let pool = Executor::new(1);
+        pool.spawn(&Registry::disabled(), || panic!("boom"));
+        let (tx, rx) = std::sync::mpsc::channel::<u8>();
+        pool.spawn(&Registry::disabled(), move || tx.send(7).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(7));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn worker_submissions_prefer_own_deque_lifo() {
+        // A task spawning sub-tasks runs them on the pool; all complete.
+        let pool = Executor::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        pool.scope(&Registry::disabled(), |s| {
+            let hits = &hits;
+            let pool_ref = &pool;
+            s.spawn(move || {
+                pool_ref.scope(&Registry::disabled(), |inner| {
+                    for _ in 0..8 {
+                        inner.spawn(move || {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+                hits.fetch_add(100, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 108);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn exec_counters_account_for_every_task() {
+        let obs = Registry::enabled();
+        let pool = Executor::new(2);
+        pool.scope(&obs, |s| {
+            for _ in 0..50 {
+                s.spawn(|| std::hint::black_box(()));
+            }
+        });
+        let stats = obs.stats().unwrap();
+        assert_eq!(stats.exec.tasks_run.get(), 50);
+        assert_eq!(stats.exec_queue_depth.get(), 0, "all picked up");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn throughput_smoke_pool_reuse_is_fast() {
+        // Not a benchmark, just a guard: 200 trivial tasks through a
+        // 1-worker pool must finish quickly (no per-task thread spawn on
+        // the quiet-pool path).
+        let pool = Executor::new(1);
+        let t0 = Instant::now();
+        for _ in 0..200 {
+            pool.scope(&Registry::disabled(), |s| {
+                s.spawn(|| {
+                    std::hint::black_box(1u64);
+                });
+            });
+        }
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,265 @@
+//! The background world reaper: batched asynchronous elimination.
+//!
+//! Asynchronous elimination takes the loser teardown off the parent's
+//! critical path — but in the thread executor each loser still paid one
+//! `Recycler` lock acquisition *per freed frame* (pre-PR 3: per list),
+//! and one `drop_world` call per world. The reaper amortizes both:
+//! losing worlds are queued, a single background thread drains them in
+//! batches, and [`PageStore::drop_worlds`] returns every freed frame to
+//! the recycler under **one** lock acquisition per batch.
+//!
+//! Observability is unchanged by batching: `drop_worlds` emits the same
+//! per-world `frame_free` events (same `world`/`parent`/frame counts) a
+//! loop of `drop_world` calls would, so JSONL replay of a batched run
+//! reconstructs identically. The batch bookkeeping itself lands in
+//! `ExecCounters::{reaper_batches, reaper_worlds}` on the store's
+//! registry, plus the `recycler_locks` field of
+//! [`worlds_pagestore::StoreStats`] for the amortization claim.
+
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use worlds_pagestore::{PageStore, WorldId};
+
+/// Largest number of worlds torn down per reaper wakeup.
+const BATCH_MAX_DEFAULT: usize = 64;
+
+/// How long the reaper lingers after waking to let near-simultaneous
+/// losers coalesce into one batch.
+const COALESCE_WINDOW: Duration = Duration::from_micros(200);
+
+struct ReapState {
+    queue: Vec<(PageStore, WorldId)>,
+    /// A batch is out of the queue but not yet torn down.
+    reaping: bool,
+    shutdown: bool,
+    batches: u64,
+}
+
+struct Inner {
+    state: Mutex<ReapState>,
+    /// Wakes the reaper thread when work arrives (or shutdown).
+    work_cv: Condvar,
+    /// Wakes [`Reaper::drain`] waiters when a batch completes.
+    done_cv: Condvar,
+    batch_max: usize,
+}
+
+/// Handle to a background elimination thread. Cloning shares the thread.
+#[derive(Clone)]
+pub struct Reaper {
+    inner: Arc<Inner>,
+}
+
+impl Reaper {
+    /// A private reaper with an explicit batch cap (tests, benchmarks).
+    pub fn new(batch_max: usize) -> Reaper {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(ReapState {
+                queue: Vec::new(),
+                reaping: false,
+                shutdown: false,
+                batches: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            batch_max: batch_max.max(1),
+        });
+        let thread_inner = inner.clone();
+        std::thread::Builder::new()
+            .name("worlds-reaper".into())
+            .spawn(move || reaper_loop(thread_inner))
+            .expect("spawn reaper thread");
+        Reaper { inner }
+    }
+
+    /// The process-wide reaper asynchronous elimination uses by default.
+    pub fn global() -> Reaper {
+        static GLOBAL: OnceLock<Reaper> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| Reaper::new(BATCH_MAX_DEFAULT))
+            .clone()
+    }
+
+    /// Queue one losing world for teardown.
+    pub fn enqueue(&self, store: &PageStore, world: WorldId) {
+        self.enqueue_many(store, &[world]);
+    }
+
+    /// Queue a cohort of losing worlds (one lock, one wakeup).
+    pub fn enqueue_many(&self, store: &PageStore, worlds: &[WorldId]) {
+        if worlds.is_empty() {
+            return;
+        }
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.queue.extend(worlds.iter().map(|&w| (store.clone(), w)));
+        }
+        self.inner.work_cv.notify_one();
+    }
+
+    /// Block until every world queued so far has been torn down.
+    pub fn drain(&self) {
+        let st = self.inner.state.lock().unwrap();
+        let _done = self
+            .inner
+            .done_cv
+            .wait_while(st, |st| !st.queue.is_empty() || st.reaping)
+            .unwrap();
+    }
+
+    /// Completed batch count (diagnostics; a batch may span stores).
+    pub fn batches(&self) -> u64 {
+        self.inner.state.lock().unwrap().batches
+    }
+
+    /// Stop the reaper thread after it finishes the queue. Test-only
+    /// teardown for private reapers; the global reaper runs forever.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.inner.work_cv.notify_one();
+    }
+}
+
+impl std::fmt::Debug for Reaper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reaper")
+            .field("batch_max", &self.inner.batch_max)
+            .finish()
+    }
+}
+
+fn reaper_loop(inner: Arc<Inner>) {
+    loop {
+        let batch = {
+            let mut st = inner.state.lock().unwrap();
+            while st.queue.is_empty() && !st.shutdown {
+                st = inner.work_cv.wait(st).unwrap();
+            }
+            if st.queue.is_empty() {
+                return; // shutdown with nothing left
+            }
+            if !st.shutdown && st.queue.len() < inner.batch_max {
+                // Linger briefly: siblings eliminated by the same block
+                // usually arrive within microseconds of each other.
+                let (next, _) = inner.work_cv.wait_timeout(st, COALESCE_WINDOW).unwrap();
+                st = next;
+            }
+            let take = st.queue.len().min(inner.batch_max);
+            st.reaping = true;
+            st.queue.drain(..take).collect::<Vec<_>>()
+        };
+
+        // Tear down runs of worlds that share a store with one
+        // `drop_worlds` call each — one recycler acquisition per run.
+        let mut i = 0;
+        while i < batch.len() {
+            let store = &batch[i].0;
+            let mut j = i + 1;
+            while j < batch.len() && store.same_store(&batch[j].0) {
+                j += 1;
+            }
+            let ids: Vec<WorldId> = batch[i..j].iter().map(|&(_, w)| w).collect();
+            let dropped = store.drop_worlds(&ids);
+            store.obs().with(|o| {
+                o.stats.exec.reaper_batches.incr();
+                o.stats.exec.reaper_worlds.add(dropped as u64);
+            });
+            i = j;
+        }
+
+        {
+            let mut st = inner.state.lock().unwrap();
+            st.reaping = false;
+            st.batches += 1;
+        }
+        inner.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A store with `n` forked worlds off one root, each with a private
+    /// page so teardown really frees frames.
+    fn store_with_losers(n: usize) -> (PageStore, Vec<WorldId>) {
+        let store = PageStore::new(4096);
+        let root = store.create_world();
+        store.write(root, 0, 0, &[1u8; 64]).unwrap();
+        let losers: Vec<WorldId> = (0..n)
+            .map(|i| {
+                let w = store.fork_world(root).unwrap();
+                store.write(w, 1 + i as u64, 0, &[2u8; 64]).unwrap();
+                w
+            })
+            .collect();
+        (store, losers)
+    }
+
+    #[test]
+    fn queued_worlds_are_torn_down() {
+        let reaper = Reaper::new(8);
+        let (store, losers) = store_with_losers(6);
+        assert_eq!(store.world_count(), 7);
+        reaper.enqueue_many(&store, &losers);
+        reaper.drain();
+        assert_eq!(store.world_count(), 1, "only the root survives");
+        reaper.shutdown();
+    }
+
+    #[test]
+    fn refcounts_hold_after_batched_reap() {
+        // The CI satellite: verify_refcounts() must hold after a
+        // batched-reaper run, including batches smaller than the queue.
+        let reaper = Reaper::new(4);
+        let (store, losers) = store_with_losers(10);
+        reaper.enqueue_many(&store, &losers);
+        reaper.drain();
+        let live = store
+            .verify_refcounts()
+            .expect("refcount invariant after batched teardown");
+        assert_eq!(live, store.live_frames());
+        assert_eq!(store.world_count(), 1);
+        assert!(reaper.batches() >= 1);
+        reaper.shutdown();
+    }
+
+    #[test]
+    fn double_enqueue_and_missing_worlds_are_harmless() {
+        let reaper = Reaper::new(8);
+        let (store, losers) = store_with_losers(2);
+        reaper.enqueue_many(&store, &losers);
+        reaper.drain();
+        // Same worlds again: already gone, drop_worlds skips them.
+        reaper.enqueue_many(&store, &losers);
+        reaper.drain();
+        assert_eq!(store.world_count(), 1);
+        assert!(store.verify_refcounts().is_ok());
+        reaper.shutdown();
+    }
+
+    #[test]
+    fn batching_amortizes_recycler_locks() {
+        // Teardown of k worlds with p private frames each: batched mode
+        // must acquire the recycler lock fewer times than the per-world
+        // (let alone per-frame) baseline would.
+        let (store, losers) = store_with_losers(8);
+        let before = store.stats();
+        let reaper = Reaper::new(64);
+        reaper.enqueue_many(&store, &losers);
+        reaper.drain();
+        let delta = store.stats().delta_since(&before);
+        assert_eq!(delta.worlds_dropped, 8);
+        assert!(
+            delta.recycler_locks < 8,
+            "one batch of 8 worlds must cost fewer than 8 recycler \
+             acquisitions, got {}",
+            delta.recycler_locks
+        );
+        reaper.shutdown();
+    }
+}

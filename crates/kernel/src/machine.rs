@@ -502,6 +502,7 @@ impl Machine {
                             EventKind::GuardVerdict {
                                 pass: true,
                                 duration_ns: spec.alts[i].guard_cost.as_ns(),
+                                alt: Some(i as u64),
                             },
                             pw,
                             None,
@@ -532,6 +533,7 @@ impl Machine {
                                 EventKind::GuardVerdict {
                                     pass: true,
                                     duration_ns: guard_cost,
+                                    alt: Some(p.alt_index as u64),
                                 },
                                 world,
                                 parent,
@@ -553,6 +555,7 @@ impl Machine {
                             EventKind::GuardVerdict {
                                 pass: false,
                                 duration_ns: guard_cost,
+                                alt: Some(p.alt_index as u64),
                             },
                             world,
                             parent,

@@ -22,7 +22,15 @@ pub enum EventKind {
     /// the evaluation took (virtual ns in the simulator, wall ns in the
     /// thread executor; 0 when the emitter cannot time it), so the trace
     /// layer can render guard work as a real sub-span, not an instant.
-    GuardVerdict { pass: bool, duration_ns: u64 },
+    /// `alt` is the alternative index the verdict belongs to, when the
+    /// emitter knows it — in particular pre-spawn rejections carry the
+    /// parent world plus `alt`, which is the only way to tell skipped
+    /// alternatives apart in a trace (`None` on old captures).
+    GuardVerdict {
+        pass: bool,
+        duration_ns: u64,
+        alt: Option<u64>,
+    },
     /// A finished world reached the rendezvous point.
     Rendezvous,
     /// The winning world was committed into its parent.
@@ -151,10 +159,17 @@ impl Event {
         push_u64(&mut s, self.wall_ns);
         match &self.kind {
             EventKind::Spawn { alt } => push_field(&mut s, "alt", *alt),
-            EventKind::GuardVerdict { pass, duration_ns } => {
+            EventKind::GuardVerdict {
+                pass,
+                duration_ns,
+                alt,
+            } => {
                 s.push_str(",\"pass\":");
                 s.push_str(if *pass { "true" } else { "false" });
                 push_field(&mut s, "dur", *duration_ns);
+                if let Some(alt) = alt {
+                    push_field(&mut s, "alt", *alt);
+                }
             }
             EventKind::Commit {
                 dirty_pages,
@@ -222,9 +237,10 @@ impl Event {
             },
             "guard" => EventKind::GuardVerdict {
                 pass: fields.bool_field("pass")?,
-                // Lenient: captures from before the field existed parse
-                // as zero-duration verdicts.
+                // Lenient: captures from before these fields existed
+                // parse as zero-duration, unattributed verdicts.
                 duration_ns: fields.opt_u64_field("dur")?.unwrap_or(0),
+                alt: fields.opt_u64_field("alt")?,
             },
             "rendezvous" => EventKind::Rendezvous,
             "commit" => EventKind::Commit {
@@ -442,10 +458,12 @@ mod tests {
             EventKind::GuardVerdict {
                 pass: true,
                 duration_ns: 250,
+                alt: Some(2),
             },
             EventKind::GuardVerdict {
                 pass: false,
                 duration_ns: 0,
+                alt: None,
             },
             EventKind::Rendezvous,
             EventKind::Commit {
@@ -554,7 +572,8 @@ mod tests {
             ev.kind,
             EventKind::GuardVerdict {
                 pass: true,
-                duration_ns: 0
+                duration_ns: 0,
+                alt: None,
             }
         );
     }

@@ -27,7 +27,9 @@ pub mod trace_export;
 
 pub use event::{Event, EventKind, ParseError};
 pub use metrics::{fmt_ns, Counter, Gauge, Histogram, HistogramSnapshot, HIST_BUCKETS};
-pub use report::{replay, IpcCounters, KernelCounters, PageCounters, RemoteCounters, RunStats};
+pub use report::{
+    replay, ExecCounters, IpcCounters, KernelCounters, PageCounters, RemoteCounters, RunStats,
+};
 pub use sink::{EventSink, JsonlSink, RingSink};
 pub use span::{SpanOutcome, SpanTree, TraceCtx, WorldSpan};
 pub use trace_export::{chrome_trace_json, validate_json};

@@ -83,6 +83,30 @@ counter_struct! {
     }
 }
 
+counter_struct! {
+    /// Execution substrate (worlds-exec pool + reaper). Unlike the other
+    /// groups these are **not** derived from events: the pool is below
+    /// the world-lifecycle layer, so its bookkeeping is bumped directly
+    /// via `Registry::with` and appears in live summaries only — JSONL
+    /// replay has no executor events to reconstruct it from, and the
+    /// summary omits the section when every counter is zero.
+    pub struct ExecCounters {
+        /// Tasks executed by pool workers (incl. fallbacks).
+        pub tasks_run,
+        /// Tasks taken from another worker's deque.
+        pub tasks_stolen,
+        /// Tasks submitted from outside the pool (injector queue).
+        pub tasks_injected,
+        /// Temporary workers spawned when queued tasks outnumbered
+        /// free workers (the reserve-or-spawn fallback).
+        pub fallback_threads,
+        /// Reaper drain cycles (per store per batch).
+        pub reaper_batches,
+        /// Worlds torn down by the background reaper.
+        pub reaper_worlds,
+    }
+}
+
 /// Every counter and histogram the observability layer maintains,
 /// grouped by subsystem. Plain atomics throughout — shared freely.
 #[derive(Debug, Default)]
@@ -95,6 +119,11 @@ pub struct RunStats {
     pub ipc: IpcCounters,
     /// remote::cluster counters.
     pub remote: RemoteCounters,
+    /// worlds-exec pool/reaper counters (live-only, see [`ExecCounters`]).
+    pub exec: ExecCounters,
+    /// Speculation tasks submitted to the executor but not yet picked up
+    /// by a worker (level, not count). Live-only, like [`ExecCounters`].
+    pub exec_queue_depth: Gauge,
     /// Frames currently resident in the page store (level, not count).
     /// Pure event arithmetic — `CowCopy`/`ZeroFill` raise it, `FrameFree`
     /// lowers it — so JSONL replay reconstructs it exactly. It counts
@@ -211,6 +240,21 @@ impl RunStats {
         section(&mut out, "ipc", &self.ipc.snapshot());
         section(&mut out, "remote", &self.remote.snapshot());
         hist_line(&mut out, "rpc_latency", &self.rpc_latency);
+
+        // Executor counters are live-only (no events back them), so a
+        // replayed report would always print zeros here; omitting the
+        // idle section keeps replayed summaries identical to pre-exec
+        // captures and keeps live == replay for runs that never touched
+        // the pool.
+        let exec = self.exec.snapshot();
+        if exec.iter().any(|&(_, v)| v > 0) || self.exec_queue_depth.get() > 0 {
+            section(&mut out, "exec", &exec);
+            out.push_str(&format!(
+                "  {:<22} {}\n",
+                "queue_depth",
+                self.exec_queue_depth.get()
+            ));
+        }
         out
     }
 }
@@ -253,10 +297,12 @@ mod tests {
         s.absorb(&ev(EventKind::GuardVerdict {
             pass: true,
             duration_ns: 10,
+            alt: Some(0),
         }));
         s.absorb(&ev(EventKind::GuardVerdict {
             pass: false,
             duration_ns: 0,
+            alt: None,
         }));
         s.absorb(&ev(EventKind::Rendezvous));
         s.absorb(&ev(EventKind::Commit {
@@ -378,6 +424,21 @@ mod tests {
             "worlds_spawned",
             "frames_resident",
         ] {
+            assert!(text.contains(needle), "summary missing {needle}:\n{text}");
+        }
+        assert!(
+            !text.contains("[exec]"),
+            "idle executor section must stay out of replayed summaries:\n{text}"
+        );
+    }
+
+    #[test]
+    fn summary_shows_exec_section_only_when_pool_was_used() {
+        let s = RunStats::new();
+        s.exec.tasks_run.incr();
+        s.exec.tasks_stolen.incr();
+        let text = s.render_summary();
+        for needle in ["[exec]", "tasks_run", "tasks_stolen", "queue_depth"] {
             assert!(text.contains(needle), "summary missing {needle}:\n{text}");
         }
     }

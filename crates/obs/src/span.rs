@@ -380,7 +380,9 @@ impl SpanTree {
                     EdgeKind::RemoteFork,
                 );
             }
-            EventKind::GuardVerdict { pass, duration_ns } => {
+            EventKind::GuardVerdict {
+                pass, duration_ns, ..
+            } => {
                 let span = self.ensure(w, vt);
                 span.guard = Some(GuardSpan {
                     start_ns: vt.saturating_sub(*duration_ns),
@@ -744,6 +746,7 @@ mod tests {
                 EventKind::GuardVerdict {
                     pass: true,
                     duration_ns: 5,
+                    alt: None,
                 },
                 3,
                 Some(1),

@@ -301,6 +301,7 @@ mod tests {
                 EventKind::GuardVerdict {
                     pass: true,
                     duration_ns: 5,
+                    alt: None,
                 },
                 3,
                 Some(1),

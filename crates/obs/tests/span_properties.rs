@@ -84,6 +84,7 @@ fn events_of(script: &[Op]) -> Vec<Event> {
                     EventKind::GuardVerdict {
                         pass,
                         duration_ns: dur,
+                        alt: None,
                     },
                     w,
                     None,

@@ -14,7 +14,7 @@
 //! this table) decide *when* a frame may be mutated; this table only makes
 //! each individual operation atomic.
 
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
@@ -95,6 +95,10 @@ pub(crate) struct FrameTable {
     live: AtomicUsize,
     /// Free list + buffer pool under one leaf mutex (see [`Recycler`]).
     recycler: Mutex<Recycler>,
+    /// Times the recycler mutex has been acquired — the quantity batched
+    /// elimination amortizes. Every acquisition goes through
+    /// [`FrameTable::lock_recycler`] so the count is exact.
+    recycler_locks: AtomicU64,
 }
 
 impl Default for FrameTable {
@@ -110,7 +114,20 @@ impl FrameTable {
             high: AtomicUsize::new(0),
             live: AtomicUsize::new(0),
             recycler: Mutex::new(Recycler::default()),
+            recycler_locks: AtomicU64::new(0),
         }
+    }
+
+    /// The one way to acquire the recycler mutex, so
+    /// [`FrameTable::recycler_lock_count`] is an exact acquisition count.
+    fn lock_recycler(&self) -> parking_lot::MutexGuard<'_, Recycler> {
+        self.recycler_locks.fetch_add(1, Ordering::Relaxed);
+        self.recycler.lock()
+    }
+
+    /// How many times the recycler mutex has been acquired so far.
+    pub(crate) fn recycler_lock_count(&self) -> u64 {
+        self.recycler_locks.load(Ordering::Relaxed)
     }
 
     /// Lock-free slot access: two indexings and one `OnceLock` load.
@@ -130,7 +147,7 @@ impl FrameTable {
         // initialisation below must not run under it, and frame-table
         // locks are leaves that never nest (see the store's lock
         // hierarchy).
-        let popped = self.recycler.lock().free.pop();
+        let popped = self.lock_recycler().free.pop();
         let idx = match popped {
             Some(idx) => idx,
             None => {
@@ -197,7 +214,7 @@ impl FrameTable {
         self.live.fetch_sub(1, Ordering::Relaxed);
         // One acquisition frees both halves: the slot index always goes
         // back, the buffer only if no reader still holds its `Arc`.
-        let mut rec = self.recycler.lock();
+        let mut rec = self.lock_recycler();
         if let Ok(page) = Arc::try_unwrap(data) {
             if rec.pool.len() < POOL_MAX {
                 rec.pool.push(page);
@@ -205,6 +222,46 @@ impl FrameTable {
         }
         rec.free.push(id.0);
         true
+    }
+
+    /// Like [`FrameTable::decref`], but a frame that reaches zero is only
+    /// *detached* (slot emptied, live count dropped) and pushed onto
+    /// `freed`; the recycler is not touched. The caller hands the
+    /// accumulated list to [`FrameTable::recycle_freed`] once, so tearing
+    /// down any number of frames costs one recycler acquisition instead
+    /// of one per frame. Returns `true` if the frame reached zero.
+    pub(crate) fn decref_deferred(
+        &self,
+        id: FrameId,
+        freed: &mut Vec<(u32, Arc<PageData>)>,
+    ) -> bool {
+        let slot = self.slot(id);
+        let prev = slot.refs.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "decref of a freed frame {}", id.0);
+        if prev != 1 {
+            return false;
+        }
+        let data = slot.data.lock().take().expect("live frame without data");
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        freed.push((id.0, data));
+        true
+    }
+
+    /// Return frames detached by [`FrameTable::decref_deferred`] to the
+    /// recycler under a single lock acquisition. Empty lists cost nothing.
+    pub(crate) fn recycle_freed(&self, freed: Vec<(u32, Arc<PageData>)>) {
+        if freed.is_empty() {
+            return;
+        }
+        let mut rec = self.lock_recycler();
+        for (idx, data) in freed {
+            if let Ok(page) = Arc::try_unwrap(data) {
+                if rec.pool.len() < POOL_MAX {
+                    rec.pool.push(page);
+                }
+            }
+            rec.free.push(idx);
+        }
     }
 
     /// Current reference count of a frame (0 for a freed one).
@@ -256,12 +313,12 @@ impl FrameTable {
 
     /// Take a page buffer from the recycle pool, if one is available.
     pub(crate) fn take_pooled(&self) -> Option<PageData> {
-        self.recycler.lock().pool.pop()
+        self.lock_recycler().pool.pop()
     }
 
     /// Return a staged-but-unused page buffer to the recycle pool.
     pub(crate) fn recycle(&self, page: PageData) {
-        let mut rec = self.recycler.lock();
+        let mut rec = self.lock_recycler();
         if rec.pool.len() < POOL_MAX {
             rec.pool.push(page);
         }
@@ -270,7 +327,7 @@ impl FrameTable {
     /// Buffers currently waiting in the recycle pool.
     #[allow(dead_code)] // diagnostics; exercised in tests
     pub(crate) fn pooled_pages(&self) -> usize {
-        self.recycler.lock().pool.len()
+        self.lock_recycler().pool.len()
     }
 
     /// `(frame index, refcount)` for every live frame — the verifier's view.
@@ -404,6 +461,33 @@ mod tests {
         t.incref(b);
         t.decref(a);
         assert_eq!(t.snapshot_refs(), vec![(b.index(), 2)]);
+    }
+
+    #[test]
+    fn deferred_decref_batches_recycler_work() {
+        let t = FrameTable::new();
+        let ids: Vec<FrameId> = (0..6).map(|i| t.alloc(page(i as u8))).collect();
+        let before = t.recycler_lock_count();
+        let mut freed = Vec::new();
+        for &id in &ids {
+            assert!(t.decref_deferred(id, &mut freed));
+        }
+        assert_eq!(t.live_frames(), 0, "frames detach before recycling");
+        t.recycle_freed(freed);
+        assert_eq!(
+            t.recycler_lock_count() - before,
+            1,
+            "six frames freed under one acquisition"
+        );
+        assert_eq!(t.pooled_pages(), 6);
+        let reused = t.alloc(page(9));
+        assert!(
+            ids.iter().any(|id| id.index() == reused.index()),
+            "deferred-freed slots return to the free list"
+        );
+        let count = t.recycler_lock_count();
+        t.recycle_freed(Vec::new());
+        assert_eq!(t.recycler_lock_count(), count, "empty batch takes no lock");
     }
 
     #[test]

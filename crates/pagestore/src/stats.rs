@@ -24,6 +24,7 @@ pub(crate) struct StatsInner {
     pub zero_fills: Counter,
     pub reads: Counter,
     pub writes: Counter,
+    pub writes_solo: Counter,
     pub worlds_dropped: Counter,
     pub frames_freed: Counter,
     pub frames_recycled: Counter,
@@ -39,9 +40,13 @@ impl StatsInner {
             zero_fills: self.zero_fills.get(),
             reads: self.reads.get(),
             writes: self.writes.get(),
+            writes_solo: self.writes_solo.get(),
             worlds_dropped: self.worlds_dropped.get(),
             frames_freed: self.frames_freed.get(),
             frames_recycled: self.frames_recycled.get(),
+            // Owned by the frame table, not this struct; the store's
+            // `stats()` fills it from the exact acquisition count.
+            recycler_locks: 0,
         }
     }
 }
@@ -63,6 +68,9 @@ pub struct StoreStats {
     pub reads: u64,
     /// Page write operations.
     pub writes: u64,
+    /// Writes that took the solo-shard single-pass path (the writing
+    /// world was alone in its shard per the population hint).
+    pub writes_solo: u64,
     /// Worlds dropped (eliminated siblings or adopted-away children).
     pub worlds_dropped: u64,
     /// Frames whose last reference was dropped (drop_world, adopt, or a COW
@@ -70,6 +78,9 @@ pub struct StoreStats {
     pub frames_freed: u64,
     /// Page buffers served from the recycle pool instead of the allocator.
     pub frames_recycled: u64,
+    /// Recycler (free list + buffer pool) mutex acquisitions — the cost
+    /// batched elimination amortizes.
+    pub recycler_locks: u64,
 }
 
 impl StoreStats {
@@ -84,9 +95,11 @@ impl StoreStats {
             zero_fills: self.zero_fills - earlier.zero_fills,
             reads: self.reads - earlier.reads,
             writes: self.writes - earlier.writes,
+            writes_solo: self.writes_solo - earlier.writes_solo,
             worlds_dropped: self.worlds_dropped - earlier.worlds_dropped,
             frames_freed: self.frames_freed - earlier.frames_freed,
             frames_recycled: self.frames_recycled - earlier.frames_recycled,
+            recycler_locks: self.recycler_locks - earlier.recycler_locks,
         }
     }
 }

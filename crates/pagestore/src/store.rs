@@ -29,6 +29,30 @@
 //!    in-place write — see [`World::generation`]). If it moved since the
 //!    probe, the staged buffer is kept and the write retries from step 1.
 //!
+//! Two fast paths shortcut the protocol:
+//!
+//! * **Solo-shard single pass.** A lock-free per-shard population hint
+//!   tracks how many worlds live in each shard. When the writing world is
+//!   alone in its shard, `write` takes the shard write lock once and runs
+//!   probe → stage → commit in one critical section: no generation dance,
+//!   no staged-copy retry, and — nothing else hashes here — no one to
+//!   contend with. The hint is advisory; a stale reading only changes
+//!   which (equally correct) path runs.
+//! * **Upgradable commit.** The staged path commits under an *upgradable*
+//!   read: generation validation and the turned-private-while-staging
+//!   retry run in shared mode, and the lock is upgraded only around the
+//!   map insert itself. The vendored `parking_lot` shim's upgrade is not
+//!   atomic (a plain writer can slip into the window), so everything
+//!   observed in shared mode is re-validated after the upgrade; with real
+//!   `parking_lot` those re-checks are trivially true.
+//!
+//! Elimination also has a batched form, [`PageStore::drop_worlds`]:
+//! frames freed anywhere in the batch are detached under their shard
+//! locks but returned to the recycler under a *single* acquisition, which
+//! is what makes asynchronous elimination cheap for a background reaper.
+//! Counters and `FrameFree` events are identical — content and order — to
+//! sequential [`PageStore::drop_world`] calls.
+//!
 //! Lock hierarchy: shard locks first (in ascending shard-index order when
 //! taking more than one), then frame-table internal locks (per-slot
 //! mutexes and the single recycler mutex guarding the free list + buffer
@@ -42,10 +66,10 @@
 //! the world whose map gains or loses the entry.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::Arc;
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockUpgradableReadGuard, RwLockWriteGuard};
 use worlds_obs::{Event, EventKind, Registry};
 
 use crate::error::{PageStoreError, Result};
@@ -154,6 +178,10 @@ enum Plan {
 #[derive(Clone)]
 pub struct PageStore {
     shards: Arc<Vec<RwLock<Shard>>>,
+    /// Lock-free population hint: how many worlds live in each shard.
+    /// Read (relaxed) by `write` to choose the solo-shard single-pass
+    /// path; advisory only — stale readings never affect correctness.
+    shard_pop: Arc<Vec<AtomicUsize>>,
     frames: Arc<FrameTable>,
     next_world: Arc<AtomicU64>,
     stats: Arc<StatsInner>,
@@ -193,6 +221,7 @@ impl PageStore {
                     .map(|_| RwLock::new(Shard::default()))
                     .collect(),
             ),
+            shard_pop: Arc::new((0..NUM_SHARDS).map(|_| AtomicUsize::new(0)).collect()),
             frames: Arc::new(FrameTable::new()),
             next_world: Arc::new(AtomicU64::new(1)),
             stats: Arc::new(StatsInner::default()),
@@ -216,6 +245,7 @@ impl PageStore {
                     .map(|_| RwLock::new(Shard::default()))
                     .collect(),
             ),
+            shard_pop: Arc::new((0..NUM_SHARDS).map(|_| AtomicUsize::new(0)).collect()),
             frames: Arc::new(FrameTable::new()),
             next_world: Arc::clone(&self.next_world),
             stats: Arc::new(StatsInner::default()),
@@ -338,7 +368,15 @@ impl PageStore {
                 generation: 0,
             },
         );
+        self.shard_pop[shard_index(id)].fetch_add(1, Relaxed);
         WorldId(id)
+    }
+
+    /// Do `self` and `other` name the same underlying store (clones of
+    /// one another)? Batched elimination uses this to group queued losers
+    /// that can share one [`PageStore::drop_worlds`] call.
+    pub fn same_store(&self, other: &PageStore) -> bool {
+        Arc::ptr_eq(&self.shards, &other.shards)
     }
 
     /// Fork `parent` into a new child world that shares every page
@@ -381,6 +419,7 @@ impl PageStore {
                 generation: 0,
             },
         );
+        self.shard_pop[shard_index(id)].fetch_add(1, Relaxed);
         drop(cg);
         drop(pg);
         self.stats.forks.incr();
@@ -427,9 +466,98 @@ impl PageStore {
 
     /// Write `data` at `offset` within page `vpn` of `world`, taking a COW
     /// fault if the page is shared with any other world. See the module
-    /// docs: the deep copy is staged with no locks held.
+    /// docs: on the staged path the deep copy is built with no locks held;
+    /// a world alone in its shard takes the single-pass path instead.
     pub fn write(&self, world: WorldId, vpn: Vpn, offset: usize, data: &[u8]) -> Result<()> {
         self.check_bounds(offset, data.len())?;
+        let committed = if self.shard_pop[shard_index(world.0)].load(Relaxed) == 1 {
+            let c = self.write_solo(world, vpn, offset, data)?;
+            self.stats.writes_solo.incr();
+            c
+        } else {
+            self.write_staged(world, vpn, offset, data)?
+        };
+        self.stats.writes.incr();
+        self.note_write(world, vpn, committed);
+        Ok(())
+    }
+
+    /// Single-pass write for a world that is (per the population hint)
+    /// alone in its shard: probe, stage, and commit under one shard write
+    /// lock. Holding the write guard throughout makes revalidation
+    /// unnecessary — refcounts on this world's frames cannot rise (that
+    /// takes a fork of a mapping world, and any world mapping them while
+    /// we hold our entry keeps refs above one), so a shared frame's bytes
+    /// are stable and a private one is ours to overwrite. Correct even
+    /// when the hint was stale; staleness only costs lock hold time.
+    fn write_solo(
+        &self,
+        world: WorldId,
+        vpn: Vpn,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<Committed> {
+        let end = offset + data.len();
+        let mut shard = self.shard(world.0).write();
+        let w = shard
+            .worlds
+            .get_mut(&world.0)
+            .ok_or(PageStoreError::NoSuchWorld(world.0))?;
+        match w.map.get(vpn) {
+            Some(frame) if self.frames.write_if_private(frame, offset, data) => {
+                Ok(Committed::InPlace)
+            }
+            Some(frame) => {
+                let snapshot = self.frames.data_arc(frame);
+                let mut page = match self.take_recycled() {
+                    Some(mut p) => {
+                        p.bytes_mut().copy_from_slice(snapshot.bytes());
+                        p
+                    }
+                    None => PageData::copy_of(snapshot.bytes()),
+                };
+                drop(snapshot);
+                page.bytes_mut()[offset..end].copy_from_slice(data);
+                let new = self.frames.alloc(page);
+                w.map.insert(vpn, new);
+                w.generation += 1;
+                w.stats.pages_cowed += 1;
+                let parent = w.parent.map(WorldId::raw);
+                let freed = self.frames.decref(frame);
+                Ok(Committed::Cow { parent, freed })
+            }
+            None => {
+                let mut page = match self.take_recycled() {
+                    Some(mut p) => {
+                        p.bytes_mut().fill(0);
+                        p
+                    }
+                    None => PageData::zeroed(self.page_size),
+                };
+                page.bytes_mut()[offset..end].copy_from_slice(data);
+                let frame = self.frames.alloc(page);
+                w.map.insert(vpn, frame);
+                w.generation += 1;
+                w.stats.pages_zero_filled += 1;
+                Ok(Committed::ZeroFill {
+                    parent: w.parent.map(WorldId::raw),
+                })
+            }
+        }
+    }
+
+    /// The general probe → stage → commit write (see the module docs).
+    /// Commits run under an upgradable read and enter exclusive mode only
+    /// around the map insert; every observation made in shared mode is
+    /// re-validated after the upgrade because the vendored shim's upgrade
+    /// is not atomic.
+    fn write_staged(
+        &self,
+        world: WorldId,
+        vpn: Vpn,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<Committed> {
         let end = offset + data.len();
         // Staged buffer carried across retries, and recycled on exit.
         let mut staged: Option<PageData> = None;
@@ -467,14 +595,24 @@ impl PageStore {
                         None => PageData::zeroed(self.page_size),
                     };
                     page.bytes_mut()[offset..end].copy_from_slice(data);
-                    let mut shard = self.shard(world.0).write();
-                    let Some(w) = shard.worlds.get_mut(&world.0) else {
+                    let shard = self.shard(world.0).upgradable_read();
+                    let Some(w) = shard.worlds.get(&world.0) else {
                         self.frames.recycle(page);
                         return Err(PageStoreError::NoSuchWorld(world.0));
                     };
                     if w.map.get(vpn).is_some() {
                         // Someone materialised this page first; retry so
                         // their bytes are not buried under ours.
+                        staged = Some(page);
+                        continue;
+                    }
+                    let mut shard = RwLockUpgradableReadGuard::upgrade(shard);
+                    let Some(w) = shard.worlds.get_mut(&world.0) else {
+                        self.frames.recycle(page);
+                        return Err(PageStoreError::NoSuchWorld(world.0));
+                    };
+                    if w.map.get(vpn).is_some() {
+                        // Materialised inside the shim's upgrade window.
                         staged = Some(page);
                         continue;
                     }
@@ -502,8 +640,8 @@ impl PageStore {
                     // Release our snapshot before committing so a racing
                     // in-place writer is not forced into a spurious copy.
                     drop(snapshot);
-                    let mut shard = self.shard(world.0).write();
-                    let Some(w) = shard.worlds.get_mut(&world.0) else {
+                    let shard = self.shard(world.0).upgradable_read();
+                    let Some(w) = shard.worlds.get(&world.0) else {
                         self.frames.recycle(page);
                         return Err(PageStoreError::NoSuchWorld(world.0));
                     };
@@ -515,8 +653,30 @@ impl PageStore {
                     // at `vpn` and our staged copy is current.
                     if self.frames.write_if_private(old, offset, data) {
                         // The other sharers vanished while we staged; the
-                        // page is now private (and stays so under this
-                        // write guard). No fault after all.
+                        // page is now private (and stays so while we hold
+                        // this shard in shared mode — forking this world
+                        // needs it exclusively). No fault after all.
+                        self.frames.recycle(page);
+                        break Committed::InPlace;
+                    }
+                    let mut shard = RwLockUpgradableReadGuard::upgrade(shard);
+                    let Some(w) = shard.worlds.get_mut(&world.0) else {
+                        self.frames.recycle(page);
+                        return Err(PageStoreError::NoSuchWorld(world.0));
+                    };
+                    // Repeat both checks after the upgrade: in the shim's
+                    // non-atomic window a plain writer may have moved the
+                    // map (generation) or the last other sharer may have
+                    // vanished (write-if-private). An unmoved generation
+                    // plus a still-shared frame proves no in-place write
+                    // landed since the stage — going private first would
+                    // have required forking this world, which bumps the
+                    // generation — so installing the staged copy is safe.
+                    if w.generation != generation {
+                        staged = Some(page);
+                        continue;
+                    }
+                    if self.frames.write_if_private(old, offset, data) {
                         self.frames.recycle(page);
                         break Committed::InPlace;
                     }
@@ -535,7 +695,12 @@ impl PageStore {
         if let Some(page) = staged.take() {
             self.frames.recycle(page);
         }
-        self.stats.writes.incr();
+        Ok(committed)
+    }
+
+    /// Post-commit accounting shared by both write paths: bump counters
+    /// and emit events, with every lock already released.
+    fn note_write(&self, world: WorldId, vpn: Vpn, committed: Committed) {
         match committed {
             Committed::InPlace => {}
             Committed::ZeroFill { parent } => {
@@ -568,7 +733,6 @@ impl PageStore {
                 }
             }
         }
-        Ok(())
     }
 
     /// Atomically replace `parent`'s page map with `child`'s and destroy the
@@ -620,9 +784,12 @@ impl PageStore {
                 Some(g) => g,
                 None => &mut pg,
             };
-            cs.worlds
+            let w = cs
+                .worlds
                 .remove(&child.0)
-                .ok_or(PageStoreError::NoSuchWorld(child.0))?
+                .ok_or(PageStoreError::NoSuchWorld(child.0))?;
+            self.shard_pop[shard_index(child.0)].fetch_sub(1, Relaxed);
+            w
         };
         let p = pg.worlds.get_mut(&parent.0).expect("checked above");
         let old_map = std::mem::replace(&mut p.map, child_world.map);
@@ -660,20 +827,23 @@ impl PageStore {
     /// hit zero are freed into the recycle pool (and announced with a
     /// `FrameFree` event so `frames_resident` replays exactly from JSONL).
     pub fn drop_world(&self, world: WorldId) -> Result<()> {
-        let (freed, parent) = {
+        let (detached, parent) = {
             let mut shard = self.shard(world.0).write();
             let w = shard
                 .worlds
                 .remove(&world.0)
                 .ok_or(PageStoreError::NoSuchWorld(world.0))?;
-            let mut freed = 0u64;
+            self.shard_pop[shard_index(world.0)].fetch_sub(1, Relaxed);
+            let mut detached = Vec::new();
             for (_, frame) in w.map.iter() {
-                if self.frames.decref(frame) {
-                    freed += 1;
-                }
+                self.frames.decref_deferred(frame, &mut detached);
             }
-            (freed, w.parent.map(WorldId::raw))
+            (detached, w.parent.map(WorldId::raw))
         };
+        // One recycler acquisition for the whole world, outside the
+        // shard lock.
+        let freed = detached.len() as u64;
+        self.frames.recycle_freed(detached);
         self.stats.worlds_dropped.incr();
         if freed > 0 {
             self.stats.frames_freed.add(freed);
@@ -687,6 +857,53 @@ impl PageStore {
             });
         }
         Ok(())
+    }
+
+    /// Batched sibling elimination: drop every world in `worlds`, sending
+    /// the whole batch's freed frames to the recycler under a *single*
+    /// lock acquisition. Worlds that no longer exist are skipped (a loser
+    /// may tear itself down while the parent queues the batch). Counters
+    /// and per-world `FrameFree` events are identical — content and order
+    /// — to a loop of [`PageStore::drop_world`] calls, so a JSONL replay
+    /// cannot tell batched from sequential elimination. Returns how many
+    /// worlds were actually dropped.
+    pub fn drop_worlds(&self, worlds: &[WorldId]) -> usize {
+        let mut detached = Vec::new();
+        // (world, parent, frames freed) for each world actually dropped.
+        let mut dropped: Vec<(u64, Option<u64>, u64)> = Vec::with_capacity(worlds.len());
+        for &world in worlds {
+            let mut shard = self.shard(world.0).write();
+            let Some(w) = shard.worlds.remove(&world.0) else {
+                continue;
+            };
+            self.shard_pop[shard_index(world.0)].fetch_sub(1, Relaxed);
+            let before = detached.len();
+            for (_, frame) in w.map.iter() {
+                self.frames.decref_deferred(frame, &mut detached);
+            }
+            drop(shard);
+            dropped.push((
+                world.0,
+                w.parent.map(WorldId::raw),
+                (detached.len() - before) as u64,
+            ));
+        }
+        self.frames.recycle_freed(detached);
+        for &(world, parent, freed) in &dropped {
+            self.stats.worlds_dropped.incr();
+            if freed > 0 {
+                self.stats.frames_freed.add(freed);
+                self.obs.emit(|| {
+                    Event::new(
+                        EventKind::FrameFree { frames: freed },
+                        world,
+                        parent,
+                        self.vt(),
+                    )
+                });
+            }
+        }
+        dropped.len()
     }
 
     /// Does this world currently exist?
@@ -830,9 +1047,12 @@ impl PageStore {
         Ok(live)
     }
 
-    /// Store-wide counters snapshot.
+    /// Store-wide counters snapshot. The `recycler_locks` field comes
+    /// from the frame table's exact acquisition count.
     pub fn stats(&self) -> StoreStats {
-        self.stats.snapshot()
+        let mut s = self.stats.snapshot();
+        s.recycler_locks = self.frames.recycler_lock_count();
+        s
     }
 
     /// Per-world counters snapshot.
@@ -1298,6 +1518,150 @@ mod tests {
         // Replaying the same events reconstructs the same gauge.
         let replayed = worlds_obs::replay(events.iter());
         assert_eq!(replayed.frames_resident.get(), gauge);
+    }
+
+    #[test]
+    fn solo_worlds_take_the_single_pass_write() {
+        let s = store();
+        let w = s.create_world(); // alone in its shard
+        s.write(w, 0, 0, &[1]).unwrap();
+        s.write(w, 0, 1, &[2]).unwrap();
+        let st = s.stats();
+        assert_eq!(st.writes, 2);
+        assert_eq!(st.writes_solo, 2, "a lone world writes single-pass");
+        assert_eq!(s.read_vec(w, 0, 0, 2).unwrap(), vec![1, 2]);
+        // CoW through the solo path: parent and child land in different
+        // shards, so both stay solo.
+        let child = s.fork_world(w).unwrap();
+        let before = s.stats();
+        s.write(child, 0, 0, &[9]).unwrap();
+        let d = s.stats().delta_since(&before);
+        assert_eq!(d.cow_faults, 1);
+        assert_eq!(d.writes_solo, 1);
+        assert_eq!(s.read_vec(w, 0, 0, 1).unwrap(), vec![1]);
+        assert_eq!(s.read_vec(child, 0, 0, 1).unwrap(), vec![9]);
+        s.verify_refcounts().unwrap();
+    }
+
+    #[test]
+    fn crowded_shards_take_the_staged_path() {
+        let s = store();
+        // NUM_SHARDS + 1 worlds: the first and last hash to one shard.
+        let worlds: Vec<_> = (0..=NUM_SHARDS).map(|_| s.create_world()).collect();
+        let (a, b) = (worlds[0], worlds[NUM_SHARDS]);
+        assert_eq!(shard_index(a.raw()), shard_index(b.raw()));
+        let before = s.stats();
+        s.write(a, 0, 0, &[1]).unwrap();
+        s.write(b, 0, 0, &[2]).unwrap();
+        let d = s.stats().delta_since(&before);
+        assert_eq!(d.writes, 2);
+        assert_eq!(d.writes_solo, 0, "a shared shard forces the staged path");
+        assert_eq!(d.zero_fills, 2);
+        // A CoW fault through the upgradable commit: the child shares its
+        // shard with another world, so it stages.
+        let child = s.fork_world(a).unwrap();
+        let before = s.stats();
+        s.write(child, 0, 0, &[7]).unwrap();
+        let d = s.stats().delta_since(&before);
+        assert_eq!(d.cow_faults, 1);
+        assert_eq!(d.writes_solo, 0);
+        assert_eq!(s.read_vec(a, 0, 0, 1).unwrap(), vec![1]);
+        assert_eq!(s.read_vec(child, 0, 0, 1).unwrap(), vec![7]);
+        s.verify_refcounts().unwrap();
+    }
+
+    #[test]
+    fn crowded_concurrent_writers_stay_isolated() {
+        use std::thread;
+        let s = PageStore::new(256);
+        // Fill every shard so all writes exercise the staged path (and
+        // its upgradable commit) under real contention.
+        let _ballast: Vec<_> = (0..NUM_SHARDS as u64).map(|_| s.create_world()).collect();
+        let parent = s.create_world();
+        for vpn in 0..16 {
+            s.write(parent, vpn, 0, &[0xAB]).unwrap();
+        }
+        let kids: Vec<_> = (0..4).map(|_| s.fork_world(parent).unwrap()).collect();
+        let handles: Vec<_> = kids
+            .iter()
+            .map(|&k| {
+                let s = s.clone();
+                thread::spawn(move || {
+                    for vpn in 0..16u64 {
+                        s.write(k, vpn, 0, &[k.raw() as u8]).unwrap();
+                        assert_eq!(s.read_vec(k, vpn, 0, 1).unwrap(), vec![k.raw() as u8]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for vpn in 0..16 {
+            assert_eq!(s.read_vec(parent, vpn, 0, 1).unwrap(), vec![0xAB]);
+        }
+        s.verify_refcounts().unwrap();
+        assert_eq!(s.stats().writes_solo, 0, "every shard is crowded");
+    }
+
+    #[test]
+    fn drop_worlds_matches_sequential_drop_world() {
+        // Two identical stores, one torn down in a batch and one in a
+        // loop: same counters, same events — but the batch returns every
+        // freed frame under one recycler acquisition.
+        let build = || {
+            let (obs, ring) = Registry::with_ring(256);
+            let s = PageStore::with_obs(64, obs);
+            let parent = s.create_world();
+            for vpn in 0..4 {
+                s.write(parent, vpn, 0, &[1]).unwrap();
+            }
+            let kids: Vec<_> = (0..6)
+                .map(|_| {
+                    let k = s.fork_world(parent).unwrap();
+                    s.write(k, 9, 0, &[2]).unwrap();
+                    s.write(k, 10, 0, &[3]).unwrap();
+                    k
+                })
+                .collect();
+            (s, kids, ring)
+        };
+        let (batched, kids_b, ring_b) = build();
+        let (sequential, kids_s, ring_s) = build();
+
+        let before = batched.stats();
+        assert_eq!(batched.drop_worlds(&kids_b), 6);
+        let db = batched.stats().delta_since(&before);
+
+        let before = sequential.stats();
+        for &k in &kids_s {
+            sequential.drop_world(k).unwrap();
+        }
+        let ds = sequential.stats().delta_since(&before);
+
+        assert_eq!(db.worlds_dropped, ds.worlds_dropped);
+        assert_eq!(db.frames_freed, ds.frames_freed);
+        assert_eq!(db.recycler_locks, 1, "whole batch under one acquisition");
+        assert_eq!(ds.recycler_locks, 6, "sequential pays one per world");
+        batched.verify_refcounts().unwrap();
+
+        // Same event stream: batching must be invisible to replay. The
+        // two stores allocate identical world ids, so the streams match
+        // exactly.
+        let snap = |events: Vec<Event>| -> Vec<(EventKind, u64, Option<u64>)> {
+            events
+                .iter()
+                .map(|e| (e.kind.clone(), e.world, e.parent))
+                .collect()
+        };
+        assert_eq!(
+            snap(ring_b.events()),
+            snap(ring_s.events()),
+            "batched elimination replays identically"
+        );
+
+        // Dropping a missing world is skipped, not an error.
+        assert_eq!(batched.drop_worlds(&kids_b), 0);
     }
 
     #[test]

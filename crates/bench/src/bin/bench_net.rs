@@ -1,0 +1,219 @@
+//! `bench-net` — what the wire transport costs and what deltas save.
+//!
+//! Three measurements, three claims of the worlds-net PR:
+//!
+//! * **Frame codec throughput** — encode + decode MB/s for small
+//!   (command-sized) and large (checkpoint-sized) payloads. The codec is
+//!   a length-prefixed copy plus a table-driven CRC-32; it should move
+//!   hundreds of MB/s and never be the bottleneck behind a LAN.
+//! * **rfork end-to-end** — checkpoint → ship → restore, in-process
+//!   (direct `restore`) versus real loopback TCP (framed RPC through
+//!   `worlds-net`, reply awaited). The gap is the true price of sockets,
+//!   syscalls and framing for the paper's §3.4 operation.
+//! * **Delta vs full checkpoint** — bytes shipped when rforking a
+//!   sibling world that differs from an already-shipped base by a few
+//!   pages. The v2 delta image must stay under 25% of the full image
+//!   (the acceptance line; in practice it is a few percent).
+//!
+//! Results land in `BENCH_net.json` (or the path given as the first
+//! non-flag argument). `--smoke` shrinks every knob for CI.
+//!
+//! ```text
+//! cargo run --release -p worlds-bench --bin bench-net [out.json] [--smoke]
+//! ```
+
+use std::time::Instant;
+
+use worlds_net::{Conn, Frame, NetNode, Request, RetryPolicy};
+use worlds_obs::Registry;
+use worlds_pagestore::{checkpoint, checkpoint_delta, restore, PageStore};
+
+const PAGE: usize = 4096;
+
+/// Encode+decode `frames` frames of `payload` bytes; returns
+/// (encode MB/s, decode MB/s).
+fn codec_throughput(frames: usize, payload: usize) -> (f64, f64) {
+    let body = vec![0xA5u8; payload];
+    let frame = Frame::new(2, 7, body);
+    let mut encoded = Vec::new();
+    let t0 = Instant::now();
+    for _ in 0..frames {
+        encoded = frame.encode();
+        std::hint::black_box(encoded.len());
+    }
+    let enc_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    for _ in 0..frames {
+        let decoded = Frame::decode(&encoded).expect("round trip");
+        std::hint::black_box(decoded.corr);
+    }
+    let dec_secs = t1.elapsed().as_secs_f64();
+    let mb = (frames * frame.wire_len()) as f64 / 1e6;
+    (mb / enc_secs, mb / dec_secs)
+}
+
+/// A store with one world of `pages` written pages.
+fn origin(pages: u64) -> (PageStore, worlds_pagestore::WorldId) {
+    let store = PageStore::new(PAGE);
+    let w = store.create_world();
+    for vpn in 0..pages {
+        store.write(w, vpn, 0, &[vpn as u8; PAGE]).unwrap();
+    }
+    (store, w)
+}
+
+/// Mean seconds per in-process rfork (checkpoint + local restore).
+fn rfork_in_process(pages: u64, iters: usize) -> f64 {
+    let (store, w) = origin(pages);
+    let dst = PageStore::new(PAGE);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let image = checkpoint(&store, w).unwrap();
+        let replica = restore(&dst, &image).unwrap();
+        dst.drop_world(replica).unwrap();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Mean seconds per loopback-TCP rfork (checkpoint + framed RPC +
+/// remote restore + acked reply).
+fn rfork_loopback(pages: u64, iters: usize) -> f64 {
+    let (store, w) = origin(pages);
+    let node = NetNode::serve(1, PageStore::new(PAGE), Registry::disabled()).unwrap();
+    let mut conn = Conn::new(1, node.addr(), RetryPolicy::default(), Registry::disabled());
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let image = checkpoint(&store, w).unwrap();
+        let replica = conn.call_ack(&Request::Rfork { image }).unwrap();
+        conn.call_ack(&Request::Discard { world: replica }).unwrap();
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    node.shutdown();
+    per
+}
+
+/// Full-image vs sibling-delta checkpoint sizes for a world of `pages`
+/// pages whose sibling differs in `dirty` of them.
+fn delta_vs_full(pages: u64, dirty: u64) -> (usize, usize) {
+    let (store, base) = origin(pages);
+    // Ship the base once; the pinned replica is the delta target.
+    let dst = PageStore::new(PAGE);
+    let full = checkpoint(&store, base).unwrap();
+    let base_there = restore(&dst, &full).unwrap();
+    // A sibling world: same heritage, a few pages of drift.
+    let sibling = store.fork_world(base).unwrap();
+    for vpn in 0..dirty {
+        store.write(sibling, vpn, 0, &[0xEE; PAGE]).unwrap();
+    }
+    let delta = checkpoint_delta(&store, sibling, base, base_there.raw()).unwrap();
+    (full.len(), delta.len())
+}
+
+fn main() {
+    let mut out = "BENCH_net.json".to_string();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out = arg;
+        }
+    }
+    let (codec_frames, rfork_pages, rfork_iters, delta_pages, delta_dirty) = if smoke {
+        (2_000, 18, 20, 64, 3)
+    } else {
+        (50_000, 18, 200, 256, 8)
+    };
+
+    let (enc_small, dec_small) = codec_throughput(codec_frames, 64);
+    let (enc_large, dec_large) = codec_throughput(codec_frames / 10, 72 * 1024);
+    eprintln!("codec   64 B payload: encode {enc_small:.0} MB/s, decode {dec_small:.0} MB/s");
+    eprintln!("codec  72 KB payload: encode {enc_large:.0} MB/s, decode {dec_large:.0} MB/s");
+
+    // ~70 KB process, the paper's §3.4 workload.
+    let local = rfork_in_process(rfork_pages, rfork_iters);
+    let wire = rfork_loopback(rfork_pages, rfork_iters);
+    eprintln!(
+        "rfork ({rfork_pages} pages) in-process: {:.1} us",
+        local * 1e6
+    );
+    eprintln!(
+        "rfork ({rfork_pages} pages) loopback:   {:.1} us",
+        wire * 1e6
+    );
+
+    let (full_bytes, delta_bytes) = delta_vs_full(delta_pages, delta_dirty);
+    let ratio = delta_bytes as f64 / full_bytes as f64;
+    eprintln!(
+        "sibling rfork: full {full_bytes} B, delta {delta_bytes} B ({:.1}% of full)",
+        ratio * 100.0
+    );
+    assert!(
+        ratio < 0.25,
+        "delta rfork must ship < 25% of the full image; got {:.1}%",
+        ratio * 100.0
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"net\",\n",
+            "  \"unix_time\": {unix_time},\n",
+            "  \"effective_cores\": {cores},\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"config\": {{\"codec_frames\": {codec_frames}, ",
+            "\"rfork_pages\": {rfork_pages}, \"rfork_iters\": {rfork_iters}, ",
+            "\"delta_pages\": {delta_pages}, \"delta_dirty\": {delta_dirty}, ",
+            "\"page_size\": {page}}},\n",
+            "  \"frame_codec\": {{\n",
+            "    \"encode_small_mb_per_sec\": {enc_small:.1},\n",
+            "    \"decode_small_mb_per_sec\": {dec_small:.1},\n",
+            "    \"encode_large_mb_per_sec\": {enc_large:.1},\n",
+            "    \"decode_large_mb_per_sec\": {dec_large:.1}\n",
+            "  }},\n",
+            "  \"rfork_e2e\": {{\n",
+            "    \"in_process_us\": {local_us:.2},\n",
+            "    \"loopback_tcp_us\": {wire_us:.2},\n",
+            "    \"wire_overhead_factor\": {overhead:.2}\n",
+            "  }},\n",
+            "  \"delta_checkpoint\": {{\n",
+            "    \"full_image_bytes\": {full_bytes},\n",
+            "    \"sibling_delta_bytes\": {delta_bytes},\n",
+            "    \"delta_over_full\": {ratio:.4}\n",
+            "  }},\n",
+            "  \"note\": \"loopback TCP includes framing, CRC, two syscall ",
+            "round trips and the remote restore; the delta ratio is the bytes ",
+            "a sibling-world rfork ships relative to a full image\"\n",
+            "}}\n",
+        ),
+        unix_time = unix_time,
+        cores = cores,
+        smoke = smoke,
+        codec_frames = codec_frames,
+        rfork_pages = rfork_pages,
+        rfork_iters = rfork_iters,
+        delta_pages = delta_pages,
+        delta_dirty = delta_dirty,
+        page = PAGE,
+        enc_small = enc_small,
+        dec_small = dec_small,
+        enc_large = enc_large,
+        dec_large = dec_large,
+        local_us = local * 1e6,
+        wire_us = wire * 1e6,
+        overhead = wire / local.max(1e-12),
+        full_bytes = full_bytes,
+        delta_bytes = delta_bytes,
+        ratio = ratio,
+    );
+    std::fs::write(&out, &json).expect("write results file");
+    println!("wrote {out}");
+}

@@ -1,0 +1,314 @@
+//! The client half: per-request deadlines, bounded retries with
+//! exponential backoff and deterministic jitter, and correlation-id
+//! reuse so retries are idempotent end to end.
+//!
+//! A [`Conn`] is one logical link to one node. Failures below the RPC
+//! layer — timeout, reset, truncated frame — drop the TCP stream
+//! entirely (so a late reply from a dead attempt can never desync the
+//! next request) and retransmit **the same frame, same corr-id** on a
+//! fresh connection after backing off. The server's reply ledger turns
+//! that retransmit into a replay of the recorded reply, which is what
+//! makes a retried `CommitBack` apply exactly once.
+//!
+//! Backoff jitter is seeded ([`RetryPolicy::seed`]) and derived from
+//! `(seed, corr, attempt)`, so a given schedule of faults produces the
+//! same retry timing run after run — fault tests replay instead of
+//! flaking.
+
+use crate::error::{NetError, Result};
+use crate::fault::splitmix64;
+use crate::frame::{read_frame, write_frame, Frame};
+use crate::rpc::{Reply, Request};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use worlds_obs::{Event, EventKind, Registry};
+
+/// Correlation ids are process-global so two `Conn`s talking to the same
+/// server can never collide in its reply ledger.
+static NEXT_CORR: AtomicU64 = AtomicU64::new(1);
+
+fn next_corr() -> u64 {
+    NEXT_CORR.fetch_add(1, Ordering::Relaxed)
+}
+
+/// How hard a client tries before giving up on one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try + retries). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry n is `base_backoff * 2^(n-1)` plus jitter,
+    /// capped at `max_backoff`.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Per-attempt deadline covering connect, send and reply.
+    pub deadline: Duration,
+    /// Seed for deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(200),
+            deadline: Duration::from_millis(250),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Tight timings for loopback tests: same structure, faster failure.
+    pub fn fast() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(40),
+            deadline: Duration::from_millis(150),
+            seed: 0,
+        }
+    }
+
+    /// The jittered sleep before retry `attempt` (1-based) of `corr`.
+    pub fn backoff(&self, corr: u64, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.max_backoff);
+        let half = exp.as_nanos() as u64 / 2;
+        if half == 0 {
+            return exp;
+        }
+        let jitter = splitmix64(self.seed ^ corr.rotate_left(17) ^ attempt as u64) % half;
+        exp - Duration::from_nanos(jitter)
+    }
+}
+
+/// One logical connection to one node's [`crate::NetNode`].
+pub struct Conn {
+    node: u64,
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    obs: Registry,
+    stream: Option<TcpStream>,
+}
+
+impl Conn {
+    /// A lazily-connected link to the node at `addr`. `node` is the
+    /// cluster id used in observability events.
+    pub fn new(node: u64, addr: SocketAddr, policy: RetryPolicy, obs: Registry) -> Conn {
+        Conn {
+            node,
+            addr,
+            policy,
+            obs,
+            stream: None,
+        }
+    }
+
+    /// The node this connection talks to.
+    pub fn node(&self) -> u64 {
+        self.node
+    }
+
+    /// Issue `req`, retrying per the policy. Returns the server's reply
+    /// — including `Nack`, which is a *successful* transport outcome and
+    /// is never retried (asking again with the same corr-id would just
+    /// replay the same answer).
+    pub fn call(&mut self, req: &Request) -> Result<Reply> {
+        let frame = Frame::new(req.kind(), next_corr(), req.encode_payload());
+        self.deliver(&frame)
+    }
+
+    /// Issue `req` and unwrap the `Ack`, mapping `Nack` to an error.
+    pub fn call_ack(&mut self, req: &Request) -> Result<u64> {
+        match self.call(req)? {
+            Reply::Ack { world } => Ok(world),
+            Reply::Nack { code, detail } => Err(NetError::Nack { code, detail }),
+        }
+    }
+
+    /// Deliver one already-framed request, retrying with its corr-id.
+    fn deliver(&mut self, frame: &Frame) -> Result<Reply> {
+        let mut last = None;
+        for attempt in 1..=self.policy.max_attempts.max(1) {
+            if attempt > 1 {
+                let backoff = self.policy.backoff(frame.corr, attempt - 1);
+                self.obs.emit(|| {
+                    Event::new(
+                        EventKind::NetRetry {
+                            node: self.node,
+                            attempt: attempt as u64 - 1,
+                            backoff_ns: backoff.as_nanos() as u64,
+                        },
+                        0,
+                        None,
+                        0,
+                    )
+                });
+                std::thread::sleep(backoff);
+            }
+            match self.attempt(frame) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    // A failed attempt poisons the stream: a late reply
+                    // arriving on it would desync the next request.
+                    self.stream = None;
+                    if !e.is_retryable() {
+                        return Err(e);
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(NetError::RetriesExhausted {
+            attempts: self.policy.max_attempts.max(1),
+            last: Box::new(last.unwrap_or(NetError::Truncated)),
+        })
+    }
+
+    /// One attempt under one deadline: connect if needed, send, await
+    /// the matching reply.
+    fn attempt(&mut self, frame: &Frame) -> Result<Reply> {
+        let started = Instant::now();
+        let (obs, node) = (self.obs.clone(), self.node);
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.policy.deadline)?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        let stream = self.stream.as_mut().expect("just connected");
+        stream.set_read_timeout(Some(self.policy.deadline))?;
+        stream.set_write_timeout(Some(self.policy.deadline))?;
+
+        let result = (|| {
+            let sent = write_frame(stream, frame)?;
+            obs.emit(|| {
+                Event::new(
+                    EventKind::NetSend {
+                        node,
+                        bytes: sent as u64,
+                    },
+                    0,
+                    None,
+                    0,
+                )
+            });
+            loop {
+                let (reply, size) = read_frame(stream)?;
+                if reply.corr != frame.corr {
+                    // A reply to a request this Conn already gave up on;
+                    // the ledger replayed it harmlessly. Keep waiting.
+                    continue;
+                }
+                obs.emit(|| {
+                    Event::new(
+                        EventKind::NetRecv {
+                            node,
+                            bytes: size as u64,
+                            rtt_ns: started.elapsed().as_nanos() as u64,
+                        },
+                        0,
+                        None,
+                        0,
+                    )
+                });
+                return Reply::decode(reply.kind, &reply.payload);
+            }
+        })();
+        if let Err(e) = &result {
+            if e.is_timeout() {
+                obs.emit(|| {
+                    Event::new(
+                        EventKind::NetTimeout {
+                            node,
+                            waited_ns: started.elapsed().as_nanos() as u64,
+                        },
+                        0,
+                        None,
+                        0,
+                    )
+                });
+            }
+        }
+        result
+    }
+}
+
+/// A per-node pool of [`Conn`]s sharing one policy and one registry.
+pub struct Pool {
+    policy: RetryPolicy,
+    obs: Registry,
+    conns: HashMap<u64, Conn>,
+}
+
+impl Pool {
+    pub fn new(policy: RetryPolicy, obs: Registry) -> Pool {
+        Pool {
+            policy,
+            obs,
+            conns: HashMap::new(),
+        }
+    }
+
+    /// Register (or re-point) the address for `node`.
+    pub fn register(&mut self, node: u64, addr: SocketAddr) {
+        self.conns
+            .insert(node, Conn::new(node, addr, self.policy, self.obs.clone()));
+    }
+
+    /// The connection for `node`, if registered.
+    pub fn conn(&mut self, node: u64) -> Option<&mut Conn> {
+        self.conns.get_mut(&node)
+    }
+
+    /// Issue `req` to `node`.
+    pub fn call(&mut self, node: u64, req: &Request) -> Result<Reply> {
+        self.conn(node)
+            .ok_or_else(|| NetError::Protocol(format!("no conn registered for node {node}")))?
+            .call(req)
+    }
+
+    /// Issue `req` to `node` and unwrap the `Ack`.
+    pub fn call_ack(&mut self, node: u64, req: &Request) -> Result<u64> {
+        self.conn(node)
+            .ok_or_else(|| NetError::Protocol(format!("no conn registered for node {node}")))?
+            .call_ack(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_is_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            deadline: Duration::from_millis(100),
+            seed: 42,
+        };
+        let b1 = p.backoff(7, 1);
+        let b2 = p.backoff(7, 2);
+        let b5 = p.backoff(7, 5);
+        assert!(b1 <= Duration::from_millis(10));
+        assert!(b1 > Duration::from_millis(5), "jitter takes at most half");
+        assert!(b2 > b1, "exponential growth");
+        assert!(b5 <= Duration::from_millis(80), "capped");
+        assert_eq!(p.backoff(7, 3), p.backoff(7, 3), "deterministic");
+        assert_ne!(p.backoff(7, 3), p.backoff(8, 3), "per-corr jitter");
+    }
+
+    #[test]
+    fn corr_ids_are_unique() {
+        let a = next_corr();
+        let b = next_corr();
+        assert_ne!(a, b);
+    }
+}

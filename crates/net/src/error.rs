@@ -1,0 +1,76 @@
+//! Error vocabulary for the wire transport.
+
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong between "caller has a request" and "caller
+/// has a reply". Codec-level variants (`BadMagic`…`TooLarge`) mean the
+/// *stream* is unusable and must be dropped; `Nack` means the transport
+/// worked and the remote node refused the operation; `RetriesExhausted`
+/// is the client giving up after its whole deadline/backoff budget.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket error (includes timeouts and resets).
+    Io(io::Error),
+    /// Frame did not start with `MWNF`.
+    BadMagic,
+    /// Frame spoke a protocol version this build does not.
+    BadVersion(u8),
+    /// Frame shorter than its header claims.
+    Truncated,
+    /// Checksum mismatch: truncation or corruption in flight.
+    BadCrc,
+    /// Length field exceeds [`crate::frame::MAX_PAYLOAD`].
+    TooLarge(usize),
+    /// Payload did not parse as the RPC its kind byte claims.
+    Protocol(String),
+    /// The remote node processed the request and refused it.
+    Nack { code: u32, detail: String },
+    /// Every attempt failed; `last` is the final attempt's error.
+    RetriesExhausted { attempts: u32, last: Box<NetError> },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::BadMagic => f.write_str("bad frame magic"),
+            NetError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            NetError::Truncated => f.write_str("truncated frame"),
+            NetError::BadCrc => f.write_str("frame checksum mismatch"),
+            NetError::TooLarge(n) => write!(f, "frame payload of {n} bytes exceeds cap"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::Nack { code, detail } => write!(f, "remote nack (code {code}): {detail}"),
+            NetError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl NetError {
+    /// Whether the failure is worth a retry on a fresh connection.
+    /// Nacks are not: the server spoke, and asking again with the same
+    /// correlation id would just replay the same answer.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, NetError::Nack { .. } | NetError::BadVersion(_))
+    }
+
+    /// Whether the failure was a read/write deadline expiring.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            NetError::Io(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+        )
+    }
+}
+
+pub type Result<T> = std::result::Result<T, NetError>;

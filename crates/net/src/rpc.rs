@@ -1,0 +1,397 @@
+//! The RPC vocabulary: what cluster nodes say to each other.
+//!
+//! One request kind per remote-fork lifecycle step (§3.4's rfork /
+//! commit-back protocol) plus the predicated message send of §2.4.1:
+//!
+//! | kind | request          | carries                                   |
+//! |------|------------------|-------------------------------------------|
+//! | 1    | `Ping`           | nothing — liveness + RTT probe            |
+//! | 2    | `Rfork`          | a checkpoint image (v1 full or v2 delta)  |
+//! | 3    | `CommitBack`     | the winner's dirty pages, applied to base |
+//! | 4    | `Discard`        | a losing world to drop                    |
+//! | 5    | `PredicatedSend` | an `ipc::Message` incl. its predicate set |
+//!
+//! Replies are `Ack { world }` (0x80) or `Nack { code, detail }` (0x81).
+//!
+//! Serialisation is hand-rolled little-endian — the same std-only
+//! discipline as the checkpoint image and the obs JSONL codec. Every
+//! variable-length field is length-prefixed, and decoders bound-check
+//! before every slice so a hostile payload yields `NetError::Protocol`,
+//! never a panic.
+
+use crate::error::{NetError, Result};
+use worlds_ipc::{Message, MsgId};
+use worlds_obs::TraceCtx;
+use worlds_predicate::{Pid, PredicateSet};
+
+/// Frame-kind bytes for requests.
+pub mod kind {
+    pub const PING: u8 = 1;
+    pub const RFORK: u8 = 2;
+    pub const COMMIT_BACK: u8 = 3;
+    pub const DISCARD: u8 = 4;
+    pub const PREDICATED_SEND: u8 = 5;
+    pub const ACK: u8 = 0x80;
+    pub const NACK: u8 = 0x81;
+}
+
+/// Nack codes — coarse, machine-checkable failure classes.
+pub mod nack {
+    /// Checkpoint image rejected (bad magic/version/size, missing base).
+    pub const BAD_IMAGE: u32 = 1;
+    /// Target world does not exist on this node.
+    pub const NO_SUCH_WORLD: u32 = 2;
+    /// Request payload failed to parse.
+    pub const BAD_REQUEST: u32 = 3;
+    /// The store refused the operation (I/O level failure).
+    pub const STORE: u32 = 4;
+}
+
+/// A client-to-server request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; the reply's RTT feeds the `net_rtt` histogram.
+    Ping,
+    /// Restore this checkpoint image as a new world on the receiving
+    /// node — the state-shipping half of `rfork()`.
+    Rfork { image: Vec<u8> },
+    /// Apply the winner's dirty pages to world `base` on the receiving
+    /// node — the commit-back that makes speculative remote work real.
+    /// Retransmits reuse the correlation id, and the server's reply
+    /// ledger guarantees the pages are applied at most once.
+    CommitBack {
+        base: u64,
+        pages: Vec<(u64, Vec<u8>)>,
+    },
+    /// Drop a losing speculative world on the receiving node.
+    Discard { world: u64 },
+    /// Ship a predicated IPC message (§2.4.1) to the receiving node's
+    /// inbox, sending predicate and all.
+    PredicatedSend { msg: Message },
+}
+
+/// A server-to-client reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Success. `world` is the operation's subject: the restored world
+    /// for `Rfork`, the base for `CommitBack`, the dropped world for
+    /// `Discard`, the message id for `PredicatedSend`, 0 for `Ping`.
+    Ack { world: u64 },
+    /// Failure the server diagnosed; see [`nack`] for codes.
+    Nack { code: u32, detail: String },
+}
+
+impl Request {
+    /// The frame-kind byte announcing this request.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Request::Ping => kind::PING,
+            Request::Rfork { .. } => kind::RFORK,
+            Request::CommitBack { .. } => kind::COMMIT_BACK,
+            Request::Discard { .. } => kind::DISCARD,
+            Request::PredicatedSend { .. } => kind::PREDICATED_SEND,
+        }
+    }
+
+    /// Serialise the payload (the frame codec adds header and CRC).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        match self {
+            Request::Ping => Vec::new(),
+            Request::Rfork { image } => image.clone(),
+            Request::CommitBack { base, pages } => {
+                let per_page: usize = pages.iter().map(|(_, p)| 12 + p.len()).sum();
+                let mut out = Vec::with_capacity(12 + per_page);
+                out.extend_from_slice(&base.to_le_bytes());
+                out.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+                for (vpn, bytes) in pages {
+                    out.extend_from_slice(&vpn.to_le_bytes());
+                    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                    out.extend_from_slice(bytes);
+                }
+                out
+            }
+            Request::Discard { world } => world.to_le_bytes().to_vec(),
+            Request::PredicatedSend { msg } => encode_message(msg),
+        }
+    }
+
+    /// Parse a request from its frame-kind byte and payload.
+    pub fn decode(kind_byte: u8, payload: &[u8]) -> Result<Request> {
+        let mut r = Reader::new(payload);
+        let req = match kind_byte {
+            kind::PING => Request::Ping,
+            kind::RFORK => Request::Rfork {
+                image: payload.to_vec(),
+            },
+            kind::COMMIT_BACK => {
+                let base = r.u64("base")?;
+                let count = r.u32("page count")? as usize;
+                let mut pages = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    let vpn = r.u64("vpn")?;
+                    let len = r.u32("page len")? as usize;
+                    pages.push((vpn, r.bytes(len, "page bytes")?.to_vec()));
+                }
+                r.done("commit_back")?;
+                Request::CommitBack { base, pages }
+            }
+            kind::DISCARD => {
+                let world = r.u64("world")?;
+                r.done("discard")?;
+                Request::Discard { world }
+            }
+            kind::PREDICATED_SEND => Request::PredicatedSend {
+                msg: decode_message(payload)?,
+            },
+            other => return Err(NetError::Protocol(format!("unknown request kind {other}"))),
+        };
+        Ok(req)
+    }
+}
+
+impl Reply {
+    /// The frame-kind byte announcing this reply.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Reply::Ack { .. } => kind::ACK,
+            Reply::Nack { .. } => kind::NACK,
+        }
+    }
+
+    /// Serialise the payload (the frame codec adds header and CRC).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        match self {
+            Reply::Ack { world } => world.to_le_bytes().to_vec(),
+            Reply::Nack { code, detail } => {
+                let mut out = Vec::with_capacity(8 + detail.len());
+                out.extend_from_slice(&code.to_le_bytes());
+                out.extend_from_slice(&(detail.len() as u32).to_le_bytes());
+                out.extend_from_slice(detail.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parse a reply from its frame-kind byte and payload.
+    pub fn decode(kind_byte: u8, payload: &[u8]) -> Result<Reply> {
+        let mut r = Reader::new(payload);
+        let reply = match kind_byte {
+            kind::ACK => {
+                let world = r.u64("world")?;
+                r.done("ack")?;
+                Reply::Ack { world }
+            }
+            kind::NACK => {
+                let code = r.u32("code")?;
+                let len = r.u32("detail len")? as usize;
+                let detail = String::from_utf8_lossy(r.bytes(len, "detail")?).into_owned();
+                r.done("nack")?;
+                Reply::Nack { code, detail }
+            }
+            other => return Err(NetError::Protocol(format!("unknown reply kind {other}"))),
+        };
+        Ok(reply)
+    }
+}
+
+/// Serialise an [`worlds_ipc::Message`] — id, endpoints, the full
+/// predicate set (must-complete and can't-complete pid lists), payload,
+/// and the optional trace context.
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let must: Vec<Pid> = msg.predicate.must_complete().collect();
+    let cant: Vec<Pid> = msg.predicate.cant_complete().collect();
+    let mut out = Vec::with_capacity(45 + 8 * (must.len() + cant.len()) + msg.payload.len());
+    out.extend_from_slice(&msg.id.0.to_le_bytes());
+    out.extend_from_slice(&msg.src.raw().to_le_bytes());
+    out.extend_from_slice(&msg.dst.raw().to_le_bytes());
+    out.extend_from_slice(&(must.len() as u32).to_le_bytes());
+    for pid in &must {
+        out.extend_from_slice(&pid.raw().to_le_bytes());
+    }
+    out.extend_from_slice(&(cant.len() as u32).to_le_bytes());
+    for pid in &cant {
+        out.extend_from_slice(&pid.raw().to_le_bytes());
+    }
+    out.extend_from_slice(&(msg.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&msg.payload);
+    match &msg.trace {
+        None => out.push(0),
+        Some(t) => {
+            out.push(1);
+            out.extend_from_slice(&t.root.to_le_bytes());
+            out.extend_from_slice(&t.world.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Parse a message serialised by [`encode_message`].
+pub fn decode_message(payload: &[u8]) -> Result<Message> {
+    let mut r = Reader::new(payload);
+    let id = r.u64("msg id")?;
+    let src = Pid(r.u64("src")?);
+    let dst = Pid(r.u64("dst")?);
+    let n_must = r.u32("must count")? as usize;
+    let mut must = Vec::with_capacity(n_must.min(4096));
+    for _ in 0..n_must {
+        must.push(Pid(r.u64("must pid")?));
+    }
+    let n_cant = r.u32("cant count")? as usize;
+    let mut cant = Vec::with_capacity(n_cant.min(4096));
+    for _ in 0..n_cant {
+        cant.push(Pid(r.u64("cant pid")?));
+    }
+    let plen = r.u32("payload len")? as usize;
+    let body = r.bytes(plen, "payload")?.to_vec();
+    let trace = match r.u8("trace flag")? {
+        0 => None,
+        1 => Some(TraceCtx {
+            root: r.u64("trace root")?,
+            world: r.u64("trace world")?,
+        }),
+        other => {
+            return Err(NetError::Protocol(format!("bad trace flag {other}")));
+        }
+    };
+    r.done("message")?;
+    let mut msg = Message::new(src, dst, PredicateSet::new(must, cant), body);
+    msg.id = MsgId(id);
+    msg.trace = trace;
+    Ok(msg)
+}
+
+/// Bounds-checked little-endian cursor: every decoder in this module
+/// reads through it so malformed payloads surface as `Protocol` errors.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| NetError::Protocol(format!("short payload reading {what}")))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn done(&self, what: &str) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(NetError::Protocol(format!(
+                "{} trailing bytes after {what}",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let payload = req.encode_payload();
+        let back = Request::decode(req.kind(), &payload).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn all_requests_round_trip() {
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Rfork {
+            image: vec![1, 2, 3, 4],
+        });
+        round_trip_request(Request::CommitBack {
+            base: 42,
+            pages: vec![(0, vec![9; 32]), (17, vec![0; 32]), (3, Vec::new())],
+        });
+        round_trip_request(Request::CommitBack {
+            base: 0,
+            pages: Vec::new(),
+        });
+        round_trip_request(Request::Discard { world: u64::MAX });
+        let msg = Message::new(
+            Pid(3),
+            Pid(9),
+            PredicateSet::new([Pid(1), Pid(2)], [Pid(7)]),
+            b"speculative hello".to_vec(),
+        );
+        round_trip_request(Request::PredicatedSend { msg });
+    }
+
+    #[test]
+    fn message_with_id_and_trace_round_trips() {
+        let mut msg = Message::new(Pid(1), Pid(2), PredicateSet::empty(), Vec::new());
+        msg.id = MsgId(77);
+        msg.trace = Some(TraceCtx { root: 5, world: 6 });
+        let back = decode_message(&encode_message(&msg)).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for reply in [
+            Reply::Ack { world: 123 },
+            Reply::Nack {
+                code: nack::BAD_IMAGE,
+                detail: "no such base".into(),
+            },
+            Reply::Nack {
+                code: 0,
+                detail: String::new(),
+            },
+        ] {
+            let payload = reply.encode_payload();
+            assert_eq!(Reply::decode(reply.kind(), &payload).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_error_not_panic() {
+        // Truncated at every prefix of a realistic CommitBack.
+        let req = Request::CommitBack {
+            base: 1,
+            pages: vec![(4, vec![7; 16])],
+        };
+        let payload = req.encode_payload();
+        for n in 0..payload.len() {
+            assert!(Request::decode(kind::COMMIT_BACK, &payload[..n]).is_err());
+        }
+        // A count field promising more pages than the payload holds.
+        let mut lying = payload.clone();
+        lying[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(kind::COMMIT_BACK, &lying).is_err());
+        // Unknown kinds.
+        assert!(Request::decode(0xEE, &[]).is_err());
+        assert!(Reply::decode(0xEE, &[]).is_err());
+        // Trailing garbage is rejected, not ignored.
+        let mut long = Request::Discard { world: 3 }.encode_payload();
+        long.push(0);
+        assert!(Request::decode(kind::DISCARD, &long).is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! `NetNode` — the server half of the transport.
+//!
+//! One node = one loopback TCP listener + one local [`PageStore`]. The
+//! accept loop and every per-connection handler run on the shared
+//! [`worlds_exec::Executor`], whose reserve-or-spawn guarantee means a
+//! node blocked in `accept`/`read` can never starve compute tasks out of
+//! the pool.
+//!
+//! ## Idempotency: the reply ledger
+//!
+//! A client that times out retransmits the *same* request under the
+//! *same* correlation id. The server keeps a bounded ledger of
+//! `corr → Reply` for operations it has already applied; a retransmitted
+//! corr-id short-circuits to the recorded reply without touching the
+//! store. This is what makes `CommitBack` safe to retry: the dirty pages
+//! land exactly once no matter how many times the frame is delivered
+//! (the double-delivery test in `tests/loopback.rs` proves it).
+
+use crate::frame::{read_frame_idle, write_frame, Frame};
+use crate::rpc::{nack, Reply, Request};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use worlds_exec::Executor;
+use worlds_ipc::Message;
+use worlds_obs::Registry;
+use worlds_pagestore::{restore, PageStore, WorldId};
+
+/// Retransmits of operations older than this many *newer* operations no
+/// longer hit the ledger. Far beyond any client's retry horizon: a
+/// client abandons an op after a handful of attempts, while the ledger
+/// remembers the last 1024 ops.
+const LEDGER_CAP: usize = 1024;
+
+struct Shared {
+    store: PageStore,
+    obs: Registry,
+    node: u64,
+    stop: AtomicBool,
+    /// corr → reply, for at-most-once application of retried requests.
+    ledger: Mutex<Ledger>,
+    /// Predicated messages delivered to this node, in arrival order.
+    inbox: Mutex<Vec<Message>>,
+}
+
+#[derive(Default)]
+struct Ledger {
+    replies: HashMap<u64, Reply>,
+    order: VecDeque<u64>,
+}
+
+impl Ledger {
+    fn get(&self, corr: u64) -> Option<Reply> {
+        self.replies.get(&corr).cloned()
+    }
+
+    fn put(&mut self, corr: u64, reply: Reply) {
+        if self.replies.insert(corr, reply).is_none() {
+            self.order.push_back(corr);
+            if self.order.len() > LEDGER_CAP {
+                if let Some(old) = self.order.pop_front() {
+                    self.replies.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// A serving cluster node: call [`NetNode::serve`], hand the address to
+/// clients, and [`NetNode::shutdown`] when done (dropping also shuts
+/// down).
+pub struct NetNode {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl NetNode {
+    /// Bind a listener on `127.0.0.1:0` (kernel-assigned port) and start
+    /// serving `store`. `node` is this node's cluster id, used only for
+    /// diagnostics.
+    pub fn serve(node: u64, store: PageStore, obs: Registry) -> std::io::Result<NetNode> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store,
+            obs,
+            node,
+            stop: AtomicBool::new(false),
+            ledger: Mutex::new(Ledger::default()),
+            inbox: Mutex::new(Vec::new()),
+        });
+        let accept_shared = shared.clone();
+        Executor::global().spawn(&accept_shared.obs.clone(), move || {
+            accept_loop(listener, accept_shared);
+        });
+        Ok(NetNode { shared, addr })
+    }
+
+    /// The address clients (and fault proxies) connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This node's cluster id.
+    pub fn node_id(&self) -> u64 {
+        self.shared.node
+    }
+
+    /// The store this node applies requests against.
+    pub fn store(&self) -> &PageStore {
+        &self.shared.store
+    }
+
+    /// Drain the predicated messages delivered so far, in arrival order.
+    pub fn take_messages(&self) -> Vec<Message> {
+        std::mem::take(&mut self.shared.inbox.lock().expect("inbox lock"))
+    }
+
+    /// Stop accepting and tell every connection handler to wind down.
+    pub fn shutdown(&self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for NetNode {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.stop.load(Ordering::Acquire) {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let conn_shared = shared.clone();
+        let obs = shared.obs.clone();
+        Executor::global().spawn(&obs, move || {
+            serve_connection(stream, conn_shared);
+        });
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    // Short poll timeout so the handler notices shutdown between frames;
+    // read_frame_idle treats first-byte timeouts as "still idle" so
+    // pooled connections survive quiet spells.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match read_frame_idle(&mut stream, &shared.stop) {
+            Ok(Some((frame, _))) => frame,
+            // Shutdown requested while idle.
+            Ok(None) => return,
+            // EOF, reset, desync, corruption: this stream is done. The
+            // client reconnects and retries; the ledger keeps the retry
+            // idempotent.
+            Err(_) => return,
+        };
+        let reply = reply_for(&shared, &frame);
+        let out = Frame::new(reply.kind(), frame.corr, reply.encode_payload());
+        if write_frame(&mut stream, &out).is_err() {
+            return;
+        }
+    }
+}
+
+/// Look up or compute the reply for one request frame. The ledger check
+/// and the apply are a single critical section per corr-id, so two
+/// simultaneous deliveries of the same corr (one direct, one via a slow
+/// proxy) cannot both apply.
+fn reply_for(shared: &Shared, frame: &Frame) -> Reply {
+    let mut ledger = shared.ledger.lock().expect("ledger lock");
+    if let Some(prior) = ledger.get(frame.corr) {
+        return prior;
+    }
+    let reply = apply(shared, frame);
+    ledger.put(frame.corr, reply.clone());
+    reply
+}
+
+fn apply(shared: &Shared, frame: &Frame) -> Reply {
+    let request = match Request::decode(frame.kind, &frame.payload) {
+        Ok(r) => r,
+        Err(e) => {
+            return Reply::Nack {
+                code: nack::BAD_REQUEST,
+                detail: format!("node {}: {e}", shared.node),
+            }
+        }
+    };
+    match request {
+        Request::Ping => Reply::Ack { world: 0 },
+        Request::Rfork { image } => match restore(&shared.store, &image) {
+            Ok(world) => Reply::Ack { world: world.raw() },
+            Err(e) => Reply::Nack {
+                code: nack::BAD_IMAGE,
+                detail: format!("node {}: {e}", shared.node),
+            },
+        },
+        Request::CommitBack { base, pages } => {
+            let base = WorldId::from_raw(base);
+            for (vpn, bytes) in &pages {
+                if let Err(e) = shared.store.write(base, *vpn, 0, bytes) {
+                    return Reply::Nack {
+                        code: nack::STORE,
+                        detail: format!("node {}: commit page {vpn}: {e}", shared.node),
+                    };
+                }
+            }
+            Reply::Ack { world: base.raw() }
+        }
+        Request::Discard { world } => match shared.store.drop_world(WorldId::from_raw(world)) {
+            Ok(()) => Reply::Ack { world },
+            Err(e) => Reply::Nack {
+                code: nack::NO_SUCH_WORLD,
+                detail: format!("node {}: {e}", shared.node),
+            },
+        },
+        Request::PredicatedSend { msg } => {
+            let id = msg.id.0;
+            shared.inbox.lock().expect("inbox lock").push(msg);
+            Reply::Ack { world: id }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! End-to-end loopback tests: real sockets, real retries, real faults.
+
+use std::time::Duration;
+use worlds_net::{
+    read_frame, write_frame, Conn, FaultKind, FaultProxy, FaultSchedule, Frame, NetNode, Pool,
+    Reply, Request, RetryPolicy,
+};
+use worlds_obs::Registry;
+use worlds_pagestore::{checkpoint, checkpoint_delta, PageStore, WorldId};
+use worlds_predicate::{Pid, PredicateSet};
+
+const PAGE: usize = 64;
+
+fn fast() -> RetryPolicy {
+    RetryPolicy::fast()
+}
+
+#[test]
+fn ping_and_rfork_round_trip() {
+    let node = NetNode::serve(1, PageStore::new(PAGE), Registry::disabled()).unwrap();
+    let mut conn = Conn::new(1, node.addr(), fast(), Registry::disabled());
+    assert_eq!(conn.call_ack(&Request::Ping).unwrap(), 0);
+
+    let local = PageStore::new(PAGE);
+    let w = local.create_world();
+    for vpn in 0..8 {
+        local.write(w, vpn, 0, &[vpn as u8 + 1]).unwrap();
+    }
+    let image = checkpoint(&local, w).unwrap();
+    let remote = WorldId::from_raw(conn.call_ack(&Request::Rfork { image }).unwrap());
+    for vpn in 0..8 {
+        assert_eq!(
+            node.store().read_vec(remote, vpn, 0, 1).unwrap(),
+            vec![vpn as u8 + 1]
+        );
+    }
+    node.shutdown();
+}
+
+#[test]
+fn delta_rfork_ships_against_restored_base() {
+    let node = NetNode::serve(1, PageStore::new(PAGE), Registry::disabled()).unwrap();
+    let mut conn = Conn::new(1, node.addr(), fast(), Registry::disabled());
+
+    let local = PageStore::new(PAGE);
+    let base = local.create_world();
+    for vpn in 0..20 {
+        local.write(base, vpn, 0, &[7; PAGE]).unwrap();
+    }
+    // Ship the base in full, then a sibling as a delta against it.
+    let full = checkpoint(&local, base).unwrap();
+    let base_there = conn
+        .call_ack(&Request::Rfork {
+            image: full.clone(),
+        })
+        .unwrap();
+
+    let child = local.fork_world(base).unwrap();
+    local.write(child, 3, 0, b"dirty").unwrap();
+    let delta = checkpoint_delta(&local, child, base, base_there).unwrap();
+    assert!(
+        delta.len() * 4 < full.len(),
+        "delta ({}) should be far smaller than full ({})",
+        delta.len(),
+        full.len()
+    );
+    let child_there = WorldId::from_raw(conn.call_ack(&Request::Rfork { image: delta }).unwrap());
+    assert_eq!(
+        node.store().read_vec(child_there, 3, 0, 5).unwrap(),
+        b"dirty"
+    );
+    assert_eq!(
+        node.store().read_vec(child_there, 9, 0, 1).unwrap(),
+        vec![7]
+    );
+    node.shutdown();
+}
+
+#[test]
+fn commit_back_and_discard_apply_to_the_right_worlds() {
+    let store = PageStore::new(PAGE);
+    let base = store.create_world();
+    store.write(base, 0, 0, b"old").unwrap();
+    let doomed = store.create_world();
+    // The server shares the driver's store, as the origin node does.
+    let node = NetNode::serve(0, store.clone(), Registry::disabled()).unwrap();
+    let mut conn = Conn::new(0, node.addr(), fast(), Registry::disabled());
+
+    conn.call_ack(&Request::CommitBack {
+        base: base.raw(),
+        pages: vec![(0, b"new".to_vec()), (5, vec![9; PAGE])],
+    })
+    .unwrap();
+    assert_eq!(store.read_vec(base, 0, 0, 3).unwrap(), b"new");
+    assert_eq!(store.read_vec(base, 5, 0, PAGE).unwrap(), vec![9; PAGE]);
+
+    conn.call_ack(&Request::Discard {
+        world: doomed.raw(),
+    })
+    .unwrap();
+    assert!(store.read_vec(doomed, 0, 0, 1).is_err(), "world dropped");
+    node.shutdown();
+}
+
+#[test]
+fn predicated_send_delivers_message_intact() {
+    let node = NetNode::serve(2, PageStore::new(PAGE), Registry::disabled()).unwrap();
+    let mut conn = Conn::new(2, node.addr(), fast(), Registry::disabled());
+    let mut msg = worlds_ipc::Message::new(
+        Pid(4),
+        Pid(9),
+        PredicateSet::new([Pid(1)], [Pid(2)]),
+        b"guarded".to_vec(),
+    );
+    msg.id = worlds_ipc::MsgId(31);
+    conn.call_ack(&Request::PredicatedSend { msg: msg.clone() })
+        .unwrap();
+    let got = node.take_messages();
+    assert_eq!(got, vec![msg]);
+    assert!(node.take_messages().is_empty(), "inbox drains");
+    node.shutdown();
+}
+
+#[test]
+fn nacks_surface_without_retries() {
+    let (obs, _ring) = Registry::with_ring(64);
+    let node = NetNode::serve(1, PageStore::new(PAGE), Registry::disabled()).unwrap();
+    let mut conn = Conn::new(1, node.addr(), fast(), obs.clone());
+    // Discarding a world that does not exist is a Nack, not a retry loop.
+    let err = conn
+        .call_ack(&Request::Discard { world: 999_999 })
+        .unwrap_err();
+    assert!(matches!(err, worlds_net::NetError::Nack { .. }), "{err}");
+    let stats = obs.stats().unwrap();
+    assert_eq!(stats.net.retries.get(), 0, "nack must not be retried");
+    node.shutdown();
+}
+
+/// The tentpole idempotency guarantee: a request delivered twice under
+/// one correlation id is applied once. Raw frames prove it at the
+/// protocol level, below the client's own retry logic. `Rfork` is the
+/// sharpest probe — a double-apply would mint a second world, which
+/// `world_count` catches; page writes alone are idempotent by value.
+#[test]
+fn retransmitted_frames_never_double_apply() {
+    let store = PageStore::new(PAGE);
+    let base = store.create_world();
+    store.write(base, 0, 0, &[1]).unwrap();
+    let node = NetNode::serve(0, store.clone(), Registry::disabled()).unwrap();
+
+    let local = PageStore::new(PAGE);
+    let w = local.create_world();
+    local.write(w, 2, 0, b"shipped").unwrap();
+    let rfork = Request::Rfork {
+        image: checkpoint(&local, w).unwrap(),
+    };
+    let rfork_frame = Frame::new(rfork.kind(), 0xC0FFEE, rfork.encode_payload());
+
+    let mut s = std::net::TcpStream::connect(node.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let before = store.world_count();
+    write_frame(&mut s, &rfork_frame).unwrap();
+    let (first, _) = read_frame(&mut s).unwrap();
+    // Deliver the identical frame again — as a timed-out client would.
+    write_frame(&mut s, &rfork_frame).unwrap();
+    let (second, _) = read_frame(&mut s).unwrap();
+    assert_eq!(first, second, "ledger replays the recorded reply");
+    assert_eq!(
+        store.world_count(),
+        before + 1,
+        "one rfork, one world, however many deliveries"
+    );
+
+    // Same discipline for CommitBack: identical replies, pages correct.
+    let commit = Request::CommitBack {
+        base: base.raw(),
+        pages: vec![(0, vec![42; PAGE]), (7, vec![7; PAGE])],
+    };
+    let commit_frame = Frame::new(commit.kind(), 0xBEEF, commit.encode_payload());
+    write_frame(&mut s, &commit_frame).unwrap();
+    let (c1, _) = read_frame(&mut s).unwrap();
+    write_frame(&mut s, &commit_frame).unwrap();
+    let (c2, _) = read_frame(&mut s).unwrap();
+    assert_eq!(c1, c2);
+    assert_eq!(
+        Reply::decode(c1.kind, &c1.payload).unwrap(),
+        Reply::Ack { world: base.raw() }
+    );
+    assert_eq!(store.read_vec(base, 0, 0, 1).unwrap(), vec![42]);
+
+    // Control: a *different* corr-id really does fork a second world.
+    let fresh = Frame::new(rfork.kind(), 0xC0FFEF, rfork.encode_payload());
+    write_frame(&mut s, &fresh).unwrap();
+    let _ = read_frame(&mut s).unwrap();
+    assert_eq!(store.world_count(), before + 2);
+    node.shutdown();
+}
+
+/// The client's own retry path over a faulty wire: every fault kind the
+/// proxy can inject ends in success after deterministic retries, and the
+/// `DropReply` case proves end-to-end idempotency (the op applied, the
+/// reply vanished, the retry replayed it).
+#[test]
+fn client_retries_through_every_fault_kind() {
+    for kind in [
+        FaultKind::Drop,
+        FaultKind::Truncate,
+        FaultKind::Reset,
+        FaultKind::DropReply,
+    ] {
+        let store = PageStore::new(PAGE);
+        let node = NetNode::serve(1, store.clone(), Registry::disabled()).unwrap();
+        let proxy = FaultProxy::spawn(
+            node.addr(),
+            FaultSchedule::every_with(1, kind),
+            Registry::disabled(),
+        )
+        .unwrap();
+        // every(1) faults *every first delivery*, but only first
+        // deliveries: each op faults once and its retry passes.
+        let (obs, _ring) = Registry::with_ring(256);
+        let mut conn = Conn::new(1, proxy.addr(), fast(), obs.clone());
+
+        let local = PageStore::new(PAGE);
+        let w = local.create_world();
+        local.write(w, 0, 0, b"through the storm").unwrap();
+        let image = checkpoint(&local, w).unwrap();
+        let remote = WorldId::from_raw(conn.call_ack(&Request::Rfork { image }).unwrap());
+        assert_eq!(
+            store.read_vec(remote, 0, 0, 17).unwrap(),
+            b"through the storm",
+            "fault {kind:?}"
+        );
+        assert_eq!(
+            store.world_count(),
+            1,
+            "fault {kind:?} must not double-apply the rfork"
+        );
+
+        let stats = obs.stats().unwrap();
+        assert!(
+            stats.net.retries.get() >= 1,
+            "fault {kind:?} should force at least one retry"
+        );
+        assert_eq!(proxy.faults_injected(), 1, "fault {kind:?}");
+        proxy.shutdown();
+        node.shutdown();
+    }
+}
+
+/// Timeouts are observed as timeouts: a dropped request burns the full
+/// deadline and emits `NetTimeout` before the retry.
+#[test]
+fn dropped_frames_surface_as_timeouts() {
+    let node = NetNode::serve(3, PageStore::new(PAGE), Registry::disabled()).unwrap();
+    let proxy = FaultProxy::spawn(
+        node.addr(),
+        FaultSchedule::every_with(1, FaultKind::Drop),
+        Registry::disabled(),
+    )
+    .unwrap();
+    let (obs, _ring) = Registry::with_ring(64);
+    let mut conn = Conn::new(3, proxy.addr(), fast(), obs.clone());
+    assert_eq!(conn.call_ack(&Request::Ping).unwrap(), 0);
+    let stats = obs.stats().unwrap();
+    assert_eq!(stats.net.timeouts.get(), 1);
+    assert_eq!(stats.net.retries.get(), 1);
+    assert!(
+        stats.net_rtt.snapshot().count >= 1,
+        "successful attempt records an RTT"
+    );
+    proxy.shutdown();
+    node.shutdown();
+}
+
+/// A pool round-trips to several nodes and keeps per-node attribution.
+#[test]
+fn pool_tracks_nodes_independently() {
+    let a = NetNode::serve(1, PageStore::new(PAGE), Registry::disabled()).unwrap();
+    let b = NetNode::serve(2, PageStore::new(PAGE), Registry::disabled()).unwrap();
+    let (obs, ring) = Registry::with_ring(64);
+    let mut pool = Pool::new(fast(), obs);
+    pool.register(1, a.addr());
+    pool.register(2, b.addr());
+    pool.call_ack(1, &Request::Ping).unwrap();
+    pool.call_ack(2, &Request::Ping).unwrap();
+    pool.call_ack(2, &Request::Ping).unwrap();
+    let to_node_2 = ring
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, worlds_obs::EventKind::NetSend { node: 2, .. }))
+        .count();
+    assert_eq!(to_node_2, 2);
+    assert!(pool.call(3, &Request::Ping).is_err(), "unregistered node");
+    a.shutdown();
+    b.shutdown();
+}

@@ -6,6 +6,7 @@
 //! worlds-report -                          # from stdin
 //! worlds-report --critical-path run.jsonl  # + winner-lineage table
 //! worlds-report --waste run.jsonl          # + waste-attribution table
+//! worlds-report --net run.jsonl            # + per-node wire-traffic table
 //! worlds-report --trace-out t.json run.jsonl  # + Chrome trace for Perfetto
 //! ```
 //!
@@ -18,19 +19,20 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 
-use worlds_obs::{chrome_trace_json, Event, RunStats, SpanTree};
+use worlds_obs::{chrome_trace_json, Event, EventKind, Histogram, RunStats, SpanTree};
 
 fn main() {
     std::process::exit(run(std::env::args().skip(1).collect()));
 }
 
 const USAGE: &str =
-    "usage: worlds-report [--critical-path] [--waste] [--trace-out FILE] [<events.jsonl> | -]";
+    "usage: worlds-report [--critical-path] [--waste] [--net] [--trace-out FILE] [<events.jsonl> | -]";
 
 struct Options {
     path: String,
     critical_path: bool,
     waste: bool,
+    net: bool,
     trace_out: Option<String>,
 }
 
@@ -39,6 +41,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         path: "-".to_string(),
         critical_path: false,
         waste: false,
+        net: false,
         trace_out: None,
     };
     let mut positional: Vec<String> = Vec::new();
@@ -47,6 +50,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         match arg.as_str() {
             "--critical-path" => opts.critical_path = true,
             "--waste" => opts.waste = true,
+            "--net" => opts.net = true,
             "--trace-out" => {
                 opts.trace_out = Some(
                     it.next()
@@ -91,9 +95,10 @@ fn run(args: Vec<String>) -> i32 {
         }
     };
 
-    // The span analyses need the events themselves, not just the folded
-    // counters; collect as we stream.
+    // The span analyses (and the per-node net table) need the events
+    // themselves, not just the folded counters; collect as we stream.
     let need_spans = opts.critical_path || opts.waste || opts.trace_out.is_some();
+    let need_events = need_spans || opts.net;
     let stats = RunStats::new();
     let mut events: Vec<Event> = Vec::new();
     let mut total = 0u64;
@@ -113,7 +118,7 @@ fn run(args: Vec<String>) -> i32 {
         match Event::from_json(&line) {
             Ok(ev) => {
                 stats.absorb(&ev);
-                if need_spans {
+                if need_events {
                     events.push(ev);
                 }
             }
@@ -138,6 +143,10 @@ fn run(args: Vec<String>) -> i32 {
     if bad == total {
         eprintln!("worlds-report: every line was malformed");
         return 1;
+    }
+
+    if opts.net {
+        println!("{}", render_net_by_node(&events));
     }
 
     if need_spans {
@@ -165,4 +174,74 @@ fn run(args: Vec<String>) -> i32 {
         }
     }
     0
+}
+
+/// The `--net` table: wire traffic attributed per destination node, plus
+/// the aggregate round-trip histogram. Built from the raw `net_*` events
+/// (the folded [`RunStats`] counters cannot say *which* node retried).
+fn render_net_by_node(events: &[Event]) -> String {
+    use std::collections::BTreeMap;
+
+    #[derive(Default)]
+    struct Row {
+        frames_out: u64,
+        bytes_out: u64,
+        frames_in: u64,
+        bytes_in: u64,
+        retries: u64,
+        timeouts: u64,
+    }
+
+    let mut rows: BTreeMap<u64, Row> = BTreeMap::new();
+    let rtt = Histogram::new();
+    for e in events {
+        match e.kind {
+            EventKind::NetSend { node, bytes } => {
+                let r = rows.entry(node).or_default();
+                r.frames_out += 1;
+                r.bytes_out += bytes;
+            }
+            EventKind::NetRecv {
+                node,
+                bytes,
+                rtt_ns,
+            } => {
+                let r = rows.entry(node).or_default();
+                r.frames_in += 1;
+                r.bytes_in += bytes;
+                rtt.record(rtt_ns);
+            }
+            EventKind::NetRetry { node, .. } => {
+                rows.entry(node).or_default().retries += 1;
+            }
+            EventKind::NetTimeout { node, .. } => {
+                rows.entry(node).or_default().timeouts += 1;
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::from("== net transport (per node) ==\n");
+    if rows.is_empty() {
+        out.push_str("  no net_* events in this capture\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "  {:<6} {:>10} {:>12} {:>10} {:>12} {:>8} {:>9}\n",
+        "node", "frames_out", "bytes_out", "frames_in", "bytes_in", "retries", "timeouts"
+    ));
+    for (node, r) in &rows {
+        out.push_str(&format!(
+            "  {:<6} {:>10} {:>12} {:>10} {:>12} {:>8} {:>9}\n",
+            node, r.frames_out, r.bytes_out, r.frames_in, r.bytes_in, r.retries, r.timeouts
+        ));
+    }
+    let snap = rtt.snapshot();
+    if snap.count > 0 {
+        out.push_str(&format!(
+            "  rtt                    {}\n",
+            snap.summary_line()
+        ));
+    }
+    out
 }

@@ -83,6 +83,21 @@ pub enum EventKind {
     RpcRetry { node: u64, attempt: u64 },
     /// An RPC attempt timed out after `waited_ns`.
     RpcTimeout { node: u64, waited_ns: u64 },
+    /// A request frame left on the wire toward `node` (`bytes` is the
+    /// full framed size, header and checksum included).
+    NetSend { node: u64, bytes: u64 },
+    /// A reply frame arrived from `node`; `rtt_ns` is the request→reply
+    /// round trip as the sender measured it.
+    NetRecv { node: u64, bytes: u64, rtt_ns: u64 },
+    /// A request to `node` was re-sent (attempt `attempt`, 1-based) after
+    /// backing off `backoff_ns`.
+    NetRetry {
+        node: u64,
+        attempt: u64,
+        backoff_ns: u64,
+    },
+    /// A request to `node` missed its deadline after `waited_ns`.
+    NetTimeout { node: u64, waited_ns: u64 },
 }
 
 impl EventKind {
@@ -109,6 +124,10 @@ impl EventKind {
             EventKind::RpcSend { .. } => "rpc_send",
             EventKind::RpcRetry { .. } => "rpc_retry",
             EventKind::RpcTimeout { .. } => "rpc_timeout",
+            EventKind::NetSend { .. } => "net_send",
+            EventKind::NetRecv { .. } => "net_recv",
+            EventKind::NetRetry { .. } => "net_retry",
+            EventKind::NetTimeout { .. } => "net_timeout",
         }
     }
 }
@@ -214,6 +233,32 @@ impl Event {
                 push_field(&mut s, "node", *node);
                 push_field(&mut s, "waited", *waited_ns);
             }
+            EventKind::NetSend { node, bytes } => {
+                push_field(&mut s, "node", *node);
+                push_field(&mut s, "bytes", *bytes);
+            }
+            EventKind::NetRecv {
+                node,
+                bytes,
+                rtt_ns,
+            } => {
+                push_field(&mut s, "node", *node);
+                push_field(&mut s, "bytes", *bytes);
+                push_field(&mut s, "rtt", *rtt_ns);
+            }
+            EventKind::NetRetry {
+                node,
+                attempt,
+                backoff_ns,
+            } => {
+                push_field(&mut s, "node", *node);
+                push_field(&mut s, "attempt", *attempt);
+                push_field(&mut s, "backoff", *backoff_ns);
+            }
+            EventKind::NetTimeout { node, waited_ns } => {
+                push_field(&mut s, "node", *node);
+                push_field(&mut s, "waited", *waited_ns);
+            }
             EventKind::Rendezvous
             | EventKind::EliminateAsync
             | EventKind::Timeout
@@ -285,6 +330,24 @@ impl Event {
                 attempt: fields.u64_field("attempt")?,
             },
             "rpc_timeout" => EventKind::RpcTimeout {
+                node: fields.u64_field("node")?,
+                waited_ns: fields.u64_field("waited")?,
+            },
+            "net_send" => EventKind::NetSend {
+                node: fields.u64_field("node")?,
+                bytes: fields.u64_field("bytes")?,
+            },
+            "net_recv" => EventKind::NetRecv {
+                node: fields.u64_field("node")?,
+                bytes: fields.u64_field("bytes")?,
+                rtt_ns: fields.u64_field("rtt")?,
+            },
+            "net_retry" => EventKind::NetRetry {
+                node: fields.u64_field("node")?,
+                attempt: fields.u64_field("attempt")?,
+                backoff_ns: fields.u64_field("backoff")?,
+            },
+            "net_timeout" => EventKind::NetTimeout {
                 node: fields.u64_field("node")?,
                 waited_ns: fields.u64_field("waited")?,
             },
@@ -502,6 +565,24 @@ mod tests {
             EventKind::RpcTimeout {
                 node: 2,
                 waited_ns: 1_000_000,
+            },
+            EventKind::NetSend {
+                node: 1,
+                bytes: 4222,
+            },
+            EventKind::NetRecv {
+                node: 1,
+                bytes: 30,
+                rtt_ns: 87_000,
+            },
+            EventKind::NetRetry {
+                node: 1,
+                attempt: 2,
+                backoff_ns: 2_000_000,
+            },
+            EventKind::NetTimeout {
+                node: 1,
+                waited_ns: 50_000_000,
             },
         ]
     }

@@ -28,7 +28,8 @@ pub mod trace_export;
 pub use event::{Event, EventKind, ParseError};
 pub use metrics::{fmt_ns, Counter, Gauge, Histogram, HistogramSnapshot, HIST_BUCKETS};
 pub use report::{
-    replay, ExecCounters, IpcCounters, KernelCounters, PageCounters, RemoteCounters, RunStats,
+    replay, ExecCounters, IpcCounters, KernelCounters, NetCounters, PageCounters, RemoteCounters,
+    RunStats,
 };
 pub use sink::{EventSink, JsonlSink, RingSink};
 pub use span::{SpanOutcome, SpanTree, TraceCtx, WorldSpan};

@@ -84,6 +84,27 @@ counter_struct! {
 }
 
 counter_struct! {
+    /// Wire traffic (worlds-net client/server). Event-derived like the
+    /// kernel/pagestore groups, so JSONL replay reconstructs them; the
+    /// summary omits the section when no wire activity was recorded,
+    /// which keeps replays of pre-net captures byte-identical.
+    pub struct NetCounters {
+        /// Request frames put on the wire (every attempt counts).
+        pub frames_sent,
+        /// Reply frames received.
+        pub frames_received,
+        /// Bytes on the wire outbound (frame headers + checksums included).
+        pub wire_bytes_sent,
+        /// Bytes on the wire inbound.
+        pub wire_bytes_received,
+        /// Requests re-sent after a timeout or connection error.
+        pub retries,
+        /// Request deadlines missed.
+        pub timeouts,
+    }
+}
+
+counter_struct! {
     /// Execution substrate (worlds-exec pool + reaper). Unlike the other
     /// groups these are **not** derived from events: the pool is below
     /// the world-lifecycle layer, so its bookkeeping is bumped directly
@@ -119,6 +140,8 @@ pub struct RunStats {
     pub ipc: IpcCounters,
     /// remote::cluster counters.
     pub remote: RemoteCounters,
+    /// worlds-net wire counters (event-derived, see [`NetCounters`]).
+    pub net: NetCounters,
     /// worlds-exec pool/reaper counters (live-only, see [`ExecCounters`]).
     pub exec: ExecCounters,
     /// Speculation tasks submitted to the executor but not yet picked up
@@ -140,6 +163,9 @@ pub struct RunStats {
     pub checkpoint_duration: Histogram,
     /// End-to-end RPC latency over the modeled network (virtual ns).
     pub rpc_latency: Histogram,
+    /// Request→reply round trip over the real wire (wall ns as the
+    /// sender measured it).
+    pub net_rtt: Histogram,
 }
 
 impl RunStats {
@@ -203,6 +229,17 @@ impl RunStats {
             }
             EventKind::RpcRetry { .. } => self.remote.rpc_retries.incr(),
             EventKind::RpcTimeout { .. } => self.remote.rpc_timeouts.incr(),
+            EventKind::NetSend { bytes, .. } => {
+                self.net.frames_sent.incr();
+                self.net.wire_bytes_sent.add(*bytes);
+            }
+            EventKind::NetRecv { bytes, rtt_ns, .. } => {
+                self.net.frames_received.incr();
+                self.net.wire_bytes_received.add(*bytes);
+                self.net_rtt.record(*rtt_ns);
+            }
+            EventKind::NetRetry { .. } => self.net.retries.incr(),
+            EventKind::NetTimeout { .. } => self.net.timeouts.incr(),
         }
     }
 
@@ -240,6 +277,14 @@ impl RunStats {
         section(&mut out, "ipc", &self.ipc.snapshot());
         section(&mut out, "remote", &self.remote.snapshot());
         hist_line(&mut out, "rpc_latency", &self.rpc_latency);
+
+        // Only runs that actually touched the wire print a [net] section,
+        // so replays of captures from before worlds-net stay identical.
+        let net = self.net.snapshot();
+        if net.iter().any(|&(_, v)| v > 0) {
+            section(&mut out, "net", &net);
+            hist_line(&mut out, "net_rtt", &self.net_rtt);
+        }
 
         // Executor counters are live-only (no events back them), so a
         // replayed report would always print zeros here; omitting the

@@ -490,7 +490,11 @@ impl SpanTree {
             }
             EventKind::RpcSend { .. }
             | EventKind::RpcRetry { .. }
-            | EventKind::RpcTimeout { .. } => {
+            | EventKind::RpcTimeout { .. }
+            | EventKind::NetSend { .. }
+            | EventKind::NetRecv { .. }
+            | EventKind::NetRetry { .. }
+            | EventKind::NetTimeout { .. } => {
                 let span = self.ensure(w, vt);
                 span.marks.push(Mark {
                     vt_ns: vt,

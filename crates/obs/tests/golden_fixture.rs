@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! cargo run -q -p worlds-obs --bin worlds-report -- \
-//!   --critical-path --waste --trace-out /tmp/t.json \
+//!   --critical-path --waste --net --trace-out /tmp/t.json \
 //!   fixtures/golden_run.jsonl 2>/dev/null > fixtures/golden_summary.txt
 //! ```
 
@@ -26,6 +26,7 @@ fn golden_capture_reproduces_checked_in_summary() {
     let out = Command::new(env!("CARGO_BIN_EXE_worlds-report"))
         .arg("--critical-path")
         .arg("--waste")
+        .arg("--net")
         .arg("--trace-out")
         .arg(&trace_path)
         .arg(fixture("golden_run.jsonl"))
@@ -49,7 +50,7 @@ fn golden_capture_reproduces_checked_in_summary() {
     // must count it on stderr and still exit zero.
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
-        stderr.contains("skipped 1 malformed line(s) of 21"),
+        stderr.contains("skipped 1 malformed line(s) of 26"),
         "stderr should count the malformed line: {stderr}"
     );
 

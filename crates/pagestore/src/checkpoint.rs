@@ -13,15 +13,32 @@
 //! Image format (little-endian):
 //!
 //! ```text
-//! magic "MWCK" | version u32 | page_size u64 | page_count u64
-//! then per page: vpn u64 | page_size bytes
+//! v1 (full):  magic "MWCK" | version=1 u32 | page_size u64 | page_count u64
+//!             then per page: vpn u64 | page_size bytes
+//! v2 (delta): magic "MWCK" | version=2 u32 | page_size u64 | page_count u64
+//!             | base_world u64
+//!             then per page: vpn u64 | page_size bytes
 //! ```
+//!
+//! A **delta** image ([`checkpoint_delta`]) carries only the pages whose
+//! bytes differ from a stated *base* world; [`restore`] rebuilds the world
+//! by COW-forking the base (which must already live in the target store —
+//! for `rfork` that is the replica a previous full image restored) and
+//! overwriting the differing pages. Repeated rfork of sibling worlds then
+//! ships KBs instead of the full image. Version-1 images remain readable
+//! forever; writers choose per image.
 
 use crate::error::{PageStoreError, Result};
+use crate::page::Vpn;
 use crate::store::{PageStore, WorldId};
 
 const MAGIC: &[u8; 4] = b"MWCK";
 const VERSION: u32 = 1;
+const VERSION_DELTA: u32 = 2;
+/// v1 header bytes: magic + version + page_size + page_count.
+const HEADER: usize = 24;
+/// v2 header bytes: v1 header + base world id.
+const HEADER_DELTA: usize = HEADER + 8;
 
 /// Serialise every mapped page of `world` into a checkpoint image.
 pub fn checkpoint(store: &PageStore, world: WorldId) -> Result<Vec<u8>> {
@@ -58,15 +75,81 @@ pub fn checkpoint(store: &PageStore, world: WorldId) -> Result<Vec<u8>> {
     Ok(out)
 }
 
+/// Serialise only the pages of `world` whose **bytes** differ from
+/// `base` into a version-2 delta image. `base_on_target` is the world id
+/// the image's receiver should fork as the base — for a same-store round
+/// trip that is `base.raw()`; for `rfork` it is the id of the replica a
+/// previous image restored on the remote store (cluster stores share one
+/// id allocator, so the id is unambiguous either way).
+///
+/// The candidate set is the COW map diff (pages written since the fork),
+/// narrowed by content comparison, so a write that restored the original
+/// bytes ships nothing.
+pub fn checkpoint_delta(
+    store: &PageStore,
+    world: WorldId,
+    base: WorldId,
+    base_on_target: u64,
+) -> Result<Vec<u8>> {
+    let started = std::time::Instant::now();
+    let page_size = store.page_size();
+    let mut wbuf = vec![0u8; page_size];
+    let mut bbuf = vec![0u8; page_size];
+    let mut dirty: Vec<Vpn> = Vec::new();
+    for vpn in store.diff_worlds(world, base)? {
+        store.read(world, vpn, 0, &mut wbuf)?;
+        store.read(base, vpn, 0, &mut bbuf)?;
+        if wbuf != bbuf {
+            dirty.push(vpn);
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER_DELTA + dirty.len() * (8 + page_size));
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION_DELTA.to_le_bytes());
+    out.extend_from_slice(&(page_size as u64).to_le_bytes());
+    out.extend_from_slice(&(dirty.len() as u64).to_le_bytes());
+    out.extend_from_slice(&base_on_target.to_le_bytes());
+    let page_count = dirty.len() as u64;
+    for vpn in dirty {
+        out.extend_from_slice(&vpn.to_le_bytes());
+        store.read(world, vpn, 0, &mut wbuf)?;
+        out.extend_from_slice(&wbuf);
+    }
+    store.obs().emit(|| {
+        let parent = store.parent_of(world).ok().flatten().map(WorldId::raw);
+        worlds_obs::Event::new(
+            worlds_obs::EventKind::Checkpoint {
+                pages: page_count,
+                bytes: out.len() as u64,
+                duration_ns: started.elapsed().as_nanos() as u64,
+            },
+            world.raw(),
+            parent,
+            0,
+        )
+    });
+    Ok(out)
+}
+
+/// The version field of a checkpoint image, if it has a plausible header.
+pub fn image_version(image: &[u8]) -> Option<u32> {
+    if image.len() < 8 || &image[0..4] != MAGIC {
+        return None;
+    }
+    Some(u32::from_le_bytes(image[4..8].try_into().expect("4 bytes")))
+}
+
 /// Restore a checkpoint image into a **new world** of `store`. The target
-/// store must have the same page size as the image.
+/// store must have the same page size as the image. A version-2 (delta)
+/// image additionally requires its base world to be alive in `store`: the
+/// new world is a COW fork of the base with the delta pages applied.
 pub fn restore(store: &PageStore, image: &[u8]) -> Result<WorldId> {
     let err = |msg: &str| PageStoreError::NoSuchFile(format!("checkpoint: {msg}"));
-    if image.len() < 24 || &image[0..4] != MAGIC {
+    if image.len() < HEADER || &image[0..4] != MAGIC {
         return Err(err("bad magic"));
     }
     let version = u32::from_le_bytes(image[4..8].try_into().expect("4 bytes"));
-    if version != VERSION {
+    if version != VERSION && version != VERSION_DELTA {
         return Err(err("unsupported version"));
     }
     let page_size = u64::from_le_bytes(image[8..16].try_into().expect("8 bytes")) as usize;
@@ -74,13 +157,25 @@ pub fn restore(store: &PageStore, image: &[u8]) -> Result<WorldId> {
         return Err(err("page size mismatch"));
     }
     let count = u64::from_le_bytes(image[16..24].try_into().expect("8 bytes")) as usize;
+    let header = if version == VERSION {
+        HEADER
+    } else {
+        HEADER_DELTA
+    };
     let record = 8 + page_size;
-    if image.len() != 24 + count * record {
+    if image.len() != header + count * record {
         return Err(err("truncated image"));
     }
-    let world = store.create_world();
+    let world = if version == VERSION {
+        store.create_world()
+    } else {
+        let base = u64::from_le_bytes(image[24..32].try_into().expect("8 bytes"));
+        store
+            .fork_world(WorldId(base))
+            .map_err(|_| err(&format!("delta base world {base} not in target store")))?
+    };
     for i in 0..count {
-        let off = 24 + i * record;
+        let off = header + i * record;
         let vpn = u64::from_le_bytes(image[off..off + 8].try_into().expect("8 bytes"));
         store.write(world, vpn, 0, &image[off + 8..off + record])?;
     }
@@ -170,6 +265,99 @@ mod tests {
         let mut image = checkpoint(&store, w2).unwrap();
         image.truncate(image.len() - 1);
         assert!(restore(&store, &image).is_err());
+    }
+
+    #[test]
+    fn delta_round_trip_same_store() {
+        let store = PageStore::new(64);
+        let base = store.create_world();
+        for vpn in 0..10 {
+            store.write(base, vpn, 0, &[vpn as u8 + 1]).unwrap();
+        }
+        let child = store.fork_world(base).unwrap();
+        store.write(child, 3, 0, b"edit").unwrap();
+        store.write(child, 42, 0, b"new page").unwrap();
+        let delta = checkpoint_delta(&store, child, base, base.raw()).unwrap();
+        assert_eq!(image_version(&delta), Some(2));
+        // 2 records, not 11: the untouched base pages stay home.
+        assert_eq!(delta.len(), 32 + 2 * (8 + 64));
+
+        let r = restore(&store, &delta).unwrap();
+        for vpn in 0..10 {
+            assert_eq!(
+                store.read_vec(r, vpn, 0, 4).unwrap(),
+                store.read_vec(child, vpn, 0, 4).unwrap(),
+                "vpn {vpn}"
+            );
+        }
+        assert_eq!(store.read_vec(r, 42, 0, 8).unwrap(), b"new page");
+    }
+
+    #[test]
+    fn delta_of_identical_sibling_is_header_only() {
+        let store = PageStore::new(64);
+        let base = store.create_world();
+        store.write(base, 0, 0, b"same").unwrap();
+        let twin = store.fork_world(base).unwrap();
+        // A write that restores the original bytes is not a delta.
+        store.write(twin, 0, 0, b"same").unwrap();
+        let delta = checkpoint_delta(&store, twin, base, base.raw()).unwrap();
+        assert_eq!(delta.len(), 32, "content-equal sibling ships nothing");
+    }
+
+    #[test]
+    fn delta_records_pages_the_child_lacks() {
+        // A page mapped in the base but never touched by the child is
+        // shared by the fork, so it only appears in the delta when the
+        // *contents* differ — here the child zeroes it explicitly.
+        let store = PageStore::new(64);
+        let base = store.create_world();
+        store.write(base, 5, 0, &[9; 64]).unwrap();
+        let child = store.fork_world(base).unwrap();
+        store.write(child, 5, 0, &[0; 64]).unwrap();
+        let delta = checkpoint_delta(&store, child, base, base.raw()).unwrap();
+        let r = restore(&store, &delta).unwrap();
+        assert_eq!(store.read_vec(r, 5, 0, 64).unwrap(), vec![0; 64]);
+    }
+
+    #[test]
+    fn delta_against_missing_base_is_rejected() {
+        let here = PageStore::new(64);
+        let base = here.create_world();
+        let child = here.fork_world(base).unwrap();
+        here.write(child, 0, 0, &[1]).unwrap();
+        let delta = checkpoint_delta(&here, child, base, base.raw()).unwrap();
+        let there = PageStore::new(64); // no such base world over there
+        let err = restore(&there, &delta).unwrap_err();
+        assert!(format!("{err}").contains("base world"), "{err}");
+    }
+
+    #[test]
+    fn truncated_delta_is_rejected() {
+        let store = PageStore::new(64);
+        let base = store.create_world();
+        let child = store.fork_world(base).unwrap();
+        store.write(child, 0, 0, &[1]).unwrap();
+        let mut delta = checkpoint_delta(&store, child, base, base.raw()).unwrap();
+        delta.truncate(delta.len() - 1);
+        assert!(restore(&store, &delta).is_err());
+        // A v2 image cut down to a bare v1-size header is also rejected
+        // (its length can no longer match the v2 record arithmetic).
+        let full = checkpoint_delta(&store, child, base, base.raw()).unwrap();
+        assert!(restore(&store, &full[..24]).is_err());
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let store = PageStore::new(64);
+        let mut img = Vec::new();
+        img.extend_from_slice(b"MWCK");
+        img.extend_from_slice(&3u32.to_le_bytes());
+        img.extend_from_slice(&64u64.to_le_bytes());
+        img.extend_from_slice(&0u64.to_le_bytes());
+        assert!(restore(&store, &img).is_err());
+        assert_eq!(image_version(&img), Some(3));
+        assert_eq!(image_version(b"BOGUS"), None);
     }
 
     #[test]

@@ -58,7 +58,7 @@ mod page;
 mod stats;
 mod store;
 
-pub use checkpoint::{checkpoint, checkpoint_size, restore};
+pub use checkpoint::{checkpoint, checkpoint_delta, checkpoint_size, image_version, restore};
 pub use error::{PageStoreError, Result};
 pub use file::{FileHandle, FileSystem};
 pub use frame::FrameId;

@@ -116,6 +116,15 @@ impl WorldId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Reconstitute an id previously obtained from [`WorldId::raw`] —
+    /// for transports that ship world ids over a wire (cluster stores
+    /// share one id allocator, see [`PageStore::new_sharing_ids`]). The
+    /// store validates liveness on every operation, so a stale or
+    /// foreign id surfaces as `NoSuchWorld`, never as aliasing.
+    pub fn from_raw(raw: u64) -> WorldId {
+        WorldId(raw)
+    }
 }
 
 #[derive(Debug)]

@@ -1,10 +1,12 @@
 //! Nodes and remote forking.
 
 use worlds_kernel::VirtualTime;
+use worlds_net::FaultSchedule;
 use worlds_obs::{Event as ObsEvent, EventKind, Registry};
-use worlds_pagestore::{checkpoint, restore, PageStore, WorldId};
+use worlds_pagestore::{checkpoint, checkpoint_delta, PageStore, WorldId};
 
 use crate::net::NetModel;
+use crate::transport::{DeltaBase, DeltaCache, InProcess, Tcp, Transport};
 
 /// Identifier of a node in the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,17 +59,32 @@ pub struct RemoteWorld {
 
 /// A set of nodes joined by a modelled network. Node 0 is the *origin*
 /// (where the parent process lives).
-#[derive(Debug)]
 pub struct Cluster {
     nodes: Vec<Node>,
     net: NetModel,
     page_size: usize,
     obs: Registry,
     clock_ns: u64,
-    /// Deterministic fault injection: every `k`-th cross-node transfer
-    /// times out once and is retried (`None` = no faults).
-    fault_every: Option<u64>,
+    /// Deterministic fault injection, consulted per cross-node transfer.
+    faults: FaultSchedule,
     transfers: u64,
+    /// How bytes actually move between stores.
+    transport: Box<dyn Transport + Send>,
+    /// When on, repeat rforks of the same world ship deltas against a
+    /// pinned base instead of full images.
+    delta_rfork: bool,
+    delta_cache: DeltaCache,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes)
+            .field("net", &self.net)
+            .field("transport", &self.transport.name())
+            .field("transfers", &self.transfers)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Cluster {
@@ -87,17 +104,53 @@ impl Cluster {
     /// the whole cluster and trace events from any node can name worlds
     /// on other nodes without ambiguity.
     pub fn with_obs(n: usize, page_size: usize, net: NetModel, obs: Registry) -> Cluster {
+        let stores = Self::stores(n, page_size, &obs);
+        let transport = Box::new(InProcess::new(stores.clone()));
+        Self::assemble(stores, page_size, net, obs, transport)
+    }
+
+    /// Like [`Cluster::with_obs`], but state moves over real loopback
+    /// TCP: each node's store sits behind a `worlds-net` server, and
+    /// every cross-node rfork, commit-back and discard is a framed RPC
+    /// with deadlines and retries. Virtual-time accounting (the
+    /// [`NetModel`], fault cost doubling) is unchanged — only the bytes'
+    /// vehicle differs — so outcomes match [`Cluster::with_obs`] exactly.
+    pub fn tcp(
+        n: usize,
+        page_size: usize,
+        net: NetModel,
+        obs: Registry,
+    ) -> std::io::Result<Cluster> {
+        let stores = Self::stores(n, page_size, &obs);
+        let transport = Box::new(Tcp::serve(&stores, obs.clone())?);
+        Ok(Self::assemble(stores, page_size, net, obs, transport))
+    }
+
+    fn stores(n: usize, page_size: usize, obs: &Registry) -> Vec<PageStore> {
         assert!(n >= 1, "a cluster needs at least the origin node");
         let origin_store = PageStore::with_obs(page_size, obs.clone());
-        let nodes = (0..n)
+        (0..n)
             .map(|i| {
-                let store = if i == 0 {
+                if i == 0 {
                     origin_store.clone()
                 } else {
                     origin_store.new_sharing_ids()
-                };
-                Node::with_store(NodeId(i), store)
+                }
             })
+            .collect()
+    }
+
+    fn assemble(
+        stores: Vec<PageStore>,
+        page_size: usize,
+        net: NetModel,
+        obs: Registry,
+        transport: Box<dyn Transport + Send>,
+    ) -> Cluster {
+        let nodes = stores
+            .into_iter()
+            .enumerate()
+            .map(|(i, store)| Node::with_store(NodeId(i), store))
             .collect();
         Cluster {
             nodes,
@@ -105,8 +158,11 @@ impl Cluster {
             page_size,
             obs,
             clock_ns: 0,
-            fault_every: None,
+            faults: FaultSchedule::none(),
             transfers: 0,
+            transport,
+            delta_rfork: false,
+            delta_cache: DeltaCache::default(),
         }
     }
 
@@ -115,11 +171,44 @@ impl Cluster {
         &self.obs
     }
 
+    /// `"in-process"` or `"tcp"`.
+    pub fn transport_name(&self) -> &'static str {
+        self.transport.name()
+    }
+
     /// Inject a deterministic network fault: every `k`-th cross-node
     /// transfer times out once and is retried (doubling its virtual
-    /// cost). `k = 0` disables injection.
+    /// cost). `k = 0` disables injection. Shorthand for
+    /// [`Cluster::set_fault_schedule`] with [`FaultSchedule::every`].
     pub fn set_fault_every(&mut self, k: u64) {
-        self.fault_every = if k == 0 { None } else { Some(k) };
+        self.set_fault_schedule(FaultSchedule::every(k));
+    }
+
+    /// Arm a [`FaultSchedule`]. Transfers are numbered from the moment a
+    /// schedule is armed (op 0 is the next transfer), and the same
+    /// numbering drives both the virtual cost model here and — on the
+    /// TCP transport — the real [`worlds_net::FaultProxy`] fleet, so one
+    /// schedule produces one retry sequence on either wire.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.faults = schedule;
+        self.transfers = 0;
+        self.transport.set_fault_schedule(schedule);
+    }
+
+    /// Turn delta rforks on or off. When on, the first rfork of a world
+    /// to a node ships the full image **plus** pins a base (a snapshot
+    /// here, a replica there; two transfers); every later rfork of that
+    /// world to that node ships only the pages that changed since — a v2
+    /// delta checkpoint. Turning it off releases all pinned bases.
+    pub fn set_delta_rfork(&mut self, on: bool) {
+        self.delta_rfork = on;
+        if !on {
+            for (dst, base) in self.delta_cache.drain() {
+                // Best-effort: pinned bases are invisible infrastructure.
+                let _ = self.nodes[base.src_node].store.drop_world(base.snapshot);
+                let _ = self.transport.discard(dst, base.replica);
+            }
+        }
     }
 
     /// Advance the virtual-time stamp applied to subsequently emitted
@@ -136,11 +225,9 @@ impl Cluster {
     /// virtual cost including any retry.
     fn transfer(&mut self, world: u64, dst: NodeId, bytes: usize) -> VirtualTime {
         let mut cost = self.net.transfer_time(bytes);
+        let op = self.transfers;
         self.transfers += 1;
-        if self
-            .fault_every
-            .is_some_and(|k| self.transfers.is_multiple_of(k))
-        {
+        if self.faults.fault_for(op).is_some() {
             // The attempt is lost: the sender waits out the transfer
             // before retrying, and the retry deterministically succeeds.
             self.obs.emit(|| {
@@ -216,7 +303,10 @@ impl Cluster {
     /// `rfork()`: replicate `src` onto node `dst` by checkpoint/restore —
     /// the paper's construction. Returns the new remote world plus the
     /// virtual time the checkpoint transfer cost (the ≈ 1 s of §3.4 for a
-    /// 70 KB process on the 1989 LAN).
+    /// 70 KB process on the 1989 LAN). With [`Cluster::set_delta_rfork`]
+    /// on, the first rfork of a world to a node pays two transfers (full
+    /// image + pinned-base delta) and every later one ships only changed
+    /// pages.
     pub fn rfork(
         &mut self,
         src: RemoteWorld,
@@ -227,11 +317,44 @@ impl Cluster {
             let world = self.nodes[src.node.0].store.fork_world(src.world)?;
             return Ok((RemoteWorld { node: dst, world }, VirtualTime::ZERO));
         }
-        let image = checkpoint(&self.nodes[src.node.0].store, src.world)?;
+        let mut total = VirtualTime::ZERO;
+        let image = if self.delta_rfork {
+            let base = match self.delta_cache.get(dst.0, src.world) {
+                Some(base) => base,
+                None => {
+                    // First shipment of this world to this node: the full
+                    // image pins a base replica there and a snapshot here.
+                    // Neither is ever handed out, so future rforks can
+                    // diff against them no matter what the block commits.
+                    let full = checkpoint(&self.nodes[src.node.0].store, src.world)?;
+                    total += self.transfer(src.world.raw(), dst, full.len());
+                    self.nodes[src.node.0].bytes_sent += full.len() as u64;
+                    self.nodes[dst.0].bytes_received += full.len() as u64;
+                    let replica = self.transport.ship_image(dst.0, &full)?;
+                    let snapshot = self.nodes[src.node.0].store.fork_world(src.world)?;
+                    let base = DeltaBase {
+                        src_node: src.node.0,
+                        snapshot,
+                        replica,
+                    };
+                    self.delta_cache.insert(dst.0, src.world, base);
+                    base
+                }
+            };
+            checkpoint_delta(
+                &self.nodes[src.node.0].store,
+                src.world,
+                base.snapshot,
+                base.replica,
+            )?
+        } else {
+            checkpoint(&self.nodes[src.node.0].store, src.world)?
+        };
         let cost = self.transfer(src.world.raw(), dst, image.len());
+        total += cost;
         self.nodes[src.node.0].bytes_sent += image.len() as u64;
         self.nodes[dst.0].bytes_received += image.len() as u64;
-        let world = restore(&self.nodes[dst.0].store, &image)?;
+        let world = WorldId::from_raw(self.transport.ship_image(dst.0, &image)?);
         // The restored world is a *child* of the origin world in the
         // speculation tree: node stores share one id allocator, so the
         // parent reference is unambiguous and the span layer links the
@@ -244,7 +367,7 @@ impl Cluster {
                 self.clock_ns,
             )
         });
-        Ok((RemoteWorld { node: dst, world }, cost))
+        Ok((RemoteWorld { node: dst, world }, total))
     }
 
     /// Ship only the pages of `child` that differ from `base` back to the
@@ -284,13 +407,10 @@ impl Cluster {
         self.nodes[child.node.0].bytes_sent += bytes as u64;
         self.nodes[base.node.0].bytes_received += bytes as u64;
         let n = moved.len();
-        for (vpn, data) in moved {
-            self.nodes[base.node.0]
-                .store
-                .write(base.world, vpn, 0, &data)?;
-        }
+        self.transport
+            .ship_pages(base.node.0, base.world.raw(), &moved)?;
         // The remote replica is done with.
-        self.nodes[child.node.0].store.drop_world(child.world)?;
+        self.transport.discard(child.node.0, child.world.raw())?;
         // Close the remote world's span: its edits now live in `base`.
         self.obs.emit(|| {
             ObsEvent::new(
@@ -308,7 +428,7 @@ impl Cluster {
 
     /// Discard a remote world (sibling elimination on another node).
     pub fn discard(&mut self, w: RemoteWorld) -> Result<(), worlds_pagestore::PageStoreError> {
-        self.nodes[w.node.0].store.drop_world(w.world)?;
+        self.transport.discard(w.node.0, w.world.raw())?;
         // Remote elimination never blocks the winner: always async.
         self.obs.emit(|| {
             ObsEvent::new(
@@ -502,6 +622,58 @@ mod tests {
             !tree.roots().contains(&replica.world.raw()),
             "the replica is not an orphan root"
         );
+    }
+
+    #[test]
+    fn delta_rfork_ships_only_changes_after_the_first() {
+        let mut c = cluster(2);
+        c.set_delta_rfork(true);
+        let origin = c.create_world(NodeId(0));
+        for vpn in 0..20 {
+            c.write(origin, vpn, &[7u8; 64]).unwrap();
+        }
+        // First rfork: full image + pinned base + header-only delta.
+        let (r1, _) = c.rfork(origin, NodeId(1)).unwrap();
+        let first = c.node(NodeId(1)).bytes_received();
+        assert_eq!(c.read(r1, 9, 1).unwrap(), vec![7]);
+        // Change one page at home; the next rfork ships only that.
+        c.write(origin, 3, b"changed").unwrap();
+        let (r2, _) = c.rfork(origin, NodeId(1)).unwrap();
+        let delta = c.node(NodeId(1)).bytes_received() - first;
+        assert!(
+            delta * 4 < first,
+            "delta shipment ({delta} B) must be far below the full one ({first} B)"
+        );
+        assert_eq!(c.read(r2, 3, 7).unwrap(), b"changed");
+        assert_eq!(c.read(r2, 9, 1).unwrap(), vec![7]);
+        assert_eq!(c.read(r1, 3, 1).unwrap(), vec![7], "older replica frozen");
+        // Turning delta off releases the pinned snapshot and replica.
+        c.discard(r1).unwrap();
+        c.discard(r2).unwrap();
+        c.set_delta_rfork(false);
+        assert_eq!(c.node(NodeId(1)).store().world_count(), 0);
+    }
+
+    #[test]
+    fn delta_rfork_still_commits_back_correctly() {
+        let mut c = cluster(2);
+        c.set_delta_rfork(true);
+        let origin = c.create_world(NodeId(0));
+        for vpn in 0..8 {
+            c.write(origin, vpn, &[1u8; 64]).unwrap();
+        }
+        let (r1, _) = c.rfork(origin, NodeId(1)).unwrap();
+        c.write(r1, 2, b"winner").unwrap();
+        let (_, pages) = c.commit_back(origin, r1).unwrap();
+        assert_eq!(pages, 1);
+        assert_eq!(c.read(origin, 2, 6).unwrap(), b"winner");
+        // The commit dirtied the origin; a fresh rfork must see it, and
+        // ship it as a delta against the pinned (pre-commit) base.
+        let first = c.node(NodeId(1)).bytes_received();
+        let (r2, _) = c.rfork(origin, NodeId(1)).unwrap();
+        assert_eq!(c.read(r2, 2, 6).unwrap(), b"winner");
+        let delta = c.node(NodeId(1)).bytes_received() - first;
+        assert!(delta * 4 < first, "{delta} vs {first}");
     }
 
     #[test]

@@ -29,7 +29,10 @@
 mod cluster;
 mod net;
 mod run;
+mod transport;
 
 pub use cluster::{Cluster, Node, NodeId, RemoteWorld};
 pub use net::NetModel;
 pub use run::{run_distributed_block, DistAlt, DistOutcome, DistReport};
+pub use transport::{InProcess, Tcp, Transport};
+pub use worlds_net::{FaultKind, FaultSchedule};

@@ -1,0 +1,286 @@
+//! Pluggable byte movers: how cluster state actually travels.
+//!
+//! The [`Cluster`](crate::Cluster) decides *what* to ship (checkpoint
+//! images, dirty pages), *what it costs* (the [`NetModel`](crate::NetModel)
+//! virtual-time account, fault doubling included) and *when* (the
+//! distributed block's serial-rfork schedule). The [`Transport`] decides
+//! only *how the bytes get to the other store*:
+//!
+//! * [`InProcess`] applies them directly — today's simulation semantics,
+//!   zero real I/O, exactly the behaviour every existing test encodes.
+//! * [`Tcp`] runs one `worlds-net` [`NetNode`] per node and pushes every
+//!   image and page over real loopback sockets, through real framing,
+//!   deadlines and retries — and, when a fault schedule is armed, through
+//!   a real [`FaultProxy`] per node that drops and mangles frames.
+//!
+//! Both transports are driven by the same [`FaultSchedule`] consulted at
+//! the same logical op numbering, so "fault op 3" means *virtual cost
+//! doubles* on `InProcess` and *the frame really vanishes* (timeout,
+//! backoff, retransmit) on `Tcp` — one seed, one retry sequence, two
+//! wires. The distributed-block outcome and the committed page bytes are
+//! identical on both; `tests/transport_parity.rs` holds that line.
+
+use std::collections::HashMap;
+use worlds_net::{
+    Conn, FaultProxy, FaultSchedule, NetError, NetNode, OpLedger, Pool, Request, RetryPolicy,
+};
+use worlds_obs::Registry;
+use worlds_pagestore::{restore, PageStore, PageStoreError, WorldId};
+
+/// The byte-moving half of a cluster. Node indexes are positions in the
+/// cluster's node list; world ids are raw (cluster stores share one id
+/// allocator, so they are unambiguous).
+pub trait Transport {
+    /// Restore a checkpoint image (v1 full or v2 delta) into node
+    /// `dst`'s store; returns the new world's id.
+    fn ship_image(&mut self, dst: usize, image: &[u8]) -> Result<u64, PageStoreError>;
+
+    /// Apply dirty pages to world `base` in node `dst`'s store.
+    fn ship_pages(
+        &mut self,
+        dst: usize,
+        base: u64,
+        pages: &[(u64, Vec<u8>)],
+    ) -> Result<(), PageStoreError>;
+
+    /// Drop `world` on node `dst`.
+    fn discard(&mut self, dst: usize, world: u64) -> Result<(), PageStoreError>;
+
+    /// Re-arm wire-level fault injection. `InProcess` has no wire, so
+    /// this is a no-op there (the cluster's virtual cost doubling is the
+    /// whole fault); `Tcp` rebuilds its fault proxies with the new
+    /// schedule and a fresh op numbering.
+    fn set_fault_schedule(&mut self, schedule: FaultSchedule);
+
+    /// `"in-process"` or `"tcp"` — for reports and diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Direct store-to-store application: the simulation transport.
+pub struct InProcess {
+    stores: Vec<PageStore>,
+}
+
+impl InProcess {
+    /// A transport applying operations straight to `stores` (cheap
+    /// clones sharing state with the cluster's nodes).
+    pub fn new(stores: Vec<PageStore>) -> InProcess {
+        InProcess { stores }
+    }
+}
+
+impl Transport for InProcess {
+    fn ship_image(&mut self, dst: usize, image: &[u8]) -> Result<u64, PageStoreError> {
+        restore(&self.stores[dst], image).map(WorldId::raw)
+    }
+
+    fn ship_pages(
+        &mut self,
+        dst: usize,
+        base: u64,
+        pages: &[(u64, Vec<u8>)],
+    ) -> Result<(), PageStoreError> {
+        let base = WorldId::from_raw(base);
+        for (vpn, data) in pages {
+            self.stores[dst].write(base, *vpn, 0, data)?;
+        }
+        Ok(())
+    }
+
+    fn discard(&mut self, dst: usize, world: u64) -> Result<(), PageStoreError> {
+        self.stores[dst].drop_world(WorldId::from_raw(world))
+    }
+
+    fn set_fault_schedule(&mut self, _schedule: FaultSchedule) {}
+
+    fn name(&self) -> &'static str {
+        "in-process"
+    }
+}
+
+/// Real sockets: every node's store behind a loopback [`NetNode`], every
+/// operation a framed RPC with deadlines and retries. With a fault
+/// schedule armed, accounted operations (rfork, commit-back) route
+/// through a per-node [`FaultProxy`]; unaccounted chatter (discards)
+/// always goes direct, so wire faults land on exactly the ops the
+/// cluster's virtual cost model faults.
+pub struct Tcp {
+    servers: Vec<NetNode>,
+    /// Un-proxied connections: discards and other unaccounted traffic.
+    direct: Pool,
+    /// Proxied connections for accounted ops; `None` when no schedule.
+    proxies: Vec<FaultProxy>,
+    proxied: Option<Pool>,
+    policy: RetryPolicy,
+    obs: Registry,
+}
+
+impl Tcp {
+    /// Start one [`NetNode`] per store and connect a client pool.
+    pub fn serve(stores: &[PageStore], obs: Registry) -> std::io::Result<Tcp> {
+        Tcp::serve_with_policy(stores, obs, RetryPolicy::fast())
+    }
+
+    /// [`Tcp::serve`] with an explicit client retry policy.
+    pub fn serve_with_policy(
+        stores: &[PageStore],
+        obs: Registry,
+        policy: RetryPolicy,
+    ) -> std::io::Result<Tcp> {
+        let mut servers = Vec::with_capacity(stores.len());
+        let mut direct = Pool::new(policy, obs.clone());
+        for (i, store) in stores.iter().enumerate() {
+            let node = NetNode::serve(i as u64, store.clone(), obs.clone())?;
+            direct.register(i as u64, node.addr());
+            servers.push(node);
+        }
+        Ok(Tcp {
+            servers,
+            direct,
+            proxies: Vec::new(),
+            proxied: None,
+            policy,
+            obs,
+        })
+    }
+
+    /// The connection accounted ops should use: through the fault
+    /// proxies when armed, direct otherwise.
+    fn accounted(&mut self, dst: usize) -> Result<&mut Conn, PageStoreError> {
+        let pool = self.proxied.as_mut().unwrap_or(&mut self.direct);
+        pool.conn(dst as u64)
+            .ok_or_else(|| net_err(dst, &NetError::Protocol("node not registered".into())))
+    }
+}
+
+/// Map a transport failure into the cluster's error vocabulary.
+fn net_err(dst: usize, e: &NetError) -> PageStoreError {
+    // A Nack about a missing world keeps its precise meaning.
+    if let NetError::Nack {
+        code: worlds_net::nack::NO_SUCH_WORLD,
+        detail,
+    } = e
+    {
+        if let Some(id) = detail
+            .rsplit(|c: char| !c.is_ascii_digit())
+            .find(|s| !s.is_empty())
+            .and_then(|s| s.parse().ok())
+        {
+            return PageStoreError::NoSuchWorld(id);
+        }
+    }
+    PageStoreError::NoSuchFile(format!("tcp transport, node {dst}: {e}"))
+}
+
+impl Transport for Tcp {
+    fn ship_image(&mut self, dst: usize, image: &[u8]) -> Result<u64, PageStoreError> {
+        let req = Request::Rfork {
+            image: image.to_vec(),
+        };
+        self.accounted(dst)?
+            .call_ack(&req)
+            .map_err(|e| net_err(dst, &e))
+    }
+
+    fn ship_pages(
+        &mut self,
+        dst: usize,
+        base: u64,
+        pages: &[(u64, Vec<u8>)],
+    ) -> Result<(), PageStoreError> {
+        let req = Request::CommitBack {
+            base,
+            pages: pages.to_vec(),
+        };
+        self.accounted(dst)?
+            .call_ack(&req)
+            .map(|_| ())
+            .map_err(|e| net_err(dst, &e))
+    }
+
+    fn discard(&mut self, dst: usize, world: u64) -> Result<(), PageStoreError> {
+        self.direct
+            .call_ack(dst as u64, &Request::Discard { world })
+            .map(|_| ())
+            .map_err(|e| net_err(dst, &e))
+    }
+
+    fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        // Old proxies (and the pool pointing at them) wind down on drop.
+        self.proxied = None;
+        self.proxies.clear();
+        if !schedule.is_active() {
+            return;
+        }
+        let ops = OpLedger::new();
+        let mut pool = Pool::new(self.policy, self.obs.clone());
+        for (i, server) in self.servers.iter().enumerate() {
+            match FaultProxy::spawn_with_ops(server.addr(), schedule, self.obs.clone(), ops.clone())
+            {
+                Ok(proxy) => {
+                    pool.register(i as u64, proxy.addr());
+                    self.proxies.push(proxy);
+                }
+                Err(e) => {
+                    // No proxy, no wire faults for this node; the
+                    // virtual cost model still accounts them.
+                    eprintln!("worlds-remote: fault proxy for node {i} failed: {e}");
+                    pool.register(i as u64, server.addr());
+                }
+            }
+        }
+        self.proxied = Some(pool);
+    }
+
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+impl Drop for Tcp {
+    fn drop(&mut self) {
+        for proxy in &self.proxies {
+            proxy.shutdown();
+        }
+        for server in &self.servers {
+            server.shutdown();
+        }
+    }
+}
+
+/// The delta-rfork base cache: per (destination node, source world), the
+/// locally pinned snapshot of what was shipped and the pinned replica id
+/// on the destination. See [`crate::Cluster::set_delta_rfork`].
+#[derive(Debug, Default)]
+pub struct DeltaCache {
+    entries: HashMap<(usize, u64), DeltaBase>,
+}
+
+/// One pinned shipment: `snapshot` lives in the source node's store (the
+/// exact bytes that were shipped), `replica` lives on the destination
+/// node. Neither is ever handed out, so block logic can never drop them.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaBase {
+    /// Which node holds the snapshot (the rfork source).
+    pub src_node: usize,
+    /// Source-store world frozen at ship time.
+    pub snapshot: WorldId,
+    /// The pinned replica's raw id on the destination store.
+    pub replica: u64,
+}
+
+impl DeltaCache {
+    pub fn get(&self, dst: usize, src: WorldId) -> Option<DeltaBase> {
+        self.entries.get(&(dst, src.raw())).copied()
+    }
+
+    pub fn insert(&mut self, dst: usize, src: WorldId, base: DeltaBase) {
+        self.entries.insert((dst, src.raw()), base);
+    }
+
+    /// Empty the cache, yielding each entry's destination node and base
+    /// so the caller can release the pinned worlds.
+    pub fn drain(&mut self) -> Vec<(usize, DeltaBase)> {
+        self.entries.drain().map(|((dst, _), b)| (dst, b)).collect()
+    }
+}

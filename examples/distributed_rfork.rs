@@ -3,16 +3,57 @@
 //! modern datacenter for contrast.
 //!
 //! ```sh
-//! cargo run --example distributed_rfork
+//! cargo run --example distributed_rfork          # in-process transport
+//! cargo run --example distributed_rfork -- --tcp # real loopback sockets
 //! ```
+//!
+//! With `--tcp`, every node's store sits behind a `worlds-net` server and
+//! each rfork / commit-back is a framed RPC over 127.0.0.1 — and a fault
+//! proxy drops every 3rd transfer's first frame, so the run visibly
+//! survives real timeouts and retransmits while committing the winner
+//! exactly once.
+
+use std::sync::Arc;
 
 use worlds_kernel::VirtualTime;
-use worlds_remote::{run_distributed_block, Cluster, DistAlt, NetModel, NodeId};
+use worlds_obs::{EventSink, JsonlSink, Registry, RingSink};
+use worlds_remote::{run_distributed_block, Cluster, DistAlt, FaultSchedule, NetModel, NodeId};
 
-fn demo(net: NetModel) {
-    println!("--- network: {} ---", net.name);
+/// A registry with the ring this example asserts against, plus a JSONL
+/// sink when `WORLDS_OBS_JSONL` names a capture file. Each demo reopens
+/// the path, so the file holds the most recent network's run.
+fn registry() -> (Registry, Arc<RingSink>) {
+    let ring = Arc::new(RingSink::new(4096));
+    let mut sinks: Vec<Arc<dyn EventSink>> = vec![ring.clone()];
+    if let Ok(path) = std::env::var("WORLDS_OBS_JSONL") {
+        if !path.is_empty() {
+            match JsonlSink::create(&path) {
+                Ok(sink) => sinks.push(Arc::new(sink)),
+                Err(e) => eprintln!("cannot open WORLDS_OBS_JSONL={path}: {e}"),
+            }
+        }
+    }
+    (Registry::with_sinks(sinks), ring)
+}
+
+fn demo(net: NetModel, tcp: bool) {
+    println!(
+        "--- network: {} (transport: {}) ---",
+        net.name,
+        if tcp { "loopback tcp" } else { "in-process" }
+    );
     // A 70 KB parent process (the §3.4 reference size).
-    let mut cluster = Cluster::new(4, 4096, net);
+    let (obs, ring) = registry();
+    let mut cluster = if tcp {
+        Cluster::tcp(4, 4096, net, obs).expect("loopback cluster binds")
+    } else {
+        Cluster::with_obs(4, 4096, net, obs)
+    };
+    if tcp {
+        // Drop every 3rd transfer's first delivery: the client must burn
+        // a real deadline and retransmit. The winner still commits once.
+        cluster.set_fault_schedule(FaultSchedule::every(3));
+    }
     let origin = cluster.create_world(NodeId(0));
     for vpn in 0..18 {
         cluster
@@ -49,14 +90,34 @@ fn demo(net: NetModel) {
     println!("committed state: {:?}", String::from_utf8_lossy(&committed));
     assert!(report.succeeded());
     assert_eq!(&committed, b"heuristic answer!!!");
+    if tcp {
+        use worlds_obs::EventKind;
+        let events = ring.events();
+        let commits = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Commit { .. }))
+            .count();
+        let retries = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::NetRetry { .. }))
+            .count();
+        let timeouts = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::NetTimeout { .. }))
+            .count();
+        println!("wire: {retries} retransmit(s), {timeouts} real timeout(s), {commits} commit");
+        assert_eq!(commits, 1, "the winner commits exactly once");
+        assert!(retries >= 1, "the fault proxy must force a retransmit");
+    }
     println!();
 }
 
 fn main() {
+    let tcp = std::env::args().any(|a| a == "--tcp");
     println!("distributed Multiple Worlds: alternatives rfork'ed to remote nodes,");
     println!("winner's dirty pages shipped home (paper: ~1 s per 70 KB rfork, 1989 LAN)\n");
-    demo(NetModel::lan_1989());
-    demo(NetModel::datacenter());
+    demo(NetModel::lan_1989(), tcp);
+    demo(NetModel::datacenter(), tcp);
     println!(
         "reading: on the 1989 LAN the ~1 s rforks wash out unless the alternatives run\n\
          tens of seconds (the paper's caveat); on a modern network the same block's\n\

@@ -37,6 +37,7 @@ fn emit_step(obs: &Registry, i: u64) {
                     pass: !i.is_multiple_of(3),
                     duration_ns: 250,
                     alt: Some(i % 4),
+                    site: None,
                 },
                 world,
                 None,
@@ -48,6 +49,7 @@ fn emit_step(obs: &Registry, i: u64) {
                 EventKind::Commit {
                     dirty_pages: 3,
                     overhead_ns: 500,
+                    site: None,
                 },
                 world,
                 Some(world / 2),

@@ -25,6 +25,7 @@ pub struct AltBlock<T> {
     pub(crate) alts: Vec<Alternative<T>>,
     pub(crate) timeout: Option<Duration>,
     pub(crate) elim: ElimMode,
+    pub(crate) site: Option<worlds_obs::SiteId>,
 }
 
 impl<T> Default for AltBlock<T> {
@@ -33,6 +34,7 @@ impl<T> Default for AltBlock<T> {
             alts: Vec::new(),
             timeout: None,
             elim: ElimMode::default(),
+            site: None,
         }
     }
 }
@@ -72,6 +74,16 @@ impl<T> AltBlock<T> {
     /// Set the sibling-elimination mode (builder).
     pub fn elim(mut self, mode: ElimMode) -> Self {
         self.elim = mode;
+        self
+    }
+
+    /// Label this block as a named call site (builder). The label is
+    /// interned once ([`worlds_obs::site_id`]) and stamped on every
+    /// guard/commit/elimination event the block emits, which is what
+    /// keys the telemetry plane's per-site `Rμ`/`Ro`/`PI` estimates.
+    /// Unlabelled blocks emit site-less events, exactly as before.
+    pub fn site(mut self, label: &str) -> Self {
+        self.site = Some(worlds_obs::site_id(label));
         self
     }
 

@@ -308,6 +308,7 @@ impl Speculation {
             };
         }
 
+        let site = block.site.map(|s| s.0);
         let cancel = CancelToken::new();
         let (report_tx, report_rx) = mpsc::channel::<ChildReport<T>>();
         let shared = Arc::new(Mutex::new(ElimShared {
@@ -339,6 +340,7 @@ impl Speculation {
                                 pass: false,
                                 duration_ns: guard_start.elapsed().as_nanos() as u64,
                                 alt: Some(i as u64),
+                                site,
                             },
                             parent_world.raw(),
                             None,
@@ -504,6 +506,7 @@ impl Speculation {
                             pass,
                             duration_ns,
                             alt: Some(i as u64),
+                            site,
                         },
                         msg.world.raw(),
                         Some(parent_world.raw()),
@@ -539,6 +542,7 @@ impl Speculation {
                             EventKind::Commit {
                                 dirty_pages,
                                 overhead_ns: adopt_start.elapsed().as_nanos() as u64,
+                                site,
                             },
                             msg.world.raw(),
                             Some(parent_world.raw()),
@@ -621,6 +625,7 @@ impl Speculation {
                                 pass,
                                 duration_ns,
                                 alt: Some(i as u64),
+                                site,
                             },
                             msg.world.raw(),
                             Some(parent_world.raw()),
@@ -668,7 +673,7 @@ impl Speculation {
                     continue;
                 }
                 let kind = match block.elim {
-                    ElimMode::Sync => EventKind::EliminateSync { overhead_ns },
+                    ElimMode::Sync => EventKind::EliminateSync { overhead_ns, site },
                     ElimMode::Async => EventKind::EliminateAsync,
                 };
                 obs.emit(|| {

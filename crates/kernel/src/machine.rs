@@ -471,6 +471,7 @@ impl Machine {
                 } else {
                     0
                 },
+                site: None,
             },
             ElimMode::Async => EventKind::EliminateAsync,
         };
@@ -503,6 +504,7 @@ impl Machine {
                                 pass: true,
                                 duration_ns: spec.alts[i].guard_cost.as_ns(),
                                 alt: Some(i as u64),
+                                site: None,
                             },
                             pw,
                             None,
@@ -534,6 +536,7 @@ impl Machine {
                                     pass: true,
                                     duration_ns: guard_cost,
                                     alt: Some(p.alt_index as u64),
+                                    site: None,
                                 },
                                 world,
                                 parent,
@@ -556,6 +559,7 @@ impl Machine {
                                 pass: false,
                                 duration_ns: guard_cost,
                                 alt: Some(p.alt_index as u64),
+                                site: None,
                             },
                             world,
                             parent,
@@ -576,6 +580,7 @@ impl Machine {
                         EventKind::Commit {
                             dirty_pages: per_proc_dirty[w],
                             overhead_ns: commit_overhead,
+                            site: None,
                         },
                         procs[w].world.raw(),
                         Some(pw),

@@ -366,6 +366,7 @@ impl SplitKernel {
                 EventKind::Commit {
                     dirty_pages: dirty,
                     overhead_ns: 0,
+                    site: None,
                 },
                 child_proc.world.raw(),
                 Some(parent_world.raw()),

@@ -129,6 +129,9 @@ impl Conn {
         match self.call(req)? {
             Reply::Ack { world } => Ok(world),
             Reply::Nack { code, detail } => Err(NetError::Nack { code, detail }),
+            Reply::Telemetry { .. } => Err(NetError::Protocol(
+                "unexpected telemetry reply to a non-telemetry request".into(),
+            )),
         }
     }
 

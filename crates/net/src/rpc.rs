@@ -10,8 +10,10 @@
 //! | 3    | `CommitBack`     | the winner's dirty pages, applied to base |
 //! | 4    | `Discard`        | a losing world to drop                    |
 //! | 5    | `PredicatedSend` | an `ipc::Message` incl. its predicate set |
+//! | 6    | `Telemetry`      | opaque telemetry bytes (rollup delta/query)|
 //!
-//! Replies are `Ack { world }` (0x80) or `Nack { code, detail }` (0x81).
+//! Replies are `Ack { world }` (0x80), `Nack { code, detail }` (0x81),
+//! or `Telemetry { payload }` (0x82) answering a telemetry query.
 //!
 //! Serialisation is hand-rolled little-endian — the same std-only
 //! discipline as the checkpoint image and the obs JSONL codec. Every
@@ -31,8 +33,10 @@ pub mod kind {
     pub const COMMIT_BACK: u8 = 3;
     pub const DISCARD: u8 = 4;
     pub const PREDICATED_SEND: u8 = 5;
+    pub const TELEMETRY: u8 = 6;
     pub const ACK: u8 = 0x80;
     pub const NACK: u8 = 0x81;
+    pub const TELEMETRY_REPLY: u8 = 0x82;
 }
 
 /// Nack codes — coarse, machine-checkable failure classes.
@@ -68,6 +72,12 @@ pub enum Request {
     /// Ship a predicated IPC message (§2.4.1) to the receiving node's
     /// inbox, sending predicate and all.
     PredicatedSend { msg: Message },
+    /// Telemetry-plane traffic (rollup deltas pushed node→collector,
+    /// table queries from `worlds-top`). The payload is opaque at this
+    /// layer — `worlds-telemetry` owns the schema — so the wire protocol
+    /// stays ignorant of metric shapes, exactly as it is of checkpoint
+    /// internals. Servers without a telemetry handler Nack it.
+    Telemetry { payload: Vec<u8> },
 }
 
 /// A server-to-client reply.
@@ -79,6 +89,9 @@ pub enum Reply {
     Ack { world: u64 },
     /// Failure the server diagnosed; see [`nack`] for codes.
     Nack { code: u32, detail: String },
+    /// Answer to a [`Request::Telemetry`] query — an opaque payload the
+    /// telemetry layer decodes (e.g. the collector's cluster table).
+    Telemetry { payload: Vec<u8> },
 }
 
 impl Request {
@@ -90,6 +103,7 @@ impl Request {
             Request::CommitBack { .. } => kind::COMMIT_BACK,
             Request::Discard { .. } => kind::DISCARD,
             Request::PredicatedSend { .. } => kind::PREDICATED_SEND,
+            Request::Telemetry { .. } => kind::TELEMETRY,
         }
     }
 
@@ -112,6 +126,7 @@ impl Request {
             }
             Request::Discard { world } => world.to_le_bytes().to_vec(),
             Request::PredicatedSend { msg } => encode_message(msg),
+            Request::Telemetry { payload } => payload.clone(),
         }
     }
 
@@ -143,6 +158,9 @@ impl Request {
             kind::PREDICATED_SEND => Request::PredicatedSend {
                 msg: decode_message(payload)?,
             },
+            kind::TELEMETRY => Request::Telemetry {
+                payload: payload.to_vec(),
+            },
             other => return Err(NetError::Protocol(format!("unknown request kind {other}"))),
         };
         Ok(req)
@@ -155,6 +173,7 @@ impl Reply {
         match self {
             Reply::Ack { .. } => kind::ACK,
             Reply::Nack { .. } => kind::NACK,
+            Reply::Telemetry { .. } => kind::TELEMETRY_REPLY,
         }
     }
 
@@ -169,6 +188,7 @@ impl Reply {
                 out.extend_from_slice(detail.as_bytes());
                 out
             }
+            Reply::Telemetry { payload } => payload.clone(),
         }
     }
 
@@ -188,6 +208,9 @@ impl Reply {
                 r.done("nack")?;
                 Reply::Nack { code, detail }
             }
+            kind::TELEMETRY_REPLY => Reply::Telemetry {
+                payload: payload.to_vec(),
+            },
             other => return Err(NetError::Protocol(format!("unknown reply kind {other}"))),
         };
         Ok(reply)
@@ -342,6 +365,12 @@ mod tests {
             b"speculative hello".to_vec(),
         );
         round_trip_request(Request::PredicatedSend { msg });
+        round_trip_request(Request::Telemetry {
+            payload: vec![0, 1, 2, 0xFF],
+        });
+        round_trip_request(Request::Telemetry {
+            payload: Vec::new(),
+        });
     }
 
     #[test]
@@ -364,6 +393,9 @@ mod tests {
             Reply::Nack {
                 code: 0,
                 detail: String::new(),
+            },
+            Reply::Telemetry {
+                payload: vec![9, 8, 7],
             },
         ] {
             let payload = reply.encode_payload();

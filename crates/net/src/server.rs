@@ -34,6 +34,14 @@ use worlds_pagestore::{restore, PageStore, WorldId};
 /// remembers the last 1024 ops.
 const LEDGER_CAP: usize = 1024;
 
+/// How a node answers [`Request::Telemetry`] frames. The payload is
+/// opaque to the wire layer; the handler (installed by the telemetry
+/// crate's collector/exporter plumbing) owns the schema. `Ok(None)`
+/// acks the frame, `Ok(Some(bytes))` answers with a telemetry reply,
+/// `Err` turns into a `BAD_REQUEST` Nack.
+pub type TelemetryHandler =
+    Arc<dyn Fn(&[u8]) -> std::result::Result<Option<Vec<u8>>, String> + Send + Sync>;
+
 struct Shared {
     store: PageStore,
     obs: Registry,
@@ -43,6 +51,8 @@ struct Shared {
     ledger: Mutex<Ledger>,
     /// Predicated messages delivered to this node, in arrival order.
     inbox: Mutex<Vec<Message>>,
+    /// Answers telemetry frames, when something installed one.
+    telemetry: Mutex<Option<TelemetryHandler>>,
 }
 
 #[derive(Default)]
@@ -90,6 +100,7 @@ impl NetNode {
             stop: AtomicBool::new(false),
             ledger: Mutex::new(Ledger::default()),
             inbox: Mutex::new(Vec::new()),
+            telemetry: Mutex::new(None),
         });
         let accept_shared = shared.clone();
         Executor::global().spawn(&accept_shared.obs.clone(), move || {
@@ -116,6 +127,13 @@ impl NetNode {
     /// Drain the predicated messages delivered so far, in arrival order.
     pub fn take_messages(&self) -> Vec<Message> {
         std::mem::take(&mut self.shared.inbox.lock().expect("inbox lock"))
+    }
+
+    /// Install (or replace) the function answering telemetry frames on
+    /// this node. Without one, telemetry requests are Nacked — a plain
+    /// page server stays a plain page server.
+    pub fn set_telemetry_handler(&self, handler: TelemetryHandler) {
+        *self.shared.telemetry.lock().expect("telemetry lock") = Some(handler);
     }
 
     /// Stop accepting and tell every connection handler to wind down.
@@ -231,6 +249,28 @@ fn apply(shared: &Shared, frame: &Frame) -> Reply {
             let id = msg.id.0;
             shared.inbox.lock().expect("inbox lock").push(msg);
             Reply::Ack { world: id }
+        }
+        Request::Telemetry { payload } => {
+            let handler = shared
+                .telemetry
+                .lock()
+                .expect("telemetry lock")
+                .as_ref()
+                .cloned();
+            match handler {
+                None => Reply::Nack {
+                    code: nack::BAD_REQUEST,
+                    detail: format!("node {}: no telemetry handler", shared.node),
+                },
+                Some(h) => match h(&payload) {
+                    Ok(None) => Reply::Ack { world: 0 },
+                    Ok(Some(bytes)) => Reply::Telemetry { payload: bytes },
+                    Err(e) => Reply::Nack {
+                        code: nack::BAD_REQUEST,
+                        detail: format!("node {}: telemetry: {e}", shared.node),
+                    },
+                },
+            }
         }
     }
 }

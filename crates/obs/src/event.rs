@@ -26,17 +26,27 @@ pub enum EventKind {
     /// emitter knows it — in particular pre-spawn rejections carry the
     /// parent world plus `alt`, which is the only way to tell skipped
     /// alternatives apart in a trace (`None` on old captures).
+    /// `site` is the registered call-site id of the speculation block the
+    /// verdict belongs to ([`crate::site_id`]), `None` when the block was
+    /// not labelled (and on old captures).
     GuardVerdict {
         pass: bool,
         duration_ns: u64,
         alt: Option<u64>,
+        site: Option<u64>,
     },
     /// A finished world reached the rendezvous point.
     Rendezvous,
-    /// The winning world was committed into its parent.
-    Commit { dirty_pages: u64, overhead_ns: u64 },
+    /// The winning world was committed into its parent. `site` as on
+    /// [`EventKind::GuardVerdict`].
+    Commit {
+        dirty_pages: u64,
+        overhead_ns: u64,
+        site: Option<u64>,
+    },
     /// A losing sibling was eliminated synchronously (parent waits).
-    EliminateSync { overhead_ns: u64 },
+    /// `site` as on [`EventKind::GuardVerdict`].
+    EliminateSync { overhead_ns: u64, site: Option<u64> },
     /// A losing sibling was queued for background elimination.
     EliminateAsync,
     /// A world ran past its deadline and was aborted.
@@ -98,6 +108,12 @@ pub enum EventKind {
     },
     /// A request to `node` missed its deadline after `waited_ns`.
     NetTimeout { node: u64, waited_ns: u64 },
+    /// Capture metadata, emitted once at the head of a stream (and at
+    /// the head of every flight-recorder dump): how many CPU cores the
+    /// recording process could actually use. Replay tooling keys its
+    /// 1-CPU caveat banner off this; [`crate::RunStats::absorb`] ignores
+    /// it entirely, so old and new captures aggregate identically.
+    Meta { effective_cores: u64 },
 }
 
 impl EventKind {
@@ -128,6 +144,7 @@ impl EventKind {
             EventKind::NetRecv { .. } => "net_recv",
             EventKind::NetRetry { .. } => "net_retry",
             EventKind::NetTimeout { .. } => "net_timeout",
+            EventKind::Meta { .. } => "meta",
         }
     }
 }
@@ -182,6 +199,7 @@ impl Event {
                 pass,
                 duration_ns,
                 alt,
+                site,
             } => {
                 s.push_str(",\"pass\":");
                 s.push_str(if *pass { "true" } else { "false" });
@@ -189,16 +207,26 @@ impl Event {
                 if let Some(alt) = alt {
                     push_field(&mut s, "alt", *alt);
                 }
+                if let Some(site) = site {
+                    push_field(&mut s, "site", *site);
+                }
             }
             EventKind::Commit {
                 dirty_pages,
                 overhead_ns,
+                site,
             } => {
                 push_field(&mut s, "dirty", *dirty_pages);
                 push_field(&mut s, "overhead", *overhead_ns);
+                if let Some(site) = site {
+                    push_field(&mut s, "site", *site);
+                }
             }
-            EventKind::EliminateSync { overhead_ns } => {
-                push_field(&mut s, "overhead", *overhead_ns)
+            EventKind::EliminateSync { overhead_ns, site } => {
+                push_field(&mut s, "overhead", *overhead_ns);
+                if let Some(site) = site {
+                    push_field(&mut s, "site", *site);
+                }
             }
             EventKind::CowCopy { vpn, bytes } => {
                 push_field(&mut s, "vpn", *vpn);
@@ -259,6 +287,7 @@ impl Event {
                 push_field(&mut s, "node", *node);
                 push_field(&mut s, "waited", *waited_ns);
             }
+            EventKind::Meta { effective_cores } => push_field(&mut s, "cores", *effective_cores),
             EventKind::Rendezvous
             | EventKind::EliminateAsync
             | EventKind::Timeout
@@ -286,14 +315,17 @@ impl Event {
                 // parse as zero-duration, unattributed verdicts.
                 duration_ns: fields.opt_u64_field("dur")?.unwrap_or(0),
                 alt: fields.opt_u64_field("alt")?,
+                site: fields.opt_u64_field("site")?,
             },
             "rendezvous" => EventKind::Rendezvous,
             "commit" => EventKind::Commit {
                 dirty_pages: fields.u64_field("dirty")?,
                 overhead_ns: fields.u64_field("overhead")?,
+                site: fields.opt_u64_field("site")?,
             },
             "elim_sync" => EventKind::EliminateSync {
                 overhead_ns: fields.u64_field("overhead")?,
+                site: fields.opt_u64_field("site")?,
             },
             "elim_async" => EventKind::EliminateAsync,
             "timeout" => EventKind::Timeout,
@@ -350,6 +382,9 @@ impl Event {
             "net_timeout" => EventKind::NetTimeout {
                 node: fields.u64_field("node")?,
                 waited_ns: fields.u64_field("waited")?,
+            },
+            "meta" => EventKind::Meta {
+                effective_cores: fields.u64_field("cores")?,
             },
             other => return Err(ParseError(format!("unknown event kind {other:?}"))),
         };
@@ -522,18 +557,33 @@ mod tests {
                 pass: true,
                 duration_ns: 250,
                 alt: Some(2),
+                site: Some(4),
             },
             EventKind::GuardVerdict {
                 pass: false,
                 duration_ns: 0,
                 alt: None,
+                site: None,
             },
             EventKind::Rendezvous,
             EventKind::Commit {
                 dirty_pages: 7,
                 overhead_ns: 1234,
+                site: Some(1),
             },
-            EventKind::EliminateSync { overhead_ns: 88 },
+            EventKind::Commit {
+                dirty_pages: 7,
+                overhead_ns: 1234,
+                site: None,
+            },
+            EventKind::EliminateSync {
+                overhead_ns: 88,
+                site: Some(0),
+            },
+            EventKind::EliminateSync {
+                overhead_ns: 88,
+                site: None,
+            },
             EventKind::EliminateAsync,
             EventKind::Timeout,
             EventKind::CowCopy {
@@ -584,6 +634,7 @@ mod tests {
                 node: 1,
                 waited_ns: 50_000_000,
             },
+            EventKind::Meta { effective_cores: 4 },
         ]
     }
 
@@ -609,6 +660,7 @@ mod tests {
             EventKind::Commit {
                 dirty_pages: 1,
                 overhead_ns: 2,
+                site: None,
             },
             5,
             Some(1),
@@ -655,7 +707,38 @@ mod tests {
                 pass: true,
                 duration_ns: 0,
                 alt: None,
+                site: None,
             }
+        );
+    }
+
+    #[test]
+    fn unlabelled_events_carry_no_site_field() {
+        // Site-less emission must stay byte-identical to pre-site
+        // captures, so golden fixtures and diff-based tests never move.
+        let ev = Event::new(
+            EventKind::EliminateSync {
+                overhead_ns: 3,
+                site: None,
+            },
+            2,
+            Some(1),
+            0,
+        );
+        assert!(!ev.to_json().contains("site"), "{}", ev.to_json());
+        let labelled = Event::new(
+            EventKind::EliminateSync {
+                overhead_ns: 3,
+                site: Some(7),
+            },
+            2,
+            Some(1),
+            0,
+        );
+        assert!(
+            labelled.to_json().contains("\"site\":7"),
+            "{}",
+            labelled.to_json()
         );
     }
 

@@ -22,6 +22,7 @@ mod event;
 mod metrics;
 mod report;
 mod sink;
+pub mod site;
 pub mod span;
 pub mod trace_export;
 
@@ -32,6 +33,7 @@ pub use report::{
     RunStats,
 };
 pub use sink::{EventSink, JsonlSink, RingSink};
+pub use site::{site_id, site_label, site_label_or_anon, SiteId};
 pub use span::{SpanOutcome, SpanTree, TraceCtx, WorldSpan};
 pub use trace_export::{chrome_trace_json, validate_json};
 
@@ -110,7 +112,22 @@ impl Registry {
                 Err(e) => eprintln!("worlds-obs: cannot open WORLDS_OBS_JSONL={path}: {e}"),
             }
         }
-        Registry::with_sinks(sinks)
+        let obs = Registry::with_sinks(sinks);
+        // Stamp capture provenance at the head of the stream so replay
+        // tooling can warn when a "parallel" capture never had cores to
+        // run on. `from_env` only — programmatic constructors stay
+        // event-free so ring-length assertions elsewhere hold.
+        obs.emit(|| {
+            Event::new(
+                EventKind::Meta {
+                    effective_cores: effective_cores(),
+                },
+                0,
+                None,
+                0,
+            )
+        });
+        obs
     }
 
     /// Whether events are being recorded.
@@ -174,6 +191,15 @@ impl Registry {
     pub fn summary(&self) -> Option<String> {
         self.stats().map(|s| s.render_summary())
     }
+}
+
+/// CPU cores this process can actually use (1 when the runtime cannot
+/// tell). The number every `BENCH_*.json` records as `effective_cores`
+/// and the value [`Registry::from_env`] stamps into its Meta event.
+pub fn effective_cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
 }
 
 impl std::fmt::Debug for Registry {

@@ -134,6 +134,26 @@ impl Histogram {
             sum: self.sum.load(Relaxed),
         }
     }
+
+    /// Halve every bucket (and the count and sum) in place: one step of
+    /// exponential decay, the primitive behind the telemetry plane's
+    /// decaying per-site histograms. Each cell decays with a CAS loop,
+    /// so concurrent `record`s are never lost — but the cells decay
+    /// independently, so a snapshot racing a decay can be skewed by one
+    /// half-step, which reports tolerate (same contract as `snapshot`).
+    pub fn decay_halve(&self) {
+        let halve = |cell: &AtomicU64| {
+            let mut cur = cell.load(Relaxed);
+            while let Err(v) = cell.compare_exchange_weak(cur, cur / 2, Relaxed, Relaxed) {
+                cur = v;
+            }
+        };
+        for b in &self.buckets {
+            halve(b);
+        }
+        halve(&self.count);
+        halve(&self.sum);
+    }
 }
 
 /// Point-in-time copy of a [`Histogram`].
@@ -148,6 +168,29 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// An empty snapshot (`HIST_BUCKETS` zeroed buckets) — the identity
+    /// for [`HistogramSnapshot::merge`].
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Fold `other` into `self` bucket-by-bucket. Merging the snapshots
+    /// of N histograms that between them saw every value exactly once
+    /// yields the same snapshot as one histogram fed the full stream —
+    /// the property the telemetry rollup windows and the cluster
+    /// collector both lean on.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// Arithmetic mean of recorded values, or 0 when empty.
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
@@ -290,6 +333,46 @@ mod tests {
             }
             .quantile(0.5),
             0
+        );
+    }
+
+    #[test]
+    fn merged_snapshots_equal_full_stream() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let full = Histogram::new();
+        for v in [0u64, 1, 7, 100, 4096, u64::MAX] {
+            a.record(v);
+            full.record(v);
+        }
+        for v in [3u64, 100, 1 << 40] {
+            b.record(v);
+            full.record(v);
+        }
+        let mut merged = HistogramSnapshot::empty();
+        merged.merge(&a.snapshot());
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, full.snapshot());
+    }
+
+    #[test]
+    fn decay_halves_and_reaches_zero() {
+        let h = Histogram::new();
+        for _ in 0..8 {
+            h.record(100);
+        }
+        h.decay_halve();
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.buckets[7], 4);
+        assert_eq!(s.mean(), 100, "decay preserves the mean");
+        for _ in 0..4 {
+            h.decay_halve();
+        }
+        assert_eq!(
+            h.snapshot().count,
+            0,
+            "lone values decay away, not stick at 1"
         );
     }
 

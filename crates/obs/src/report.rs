@@ -186,7 +186,7 @@ impl RunStats {
                 self.kernel.commits.incr();
                 self.commit_latency.record(*overhead_ns);
             }
-            EventKind::EliminateSync { overhead_ns } => {
+            EventKind::EliminateSync { overhead_ns, .. } => {
                 self.kernel.eliminations_sync.incr();
                 self.elim_latency.record(*overhead_ns);
             }
@@ -240,6 +240,9 @@ impl RunStats {
             }
             EventKind::NetRetry { .. } => self.net.retries.incr(),
             EventKind::NetTimeout { .. } => self.net.timeouts.incr(),
+            // Capture provenance, not a run metric: absorbing it would
+            // make new captures aggregate differently from old ones.
+            EventKind::Meta { .. } => {}
         }
     }
 
@@ -343,18 +346,25 @@ mod tests {
             pass: true,
             duration_ns: 10,
             alt: Some(0),
+            site: Some(0),
         }));
         s.absorb(&ev(EventKind::GuardVerdict {
             pass: false,
             duration_ns: 0,
             alt: None,
+            site: None,
         }));
         s.absorb(&ev(EventKind::Rendezvous));
         s.absorb(&ev(EventKind::Commit {
             dirty_pages: 3,
             overhead_ns: 500,
+            site: None,
         }));
-        s.absorb(&ev(EventKind::EliminateSync { overhead_ns: 50 }));
+        s.absorb(&ev(EventKind::EliminateSync {
+            overhead_ns: 50,
+            site: None,
+        }));
+        s.absorb(&ev(EventKind::Meta { effective_cores: 1 }));
         s.absorb(&ev(EventKind::EliminateAsync));
         s.absorb(&ev(EventKind::Timeout));
         s.absorb(&ev(EventKind::CowCopy {
@@ -427,8 +437,12 @@ mod tests {
                     1 => EventKind::Commit {
                         dirty_pages: i,
                         overhead_ns: i * 10,
+                        site: None,
                     },
-                    2 => EventKind::EliminateSync { overhead_ns: i },
+                    2 => EventKind::EliminateSync {
+                        overhead_ns: i,
+                        site: None,
+                    },
                     _ => EventKind::CowCopy {
                         vpn: i,
                         bytes: 4096,

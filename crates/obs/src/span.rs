@@ -507,6 +507,10 @@ impl SpanTree {
                 // Frame accounting has no per-world span meaning (the
                 // freeing world is often already closed).
             }
+            EventKind::Meta { .. } => {
+                // Capture provenance: world 0 here is a placeholder, not
+                // a span — opening one would fabricate an orphan root.
+            }
         }
     }
 
@@ -751,6 +755,7 @@ mod tests {
                     pass: true,
                     duration_ns: 5,
                     alt: None,
+                    site: None,
                 },
                 3,
                 Some(1),
@@ -761,12 +766,21 @@ mod tests {
                 EventKind::Commit {
                     dirty_pages: 1,
                     overhead_ns: 7,
+                    site: None,
                 },
                 3,
                 Some(1),
                 70,
             ),
-            ev(EventKind::EliminateSync { overhead_ns: 3 }, 2, Some(1), 70),
+            ev(
+                EventKind::EliminateSync {
+                    overhead_ns: 3,
+                    site: None,
+                },
+                2,
+                Some(1),
+                70,
+            ),
         ]
     }
 

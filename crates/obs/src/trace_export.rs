@@ -302,6 +302,7 @@ mod tests {
                     pass: true,
                     duration_ns: 5,
                     alt: None,
+                    site: None,
                 },
                 3,
                 Some(1),
@@ -312,6 +313,7 @@ mod tests {
                 EventKind::Commit {
                     dirty_pages: 1,
                     overhead_ns: 9,
+                    site: None,
                 },
                 3,
                 Some(1),

@@ -85,6 +85,7 @@ fn events_of(script: &[Op]) -> Vec<Event> {
                         pass,
                         duration_ns: dur,
                         alt: None,
+                        site: None,
                     },
                     w,
                     None,
@@ -104,6 +105,7 @@ fn events_of(script: &[Op]) -> Vec<Event> {
                         EventKind::Commit {
                             dirty_pages: dirty,
                             overhead_ns: 0,
+                            site: None,
                         },
                         w,
                         None,
@@ -116,7 +118,10 @@ fn events_of(script: &[Op]) -> Vec<Event> {
                     let i = 1 + (of % (live.len() - 1));
                     let w = live.remove(i);
                     let kind = if sync {
-                        EventKind::EliminateSync { overhead_ns: 10 }
+                        EventKind::EliminateSync {
+                            overhead_ns: 10,
+                            site: None,
+                        }
                     } else {
                         EventKind::EliminateAsync
                     };

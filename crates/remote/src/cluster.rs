@@ -176,6 +176,13 @@ impl Cluster {
         self.transport.name()
     }
 
+    /// The serving [`worlds_net::NetNode`]s behind the transport, one
+    /// per node on TCP, empty in-process. The telemetry plane attaches
+    /// per-node query handlers through these.
+    pub fn net_nodes(&self) -> &[worlds_net::NetNode] {
+        self.transport.nodes()
+    }
+
     /// Inject a deterministic network fault: every `k`-th cross-node
     /// transfer times out once and is retried (doubling its virtual
     /// cost). `k = 0` disables injection. Shorthand for
@@ -417,6 +424,7 @@ impl Cluster {
                 EventKind::Commit {
                     dirty_pages: n as u64,
                     overhead_ns: cost.as_ns(),
+                    site: None,
                 },
                 child.world.raw(),
                 Some(base.world.raw()),

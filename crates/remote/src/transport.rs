@@ -54,6 +54,14 @@ pub trait Transport {
 
     /// `"in-process"` or `"tcp"` — for reports and diagnostics.
     fn name(&self) -> &'static str;
+
+    /// The serving [`NetNode`]s behind this transport, one per cluster
+    /// node — empty when there is no wire (`InProcess`). The telemetry
+    /// plane uses these to install per-node query handlers without the
+    /// cluster knowing telemetry exists.
+    fn nodes(&self) -> &[NetNode] {
+        &[]
+    }
 }
 
 /// Direct store-to-store application: the simulation transport.
@@ -234,6 +242,10 @@ impl Transport for Tcp {
 
     fn name(&self) -> &'static str {
         "tcp"
+    }
+
+    fn nodes(&self) -> &[NetNode] {
+        &self.servers
     }
 }
 

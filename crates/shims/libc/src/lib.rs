@@ -35,6 +35,16 @@ pub const CLOCK_MONOTONIC: clockid_t = 1;
 pub const POLLIN: c_short = 0x001;
 /// Unblockable kill signal.
 pub const SIGKILL: c_int = 9;
+/// User-defined signal 1 (Linux).
+pub const SIGUSR1: c_int = 10;
+
+/// Signal handler as `signal(2)` takes it: a function pointer, or the
+/// `SIG_DFL`/`SIG_IGN` sentinels, carried as a plain machine word.
+pub type sighandler_t = size_t;
+/// Default signal action, for `signal(2)`.
+pub const SIG_DFL: sighandler_t = 0;
+/// Error return of `signal(2)`.
+pub const SIG_ERR: sighandler_t = usize::MAX;
 
 /// `struct timespec` (LP64 layout).
 #[repr(C)]
@@ -70,6 +80,8 @@ extern "C" {
     pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
     pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
     pub fn clock_gettime(clk: clockid_t, tp: *mut timespec) -> c_int;
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+    pub fn raise(sig: c_int) -> c_int;
 }
 
 #[cfg(test)]

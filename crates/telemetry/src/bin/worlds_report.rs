@@ -1,5 +1,5 @@
 //! `worlds-report` — replay a JSONL event stream into the summary table
-//! and the worlds-trace analyses.
+//! and the worlds-trace analyses, or watch a live telemetry endpoint.
 //!
 //! ```text
 //! worlds-report run.jsonl                  # summary table from a file
@@ -8,25 +8,32 @@
 //! worlds-report --waste run.jsonl          # + waste-attribution table
 //! worlds-report --net run.jsonl            # + per-node wire-traffic table
 //! worlds-report --trace-out t.json run.jsonl  # + Chrome trace for Perfetto
+//! worlds-report --live 127.0.0.1:4200      # refreshing cluster tables
+//! worlds-report --live ADDR --once         # one snapshot, then exit
 //! ```
 //!
 //! Replays every event through the same [`RunStats`] mapping the live
 //! registry uses, so the printed table matches what the run itself
 //! would have printed. Malformed lines are skipped and counted (count on
 //! stderr), never fatal mid-stream — a truncated file from a crashed run
-//! still yields a report. The exit code is nonzero only when the input
-//! is empty or *every* line was malformed.
+//! still yields a report. The exit code is nonzero when the input is
+//! empty, *every* line was malformed, or a requested analysis
+//! (`--net`, `--waste`) has no matching events to analyse.
+//!
+//! A capture whose `meta` line records `effective_cores: 1` gets a
+//! caveat banner on stderr: its "parallel" timings were taken with no
+//! cores to run on.
 
 use std::io::{BufRead, BufReader, Read, Write};
 
 use worlds_obs::{chrome_trace_json, Event, EventKind, Histogram, RunStats, SpanTree};
+use worlds_telemetry::{query_table, render_cluster};
 
 fn main() {
     std::process::exit(run(std::env::args().skip(1).collect()));
 }
 
-const USAGE: &str =
-    "usage: worlds-report [--critical-path] [--waste] [--net] [--trace-out FILE] [<events.jsonl> | -]";
+const USAGE: &str = "usage: worlds-report [--critical-path] [--waste] [--net] [--trace-out FILE] [<events.jsonl> | -]\n       worlds-report --live ADDR [--once] [--interval MS]";
 
 struct Options {
     path: String,
@@ -34,6 +41,9 @@ struct Options {
     waste: bool,
     net: bool,
     trace_out: Option<String>,
+    live: Option<String>,
+    once: bool,
+    interval_ms: u64,
 }
 
 fn parse_args(args: Vec<String>) -> Result<Options, String> {
@@ -43,6 +53,9 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         waste: false,
         net: false,
         trace_out: None,
+        live: None,
+        once: false,
+        interval_ms: 1000,
     };
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -56,6 +69,20 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                     it.next()
                         .ok_or_else(|| "--trace-out needs a file argument".to_string())?,
                 );
+            }
+            "--live" => {
+                opts.live = Some(
+                    it.next()
+                        .ok_or_else(|| "--live needs an ADDR argument".to_string())?,
+                );
+            }
+            "--once" => opts.once = true,
+            "--interval" => {
+                opts.interval_ms = it
+                    .next()
+                    .ok_or_else(|| "--interval needs a millisecond argument".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--interval: {e}"))?;
             }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with("--") => {
@@ -83,6 +110,9 @@ fn run(args: Vec<String>) -> i32 {
             return 2;
         }
     };
+    if let Some(addr) = &opts.live {
+        return run_live(addr, opts.once, opts.interval_ms);
+    }
     let reader: Box<dyn Read> = if opts.path == "-" {
         Box::new(std::io::stdin())
     } else {
@@ -103,6 +133,9 @@ fn run(args: Vec<String>) -> i32 {
     let mut events: Vec<Event> = Vec::new();
     let mut total = 0u64;
     let mut bad = 0u64;
+    let mut min_cores: Option<u64> = None;
+    let mut saw_net = false;
+    let mut saw_spawn = false;
     for line in BufReader::new(reader).lines() {
         let line = match line {
             Ok(l) => l,
@@ -118,6 +151,19 @@ fn run(args: Vec<String>) -> i32 {
         match Event::from_json(&line) {
             Ok(ev) => {
                 stats.absorb(&ev);
+                match ev.kind {
+                    EventKind::Meta { effective_cores } => {
+                        min_cores = Some(
+                            min_cores.map_or(effective_cores, |m: u64| m.min(effective_cores)),
+                        );
+                    }
+                    EventKind::NetSend { .. }
+                    | EventKind::NetRecv { .. }
+                    | EventKind::NetRetry { .. }
+                    | EventKind::NetTimeout { .. } => saw_net = true,
+                    EventKind::Spawn { .. } => saw_spawn = true,
+                    _ => {}
+                }
                 if need_events {
                     events.push(ev);
                 }
@@ -136,6 +182,14 @@ fn run(args: Vec<String>) -> i32 {
     if bad > 0 {
         eprintln!("worlds-report: skipped {bad} malformed line(s) of {total}");
     }
+    if min_cores == Some(1) {
+        // Stderr, so golden-fixture stdout comparisons stay exact.
+        eprintln!(
+            "worlds-report: CAVEAT: capture recorded with effective_cores: 1 — \
+             speculation ran time-sliced on one CPU, so wall-clock spans and \
+             rates understate what parallel hardware would do"
+        );
+    }
     if total == 0 {
         eprintln!("worlds-report: no events in input");
         return 1;
@@ -145,8 +199,13 @@ fn run(args: Vec<String>) -> i32 {
         return 1;
     }
 
+    let mut missing = 0;
     if opts.net {
         println!("{}", render_net_by_node(&events));
+        if !saw_net {
+            eprintln!("worlds-report: --net requested but the capture has no net_* events");
+            missing += 1;
+        }
     }
 
     if need_spans {
@@ -156,6 +215,10 @@ fn run(args: Vec<String>) -> i32 {
         }
         if opts.waste {
             println!("{}", tree.render_waste());
+            if !saw_spawn {
+                eprintln!("worlds-report: --waste requested but the capture has no spawn events");
+                missing += 1;
+            }
         }
         if let Some(path) = &opts.trace_out {
             let doc = chrome_trace_json(&tree);
@@ -173,7 +236,42 @@ fn run(args: Vec<String>) -> i32 {
             );
         }
     }
+    if missing > 0 {
+        return 1;
+    }
     0
+}
+
+/// `--live`: poll the telemetry endpoint and render the cluster tables,
+/// once or on an interval.
+fn run_live(addr: &str, once: bool, interval_ms: u64) -> i32 {
+    let addr: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("worlds-report: --live {addr}: {e}");
+            return 2;
+        }
+    };
+    loop {
+        match query_table(addr) {
+            Ok(table) => {
+                if !once {
+                    // ANSI clear + home, like any other top.
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", render_cluster(&table));
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                eprintln!("worlds-report: query {addr}: {e}");
+                return 1;
+            }
+        }
+        if once {
+            return 0;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
 }
 
 /// The `--net` table: wire traffic attributed per destination node, plus

@@ -1,0 +1,102 @@
+//! `worlds-top` — a refreshing terminal view of a live cluster.
+//!
+//! ```text
+//! worlds-top 127.0.0.1:4200                # refresh every second
+//! worlds-top 127.0.0.1:4200 --interval 250 # faster
+//! worlds-top 127.0.0.1:4200 --once         # one snapshot (CI, scripts)
+//! ```
+//!
+//! Point it at a [`Collector`](worlds_telemetry::Collector) for the
+//! whole cluster, or at any single node that called
+//! [`install_node_handler`](worlds_telemetry::install_node_handler)
+//! for a one-row table. Each refresh is one `Telemetry` query over the
+//! worlds-net framed wire; the tables are the same ones
+//! `worlds-report --live` prints.
+
+use std::io::Write;
+use worlds_telemetry::{query_table, render_cluster};
+
+const USAGE: &str = "usage: worlds-top ADDR [--once] [--interval MS]";
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+fn run(args: Vec<String>) -> i32 {
+    let mut addr: Option<String> = None;
+    let mut once = false;
+    let mut interval_ms = 1000u64;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--interval" => {
+                interval_ms = match it.next().map(|v| v.parse()) {
+                    Some(Ok(ms)) => ms,
+                    _ => {
+                        eprintln!("worlds-top: --interval needs a millisecond argument");
+                        eprintln!("{USAGE}");
+                        return 2;
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return 2;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("worlds-top: unknown flag {other}");
+                eprintln!("{USAGE}");
+                return 2;
+            }
+            other => {
+                if addr.replace(other.to_string()).is_some() {
+                    eprintln!("worlds-top: exactly one ADDR");
+                    eprintln!("{USAGE}");
+                    return 2;
+                }
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let addr: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("worlds-top: {addr}: {e}");
+            return 2;
+        }
+    };
+    let mut failures = 0u32;
+    loop {
+        match query_table(addr) {
+            Ok(table) => {
+                failures = 0;
+                if !once {
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", render_cluster(&table));
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                eprintln!("worlds-top: query {addr}: {e}");
+                if once {
+                    return 1;
+                }
+                // Keep trying through restarts, but give up when the
+                // endpoint stays dead.
+                failures += 1;
+                if failures >= 10 {
+                    eprintln!("worlds-top: endpoint unreachable, giving up");
+                    return 1;
+                }
+            }
+        }
+        if once {
+            return 0;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
+}

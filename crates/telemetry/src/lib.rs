@@ -1,0 +1,149 @@
+//! `worlds-telemetry` — the live telemetry plane.
+//!
+//! `worlds-obs` answers "what happened" after the fact: counters you
+//! read at the end, JSONL you replay offline. This crate answers "what
+//! is happening *now*", cluster-wide, from the same event stream:
+//!
+//! * [`TelemetryHub`] — a lock-free [`EventSink`] that folds every
+//!   event into sliding-window rollups (rates, gauges, RTT histogram)
+//!   the moment it is emitted. Snapshots are readable any time with
+//!   bounded staleness — no replay, no locks on the hot path.
+//! * [`SiteStats`] — per-call-site decaying histograms of guard
+//!   durations (per alternative) and commit/elimination overhead,
+//!   yielding live estimates of the paper's `Rμ`, `Ro` and
+//!   `PI = Rμ/(1+Ro)` per speculation site (§3.3, Figures 3–4).
+//! * [`FlightRecorder`] — an always-on bounded ring of recent events,
+//!   dumped to worlds-report-compatible JSONL by a panic hook
+//!   ([`install_panic_dump`]), on `SIGUSR1`
+//!   ([`install_sigusr1_dump`]), or on demand.
+//! * [`Collector`] / [`Exporter`] — cluster export: each node streams
+//!   its rollup snapshot over the `worlds-net` framed wire
+//!   (`Request::Telemetry`) to a collector; `worlds-top` and
+//!   `worlds-report --live` render the merged per-node / per-site
+//!   tables over TCP.
+//!
+//! The division of labour with `worlds-obs` is strict: obs owns the
+//! event vocabulary and the lock-free metric primitives; this crate
+//! only *consumes* them. A process that never constructs a hub pays
+//! exactly what it paid before this crate existed — the disabled
+//! registry's single branch.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use worlds_obs::{Event, EventKind, Registry};
+//! use worlds_telemetry::TelemetryHub;
+//!
+//! let hub = Arc::new(TelemetryHub::default());
+//! let obs = Registry::with_sinks(vec![hub.clone()]);
+//! obs.emit(|| Event::new(EventKind::Spawn { alt: 0 }, 1, Some(0), 0));
+//! assert_eq!(hub.gauges().live_worlds, 1);
+//! ```
+
+mod collect;
+mod flight;
+mod pi;
+mod render;
+mod rollup;
+mod wire;
+
+pub use collect::{
+    install_node_handler, node_report, query_table, Collector, Exporter, COLLECTOR_NODE_ID,
+};
+pub use flight::{install_panic_dump, FlightRecorder};
+pub use pi::{AltSnapshot, SiteSnapshot, SiteStats, MAX_ALTS, MAX_SITES};
+pub use render::{render_cluster, render_sites};
+pub use rollup::{Gauges, Rates, TelemetryConfig, TelemetryHub};
+pub use wire::{AltReport, NodeReport, SiteReport, TelemetryMsg};
+
+#[cfg(unix)]
+pub use flight::install_sigusr1_dump;
+
+use std::sync::Arc;
+use worlds_obs::{Event, EventKind, EventSink, JsonlSink, Registry};
+
+/// What [`from_env`] assembled: the registry to thread through the
+/// program, and the hub when telemetry was requested.
+pub struct TelemetryEnv {
+    /// The observability handle (disabled when nothing was requested).
+    pub obs: Registry,
+    /// The live hub, when `WORLDS_TELEMETRY` asked for one.
+    pub hub: Option<Arc<TelemetryHub>>,
+}
+
+/// Build a registry + hub from the environment. A superset of
+/// [`Registry::from_env`]:
+///
+/// | variable               | effect                                      |
+/// |------------------------|---------------------------------------------|
+/// | `WORLDS_OBS=1`         | enable counters + histograms                |
+/// | `WORLDS_OBS_JSONL=p`   | also stream events to JSONL file `p`        |
+/// | `WORLDS_TELEMETRY=1`   | attach a [`TelemetryHub`] sink              |
+/// | `WORLDS_FLIGHT_DUMP=p` | dump the flight ring to `p` on panic (and   |
+/// |                        | on `SIGUSR1` on unix)                       |
+///
+/// Any telemetry variable implies an enabled registry; with everything
+/// unset this is `Registry::disabled()` and no hub.
+pub fn from_env() -> TelemetryEnv {
+    let truthy = |var: &str| {
+        std::env::var(var)
+            .map(|v| v != "0" && !v.is_empty())
+            .unwrap_or(false)
+    };
+    let path_var = |var: &str| std::env::var(var).ok().filter(|p| !p.is_empty());
+    let jsonl = path_var("WORLDS_OBS_JSONL");
+    let flight = path_var("WORLDS_FLIGHT_DUMP");
+    let want_hub = truthy("WORLDS_TELEMETRY") || flight.is_some();
+    if !truthy("WORLDS_OBS") && jsonl.is_none() && !want_hub {
+        return TelemetryEnv {
+            obs: Registry::disabled(),
+            hub: None,
+        };
+    }
+    let mut sinks: Vec<Arc<dyn EventSink>> = Vec::new();
+    if let Some(path) = jsonl {
+        match JsonlSink::create(&path) {
+            Ok(sink) => sinks.push(Arc::new(sink)),
+            Err(e) => eprintln!("worlds-telemetry: cannot open WORLDS_OBS_JSONL={path}: {e}"),
+        }
+    }
+    let hub = want_hub.then(|| Arc::new(TelemetryHub::default()));
+    if let Some(hub) = &hub {
+        sinks.push(hub.clone());
+    }
+    let obs = Registry::with_sinks(sinks);
+    // Same provenance stamp Registry::from_env writes: replay tooling
+    // keys its 1-CPU caveat banner off this.
+    obs.emit(|| {
+        Event::new(
+            EventKind::Meta {
+                effective_cores: worlds_obs::effective_cores(),
+            },
+            0,
+            None,
+            0,
+        )
+    });
+    if let (Some(hub), Some(path)) = (&hub, flight) {
+        install_panic_dump(hub, &path);
+        #[cfg(unix)]
+        install_sigusr1_dump(hub, &path);
+    }
+    TelemetryEnv { obs, hub }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_env_unset_is_disabled() {
+        // Env mutation: test process only.
+        std::env::remove_var("WORLDS_OBS");
+        std::env::remove_var("WORLDS_OBS_JSONL");
+        std::env::remove_var("WORLDS_TELEMETRY");
+        std::env::remove_var("WORLDS_FLIGHT_DUMP");
+        let env = from_env();
+        assert!(!env.obs.is_enabled());
+        assert!(env.hub.is_none());
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-call-site PI estimation from live guard/overhead histograms.
+//!
+//! The paper's §3.3 model predicts the payoff of speculating at a call
+//! site from two ratios: `Rμ` (dispersion of the alternatives'
+//! runtimes — mean over best) and `Ro` (Multiple Worlds overhead over
+//! the best runtime), giving `PI = Rμ/(1+Ro)`. Offline, `worlds-analysis`
+//! computes these from measured times; here they fall out of the live
+//! event stream:
+//!
+//! * Every `GuardVerdict` carrying a site id contributes its
+//!   `duration_ns` to the histogram of that site's alternative — the
+//!   measured `τ(C_i, λ)` samples.
+//! * Every `Commit`/`EliminateSync` with a site id contributes its
+//!   `overhead_ns` to the site's overhead histogram — the measured
+//!   `τ(overhead)` samples.
+//!
+//! The histograms are **decaying** ([`Histogram::decay_halve`], driven
+//! by the hub's event-time clock): a site whose input distribution
+//! drifts mid-run re-converges with a half-life instead of averaging
+//! over its whole history. Storage is a fixed `MAX_SITES × MAX_ALTS`
+//! grid of histograms — sites past the cap are counted in
+//! [`SiteStats::dropped`], never resized, so recording stays a plain
+//! indexed `fetch_add` with no locks anywhere near the hot path.
+
+use worlds_analysis::PerfModel;
+use worlds_obs::{site_label_or_anon, Counter, Histogram};
+
+/// Call sites tracked live. Interned ids are dense, so the first 64
+/// labelled sites in a process all land in the grid.
+pub const MAX_SITES: usize = 64;
+/// Alternatives tracked per site; later alternatives clamp into the
+/// last cell (their samples still count, attribution coarsens).
+pub const MAX_ALTS: usize = 8;
+
+/// The fixed grid of decaying per-site histograms.
+pub struct SiteStats {
+    /// `site * MAX_ALTS + alt` → guard-duration histogram.
+    guard: Vec<Histogram>,
+    /// `site` → commit/elimination overhead histogram.
+    overhead: Vec<Histogram>,
+    /// `site` → lifetime commits (not decayed; a volume column).
+    commits: Vec<Counter>,
+    /// Samples for sites past `MAX_SITES`.
+    dropped: Counter,
+}
+
+impl Default for SiteStats {
+    fn default() -> Self {
+        SiteStats::new()
+    }
+}
+
+impl SiteStats {
+    /// An empty grid.
+    pub fn new() -> SiteStats {
+        SiteStats {
+            guard: (0..MAX_SITES * MAX_ALTS)
+                .map(|_| Histogram::new())
+                .collect(),
+            overhead: (0..MAX_SITES).map(|_| Histogram::new()).collect(),
+            commits: (0..MAX_SITES).map(|_| Counter::new()).collect(),
+            dropped: Counter::new(),
+        }
+    }
+
+    /// Record one guard evaluation at `site` for alternative `alt`.
+    #[inline]
+    pub fn record_guard(&self, site: u64, alt: u64, duration_ns: u64) {
+        let Some(site) = in_grid(site) else {
+            self.dropped.incr();
+            return;
+        };
+        let alt = (alt as usize).min(MAX_ALTS - 1);
+        self.guard[site * MAX_ALTS + alt].record(duration_ns);
+    }
+
+    /// Record one commit/elimination overhead sample at `site`.
+    #[inline]
+    pub fn record_overhead(&self, site: u64, overhead_ns: u64) {
+        let Some(site) = in_grid(site) else {
+            self.dropped.incr();
+            return;
+        };
+        self.overhead[site].record(overhead_ns);
+    }
+
+    /// Record one committed block at `site`.
+    #[inline]
+    pub fn record_commit(&self, site: u64) {
+        if let Some(site) = in_grid(site) {
+            self.commits[site].incr();
+        }
+    }
+
+    /// Samples discarded because their site id fell past the grid.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// One half-life step over every histogram in the grid.
+    pub fn decay(&self) {
+        for h in &self.guard {
+            h.decay_halve();
+        }
+        for h in &self.overhead {
+            h.decay_halve();
+        }
+    }
+
+    /// The live PI table: one row per site with at least one guard
+    /// sample, in site-id order.
+    pub fn snapshot(&self) -> Vec<SiteSnapshot> {
+        (0..MAX_SITES)
+            .filter_map(|site| self.snapshot_site(site))
+            .collect()
+    }
+
+    fn snapshot_site(&self, site: usize) -> Option<SiteSnapshot> {
+        let alts: Vec<AltSnapshot> = (0..MAX_ALTS)
+            .filter_map(|alt| {
+                let s = self.guard[site * MAX_ALTS + alt].snapshot();
+                (s.count > 0).then(|| AltSnapshot {
+                    alt: alt as u64,
+                    count: s.count,
+                    mean_ns: s.sum as f64 / s.count as f64,
+                })
+            })
+            .collect();
+        if alts.is_empty() {
+            return None;
+        }
+        // Rμ = mean of the alternatives' mean runtimes over the best
+        // mean; the best is clamped to ≥1ns so a site whose guards are
+        // too fast to time degrades to Rμ=mean rather than a NaN.
+        let best = alts
+            .iter()
+            .map(|a| a.mean_ns)
+            .fold(f64::INFINITY, f64::min)
+            .max(1.0);
+        let mean = alts.iter().map(|a| a.mean_ns).sum::<f64>() / alts.len() as f64;
+        let ov = self.overhead[site].snapshot();
+        let r_mu = (mean / best).max(1.0);
+        let r_o = if ov.count == 0 {
+            0.0
+        } else {
+            (ov.sum as f64 / ov.count as f64) / best
+        };
+        let model = PerfModel::new(r_mu, r_o);
+        Some(SiteSnapshot {
+            site: site as u64,
+            label: site_label_or_anon(site as u64),
+            commits: self.commits[site].get(),
+            alts,
+            r_mu,
+            r_o,
+            pi: model.pi(),
+        })
+    }
+}
+
+#[inline]
+fn in_grid(site: u64) -> Option<usize> {
+    (site < MAX_SITES as u64).then_some(site as usize)
+}
+
+/// One alternative's live runtime estimate at a site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AltSnapshot {
+    /// Alternative index (clamped to `MAX_ALTS - 1`).
+    pub alt: u64,
+    /// Decayed sample count.
+    pub count: u64,
+    /// Mean guard duration, ns.
+    pub mean_ns: f64,
+}
+
+/// One row of the live PI table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteSnapshot {
+    /// The interned site id.
+    pub site: u64,
+    /// The label it was registered under (or `site#N`).
+    pub label: String,
+    /// Lifetime committed blocks at this site.
+    pub commits: u64,
+    /// Per-alternative runtime estimates (non-empty).
+    pub alts: Vec<AltSnapshot>,
+    /// Measured dispersion `Rμ ≥ 1`.
+    pub r_mu: f64,
+    /// Measured relative overhead `Ro ≥ 0`.
+    pub r_o: f64,
+    /// Predicted `PI = Rμ/(1+Ro)`.
+    pub pi: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi_rises_with_dispersion_falls_with_overhead() {
+        let s = SiteStats::new();
+        // Site 0: identical alternatives → Rμ = 1.
+        for _ in 0..32 {
+            s.record_guard(0, 0, 1000);
+            s.record_guard(0, 1, 1000);
+        }
+        // Site 1: dispersed alternatives → Rμ = (1+3)/2 / 1 = 2.
+        for _ in 0..32 {
+            s.record_guard(1, 0, 1000);
+            s.record_guard(1, 1, 3000);
+        }
+        // Site 2: same dispersion as site 1 plus heavy overhead.
+        for _ in 0..32 {
+            s.record_guard(2, 0, 1000);
+            s.record_guard(2, 1, 3000);
+            s.record_overhead(2, 1000);
+        }
+        let table = s.snapshot();
+        let row = |site: u64| table.iter().find(|r| r.site == site).unwrap();
+        assert!(row(1).r_mu > row(0).r_mu);
+        assert!(row(1).pi > row(0).pi, "PI rises with Rμ (Fig 3): {table:?}");
+        assert!((row(2).r_mu - row(1).r_mu).abs() < 1e-9);
+        assert!(row(2).pi < row(1).pi, "PI falls with Ro (Fig 4): {table:?}");
+        assert!((row(1).pi - 2.0).abs() < 1e-9);
+        assert!((row(2).pi - 2.0 / 2.0).abs() < 1e-9, "Ro = 1 halves PI");
+    }
+
+    #[test]
+    fn sites_past_the_grid_are_counted_not_tracked() {
+        let s = SiteStats::new();
+        s.record_guard(MAX_SITES as u64 + 3, 0, 100);
+        s.record_overhead(MAX_SITES as u64 + 3, 100);
+        assert_eq!(s.dropped(), 2);
+        assert!(s.snapshot().is_empty());
+    }
+
+    #[test]
+    fn overflow_alts_clamp_into_last_cell() {
+        let s = SiteStats::new();
+        s.record_guard(0, MAX_ALTS as u64 + 5, 100);
+        let table = s.snapshot();
+        assert_eq!(table[0].alts.len(), 1);
+        assert_eq!(table[0].alts[0].alt, MAX_ALTS as u64 - 1);
+    }
+
+    #[test]
+    fn zero_duration_guards_do_not_nan() {
+        let s = SiteStats::new();
+        s.record_guard(0, 0, 0);
+        s.record_guard(0, 1, 0);
+        let row = &s.snapshot()[0];
+        assert!(row.r_mu.is_finite() && row.pi.is_finite());
+    }
+}

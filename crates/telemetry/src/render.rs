@@ -1,0 +1,133 @@
+//! Terminal tables for the live telemetry plane, shared by
+//! `worlds-top` and `worlds-report --live`.
+
+use crate::wire::NodeReport;
+use worlds_obs::fmt_ns;
+
+/// The full cluster view: a per-node table followed by the merged
+/// per-site PI table. Plain text, one trailing newline.
+pub fn render_cluster(reports: &[NodeReport]) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str(&format!(
+        "== worlds cluster telemetry ({} node{}) ==\n",
+        reports.len(),
+        if reports.len() == 1 { "" } else { "s" }
+    ));
+    out.push_str(&format!(
+        "{:>9}  {:>6}  {:>7}  {:>7}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+        "node", "live", "frames", "backlog", "events/s", "blocks/s", "elims/s", "net/s", "rtt"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:>9}  {:>6}  {:>7}  {:>7}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9}\n",
+            node_name(r.node),
+            r.live_worlds,
+            r.frames_resident,
+            r.elim_backlog,
+            r.events_s,
+            r.commits_s,
+            r.elims_s,
+            r.net_frames_s,
+            fmt_ns(r.rtt_mean_ns as u64),
+        ));
+    }
+    out.push_str(&render_sites(reports));
+    out
+}
+
+/// The merged per-site PI table: `PI = Rμ/(1+Ro)` per call site per
+/// node, the paper's §3.3 model estimated live. Empty string when no
+/// node reported a labelled site.
+pub fn render_sites(reports: &[NodeReport]) -> String {
+    let mut rows: Vec<(u64, &crate::wire::SiteReport)> = reports
+        .iter()
+        .flat_map(|r| r.sites.iter().map(move |s| (r.node, s)))
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    rows.sort_by(|a, b| (a.1.label.as_str(), a.0).cmp(&(b.1.label.as_str(), b.0)));
+    let mut out = String::with_capacity(512);
+    out.push_str("-- per-site PI (PI = R\u{3bc}/(1+Ro), \u{a7}3.3) --\n");
+    out.push_str(&format!(
+        "{:<28}  {:>9}  {:>7}  {:>6}  {:>6}  {:>6}  alts\n",
+        "site", "node", "commits", "R\u{3bc}", "Ro", "PI"
+    ));
+    for (node, site) in rows {
+        let alts = site
+            .alts
+            .iter()
+            .map(|a| format!("a{}:{}@{}", a.alt, a.count, fmt_ns(a.mean_ns as u64)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let mut label = site.label.clone();
+        if label.len() > 28 {
+            let mut cut = 27;
+            while !label.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            label.truncate(cut);
+            label.push('\u{2026}');
+        }
+        out.push_str(&format!(
+            "{label:<28}  {:>9}  {:>7}  {:>6.2}  {:>6.2}  {:>6.2}  {alts}\n",
+            node_name(node),
+            site.commits,
+            site.r_mu,
+            site.r_o,
+            site.pi,
+        ));
+    }
+    out
+}
+
+fn node_name(node: u64) -> String {
+    if node == crate::COLLECTOR_NODE_ID {
+        "collector".into()
+    } else {
+        node.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{AltReport, SiteReport};
+
+    #[test]
+    fn renders_nodes_and_sites() {
+        let reports = vec![
+            NodeReport {
+                node: 0,
+                live_worlds: 3,
+                events_s: 100.0,
+                sites: vec![SiteReport {
+                    site: 1,
+                    label: "rootfinder/solve".into(),
+                    commits: 9,
+                    r_mu: 1.8,
+                    r_o: 0.05,
+                    pi: 1.71,
+                    alts: vec![AltReport {
+                        alt: 0,
+                        count: 12,
+                        mean_ns: 1500.0,
+                    }],
+                }],
+                ..NodeReport::default()
+            },
+            NodeReport {
+                node: 1,
+                ..NodeReport::default()
+            },
+        ];
+        let text = render_cluster(&reports);
+        assert!(text.contains("2 nodes"));
+        assert!(text.contains("rootfinder/solve"));
+        assert!(text.contains("1.71"));
+        assert!(text.contains("a0:12@1.50us"));
+        let one_node = render_cluster(&reports[1..]);
+        assert!(one_node.contains("1 node"));
+        assert!(!one_node.contains("per-site"), "no sites, no site table");
+    }
+}

@@ -6,7 +6,7 @@
 //! Regenerate the expectation after an intentional output change with:
 //!
 //! ```text
-//! cargo run -q -p worlds-obs --bin worlds-report -- \
+//! cargo run -q -p worlds-telemetry --bin worlds-report -- \
 //!   --critical-path --waste --net --trace-out /tmp/t.json \
 //!   fixtures/golden_run.jsonl 2>/dev/null > fixtures/golden_summary.txt
 //! ```

@@ -1,0 +1,118 @@
+//! Cluster export over real loopback sockets: exporters push, the
+//! collector aggregates, viewers query — all through the worlds-net
+//! framed wire and its retry machinery.
+
+use std::sync::Arc;
+use std::time::Duration;
+use worlds_net::NetNode;
+use worlds_obs::{Event, EventKind, Registry};
+use worlds_pagestore::PageStore;
+use worlds_telemetry::{
+    install_node_handler, node_report, query_table, render_cluster, Collector, Exporter,
+    TelemetryHub,
+};
+
+fn feed(hub: &Arc<TelemetryHub>, spawns: u64, site: u64) {
+    let obs = Registry::with_sinks(vec![hub.clone()]);
+    for w in 0..spawns {
+        obs.emit(|| Event::new(EventKind::Spawn { alt: w % 2 }, w + 1, Some(0), 0));
+        obs.emit(|| {
+            Event::new(
+                EventKind::GuardVerdict {
+                    pass: true,
+                    duration_ns: 1000 * (1 + w % 2),
+                    alt: Some(w % 2),
+                    site: Some(site),
+                },
+                w + 1,
+                Some(0),
+                0,
+            )
+        });
+    }
+}
+
+#[test]
+fn exporters_push_and_viewers_query_the_collector() {
+    let collector = Collector::start(Registry::disabled()).unwrap();
+    let hub0 = Arc::new(TelemetryHub::default());
+    let hub1 = Arc::new(TelemetryHub::default());
+    feed(&hub0, 10, 0);
+    feed(&hub1, 3, 0);
+    let mut exp0 = Exporter::start(hub0.clone(), 0, collector.addr(), Duration::from_secs(60));
+    let mut exp1 = Exporter::start(hub1.clone(), 1, collector.addr(), Duration::from_secs(60));
+    // stop() guarantees a final push even if the interval never fired.
+    exp0.stop();
+    exp1.stop();
+
+    let table = query_table(collector.addr()).expect("query over TCP");
+    assert_eq!(table.len(), 2, "one row per node: {table:?}");
+    assert_eq!(table[0].node, 0);
+    assert_eq!(table[0].live_worlds, 10);
+    assert_eq!(table[1].node, 1);
+    assert_eq!(table[1].live_worlds, 3);
+    assert!(!table[0].sites.is_empty(), "PI table crossed the wire");
+    assert!(table[0].sites[0].r_mu > 1.0, "dispersion visible remotely");
+
+    // The rendered view names both nodes.
+    let text = render_cluster(&table);
+    assert!(text.contains("2 nodes"), "{text}");
+
+    // Direct table access agrees with the wire view.
+    assert_eq!(collector.table(), table);
+    collector.shutdown();
+}
+
+#[test]
+fn lone_node_answers_queries_without_a_collector() {
+    let obs = Registry::disabled();
+    let node = NetNode::serve(7, PageStore::new(64), obs).unwrap();
+    let hub = Arc::new(TelemetryHub::default());
+    feed(&hub, 5, 1);
+    install_node_handler(&node, hub.clone());
+
+    let table = query_table(node.addr()).expect("query a lone node");
+    assert_eq!(table.len(), 1);
+    assert_eq!(table[0].node, 7);
+    assert_eq!(table[0].live_worlds, 5);
+    node.shutdown();
+}
+
+#[test]
+fn node_without_handler_refuses_politely() {
+    let node = NetNode::serve(9, PageStore::new(64), Registry::disabled()).unwrap();
+    let err = query_table(node.addr()).unwrap_err();
+    assert!(
+        err.contains("no telemetry handler"),
+        "plain page servers say why: {err}"
+    );
+    node.shutdown();
+}
+
+#[test]
+fn repeated_pushes_update_not_duplicate() {
+    let collector = Collector::start(Registry::disabled()).unwrap();
+    let hub = Arc::new(TelemetryHub::default());
+    feed(&hub, 2, 0);
+    let mut exp = Exporter::start(hub.clone(), 4, collector.addr(), Duration::from_millis(30));
+    // Let a few interval pushes land, then grow the hub and stop.
+    std::thread::sleep(Duration::from_millis(120));
+    feed(&hub, 4, 0);
+    exp.stop();
+
+    let table = collector.table();
+    assert_eq!(table.len(), 1, "re-pushes replace the row: {table:?}");
+    assert_eq!(table[0].node, 4);
+    assert_eq!(table[0].live_worlds, 6, "final push carried the update");
+    collector.shutdown();
+}
+
+#[test]
+fn node_report_reflects_hub_now() {
+    let hub = Arc::new(TelemetryHub::default());
+    feed(&hub, 4, 2);
+    let report = node_report(&hub, 11);
+    assert_eq!(report.node, 11);
+    assert_eq!(report.live_worlds, 4);
+    assert_eq!(report.wall_ns, hub.now_ns());
+}

@@ -168,6 +168,9 @@ impl Speculation {
     /// and every block executed through [`Speculation::run`] report into
     /// it.
     pub fn with_obs(page_size: usize, obs: Registry) -> Self {
+        // WORLDS_PROF=1 gets a sampler without bespoke wiring: the first
+        // session's registry receives the flushes.
+        worlds_prof::autostart_from_env(&obs);
         let store = PageStore::with_obs(page_size, obs);
         let root_world = store.create_world();
         let fs = FileSystem::new(store.clone());
@@ -309,6 +312,11 @@ impl Speculation {
         }
 
         let site = block.site.map(|s| s.0);
+        if let Some(s) = block.site {
+            // Captures must be renderable in other processes: the label
+            // behind this interned id rides the stream once.
+            obs.announce_site(s);
+        }
         let cancel = CancelToken::new();
         let (report_tx, report_rx) = mpsc::channel::<ChildReport<T>>();
         let shared = Arc::new(Mutex::new(ElimShared {
@@ -385,6 +393,14 @@ impl Speculation {
                 // Declared after the latch guard, so disposal (a local
                 // drop) happens before the parent is released.
                 let _counts_down = counts_down;
+                // Refine the executor's bare `Task` marker: this worker is
+                // now a specific alternative in a specific world.
+                worlds_prof::mark(
+                    Some(world.raw()),
+                    site,
+                    Some(i as u64),
+                    worlds_prof::Phase::Guard,
+                );
                 let mut ctx = WorldCtx::new(fs, world, pid, preds, cancel, trace);
                 let result = alt.execute(&mut ctx);
                 let output = std::mem::take(&mut ctx.output);
@@ -460,6 +476,16 @@ impl Speculation {
         let mut committed_output: Vec<String> = Vec::new();
         let mut reported = 0usize;
 
+        // The parent is off-CPU by intent while the children race; a
+        // nested caller's own (Guard) marker is put back at the end.
+        let outer_mark = worlds_prof::current_mark();
+        worlds_prof::mark(
+            Some(parent_world.raw()),
+            site,
+            None,
+            worlds_prof::Phase::Wait,
+        );
+
         // alt_wait(TIMEOUT): wait for the first success, a full set of
         // failures, or the deadline.
         loop {
@@ -532,6 +558,12 @@ impl Speculation {
                         label: labels[i].clone(),
                     };
                     value = Some(v);
+                    worlds_prof::mark(
+                        Some(parent_world.raw()),
+                        site,
+                        None,
+                        worlds_prof::Phase::Commit,
+                    );
                     let adopt_start = Instant::now();
                     self.store
                         .adopt(parent_world, msg.world)
@@ -605,7 +637,20 @@ impl Speculation {
             // losers (a single recycler acquisition), then wait for every
             // still-running sibling to reach its sync point and dispose
             // of itself (§2.2.1's slower option).
+            worlds_prof::mark(
+                Some(parent_world.raw()),
+                site,
+                None,
+                worlds_prof::Phase::Elim,
+            );
             self.store.drop_worlds(&losers);
+            // The join below is blocking, not teardown work.
+            worlds_prof::mark(
+                Some(parent_world.raw()),
+                site,
+                None,
+                worlds_prof::Phase::Wait,
+            );
             latch.wait();
             // Late reports tell us how the losers ended. Each is that
             // child's only report, so its guard verdict has not been
@@ -687,6 +732,8 @@ impl Speculation {
             }
             obs.flush();
         }
+
+        worlds_prof::restore_mark(outer_mark);
 
         RunReport {
             outcome,

@@ -316,6 +316,13 @@ fn run_task(inner: &Inner, task: Task, how: Provenance) {
             i.stats.exec.tasks_stolen.incr();
         }
     });
+    // Profiler marker: on-CPU in a task from here; the speculation layer
+    // refines world/site/phase once it knows them. One relaxed load when
+    // no sampler is attached. The matching Idle mark is published by the
+    // caller's out-of-work path, not here: between back-to-back tasks
+    // the next pickup overwrites the slot anyway, and skipping the flip
+    // halves the marker tax on a saturated worker.
+    worlds_prof::mark(None, None, None, worlds_prof::Phase::Task);
     // A panicking task must not take its worker down with it.
     let _ = catch_unwind(AssertUnwindSafe(task.run));
     inner.state.lock().unwrap().executing -= 1;
@@ -331,6 +338,10 @@ fn worker_loop(inner: Arc<Inner>, slot: usize) {
             run_task(&inner, task, how);
             continue;
         }
+        // Out of work: retire the last task's marker before blocking so
+        // neither the sampler nor the stall watchdog attributes the wait
+        // to a task that already finished.
+        worlds_prof::mark_idle();
         let mut st = inner.state.lock().unwrap();
         if st.shutdown {
             st.live -= 1;
@@ -363,6 +374,9 @@ fn fallback_loop(inner: Arc<Inner>) {
             run_task(&inner, task, how);
             continue;
         }
+        // Same contract as worker_loop: the marker flips to Idle only
+        // when this thread actually runs out of work.
+        worlds_prof::mark_idle();
         let mut st = inner.state.lock().unwrap();
         if st.queued > 0 && !st.shutdown {
             drop(st);

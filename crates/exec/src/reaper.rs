@@ -155,6 +155,7 @@ fn reaper_loop(inner: Arc<Inner>) {
 
         // Tear down runs of worlds that share a store with one
         // `drop_worlds` call each — one recycler acquisition per run.
+        worlds_prof::mark(None, None, None, worlds_prof::Phase::Reap);
         let mut i = 0;
         while i < batch.len() {
             let store = &batch[i].0;
@@ -171,6 +172,7 @@ fn reaper_loop(inner: Arc<Inner>) {
             i = j;
         }
 
+        worlds_prof::mark_idle();
         {
             let mut st = inner.state.lock().unwrap();
             st.reaping = false;

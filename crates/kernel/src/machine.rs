@@ -135,6 +135,16 @@ impl Machine {
 
         // --- Parent setup: shared state, pre-spawn guards, forks. ---
         let parent_world = self.store.create_world();
+        // The whole simulation is real CPU on the calling thread; stamp
+        // the transitions so the sampler attributes it (and the watchdog
+        // sees progress between blocks).
+        let outer_mark = worlds_prof::current_mark();
+        worlds_prof::mark(
+            Some(parent_world.raw()),
+            None,
+            None,
+            worlds_prof::Phase::Task,
+        );
         for vpn in 0..spec.shared_pages {
             self.store
                 .write(parent_world, vpn, 0, &[0xA5])
@@ -370,6 +380,12 @@ impl Machine {
         let outcome = if let Some(w) = winner {
             let dirty = per_proc_dirty[w];
             commit_overhead = self.cost.rendezvous.as_ns() + dirty * self.cost.commit_copy.as_ns();
+            worlds_prof::mark(
+                Some(parent_world.raw()),
+                None,
+                None,
+                worlds_prof::Phase::Commit,
+            );
             // Adopt the winner's world into the parent: the atomic page-map
             // replacement of §2.2.
             self.store
@@ -649,6 +665,7 @@ impl Machine {
             }
         }
 
+        worlds_prof::restore_mark(outer_mark);
         let report = SimReport {
             outcome,
             wall: VirtualTime(now),

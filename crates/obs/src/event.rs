@@ -108,15 +108,61 @@ pub enum EventKind {
     },
     /// A request to `node` missed its deadline after `waited_ns`.
     NetTimeout { node: u64, waited_ns: u64 },
+    /// Profiler flush: `samples` sampler hits attributed to this world
+    /// at call-site `site`, alternative `alt`, and marker phase `phase`
+    /// (see `worlds-prof`) since the previous flush. Each hit stands
+    /// for ≈`period_ns` of on-CPU time, so `samples * period_ns`
+    /// estimates the on-CPU nanoseconds this tuple burned.
+    CpuSamples {
+        samples: u64,
+        period_ns: u64,
+        site: Option<u64>,
+        alt: Option<u64>,
+        phase: u64,
+    },
+    /// Profiler flush: worker `worker` was on-CPU for `busy` of `total`
+    /// sampler ticks since the previous flush — the per-worker
+    /// utilization counter track. `world` is meaningless here (0).
+    WorkerUtil { worker: u64, busy: u64, total: u64 },
+    /// Watchdog: a worker's marker has not advanced for `waited_ns`,
+    /// past its deadline — the thread is wedged in `phase` on this
+    /// world (at `site`, when known).
+    Stall {
+        site: Option<u64>,
+        phase: u64,
+        waited_ns: u64,
+    },
     /// Capture metadata, emitted once at the head of a stream (and at
     /// the head of every flight-recorder dump): how many CPU cores the
     /// recording process could actually use. Replay tooling keys its
     /// 1-CPU caveat banner off this; [`crate::RunStats::absorb`] ignores
     /// it entirely, so old and new captures aggregate identically.
     Meta { effective_cores: u64 },
+    /// The human label behind an interned site id, emitted once per
+    /// site per registry the first time a labelled block runs (and for
+    /// every known site at the head of a flight dump). Site ids are
+    /// process-local ([`crate::site_id`]), so without this line a
+    /// capture replayed in another process can only render `site#N`;
+    /// parsing one teaches the replayer's table the original label.
+    /// `world` is meaningless here (0).
+    SiteLabel { site: u64, label: String },
 }
 
 impl EventKind {
+    /// The call-site id this event is attributed to, for the kinds
+    /// that carry one.
+    pub fn site(&self) -> Option<u64> {
+        match self {
+            EventKind::GuardVerdict { site, .. }
+            | EventKind::Commit { site, .. }
+            | EventKind::EliminateSync { site, .. }
+            | EventKind::CpuSamples { site, .. }
+            | EventKind::Stall { site, .. } => *site,
+            EventKind::SiteLabel { site, .. } => Some(*site),
+            _ => None,
+        }
+    }
+
     /// Stable wire name (the JSONL `ev` field).
     pub fn name(&self) -> &'static str {
         match self {
@@ -144,7 +190,11 @@ impl EventKind {
             EventKind::NetRecv { .. } => "net_recv",
             EventKind::NetRetry { .. } => "net_retry",
             EventKind::NetTimeout { .. } => "net_timeout",
+            EventKind::CpuSamples { .. } => "cpu",
+            EventKind::WorkerUtil { .. } => "wutil",
+            EventKind::Stall { .. } => "stall",
             EventKind::Meta { .. } => "meta",
+            EventKind::SiteLabel { .. } => "site_label",
         }
     }
 }
@@ -287,7 +337,58 @@ impl Event {
                 push_field(&mut s, "node", *node);
                 push_field(&mut s, "waited", *waited_ns);
             }
+            EventKind::CpuSamples {
+                samples,
+                period_ns,
+                site,
+                alt,
+                phase,
+            } => {
+                push_field(&mut s, "samples", *samples);
+                push_field(&mut s, "period", *period_ns);
+                if let Some(site) = site {
+                    push_field(&mut s, "site", *site);
+                }
+                if let Some(alt) = alt {
+                    push_field(&mut s, "alt", *alt);
+                }
+                push_field(&mut s, "phase", *phase);
+            }
+            EventKind::WorkerUtil {
+                worker,
+                busy,
+                total,
+            } => {
+                push_field(&mut s, "worker", *worker);
+                push_field(&mut s, "busy", *busy);
+                push_field(&mut s, "total", *total);
+            }
+            EventKind::Stall {
+                site,
+                phase,
+                waited_ns,
+            } => {
+                if let Some(site) = site {
+                    push_field(&mut s, "site", *site);
+                }
+                push_field(&mut s, "phase", *phase);
+                push_field(&mut s, "waited", *waited_ns);
+            }
             EventKind::Meta { effective_cores } => push_field(&mut s, "cores", *effective_cores),
+            EventKind::SiteLabel { site, label } => {
+                push_field(&mut s, "site", *site);
+                s.push_str(",\"label\":\"");
+                // The flat codec rejects escapes, so characters that
+                // would need them are flattened instead of quoted.
+                for c in label.chars() {
+                    s.push(if c == '"' || c == '\\' || c.is_control() {
+                        '_'
+                    } else {
+                        c
+                    });
+                }
+                s.push('"');
+            }
             EventKind::Rendezvous
             | EventKind::EliminateAsync
             | EventKind::Timeout
@@ -383,9 +484,35 @@ impl Event {
                 node: fields.u64_field("node")?,
                 waited_ns: fields.u64_field("waited")?,
             },
+            "cpu" => EventKind::CpuSamples {
+                samples: fields.u64_field("samples")?,
+                period_ns: fields.u64_field("period")?,
+                site: fields.opt_u64_field("site")?,
+                alt: fields.opt_u64_field("alt")?,
+                phase: fields.opt_u64_field("phase")?.unwrap_or(0),
+            },
+            "wutil" => EventKind::WorkerUtil {
+                worker: fields.u64_field("worker")?,
+                busy: fields.u64_field("busy")?,
+                total: fields.u64_field("total")?,
+            },
+            "stall" => EventKind::Stall {
+                site: fields.opt_u64_field("site")?,
+                phase: fields.opt_u64_field("phase")?.unwrap_or(0),
+                waited_ns: fields.u64_field("waited")?,
+            },
             "meta" => EventKind::Meta {
                 effective_cores: fields.u64_field("cores")?,
             },
+            "site_label" => {
+                let site = fields.u64_field("site")?;
+                let label = fields.str_field("label")?.to_string();
+                // Replay side effect, by design: parsing a capture
+                // teaches this process the recorder's site names, so
+                // every downstream renderer resolves them for free.
+                crate::site::learn_site_label(site, &label);
+                EventKind::SiteLabel { site, label }
+            }
             other => return Err(ParseError(format!("unknown event kind {other:?}"))),
         };
         Ok(Event {
@@ -633,6 +760,35 @@ mod tests {
             EventKind::NetTimeout {
                 node: 1,
                 waited_ns: 50_000_000,
+            },
+            EventKind::CpuSamples {
+                samples: 12,
+                period_ns: 1_003_009,
+                site: Some(2),
+                alt: Some(0),
+                phase: 2,
+            },
+            EventKind::CpuSamples {
+                samples: 1,
+                period_ns: 1_003_009,
+                site: None,
+                alt: None,
+                phase: 1,
+            },
+            EventKind::WorkerUtil {
+                worker: 3,
+                busy: 200,
+                total: 250,
+            },
+            EventKind::Stall {
+                site: Some(5),
+                phase: 2,
+                waited_ns: 5_000_000_000,
+            },
+            EventKind::Stall {
+                site: None,
+                phase: 6,
+                waited_ns: 30_000_000_000,
             },
             EventKind::Meta { effective_cores: 4 },
         ]

@@ -33,7 +33,7 @@ pub use report::{
     RunStats,
 };
 pub use sink::{EventSink, JsonlSink, RingSink};
-pub use site::{site_id, site_label, site_label_or_anon, SiteId};
+pub use site::{learn_site_label, site_id, site_label, site_label_or_anon, SiteId};
 pub use span::{SpanOutcome, SpanTree, TraceCtx, WorldSpan};
 pub use trace_export::{chrome_trace_json, validate_json};
 
@@ -46,6 +46,8 @@ pub struct Inner {
     pub stats: RunStats,
     sinks: Vec<Arc<dyn EventSink>>,
     epoch: Instant,
+    /// Site ids already described to this registry's stream.
+    announced_sites: std::sync::Mutex<std::collections::HashSet<u64>>,
 }
 
 /// The observability handle instrumented subsystems hold.
@@ -76,6 +78,7 @@ impl Registry {
                 stats: RunStats::new(),
                 sinks,
                 epoch: Instant::now(),
+                announced_sites: std::sync::Mutex::new(std::collections::HashSet::new()),
             })),
         }
     }
@@ -158,6 +161,38 @@ impl Registry {
             inner.stats.absorb(&ev);
             for sink in &inner.sinks {
                 sink.record(&ev);
+            }
+        }
+    }
+
+    /// Describe `site` in this registry's stream, once. Site ids are
+    /// process-local, so a capture that carries them must also carry
+    /// their labels to be renderable anywhere else; callers running a
+    /// labelled block announce the site before its first events.
+    /// Disabled registries and repeat announcements are free-ish (one
+    /// branch, then one mutex op).
+    pub fn announce_site(&self, site: SiteId) {
+        if let Some(inner) = &self.inner {
+            if !inner
+                .announced_sites
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(site.0)
+            {
+                return;
+            }
+            if let Some(label) = site_label(site.0) {
+                self.emit(|| {
+                    Event::new(
+                        EventKind::SiteLabel {
+                            site: site.0,
+                            label,
+                        },
+                        0,
+                        None,
+                        0,
+                    )
+                });
             }
         }
     }

@@ -105,6 +105,21 @@ counter_struct! {
 }
 
 counter_struct! {
+    /// Sampling profiler (worlds-prof). Event-derived from the flush
+    /// stream, so JSONL replay reconstructs it; the summary omits the
+    /// section when no samples were recorded, keeping replays of
+    /// pre-prof captures byte-identical.
+    pub struct ProfCounters {
+        /// Marker samples attributed to a world (flush-event sum).
+        pub cpu_samples,
+        /// Estimated on-CPU nanoseconds (`samples * period_ns` summed).
+        pub est_cpu_ns,
+        /// Stall watchdog firings.
+        pub stalls,
+    }
+}
+
+counter_struct! {
     /// Execution substrate (worlds-exec pool + reaper). Unlike the other
     /// groups these are **not** derived from events: the pool is below
     /// the world-lifecycle layer, so its bookkeeping is bumped directly
@@ -142,6 +157,8 @@ pub struct RunStats {
     pub remote: RemoteCounters,
     /// worlds-net wire counters (event-derived, see [`NetCounters`]).
     pub net: NetCounters,
+    /// worlds-prof sampler counters (event-derived, see [`ProfCounters`]).
+    pub prof: ProfCounters,
     /// worlds-exec pool/reaper counters (live-only, see [`ExecCounters`]).
     pub exec: ExecCounters,
     /// Speculation tasks submitted to the executor but not yet picked up
@@ -240,9 +257,19 @@ impl RunStats {
             }
             EventKind::NetRetry { .. } => self.net.retries.incr(),
             EventKind::NetTimeout { .. } => self.net.timeouts.incr(),
+            EventKind::CpuSamples {
+                samples, period_ns, ..
+            } => {
+                self.prof.cpu_samples.add(*samples);
+                self.prof.est_cpu_ns.add(samples.saturating_mul(*period_ns));
+            }
+            EventKind::Stall { .. } => self.prof.stalls.incr(),
+            // Utilization is a per-worker level, not a run counter; the
+            // trace export renders it, the summary does not.
+            EventKind::WorkerUtil { .. } => {}
             // Capture provenance, not a run metric: absorbing it would
             // make new captures aggregate differently from old ones.
-            EventKind::Meta { .. } => {}
+            EventKind::Meta { .. } | EventKind::SiteLabel { .. } => {}
         }
     }
 
@@ -287,6 +314,13 @@ impl RunStats {
         if net.iter().any(|&(_, v)| v > 0) {
             section(&mut out, "net", &net);
             hist_line(&mut out, "net_rtt", &self.net_rtt);
+        }
+
+        // Profiler section only when samples (or stalls) were recorded,
+        // so pre-prof captures replay byte-identically.
+        let prof = self.prof.snapshot();
+        if prof.iter().any(|&(_, v)| v > 0) {
+            section(&mut out, "prof", &prof);
         }
 
         // Executor counters are live-only (no events back them), so a

@@ -27,6 +27,9 @@ pub struct SiteId(pub u64);
 struct SiteTable {
     by_label: HashMap<String, u64>,
     labels: Vec<String>,
+    /// Labels learned from replayed `site_label` events — ids another
+    /// process handed out. Locally registered labels always win.
+    learned: HashMap<u64, String>,
 }
 
 fn table() -> &'static Mutex<SiteTable> {
@@ -47,11 +50,25 @@ pub fn site_id(label: &str) -> SiteId {
     SiteId(id)
 }
 
-/// The label `id` was registered with, or `None` for an id this process
-/// never handed out (e.g. a site id replayed from another process's
-/// capture — render those as `site#N`).
+/// The label `id` was registered with (locally, or learned from a
+/// replayed capture's `site_label` events), or `None` for an id nobody
+/// ever described — render those as `site#N`.
 pub fn site_label(id: u64) -> Option<String> {
-    table().lock().unwrap().labels.get(id as usize).cloned()
+    let t = table().lock().unwrap();
+    t.labels
+        .get(id as usize)
+        .or_else(|| t.learned.get(&id))
+        .cloned()
+}
+
+/// Record a label replayed from another process's capture. Local
+/// registrations take precedence: a replayer that also runs labelled
+/// blocks of its own keeps its own names for ids it handed out.
+pub fn learn_site_label(id: u64, label: &str) {
+    let mut t = table().lock().unwrap();
+    if t.labels.get(id as usize).is_none() {
+        t.learned.insert(id, label.to_string());
+    }
 }
 
 /// `site_label` with the `site#N` fallback applied — always renderable.

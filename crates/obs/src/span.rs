@@ -163,6 +163,12 @@ pub struct WorldSpan {
     pub marks: Vec<Mark>,
     /// Child worlds (tree order = first-seen order).
     pub children: Vec<u64>,
+    /// Profiler samples attributed to this world (`cpu` flush events).
+    pub cpu_samples: u64,
+    /// Estimated on-CPU nanoseconds (`Σ samples × period`). Raw sum —
+    /// sampling error can nudge it past the span's wall time, so
+    /// renders use [`WorldSpan::est_cpu_capped_ns`].
+    pub est_cpu_ns: u64,
 }
 
 impl WorldSpan {
@@ -182,6 +188,8 @@ impl WorldSpan {
             checkpoints: Vec::new(),
             marks: Vec::new(),
             children: Vec::new(),
+            cpu_samples: 0,
+            est_cpu_ns: 0,
         }
     }
 
@@ -199,6 +207,29 @@ impl WorldSpan {
     pub fn bytes_copied(&self) -> u64 {
         self.faults.iter().map(|f| f.bytes).sum()
     }
+
+    /// Estimated on-CPU time, capped at the span's wall time: a span
+    /// can never have burned more CPU than it existed for, but ±1
+    /// sample of quantisation error (and flush lag on short spans) can
+    /// push the raw estimate past the wall clock.
+    pub fn est_cpu_capped_ns(&self) -> u64 {
+        self.est_cpu_ns.min(self.duration_ns())
+    }
+}
+
+/// One per-worker utilization point from a profiler flush (`wutil`
+/// event): worker `worker` was on-CPU for `busy` of `total` sampler
+/// ticks in the flush window ending at `vt_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerUtilPoint {
+    /// Virtual time of the flush.
+    pub vt_ns: u64,
+    /// Marker-registry slot index of the worker.
+    pub worker: u64,
+    /// On-CPU sampler ticks in the window.
+    pub busy: u64,
+    /// Total sampler ticks in the window.
+    pub total: u64,
 }
 
 /// What a causal flow arrow means.
@@ -267,6 +298,9 @@ pub struct WasteBucket {
     pub pages: u64,
     /// Bytes they physically copied.
     pub bytes: u64,
+    /// Estimated on-CPU nanoseconds (capped per span; 0 without a
+    /// profiler capture).
+    pub cpu_ns: u64,
 }
 
 /// Per-run waste attribution. The partition is exact by construction:
@@ -291,6 +325,7 @@ pub struct SpanTree {
     edges: Vec<CausalEdge>,
     roots: Vec<u64>,
     max_vt_ns: u64,
+    worker_util: Vec<WorkerUtilPoint>,
 }
 
 impl SpanTree {
@@ -507,9 +542,43 @@ impl SpanTree {
                 // Frame accounting has no per-world span meaning (the
                 // freeing world is often already closed).
             }
-            EventKind::Meta { .. } => {
-                // Capture provenance: world 0 here is a placeholder, not
+            EventKind::Meta { .. } | EventKind::SiteLabel { .. } => {
+                // Stream metadata: world 0 here is a placeholder, not
                 // a span — opening one would fabricate an orphan root.
+            }
+            EventKind::CpuSamples {
+                samples, period_ns, ..
+            } => {
+                // Profiler flushes lag the work they measured, so they
+                // attribute CPU but never extend a span's wall clock.
+                let span = self.ensure(w, vt);
+                span.cpu_samples += samples;
+                span.est_cpu_ns += samples.saturating_mul(*period_ns);
+            }
+            EventKind::WorkerUtil {
+                worker,
+                busy,
+                total,
+            } => {
+                // Worker-level, not world-level: kept as counter points
+                // for trace export, never a span.
+                self.worker_util.push(WorkerUtilPoint {
+                    vt_ns: vt,
+                    worker: *worker,
+                    busy: *busy,
+                    total: *total,
+                });
+            }
+            EventKind::Stall { .. } => {
+                // A watchdog bark against a live world; world 0 means the
+                // wedged worker held no world — nothing to pin it on.
+                if let Some(span) = self.spans.get_mut(&w) {
+                    span.marks.push(Mark {
+                        vt_ns: vt,
+                        what: "stall",
+                        from: None,
+                    });
+                }
             }
         }
     }
@@ -584,6 +653,17 @@ impl SpanTree {
         self.max_vt_ns
     }
 
+    /// Per-worker utilization points from profiler flushes, in stream
+    /// order. Empty without a profiler capture.
+    pub fn worker_util(&self) -> &[WorkerUtilPoint] {
+        &self.worker_util
+    }
+
+    /// Total profiler samples attributed to worlds in this tree.
+    pub fn total_cpu_samples(&self) -> u64 {
+        self.spans.values().map(|s| s.cpu_samples).sum()
+    }
+
     /// The winner lineage: from the latest committing world up to its
     /// root. `None` when the stream carries no commit (timeout, all
     /// guards failed, or the tail was cut before the commit).
@@ -636,6 +716,7 @@ impl SpanTree {
             target.vt_ns += span.duration_ns();
             target.pages += span.pages_faulted();
             target.bytes += span.bytes_copied();
+            target.cpu_ns += span.est_cpu_capped_ns();
         }
         WasteReport {
             lineage,
@@ -666,42 +747,71 @@ impl SpanTree {
         match self.critical_path() {
             None => out.push_str("  no commit in stream\n"),
             Some(cp) => {
+                let mut path_cpu = 0u64;
                 for w in &cp.worlds {
                     let s = &self.spans[w];
                     let role = match s.alt {
                         Some(a) => format!("alt {a}"),
                         None => "root".to_string(),
                     };
+                    let cpu = s.est_cpu_capped_ns();
+                    path_cpu += cpu;
                     out.push_str(&format!(
-                        "  world {:<6} {:<12} [{} .. {}]  {}\n",
+                        "  world {:<6} {:<12} [{} .. {}]  wall={:<9} cpu={:<9} {}\n",
                         s.world,
                         role,
                         fmt_ns(s.start_ns),
                         fmt_ns(s.end_ns),
+                        fmt_ns(s.duration_ns()),
+                        fmt_ns(cpu),
                         s.outcome.label(),
                     ));
                 }
                 out.push_str(&format!(
-                    "  commit at {} — path wall time {}\n",
+                    "  commit at {} — path wall time {}, est on-CPU {}\n",
                     fmt_ns(cp.commit_ns),
-                    fmt_ns(cp.total_ns)
+                    fmt_ns(cp.total_ns),
+                    fmt_ns(path_cpu),
                 ));
             }
         }
         out
     }
 
-    /// Human-readable waste-attribution table.
+    /// Human-readable waste-attribution table. Rows grow an est. CPU
+    /// share column when the capture carries profiler samples.
     pub fn render_waste(&self) -> String {
         let w = self.waste();
+        let total_cpu: u64 =
+            w.lineage.cpu_ns + w.buckets.iter().map(|(_, b)| b.cpu_ns).sum::<u64>();
+        // Without samples the bytes column stays last and unpadded, so
+        // pre-prof captures replay byte-identically.
+        let cpu_col = |b: &WasteBucket| -> String {
+            if total_cpu == 0 {
+                return String::new();
+            }
+            format!(
+                " cpu={:<9} ({:>3.0}%)",
+                fmt_ns(b.cpu_ns),
+                100.0 * b.cpu_ns as f64 / total_cpu as f64
+            )
+        };
+        let bytes_col = |b: &WasteBucket| -> String {
+            if total_cpu == 0 {
+                b.bytes.to_string()
+            } else {
+                format!("{:<9}", b.bytes)
+            }
+        };
         let mut out = String::from("== waste attribution ==\n");
         out.push_str(&format!(
-            "  {:<14} worlds={:<4} vt={:<10} pages={:<6} bytes={}\n",
+            "  {:<14} worlds={:<4} vt={:<10} pages={:<6} bytes={}{}\n",
             "winner-lineage",
             w.lineage.worlds,
             fmt_ns(w.lineage.vt_ns),
             w.lineage.pages,
-            w.lineage.bytes,
+            bytes_col(&w.lineage),
+            cpu_col(&w.lineage),
         ));
         for (alt, b) in &w.buckets {
             let name = match alt {
@@ -709,12 +819,13 @@ impl SpanTree {
                 None => "unattributed".to_string(),
             };
             out.push_str(&format!(
-                "  {:<14} worlds={:<4} vt={:<10} pages={:<6} bytes={}\n",
+                "  {:<14} worlds={:<4} vt={:<10} pages={:<6} bytes={}{}\n",
                 name,
                 b.worlds,
                 fmt_ns(b.vt_ns),
                 b.pages,
-                b.bytes,
+                bytes_col(b),
+                cpu_col(b),
             ));
         }
         out.push_str(&format!(
@@ -896,8 +1007,129 @@ mod tests {
         let cp = tree.render_critical_path();
         assert!(cp.contains("world 3"), "{cp}");
         assert!(cp.contains("alt 1"), "{cp}");
+        assert!(cp.contains("wall="), "{cp}");
+        assert!(cp.contains("cpu="), "{cp}");
         let waste = tree.render_waste();
         assert!(waste.contains("winner-lineage"), "{waste}");
         assert!(waste.contains("alt 0"), "{waste}");
+        assert!(
+            !waste.contains("cpu="),
+            "no samples, no cpu column: {waste}"
+        );
+    }
+
+    /// `small_run` plus profiler flushes: 3 samples on the winner, 2 on
+    /// the loser, one worker-util point, one stall on the loser.
+    fn profiled_run() -> Vec<Event> {
+        let mut events = small_run();
+        events.push(ev(
+            EventKind::CpuSamples {
+                samples: 3,
+                period_ns: 10,
+                site: Some(1),
+                alt: Some(1),
+                phase: 2,
+            },
+            3,
+            None,
+            65,
+        ));
+        events.push(ev(
+            EventKind::CpuSamples {
+                samples: 2,
+                period_ns: 10,
+                site: Some(1),
+                alt: Some(0),
+                phase: 2,
+            },
+            2,
+            None,
+            65,
+        ));
+        events.push(ev(
+            EventKind::WorkerUtil {
+                worker: 0,
+                busy: 5,
+                total: 8,
+            },
+            0,
+            None,
+            65,
+        ));
+        events.push(ev(
+            EventKind::Stall {
+                site: Some(1),
+                phase: 2,
+                waited_ns: 40,
+            },
+            2,
+            None,
+            66,
+        ));
+        events
+    }
+
+    #[test]
+    fn cpu_samples_attribute_without_extending_spans() {
+        let plain = SpanTree::build(&small_run());
+        let tree = SpanTree::build(&profiled_run());
+        let winner = tree.get(3).unwrap();
+        assert_eq!(winner.cpu_samples, 3);
+        assert_eq!(winner.est_cpu_ns, 30);
+        assert_eq!(
+            winner.end_ns,
+            plain.get(3).unwrap().end_ns,
+            "flush must not move the wall clock"
+        );
+        assert_eq!(tree.total_cpu_samples(), 5);
+        // The stall landed as a mark on the loser, not a new span.
+        assert!(tree.get(2).unwrap().marks.iter().any(|m| m.what == "stall"));
+        assert!(tree.get(0).is_none(), "world-0 events must not open spans");
+        assert_eq!(
+            tree.worker_util(),
+            &[WorkerUtilPoint {
+                vt_ns: 65,
+                worker: 0,
+                busy: 5,
+                total: 8,
+            }]
+        );
+    }
+
+    #[test]
+    fn est_cpu_is_capped_at_wall_time() {
+        let mut events = small_run();
+        // 1000 samples × 10ns ≫ the loser's 60ns lifetime.
+        events.push(ev(
+            EventKind::CpuSamples {
+                samples: 1000,
+                period_ns: 10,
+                site: None,
+                alt: Some(0),
+                phase: 2,
+            },
+            2,
+            None,
+            65,
+        ));
+        let tree = SpanTree::build(&events);
+        let loser = tree.get(2).unwrap();
+        assert_eq!(loser.est_cpu_ns, 10_000, "raw sum is kept");
+        assert_eq!(loser.est_cpu_capped_ns(), loser.duration_ns());
+        // The waste table charges the capped value.
+        let w = tree.waste();
+        let alt0 = &w.buckets.iter().find(|(a, _)| *a == Some(0)).unwrap().1;
+        assert_eq!(alt0.cpu_ns, loser.duration_ns());
+    }
+
+    #[test]
+    fn renders_grow_cpu_columns_with_samples() {
+        let tree = SpanTree::build(&profiled_run());
+        let cp = tree.render_critical_path();
+        assert!(cp.contains("cpu=30ns"), "{cp}");
+        assert!(cp.contains("est on-CPU"), "{cp}");
+        let waste = tree.render_waste();
+        assert!(waste.contains("cpu="), "{waste}");
+        assert!(waste.contains("%"), "{waste}");
     }
 }

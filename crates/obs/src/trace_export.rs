@@ -8,7 +8,9 @@
 //! * nested `X` slices for the guard evaluation and checkpoints;
 //! * `i` instants for CoW faults, zero fills, message routing and RPCs;
 //! * `s`/`f` flow arrows for every causal edge — spawn, commit, split,
-//!   remote fork, and message delivery.
+//!   remote fork, and message delivery;
+//! * `C` counter tracks (`worker N on-CPU %`) when the capture carries
+//!   profiler `wutil` flushes — per-worker utilization over time.
 //!
 //! Timestamps are microseconds (the format's unit); virtual nanoseconds
 //! divide by 1000 with three decimals so nothing collapses to zero.
@@ -24,6 +26,17 @@ pub fn chrome_trace_json(tree: &SpanTree) -> String {
     }
     for (i, edge) in tree.edges().iter().enumerate() {
         push_flow(&mut events, edge, i as u64);
+    }
+    for p in tree.worker_util() {
+        // Integer percent: counters don't need sub-point precision, and
+        // it keeps the document free of float-formatting surprises.
+        let pct = p.busy.saturating_mul(100).checked_div(p.total).unwrap_or(0);
+        events.push(format!(
+            "{{\"ph\":\"C\",\"name\":\"worker {} on-CPU %\",\"cat\":\"prof\",\"pid\":0,\
+             \"ts\":{},\"args\":{{\"util\":{pct}}}}}",
+            p.worker,
+            ts(p.vt_ns),
+        ));
     }
     let mut out = String::with_capacity(events.len() * 96 + 64);
     out.push_str("{\"traceEvents\":[\n");
@@ -351,6 +364,44 @@ mod tests {
         }
         // Flow pairs: 2 spawns + 1 commit + 1 message = 4 edges, 8 events.
         assert_eq!(doc.matches("\"cat\":\"flow\"").count(), 8);
+    }
+
+    #[test]
+    fn worker_util_becomes_a_counter_track() {
+        let events = vec![
+            Event::new(EventKind::Spawn { alt: 0 }, 2, Some(1), 10),
+            Event::new(
+                EventKind::WorkerUtil {
+                    worker: 3,
+                    busy: 7,
+                    total: 10,
+                },
+                0,
+                None,
+                40,
+            ),
+            Event::new(
+                EventKind::WorkerUtil {
+                    worker: 3,
+                    busy: 0,
+                    total: 0,
+                },
+                0,
+                None,
+                80,
+            ),
+        ];
+        let tree = SpanTree::build(&events);
+        let doc = chrome_trace_json(&tree);
+        validate_json(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        assert!(
+            doc.contains("\"ph\":\"C\",\"name\":\"worker 3 on-CPU %\""),
+            "{doc}"
+        );
+        assert!(doc.contains("\"util\":70"), "{doc}");
+        assert!(doc.contains("\"util\":0"), "empty window is 0%: {doc}");
+        // Counter points never open world tracks.
+        assert!(!doc.contains("world 0"), "{doc}");
     }
 
     #[test]

@@ -38,7 +38,8 @@ pub fn parallel_find_roots(
     timeout: Option<Duration>,
 ) -> RunReport<ParallelRootResult> {
     assert!(!angles.is_empty(), "need at least one starting angle");
-    let mut block: AltBlock<ParallelRootResult> = AltBlock::new().elim(ElimMode::Sync);
+    let mut block: AltBlock<ParallelRootResult> =
+        AltBlock::new().site("rootfinder/race").elim(ElimMode::Sync);
     if let Some(t) = timeout {
         block = block.timeout(t);
     }

@@ -22,12 +22,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter`.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Just the parameter, for single-function groups.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -99,7 +103,12 @@ impl Bencher<'_> {
         let min_ns = samples[0];
         let median_ns = samples[samples.len() / 2];
         let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
-        self.result = Some(Sample { mean_ns, min_ns, median_ns, iters });
+        self.result = Some(Sample {
+            mean_ns,
+            min_ns,
+            median_ns,
+            iters,
+        });
     }
 }
 
@@ -151,18 +160,29 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher<'_>),
     {
-        let mut b = Bencher { cfg: &self.cfg, result: None };
+        let mut b = Bencher {
+            cfg: &self.cfg,
+            result: None,
+        };
         f(&mut b);
         report(&self.name, &id.to_string(), b.result);
         self
     }
 
     /// Run one parameterised benchmark.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher<'_>, &I),
     {
-        let mut b = Bencher { cfg: &self.cfg, result: None };
+        let mut b = Bencher {
+            cfg: &self.cfg,
+            result: None,
+        };
         f(&mut b, input);
         report(&self.name, &id.to_string(), b.result);
         self
@@ -214,7 +234,11 @@ impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let cfg = self.cfg.clone();
-        BenchmarkGroup { name: name.into(), cfg, _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            cfg,
+            _parent: self,
+        }
     }
 
     /// Run an ungrouped benchmark.
@@ -222,7 +246,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher<'_>),
     {
-        let mut b = Bencher { cfg: &self.cfg, result: None };
+        let mut b = Bencher {
+            cfg: &self.cfg,
+            result: None,
+        };
         f(&mut b);
         report("crit", &id.to_string(), b.result);
         self

@@ -3,8 +3,8 @@
 //! The real `libc` crate is unreachable in this container (no network, no
 //! registry mirror), and it is only FFI declarations anyway — the symbols
 //! live in the system C library that every Rust binary already links. So
-//! we declare exactly the subset the `worlds-os` crate calls, with the
-//! glibc x86-64/aarch64 Linux ABI types.
+//! we declare exactly the subset this workspace calls, with the glibc
+//! x86-64/aarch64 Linux ABI types.
 #![cfg(unix)]
 #![allow(non_camel_case_types)]
 
@@ -82,6 +82,7 @@ extern "C" {
     pub fn clock_gettime(clk: clockid_t, tp: *mut timespec) -> c_int;
     pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
     pub fn raise(sig: c_int) -> c_int;
+    pub fn atexit(cb: extern "C" fn()) -> c_int;
 }
 
 #[cfg(test)]

@@ -129,11 +129,7 @@ impl<'a, T: ?Sized> RwLockUpgradableReadGuard<'a, T> {
     /// read release and the write acquisition.
     pub fn upgrade(mut this: Self) -> RwLockWriteGuard<'a, T> {
         this.read = None; // release shared mode first: writers need it clear
-        let write = this
-            .lock
-            .rw
-            .write()
-            .unwrap_or_else(|e| e.into_inner());
+        let write = this.lock.rw.write().unwrap_or_else(|e| e.into_inner());
         // The upgrade token drops with `this`, after the write guard is
         // held — no other upgradable reader saw the intermediate state.
         write

@@ -33,7 +33,9 @@ impl RngCore for TestRng {
 impl TestRng {
     /// RNG for one (test, case) pair.
     pub fn for_case(seed: u64, case: u32) -> TestRng {
-        TestRng(StdRng::seed_from_u64(seed ^ (0x9E37_79B9 + u64::from(case))))
+        TestRng(StdRng::seed_from_u64(
+            seed ^ (0x9E37_79B9 + u64::from(case)),
+        ))
     }
 }
 
@@ -108,7 +110,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, reason: reason.into(), pred }
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
     }
 
     /// Filter and transform in one step (resampling on `None`).
@@ -117,7 +123,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(Self::Value) -> Option<T>,
     {
-        FilterMap { inner: self, reason: reason.into(), f }
+        FilterMap {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
     }
 
     /// Build recursive structures: `recurse` receives a strategy for the
@@ -141,7 +151,10 @@ pub trait Strategy {
         let mut cur: Rc<dyn Strategy<Value = Self::Value>> = leaf.clone();
         for _ in 0..depth {
             let branch = recurse(Box::new(RcStrategy(cur.clone())));
-            cur = Rc::new(RecursiveLevel { leaf: leaf.clone(), branch });
+            cur = Rc::new(RecursiveLevel {
+                leaf: leaf.clone(),
+                branch,
+            });
         }
         Box::new(RcStrategy(cur))
     }
@@ -220,7 +233,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter gave up after {FILTER_RETRIES} tries: {}", self.reason);
+        panic!(
+            "prop_filter gave up after {FILTER_RETRIES} tries: {}",
+            self.reason
+        );
     }
 }
 
@@ -239,7 +255,10 @@ impl<S: Strategy, T, F: Fn(S::Value) -> Option<T>> Strategy for FilterMap<S, F> 
                 return v;
             }
         }
-        panic!("prop_filter_map gave up after {FILTER_RETRIES} tries: {}", self.reason);
+        panic!(
+            "prop_filter_map gave up after {FILTER_RETRIES} tries: {}",
+            self.reason
+        );
     }
 }
 
@@ -473,12 +492,18 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty collection size range");
-            SizeRange { min: r.start, max: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
         }
     }
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
         }
     }
 
@@ -490,7 +515,10 @@ pub mod collection {
 
     /// `Vec`s of `element` values with lengths from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// See [`vec`].
@@ -515,7 +543,10 @@ pub mod collection {
     where
         S::Value: Ord,
     {
-        BTreeSetStrategy { element, size: size.into() }
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// See [`btree_set`].
@@ -551,7 +582,11 @@ pub mod collection {
     where
         K::Value: Ord,
     {
-        BTreeMapStrategy { key, value, size: size.into() }
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
     }
 
     /// See [`btree_map`].
@@ -756,10 +791,12 @@ mod tests {
                 T::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = prop_oneof![(0i64..5).prop_map(T::Leaf), Just(T::Leaf(99))]
-            .prop_recursive(3, 16, 3, |inner| {
-                collection::vec(inner, 1..3).prop_map(T::Node)
-            });
+        let strat = prop_oneof![(0i64..5).prop_map(T::Leaf), Just(T::Leaf(99))].prop_recursive(
+            3,
+            16,
+            3,
+            |inner| collection::vec(inner, 1..3).prop_map(T::Node),
+        );
         let mut rng = TestRng::for_case(4, 0);
         let mut saw_node = false;
         for _ in 0..200 {

@@ -169,7 +169,9 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^ (z >> 31)
             };
-            StdRng { s: [next(), next(), next(), next()] }
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 
@@ -235,7 +237,10 @@ mod tests {
         for _ in 0..1000 {
             seen[rng.gen_range(0usize..8)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all 8 values drawn within 1000 tries");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all 8 values drawn within 1000 tries"
+        );
     }
 
     #[test]
@@ -250,6 +255,9 @@ mod tests {
     fn gen_bool_probability() {
         let mut rng = StdRng::seed_from_u64(5);
         let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
-        assert!((2200..2800).contains(&hits), "p=0.25 over 10k draws, got {hits}");
+        assert!(
+            (2200..2800).contains(&hits),
+            "p=0.25 over 10k draws, got {hits}"
+        );
     }
 }

@@ -7,6 +7,7 @@
 //! worlds-report --critical-path run.jsonl  # + winner-lineage table
 //! worlds-report --waste run.jsonl          # + waste-attribution table
 //! worlds-report --net run.jsonl            # + per-node wire-traffic table
+//! worlds-report --cpu run.jsonl            # + per-world CPU attribution
 //! worlds-report --trace-out t.json run.jsonl  # + Chrome trace for Perfetto
 //! worlds-report --live 127.0.0.1:4200      # refreshing cluster tables
 //! worlds-report --live ADDR --once         # one snapshot, then exit
@@ -18,7 +19,7 @@
 //! stderr), never fatal mid-stream — a truncated file from a crashed run
 //! still yields a report. The exit code is nonzero when the input is
 //! empty, *every* line was malformed, or a requested analysis
-//! (`--net`, `--waste`) has no matching events to analyse.
+//! (`--net`, `--waste`, `--cpu`) has no matching events to analyse.
 //!
 //! A capture whose `meta` line records `effective_cores: 1` gets a
 //! caveat banner on stderr: its "parallel" timings were taken with no
@@ -33,13 +34,14 @@ fn main() {
     std::process::exit(run(std::env::args().skip(1).collect()));
 }
 
-const USAGE: &str = "usage: worlds-report [--critical-path] [--waste] [--net] [--trace-out FILE] [<events.jsonl> | -]\n       worlds-report --live ADDR [--once] [--interval MS]";
+const USAGE: &str = "usage: worlds-report [--critical-path] [--waste] [--net] [--cpu] [--trace-out FILE] [<events.jsonl> | -]\n       worlds-report --live ADDR [--once] [--interval MS]";
 
 struct Options {
     path: String,
     critical_path: bool,
     waste: bool,
     net: bool,
+    cpu: bool,
     trace_out: Option<String>,
     live: Option<String>,
     once: bool,
@@ -52,6 +54,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         critical_path: false,
         waste: false,
         net: false,
+        cpu: false,
         trace_out: None,
         live: None,
         once: false,
@@ -64,6 +67,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             "--critical-path" => opts.critical_path = true,
             "--waste" => opts.waste = true,
             "--net" => opts.net = true,
+            "--cpu" => opts.cpu = true,
             "--trace-out" => {
                 opts.trace_out = Some(
                     it.next()
@@ -127,7 +131,7 @@ fn run(args: Vec<String>) -> i32 {
 
     // The span analyses (and the per-node net table) need the events
     // themselves, not just the folded counters; collect as we stream.
-    let need_spans = opts.critical_path || opts.waste || opts.trace_out.is_some();
+    let need_spans = opts.critical_path || opts.waste || opts.cpu || opts.trace_out.is_some();
     let need_events = need_spans || opts.net;
     let stats = RunStats::new();
     let mut events: Vec<Event> = Vec::new();
@@ -220,6 +224,16 @@ fn run(args: Vec<String>) -> i32 {
                 missing += 1;
             }
         }
+        if opts.cpu {
+            println!("{}", render_cpu(&tree));
+            if tree.total_cpu_samples() == 0 {
+                eprintln!(
+                    "worlds-report: --cpu requested but the capture has no cpu sample events \
+                     (record with WORLDS_PROF=1)"
+                );
+                missing += 1;
+            }
+        }
         if let Some(path) = &opts.trace_out {
             let doc = chrome_trace_json(&tree);
             if let Err(e) = std::fs::File::create(path).and_then(|mut f| {
@@ -272,6 +286,60 @@ fn run_live(addr: &str, once: bool, interval_ms: u64) -> i32 {
         }
         std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
     }
+}
+
+/// The `--cpu` table: profiler samples attributed per world, wall vs
+/// estimated on-CPU time, plus per-worker utilization. Each line keeps
+/// est-CPU capped at the span's wall time (the same invariant the
+/// critical-path table holds).
+fn render_cpu(tree: &SpanTree) -> String {
+    use worlds_obs::fmt_ns;
+
+    let total = tree.total_cpu_samples();
+    let mut out = String::from("== cpu attribution (sampling profiler) ==\n");
+    if total == 0 {
+        out.push_str("  no cpu sample events in this capture\n");
+        return out;
+    }
+    let mut spans: Vec<_> = tree.spans().filter(|s| s.cpu_samples > 0).collect();
+    spans.sort_by_key(|s| std::cmp::Reverse(s.cpu_samples));
+    for s in &spans {
+        let alt = match s.alt {
+            Some(a) => format!("alt {a}"),
+            None => "root".to_string(),
+        };
+        out.push_str(&format!(
+            "  world {:<6} {:<8} samples={:<7} wall={:<9} cpu={:<9} ({:>3.0}% of attributed)\n",
+            s.world,
+            alt,
+            s.cpu_samples,
+            fmt_ns(s.duration_ns()),
+            fmt_ns(s.est_cpu_capped_ns()),
+            100.0 * s.cpu_samples as f64 / total as f64,
+        ));
+    }
+    let util = tree.worker_util();
+    if !util.is_empty() {
+        // Fold the flush points into one lifetime ratio per worker.
+        let mut per_worker: std::collections::BTreeMap<u64, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for p in util {
+            let w = per_worker.entry(p.worker).or_insert((0, 0));
+            w.0 += p.busy;
+            w.1 += p.total;
+        }
+        for (worker, (busy, total)) in per_worker {
+            let pct = if total == 0 {
+                0.0
+            } else {
+                100.0 * busy as f64 / total as f64
+            };
+            out.push_str(&format!(
+                "  worker {worker}: on-CPU {busy}/{total} sampler ticks ({pct:.0}%)\n"
+            ));
+        }
+    }
+    out
 }
 
 /// The `--net` table: wire traffic attributed per destination node, plus

@@ -4,6 +4,7 @@
 //! worlds-top 127.0.0.1:4200                # refresh every second
 //! worlds-top 127.0.0.1:4200 --interval 250 # faster
 //! worlds-top 127.0.0.1:4200 --once         # one snapshot (CI, scripts)
+//! worlds-top 127.0.0.1:4200 --once --json  # machine-readable snapshot
 //! ```
 //!
 //! Point it at a [`Collector`](worlds_telemetry::Collector) for the
@@ -14,9 +15,9 @@
 //! `worlds-report --live` prints.
 
 use std::io::Write;
-use worlds_telemetry::{query_table, render_cluster};
+use worlds_telemetry::{query_table, render_cluster, render_cluster_json};
 
-const USAGE: &str = "usage: worlds-top ADDR [--once] [--interval MS]";
+const USAGE: &str = "usage: worlds-top ADDR [--once] [--json] [--interval MS]";
 
 fn main() {
     std::process::exit(run(std::env::args().skip(1).collect()));
@@ -25,11 +26,13 @@ fn main() {
 fn run(args: Vec<String>) -> i32 {
     let mut addr: Option<String> = None;
     let mut once = false;
+    let mut json = false;
     let mut interval_ms = 1000u64;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--once" => once = true,
+            "--json" => json = true,
             "--interval" => {
                 interval_ms = match it.next().map(|v| v.parse()) {
                     Some(Ok(ms)) => ms,
@@ -74,10 +77,14 @@ fn run(args: Vec<String>) -> i32 {
         match query_table(addr) {
             Ok(table) => {
                 failures = 0;
-                if !once {
+                if !once && !json {
                     print!("\x1b[2J\x1b[H");
                 }
-                print!("{}", render_cluster(&table));
+                if json {
+                    print!("{}", render_cluster_json(&table));
+                } else {
+                    print!("{}", render_cluster(&table));
+                }
                 let _ = std::io::stdout().flush();
             }
             Err(e) => {

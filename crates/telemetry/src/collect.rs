@@ -44,6 +44,7 @@ pub fn node_report(hub: &TelemetryHub, node: u64) -> NodeReport {
         hub.now_ns(),
         &hub.rates(),
         &hub.gauges(),
+        hub.stalls(),
         &hub.site_table(),
     )
 }

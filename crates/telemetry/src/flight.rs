@@ -33,6 +33,43 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 use worlds_obs::{Event, EventKind};
 
+/// Directory override for flight dumps.
+pub const FLIGHT_DIR_ENV: &str = "WORLDS_FLIGHT_DIR";
+
+/// The directory flight dumps land in: `WORLDS_FLIGHT_DIR` when set
+/// (created on demand), the process working directory otherwise. An
+/// uncreatable override falls back to the working directory — a dump
+/// that lands somewhere beats one that lands nowhere.
+pub fn flight_dir() -> PathBuf {
+    match std::env::var(FLIGHT_DIR_ENV).ok().filter(|d| !d.is_empty()) {
+        Some(dir) => {
+            let dir = PathBuf::from(dir);
+            match std::fs::create_dir_all(&dir) {
+                Ok(()) => dir,
+                Err(e) => {
+                    eprintln!(
+                        "worlds-telemetry: cannot create {FLIGHT_DIR_ENV}={}: {e}",
+                        dir.display()
+                    );
+                    PathBuf::from(".")
+                }
+            }
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+/// Resolve a dump file name against [`flight_dir`]. Absolute paths are
+/// honoured as-is; relative ones land in the directory.
+pub fn flight_path(name: impl AsRef<Path>) -> PathBuf {
+    let name = name.as_ref();
+    if name.is_absolute() {
+        name.to_path_buf()
+    } else {
+        flight_dir().join(name)
+    }
+}
+
 /// The bounded event ring. Usually owned by a
 /// [`TelemetryHub`](crate::TelemetryHub); standalone use is fine too.
 pub struct FlightRecorder {
@@ -95,7 +132,22 @@ impl FlightRecorder {
         );
         let mut lines = 1;
         writeln!(w, "{}", meta.to_json())?;
-        for ev in self.events() {
+        let events = self.events();
+        // Site ids are process-local, and the ring has usually aged out
+        // the stream's original site_label lines — re-describe the
+        // sites the retained events mention, so dumps stay renderable
+        // in any process.
+        let mut sites: Vec<u64> = events.iter().filter_map(|ev| ev.kind.site()).collect();
+        sites.sort_unstable();
+        sites.dedup();
+        for site in sites {
+            if let Some(label) = worlds_obs::site_label(site) {
+                let ev = Event::new(EventKind::SiteLabel { site, label }, 0, None, 0);
+                writeln!(w, "{}", ev.to_json())?;
+                lines += 1;
+            }
+        }
+        for ev in events {
             writeln!(w, "{}", ev.to_json())?;
             lines += 1;
         }
@@ -117,8 +169,10 @@ impl TelemetryHub {
         Ok(lines)
     }
 
-    /// The sidecar document: one JSON object with rates, gauges and
-    /// the PI table. Human-oriented; the wire codec is the stable one.
+    /// The sidecar document: one JSON object with rates, gauges, the
+    /// PI table (with per-alternative CPU attribution), and — when the
+    /// process-global sampler is live — its raw sample tables.
+    /// Human-oriented; the wire codec is the stable one.
     pub fn rollups_json(&self) -> String {
         let r = self.rates();
         let g = self.gauges();
@@ -128,6 +182,7 @@ impl TelemetryHub {
                 "{{\"window_ns\":{},\"events_s\":{:.1},\"spawns_s\":{:.1},",
                 "\"commits_s\":{:.1},\"elims_s\":{:.1},\"faults_s\":{:.1},",
                 "\"net_frames_s\":{:.1},\"rtt_mean_ns\":{:.0},",
+                "\"cpu_util\":{:.4},\"stalls\":{},",
                 "\"live_worlds\":{},\"frames_resident\":{},\"elim_backlog\":{},",
                 "\"sites\":["
             ),
@@ -139,6 +194,8 @@ impl TelemetryHub {
             r.faults_s,
             r.net_frames_s,
             r.rtt_mean_ns,
+            r.cpu_util,
+            self.stalls(),
             g.live_worlds,
             g.frames_resident,
             g.elim_backlog,
@@ -148,13 +205,48 @@ impl TelemetryHub {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"site\":{},\"label\":{:?},\"commits\":{},\"r_mu\":{:.3},\"r_o\":{:.3},\"pi\":{:.3}}}",
-                site.site, site.label, site.commits, site.r_mu, site.r_o, site.pi
+                "{{\"site\":{},\"label\":{:?},\"commits\":{},\"r_mu\":{:.3},\"r_o\":{:.3},\"pi\":{:.3},\"cpu_r_mu\":{:.3},\"alts\":[",
+                site.site, site.label, site.commits, site.r_mu, site.r_o, site.pi, site.cpu_r_mu
             ));
+            for (j, alt) in site.alts.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"alt\":{},\"count\":{},\"mean_ns\":{:.0},\"cpu_ns\":{:.0}}}",
+                    alt.alt, alt.count, alt.mean_ns, alt.cpu_ns
+                ));
+            }
+            s.push_str("]}");
         }
-        s.push_str("]}\n");
+        s.push_str("],\"prof\":");
+        s.push_str(&prof_tables_json());
+        s.push_str("}\n");
         s
     }
+}
+
+/// The process-global sampler's cumulative tables as JSON, `null` when
+/// no sampler is live. Per-world rows are sorted so successive dumps
+/// diff cleanly.
+fn prof_tables_json() -> String {
+    let Some(t) = worlds_prof::global_tables() else {
+        return "null".into();
+    };
+    let mut s = format!(
+        "{{\"ticks\":{},\"slot_samples\":{},\"busy_samples\":{},\"idle_samples\":{},\"stalls\":{},\"per_world\":[",
+        t.ticks, t.slot_samples, t.busy_samples, t.idle_samples, t.stalls
+    );
+    let mut worlds: Vec<(u64, u64)> = t.per_world().into_iter().collect();
+    worlds.sort_unstable();
+    for (i, (world, samples)) in worlds.into_iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("{{\"world\":{world},\"samples\":{samples}}}"));
+    }
+    s.push_str("]}");
+    s
 }
 
 fn sidecar_path(path: &Path) -> PathBuf {
@@ -263,6 +355,64 @@ mod tests {
         }
         let got: Vec<u64> = ring.events().iter().map(|e| e.world).collect();
         assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rollups_sidecar_is_valid_json_with_prof_fields() {
+        let hub = TelemetryHub::default();
+        let site = worlds_obs::site_id("flight-test/site").0;
+        let mut guard = Event::new(
+            EventKind::GuardVerdict {
+                pass: true,
+                duration_ns: 1000,
+                alt: Some(0),
+                site: Some(site),
+            },
+            3,
+            None,
+            0,
+        );
+        guard.wall_ns = 10;
+        hub.absorb(&guard);
+        let mut cpu = Event::new(
+            EventKind::CpuSamples {
+                samples: 5,
+                period_ns: 1000,
+                site: Some(site),
+                alt: Some(0),
+                phase: 2,
+            },
+            3,
+            None,
+            0,
+        );
+        cpu.wall_ns = 20;
+        hub.absorb(&cpu);
+        let json = hub.rollups_json();
+        worlds_obs::validate_json(&json).expect("sidecar is valid JSON");
+        assert!(json.contains("\"cpu_util\""), "{json}");
+        assert!(json.contains("\"stalls\":0"), "{json}");
+        assert!(json.contains("\"cpu_r_mu\""), "{json}");
+        assert!(json.contains("\"cpu_ns\":5000"), "{json}");
+        // No global sampler in this test process slot: prof is null or
+        // a table, both valid — the key must exist either way.
+        assert!(json.contains("\"prof\":"), "{json}");
+    }
+
+    #[test]
+    fn flight_path_resolves_against_env_dir() {
+        // Env mutation: test process only.
+        let dir = std::env::temp_dir().join("worlds_flight_dir_test");
+        std::env::set_var(FLIGHT_DIR_ENV, &dir);
+        let p = flight_path("dump.jsonl");
+        assert_eq!(p, dir.join("dump.jsonl"));
+        assert!(dir.is_dir(), "flight_dir creates the directory");
+        // Absolute names bypass the directory.
+        let abs = std::env::temp_dir().join("elsewhere.jsonl");
+        assert_eq!(flight_path(&abs), abs);
+        std::env::remove_var(FLIGHT_DIR_ENV);
+        assert_eq!(flight_path("dump.jsonl"), Path::new(".").join("dump.jsonl"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

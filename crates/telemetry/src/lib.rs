@@ -49,9 +49,9 @@ mod wire;
 pub use collect::{
     install_node_handler, node_report, query_table, Collector, Exporter, COLLECTOR_NODE_ID,
 };
-pub use flight::{install_panic_dump, FlightRecorder};
+pub use flight::{flight_dir, flight_path, install_panic_dump, FlightRecorder, FLIGHT_DIR_ENV};
 pub use pi::{AltSnapshot, SiteSnapshot, SiteStats, MAX_ALTS, MAX_SITES};
-pub use render::{render_cluster, render_sites};
+pub use render::{render_cluster, render_cluster_json, render_sites};
 pub use rollup::{Gauges, Rates, TelemetryConfig, TelemetryHub};
 pub use wire::{AltReport, NodeReport, SiteReport, TelemetryMsg};
 
@@ -80,9 +80,17 @@ pub struct TelemetryEnv {
 /// | `WORLDS_TELEMETRY=1`   | attach a [`TelemetryHub`] sink              |
 /// | `WORLDS_FLIGHT_DUMP=p` | dump the flight ring to `p` on panic (and   |
 /// |                        | on `SIGUSR1` on unix)                       |
+/// | `WORLDS_FLIGHT_DIR=d`  | directory relative dump paths land in       |
+/// |                        | (default: the working directory)            |
+/// | `WORLDS_PROF=1`        | start the sampling profiler; with a hub,    |
+/// |                        | its stall watchdog dumps the flight ring to |
+/// |                        | `worlds-stall.jsonl` in the flight dir      |
 ///
 /// Any telemetry variable implies an enabled registry; with everything
-/// unset this is `Registry::disabled()` and no hub.
+/// unset this is `Registry::disabled()` and no hub. (`WORLDS_PROF`
+/// alone does not enable one — a sampler with no event consumer would
+/// flush into the void; `Speculation` still autostarts it against
+/// whatever registry the program built.)
 pub fn from_env() -> TelemetryEnv {
     let truthy = |var: &str| {
         std::env::var(var)
@@ -124,9 +132,47 @@ pub fn from_env() -> TelemetryEnv {
         )
     });
     if let (Some(hub), Some(path)) = (&hub, flight) {
+        let path = flight_path(path);
         install_panic_dump(hub, &path);
         #[cfg(unix)]
         install_sigusr1_dump(hub, &path);
+    }
+    // With both a hub and WORLDS_PROF, claim the process-global sampler
+    // here so the watchdog gets a dump hook; the speculation layer's
+    // autostart would install one without it. Rate limiting is the
+    // sampler's (`dump_cooldown`), so a stall storm costs one dump per
+    // cooldown window, not one per stall.
+    if let Some(hub) = &hub {
+        if worlds_prof::prof_env_enabled() {
+            let dump_hub = Arc::downgrade(hub);
+            let hook: worlds_prof::StallHook = Box::new(move |info| {
+                let Some(hub) = dump_hub.upgrade() else {
+                    return;
+                };
+                let path = flight_path("worlds-stall.jsonl");
+                match hub.dump_flight(&path) {
+                    Ok(n) => eprintln!(
+                        "worlds-telemetry: stall (worker {}, phase {:?}, {:?}): \
+                         dumped {n} lines to {}",
+                        info.worker,
+                        info.phase,
+                        info.waited,
+                        path.display()
+                    ),
+                    Err(e) => eprintln!(
+                        "worlds-telemetry: stall dump to {} failed: {e}",
+                        path.display()
+                    ),
+                }
+            });
+            let sampler = worlds_prof::Sampler::start(
+                worlds_prof::SamplerConfig::from_env(),
+                obs.clone(),
+                Some(hook),
+            );
+            // A racing earlier install keeps its sampler; ours stops.
+            let _ = worlds_prof::install_global(sampler);
+        }
     }
     TelemetryEnv { obs, hub }
 }

@@ -40,6 +40,9 @@ pub struct SiteStats {
     overhead: Vec<Histogram>,
     /// `site` → lifetime commits (not decayed; a volume column).
     commits: Vec<Counter>,
+    /// `site * MAX_ALTS + alt` → lifetime estimated on-CPU ns from
+    /// profiler `cpu` flushes (zero without a sampler attached).
+    cpu: Vec<Counter>,
     /// Samples for sites past `MAX_SITES`.
     dropped: Counter,
 }
@@ -59,6 +62,7 @@ impl SiteStats {
                 .collect(),
             overhead: (0..MAX_SITES).map(|_| Histogram::new()).collect(),
             commits: (0..MAX_SITES).map(|_| Counter::new()).collect(),
+            cpu: (0..MAX_SITES * MAX_ALTS).map(|_| Counter::new()).collect(),
             dropped: Counter::new(),
         }
     }
@@ -92,6 +96,19 @@ impl SiteStats {
         }
     }
 
+    /// Record estimated on-CPU nanoseconds at `site` for alternative
+    /// `alt` (a profiler `cpu` flush delta; `NO_ALT`-style sentinels
+    /// clamp into the last cell like guard samples do).
+    #[inline]
+    pub fn record_cpu(&self, site: u64, alt: u64, cpu_ns: u64) {
+        let Some(site) = in_grid(site) else {
+            self.dropped.incr();
+            return;
+        };
+        let alt = (alt as usize).min(MAX_ALTS - 1);
+        self.cpu[site * MAX_ALTS + alt].add(cpu_ns);
+    }
+
     /// Samples discarded because their site id fell past the grid.
     pub fn dropped(&self) -> u64 {
         self.dropped.get()
@@ -123,6 +140,7 @@ impl SiteStats {
                     alt: alt as u64,
                     count: s.count,
                     mean_ns: s.sum as f64 / s.count as f64,
+                    cpu_ns: self.cpu[site * MAX_ALTS + alt].get() as f64,
                 })
             })
             .collect();
@@ -146,6 +164,18 @@ impl SiteStats {
             (ov.sum as f64 / ov.count as f64) / best
         };
         let model = PerfModel::new(r_mu, r_o);
+        // On-CPU dispersion: the wall-clock Rμ recomputed over measured
+        // CPU instead of elapsed guard time. On a loaded host the two
+        // diverge — an alternative that *waited* looks dispersed by wall
+        // but not by CPU. Zero until profiler samples arrive.
+        let with_cpu: Vec<f64> = alts.iter().map(|a| a.cpu_ns).filter(|&c| c > 0.0).collect();
+        let cpu_r_mu = if with_cpu.is_empty() {
+            0.0
+        } else {
+            let best = with_cpu.iter().copied().fold(f64::INFINITY, f64::min);
+            let mean = with_cpu.iter().sum::<f64>() / with_cpu.len() as f64;
+            (mean / best).max(1.0)
+        };
         Some(SiteSnapshot {
             site: site as u64,
             label: site_label_or_anon(site as u64),
@@ -154,6 +184,7 @@ impl SiteStats {
             r_mu,
             r_o,
             pi: model.pi(),
+            cpu_r_mu,
         })
     }
 }
@@ -172,6 +203,9 @@ pub struct AltSnapshot {
     pub count: u64,
     /// Mean guard duration, ns.
     pub mean_ns: f64,
+    /// Lifetime estimated on-CPU ns from profiler flushes (0 without a
+    /// sampler).
+    pub cpu_ns: f64,
 }
 
 /// One row of the live PI table.
@@ -191,6 +225,8 @@ pub struct SiteSnapshot {
     pub r_o: f64,
     /// Predicted `PI = Rμ/(1+Ro)`.
     pub pi: f64,
+    /// On-CPU dispersion (`Rμ` over measured CPU); 0 = no samples.
+    pub cpu_r_mu: f64,
 }
 
 #[cfg(test)]
@@ -242,6 +278,30 @@ mod tests {
         let table = s.snapshot();
         assert_eq!(table[0].alts.len(), 1);
         assert_eq!(table[0].alts[0].alt, MAX_ALTS as u64 - 1);
+    }
+
+    #[test]
+    fn cpu_r_mu_tracks_on_cpu_dispersion_separately_from_wall() {
+        let s = SiteStats::new();
+        // Wall-dispersed site: alt 1 takes 3× alt 0 by elapsed time...
+        for _ in 0..32 {
+            s.record_guard(0, 0, 1000);
+            s.record_guard(0, 1, 3000);
+        }
+        // ...but no profiler flushes yet → cpu_r_mu stays 0.
+        assert_eq!(s.snapshot()[0].cpu_r_mu, 0.0);
+        // CPU says the alternatives actually burned equal cycles (alt 1
+        // was waiting, not working): cpu_r_mu = 1 while wall Rμ = 2.
+        s.record_cpu(0, 0, 5000);
+        s.record_cpu(0, 1, 5000);
+        let row = &s.snapshot()[0];
+        assert!((row.r_mu - 2.0).abs() < 1e-9);
+        assert!((row.cpu_r_mu - 1.0).abs() < 1e-9);
+        assert_eq!(row.alts[0].cpu_ns, 5000.0);
+        // More CPU on alt 1 moves the on-CPU dispersion up.
+        s.record_cpu(0, 1, 10000);
+        let row = &s.snapshot()[0];
+        assert!((row.cpu_r_mu - 2.0).abs() < 1e-9, "{row:?}");
     }
 
     #[test]

@@ -14,12 +14,30 @@ pub fn render_cluster(reports: &[NodeReport]) -> String {
         if reports.len() == 1 { "" } else { "s" }
     ));
     out.push_str(&format!(
-        "{:>9}  {:>6}  {:>7}  {:>7}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
-        "node", "live", "frames", "backlog", "events/s", "blocks/s", "elims/s", "net/s", "rtt"
+        "{:>9}  {:>6}  {:>7}  {:>7}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>5}  hottest site\n",
+        "node",
+        "live",
+        "frames",
+        "backlog",
+        "events/s",
+        "blocks/s",
+        "elims/s",
+        "net/s",
+        "rtt",
+        "cpu%"
     ));
     for r in reports {
+        let cpu = if r.cpu_util > 0.0 {
+            format!("{:>5.1}", 100.0 * r.cpu_util)
+        } else {
+            format!("{:>5}", "-")
+        };
+        let hot = match r.hot_site() {
+            Some((label, share)) => format!("{label} ({:.0}%)", 100.0 * share),
+            None => "-".to_string(),
+        };
         out.push_str(&format!(
-            "{:>9}  {:>6}  {:>7}  {:>7}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9}\n",
+            "{:>9}  {:>6}  {:>7}  {:>7}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9}  {cpu}  {hot}\n",
             node_name(r.node),
             r.live_worlds,
             r.frames_resident,
@@ -50,8 +68,8 @@ pub fn render_sites(reports: &[NodeReport]) -> String {
     let mut out = String::with_capacity(512);
     out.push_str("-- per-site PI (PI = R\u{3bc}/(1+Ro), \u{a7}3.3) --\n");
     out.push_str(&format!(
-        "{:<28}  {:>9}  {:>7}  {:>6}  {:>6}  {:>6}  alts\n",
-        "site", "node", "commits", "R\u{3bc}", "Ro", "PI"
+        "{:<28}  {:>9}  {:>7}  {:>6}  {:>6}  {:>6}  {:>6}  alts\n",
+        "site", "node", "commits", "R\u{3bc}", "Ro", "PI", "cpuR\u{3bc}"
     ));
     for (node, site) in rows {
         let alts = site
@@ -69,8 +87,15 @@ pub fn render_sites(reports: &[NodeReport]) -> String {
             label.truncate(cut);
             label.push('\u{2026}');
         }
+        // A cpuRμ of 0 means "no profiler samples yet", not "no
+        // dispersion" — render the absence, not a misleading number.
+        let cpu_r_mu = if site.cpu_r_mu > 0.0 {
+            format!("{:>6.2}", site.cpu_r_mu)
+        } else {
+            format!("{:>6}", "-")
+        };
         out.push_str(&format!(
-            "{label:<28}  {:>9}  {:>7}  {:>6.2}  {:>6.2}  {:>6.2}  {alts}\n",
+            "{label:<28}  {:>9}  {:>7}  {:>6.2}  {:>6.2}  {:>6.2}  {cpu_r_mu}  {alts}\n",
             node_name(node),
             site.commits,
             site.r_mu,
@@ -79,6 +104,74 @@ pub fn render_sites(reports: &[NodeReport]) -> String {
         ));
     }
     out
+}
+
+/// The machine-readable cluster snapshot (`worlds-top --json`): one
+/// JSON object, one trailing newline, stable key order. Same content
+/// as [`render_cluster`], for scripts and CI assertions instead of
+/// eyes.
+pub fn render_cluster_json(reports: &[NodeReport]) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\"nodes\":[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let (hot_label, hot_share) = match r.hot_site() {
+            Some((label, share)) => (format!("{label:?}"), format!("{share:.4}")),
+            None => ("null".into(), "null".into()),
+        };
+        s.push_str(&format!(
+            concat!(
+                "{{\"node\":{},\"window_ns\":{},\"wall_ns\":{},",
+                "\"live_worlds\":{},\"frames_resident\":{},\"elim_backlog\":{},",
+                "\"stalls\":{},\"events_s\":{:.1},\"spawns_s\":{:.1},",
+                "\"commits_s\":{:.1},\"elims_s\":{:.1},\"faults_s\":{:.1},",
+                "\"net_frames_s\":{:.1},\"rtt_mean_ns\":{:.0},",
+                "\"cpu_util\":{:.4},\"hot_site\":{},\"hot_site_share\":{},",
+                "\"sites\":["
+            ),
+            r.node,
+            r.window_ns,
+            r.wall_ns,
+            r.live_worlds,
+            r.frames_resident,
+            r.elim_backlog,
+            r.stalls,
+            r.events_s,
+            r.spawns_s,
+            r.commits_s,
+            r.elims_s,
+            r.faults_s,
+            r.net_frames_s,
+            r.rtt_mean_ns,
+            r.cpu_util,
+            hot_label,
+            hot_share,
+        ));
+        for (j, site) in r.sites.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"site\":{},\"label\":{:?},\"commits\":{},\"r_mu\":{:.3},\"r_o\":{:.3},\"pi\":{:.3},\"cpu_r_mu\":{:.3},\"alts\":[",
+                site.site, site.label, site.commits, site.r_mu, site.r_o, site.pi, site.cpu_r_mu
+            ));
+            for (k, alt) in site.alts.iter().enumerate() {
+                if k > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"alt\":{},\"count\":{},\"mean_ns\":{:.0},\"cpu_ns\":{:.0}}}",
+                    alt.alt, alt.count, alt.mean_ns, alt.cpu_ns
+                ));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+    }
+    s.push_str("]}\n");
+    s
 }
 
 fn node_name(node: u64) -> String {
@@ -108,10 +201,12 @@ mod tests {
                     r_mu: 1.8,
                     r_o: 0.05,
                     pi: 1.71,
+                    cpu_r_mu: 0.0,
                     alts: vec![AltReport {
                         alt: 0,
                         count: 12,
                         mean_ns: 1500.0,
+                        cpu_ns: 0.0,
                     }],
                 }],
                 ..NodeReport::default()
@@ -129,5 +224,90 @@ mod tests {
         let one_node = render_cluster(&reports[1..]);
         assert!(one_node.contains("1 node"));
         assert!(!one_node.contains("per-site"), "no sites, no site table");
+    }
+
+    #[test]
+    fn renders_cpu_columns_when_profiled() {
+        let mut r = NodeReport {
+            node: 0,
+            cpu_util: 0.625,
+            sites: vec![SiteReport {
+                site: 1,
+                label: "rootfinder/solve".into(),
+                commits: 9,
+                r_mu: 1.8,
+                r_o: 0.05,
+                pi: 1.71,
+                cpu_r_mu: 1.40,
+                alts: vec![AltReport {
+                    alt: 0,
+                    count: 12,
+                    mean_ns: 1500.0,
+                    cpu_ns: 9000.0,
+                }],
+            }],
+            ..NodeReport::default()
+        };
+        let text = render_cluster(std::slice::from_ref(&r));
+        assert!(text.contains("cpu%"), "{text}");
+        assert!(text.contains("62.5"), "{text}");
+        assert!(text.contains("rootfinder/solve (100%)"), "{text}");
+        assert!(text.contains("1.40"), "cpuR\u{3bc} column: {text}");
+        // Without samples both render as absent, not as zeros.
+        r.cpu_util = 0.0;
+        r.sites[0].cpu_r_mu = 0.0;
+        r.sites[0].alts[0].cpu_ns = 0.0;
+        let text = render_cluster(std::slice::from_ref(&r));
+        assert!(!text.contains("(100%)"), "{text}");
+        assert!(!text.contains("0.0  rootfinder"), "{text}");
+    }
+
+    #[test]
+    fn json_snapshot_is_valid_and_complete() {
+        let reports = vec![
+            NodeReport {
+                node: 0,
+                live_worlds: 3,
+                stalls: 1,
+                cpu_util: 0.5,
+                sites: vec![SiteReport {
+                    site: 1,
+                    label: "rootfinder/solve".into(),
+                    commits: 9,
+                    r_mu: 1.8,
+                    r_o: 0.05,
+                    pi: 1.71,
+                    cpu_r_mu: 1.2,
+                    alts: vec![AltReport {
+                        alt: 0,
+                        count: 12,
+                        mean_ns: 1500.0,
+                        cpu_ns: 8000.0,
+                    }],
+                }],
+                ..NodeReport::default()
+            },
+            NodeReport {
+                node: 1,
+                ..NodeReport::default()
+            },
+        ];
+        let json = render_cluster_json(&reports);
+        worlds_obs::validate_json(&json).expect("snapshot is valid JSON");
+        for key in [
+            "\"nodes\":[",
+            "\"live_worlds\":3",
+            "\"stalls\":1",
+            "\"cpu_util\":0.5000",
+            "\"hot_site\":\"rootfinder/solve\"",
+            "\"hot_site_share\":1.0000",
+            "\"cpu_r_mu\":1.200",
+            "\"cpu_ns\":8000",
+            "\"hot_site\":null",
+        ] {
+            assert!(json.contains(key), "missing {key}: {json}");
+        }
+        // Empty table is still a valid, parseable document.
+        worlds_obs::validate_json(&render_cluster_json(&[])).unwrap();
     }
 }

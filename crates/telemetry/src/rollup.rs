@@ -46,7 +46,9 @@ mod c {
     pub const NET_RETRIES: usize = 7;
     pub const RTT_SUM: usize = 8;
     pub const RTT_COUNT: usize = 9;
-    pub const N: usize = 10;
+    pub const BUSY_TICKS: usize = 10;
+    pub const TOTAL_TICKS: usize = 11;
+    pub const N: usize = 12;
 }
 
 /// Shape of the hub: window geometry, decay clock, flight capacity.
@@ -113,6 +115,9 @@ pub struct Rates {
     pub net_retries_s: f64,
     /// Mean request→reply round trip inside the window, ns.
     pub rtt_mean_ns: f64,
+    /// Fraction of profiler sampler ticks that caught a worker on-CPU
+    /// inside the window, 0..=1. Zero without a sampler attached.
+    pub cpu_util: f64,
 }
 
 /// Instantaneous levels derived from lifetime counters.
@@ -145,6 +150,8 @@ pub struct TelemetryHub {
     elim_async: Counter,
     elim_async_reaped: Counter,
     timeouts: Counter,
+    /// Lifetime watchdog stall events.
+    stalls: Counter,
     frames: Gauge,
     /// Lifetime RTT distribution (decays with the sites).
     rtt: Histogram,
@@ -179,6 +186,7 @@ impl TelemetryHub {
             elim_async: Counter::new(),
             elim_async_reaped: Counter::new(),
             timeouts: Counter::new(),
+            stalls: Counter::new(),
             frames: Gauge::new(),
             rtt: Histogram::new(),
             sites: SiteStats::new(),
@@ -287,6 +295,29 @@ impl TelemetryHub {
                 self.rtt.record(*rtt_ns);
             }
             EventKind::NetRetry { .. } => bump(c::NET_RETRIES),
+            EventKind::CpuSamples {
+                samples,
+                period_ns,
+                site: Some(site),
+                alt,
+                ..
+            } => {
+                // `None` alt clamps into the last cell, same as
+                // overflow alts do for guard samples.
+                self.sites.record_cpu(
+                    *site,
+                    alt.unwrap_or(u64::MAX),
+                    samples.saturating_mul(*period_ns),
+                );
+            }
+            EventKind::CpuSamples { site: None, .. } => {}
+            EventKind::WorkerUtil { busy, total, .. } => {
+                slot.counts[c::BUSY_TICKS].fetch_add(*busy, Relaxed);
+                slot.counts[c::TOTAL_TICKS].fetch_add(*total, Relaxed);
+            }
+            EventKind::Stall { .. } => {
+                self.stalls.incr();
+            }
             EventKind::Meta { effective_cores } => {
                 self.meta_cores.store(*effective_cores, Relaxed);
             }
@@ -345,7 +376,36 @@ impl TelemetryHub {
             } else {
                 sums[c::RTT_SUM] as f64 / sums[c::RTT_COUNT] as f64
             },
+            cpu_util: if sums[c::TOTAL_TICKS] == 0 {
+                0.0
+            } else {
+                sums[c::BUSY_TICKS] as f64 / sums[c::TOTAL_TICKS] as f64
+            },
         }
+    }
+
+    /// Lifetime watchdog stall events seen in the stream.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.get()
+    }
+
+    /// The call site burning the most estimated on-CPU time, with its
+    /// share (0..=1) of all attributed CPU. `None` until profiler
+    /// flushes arrive.
+    pub fn hot_site(&self) -> Option<(String, f64)> {
+        let table = self.site_table();
+        let site_cpu = |s: &SiteSnapshot| s.alts.iter().map(|a| a.cpu_ns).sum::<f64>();
+        let total: f64 = table.iter().map(site_cpu).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        table
+            .into_iter()
+            .max_by(|a, b| site_cpu(a).total_cmp(&site_cpu(b)))
+            .map(|s| {
+                let share = site_cpu(&s) / total;
+                (s.label, share)
+            })
     }
 
     /// Current levels from the lifetime counters.
@@ -496,6 +556,91 @@ mod tests {
         assert_eq!(hub.effective_cores(), None);
         hub.absorb(&at(EventKind::Meta { effective_cores: 4 }, 3));
         assert_eq!(hub.effective_cores(), Some(4));
+    }
+
+    #[test]
+    fn profiler_events_feed_util_stalls_and_hot_site() {
+        let hub = TelemetryHub::default();
+        assert_eq!(hub.rates().cpu_util, 0.0);
+        assert_eq!(hub.hot_site(), None);
+        // Two workers flush utilization: 3/4 + 1/4 busy → 50% overall.
+        hub.absorb(&at(
+            EventKind::WorkerUtil {
+                worker: 0,
+                busy: 3,
+                total: 4,
+            },
+            1,
+        ));
+        hub.absorb(&at(
+            EventKind::WorkerUtil {
+                worker: 1,
+                busy: 1,
+                total: 4,
+            },
+            2,
+        ));
+        assert_eq!(hub.rates().cpu_util, 0.5);
+        // CPU flushes only reach the site grid when attributed; the
+        // hottest site needs a guard sample to have a table row.
+        let hot = worlds_obs::site_id("rollup-test/hot").0;
+        let cold = worlds_obs::site_id("rollup-test/cold").0;
+        for site in [hot, cold] {
+            hub.absorb(&at(
+                EventKind::GuardVerdict {
+                    pass: true,
+                    duration_ns: 100,
+                    alt: Some(0),
+                    site: Some(site),
+                },
+                3,
+            ));
+        }
+        hub.absorb(&at(
+            EventKind::CpuSamples {
+                samples: 30,
+                period_ns: 100,
+                site: Some(hot),
+                alt: Some(0),
+                phase: 2,
+            },
+            4,
+        ));
+        hub.absorb(&at(
+            EventKind::CpuSamples {
+                samples: 10,
+                period_ns: 100,
+                site: Some(cold),
+                alt: Some(0),
+                phase: 2,
+            },
+            5,
+        ));
+        // Unattributed samples (idle pool workers) go nowhere.
+        hub.absorb(&at(
+            EventKind::CpuSamples {
+                samples: 99,
+                period_ns: 100,
+                site: None,
+                alt: None,
+                phase: 1,
+            },
+            6,
+        ));
+        let (label, share) = hub.hot_site().unwrap();
+        assert_eq!(label, "rollup-test/hot");
+        assert!((share - 0.75).abs() < 1e-9, "3000 of 4000 ns: {share}");
+        // Stalls count.
+        assert_eq!(hub.stalls(), 0);
+        hub.absorb(&at(
+            EventKind::Stall {
+                site: Some(hot),
+                phase: 2,
+                waited_ns: 5_000_000_000,
+            },
+            7,
+        ));
+        assert_eq!(hub.stalls(), 1);
     }
 
     #[test]

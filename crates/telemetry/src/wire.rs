@@ -12,14 +12,16 @@
 //! node_report :=
 //!   u64 node            u64 window_ns      u64 wall_ns
 //!   u64 live_worlds     u64 frames_resident u64 elim_backlog
+//!   u64 stalls
 //!   f64 events_s  f64 spawns_s  f64 commits_s  f64 elims_s
 //!   f64 faults_s  f64 net_frames_s  f64 rtt_mean_ns
+//!   f64 cpu_util
 //!   u32 n_sites, n_sites × site_report
 //!
 //! site_report :=
 //!   u64 site   str label   u64 commits
-//!   f64 r_mu   f64 r_o     f64 pi
-//!   u32 n_alts, n_alts × (u64 alt, u64 count, f64 mean_ns)
+//!   f64 r_mu   f64 r_o     f64 pi   f64 cpu_r_mu
+//!   u32 n_alts, n_alts × (u64 alt, u64 count, f64 mean_ns, f64 cpu_ns)
 //!
 //! str := u32 len, len × u8 (UTF-8)
 //! f64 := u64 (IEEE-754 bits)
@@ -66,6 +68,8 @@ pub struct NodeReport {
     pub frames_resident: u64,
     /// Async-elimination backlog.
     pub elim_backlog: u64,
+    /// Lifetime watchdog stall events on the node.
+    pub stalls: u64,
     /// All events per second.
     pub events_s: f64,
     /// Worlds spawned per second.
@@ -80,6 +84,9 @@ pub struct NodeReport {
     pub net_frames_s: f64,
     /// Mean RTT in the window, ns.
     pub rtt_mean_ns: f64,
+    /// Fraction of profiler sampler ticks on-CPU in the window (0..=1,
+    /// 0 without a sampler).
+    pub cpu_util: f64,
     /// The node's live PI table.
     pub sites: Vec<SiteReport>,
 }
@@ -91,6 +98,7 @@ impl NodeReport {
         wall_ns: u64,
         rates: &Rates,
         gauges: &Gauges,
+        stalls: u64,
         sites: &[SiteSnapshot],
     ) -> NodeReport {
         NodeReport {
@@ -100,6 +108,7 @@ impl NodeReport {
             live_worlds: gauges.live_worlds,
             frames_resident: gauges.frames_resident,
             elim_backlog: gauges.elim_backlog,
+            stalls,
             events_s: rates.events_s,
             spawns_s: rates.spawns_s,
             commits_s: rates.commits_s,
@@ -107,8 +116,25 @@ impl NodeReport {
             faults_s: rates.faults_s,
             net_frames_s: rates.net_frames_s,
             rtt_mean_ns: rates.rtt_mean_ns,
+            cpu_util: rates.cpu_util,
             sites: sites.iter().map(SiteReport::from_snapshot).collect(),
         }
+    }
+
+    /// The site burning the most estimated on-CPU time, with its share
+    /// (0..=1) of all CPU attributed on this node. Derived from the
+    /// shipped per-alternative `cpu_ns`, so any viewer holding a report
+    /// can compute it; `None` until profiler flushes arrive.
+    pub fn hot_site(&self) -> Option<(&str, f64)> {
+        let site_cpu = |s: &SiteReport| s.alts.iter().map(|a| a.cpu_ns).sum::<f64>();
+        let total: f64 = self.sites.iter().map(site_cpu).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        self.sites
+            .iter()
+            .max_by(|a, b| site_cpu(a).total_cmp(&site_cpu(b)))
+            .map(|s| (s.label.as_str(), site_cpu(s) / total))
     }
 }
 
@@ -127,7 +153,9 @@ pub struct SiteReport {
     pub r_o: f64,
     /// Predicted improvement.
     pub pi: f64,
-    /// Per-alternative `(alt, decayed count, mean ns)`.
+    /// On-CPU dispersion (0 without samples).
+    pub cpu_r_mu: f64,
+    /// Per-alternative `(alt, decayed count, mean ns, cpu ns)`.
     pub alts: Vec<AltReport>,
 }
 
@@ -148,6 +176,7 @@ impl SiteReport {
             r_mu: s.r_mu,
             r_o: s.r_o,
             pi: s.pi,
+            cpu_r_mu: s.cpu_r_mu,
             alts: s
                 .alts
                 .iter()
@@ -155,6 +184,7 @@ impl SiteReport {
                     alt: a.alt,
                     count: a.count,
                     mean_ns: a.mean_ns,
+                    cpu_ns: a.cpu_ns,
                 })
                 .collect(),
         }
@@ -170,6 +200,8 @@ pub struct AltReport {
     pub count: u64,
     /// Mean guard duration, ns.
     pub mean_ns: f64,
+    /// Lifetime estimated on-CPU ns (0 without a sampler).
+    pub cpu_ns: f64,
 }
 
 /// Encode a push payload.
@@ -239,6 +271,7 @@ fn put_report(buf: &mut Vec<u8>, r: &NodeReport) {
         r.live_worlds,
         r.frames_resident,
         r.elim_backlog,
+        r.stalls,
     ] {
         put_u64(buf, v);
     }
@@ -250,6 +283,7 @@ fn put_report(buf: &mut Vec<u8>, r: &NodeReport) {
         r.faults_s,
         r.net_frames_s,
         r.rtt_mean_ns,
+        r.cpu_util,
     ] {
         put_f64(buf, v);
     }
@@ -261,11 +295,13 @@ fn put_report(buf: &mut Vec<u8>, r: &NodeReport) {
         put_f64(buf, site.r_mu);
         put_f64(buf, site.r_o);
         put_f64(buf, site.pi);
+        put_f64(buf, site.cpu_r_mu);
         put_u32(buf, site.alts.len() as u32);
         for alt in &site.alts {
             put_u64(buf, alt.alt);
             put_u64(buf, alt.count);
             put_f64(buf, alt.mean_ns);
+            put_f64(buf, alt.cpu_ns);
         }
     }
 }
@@ -278,6 +314,7 @@ fn get_report(cur: &mut Cursor<'_>) -> Result<NodeReport, String> {
         live_worlds: cur.u64()?,
         frames_resident: cur.u64()?,
         elim_backlog: cur.u64()?,
+        stalls: cur.u64()?,
         events_s: cur.f64()?,
         spawns_s: cur.f64()?,
         commits_s: cur.f64()?,
@@ -285,6 +322,7 @@ fn get_report(cur: &mut Cursor<'_>) -> Result<NodeReport, String> {
         faults_s: cur.f64()?,
         net_frames_s: cur.f64()?,
         rtt_mean_ns: cur.f64()?,
+        cpu_util: cur.f64()?,
         sites: Vec::new(),
     };
     let n_sites = cur.u32()? as usize;
@@ -299,6 +337,7 @@ fn get_report(cur: &mut Cursor<'_>) -> Result<NodeReport, String> {
             r_mu: cur.f64()?,
             r_o: cur.f64()?,
             pi: cur.f64()?,
+            cpu_r_mu: cur.f64()?,
             alts: Vec::new(),
         };
         let n_alts = cur.u32()? as usize;
@@ -310,6 +349,7 @@ fn get_report(cur: &mut Cursor<'_>) -> Result<NodeReport, String> {
                 alt: cur.u64()?,
                 count: cur.u64()?,
                 mean_ns: cur.f64()?,
+                cpu_ns: cur.f64()?,
             });
         }
         r.sites.push(site);
@@ -399,6 +439,7 @@ mod tests {
             live_worlds: 3,
             frames_resident: 17,
             elim_backlog: 1,
+            stalls: 2,
             events_s: 1234.5,
             spawns_s: 12.25,
             commits_s: 4.0,
@@ -406,6 +447,7 @@ mod tests {
             faults_s: 100.0,
             net_frames_s: 20.5,
             rtt_mean_ns: 85_000.0,
+            cpu_util: 0.625,
             sites: vec![SiteReport {
                 site: 2,
                 label: "rootfinder/solve".into(),
@@ -413,16 +455,19 @@ mod tests {
                 r_mu: 1.8,
                 r_o: 0.05,
                 pi: 1.71,
+                cpu_r_mu: 1.4,
                 alts: vec![
                     AltReport {
                         alt: 0,
                         count: 40,
                         mean_ns: 1000.0,
+                        cpu_ns: 900_000.0,
                     },
                     AltReport {
                         alt: 1,
                         count: 40,
                         mean_ns: 2600.0,
+                        cpu_ns: 2_100_000.0,
                     },
                 ],
             }],
@@ -446,6 +491,21 @@ mod tests {
         let table = vec![sample_report(0), sample_report(1), NodeReport::default()];
         let bytes = encode_table(&table);
         assert_eq!(decode_table(&bytes), Ok(table));
+    }
+
+    #[test]
+    fn hot_site_is_derived_from_shipped_cpu() {
+        let mut report = sample_report(7);
+        let (label, share) = report.hot_site().expect("report carries cpu");
+        assert_eq!(label, "rootfinder/solve");
+        assert!((share - 1.0).abs() < 1e-9, "only site gets all CPU");
+        // A pre-prof report (all cpu_ns zero) has no hot site.
+        for site in &mut report.sites {
+            for alt in &mut site.alts {
+                alt.cpu_ns = 0.0;
+            }
+        }
+        assert_eq!(report.hot_site(), None);
     }
 
     #[test]

@@ -50,7 +50,7 @@ fn golden_capture_reproduces_checked_in_summary() {
     // must count it on stderr and still exit zero.
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
-        stderr.contains("skipped 1 malformed line(s) of 26"),
+        stderr.contains("skipped 1 malformed line(s) of 30"),
         "stderr should count the malformed line: {stderr}"
     );
 

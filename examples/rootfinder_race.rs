@@ -4,6 +4,11 @@
 //! ```sh
 //! cargo run --release --example rootfinder_race
 //! ```
+//!
+//! One race lasts well under a millisecond — too brief for the
+//! sampling profiler to see. `--laps N` repeats it so a
+//! `WORLDS_PROF=1` run accumulates enough samples for a flamegraph
+//! (see EXPERIMENTS.md).
 
 use std::time::Instant;
 
@@ -39,11 +44,20 @@ fn main() {
         }
     }
 
+    let laps: usize = std::env::args()
+        .skip_while(|a| a != "--laps")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
     println!("\n--- Multiple Worlds: all four angles race ---");
     let spec = Speculation::new();
     let t0 = Instant::now();
-    let report = parallel_find_roots(&spec, &poly, &TEST_ANGLES[..4], &cfg, None);
-    let wall = t0.elapsed();
+    let mut report = parallel_find_roots(&spec, &poly, &TEST_ANGLES[..4], &cfg, None);
+    for _ in 1..laps {
+        report = parallel_find_roots(&spec, &poly, &TEST_ANGLES[..4], &cfg, None);
+    }
+    let wall = t0.elapsed() / laps.max(1) as u32;
 
     match &report.outcome {
         worlds::RunOutcome::Winner { label, .. } => {

@@ -13,6 +13,7 @@ use std::time::Instant;
 
 use worlds_bench::baseline::GlobalLockStore;
 use worlds_bench::contention::{best_throughput, ContentionConfig, CowStore};
+use worlds_bench::dedupe::{rewrite_ns, sibling_dedupe_ratio, unique_write_ns, DedupeConfig};
 use worlds_pagestore::PageStore;
 
 /// Median per-iteration nanoseconds of `op`, sampled `samples` times with
@@ -81,6 +82,27 @@ fn main() {
     eprintln!("fork_world(160 pages): {fork_ns:.0} ns (global_lock {base_fork_ns:.0} ns)");
     eprintln!("cow_fault(4 KiB):      {cow_ns:.0} ns (global_lock {base_cow_ns:.0} ns)");
 
+    // Content dedupe: savings on converging siblings, cost on misses.
+    let dcfg = DedupeConfig::default();
+    let (dedupe_ratio, dedupe_hits) = sibling_dedupe_ratio(&dcfg);
+    let seal_ns_plain = unique_write_ns(false, 15, 512, 2048);
+    let seal_ns_indexed = unique_write_ns(true, 15, 512, 2048);
+    let rewrite_ns_plain = rewrite_ns(false, 30, 4096, 2048);
+    let rewrite_ns_indexed = rewrite_ns(true, 30, 4096, 2048);
+    let write_overhead = rewrite_ns_indexed / rewrite_ns_plain;
+    eprintln!(
+        "dedupe: {} siblings x {} pages -> {dedupe_ratio:.2}x resident ({dedupe_hits} re-shares)",
+        dcfg.siblings, dcfg.pages
+    );
+    eprintln!(
+        "seal, all-miss: {seal_ns_plain:.0} ns plain, {seal_ns_indexed:.0} ns indexed \
+         (the budgeted hash+probe cost)"
+    );
+    eprintln!(
+        "rewrite fast path: {rewrite_ns_plain:.0} ns plain, {rewrite_ns_indexed:.0} ns indexed \
+         ({write_overhead:.3}x, gate <= 1.10)"
+    );
+
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -104,6 +126,13 @@ fn main() {
             "\"cow_fault_4k_ns\": {cow_ns:.0}}},\n",
             "  \"global_lock\": {{\"fork_world_160_pages_ns\": {base_fork_ns:.0}, ",
             "\"cow_fault_4k_ns\": {base_cow_ns:.0}}},\n",
+            "  \"dedupe_ratio\": {dedupe_ratio:.3},\n",
+            "  \"dedupe\": {{\"siblings\": {dsiblings}, \"pages\": {dpages}, ",
+            "\"re_shares\": {dedupe_hits}, \"seal_ns_plain\": {seal_ns_plain:.0}, ",
+            "\"seal_ns_indexed\": {seal_ns_indexed:.0}, ",
+            "\"rewrite_ns_plain\": {rewrite_ns_plain:.0}, ",
+            "\"rewrite_ns_indexed\": {rewrite_ns_indexed:.0}, ",
+            "\"write_overhead\": {write_overhead:.3}}},\n",
             "  \"note\": \"speedup is thread-parallel throughput; on a ",
             "single-core host (effective_cores=1) the sharded store cannot ",
             "exceed the uncontended global lock and the number reflects ",
@@ -123,6 +152,15 @@ fn main() {
         cow_ns = cow_ns,
         base_fork_ns = base_fork_ns,
         base_cow_ns = base_cow_ns,
+        dedupe_ratio = dedupe_ratio,
+        dsiblings = dcfg.siblings,
+        dpages = dcfg.pages,
+        dedupe_hits = dedupe_hits,
+        seal_ns_plain = seal_ns_plain,
+        seal_ns_indexed = seal_ns_indexed,
+        rewrite_ns_plain = rewrite_ns_plain,
+        rewrite_ns_indexed = rewrite_ns_indexed,
+        write_overhead = write_overhead,
     );
     std::fs::write(&out, &json).expect("write results file");
     println!("wrote {out}");

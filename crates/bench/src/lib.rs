@@ -21,6 +21,7 @@
 
 pub mod baseline;
 pub mod contention;
+pub mod dedupe;
 pub mod domain_exp;
 pub mod measured;
 pub mod table1;

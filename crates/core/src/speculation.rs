@@ -167,11 +167,18 @@ impl Speculation {
     /// A session with an explicit observability registry; the page store
     /// and every block executed through [`Speculation::run`] report into
     /// it.
+    ///
+    /// `WORLDS_DEDUPE=1` arms the store's content index
+    /// ([`PageStore::set_dedupe`]), the same environment-switch idiom
+    /// as `WORLDS_OBS`/`WORLDS_PROF`.
     pub fn with_obs(page_size: usize, obs: Registry) -> Self {
         // WORLDS_PROF=1 gets a sampler without bespoke wiring: the first
         // session's registry receives the flushes.
         worlds_prof::autostart_from_env(&obs);
         let store = PageStore::with_obs(page_size, obs);
+        if std::env::var_os("WORLDS_DEDUPE").is_some_and(|v| v != "0") {
+            store.set_dedupe(true);
+        }
         let root_world = store.create_world();
         let fs = FileSystem::new(store.clone());
         Speculation {

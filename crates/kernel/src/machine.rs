@@ -84,8 +84,16 @@ impl Machine {
     /// store shares the registry and is driven by the machine's virtual
     /// clock, so page events carry the same world ids and timestamps as
     /// kernel events.
+    ///
+    /// `WORLDS_DEDUPE=1` in the environment arms the store's content
+    /// index ([`PageStore::set_dedupe`]), so any example or bench can
+    /// run deduped without code changes — the same switch idiom as
+    /// `WORLDS_OBS`/`WORLDS_PROF`.
     pub fn with_obs(cost: CostModel, obs: Registry) -> Self {
         let store = PageStore::with_obs(cost.page_size, obs.clone());
+        if std::env::var_os("WORLDS_DEDUPE").is_some_and(|v| v != "0") {
+            store.set_dedupe(true);
+        }
         Machine { cost, store, obs }
     }
 

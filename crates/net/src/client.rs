@@ -129,8 +129,26 @@ impl Conn {
         match self.call(req)? {
             Reply::Ack { world } => Ok(world),
             Reply::Nack { code, detail } => Err(NetError::Nack { code, detail }),
-            Reply::Telemetry { .. } => Err(NetError::Protocol(
-                "unexpected telemetry reply to a non-telemetry request".into(),
+            Reply::Telemetry { .. } | Reply::Present { .. } => Err(NetError::Protocol(
+                "unexpected typed reply to an ack-style request".into(),
+            )),
+        }
+    }
+
+    /// Issue a [`Request::HashProbe`] and unwrap the presence bitmap.
+    /// The reply must answer every probed hash, or the server is
+    /// confused and the caller should fall back to shipping bytes.
+    pub fn call_present(&mut self, hashes: Vec<u64>) -> Result<Vec<bool>> {
+        let want = hashes.len();
+        match self.call(&Request::HashProbe { hashes })? {
+            Reply::Present { present } if present.len() == want => Ok(present),
+            Reply::Present { present } => Err(NetError::Protocol(format!(
+                "hash probe answered {} of {want} hashes",
+                present.len()
+            ))),
+            Reply::Nack { code, detail } => Err(NetError::Nack { code, detail }),
+            _ => Err(NetError::Protocol(
+                "unexpected reply to a hash probe".into(),
             )),
         }
     }

@@ -11,9 +11,12 @@
 //! | 4    | `Discard`        | a losing world to drop                    |
 //! | 5    | `PredicatedSend` | an `ipc::Message` incl. its predicate set |
 //! | 6    | `Telemetry`      | opaque telemetry bytes (rollup delta/query)|
+//! | 7    | `HashProbe`      | page-content hashes to test for presence  |
 //!
 //! Replies are `Ack { world }` (0x80), `Nack { code, detail }` (0x81),
-//! or `Telemetry { payload }` (0x82) answering a telemetry query.
+//! `Telemetry { payload }` (0x82) answering a telemetry query, or
+//! `Present { present }` (0x83) answering a hash probe with one
+//! presence bit per probed hash.
 //!
 //! Serialisation is hand-rolled little-endian — the same std-only
 //! discipline as the checkpoint image and the obs JSONL codec. Every
@@ -34,9 +37,11 @@ pub mod kind {
     pub const DISCARD: u8 = 4;
     pub const PREDICATED_SEND: u8 = 5;
     pub const TELEMETRY: u8 = 6;
+    pub const HASH_PROBE: u8 = 7;
     pub const ACK: u8 = 0x80;
     pub const NACK: u8 = 0x81;
     pub const TELEMETRY_REPLY: u8 = 0x82;
+    pub const PRESENT: u8 = 0x83;
 }
 
 /// Nack codes — coarse, machine-checkable failure classes.
@@ -78,6 +83,12 @@ pub enum Request {
     /// stays ignorant of metric shapes, exactly as it is of checkpoint
     /// internals. Servers without a telemetry handler Nack it.
     Telemetry { payload: Vec<u8> },
+    /// Ask which page-content hashes the receiving node's store can
+    /// satisfy from its content index — the manifest round-trip that
+    /// lets a v3 content-delta checkpoint ship refs instead of bytes.
+    /// Presence is a *hint*: the receiver re-verifies by re-hashing at
+    /// apply time, so a stale answer costs a fallback, never corruption.
+    HashProbe { hashes: Vec<u64> },
 }
 
 /// A server-to-client reply.
@@ -92,6 +103,11 @@ pub enum Reply {
     /// Answer to a [`Request::Telemetry`] query — an opaque payload the
     /// telemetry layer decodes (e.g. the collector's cluster table).
     Telemetry { payload: Vec<u8> },
+    /// Answer to a [`Request::HashProbe`]: `present[i]` is whether the
+    /// node holds a live frame whose contents hash to `hashes[i]`.
+    /// Encoded as a count plus a packed bitmap — 17 probed pages cost
+    /// 7 payload bytes, not 17.
+    Present { present: Vec<bool> },
 }
 
 impl Request {
@@ -104,6 +120,7 @@ impl Request {
             Request::Discard { .. } => kind::DISCARD,
             Request::PredicatedSend { .. } => kind::PREDICATED_SEND,
             Request::Telemetry { .. } => kind::TELEMETRY,
+            Request::HashProbe { .. } => kind::HASH_PROBE,
         }
     }
 
@@ -127,6 +144,14 @@ impl Request {
             Request::Discard { world } => world.to_le_bytes().to_vec(),
             Request::PredicatedSend { msg } => encode_message(msg),
             Request::Telemetry { payload } => payload.clone(),
+            Request::HashProbe { hashes } => {
+                let mut out = Vec::with_capacity(4 + 8 * hashes.len());
+                out.extend_from_slice(&(hashes.len() as u32).to_le_bytes());
+                for h in hashes {
+                    out.extend_from_slice(&h.to_le_bytes());
+                }
+                out
+            }
         }
     }
 
@@ -161,6 +186,15 @@ impl Request {
             kind::TELEMETRY => Request::Telemetry {
                 payload: payload.to_vec(),
             },
+            kind::HASH_PROBE => {
+                let count = r.u32("hash count")? as usize;
+                let mut hashes = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    hashes.push(r.u64("hash")?);
+                }
+                r.done("hash_probe")?;
+                Request::HashProbe { hashes }
+            }
             other => return Err(NetError::Protocol(format!("unknown request kind {other}"))),
         };
         Ok(req)
@@ -174,6 +208,7 @@ impl Reply {
             Reply::Ack { .. } => kind::ACK,
             Reply::Nack { .. } => kind::NACK,
             Reply::Telemetry { .. } => kind::TELEMETRY_REPLY,
+            Reply::Present { .. } => kind::PRESENT,
         }
     }
 
@@ -189,6 +224,24 @@ impl Reply {
                 out
             }
             Reply::Telemetry { payload } => payload.clone(),
+            Reply::Present { present } => {
+                let mut out = Vec::with_capacity(4 + present.len().div_ceil(8));
+                out.extend_from_slice(&(present.len() as u32).to_le_bytes());
+                let mut byte = 0u8;
+                for (i, &p) in present.iter().enumerate() {
+                    if p {
+                        byte |= 1 << (i % 8);
+                    }
+                    if i % 8 == 7 {
+                        out.push(byte);
+                        byte = 0;
+                    }
+                }
+                if present.len() % 8 != 0 {
+                    out.push(byte);
+                }
+                out
+            }
         }
     }
 
@@ -211,6 +264,15 @@ impl Reply {
             kind::TELEMETRY_REPLY => Reply::Telemetry {
                 payload: payload.to_vec(),
             },
+            kind::PRESENT => {
+                let count = r.u32("present count")? as usize;
+                let bitmap = r.bytes(count.div_ceil(8), "present bitmap")?;
+                let present = (0..count)
+                    .map(|i| bitmap[i / 8] >> (i % 8) & 1 == 1)
+                    .collect();
+                r.done("present")?;
+                Reply::Present { present }
+            }
             other => return Err(NetError::Protocol(format!("unknown reply kind {other}"))),
         };
         Ok(reply)
@@ -371,6 +433,10 @@ mod tests {
         round_trip_request(Request::Telemetry {
             payload: Vec::new(),
         });
+        round_trip_request(Request::HashProbe {
+            hashes: vec![0xDEAD_BEEF, u64::MAX, 1],
+        });
+        round_trip_request(Request::HashProbe { hashes: Vec::new() });
     }
 
     #[test]
@@ -397,10 +463,28 @@ mod tests {
             Reply::Telemetry {
                 payload: vec![9, 8, 7],
             },
+            Reply::Present {
+                present: Vec::new(),
+            },
+            Reply::Present {
+                present: vec![true, false, true],
+            },
+            // 17 bits exercises the bitmap spill into a third byte.
+            Reply::Present {
+                present: (0..17).map(|i| i % 3 == 0).collect(),
+            },
         ] {
             let payload = reply.encode_payload();
             assert_eq!(Reply::decode(reply.kind(), &payload).unwrap(), reply);
         }
+    }
+
+    #[test]
+    fn present_bitmap_is_packed() {
+        let reply = Reply::Present {
+            present: vec![true; 17],
+        };
+        assert_eq!(reply.encode_payload().len(), 4 + 3, "17 bits in 3 bytes");
     }
 
     #[test]
@@ -425,5 +509,23 @@ mod tests {
         let mut long = Request::Discard { world: 3 }.encode_payload();
         long.push(0);
         assert!(Request::decode(kind::DISCARD, &long).is_err());
+        // Truncated hash probes and presence bitmaps.
+        let probe = Request::HashProbe {
+            hashes: vec![7, 8, 9],
+        }
+        .encode_payload();
+        for n in 0..probe.len() {
+            assert!(Request::decode(kind::HASH_PROBE, &probe[..n]).is_err());
+        }
+        let present = Reply::Present {
+            present: vec![true; 9],
+        }
+        .encode_payload();
+        for n in 0..present.len() {
+            assert!(Reply::decode(kind::PRESENT, &present[..n]).is_err());
+        }
+        let mut long = present.clone();
+        long.push(0);
+        assert!(Reply::decode(kind::PRESENT, &long).is_err());
     }
 }

@@ -77,6 +77,62 @@ fn delta_rfork_ships_against_restored_base() {
 }
 
 #[test]
+fn content_rfork_ships_refs_for_pages_the_receiver_holds() {
+    let server_store = PageStore::new(PAGE);
+    server_store.set_dedupe(true);
+    let node = NetNode::serve(1, server_store, Registry::disabled()).unwrap();
+    let mut conn = Conn::new(1, node.addr(), fast(), Registry::disabled());
+
+    let local = PageStore::new(PAGE);
+    let base = local.create_world();
+    for vpn in 0..20 {
+        local.write(base, vpn, 0, &[vpn as u8; PAGE]).unwrap();
+    }
+    let base_there = conn
+        .call_ack(&Request::Rfork {
+            image: checkpoint(&local, base).unwrap(),
+        })
+        .unwrap();
+
+    // The child rewrites page 3 to bytes nobody has, and page 4 to bytes
+    // the receiver *already holds* (base page 5's contents — restored
+    // full-page writes sealed them into the receiver's index).
+    let child = local.fork_world(base).unwrap();
+    local.write(child, 3, 0, &[99; PAGE]).unwrap();
+    local.write(child, 4, 0, &[5; PAGE]).unwrap();
+
+    let manifest = worlds_pagestore::delta_manifest(&local, child, base).unwrap();
+    let hashes: Vec<u64> = manifest.iter().map(|&(_, h)| h).collect();
+    let present = conn.call_present(hashes).unwrap();
+    assert_eq!(present.len(), manifest.len());
+    assert!(
+        present.iter().any(|&p| p),
+        "the receiver's index must recognise the duplicated page"
+    );
+
+    let v2 = checkpoint_delta(&local, child, base, base_there).unwrap();
+    let v3 = worlds_pagestore::checkpoint_content(&local, child, base_there, &manifest, &present)
+        .unwrap();
+    assert!(
+        v3.len() < v2.len(),
+        "content delta ({}) must undercut the plain delta ({})",
+        v3.len(),
+        v2.len()
+    );
+
+    let child_there = WorldId::from_raw(conn.call_ack(&Request::Rfork { image: v3 }).unwrap());
+    assert_eq!(
+        node.store().read_vec(child_there, 3, 0, PAGE).unwrap(),
+        vec![99; PAGE]
+    );
+    assert_eq!(
+        node.store().read_vec(child_there, 4, 0, PAGE).unwrap(),
+        vec![5; PAGE]
+    );
+    node.shutdown();
+}
+
+#[test]
 fn commit_back_and_discard_apply_to_the_right_worlds() {
     let store = PageStore::new(PAGE);
     let base = store.create_world();

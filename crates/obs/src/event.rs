@@ -60,6 +60,20 @@ pub enum EventKind {
     /// a sibling drop). Emitting this keeps `frames_resident` pure event
     /// arithmetic, so JSONL replay reconstructs the gauge exactly.
     FrameFree { frames: u64 },
+    /// A commit found its result byte-identical to an already-sealed frame
+    /// and re-shared that frame instead of installing the copy — the
+    /// content-addressed dedupe path. `bytes` is the page size the hit
+    /// avoided materialising. Dedupe commits emit this **instead of**
+    /// [`EventKind::CowCopy`]/[`EventKind::ZeroFill`], so the
+    /// `frames_resident` gauge stays pure event arithmetic.
+    FrameDedup { vpn: u64, bytes: u64 },
+    /// An in-place write retracted a sealed frame's content-index entry
+    /// (the first mutation after a seal). Downstream dedupe probes skip
+    /// this frame until it is resealed.
+    PageHashSkip { vpn: u64 },
+    /// The remote-fork replica/base cache evicted `bytes` of pinned base
+    /// state for node `node` to stay inside its byte budget.
+    NetCacheEvict { node: u64, bytes: u64 },
     /// A world's pages were serialised to a checkpoint image.
     Checkpoint {
         pages: u64,
@@ -176,6 +190,9 @@ impl EventKind {
             EventKind::CowCopy { .. } => "cow_copy",
             EventKind::ZeroFill { .. } => "zero_fill",
             EventKind::FrameFree { .. } => "frame_free",
+            EventKind::FrameDedup { .. } => "frame_dedup",
+            EventKind::PageHashSkip { .. } => "page_hash_skip",
+            EventKind::NetCacheEvict { .. } => "net_cache_evict",
             EventKind::Checkpoint { .. } => "checkpoint",
             EventKind::MsgAccept => "msg_accept",
             EventKind::MsgExtend => "msg_extend",
@@ -284,6 +301,15 @@ impl Event {
             }
             EventKind::ZeroFill { vpn } => push_field(&mut s, "vpn", *vpn),
             EventKind::FrameFree { frames } => push_field(&mut s, "frames", *frames),
+            EventKind::FrameDedup { vpn, bytes } => {
+                push_field(&mut s, "vpn", *vpn);
+                push_field(&mut s, "bytes", *bytes);
+            }
+            EventKind::PageHashSkip { vpn } => push_field(&mut s, "vpn", *vpn),
+            EventKind::NetCacheEvict { node, bytes } => {
+                push_field(&mut s, "node", *node);
+                push_field(&mut s, "bytes", *bytes);
+            }
             EventKind::Checkpoint {
                 pages,
                 bytes,
@@ -439,6 +465,17 @@ impl Event {
             },
             "frame_free" => EventKind::FrameFree {
                 frames: fields.u64_field("frames")?,
+            },
+            "frame_dedup" => EventKind::FrameDedup {
+                vpn: fields.u64_field("vpn")?,
+                bytes: fields.u64_field("bytes")?,
+            },
+            "page_hash_skip" => EventKind::PageHashSkip {
+                vpn: fields.u64_field("vpn")?,
+            },
+            "net_cache_evict" => EventKind::NetCacheEvict {
+                node: fields.u64_field("node")?,
+                bytes: fields.u64_field("bytes")?,
             },
             "checkpoint" => EventKind::Checkpoint {
                 pages: fields.u64_field("pages")?,
@@ -719,6 +756,15 @@ mod tests {
             },
             EventKind::ZeroFill { vpn: 9 },
             EventKind::FrameFree { frames: 3 },
+            EventKind::FrameDedup {
+                vpn: 42,
+                bytes: 4096,
+            },
+            EventKind::PageHashSkip { vpn: 42 },
+            EventKind::NetCacheEvict {
+                node: 2,
+                bytes: 131_072,
+            },
             EventKind::Checkpoint {
                 pages: 5,
                 bytes: 20480,

@@ -52,6 +52,25 @@ counter_struct! {
 }
 
 counter_struct! {
+    /// Content-addressed dedupe (pagestore content index + net cache).
+    /// Event-derived; the summary omits the section when the store never
+    /// deduped anything, so replays of pre-dedupe captures (and of runs
+    /// with dedupe off, the default) stay byte-identical.
+    pub struct DedupCounters {
+        /// Commits that re-shared an existing identical frame.
+        pub frames_deduped,
+        /// Bytes those hits avoided materialising.
+        pub bytes_saved,
+        /// Content-index entries retracted by in-place writes.
+        pub hash_skips,
+        /// Remote-fork base-cache evictions (byte budget pressure).
+        pub cache_evictions,
+        /// Bytes of pinned base state those evictions released.
+        pub cache_evict_bytes,
+    }
+}
+
+counter_struct! {
     /// Predicated message routing (ipc::router).
     pub struct IpcCounters {
         /// Messages matching the receiver's predicate set.
@@ -151,6 +170,8 @@ pub struct RunStats {
     pub kernel: KernelCounters,
     /// pagestore::store counters.
     pub pagestore: PageCounters,
+    /// Content-dedupe counters (event-derived, see [`DedupCounters`]).
+    pub dedupe: DedupCounters,
     /// ipc::router counters.
     pub ipc: IpcCounters,
     /// remote::cluster counters.
@@ -223,6 +244,18 @@ impl RunStats {
             EventKind::FrameFree { frames } => {
                 self.pagestore.frames_freed.add(*frames);
                 self.frames_resident.sub(*frames);
+            }
+            // A dedupe commit re-shares a frame that is already resident,
+            // so it deliberately does NOT touch `frames_resident` — only
+            // CowCopy/ZeroFill/FrameFree move the gauge.
+            EventKind::FrameDedup { bytes, .. } => {
+                self.dedupe.frames_deduped.incr();
+                self.dedupe.bytes_saved.add(*bytes);
+            }
+            EventKind::PageHashSkip { .. } => self.dedupe.hash_skips.incr(),
+            EventKind::NetCacheEvict { bytes, .. } => {
+                self.dedupe.cache_evictions.incr();
+                self.dedupe.cache_evict_bytes.add(*bytes);
             }
             EventKind::Checkpoint {
                 bytes, duration_ns, ..
@@ -303,6 +336,14 @@ impl RunStats {
             self.frames_resident.get()
         ));
         hist_line(&mut out, "checkpoint_duration", &self.checkpoint_duration);
+
+        // Only runs that actually deduped (or evicted) print a [dedupe]
+        // section: the index is opt-in, so replays of captures from
+        // before it existed — and of runs with it off — stay identical.
+        let dedupe = self.dedupe.snapshot();
+        if dedupe.iter().any(|&(_, v)| v > 0) {
+            section(&mut out, "dedupe", &dedupe);
+        }
 
         section(&mut out, "ipc", &self.ipc.snapshot());
         section(&mut out, "remote", &self.remote.snapshot());
@@ -407,6 +448,15 @@ mod tests {
         }));
         s.absorb(&ev(EventKind::ZeroFill { vpn: 2 }));
         s.absorb(&ev(EventKind::FrameFree { frames: 1 }));
+        s.absorb(&ev(EventKind::FrameDedup {
+            vpn: 3,
+            bytes: 4096,
+        }));
+        s.absorb(&ev(EventKind::PageHashSkip { vpn: 3 }));
+        s.absorb(&ev(EventKind::NetCacheEvict {
+            node: 1,
+            bytes: 8192,
+        }));
         s.absorb(&ev(EventKind::Checkpoint {
             pages: 2,
             bytes: 8192,
@@ -447,8 +497,13 @@ mod tests {
         assert_eq!(
             s.frames_resident.get(),
             1,
-            "one CoW + one zero-fill - one free"
+            "one CoW + one zero-fill - one free; dedupe does not move it"
         );
+        assert_eq!(s.dedupe.frames_deduped.get(), 1);
+        assert_eq!(s.dedupe.bytes_saved.get(), 4096);
+        assert_eq!(s.dedupe.hash_skips.get(), 1);
+        assert_eq!(s.dedupe.cache_evictions.get(), 1);
+        assert_eq!(s.dedupe.cache_evict_bytes.get(), 8192);
         assert_eq!(s.pagestore.checkpoints.get(), 1);
         assert_eq!(s.ipc.snapshot().iter().map(|(_, v)| v).sum::<u64>(), 5);
         assert_eq!(s.ipc.split_spawns.get(), 1);
@@ -523,6 +578,23 @@ mod tests {
             !text.contains("[exec]"),
             "idle executor section must stay out of replayed summaries:\n{text}"
         );
+        assert!(
+            !text.contains("[dedupe]"),
+            "dedupe section must stay out when nothing deduped:\n{text}"
+        );
+    }
+
+    #[test]
+    fn summary_shows_dedupe_section_only_when_index_hit() {
+        let s = RunStats::new();
+        s.absorb(&ev(EventKind::FrameDedup {
+            vpn: 0,
+            bytes: 4096,
+        }));
+        let text = s.render_summary();
+        for needle in ["[dedupe]", "frames_deduped", "bytes_saved"] {
+            assert!(text.contains(needle), "summary missing {needle}:\n{text}");
+        }
     }
 
     #[test]

@@ -538,9 +538,21 @@ impl SpanTree {
                 });
                 span.end_ns = span.end_ns.max(vt);
             }
-            EventKind::FrameFree { .. } => {
+            EventKind::FrameDedup { .. } => {
+                let span = self.ensure(w, vt);
+                span.marks.push(Mark {
+                    vt_ns: vt,
+                    what: "frame_dedup",
+                    from: None,
+                });
+                span.end_ns = span.end_ns.max(vt);
+            }
+            EventKind::FrameFree { .. } | EventKind::PageHashSkip { .. } => {
                 // Frame accounting has no per-world span meaning (the
                 // freeing world is often already closed).
+            }
+            EventKind::NetCacheEvict { .. } => {
+                // Cache housekeeping on the sender; no world to pin it to.
             }
             EventKind::Meta { .. } | EventKind::SiteLabel { .. } => {
                 // Stream metadata: world 0 here is a placeholder, not

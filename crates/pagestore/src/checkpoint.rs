@@ -13,11 +13,15 @@
 //! Image format (little-endian):
 //!
 //! ```text
-//! v1 (full):  magic "MWCK" | version=1 u32 | page_size u64 | page_count u64
-//!             then per page: vpn u64 | page_size bytes
-//! v2 (delta): magic "MWCK" | version=2 u32 | page_size u64 | page_count u64
-//!             | base_world u64
-//!             then per page: vpn u64 | page_size bytes
+//! v1 (full):    magic "MWCK" | version=1 u32 | page_size u64 | page_count u64
+//!               then per page: vpn u64 | page_size bytes
+//! v2 (delta):   magic "MWCK" | version=2 u32 | page_size u64 | page_count u64
+//!               | base_world u64
+//!               then per page: vpn u64 | page_size bytes
+//! v3 (content): magic "MWCK" | version=3 u32 | page_size u64 | record_count u64
+//!               | base_world u64
+//!               then per record: vpn u64 | kind u8
+//!               | kind 0: page_size inline bytes | kind 1: content hash u64
 //! ```
 //!
 //! A **delta** image ([`checkpoint_delta`]) carries only the pages whose
@@ -27,7 +31,17 @@
 //! overwriting the differing pages. Repeated rfork of sibling worlds then
 //! ships KBs instead of the full image. Version-1 images remain readable
 //! forever; writers choose per image.
+//!
+//! A **content delta** ([`checkpoint_content`]) goes further: the sender
+//! first derives a `(vpn, hash)` manifest ([`delta_manifest`]), asks the
+//! receiver which hashes its content index already holds, and then ships
+//! a *ref* record (17 bytes) for each present page instead of the page
+//! itself. The receiver maps refs through
+//! [`PageStore::map_content`], which re-hashes the local candidate before
+//! sharing — a stale or colliding index entry fails the restore (the
+//! caller falls back to v2) rather than aliasing wrong bytes.
 
+use crate::content::page_hash;
 use crate::error::{PageStoreError, Result};
 use crate::page::Vpn;
 use crate::store::{PageStore, WorldId};
@@ -35,10 +49,15 @@ use crate::store::{PageStore, WorldId};
 const MAGIC: &[u8; 4] = b"MWCK";
 const VERSION: u32 = 1;
 const VERSION_DELTA: u32 = 2;
+const VERSION_CONTENT: u32 = 3;
 /// v1 header bytes: magic + version + page_size + page_count.
 const HEADER: usize = 24;
-/// v2 header bytes: v1 header + base world id.
+/// v2/v3 header bytes: v1 header + base world id.
 const HEADER_DELTA: usize = HEADER + 8;
+/// v3 record kinds: a full inline page, or a hash ref to content the
+/// receiver already holds.
+const REC_INLINE: u8 = 0;
+const REC_REF: u8 = 1;
 
 /// Serialise every mapped page of `world` into a checkpoint image.
 pub fn checkpoint(store: &PageStore, world: WorldId) -> Result<Vec<u8>> {
@@ -131,6 +150,80 @@ pub fn checkpoint_delta(
     Ok(out)
 }
 
+/// The `(vpn, hash)` manifest a content delta ([`checkpoint_content`])
+/// negotiates with: every page of `world` whose bytes differ from `base`,
+/// paired with the content hash of the `world`-side bytes. Same candidate
+/// narrowing as [`checkpoint_delta`] — a write that restored the original
+/// bytes produces no entry.
+pub fn delta_manifest(store: &PageStore, world: WorldId, base: WorldId) -> Result<Vec<(Vpn, u64)>> {
+    let page_size = store.page_size();
+    let mut wbuf = vec![0u8; page_size];
+    let mut bbuf = vec![0u8; page_size];
+    let mut manifest = Vec::new();
+    for vpn in store.diff_worlds(world, base)? {
+        store.read(world, vpn, 0, &mut wbuf)?;
+        store.read(base, vpn, 0, &mut bbuf)?;
+        if wbuf != bbuf {
+            manifest.push((vpn, page_hash(&wbuf)));
+        }
+    }
+    Ok(manifest)
+}
+
+/// Serialise a version-3 content delta: one record per `manifest` entry,
+/// shipped as a 17-byte hash *ref* when the matching `present` flag says
+/// the receiver's content index already holds those bytes, and as the
+/// full inline page otherwise. `manifest` comes from [`delta_manifest`];
+/// `present` from probing the receiver (one flag per entry, in order).
+/// `base_on_target` is as in [`checkpoint_delta`].
+pub fn checkpoint_content(
+    store: &PageStore,
+    world: WorldId,
+    base_on_target: u64,
+    manifest: &[(Vpn, u64)],
+    present: &[bool],
+) -> Result<Vec<u8>> {
+    assert_eq!(
+        manifest.len(),
+        present.len(),
+        "one presence flag per manifest entry"
+    );
+    let started = std::time::Instant::now();
+    let page_size = store.page_size();
+    let mut wbuf = vec![0u8; page_size];
+    let mut out = Vec::with_capacity(HEADER_DELTA + manifest.len() * 17);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION_CONTENT.to_le_bytes());
+    out.extend_from_slice(&(page_size as u64).to_le_bytes());
+    out.extend_from_slice(&(manifest.len() as u64).to_le_bytes());
+    out.extend_from_slice(&base_on_target.to_le_bytes());
+    for (&(vpn, hash), &have) in manifest.iter().zip(present) {
+        out.extend_from_slice(&vpn.to_le_bytes());
+        if have {
+            out.push(REC_REF);
+            out.extend_from_slice(&hash.to_le_bytes());
+        } else {
+            out.push(REC_INLINE);
+            store.read(world, vpn, 0, &mut wbuf)?;
+            out.extend_from_slice(&wbuf);
+        }
+    }
+    store.obs().emit(|| {
+        let parent = store.parent_of(world).ok().flatten().map(WorldId::raw);
+        worlds_obs::Event::new(
+            worlds_obs::EventKind::Checkpoint {
+                pages: manifest.len() as u64,
+                bytes: out.len() as u64,
+                duration_ns: started.elapsed().as_nanos() as u64,
+            },
+            world.raw(),
+            parent,
+            0,
+        )
+    });
+    Ok(out)
+}
+
 /// The version field of a checkpoint image, if it has a plausible header.
 pub fn image_version(image: &[u8]) -> Option<u32> {
     if image.len() < 8 || &image[0..4] != MAGIC {
@@ -141,15 +234,18 @@ pub fn image_version(image: &[u8]) -> Option<u32> {
 
 /// Restore a checkpoint image into a **new world** of `store`. The target
 /// store must have the same page size as the image. A version-2 (delta)
-/// image additionally requires its base world to be alive in `store`: the
-/// new world is a COW fork of the base with the delta pages applied.
+/// or version-3 (content delta) image additionally requires its base
+/// world to be alive in `store`: the new world is a COW fork of the base
+/// with the delta pages applied. A v3 *ref* record that no verified local
+/// frame satisfies fails the whole restore (the forked world is dropped,
+/// nothing leaks) — the sender then falls back to shipping bytes.
 pub fn restore(store: &PageStore, image: &[u8]) -> Result<WorldId> {
     let err = |msg: &str| PageStoreError::NoSuchFile(format!("checkpoint: {msg}"));
     if image.len() < HEADER || &image[0..4] != MAGIC {
         return Err(err("bad magic"));
     }
     let version = u32::from_le_bytes(image[4..8].try_into().expect("4 bytes"));
-    if version != VERSION && version != VERSION_DELTA {
+    if version != VERSION && version != VERSION_DELTA && version != VERSION_CONTENT {
         return Err(err("unsupported version"));
     }
     let page_size = u64::from_le_bytes(image[8..16].try_into().expect("8 bytes")) as usize;
@@ -157,6 +253,9 @@ pub fn restore(store: &PageStore, image: &[u8]) -> Result<WorldId> {
         return Err(err("page size mismatch"));
     }
     let count = u64::from_le_bytes(image[16..24].try_into().expect("8 bytes")) as usize;
+    if version == VERSION_CONTENT {
+        return restore_content(store, image, count, page_size);
+    }
     let header = if version == VERSION {
         HEADER
     } else {
@@ -180,6 +279,72 @@ pub fn restore(store: &PageStore, image: &[u8]) -> Result<WorldId> {
         store.write(world, vpn, 0, &image[off + 8..off + record])?;
     }
     Ok(world)
+}
+
+/// The v3 arm of [`restore`]: records are variable-length, so the walk is
+/// cursor-driven with explicit bounds checks, and a failure after the
+/// base fork tears the half-built world back down.
+fn restore_content(
+    store: &PageStore,
+    image: &[u8],
+    count: usize,
+    page_size: usize,
+) -> Result<WorldId> {
+    let err = |msg: &str| PageStoreError::NoSuchFile(format!("checkpoint: {msg}"));
+    if image.len() < HEADER_DELTA {
+        return Err(err("truncated image"));
+    }
+    let base = u64::from_le_bytes(image[24..32].try_into().expect("8 bytes"));
+    let world = store
+        .fork_world(WorldId(base))
+        .map_err(|_| err(&format!("delta base world {base} not in target store")))?;
+    let apply = || -> Result<()> {
+        let mut off = HEADER_DELTA;
+        let mut done = 0usize;
+        while off < image.len() {
+            if done == count {
+                return Err(err("more records than the header counts"));
+            }
+            if image.len() - off < 9 {
+                return Err(err("truncated image"));
+            }
+            let vpn = u64::from_le_bytes(image[off..off + 8].try_into().expect("8 bytes"));
+            let kind = image[off + 8];
+            off += 9;
+            match kind {
+                REC_INLINE => {
+                    if image.len() - off < page_size {
+                        return Err(err("truncated image"));
+                    }
+                    store.write(world, vpn, 0, &image[off..off + page_size])?;
+                    off += page_size;
+                }
+                REC_REF => {
+                    if image.len() - off < 8 {
+                        return Err(err("truncated image"));
+                    }
+                    let hash = u64::from_le_bytes(image[off..off + 8].try_into().expect("8 bytes"));
+                    off += 8;
+                    if !store.map_content(world, vpn, hash)? {
+                        return Err(err("content ref not present on receiver"));
+                    }
+                }
+                _ => return Err(err("unknown record kind")),
+            }
+            done += 1;
+        }
+        if done != count {
+            return Err(err("fewer records than the header counts"));
+        }
+        Ok(())
+    };
+    match apply() {
+        Ok(()) => Ok(world),
+        Err(e) => {
+            let _ = store.drop_world(world);
+            Err(e)
+        }
+    }
 }
 
 /// Size in bytes a checkpoint of `world` would occupy — the quantity the
@@ -352,12 +517,121 @@ mod tests {
         let store = PageStore::new(64);
         let mut img = Vec::new();
         img.extend_from_slice(b"MWCK");
-        img.extend_from_slice(&3u32.to_le_bytes());
+        img.extend_from_slice(&4u32.to_le_bytes());
         img.extend_from_slice(&64u64.to_le_bytes());
         img.extend_from_slice(&0u64.to_le_bytes());
         assert!(restore(&store, &img).is_err());
-        assert_eq!(image_version(&img), Some(3));
+        assert_eq!(image_version(&img), Some(4));
         assert_eq!(image_version(b"BOGUS"), None);
+    }
+
+    #[test]
+    fn content_delta_round_trip_with_warm_index() {
+        // Receiver already holds the child's new page contents (under a
+        // different world); the v3 image ships a hash ref, not bytes.
+        let here = PageStore::new(64);
+        let there = PageStore::new(64);
+        there.set_dedupe(true);
+        let base = here.create_world();
+        for vpn in 0..4 {
+            here.write(base, vpn, 0, &[vpn as u8 + 1; 64]).unwrap();
+        }
+        // Mirror the base on the receiver (PR 5's pinned-base handshake).
+        let rbase = restore(&there, &checkpoint(&here, base).unwrap()).unwrap();
+
+        let child = here.fork_world(base).unwrap();
+        here.write(child, 2, 0, &[0xEE; 64]).unwrap();
+        here.write(child, 9, 0, &[0xDD; 64]).unwrap();
+        // Warm the receiver's index with one of the two new pages.
+        let warm = there.create_world();
+        there.write(warm, 0, 0, &[0xEE; 64]).unwrap();
+
+        let manifest = delta_manifest(&here, child, base).unwrap();
+        assert_eq!(manifest.len(), 2);
+        let present: Vec<bool> = manifest
+            .iter()
+            .map(|&(_, h)| there.content_probe(h))
+            .collect();
+        assert_eq!(present.iter().filter(|&&p| p).count(), 1);
+        let image = checkpoint_content(&here, child, rbase.raw(), &manifest, &present).unwrap();
+        assert_eq!(image_version(&image), Some(3));
+        // One ref record (17 B) + one inline record (8 + 1 + 64 B).
+        assert_eq!(image.len(), 32 + 17 + 73);
+
+        let r = restore(&there, &image).unwrap();
+        assert_eq!(there.read_vec(r, 2, 0, 64).unwrap(), vec![0xEE; 64]);
+        assert_eq!(there.read_vec(r, 9, 0, 64).unwrap(), vec![0xDD; 64]);
+        for vpn in 0..2 {
+            assert_eq!(
+                there.read_vec(r, vpn, 0, 64).unwrap(),
+                vec![vpn as u8 + 1; 64],
+                "inherited base page {vpn}"
+            );
+        }
+        assert!(there.stats().dedupe_hits >= 1, "ref record re-shared");
+    }
+
+    #[test]
+    fn content_delta_all_inline_when_index_cold() {
+        let here = PageStore::new(64);
+        let there = PageStore::new(64); // dedupe off: every probe misses
+        let base = here.create_world();
+        here.write(base, 0, 0, b"base").unwrap();
+        let rbase = restore(&there, &checkpoint(&here, base).unwrap()).unwrap();
+        let child = here.fork_world(base).unwrap();
+        here.write(child, 7, 0, b"fresh").unwrap();
+
+        let manifest = delta_manifest(&here, child, base).unwrap();
+        let present: Vec<bool> = manifest
+            .iter()
+            .map(|&(_, h)| there.content_probe(h))
+            .collect();
+        assert!(present.iter().all(|&p| !p));
+        let image = checkpoint_content(&here, child, rbase.raw(), &manifest, &present).unwrap();
+        let r = restore(&there, &image).unwrap();
+        assert_eq!(there.read_vec(r, 7, 0, 5).unwrap(), b"fresh");
+    }
+
+    #[test]
+    fn content_ref_missing_on_receiver_fails_without_leaking_a_world() {
+        let here = PageStore::new(64);
+        let there = PageStore::new(64);
+        let base = here.create_world();
+        here.write(base, 0, 0, b"base").unwrap();
+        let rbase = restore(&there, &checkpoint(&here, base).unwrap()).unwrap();
+        let child = here.fork_world(base).unwrap();
+        here.write(child, 3, 0, b"only here").unwrap();
+
+        let manifest = delta_manifest(&here, child, base).unwrap();
+        // Lie: claim the receiver has the page so a ref record is emitted.
+        let present = vec![true; manifest.len()];
+        let image = checkpoint_content(&here, child, rbase.raw(), &manifest, &present).unwrap();
+        let before = there.world_count();
+        let err = restore(&there, &image).unwrap_err();
+        assert!(format!("{err}").contains("not present"), "{err}");
+        assert_eq!(there.world_count(), before, "half-built world torn down");
+    }
+
+    #[test]
+    fn truncated_content_delta_is_rejected() {
+        let here = PageStore::new(64);
+        let there = PageStore::new(64);
+        let base = here.create_world();
+        let rbase = restore(&there, &checkpoint(&here, base).unwrap()).unwrap();
+        let child = here.fork_world(base).unwrap();
+        here.write(child, 0, 0, &[1; 64]).unwrap();
+        let manifest = delta_manifest(&here, child, base).unwrap();
+        let present = vec![false; manifest.len()];
+        let image = checkpoint_content(&here, child, rbase.raw(), &manifest, &present).unwrap();
+        let before = there.world_count();
+        for cut in [image.len() - 1, 33, 40] {
+            assert!(restore(&there, &image[..cut]).is_err(), "cut {cut}");
+        }
+        // A record kind the decoder does not know is rejected too.
+        let mut bad = image.clone();
+        bad[32 + 8] = 7;
+        assert!(restore(&there, &bad).is_err());
+        assert_eq!(there.world_count(), before, "no worlds leaked");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
+use crate::content::{page_hash, ContentIndex};
 use crate::page::PageData;
 
 /// Index of a physical frame in the store's frame table.
@@ -68,6 +69,10 @@ struct FrameSlot {
     /// use `Arc::make_mut` — a concurrent reader at worst keeps the pre-write
     /// snapshot, never a torn page.
     data: Mutex<Option<Arc<PageData>>>,
+    /// Content hash this frame is published under in the content index
+    /// (0 = not indexed). The back-pointer that lets an in-place write or
+    /// a free clear its own index entry without a reverse scan.
+    content_hash: AtomicU64,
 }
 
 impl FrameSlot {
@@ -78,6 +83,7 @@ impl FrameSlot {
     const EMPTY: FrameSlot = FrameSlot {
         refs: AtomicU32::new(0),
         data: Mutex::new(None),
+        content_hash: AtomicU64::new(0),
     };
 }
 
@@ -95,6 +101,9 @@ pub(crate) struct FrameTable {
     live: AtomicUsize,
     /// Free list + buffer pool under one leaf mutex (see [`Recycler`]).
     recycler: Mutex<Recycler>,
+    /// The content index (hash → frame hints), allocated on first insert
+    /// so stores that never enable dedupe pay nothing.
+    index: OnceLock<ContentIndex>,
     /// Times the recycler mutex has been acquired — the quantity batched
     /// elimination amortizes. Every acquisition goes through
     /// [`FrameTable::lock_recycler`] so the count is exact.
@@ -114,6 +123,7 @@ impl FrameTable {
             high: AtomicUsize::new(0),
             live: AtomicUsize::new(0),
             recycler: Mutex::new(Recycler::default()),
+            index: OnceLock::new(),
             recycler_locks: AtomicU64::new(0),
         }
     }
@@ -161,6 +171,11 @@ impl FrameTable {
         let slot = self.slot(FrameId(idx));
         let mut d = slot.data.lock();
         debug_assert!(d.is_none(), "allocating over a live frame");
+        debug_assert_eq!(
+            slot.content_hash.load(Ordering::Relaxed),
+            0,
+            "recycled slot still indexed"
+        );
         *d = Some(arc);
         slot.refs.store(1, Ordering::Release);
         FrameId(idx)
@@ -211,6 +226,7 @@ impl FrameTable {
             return false;
         }
         let data = slot.data.lock().take().expect("live frame without data");
+        self.deindex(slot, id);
         self.live.fetch_sub(1, Ordering::Relaxed);
         // One acquisition frees both halves: the slot index always goes
         // back, the buffer only if no reader still holds its `Arc`.
@@ -242,6 +258,7 @@ impl FrameTable {
             return false;
         }
         let data = slot.data.lock().take().expect("live frame without data");
+        self.deindex(slot, id);
         self.live.fetch_sub(1, Ordering::Relaxed);
         freed.push((id.0, data));
         true
@@ -282,22 +299,187 @@ impl FrameTable {
     }
 
     /// The private-page write fast path, fused into one slot visit: if the
-    /// frame's refcount is exactly 1, overwrite `bytes` at `offset` in place
-    /// and return `true`; otherwise touch nothing and return `false`. The
-    /// caller must hold the owning world's shard lock (read suffices) so a
-    /// count of 1 cannot rise mid-write — the only way it rises is a fork of
-    /// the owning world, which needs that shard's write lock. A reader
-    /// concurrently holding the page's `Arc` forces `make_mut` to copy,
-    /// which keeps that reader's snapshot consistent.
-    pub(crate) fn write_if_private(&self, id: FrameId, offset: usize, bytes: &[u8]) -> bool {
+    /// frame's refcount is exactly 1, overwrite `bytes` at `offset` in
+    /// place and return `Some(invalidated)` — `invalidated` is whether the
+    /// frame had a content-index entry that this mutation just cleared.
+    /// Otherwise touch nothing and return `None`. The caller must hold the
+    /// owning world's shard lock (read suffices): a fork of the owning
+    /// world needs that shard's write lock, so the count cannot rise to a
+    /// *lasting* 2 mid-write. A content-index probe, however, can raise it
+    /// from another shard — which is why the count is re-checked under the
+    /// data mutex: the probe increfs before locking this mutex to verify
+    /// bytes, so whoever takes the mutex second sees the other's claim and
+    /// backs off. A reader concurrently holding the page's `Arc` forces
+    /// `make_mut` to copy, which keeps that reader's snapshot consistent.
+    /// `seal` is the precomputed hash of the page's *resulting* bytes,
+    /// passed only for full-page writes with dedupe on: the frame is then
+    /// resealed into the index under the same mutex hold (the bytes are
+    /// exactly the caller's buffer and cannot change until the mutex is
+    /// released) — the `put_bytes` full-page seal point.
+    pub(crate) fn write_if_private(
+        &self,
+        id: FrameId,
+        offset: usize,
+        bytes: &[u8],
+        seal: Option<u64>,
+    ) -> Option<bool> {
         let slot = self.slot(id);
         if slot.refs.load(Ordering::Acquire) != 1 {
-            return false;
+            return None;
         }
         let mut guard = slot.data.lock();
+        // Re-check under the mutex: a dedupe probe may have verified this
+        // page's bytes and taken a reference since the load above. Writing
+        // in place now would mutate a page another world just agreed to
+        // share, so treat the frame as shared and let the caller CoW.
+        if slot.refs.load(Ordering::Acquire) != 1 {
+            return None;
+        }
         let arc = guard.as_mut().expect("write to a freed frame");
         Arc::make_mut(arc).bytes_mut()[offset..offset + bytes.len()].copy_from_slice(bytes);
+        if seal.is_some() && seal == Some(slot.content_hash.load(Ordering::Relaxed)) {
+            // Rewriting identical full-page content over a still-valid
+            // seal: the entry is already right, leave it be.
+            return Some(false);
+        }
+        // The bytes no longer match the published hash; retract the index
+        // entry *before* releasing the mutex so a probe serialised behind
+        // us verifies against the new bytes and misses.
+        let invalidated = self.deindex(slot, id);
+        if let Some(hash) = seal {
+            let ix = self.index.get_or_init(ContentIndex::new);
+            slot.content_hash.store(hash, Ordering::Release);
+            ix.insert(hash, id.0);
+        }
+        Some(invalidated)
+    }
+
+    /// Retract `slot`'s content-index entry, if it has one. Returns
+    /// whether an entry was cleared.
+    fn deindex(&self, slot: &FrameSlot, id: FrameId) -> bool {
+        let hash = slot.content_hash.swap(0, Ordering::AcqRel);
+        if hash == 0 {
+            return false;
+        }
+        if let Some(ix) = self.index.get() {
+            ix.clear(hash, id.0);
+        }
         true
+    }
+
+    /// Publish `id` in the content index under `hash`. The caller must
+    /// know the frame's bytes currently hash to `hash` and hold a lock
+    /// that keeps them stable (the store's shard lock of a world mapping
+    /// the frame).
+    pub(crate) fn index_insert(&self, id: FrameId, hash: u64) {
+        debug_assert_ne!(hash, 0, "0 is the not-indexed sentinel");
+        let ix = self.index.get_or_init(ContentIndex::new);
+        self.slot(id).content_hash.store(hash, Ordering::Release);
+        ix.insert(hash, id.0);
+    }
+
+    /// Dedupe probe for a staged commit: if the index hints at a frame for
+    /// `hash` whose full bytes equal `bytes`, take a reference on it and
+    /// return it. Byte verification and the incref happen under the
+    /// frame's data mutex, so a racing in-place write either completes
+    /// before the compare (and the stale hint misses) or backs off when it
+    /// sees the raised count. **Must be called under the writing world's
+    /// shard write lock** — the incref is then invisible to
+    /// [`crate::PageStore::verify_refcounts`], which holds every shard
+    /// lock. A miss costs one index load; ref traffic happens only on a
+    /// verified hit.
+    pub(crate) fn dedupe_lookup(&self, hash: u64, bytes: &[u8]) -> Option<FrameId> {
+        let candidate = FrameId(self.index.get()?.lookup(hash)?);
+        let slot = self.slot(candidate);
+        let guard = slot.data.lock();
+        let data = guard.as_ref()?; // freed since the hint was published
+        if data.bytes() != bytes {
+            return None; // hash collision or stale entry: never share
+        }
+        self.try_incref(slot, candidate)
+    }
+
+    /// Wire-side variant of [`FrameTable::dedupe_lookup`]: the caller has
+    /// only the hash (the page bytes live on another node), so the
+    /// candidate's current bytes are re-hashed instead of compared. Same
+    /// locking contract: shard write lock of the installing world held.
+    pub(crate) fn share_by_hash(&self, hash: u64) -> Option<FrameId> {
+        let candidate = FrameId(self.index.get()?.lookup(hash)?);
+        let slot = self.slot(candidate);
+        let guard = slot.data.lock();
+        let data = guard.as_ref()?;
+        if page_hash(data.bytes()) != hash {
+            return None;
+        }
+        self.try_incref(slot, candidate)
+    }
+
+    /// Does the index hold a frame whose *current* bytes hash to `hash`?
+    /// Read-only (no ref traffic), so it is safe from any context; used by
+    /// a node answering a remote `(vpn, hash)` manifest probe. The answer
+    /// is advisory — the frame can be freed before the follow-up image
+    /// arrives, which the restore path then surfaces as an error.
+    pub(crate) fn contains_content(&self, hash: u64) -> bool {
+        let Some(ix) = self.index.get() else {
+            return false;
+        };
+        let Some(candidate) = ix.lookup(hash) else {
+            return false;
+        };
+        let slot = self.slot(FrameId(candidate));
+        let guard = slot.data.lock();
+        matches!(guard.as_ref(), Some(data) if page_hash(data.bytes()) == hash)
+    }
+
+    /// The hash `id` is currently sealed under, or 0 if it is not
+    /// indexed (never sealed, or mutated in place since). Nonzero means
+    /// the frame's current bytes hash to this value — sealing happens
+    /// with the bytes pinned stable, and every mutation clears it first.
+    pub(crate) fn content_hash(&self, id: FrameId) -> u64 {
+        self.slot(id).content_hash.load(Ordering::Acquire)
+    }
+
+    /// CAS-incref that refuses a freed frame: succeeds only from a
+    /// nonzero count, so it can never resurrect a slot whose last
+    /// reference is being dropped (the racing `decref`'s `fetch_sub`
+    /// either lands first — we observe 0 and miss — or sees our raised
+    /// count and leaves the frame alive). AcqRel on success so a
+    /// `write_if_private` that observes the raised count also observes
+    /// everything that led to this share.
+    fn try_incref(&self, slot: &FrameSlot, id: FrameId) -> Option<FrameId> {
+        let mut refs = slot.refs.load(Ordering::Acquire);
+        loop {
+            if refs == 0 {
+                return None;
+            }
+            match slot.refs.compare_exchange_weak(
+                refs,
+                refs + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(id),
+                Err(now) => refs = now,
+            }
+        }
+    }
+
+    /// Occupied content-index entries as `(frame index, refcount)` — the
+    /// verifier's view. Only consistent when the caller has excluded frame
+    /// frees (the store holds every shard lock; every decref-to-zero
+    /// happens under a shard write lock).
+    pub(crate) fn index_snapshot(&self) -> Vec<(u32, u32)> {
+        match self.index.get() {
+            None => Vec::new(),
+            Some(ix) => ix
+                .snapshot()
+                .into_iter()
+                .map(|(_, frame)| {
+                    let refs = self.slot(FrameId(frame)).refs.load(Ordering::Acquire);
+                    (frame, refs)
+                })
+                .collect(),
+        }
     }
 
     /// Number of live (allocated) frames.
@@ -436,10 +618,18 @@ mod tests {
     fn write_if_private_respects_sharing() {
         let t = FrameTable::new();
         let a = t.alloc(page(0));
-        assert!(t.write_if_private(a, 0, &[42]), "refs == 1: in place");
+        assert_eq!(
+            t.write_if_private(a, 0, &[42], None),
+            Some(false),
+            "refs == 1, unindexed: in place"
+        );
         assert_eq!(t.data_arc(a).bytes()[0], 42);
         t.incref(a);
-        assert!(!t.write_if_private(a, 0, &[9]), "refs == 2: refuse");
+        assert_eq!(
+            t.write_if_private(a, 0, &[9], None),
+            None,
+            "refs == 2: refuse"
+        );
         assert_eq!(t.data_arc(a).bytes()[0], 42, "shared page untouched");
     }
 
@@ -448,9 +638,83 @@ mod tests {
         let t = FrameTable::new();
         let a = t.alloc(page(1));
         let snapshot = t.data_arc(a);
-        assert!(t.write_if_private(a, 0, &[9])); // forces make_mut to copy
+        // Forces make_mut to copy.
+        assert!(t.write_if_private(a, 0, &[9], None).is_some());
         assert_eq!(snapshot.bytes()[0], 1, "held snapshot is immutable");
         assert_eq!(t.data_arc(a).bytes()[0], 9);
+    }
+
+    #[test]
+    fn dedupe_lookup_shares_only_verified_bytes() {
+        let t = FrameTable::new();
+        let a = t.alloc(page(5));
+        let bytes = t.data_arc(a).bytes().to_vec();
+        let h = page_hash(&bytes);
+        t.index_insert(a, h);
+        // Matching bytes: the hint verifies and the frame gains a ref.
+        assert_eq!(t.dedupe_lookup(h, &bytes), Some(a));
+        assert_eq!(t.refs(a), 2);
+        // Same hash, different bytes (a forced collision): full-byte
+        // verification refuses the share and takes no reference.
+        let other = vec![9u8; bytes.len()];
+        assert_eq!(t.dedupe_lookup(h, &other), None);
+        assert_eq!(t.refs(a), 2);
+        // A hash the index has never seen misses outright.
+        assert_eq!(t.dedupe_lookup(h ^ 1, &bytes), None);
+    }
+
+    #[test]
+    fn in_place_write_invalidates_the_index_entry() {
+        let t = FrameTable::new();
+        let a = t.alloc(page(5));
+        let bytes = t.data_arc(a).bytes().to_vec();
+        let h = page_hash(&bytes);
+        t.index_insert(a, h);
+        assert_eq!(
+            t.write_if_private(a, 0, &[1], None),
+            Some(true),
+            "mutation must report the cleared entry"
+        );
+        assert_eq!(t.dedupe_lookup(h, &bytes), None, "stale hint retracted");
+        assert_eq!(t.refs(a), 1);
+    }
+
+    #[test]
+    fn freeing_an_indexed_frame_clears_its_entry() {
+        let t = FrameTable::new();
+        let a = t.alloc(page(5));
+        let bytes = t.data_arc(a).bytes().to_vec();
+        let h = page_hash(&bytes);
+        t.index_insert(a, h);
+        assert!(t.decref(a));
+        assert!(t.index_snapshot().is_empty());
+        // share_by_hash on the retracted hash must miss, not resurrect.
+        assert_eq!(t.share_by_hash(h), None);
+        // The deferred path clears too.
+        let b = t.alloc(page(6));
+        let hb = page_hash(t.data_arc(b).bytes());
+        t.index_insert(b, hb);
+        let mut freed = Vec::new();
+        assert!(t.decref_deferred(b, &mut freed));
+        t.recycle_freed(freed);
+        assert!(t.index_snapshot().is_empty());
+    }
+
+    #[test]
+    fn share_by_hash_rehashes_the_candidate() {
+        let t = FrameTable::new();
+        let a = t.alloc(page(3));
+        let h = page_hash(t.data_arc(a).bytes());
+        t.index_insert(a, h);
+        assert!(t.contains_content(h));
+        assert_eq!(t.share_by_hash(h), Some(a));
+        assert_eq!(t.refs(a), 2);
+        // Mutate via make_mut-equivalent: drop to one ref, write in place —
+        // the entry clears, so the old hash no longer matches anything.
+        t.decref(a);
+        assert!(t.write_if_private(a, 0, &[0xEE], None).is_some());
+        assert!(!t.contains_content(h));
+        assert_eq!(t.share_by_hash(h), None);
     }
 
     #[test]

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod checkpoint;
+mod content;
 mod error;
 mod file;
 mod frame;
@@ -58,7 +59,11 @@ mod page;
 mod stats;
 mod store;
 
-pub use checkpoint::{checkpoint, checkpoint_delta, checkpoint_size, image_version, restore};
+pub use checkpoint::{
+    checkpoint, checkpoint_content, checkpoint_delta, checkpoint_size, delta_manifest,
+    image_version, restore,
+};
+pub use content::page_hash;
 pub use error::{PageStoreError, Result};
 pub use file::{FileHandle, FileSystem};
 pub use frame::FrameId;

@@ -28,6 +28,9 @@ pub(crate) struct StatsInner {
     pub worlds_dropped: Counter,
     pub frames_freed: Counter,
     pub frames_recycled: Counter,
+    pub dedupe_hits: Counter,
+    pub bytes_deduped: Counter,
+    pub hash_invalidations: Counter,
 }
 
 impl StatsInner {
@@ -44,6 +47,9 @@ impl StatsInner {
             worlds_dropped: self.worlds_dropped.get(),
             frames_freed: self.frames_freed.get(),
             frames_recycled: self.frames_recycled.get(),
+            dedupe_hits: self.dedupe_hits.get(),
+            bytes_deduped: self.bytes_deduped.get(),
+            hash_invalidations: self.hash_invalidations.get(),
             // Owned by the frame table, not this struct; the store's
             // `stats()` fills it from the exact acquisition count.
             recycler_locks: 0,
@@ -78,6 +84,14 @@ pub struct StoreStats {
     pub frames_freed: u64,
     /// Page buffers served from the recycle pool instead of the allocator.
     pub frames_recycled: u64,
+    /// Commits that re-shared an existing identical frame instead of
+    /// installing a copy (content-addressed dedupe, opt-in).
+    pub dedupe_hits: u64,
+    /// Bytes those dedupe hits avoided materialising (hits × page size).
+    pub bytes_deduped: u64,
+    /// Content-index entries retracted by in-place writes (the first
+    /// mutation after a seal — `page_hash_skip` events).
+    pub hash_invalidations: u64,
     /// Recycler (free list + buffer pool) mutex acquisitions — the cost
     /// batched elimination amortizes.
     pub recycler_locks: u64,
@@ -99,6 +113,9 @@ impl StoreStats {
             worlds_dropped: self.worlds_dropped - earlier.worlds_dropped,
             frames_freed: self.frames_freed - earlier.frames_freed,
             frames_recycled: self.frames_recycled - earlier.frames_recycled,
+            dedupe_hits: self.dedupe_hits - earlier.dedupe_hits,
+            bytes_deduped: self.bytes_deduped - earlier.bytes_deduped,
+            hash_invalidations: self.hash_invalidations - earlier.hash_invalidations,
             recycler_locks: self.recycler_locks - earlier.recycler_locks,
         }
     }

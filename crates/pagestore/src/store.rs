@@ -64,14 +64,51 @@
 //! across all worlds; [`PageStore::verify_refcounts`] checks exactly this.
 //! All refcount traffic therefore happens under the shard write lock of
 //! the world whose map gains or loses the entry.
+//!
+//! # Content addressing (opt-in)
+//!
+//! With [`PageStore::set_dedupe`] enabled, frames are *sealed* into a
+//! content index at commit points — a staged or solo CoW/zero-fill
+//! commit, a full-page in-place write, and checkpoint encoding
+//! ([`PageStore::seal_world_contents`]). A later commit whose resulting
+//! bytes match an indexed frame re-shares that frame (incref) instead of
+//! installing the copy. Three rules keep this sound:
+//!
+//! * **Hashes are hints.** A probe byte-compares the candidate's full
+//!   page (or re-hashes it, on the wire path) under the frame's data
+//!   mutex before taking a reference; a forced hash collision can never
+//!   share wrong bytes.
+//! * **Probes run under the writer's exclusive shard lock**, so the
+//!   cross-world incref is invisible to [`PageStore::verify_refcounts`]
+//!   (which holds every shard lock) and the refcount invariant extends:
+//!   every occupied index entry references a frame with at least one map
+//!   entry.
+//! * **Dedupe ref traffic widens the generation contract.** A probe can
+//!   raise a frame's refcount without forking its owner, which would
+//!   silently break the staged-commit proof ("generation unchanged +
+//!   still shared ⇒ no in-place write landed since the stage"). So when
+//!   dedupe is on, every successful in-place write *also* bumps the
+//!   world's generation ([`World::generation`] is atomic for exactly
+//!   this), and `write_if_private` re-checks `refs == 1` under the data
+//!   mutex so a write racing a verified probe backs off into a CoW.
+//!
+//! Index entries are retracted eagerly: an in-place write or a frame
+//! free clears the frame's entry (via its `content_hash` back-pointer)
+//! before anyone can observe stale bytes through it. A miss on the
+//! non-dedupe path costs nothing; a miss with dedupe on costs one page
+//! hash plus one failed index probe (budgeted in `bench-baseline`).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::atomic::{
+    AtomicBool, AtomicU64, AtomicUsize,
+    Ordering::{AcqRel, Acquire, Relaxed},
+};
 use std::sync::Arc;
 
 use parking_lot::{RwLock, RwLockReadGuard, RwLockUpgradableReadGuard, RwLockWriteGuard};
 use worlds_obs::{Event, EventKind, Registry};
 
+use crate::content::page_hash;
 use crate::error::{PageStoreError, Result};
 use crate::frame::FrameTable;
 use crate::map::PageMap;
@@ -140,7 +177,12 @@ struct World {
     /// (lost update). Validating at commit time also covers the
     /// frame-index reuse (ABA) case, which a map-entry recheck alone
     /// would miss.
-    generation: u64,
+    ///
+    /// Atomic because with dedupe on, successful in-place writes must
+    /// bump it too (see the module docs), and those run under the shard
+    /// *read* lock where only `&World` is available. Mutations under the
+    /// write lock use `get_mut`; commit-time checks `load(Acquire)`.
+    generation: AtomicU64,
 }
 
 /// One shard of the world table: the worlds whose ids hash here, plus
@@ -158,14 +200,26 @@ struct Shard {
 /// happen after every lock is released).
 enum Committed {
     /// The page was already private; bytes written in place.
-    InPlace,
-    /// A demand-zero page was materialised.
-    ZeroFill { parent: Option<u64> },
+    /// `invalidated` records that the mutation retracted the frame's
+    /// content-index entry (a `page_hash_skip`).
+    InPlace {
+        parent: Option<u64>,
+        invalidated: bool,
+    },
+    /// A demand-zero page was materialised — or, with `deduped`, the
+    /// would-be zero-fill re-shared an existing identical frame.
+    ZeroFill { parent: Option<u64>, deduped: bool },
     /// A shared page was copied. `freed` is set in the rare race where the
     /// last other reference vanished between probe and commit *and* a
     /// concurrent sharer dropped during the decref — the frame count then
-    /// nets zero and the gauge needs the matching free.
-    Cow { parent: Option<u64>, freed: bool },
+    /// nets zero and the gauge needs the matching free. With `deduped`,
+    /// the staged copy was discarded in favour of an existing identical
+    /// frame (no new frame entered the table).
+    Cow {
+        parent: Option<u64>,
+        freed: bool,
+        deduped: bool,
+    },
 }
 
 /// What the probe decided must happen (when not already done in place).
@@ -199,6 +253,11 @@ pub struct PageStore {
     /// Virtual-time stamp for emitted events, settable by whoever owns the
     /// clock (the kernel simulator); standalone users leave it at 0.
     clock: Arc<AtomicU64>,
+    /// Content-addressed dedupe switch (see the module docs). Shared by
+    /// clones; off by default because workloads that rewrite private
+    /// pages in place gain nothing from sealing and would pay the
+    /// generation churn.
+    dedupe: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for PageStore {
@@ -237,6 +296,7 @@ impl PageStore {
             page_size,
             obs,
             clock: Arc::new(AtomicU64::new(0)),
+            dedupe: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -261,7 +321,21 @@ impl PageStore {
             page_size: self.page_size,
             obs: self.obs.clone(),
             clock: Arc::clone(&self.clock),
+            dedupe: Arc::new(AtomicBool::new(self.dedupe.load(Relaxed))),
         }
+    }
+
+    /// Enable or disable content-addressed dedupe (see the module docs).
+    /// Shared by all clones of this store; default off. Turning it off
+    /// stops sealing and probing but leaves existing index entries to be
+    /// retracted lazily (they stay byte-verified, so never wrong).
+    pub fn set_dedupe(&self, on: bool) {
+        self.dedupe.store(on, Relaxed);
+    }
+
+    /// Is content-addressed dedupe currently enabled?
+    pub fn dedupe_enabled(&self) -> bool {
+        self.dedupe.load(Relaxed)
     }
 
     /// The store's observability registry (disabled unless constructed
@@ -374,7 +448,7 @@ impl PageStore {
                 map: PageMap::new(),
                 parent: None,
                 stats: WorldStats::default(),
-                generation: 0,
+                generation: AtomicU64::new(0),
             },
         );
         self.shard_pop[shard_index(id)].fetch_add(1, Relaxed);
@@ -407,7 +481,7 @@ impl PageStore {
             // copy (built before an in-place write that landed while refs
             // were 1) must not be installable afterwards, so invalidate
             // every in-flight commit against this world.
-            p.generation += 1;
+            *p.generation.get_mut() += 1;
             (p.map.clone(), p.map.mapped_pages() as u64)
         };
         self.frames.incref_sweep(map.iter().map(|(_, frame)| frame));
@@ -425,7 +499,7 @@ impl PageStore {
                     pages_inherited: inherited,
                     ..WorldStats::default()
                 },
-                generation: 0,
+                generation: AtomicU64::new(0),
             },
         );
         self.shard_pop[shard_index(id)].fetch_add(1, Relaxed);
@@ -479,12 +553,16 @@ impl PageStore {
     /// a world alone in its shard takes the single-pass path instead.
     pub fn write(&self, world: WorldId, vpn: Vpn, offset: usize, data: &[u8]) -> Result<()> {
         self.check_bounds(offset, data.len())?;
+        // Full-page writes are seal points when dedupe is on: the result's
+        // bytes are exactly `data`, so the hash is known before any lock.
+        let seal = (self.dedupe_enabled() && offset == 0 && data.len() == self.page_size)
+            .then(|| page_hash(data));
         let committed = if self.shard_pop[shard_index(world.0)].load(Relaxed) == 1 {
-            let c = self.write_solo(world, vpn, offset, data)?;
+            let c = self.write_solo(world, vpn, offset, data, seal)?;
             self.stats.writes_solo.incr();
             c
         } else {
-            self.write_staged(world, vpn, offset, data)?
+            self.write_staged(world, vpn, offset, data, seal)?
         };
         self.stats.writes.incr();
         self.note_write(world, vpn, committed);
@@ -505,7 +583,9 @@ impl PageStore {
         vpn: Vpn,
         offset: usize,
         data: &[u8],
+        seal: Option<u64>,
     ) -> Result<Committed> {
+        let dedupe = self.dedupe_enabled();
         let end = offset + data.len();
         let mut shard = self.shard(world.0).write();
         let w = shard
@@ -513,10 +593,20 @@ impl PageStore {
             .get_mut(&world.0)
             .ok_or(PageStoreError::NoSuchWorld(world.0))?;
         match w.map.get(vpn) {
-            Some(frame) if self.frames.write_if_private(frame, offset, data) => {
-                Ok(Committed::InPlace)
-            }
             Some(frame) => {
+                if let Some(invalidated) = self.frames.write_if_private(frame, offset, data, seal) {
+                    if dedupe {
+                        // With dedupe on, a probe can raise refcounts
+                        // without forking this world, so "still shared"
+                        // alone no longer proves no in-place write landed
+                        // — the generation must say so too.
+                        *w.generation.get_mut() += 1;
+                    }
+                    return Ok(Committed::InPlace {
+                        parent: w.parent.map(WorldId::raw),
+                        invalidated,
+                    });
+                }
                 let snapshot = self.frames.data_arc(frame);
                 let mut page = match self.take_recycled() {
                     Some(mut p) => {
@@ -527,13 +617,35 @@ impl PageStore {
                 };
                 drop(snapshot);
                 page.bytes_mut()[offset..end].copy_from_slice(data);
-                let new = self.frames.alloc(page);
-                w.map.insert(vpn, new);
-                w.generation += 1;
-                w.stats.pages_cowed += 1;
                 let parent = w.parent.map(WorldId::raw);
+                let hash = dedupe.then(|| seal.unwrap_or_else(|| page_hash(page.bytes())));
+                if let Some(hash) = hash {
+                    if let Some(shared) = self.frames.dedupe_lookup(hash, page.bytes()) {
+                        self.frames.recycle(page);
+                        w.map.insert(vpn, shared);
+                        *w.generation.get_mut() += 1;
+                        w.stats.pages_cowed += 1;
+                        let freed = self.frames.decref(frame);
+                        return Ok(Committed::Cow {
+                            parent,
+                            freed,
+                            deduped: true,
+                        });
+                    }
+                }
+                let new = self.frames.alloc(page);
+                if let Some(hash) = hash {
+                    self.frames.index_insert(new, hash);
+                }
+                w.map.insert(vpn, new);
+                *w.generation.get_mut() += 1;
+                w.stats.pages_cowed += 1;
                 let freed = self.frames.decref(frame);
-                Ok(Committed::Cow { parent, freed })
+                Ok(Committed::Cow {
+                    parent,
+                    freed,
+                    deduped: false,
+                })
             }
             None => {
                 let mut page = match self.take_recycled() {
@@ -544,12 +656,30 @@ impl PageStore {
                     None => PageData::zeroed(self.page_size),
                 };
                 page.bytes_mut()[offset..end].copy_from_slice(data);
+                let parent = w.parent.map(WorldId::raw);
+                let hash = dedupe.then(|| seal.unwrap_or_else(|| page_hash(page.bytes())));
+                if let Some(hash) = hash {
+                    if let Some(shared) = self.frames.dedupe_lookup(hash, page.bytes()) {
+                        self.frames.recycle(page);
+                        w.map.insert(vpn, shared);
+                        *w.generation.get_mut() += 1;
+                        w.stats.pages_zero_filled += 1;
+                        return Ok(Committed::ZeroFill {
+                            parent,
+                            deduped: true,
+                        });
+                    }
+                }
                 let frame = self.frames.alloc(page);
+                if let Some(hash) = hash {
+                    self.frames.index_insert(frame, hash);
+                }
                 w.map.insert(vpn, frame);
-                w.generation += 1;
+                *w.generation.get_mut() += 1;
                 w.stats.pages_zero_filled += 1;
                 Ok(Committed::ZeroFill {
-                    parent: w.parent.map(WorldId::raw),
+                    parent,
+                    deduped: false,
                 })
             }
         }
@@ -566,14 +696,18 @@ impl PageStore {
         vpn: Vpn,
         offset: usize,
         data: &[u8],
+        seal: Option<u64>,
     ) -> Result<Committed> {
+        let dedupe = self.dedupe_enabled();
         let end = offset + data.len();
         // Staged buffer carried across retries, and recycled on exit.
         let mut staged: Option<PageData> = None;
         let committed = loop {
             // Phase 1 — probe under the shard read lock. Private pages are
             // written in place here: refs can only rise via a fork of this
-            // world, which needs this shard's write lock.
+            // world, which needs this shard's write lock (or via a dedupe
+            // probe, which `write_if_private` detects under the data mutex
+            // and the generation bump below announces).
             let plan = {
                 let shard = self.shard(world.0).read();
                 let w = shard
@@ -581,14 +715,24 @@ impl PageStore {
                     .get(&world.0)
                     .ok_or(PageStoreError::NoSuchWorld(world.0))?;
                 match w.map.get(vpn) {
-                    Some(frame) if self.frames.write_if_private(frame, offset, data) => {
-                        break Committed::InPlace;
+                    Some(frame) => {
+                        if let Some(invalidated) =
+                            self.frames.write_if_private(frame, offset, data, seal)
+                        {
+                            if dedupe {
+                                w.generation.fetch_add(1, AcqRel);
+                            }
+                            break Committed::InPlace {
+                                parent: w.parent.map(WorldId::raw),
+                                invalidated,
+                            };
+                        }
+                        Plan::Cow {
+                            old: frame,
+                            snapshot: self.frames.data_arc(frame),
+                            generation: w.generation.load(Acquire),
+                        }
                     }
-                    Some(frame) => Plan::Cow {
-                        old: frame,
-                        snapshot: self.frames.data_arc(frame),
-                        generation: w.generation,
-                    },
                     None => Plan::ZeroFill,
                 }
             };
@@ -604,6 +748,8 @@ impl PageStore {
                         None => PageData::zeroed(self.page_size),
                     };
                     page.bytes_mut()[offset..end].copy_from_slice(data);
+                    // Hash at stage time, outside every lock.
+                    let hash = dedupe.then(|| seal.unwrap_or_else(|| page_hash(page.bytes())));
                     let shard = self.shard(world.0).upgradable_read();
                     let Some(w) = shard.worlds.get(&world.0) else {
                         self.frames.recycle(page);
@@ -625,12 +771,31 @@ impl PageStore {
                         staged = Some(page);
                         continue;
                     }
+                    let parent = w.parent.map(WorldId::raw);
+                    if let Some(hash) = hash {
+                        // Dedupe probe under the exclusive lock only (see
+                        // the module docs' verify argument).
+                        if let Some(shared) = self.frames.dedupe_lookup(hash, page.bytes()) {
+                            self.frames.recycle(page);
+                            w.map.insert(vpn, shared);
+                            *w.generation.get_mut() += 1;
+                            w.stats.pages_zero_filled += 1;
+                            break Committed::ZeroFill {
+                                parent,
+                                deduped: true,
+                            };
+                        }
+                    }
                     let frame = self.frames.alloc(page);
+                    if let Some(hash) = hash {
+                        self.frames.index_insert(frame, hash);
+                    }
                     w.map.insert(vpn, frame);
-                    w.generation += 1;
+                    *w.generation.get_mut() += 1;
                     w.stats.pages_zero_filled += 1;
                     break Committed::ZeroFill {
-                        parent: w.parent.map(WorldId::raw),
+                        parent,
+                        deduped: false,
                     };
                 }
                 Plan::Cow {
@@ -649,55 +814,98 @@ impl PageStore {
                     // Release our snapshot before committing so a racing
                     // in-place writer is not forced into a spurious copy.
                     drop(snapshot);
+                    // Hash at stage time, outside every lock.
+                    let hash = dedupe.then(|| seal.unwrap_or_else(|| page_hash(page.bytes())));
                     let shard = self.shard(world.0).upgradable_read();
                     let Some(w) = shard.worlds.get(&world.0) else {
                         self.frames.recycle(page);
                         return Err(PageStoreError::NoSuchWorld(world.0));
                     };
-                    if w.generation != generation {
+                    if w.generation.load(Acquire) != generation {
                         staged = Some(page);
                         continue;
                     }
                     // Map untouched since the probe: `old` is still mapped
                     // at `vpn` and our staged copy is current.
-                    if self.frames.write_if_private(old, offset, data) {
+                    if let Some(invalidated) = self.frames.write_if_private(old, offset, data, seal)
+                    {
                         // The other sharers vanished while we staged; the
                         // page is now private (and stays so while we hold
                         // this shard in shared mode — forking this world
                         // needs it exclusively). No fault after all.
+                        if dedupe {
+                            w.generation.fetch_add(1, AcqRel);
+                        }
                         self.frames.recycle(page);
-                        break Committed::InPlace;
+                        break Committed::InPlace {
+                            parent: w.parent.map(WorldId::raw),
+                            invalidated,
+                        };
                     }
                     let mut shard = RwLockUpgradableReadGuard::upgrade(shard);
                     let Some(w) = shard.worlds.get_mut(&world.0) else {
                         self.frames.recycle(page);
                         return Err(PageStoreError::NoSuchWorld(world.0));
                     };
-                    // Repeat both checks after the upgrade: in the shim's
-                    // non-atomic window a plain writer may have moved the
-                    // map (generation) or the last other sharer may have
-                    // vanished (write-if-private). An unmoved generation
-                    // plus a still-shared frame proves no in-place write
-                    // landed since the stage — going private first would
-                    // have required forking this world, which bumps the
-                    // generation — so installing the staged copy is safe.
-                    if w.generation != generation {
+                    // Repeat both checks after the upgrade. With the shim,
+                    // a plain writer may have slipped into the non-atomic
+                    // upgrade window; even with real parking_lot, an
+                    // in-place write to this world runs under the shard
+                    // *read* lock and can complete between the checks
+                    // above and the upgrade (readers drain only at the
+                    // upgrade itself). An unmoved generation plus a
+                    // still-shared frame proves no in-place write landed
+                    // since the stage — going private first would have
+                    // required forking this world, and with dedupe on the
+                    // in-place write itself bumps the generation — so
+                    // installing the staged copy is safe.
+                    if w.generation.load(Acquire) != generation {
                         staged = Some(page);
                         continue;
                     }
-                    if self.frames.write_if_private(old, offset, data) {
+                    if let Some(invalidated) = self.frames.write_if_private(old, offset, data, seal)
+                    {
+                        if dedupe {
+                            *w.generation.get_mut() += 1;
+                        }
                         self.frames.recycle(page);
-                        break Committed::InPlace;
+                        break Committed::InPlace {
+                            parent: w.parent.map(WorldId::raw),
+                            invalidated,
+                        };
+                    }
+                    let parent = w.parent.map(WorldId::raw);
+                    if let Some(hash) = hash {
+                        // Dedupe probe under the exclusive lock only (see
+                        // the module docs' verify argument).
+                        if let Some(shared) = self.frames.dedupe_lookup(hash, page.bytes()) {
+                            self.frames.recycle(page);
+                            w.map.insert(vpn, shared);
+                            *w.generation.get_mut() += 1;
+                            w.stats.pages_cowed += 1;
+                            let freed = self.frames.decref(old);
+                            break Committed::Cow {
+                                parent,
+                                freed,
+                                deduped: true,
+                            };
+                        }
                     }
                     let frame = self.frames.alloc(page);
+                    if let Some(hash) = hash {
+                        self.frames.index_insert(frame, hash);
+                    }
                     w.map.insert(vpn, frame);
-                    w.generation += 1;
+                    *w.generation.get_mut() += 1;
                     w.stats.pages_cowed += 1;
-                    let parent = w.parent.map(WorldId::raw);
                     // A sharer in another shard may drop its last reference
                     // concurrently, so this decref can free.
                     let freed = self.frames.decref(old);
-                    break Committed::Cow { parent, freed };
+                    break Committed::Cow {
+                        parent,
+                        freed,
+                        deduped: false,
+                    };
                 }
             }
         };
@@ -711,13 +919,35 @@ impl PageStore {
     /// and emit events, with every lock already released.
     fn note_write(&self, world: WorldId, vpn: Vpn, committed: Committed) {
         match committed {
-            Committed::InPlace => {}
-            Committed::ZeroFill { parent } => {
+            Committed::InPlace {
+                parent,
+                invalidated,
+            } => {
+                if invalidated {
+                    self.stats.hash_invalidations.incr();
+                    self.obs.emit(|| {
+                        Event::new(EventKind::PageHashSkip { vpn }, world.0, parent, self.vt())
+                    });
+                }
+            }
+            Committed::ZeroFill { parent, deduped } => {
+                if deduped {
+                    self.note_dedupe(world.0, parent, vpn, false);
+                    return;
+                }
                 self.stats.zero_fills.incr();
                 self.obs
                     .emit(|| Event::new(EventKind::ZeroFill { vpn }, world.0, parent, self.vt()));
             }
-            Committed::Cow { parent, freed } => {
+            Committed::Cow {
+                parent,
+                freed,
+                deduped,
+            } => {
+                if deduped {
+                    self.note_dedupe(world.0, parent, vpn, freed);
+                    return;
+                }
                 self.stats.cow_faults.incr();
                 self.stats.bytes_copied.add(self.page_size as u64);
                 let bytes = self.page_size as u64;
@@ -741,6 +971,30 @@ impl PageStore {
                     });
                 }
             }
+        }
+    }
+
+    /// Accounting for a dedupe hit: the would-be copy re-shared an
+    /// existing frame, so no `CowCopy`/`ZeroFill` is emitted (the
+    /// `frames_resident` gauge sees no new frame) — a `FrameDedup`
+    /// carries the saved bytes instead, plus the matching `FrameFree`
+    /// when the displaced frame's last reference went with it.
+    fn note_dedupe(&self, world: u64, parent: Option<u64>, vpn: Vpn, freed: bool) {
+        self.stats.dedupe_hits.incr();
+        self.stats.bytes_deduped.add(self.page_size as u64);
+        let bytes = self.page_size as u64;
+        self.obs.emit(|| {
+            Event::new(
+                EventKind::FrameDedup { vpn, bytes },
+                world,
+                parent,
+                self.vt(),
+            )
+        });
+        if freed {
+            self.stats.frames_freed.incr();
+            self.obs
+                .emit(|| Event::new(EventKind::FrameFree { frames: 1 }, world, parent, self.vt()));
         }
     }
 
@@ -802,7 +1056,7 @@ impl PageStore {
         };
         let p = pg.worlds.get_mut(&parent.0).expect("checked above");
         let old_map = std::mem::replace(&mut p.map, child_world.map);
-        p.generation += 1;
+        *p.generation.get_mut() += 1;
         // Fold the child's copy accounting into the parent so write-fraction
         // measurements survive the commit.
         p.stats.pages_cowed += child_world.stats.pages_cowed;
@@ -969,6 +1223,78 @@ impl PageStore {
         Ok(wa.map.diff(&wb.map))
     }
 
+    /// Hash every page mapped in `world` and return the `(vpn, hash)`
+    /// manifest, sealing each frame into the content index when dedupe is
+    /// on — the checkpoint-encode seal point. Runs under the world's
+    /// shard *write* lock: that is what keeps every frame's bytes stable
+    /// (an in-place write to this world needs this shard; a foreign owner
+    /// of a shared frame cannot reach refs == 1 while our map entry
+    /// pins the count above one). Frames still carrying a valid seal
+    /// (`content_hash != 0`) skip the re-hash, so repeated checkpoints of
+    /// a quiet world cost one atomic load per page.
+    pub fn seal_world_contents(&self, world: WorldId) -> Result<Vec<(Vpn, u64)>> {
+        let dedupe = self.dedupe_enabled();
+        let shard = self.shard(world.0).write();
+        let w = shard
+            .worlds
+            .get(&world.0)
+            .ok_or(PageStoreError::NoSuchWorld(world.0))?;
+        let mut manifest = Vec::with_capacity(w.map.mapped_pages());
+        for (vpn, frame) in w.map.iter() {
+            let sealed = self.frames.content_hash(frame);
+            let hash = if sealed != 0 {
+                sealed
+            } else {
+                let hash = page_hash(self.frames.data_arc(frame).bytes());
+                if dedupe {
+                    self.frames.index_insert(frame, hash);
+                }
+                hash
+            };
+            manifest.push((vpn, hash));
+        }
+        Ok(manifest)
+    }
+
+    /// Map `vpn` of `world` to an existing local frame whose bytes hash
+    /// to `hash`, if the content index knows one — the receiving half of
+    /// a wire manifest. The candidate is re-hashed under its data mutex
+    /// before sharing, so a stale index can never alias wrong bytes onto
+    /// the world. Returns `false` (and changes nothing) when no verified
+    /// frame is available; the caller then ships or awaits the full page.
+    pub fn map_content(&self, world: WorldId, vpn: Vpn, hash: u64) -> Result<bool> {
+        let freed;
+        let parent;
+        {
+            let mut shard = self.shard(world.0).write();
+            let w = shard
+                .worlds
+                .get_mut(&world.0)
+                .ok_or(PageStoreError::NoSuchWorld(world.0))?;
+            let Some(frame) = self.frames.share_by_hash(hash) else {
+                return Ok(false);
+            };
+            let old = w.map.get(vpn);
+            w.map.insert(vpn, frame);
+            *w.generation.get_mut() += 1;
+            parent = w.parent.map(WorldId::raw);
+            freed = match old {
+                Some(o) => self.frames.decref(o),
+                None => false,
+            };
+        }
+        self.note_dedupe(world.0, parent, vpn, freed);
+        Ok(true)
+    }
+
+    /// Advisory: does this store currently hold a frame whose bytes hash
+    /// to `hash`? Used to answer a remote manifest probe; no reference is
+    /// taken, so the frame may be gone by the time a follow-up arrives
+    /// (which [`PageStore::map_content`] then reports as `false`).
+    pub fn content_probe(&self, hash: u64) -> bool {
+        self.frames.contains_content(hash)
+    }
+
     /// Frame-sharing histogram: `histogram[k]` = number of live frames
     /// referenced by exactly `k+1` worlds. The paper's memory argument in
     /// one structure: heavy sharing (mass at high `k`) is what makes
@@ -1052,6 +1378,23 @@ impl PageStore {
                 "live-frame counter says {live}, table holds {}",
                 actual.len()
             ));
+        }
+        // Content-index extension of the invariant: every occupied index
+        // entry must reference a live frame, and since refcounts equal
+        // map entries (checked above), index-driven re-shares are fully
+        // accounted for by the maps — an indexed frame no world maps
+        // would be a leaked reference.
+        for (frame, refs) in self.frames.index_snapshot() {
+            if refs == 0 {
+                return Err(format!(
+                    "content index entry references freed frame {frame}"
+                ));
+            }
+            if !expected.contains_key(&frame) {
+                return Err(format!(
+                    "content index entry references frame {frame} mapped in no world"
+                ));
+            }
         }
         Ok(live)
     }
@@ -1692,5 +2035,143 @@ mod tests {
             obs.stats().unwrap().frames_resident.get() as usize,
             s.live_frames()
         );
+    }
+
+    #[test]
+    fn dedupe_reshares_identical_sibling_pages() {
+        let s = store();
+        s.set_dedupe(true);
+        let parent = s.create_world();
+        s.write(parent, 0, 0, &[7u8; 64]).unwrap();
+        let a = s.fork_world(parent).unwrap();
+        let b = s.fork_world(parent).unwrap();
+        // Both siblings write the same bytes to the same page: the second
+        // COW commit should re-share the first sibling's frame.
+        s.write(a, 0, 0, &[9u8; 64]).unwrap();
+        let before = s.stats();
+        s.write(b, 0, 0, &[9u8; 64]).unwrap();
+        let d = s.stats().delta_since(&before);
+        assert_eq!(d.dedupe_hits, 1, "identical commit must re-share");
+        assert_eq!(d.bytes_deduped, 64);
+        assert_eq!(d.bytes_copied, 0, "no page materialised");
+        assert_eq!(s.read_vec(a, 0, 0, 64).unwrap(), vec![9u8; 64]);
+        assert_eq!(s.read_vec(b, 0, 0, 64).unwrap(), vec![9u8; 64]);
+        // Writes diverge after the share: still COW-isolated.
+        s.write(a, 0, 0, &[1]).unwrap();
+        assert_eq!(s.read_vec(b, 0, 0, 1).unwrap(), vec![9]);
+        s.verify_refcounts().unwrap();
+    }
+
+    #[test]
+    fn dedupe_zero_fill_shares_fresh_identical_pages() {
+        let s = store();
+        s.set_dedupe(true);
+        let w = s.create_world();
+        let v = s.create_world();
+        s.write(w, 0, 0, &[5u8; 64]).unwrap();
+        let before = s.stats();
+        s.write(v, 3, 0, &[5u8; 64]).unwrap();
+        let d = s.stats().delta_since(&before);
+        assert_eq!(d.dedupe_hits, 1, "fresh page matches sealed frame");
+        assert_eq!(d.zero_fills, 0);
+        assert_eq!(s.live_frames(), 1, "one frame backs both worlds");
+        s.verify_refcounts().unwrap();
+    }
+
+    #[test]
+    fn forced_hash_collision_is_never_wrongly_shared() {
+        // Poison the content index: seal world A's frame, then overwrite
+        // the index entry for *different* bytes with A's frame id. A
+        // commit of those different bytes now gets an index hit whose
+        // bytes do not match — the full-byte verify must refuse the
+        // share and fall back to a real copy.
+        let s = store();
+        s.set_dedupe(true);
+        let a = s.create_world();
+        s.write(a, 0, 0, &[0xAAu8; 64]).unwrap();
+        let frame_a = {
+            let shard = s.shards[shard_index(a.raw())].read();
+            shard.worlds.get(&a.raw()).unwrap().map.get(0).unwrap()
+        };
+        let evil = vec![0xBBu8; 64];
+        s.frames.index_insert(frame_a, page_hash(&evil));
+
+        let b = s.create_world();
+        let before = s.stats();
+        s.write(b, 7, 0, &evil).unwrap();
+        let d = s.stats().delta_since(&before);
+        assert_eq!(d.dedupe_hits, 0, "colliding entry must fail byte verify");
+        assert_eq!(s.read_vec(b, 7, 0, 64).unwrap(), evil);
+        assert_eq!(s.read_vec(a, 0, 0, 64).unwrap(), vec![0xAAu8; 64]);
+        assert_eq!(s.live_frames(), 2, "a real frame was materialised");
+        s.verify_refcounts().unwrap();
+    }
+
+    #[test]
+    fn dedupe_off_never_touches_the_index() {
+        let s = store();
+        let a = s.create_world();
+        let b = s.create_world();
+        s.write(a, 0, 0, &[3u8; 64]).unwrap();
+        s.write(b, 0, 0, &[3u8; 64]).unwrap();
+        let st = s.stats();
+        assert_eq!(st.dedupe_hits, 0);
+        assert_eq!(st.bytes_deduped, 0);
+        assert_eq!(s.live_frames(), 2);
+    }
+
+    #[test]
+    fn in_place_write_after_seal_invalidates_and_counts() {
+        let s = store();
+        s.set_dedupe(true);
+        let w = s.create_world();
+        s.write(w, 0, 0, &[1u8; 64]).unwrap(); // sealed full-page write
+        let before = s.stats();
+        s.write(w, 0, 3, b"mutate").unwrap(); // partial in-place write
+        let d = s.stats().delta_since(&before);
+        assert_eq!(d.hash_invalidations, 1, "seal retracted on first mutation");
+        // A second partial write hits an already-unsealed frame: no-op.
+        s.write(w, 0, 9, b"again").unwrap();
+        assert_eq!(s.stats().hash_invalidations, 1);
+        s.verify_refcounts().unwrap();
+    }
+
+    #[test]
+    fn identical_full_page_rewrite_keeps_the_seal() {
+        let s = store();
+        s.set_dedupe(true);
+        let w = s.create_world();
+        s.write(w, 0, 0, &[4u8; 64]).unwrap();
+        let before = s.stats();
+        s.write(w, 0, 0, &[4u8; 64]).unwrap(); // same bytes, same hash
+        let d = s.stats().delta_since(&before);
+        assert_eq!(d.hash_invalidations, 0, "same-hash reseal skips retraction");
+        s.verify_refcounts().unwrap();
+    }
+
+    #[test]
+    fn seal_world_contents_feeds_map_content() {
+        let s = store();
+        s.set_dedupe(true);
+        let w = s.create_world();
+        s.write(w, 2, 0, &[0x11u8; 64]).unwrap();
+        s.write(w, 5, 0, &[0x22u8; 64]).unwrap();
+        let manifest = s.seal_world_contents(w).unwrap();
+        assert_eq!(manifest.len(), 2);
+        for &(_, h) in &manifest {
+            assert!(s.content_probe(h), "sealed hash must be probeable");
+        }
+        // A fresh world can adopt the pages purely by hash.
+        let v = s.create_world();
+        for &(vpn, h) in &manifest {
+            assert!(s.map_content(v, vpn, h).unwrap());
+        }
+        assert_eq!(s.read_vec(v, 2, 0, 64).unwrap(), vec![0x11u8; 64]);
+        assert_eq!(s.read_vec(v, 5, 0, 64).unwrap(), vec![0x22u8; 64]);
+        assert!(
+            !s.map_content(v, 9, 0xDEAD_BEEF).unwrap(),
+            "unknown hash maps nothing"
+        );
+        s.verify_refcounts().unwrap();
     }
 }

@@ -22,6 +22,11 @@ const ROOT_PAGES: u64 = 16;
 #[test]
 fn refcount_invariant_under_interleaved_fork_write_drop() {
     let store = PageStore::new(PAGE);
+    // Content dedupe widens what the verifier checks: every content-index
+    // entry must point at a live frame, with re-shares folded into the
+    // same refcount balance. Running the stress with the index hot is the
+    // point — an index entry left behind by a freed frame fails the run.
+    store.set_dedupe(true);
     let root = store.create_world();
     for vpn in 0..ROOT_PAGES {
         store.write(root, vpn, 0, &[0xA5, vpn as u8]).unwrap();
@@ -124,11 +129,26 @@ fn refcount_invariant_under_interleaved_fork_write_drop() {
 /// later vanishes is a rolled-back commit, not writer interference.
 #[test]
 fn concurrent_writers_never_lose_committed_writes() {
+    lost_update_stress(false);
+}
+
+/// The same interleaving with the content index hot: dedupe probes raise
+/// refcounts from *outside* the owning shard's lock, so "refs == 1" can
+/// flip to shared between a probe and its commit — the in-place
+/// generation bump and the under-mutex privacy recheck are what this
+/// variant exercises.
+#[test]
+fn concurrent_writers_never_lose_committed_writes_with_dedupe() {
+    lost_update_stress(true);
+}
+
+fn lost_update_stress(dedupe: bool) {
     const WRITERS: usize = 2;
     const REGION: usize = 8;
     const ROUNDS: u8 = 200;
 
     let store = PageStore::new(PAGE);
+    store.set_dedupe(dedupe);
     let root = store.create_world();
     store.write(root, 0, 0, &[0u8; REGION * WRITERS]).unwrap();
 

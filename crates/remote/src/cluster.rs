@@ -3,7 +3,9 @@
 use worlds_kernel::VirtualTime;
 use worlds_net::FaultSchedule;
 use worlds_obs::{Event as ObsEvent, EventKind, Registry};
-use worlds_pagestore::{checkpoint, checkpoint_delta, PageStore, WorldId};
+use worlds_pagestore::{
+    checkpoint, checkpoint_content, checkpoint_delta, delta_manifest, PageStore, WorldId,
+};
 
 use crate::net::NetModel;
 use crate::transport::{DeltaBase, DeltaCache, InProcess, Tcp, Transport};
@@ -205,16 +207,64 @@ impl Cluster {
     /// Turn delta rforks on or off. When on, the first rfork of a world
     /// to a node ships the full image **plus** pins a base (a snapshot
     /// here, a replica there; two transfers); every later rfork of that
-    /// world to that node ships only the pages that changed since — a v2
-    /// delta checkpoint. Turning it off releases all pinned bases.
+    /// world to that node first probes the receiver's content index and
+    /// ships 8-byte refs for changed pages the receiver already holds, a
+    /// v3 content-delta checkpoint; pages it lacks travel inline, and
+    /// any probe or encode hiccup falls back to the v2 byte delta.
+    /// Turning it off releases all pinned bases.
     pub fn set_delta_rfork(&mut self, on: bool) {
         self.delta_rfork = on;
-        if !on {
+        if on {
+            // Content probes only answer from sealed-frame indexes, and
+            // each node store has its own dedupe switch (they share ids,
+            // not configuration), so arm them all.
+            for node in &self.nodes {
+                node.store.set_dedupe(true);
+            }
+        } else {
             for (dst, base) in self.delta_cache.drain() {
                 // Best-effort: pinned bases are invisible infrastructure.
                 let _ = self.nodes[base.src_node].store.drop_world(base.snapshot);
                 let _ = self.transport.discard(dst, base.replica);
             }
+        }
+    }
+
+    /// Re-bound the delta-rfork pinned-base cache to `bytes` (default:
+    /// `WORLDS_NET_CACHE_BYTES`, else 64 MiB), releasing any bases the
+    /// new budget no longer covers.
+    pub fn set_net_cache_bytes(&mut self, bytes: u64) {
+        let evicted = self.delta_cache.set_budget(bytes);
+        self.release_evicted(evicted);
+    }
+
+    /// Lifetime `(evictions, evicted_bytes)` of the delta-base cache.
+    pub fn net_cache_stats(&self) -> (u64, u64) {
+        self.delta_cache.eviction_stats()
+    }
+
+    /// Pinned bytes currently charged against the delta-base budget.
+    pub fn net_cache_resident_bytes(&self) -> u64 {
+        self.delta_cache.resident_bytes()
+    }
+
+    /// Release bases the cache evicted: unpin both halves and record the
+    /// eviction so `worlds-report --net` can show cache churn.
+    fn release_evicted(&mut self, evicted: Vec<(usize, DeltaBase)>) {
+        for (dst, base) in evicted {
+            let _ = self.nodes[base.src_node].store.drop_world(base.snapshot);
+            let _ = self.transport.discard(dst, base.replica);
+            self.obs.emit(|| {
+                ObsEvent::new(
+                    EventKind::NetCacheEvict {
+                        node: dst as u64,
+                        bytes: base.bytes,
+                    },
+                    base.snapshot.raw(),
+                    None,
+                    self.clock_ns,
+                )
+            });
         }
     }
 
@@ -343,17 +393,14 @@ impl Cluster {
                         src_node: src.node.0,
                         snapshot,
                         replica,
+                        bytes: full.len() as u64,
                     };
-                    self.delta_cache.insert(dst.0, src.world, base);
+                    let evicted = self.delta_cache.insert(dst.0, src.world, base);
+                    self.release_evicted(evicted);
                     base
                 }
             };
-            checkpoint_delta(
-                &self.nodes[src.node.0].store,
-                src.world,
-                base.snapshot,
-                base.replica,
-            )?
+            self.content_delta_image(src, dst, base, &mut total)?
         } else {
             checkpoint(&self.nodes[src.node.0].store, src.world)?
         };
@@ -375,6 +422,51 @@ impl Cluster {
             )
         });
         Ok((RemoteWorld { node: dst, world }, total))
+    }
+
+    /// Encode the delta shipment for `src → dst` against a pinned base:
+    /// a v3 content-delta when the receiver's index can be probed (refs
+    /// for pages it holds, bytes for the rest), a v2 byte delta when the
+    /// manifest is empty (header-only either way) or anything about the
+    /// probe/encode goes sideways. The probe round-trip is real wire
+    /// traffic and is charged to `total` like any other transfer.
+    fn content_delta_image(
+        &mut self,
+        src: RemoteWorld,
+        dst: NodeId,
+        base: DeltaBase,
+        total: &mut VirtualTime,
+    ) -> Result<Vec<u8>, worlds_pagestore::PageStoreError> {
+        let manifest = delta_manifest(&self.nodes[src.node.0].store, src.world, base.snapshot)?;
+        if !manifest.is_empty() {
+            let hashes: Vec<u64> = manifest.iter().map(|&(_, h)| h).collect();
+            if let Ok(present) = self.transport.probe_hashes(dst.0, &hashes) {
+                if present.len() == hashes.len() {
+                    // Request: count u32 + hashes. Reply: count u32 +
+                    // presence bitmap. Small, but it is wire traffic and
+                    // the virtual cost model must see it.
+                    let probe_bytes = 4 + 8 * hashes.len() + 4 + hashes.len().div_ceil(8);
+                    *total += self.transfer(src.world.raw(), dst, probe_bytes);
+                    self.nodes[src.node.0].bytes_sent += probe_bytes as u64;
+                    self.nodes[dst.0].bytes_received += probe_bytes as u64;
+                    if let Ok(image) = checkpoint_content(
+                        &self.nodes[src.node.0].store,
+                        src.world,
+                        base.replica,
+                        &manifest,
+                        &present,
+                    ) {
+                        return Ok(image);
+                    }
+                }
+            }
+        }
+        checkpoint_delta(
+            &self.nodes[src.node.0].store,
+            src.world,
+            base.snapshot,
+            base.replica,
+        )
     }
 
     /// Ship only the pages of `child` that differ from `base` back to the
@@ -682,6 +774,97 @@ mod tests {
         assert_eq!(c.read(r2, 2, 6).unwrap(), b"winner");
         let delta = c.node(NodeId(1)).bytes_received() - first;
         assert!(delta * 4 < first, "{delta} vs {first}");
+    }
+
+    #[test]
+    fn warm_index_rfork_ships_refs_not_bytes() {
+        // A changed page whose content the receiver already holds (any
+        // sealed frame, any world) travels as an 8-byte ref instead of a
+        // page of bytes — strictly under the v2 byte-delta cost.
+        let mut c = Cluster::with_obs(2, 4096, NetModel::lan_1989(), Registry::enabled());
+        c.set_delta_rfork(true);
+        let origin = c.create_world(NodeId(0));
+        for vpn in 0..20 {
+            let mut page = vec![0u8; 4096];
+            page[0] = vpn as u8; // distinct contents, all sealed on ship
+            c.write(origin, vpn, &page).unwrap();
+        }
+        let (_r1, _) = c.rfork(origin, NodeId(1)).unwrap();
+        let first = c.node(NodeId(1)).bytes_received();
+        // Rewrite page 3 to the exact content of page 9: changed w.r.t.
+        // the pinned base, but the receiver's index already has it.
+        let mut page = vec![0u8; 4096];
+        page[0] = 9;
+        c.write(origin, 3, &page).unwrap();
+        let (r2, _) = c.rfork(origin, NodeId(1)).unwrap();
+        let delta = c.node(NodeId(1)).bytes_received() - first;
+        // v2 would ship 32 + 8 + 4096; v3 ships 32 + 9 + 8 plus the
+        // 17-byte probe round-trip. Assert the order of magnitude.
+        assert!(
+            delta < 128,
+            "warm-index delta must ship a ref, not a page: {delta} B"
+        );
+        assert_eq!(c.read(r2, 3, 4096).unwrap(), page, "ref resolves to bytes");
+        let stats = c.obs().stats().unwrap();
+        assert!(
+            stats.dedupe.frames_deduped.get() >= 1,
+            "the receiver adopted a sealed frame"
+        );
+    }
+
+    #[test]
+    fn cold_index_rfork_falls_back_to_inline_bytes() {
+        let mut c = cluster(2);
+        c.set_delta_rfork(true);
+        let origin = c.create_world(NodeId(0));
+        for vpn in 0..8 {
+            let mut page = vec![0u8; 4096];
+            page[0] = vpn as u8;
+            c.write(origin, vpn, &page).unwrap();
+        }
+        let (_r1, _) = c.rfork(origin, NodeId(1)).unwrap();
+        // Brand-new content the receiver cannot have: ships inline, and
+        // the replica still reads back exactly.
+        c.write(origin, 2, b"never seen before").unwrap();
+        let (r2, _) = c.rfork(origin, NodeId(1)).unwrap();
+        assert_eq!(c.read(r2, 2, 17).unwrap(), b"never seen before");
+    }
+
+    #[test]
+    fn net_cache_budget_evicts_lru_bases() {
+        let (obs, ring) = worlds_obs::Registry::with_ring(4096);
+        let mut c = Cluster::with_obs(3, 4096, NetModel::lan_1989(), obs);
+        c.set_delta_rfork(true);
+        // Budget fits roughly one pinned base (image ≈ 4 pages ≈ 16 KB).
+        c.set_net_cache_bytes(20 * 1024);
+        let origin = c.create_world(NodeId(0));
+        for vpn in 0..4 {
+            c.write(origin, vpn, &[vpn as u8 + 1; 4096]).unwrap();
+        }
+        let before = c.node(NodeId(0)).store().world_count();
+        let (_r1, _) = c.rfork(origin, NodeId(1)).unwrap();
+        // Pinning a base for node 2 pushes node 1's base out.
+        let (_r2, _) = c.rfork(origin, NodeId(2)).unwrap();
+        let (evictions, evicted_bytes) = c.net_cache_stats();
+        assert_eq!(evictions, 1, "budget holds one base, two were pinned");
+        assert!(evicted_bytes > 4 * 4096);
+        assert!(c.net_cache_resident_bytes() <= 20 * 1024);
+        // The evicted snapshot was released (replicas r1/r2 still live).
+        assert_eq!(
+            c.node(NodeId(0)).store().world_count(),
+            before + 1,
+            "one pinned snapshot remains at the origin"
+        );
+        // A later rfork to the evicted node re-pins and still works.
+        c.write(origin, 1, b"fresh").unwrap();
+        let (r3, _) = c.rfork(origin, NodeId(1)).unwrap();
+        assert_eq!(c.read(r3, 1, 5).unwrap(), b"fresh");
+        assert!(
+            ring.events()
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::NetCacheEvict { node: 1, .. })),
+            "eviction is observable"
+        );
     }
 
     #[test]

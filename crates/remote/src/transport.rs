@@ -20,7 +20,7 @@
 //! wires. The distributed-block outcome and the committed page bytes are
 //! identical on both; `tests/transport_parity.rs` holds that line.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use worlds_net::{
     Conn, FaultProxy, FaultSchedule, NetError, NetNode, OpLedger, Pool, Request, RetryPolicy,
 };
@@ -42,6 +42,12 @@ pub trait Transport {
         base: u64,
         pages: &[(u64, Vec<u8>)],
     ) -> Result<(), PageStoreError>;
+
+    /// Ask node `dst` which page-content hashes its store already holds
+    /// (the v3 content-delta manifest round-trip). Answers are hints:
+    /// the receiver re-verifies by re-hashing at apply time, so a stale
+    /// `true` costs a fallback to shipping bytes, never corruption.
+    fn probe_hashes(&mut self, dst: usize, hashes: &[u64]) -> Result<Vec<bool>, PageStoreError>;
 
     /// Drop `world` on node `dst`.
     fn discard(&mut self, dst: usize, world: u64) -> Result<(), PageStoreError>;
@@ -93,6 +99,13 @@ impl Transport for InProcess {
             self.stores[dst].write(base, *vpn, 0, data)?;
         }
         Ok(())
+    }
+
+    fn probe_hashes(&mut self, dst: usize, hashes: &[u64]) -> Result<Vec<bool>, PageStoreError> {
+        Ok(hashes
+            .iter()
+            .map(|&h| self.stores[dst].content_probe(h))
+            .collect())
     }
 
     fn discard(&mut self, dst: usize, world: u64) -> Result<(), PageStoreError> {
@@ -206,6 +219,15 @@ impl Transport for Tcp {
             .map_err(|e| net_err(dst, &e))
     }
 
+    fn probe_hashes(&mut self, dst: usize, hashes: &[u64]) -> Result<Vec<bool>, PageStoreError> {
+        // Accounted: the probe is part of an rfork's cost, and routing it
+        // through the fault proxies keeps the wire's op numbering aligned
+        // with the cluster's virtual one.
+        self.accounted(dst)?
+            .call_present(hashes.to_vec())
+            .map_err(|e| net_err(dst, &e))
+    }
+
     fn discard(&mut self, dst: usize, world: u64) -> Result<(), PageStoreError> {
         self.direct
             .call_ack(dst as u64, &Request::Discard { world })
@@ -260,12 +282,42 @@ impl Drop for Tcp {
     }
 }
 
+/// Environment variable overriding the delta-rfork cache's byte budget.
+pub const CACHE_BYTES_ENV: &str = "WORLDS_NET_CACHE_BYTES";
+
+/// Default pinned-base budget when [`CACHE_BYTES_ENV`] is unset: 64 MiB.
+pub const CACHE_BYTES_DEFAULT: u64 = 64 * 1024 * 1024;
+
 /// The delta-rfork base cache: per (destination node, source world), the
 /// locally pinned snapshot of what was shipped and the pinned replica id
 /// on the destination. See [`crate::Cluster::set_delta_rfork`].
-#[derive(Debug, Default)]
+///
+/// LRU-bounded by a byte budget ([`CACHE_BYTES_ENV`], default 64 MiB):
+/// each entry is charged the full image that pinned it, and inserting
+/// past the budget evicts least-recently-forked entries — the caller
+/// releases their pinned worlds and emits `net_cache_evict`. The
+/// most-recent entry is never evicted, even when it alone exceeds the
+/// budget: evicting it would force a full re-ship on every rfork, which
+/// is strictly worse than briefly exceeding the budget.
+#[derive(Debug)]
 pub struct DeltaCache {
     entries: HashMap<(usize, u64), DeltaBase>,
+    /// Keys oldest-first; `get` refreshes, `insert` appends.
+    order: VecDeque<(usize, u64)>,
+    bytes: u64,
+    budget: u64,
+    evictions: u64,
+    evicted_bytes: u64,
+}
+
+impl Default for DeltaCache {
+    fn default() -> DeltaCache {
+        let budget = std::env::var(CACHE_BYTES_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(CACHE_BYTES_DEFAULT);
+        DeltaCache::with_budget(budget)
+    }
 }
 
 /// One pinned shipment: `snapshot` lives in the source node's store (the
@@ -279,20 +331,90 @@ pub struct DeltaBase {
     pub snapshot: WorldId,
     /// The pinned replica's raw id on the destination store.
     pub replica: u64,
+    /// What this entry costs the budget: the full image that pinned it
+    /// (one copy here, one there — charging the shipped size covers
+    /// both to a page of accuracy).
+    pub bytes: u64,
 }
 
 impl DeltaCache {
-    pub fn get(&self, dst: usize, src: WorldId) -> Option<DeltaBase> {
-        self.entries.get(&(dst, src.raw())).copied()
+    /// A cache bounded to `budget` pinned bytes.
+    pub fn with_budget(budget: u64) -> DeltaCache {
+        DeltaCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+            budget,
+            evictions: 0,
+            evicted_bytes: 0,
+        }
     }
 
-    pub fn insert(&mut self, dst: usize, src: WorldId, base: DeltaBase) {
-        self.entries.insert((dst, src.raw()), base);
+    pub fn get(&mut self, dst: usize, src: WorldId) -> Option<DeltaBase> {
+        let key = (dst, src.raw());
+        let hit = self.entries.get(&key).copied();
+        if hit.is_some() {
+            // Refresh recency: this base was just used for a delta.
+            if let Some(pos) = self.order.iter().position(|&k| k == key) {
+                self.order.remove(pos);
+                self.order.push_back(key);
+            }
+        }
+        hit
+    }
+
+    /// Insert a pinned base, evicting least-recently-used entries past
+    /// the byte budget. Returns the evicted entries; the caller must
+    /// release their pinned worlds (snapshot and replica).
+    pub fn insert(&mut self, dst: usize, src: WorldId, base: DeltaBase) -> Vec<(usize, DeltaBase)> {
+        let key = (dst, src.raw());
+        if let Some(old) = self.entries.insert(key, base) {
+            self.bytes -= old.bytes;
+            if let Some(pos) = self.order.iter().position(|&k| k == key) {
+                self.order.remove(pos);
+            }
+        }
+        self.bytes += base.bytes;
+        self.order.push_back(key);
+        self.evict_to_budget()
+    }
+
+    /// Re-bound the cache, evicting down to the new budget immediately.
+    pub fn set_budget(&mut self, budget: u64) -> Vec<(usize, DeltaBase)> {
+        self.budget = budget;
+        self.evict_to_budget()
+    }
+
+    fn evict_to_budget(&mut self) -> Vec<(usize, DeltaBase)> {
+        let mut evicted = Vec::new();
+        while self.bytes > self.budget && self.order.len() > 1 {
+            let key = self.order.pop_front().expect("len checked");
+            let base = self.entries.remove(&key).expect("order tracks entries");
+            self.bytes -= base.bytes;
+            self.evictions += 1;
+            self.evicted_bytes += base.bytes;
+            evicted.push((key.0, base));
+        }
+        evicted
+    }
+
+    /// Pinned bytes currently charged against the budget.
+    pub fn resident_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Lifetime `(evictions, evicted_bytes)` — surfaced by
+    /// `worlds-report --net`.
+    pub fn eviction_stats(&self) -> (u64, u64) {
+        (self.evictions, self.evicted_bytes)
     }
 
     /// Empty the cache, yielding each entry's destination node and base
-    /// so the caller can release the pinned worlds.
+    /// so the caller can release the pinned worlds. Not counted as
+    /// evictions: this is teardown, not budget pressure.
     pub fn drain(&mut self) -> Vec<(usize, DeltaBase)> {
+        self.order.clear();
+        self.bytes = 0;
         self.entries.drain().map(|((dst, _), b)| (dst, b)).collect()
     }
 }

@@ -360,12 +360,17 @@ fn render_net_by_node(events: &[Event]) -> String {
 
     let mut rows: BTreeMap<u64, Row> = BTreeMap::new();
     let rtt = Histogram::new();
+    let (mut evictions, mut evicted_bytes) = (0u64, 0u64);
     for e in events {
         match e.kind {
             EventKind::NetSend { node, bytes } => {
                 let r = rows.entry(node).or_default();
                 r.frames_out += 1;
                 r.bytes_out += bytes;
+            }
+            EventKind::NetCacheEvict { bytes, .. } => {
+                evictions += 1;
+                evicted_bytes += bytes;
             }
             EventKind::NetRecv {
                 node,
@@ -390,6 +395,13 @@ fn render_net_by_node(events: &[Event]) -> String {
     let mut out = String::from("== net transport (per node) ==\n");
     if rows.is_empty() {
         out.push_str("  no net_* events in this capture\n");
+        // Line is conditional on nonzero so eviction-free captures keep
+        // their golden output byte-identical.
+        if evictions > 0 {
+            out.push_str(&format!(
+                "  delta-base cache: {evictions} eviction(s), {evicted_bytes} bytes unpinned\n"
+            ));
+        }
         return out;
     }
     out.push_str(&format!(
@@ -407,6 +419,11 @@ fn render_net_by_node(events: &[Event]) -> String {
         out.push_str(&format!(
             "  rtt                    {}\n",
             snap.summary_line()
+        ));
+    }
+    if evictions > 0 {
+        out.push_str(&format!(
+            "  delta-base cache: {evictions} eviction(s), {evicted_bytes} bytes unpinned\n"
         ));
     }
     out

@@ -195,6 +195,8 @@ pub fn query_table(addr: SocketAddr) -> Result<Vec<NodeReport>, String> {
     match conn.call(&req).map_err(|e| e.to_string())? {
         Reply::Telemetry { payload } => decode_table(&payload),
         Reply::Nack { detail, .. } => Err(format!("refused: {detail}")),
-        Reply::Ack { .. } => Err("peer acked a query instead of answering it".into()),
+        Reply::Ack { .. } | Reply::Present { .. } => {
+            Err("peer answered a query with the wrong reply kind".into())
+        }
     }
 }

@@ -1,0 +1,337 @@
+//! `bench-server` — the multi-tenant front door under a session storm.
+//!
+//! One `FrontDoor` on loopback TCP; `conns` client threads each drive
+//! `sessions_per_conn` server-side sessions through a single framed
+//! connection, so a thousand tenants cost a thousand sessions but only
+//! a few dozen sockets — the shape a real service front door sees.
+//!
+//! The run has three claims to defend, each asserted inline:
+//!
+//! * **Scale** — all sessions are opened before any speculates; the
+//!   sampled peak must reach the configured target (≥1000 sessions
+//!   concurrently admitted in the full run).
+//! * **Exactly-one-commit** — every session spawns `alts` speculative
+//!   worlds and commits exactly one; a follow-up commit of a sibling
+//!   must be refused (the siblings were reaped at commit), and the
+//!   door's lifetime commit counter must equal the session count.
+//! * **Isolation** — one tenant opens with `max_live_worlds = 2` and
+//!   tries to fan out past it. Its extra spawns must be refused with
+//!   `limit_exceeded` while every well-behaved tenant still lands its
+//!   commit (the refusals cost nobody else anything).
+//!
+//! Fairness is reported as the spread of per-session cycle times
+//! (spawn-all/commit-one/verify) across tenants: p95/p50 under the
+//! deficit round-robin release. Results land in `BENCH_server.json`
+//! (or the path given as the first non-flag argument); `--smoke`
+//! shrinks every knob for CI.
+//!
+//! ```text
+//! cargo run --release -p worlds-bench --bin bench-server [out.json] [--smoke]
+//! ```
+
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+use worlds_net::{nack, Conn, Request, RetryPolicy};
+use worlds_obs::Registry;
+use worlds_pagestore::PageStore;
+use worlds_server::{FrontDoor, ServerPolicy};
+
+/// One tenant's phase-2 round: fan out `alts` worlds, commit one,
+/// prove the siblings are gone. Returns (cycle seconds, stale nacks).
+fn session_round(conn: &mut Conn, session: u64, alts: usize, spin_ns: u64) -> (f64, u64) {
+    let t0 = Instant::now();
+    let mut worlds = Vec::with_capacity(alts);
+    for alt in 0..alts {
+        let w = conn
+            .call_ack(&Request::SessionSpawn {
+                session,
+                spin_ns,
+                writes: vec![(alt as u64, vec![alt as u8; 64])],
+            })
+            .expect("spawn within limits");
+        worlds.push(w);
+    }
+    let chosen = worlds[alts / 2];
+    conn.call_ack(&Request::SessionCommit {
+        session,
+        world: chosen,
+    })
+    .expect("exactly one commit per round");
+    // Siblings were reaped at commit: committing one must be refused.
+    let stale = worlds[0];
+    let err = conn
+        .call_ack(&Request::SessionCommit {
+            session,
+            world: stale,
+        })
+        .expect_err("second commit must be refused");
+    assert_eq!(
+        err.nack_code(),
+        Some(nack::NO_SUCH_WORLD),
+        "stale commit refused with no_such_world, got {err}"
+    );
+    (t0.elapsed().as_secs_f64(), 1)
+}
+
+/// The over-limit tenant: admitted with `max_live_worlds = 2`, then
+/// fans out `attempts` spawns without committing. Returns how many
+/// were refused `limit_exceeded`.
+fn overlimit_tenant(addr: std::net::SocketAddr, attempts: usize) -> u64 {
+    let mut conn = Conn::new(0, addr, RetryPolicy::default(), Registry::disabled());
+    let session = conn
+        .call_ack(&Request::SessionOpen {
+            name: "hog/overlimit".into(),
+            max_live_worlds: 2,
+            max_resident_frames: 0,
+            vt_budget_ns: 0,
+        })
+        .expect("over-limit tenant is admitted; only its spawns are capped");
+    let mut refused = 0u64;
+    for i in 0..attempts {
+        match conn.call_ack(&Request::SessionSpawn {
+            session,
+            spin_ns: 1_000,
+            writes: vec![(i as u64, vec![0xEE; 64])],
+        }) {
+            Ok(_) => {}
+            Err(e) => {
+                assert_eq!(
+                    e.nack_code(),
+                    Some(nack::LIMIT_EXCEEDED),
+                    "over-limit refusal must be limit_exceeded, got {e}"
+                );
+                refused += 1;
+            }
+        }
+    }
+    conn.call_ack(&Request::SessionClose {
+        session,
+        adopt: false,
+    })
+    .expect("over-limit tenant still closes cleanly");
+    refused
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let mut out = "BENCH_server.json".to_string();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out = arg;
+        }
+    }
+    let (conns, per_conn, alts, spin_ns) = if smoke {
+        (8usize, 8usize, 3usize, 5_000u64)
+    } else {
+        (32usize, 32usize, 3usize, 20_000u64)
+    };
+    let sessions = conns * per_conn;
+    let target_peak = if smoke { sessions } else { 1000 };
+
+    let door = FrontDoor::serve(
+        1,
+        PageStore::new(4096),
+        Registry::disabled(),
+        ServerPolicy {
+            max_sessions: sessions + 16,
+            ..ServerPolicy::default()
+        },
+    )
+    .expect("bind front door");
+    let addr = door.addr();
+    let mgr = door.manager().clone();
+
+    eprintln!("front door on {addr}: {conns} conns x {per_conn} sessions = {sessions} tenants");
+
+    // Barrier A: every session open. Barrier B: peak sampled, go.
+    let opened = Arc::new(Barrier::new(conns + 1));
+    let sampled = Arc::new(Barrier::new(conns + 1));
+    let cycles: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::with_capacity(sessions)));
+    let t0 = Instant::now();
+
+    let workers: Vec<_> = (0..conns)
+        .map(|c| {
+            let opened = opened.clone();
+            let sampled = sampled.clone();
+            let cycles = cycles.clone();
+            std::thread::spawn(move || {
+                let mut conn = Conn::new(
+                    c as u64 + 100,
+                    addr,
+                    RetryPolicy::default(),
+                    Registry::disabled(),
+                );
+                let ids: Vec<u64> = (0..per_conn)
+                    .map(|s| {
+                        conn.call_ack(&Request::SessionOpen {
+                            name: format!("tenant-{c}-{s}"),
+                            max_live_worlds: 0,
+                            max_resident_frames: 0,
+                            vt_budget_ns: 0,
+                        })
+                        .expect("open within the session cap")
+                    })
+                    .collect();
+                opened.wait();
+                sampled.wait();
+                let mut stale_nacks = 0u64;
+                let mut times = Vec::with_capacity(per_conn);
+                for &session in &ids {
+                    let (secs, stale) = session_round(&mut conn, session, alts, spin_ns);
+                    times.push(secs * 1e3);
+                    stale_nacks += stale;
+                }
+                for &session in &ids {
+                    conn.call_ack(&Request::SessionClose {
+                        session,
+                        adopt: false,
+                    })
+                    .expect("close");
+                }
+                cycles.lock().unwrap().extend(times);
+                stale_nacks
+            })
+        })
+        .collect();
+
+    // Sample the peak while every tenant is admitted at once.
+    opened.wait();
+    let peak = mgr.session_count();
+    eprintln!("peak concurrent sessions: {peak} (target >= {target_peak})");
+    assert!(
+        peak >= target_peak,
+        "front door must sustain >= {target_peak} concurrent sessions, saw {peak}"
+    );
+    sampled.wait();
+
+    // While the well-behaved tenants churn, one tenant tries to bust
+    // its own contract.
+    let overlimit_attempts = 6usize;
+    let overlimit_refused = overlimit_tenant(addr, overlimit_attempts);
+    eprintln!("over-limit tenant: {overlimit_refused}/{overlimit_attempts} spawns refused");
+    assert!(
+        overlimit_refused >= (overlimit_attempts as u64).saturating_sub(2),
+        "spawns past max_live_worlds=2 must be refused"
+    );
+
+    let stale_nacks: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let totals = mgr.totals();
+    mgr.quiesce();
+    mgr.store()
+        .verify_refcounts()
+        .expect("store refcounts clean");
+    assert_eq!(mgr.session_count(), 0, "every session closed");
+    assert_eq!(
+        totals.committed, sessions as u64,
+        "exactly one commit per tenant session"
+    );
+    assert_eq!(
+        stale_nacks, sessions as u64,
+        "every stale sibling commit refused"
+    );
+
+    let mut cycle_ms = Arc::try_unwrap(cycles).unwrap().into_inner().unwrap();
+    cycle_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = percentile(&cycle_ms, 0.50);
+    let p95 = percentile(&cycle_ms, 0.95);
+    let worst = cycle_ms.last().copied().unwrap_or(0.0);
+    let spread = if p50 > 0.0 { p95 / p50 } else { 0.0 };
+    let spawns = totals.committed * alts as u64 + 2; // +2: the hog's admitted pair
+    let cycles_per_sec = sessions as f64 / elapsed;
+    eprintln!(
+        "{sessions} session cycles in {elapsed:.2}s ({cycles_per_sec:.0}/s); \
+         cycle p50 {p50:.2} ms, p95 {p95:.2} ms, spread {spread:.2}"
+    );
+    eprintln!(
+        "admission: {} limit refusals, {} overload refusals",
+        totals.rejected_limit, totals.rejected_overloaded
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"server\",\n",
+            "  \"unix_time\": {unix_time},\n",
+            "  \"effective_cores\": {cores},\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"config\": {{\"conns\": {conns}, \"sessions_per_conn\": {per_conn}, ",
+            "\"alts_per_session\": {alts}, \"spin_ns\": {spin_ns}}},\n",
+            "  \"concurrency\": {{\n",
+            "    \"peak_sessions\": {peak},\n",
+            "    \"target\": {target_peak}\n",
+            "  }},\n",
+            "  \"throughput\": {{\n",
+            "    \"session_cycles_per_sec\": {cycles_per_sec:.1},\n",
+            "    \"spawns_total\": {spawns},\n",
+            "    \"elapsed_secs\": {elapsed:.3}\n",
+            "  }},\n",
+            "  \"commits\": {{\n",
+            "    \"committed\": {committed},\n",
+            "    \"stale_commit_nacks\": {stale_nacks}\n",
+            "  }},\n",
+            "  \"admission\": {{\n",
+            "    \"rejected_limit\": {rejected_limit},\n",
+            "    \"rejected_overloaded\": {rejected_overloaded},\n",
+            "    \"overlimit_attempts\": {overlimit_attempts},\n",
+            "    \"overlimit_refused\": {overlimit_refused}\n",
+            "  }},\n",
+            "  \"fairness\": {{\n",
+            "    \"cycle_ms_p50\": {p50:.3},\n",
+            "    \"cycle_ms_p95\": {p95:.3},\n",
+            "    \"cycle_ms_max\": {worst:.3},\n",
+            "    \"spread_p95_over_p50\": {spread:.3}\n",
+            "  }},\n",
+            "  \"note\": \"each session fans out alts worlds, commits exactly ",
+            "one (sibling commit then refused no_such_world); the over-limit ",
+            "tenant's refusals are limit_exceeded and cost other tenants ",
+            "nothing; spread is per-session cycle p95/p50 under deficit ",
+            "round-robin release\"\n",
+            "}}\n",
+        ),
+        unix_time = unix_time,
+        cores = cores,
+        smoke = smoke,
+        conns = conns,
+        per_conn = per_conn,
+        alts = alts,
+        spin_ns = spin_ns,
+        peak = peak,
+        target_peak = target_peak,
+        cycles_per_sec = cycles_per_sec,
+        spawns = spawns,
+        elapsed = elapsed,
+        committed = totals.committed,
+        stale_nacks = stale_nacks,
+        rejected_limit = totals.rejected_limit,
+        rejected_overloaded = totals.rejected_overloaded,
+        overlimit_attempts = overlimit_attempts,
+        overlimit_refused = overlimit_refused,
+        p50 = p50,
+        p95 = p95,
+        worst = worst,
+        spread = spread,
+    );
+    std::fs::write(&out, &json).expect("write results file");
+    door.shutdown();
+    println!("wrote {out}");
+}

@@ -191,6 +191,56 @@ impl Speculation {
         }
     }
 
+    /// A session **rooted at an existing world of an existing store** —
+    /// the run-as-session constructor the multi-tenant front door
+    /// (`worlds-server`) builds on. Unlike [`Speculation::with_obs`],
+    /// nothing is created: the returned session is a view whose root is
+    /// `root`, so many sessions can share one store (and one executor,
+    /// one reaper) while each speculates against its own root world.
+    /// The caller keeps ownership of the world's lifecycle — dropping
+    /// the `Speculation` does not drop `root`.
+    ///
+    /// The view starts with a fresh, empty file-name table (directory
+    /// metadata is per-`FileSystem`, not in the store's pages); keep one
+    /// view alive per session, or share a directory across views with
+    /// [`Speculation::with_fs`].
+    pub fn in_store(store: &PageStore, root: WorldId) -> Self {
+        let store = store.clone();
+        let fs = FileSystem::new(store.clone());
+        Speculation {
+            store,
+            fs,
+            tty: Teletype::new(),
+            root_world: root,
+            root_pid: Pid::fresh(),
+            exec: ExecMode::Pooled(Executor::global()),
+        }
+    }
+
+    /// This session's root world.
+    pub fn root_world(&self) -> WorldId {
+        self.root_world
+    }
+
+    /// The session's file system (named state cells ride on it). Clone
+    /// it into [`Speculation::with_fs`] to share one directory across
+    /// several session views.
+    pub fn fs(&self) -> &FileSystem {
+        &self.fs
+    }
+
+    /// Use `fs` (and its name table) instead of a fresh one — the
+    /// directory-sharing half of [`Speculation::in_store`]. The file
+    /// system must wrap the same store ([`PageStore::same_store`]).
+    pub fn with_fs(mut self, fs: FileSystem) -> Self {
+        assert!(
+            fs.store().same_store(&self.store),
+            "FileSystem wraps a different PageStore"
+        );
+        self.fs = fs;
+        self
+    }
+
     /// Pin this session to a private work-stealing pool instead of the
     /// process-wide [`Executor::global`].
     pub fn with_executor(mut self, exec: Executor) -> Self {

@@ -1,0 +1,94 @@
+//! `Speculation::in_store` — the run-as-session constructor.
+//!
+//! The multi-tenant front door (`worlds-server`) gives every session its
+//! own root world inside one shared store. These tests pin down the
+//! contract that makes that sound: sessions rooted at different worlds
+//! of the same store speculate independently, commit independently, and
+//! dropping a session view never touches the root world it was lent.
+
+use worlds::{AltBlock, Speculation};
+use worlds_pagestore::PageStore;
+
+#[test]
+fn two_sessions_share_a_store_but_not_state() {
+    let store = PageStore::new(4096);
+    let root_a = store.create_world();
+    let root_b = store.create_world();
+    let sess_a = Speculation::in_store(&store, root_a);
+    let sess_b = Speculation::in_store(&store, root_b);
+    assert_eq!(sess_a.root_world(), root_a);
+
+    sess_a.setup(|ctx| ctx.put_str("tenant", "a")).unwrap();
+    sess_b.setup(|ctx| ctx.put_str("tenant", "b")).unwrap();
+
+    let ra = sess_a.run(
+        AltBlock::new()
+            .alt("upper", |ctx| {
+                let t = ctx.get_str("tenant").unwrap();
+                ctx.put_str("result", &t.to_uppercase())?;
+                Ok(())
+            })
+            .alt("double", |ctx| {
+                let t = ctx.get_str("tenant").unwrap();
+                ctx.put_str("result", &format!("{t}{t}"))?;
+                Ok(())
+            }),
+    );
+    assert!(ra.value.is_some(), "one alternative committed");
+
+    // B never ran a block: its world saw none of A's speculation.
+    assert_eq!(sess_b.read(|ctx| ctx.get_str("result")), None);
+    assert_eq!(sess_b.read(|ctx| ctx.get_str("tenant")).unwrap(), "b");
+    let committed = sess_a.read(|ctx| ctx.get_str("result")).unwrap();
+    assert!(committed == "A" || committed == "aa");
+    store.verify_refcounts().unwrap();
+}
+
+#[test]
+fn dropping_a_session_view_leaves_the_root_world_alive() {
+    let store = PageStore::new(4096);
+    let root = store.create_world();
+    // Named cells live in store pages, but the *directory* (name → vpn)
+    // is per-FileSystem metadata — carry it across views explicitly.
+    let fs = {
+        let sess = Speculation::in_store(&store, root);
+        sess.setup(|ctx| ctx.put_u64("x", 7)).unwrap();
+        sess.fs().clone()
+    };
+    // The view is gone; the world and its state are not.
+    assert!(store.world_exists(root));
+    let sess = Speculation::in_store(&store, root).with_fs(fs);
+    assert_eq!(sess.read(|ctx| ctx.get_u64("x")).unwrap(), 7);
+}
+
+#[test]
+fn session_speculation_leaves_no_world_residue_in_the_shared_store() {
+    let store = PageStore::new(4096);
+    let root = store.create_world();
+    let sess = Speculation::in_store(&store, root);
+    sess.setup(|ctx| ctx.put_u64("seed", 1)).unwrap();
+    let baseline_worlds = store.world_count();
+    for round in 0..5u64 {
+        let r = sess.run(
+            AltBlock::new()
+                .alt("inc", move |ctx| {
+                    let v = ctx.get_u64("seed").unwrap();
+                    ctx.put_u64("seed", v + round)?;
+                    Ok(v + round)
+                })
+                .alt("dec", move |ctx| {
+                    let v = ctx.get_u64("seed").unwrap();
+                    ctx.put_u64("seed", v.saturating_sub(round))?;
+                    Ok(v.saturating_sub(round))
+                })
+                .elim(worlds::ElimMode::Sync),
+        );
+        assert!(r.value.is_some());
+    }
+    assert_eq!(
+        store.world_count(),
+        baseline_worlds,
+        "every speculative world was adopted or eliminated"
+    );
+    store.verify_refcounts().unwrap();
+}

@@ -20,8 +20,15 @@
 //!   emitting exactly the per-world `frame_free` events a sequential
 //!   teardown would.
 
+//! * [`FairScheduler`] — per-tenant deficit round-robin admission in
+//!   front of the injector, with bounded queues (backpressure) and a
+//!   global in-flight cap, so many tenants can share one pool without
+//!   any of them starving the rest (see the `fair` module docs).
+
+mod fair;
 mod pool;
 mod reaper;
 
+pub use fair::{FairPolicy, FairScheduler, Saturated, TenantStats};
 pub use pool::{Executor, Scope, WORKERS_ENV};
 pub use reaper::Reaper;

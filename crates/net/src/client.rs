@@ -25,12 +25,26 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use worlds_obs::{Event, EventKind, Registry};
 
-/// Correlation ids are process-global so two `Conn`s talking to the same
-/// server can never collide in its reply ledger.
+/// Correlation ids are a process-global counter offset by a per-process
+/// random base, so two `Conn`s — in this process or another one talking
+/// to the same server — can never collide in its reply ledger. (A
+/// counter alone restarts at 1 in every process: a fresh `worlds-top`
+/// would replay the reply a long-lived tenant's first request recorded.)
 static NEXT_CORR: AtomicU64 = AtomicU64::new(1);
 
+fn corr_base() -> u64 {
+    static BASE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *BASE.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        splitmix64(nanos ^ ((std::process::id() as u64) << 32))
+    })
+}
+
 fn next_corr() -> u64 {
-    NEXT_CORR.fetch_add(1, Ordering::Relaxed)
+    corr_base().wrapping_add(NEXT_CORR.fetch_add(1, Ordering::Relaxed))
 }
 
 /// How hard a client tries before giving up on one request.
@@ -174,7 +188,26 @@ impl Conn {
                 std::thread::sleep(backoff);
             }
             match self.attempt(frame) {
-                Ok(reply) => return Ok(reply),
+                Ok(reply) => {
+                    if let Reply::Nack { code, .. } = &reply {
+                        // A refusal is a transport success, so no retry
+                        // path records it — emit here so `worlds-report
+                        // --net` can count refusals per reason.
+                        let code = *code;
+                        self.obs.emit(|| {
+                            Event::new(
+                                EventKind::NetNack {
+                                    node: self.node,
+                                    code: code as u64,
+                                },
+                                0,
+                                None,
+                                0,
+                            )
+                        });
+                    }
+                    return Ok(reply);
+                }
                 Err(e) => {
                     // A failed attempt poisons the stream: a late reply
                     // arriving on it would desync the next request.

@@ -40,7 +40,11 @@ impl fmt::Display for NetError {
             NetError::BadCrc => f.write_str("frame checksum mismatch"),
             NetError::TooLarge(n) => write!(f, "frame payload of {n} bytes exceeds cap"),
             NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
-            NetError::Nack { code, detail } => write!(f, "remote nack (code {code}): {detail}"),
+            NetError::Nack { code, detail } => write!(
+                f,
+                "remote nack ({} code {code}): {detail}",
+                crate::rpc::nack::reason(*code)
+            ),
             NetError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts: {last}")
             }
@@ -62,6 +66,15 @@ impl NetError {
     /// correlation id would just replay the same answer.
     pub fn is_retryable(&self) -> bool {
         !matches!(self, NetError::Nack { .. } | NetError::BadVersion(_))
+    }
+
+    /// The nack reason code, if the remote refused the operation.
+    pub fn nack_code(&self) -> Option<u32> {
+        match self {
+            NetError::Nack { code, .. } => Some(*code),
+            NetError::RetriesExhausted { last, .. } => last.nack_code(),
+            _ => None,
+        }
     }
 
     /// Whether the failure was a read/write deadline expiring.

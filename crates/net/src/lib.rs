@@ -71,4 +71,4 @@ pub use frame::{
 };
 pub use proxy::{FaultProxy, OpLedger};
 pub use rpc::{decode_message, encode_message, kind, nack, Reply, Request};
-pub use server::{NetNode, TelemetryHandler};
+pub use server::{NetNode, SessionHandler, TelemetryHandler};

@@ -12,6 +12,11 @@
 //! | 5    | `PredicatedSend` | an `ipc::Message` incl. its predicate set |
 //! | 6    | `Telemetry`      | opaque telemetry bytes (rollup delta/query)|
 //! | 7    | `HashProbe`      | page-content hashes to test for presence  |
+//! | 8    | `SessionOpen`    | tenant name + resource limits             |
+//! | 9    | `SessionSpawn`   | speculative world: page writes + vt cost  |
+//! | 10   | `SessionCommit`  | the session's chosen winner world         |
+//! | 11   | `SessionFork`    | lineage-fork a child session              |
+//! | 12   | `SessionClose`   | teardown; child close may adopt-to-parent |
 //!
 //! Replies are `Ack { world }` (0x80), `Nack { code, detail }` (0x81),
 //! `Telemetry { payload }` (0x82) answering a telemetry query, or
@@ -38,6 +43,11 @@ pub mod kind {
     pub const PREDICATED_SEND: u8 = 5;
     pub const TELEMETRY: u8 = 6;
     pub const HASH_PROBE: u8 = 7;
+    pub const SESSION_OPEN: u8 = 8;
+    pub const SESSION_SPAWN: u8 = 9;
+    pub const SESSION_COMMIT: u8 = 10;
+    pub const SESSION_FORK: u8 = 11;
+    pub const SESSION_CLOSE: u8 = 12;
     pub const ACK: u8 = 0x80;
     pub const NACK: u8 = 0x81;
     pub const TELEMETRY_REPLY: u8 = 0x82;
@@ -54,6 +64,31 @@ pub mod nack {
     pub const BAD_REQUEST: u32 = 3;
     /// The store refused the operation (I/O level failure).
     pub const STORE: u32 = 4;
+    /// The server is saturated (bounded admission queue full, or the
+    /// reaper/recycler has fallen behind) — back off and retry later.
+    pub const OVERLOADED: u32 = 5;
+    /// The session's own `ResourceLimits` would be exceeded; retrying
+    /// without releasing resources is pointless.
+    pub const LIMIT_EXCEEDED: u32 = 6;
+    /// The named session does not exist (never opened, or already
+    /// closed/adopted by its parent).
+    pub const UNKNOWN_SESSION: u32 = 7;
+
+    /// Stable human name for a nack code; client errors and the
+    /// `worlds-report --net` per-reason table both render through this
+    /// so a code never surfaces as a bare number.
+    pub fn reason(code: u32) -> &'static str {
+        match code {
+            BAD_IMAGE => "bad_image",
+            NO_SUCH_WORLD => "no_such_world",
+            BAD_REQUEST => "bad_request",
+            STORE => "store",
+            OVERLOADED => "overloaded",
+            LIMIT_EXCEEDED => "limit_exceeded",
+            UNKNOWN_SESSION => "unknown_session",
+            _ => "unknown",
+        }
+    }
 }
 
 /// A client-to-server request.
@@ -89,6 +124,36 @@ pub enum Request {
     /// Presence is a *hint*: the receiver re-verifies by re-hashing at
     /// apply time, so a stale answer costs a fallback, never corruption.
     HashProbe { hashes: Vec<u64> },
+    /// Admit a named tenant session with its resource limits (0 means
+    /// "unlimited" for each axis). Ack carries the new session id.
+    /// Servers without a session handler Nack with `BAD_REQUEST`.
+    SessionOpen {
+        name: String,
+        max_live_worlds: u64,
+        max_resident_frames: u64,
+        vt_budget_ns: u64,
+    },
+    /// Fork a speculative world under the session root, apply `writes`
+    /// (one page image per vpn, written at offset 0) and charge
+    /// `spin_ns` of exploration work against the session's vt budget.
+    /// Ack carries the spawned world id.
+    SessionSpawn {
+        session: u64,
+        spin_ns: u64,
+        writes: Vec<(u64, Vec<u8>)>,
+    },
+    /// Commit one of the session's speculative worlds into the session
+    /// root and discard its siblings — the exactly-one-commit step.
+    SessionCommit { session: u64, world: u64 },
+    /// Lineage-fork a child session whose root is a fork of the
+    /// parent's root; the parent later adopts or discards it wholesale
+    /// via `SessionClose`. Ack carries the child session id.
+    SessionFork { session: u64, name: String },
+    /// Tear a session down, releasing every world and frame it owns.
+    /// For a child session, `adopt` commits its root back into the
+    /// parent's root first (adopt-wholesale); otherwise everything is
+    /// discarded.
+    SessionClose { session: u64, adopt: bool },
 }
 
 /// A server-to-client reply.
@@ -121,6 +186,11 @@ impl Request {
             Request::PredicatedSend { .. } => kind::PREDICATED_SEND,
             Request::Telemetry { .. } => kind::TELEMETRY,
             Request::HashProbe { .. } => kind::HASH_PROBE,
+            Request::SessionOpen { .. } => kind::SESSION_OPEN,
+            Request::SessionSpawn { .. } => kind::SESSION_SPAWN,
+            Request::SessionCommit { .. } => kind::SESSION_COMMIT,
+            Request::SessionFork { .. } => kind::SESSION_FORK,
+            Request::SessionClose { .. } => kind::SESSION_CLOSE,
         }
     }
 
@@ -150,6 +220,56 @@ impl Request {
                 for h in hashes {
                     out.extend_from_slice(&h.to_le_bytes());
                 }
+                out
+            }
+            Request::SessionOpen {
+                name,
+                max_live_worlds,
+                max_resident_frames,
+                vt_budget_ns,
+            } => {
+                let mut out = Vec::with_capacity(28 + name.len());
+                out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+                out.extend_from_slice(name.as_bytes());
+                out.extend_from_slice(&max_live_worlds.to_le_bytes());
+                out.extend_from_slice(&max_resident_frames.to_le_bytes());
+                out.extend_from_slice(&vt_budget_ns.to_le_bytes());
+                out
+            }
+            Request::SessionSpawn {
+                session,
+                spin_ns,
+                writes,
+            } => {
+                let per_write: usize = writes.iter().map(|(_, p)| 12 + p.len()).sum();
+                let mut out = Vec::with_capacity(20 + per_write);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&spin_ns.to_le_bytes());
+                out.extend_from_slice(&(writes.len() as u32).to_le_bytes());
+                for (vpn, bytes) in writes {
+                    out.extend_from_slice(&vpn.to_le_bytes());
+                    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                    out.extend_from_slice(bytes);
+                }
+                out
+            }
+            Request::SessionCommit { session, world } => {
+                let mut out = Vec::with_capacity(16);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&world.to_le_bytes());
+                out
+            }
+            Request::SessionFork { session, name } => {
+                let mut out = Vec::with_capacity(12 + name.len());
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+                out.extend_from_slice(name.as_bytes());
+                out
+            }
+            Request::SessionClose { session, adopt } => {
+                let mut out = Vec::with_capacity(9);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.push(u8::from(*adopt));
                 out
             }
         }
@@ -194,6 +314,62 @@ impl Request {
                 }
                 r.done("hash_probe")?;
                 Request::HashProbe { hashes }
+            }
+            kind::SESSION_OPEN => {
+                let nlen = r.u32("name len")? as usize;
+                let name = String::from_utf8_lossy(r.bytes(nlen, "name")?).into_owned();
+                let max_live_worlds = r.u64("max live worlds")?;
+                let max_resident_frames = r.u64("max resident frames")?;
+                let vt_budget_ns = r.u64("vt budget")?;
+                r.done("session_open")?;
+                Request::SessionOpen {
+                    name,
+                    max_live_worlds,
+                    max_resident_frames,
+                    vt_budget_ns,
+                }
+            }
+            kind::SESSION_SPAWN => {
+                let session = r.u64("session")?;
+                let spin_ns = r.u64("spin")?;
+                let count = r.u32("write count")? as usize;
+                let mut writes = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    let vpn = r.u64("vpn")?;
+                    let len = r.u32("write len")? as usize;
+                    writes.push((vpn, r.bytes(len, "write bytes")?.to_vec()));
+                }
+                r.done("session_spawn")?;
+                Request::SessionSpawn {
+                    session,
+                    spin_ns,
+                    writes,
+                }
+            }
+            kind::SESSION_COMMIT => {
+                let session = r.u64("session")?;
+                let world = r.u64("world")?;
+                r.done("session_commit")?;
+                Request::SessionCommit { session, world }
+            }
+            kind::SESSION_FORK => {
+                let session = r.u64("session")?;
+                let nlen = r.u32("name len")? as usize;
+                let name = String::from_utf8_lossy(r.bytes(nlen, "name")?).into_owned();
+                r.done("session_fork")?;
+                Request::SessionFork { session, name }
+            }
+            kind::SESSION_CLOSE => {
+                let session = r.u64("session")?;
+                let adopt = match r.u8("adopt flag")? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(NetError::Protocol(format!("bad adopt flag {other}")));
+                    }
+                };
+                r.done("session_close")?;
+                Request::SessionClose { session, adopt }
             }
             other => return Err(NetError::Protocol(format!("unknown request kind {other}"))),
         };
@@ -437,6 +613,92 @@ mod tests {
             hashes: vec![0xDEAD_BEEF, u64::MAX, 1],
         });
         round_trip_request(Request::HashProbe { hashes: Vec::new() });
+        round_trip_request(Request::SessionOpen {
+            name: "tenant-a".into(),
+            max_live_worlds: 8,
+            max_resident_frames: 1024,
+            vt_budget_ns: u64::MAX,
+        });
+        round_trip_request(Request::SessionOpen {
+            name: String::new(),
+            max_live_worlds: 0,
+            max_resident_frames: 0,
+            vt_budget_ns: 0,
+        });
+        round_trip_request(Request::SessionSpawn {
+            session: 7,
+            spin_ns: 1_000,
+            writes: vec![(0, vec![3; 64]), (9, Vec::new())],
+        });
+        round_trip_request(Request::SessionSpawn {
+            session: 0,
+            spin_ns: 0,
+            writes: Vec::new(),
+        });
+        round_trip_request(Request::SessionCommit {
+            session: 7,
+            world: 42,
+        });
+        round_trip_request(Request::SessionFork {
+            session: 7,
+            name: "child".into(),
+        });
+        round_trip_request(Request::SessionClose {
+            session: 7,
+            adopt: true,
+        });
+        round_trip_request(Request::SessionClose {
+            session: 7,
+            adopt: false,
+        });
+    }
+
+    #[test]
+    fn session_payloads_reject_truncation_and_garbage() {
+        let open = Request::SessionOpen {
+            name: "t".into(),
+            max_live_worlds: 1,
+            max_resident_frames: 2,
+            vt_budget_ns: 3,
+        }
+        .encode_payload();
+        for n in 0..open.len() {
+            assert!(Request::decode(kind::SESSION_OPEN, &open[..n]).is_err());
+        }
+        let spawn = Request::SessionSpawn {
+            session: 1,
+            spin_ns: 2,
+            writes: vec![(3, vec![4; 8])],
+        }
+        .encode_payload();
+        for n in 0..spawn.len() {
+            assert!(Request::decode(kind::SESSION_SPAWN, &spawn[..n]).is_err());
+        }
+        // A bad adopt flag is a protocol error, not a silent bool.
+        let mut close = Request::SessionClose {
+            session: 1,
+            adopt: false,
+        }
+        .encode_payload();
+        *close.last_mut().unwrap() = 9;
+        assert!(Request::decode(kind::SESSION_CLOSE, &close).is_err());
+        // Trailing bytes are rejected on fixed-size session frames.
+        let mut commit = Request::SessionCommit {
+            session: 1,
+            world: 2,
+        }
+        .encode_payload();
+        commit.push(0);
+        assert!(Request::decode(kind::SESSION_COMMIT, &commit).is_err());
+    }
+
+    #[test]
+    fn nack_reasons_have_stable_names() {
+        assert_eq!(nack::reason(nack::OVERLOADED), "overloaded");
+        assert_eq!(nack::reason(nack::LIMIT_EXCEEDED), "limit_exceeded");
+        assert_eq!(nack::reason(nack::UNKNOWN_SESSION), "unknown_session");
+        assert_eq!(nack::reason(nack::BAD_REQUEST), "bad_request");
+        assert_eq!(nack::reason(999), "unknown");
     }
 
     #[test]

@@ -18,10 +18,10 @@
 
 use crate::frame::{read_frame_idle, write_frame, Frame};
 use crate::rpc::{nack, Reply, Request};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 use worlds_exec::Executor;
 use worlds_ipc::Message;
@@ -42,6 +42,13 @@ const LEDGER_CAP: usize = 1024;
 pub type TelemetryHandler =
     Arc<dyn Fn(&[u8]) -> std::result::Result<Option<Vec<u8>>, String> + Send + Sync>;
 
+/// How a node answers the `Request::Session*` family. Session semantics
+/// (admission, limits, fair scheduling, lineage) live in `worlds-server`;
+/// the wire layer only routes. The handler returns the full [`Reply`] so
+/// it can pick nack codes ([`nack::OVERLOADED`], [`nack::LIMIT_EXCEEDED`],
+/// [`nack::UNKNOWN_SESSION`]) itself.
+pub type SessionHandler = Arc<dyn Fn(&Request) -> Reply + Send + Sync>;
+
 struct Shared {
     store: PageStore,
     obs: Registry,
@@ -49,16 +56,22 @@ struct Shared {
     stop: AtomicBool,
     /// corr → reply, for at-most-once application of retried requests.
     ledger: Mutex<Ledger>,
+    /// Wakes deliveries parked on a corr another delivery is applying.
+    ledger_cv: Condvar,
     /// Predicated messages delivered to this node, in arrival order.
     inbox: Mutex<Vec<Message>>,
     /// Answers telemetry frames, when something installed one.
     telemetry: Mutex<Option<TelemetryHandler>>,
+    /// Answers session frames, when something installed one.
+    sessions: Mutex<Option<SessionHandler>>,
 }
 
 #[derive(Default)]
 struct Ledger {
     replies: HashMap<u64, Reply>,
     order: VecDeque<u64>,
+    /// Corr-ids whose first delivery is applying right now.
+    inflight: HashSet<u64>,
 }
 
 impl Ledger {
@@ -99,8 +112,10 @@ impl NetNode {
             node,
             stop: AtomicBool::new(false),
             ledger: Mutex::new(Ledger::default()),
+            ledger_cv: Condvar::new(),
             inbox: Mutex::new(Vec::new()),
             telemetry: Mutex::new(None),
+            sessions: Mutex::new(None),
         });
         let accept_shared = shared.clone();
         Executor::global().spawn(&accept_shared.obs.clone(), move || {
@@ -134,6 +149,13 @@ impl NetNode {
     /// page server stays a plain page server.
     pub fn set_telemetry_handler(&self, handler: TelemetryHandler) {
         *self.shared.telemetry.lock().expect("telemetry lock") = Some(handler);
+    }
+
+    /// Install (or replace) the function answering session frames on
+    /// this node. Without one, session requests are Nacked — the wire
+    /// layer never grows tenancy semantics of its own.
+    pub fn set_session_handler(&self, handler: SessionHandler) {
+        *self.shared.sessions.lock().expect("session lock") = Some(handler);
     }
 
     /// Stop accepting and tell every connection handler to wind down.
@@ -193,17 +215,32 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
-/// Look up or compute the reply for one request frame. The ledger check
-/// and the apply are a single critical section per corr-id, so two
-/// simultaneous deliveries of the same corr (one direct, one via a slow
-/// proxy) cannot both apply.
+/// Look up or compute the reply for one request frame. At-most-once per
+/// corr-id is kept with an in-flight set instead of holding the ledger
+/// mutex across `apply`: the first delivery of a corr claims it, applies
+/// with **no lock held**, then records the reply; a simultaneous second
+/// delivery (one direct, one via a slow proxy) parks on the condvar and
+/// replays the recorded reply. Different corr-ids therefore apply
+/// concurrently — essential once session spawns (which block on fair
+/// scheduling) share the node with everything else.
 fn reply_for(shared: &Shared, frame: &Frame) -> Reply {
-    let mut ledger = shared.ledger.lock().expect("ledger lock");
-    if let Some(prior) = ledger.get(frame.corr) {
-        return prior;
+    {
+        let mut ledger = shared.ledger.lock().expect("ledger lock");
+        loop {
+            if let Some(prior) = ledger.get(frame.corr) {
+                return prior;
+            }
+            if ledger.inflight.insert(frame.corr) {
+                break;
+            }
+            ledger = shared.ledger_cv.wait(ledger).expect("ledger lock");
+        }
     }
     let reply = apply(shared, frame);
+    let mut ledger = shared.ledger.lock().expect("ledger lock");
+    ledger.inflight.remove(&frame.corr);
     ledger.put(frame.corr, reply.clone());
+    shared.ledger_cv.notify_all();
     reply
 }
 
@@ -282,5 +319,24 @@ fn apply(shared: &Shared, frame: &Frame) -> Reply {
                 .map(|&h| shared.store.content_probe(h))
                 .collect(),
         },
+        req @ (Request::SessionOpen { .. }
+        | Request::SessionSpawn { .. }
+        | Request::SessionCommit { .. }
+        | Request::SessionFork { .. }
+        | Request::SessionClose { .. }) => {
+            let handler = shared
+                .sessions
+                .lock()
+                .expect("session lock")
+                .as_ref()
+                .cloned();
+            match handler {
+                None => Reply::Nack {
+                    code: nack::BAD_REQUEST,
+                    detail: format!("node {}: no session handler", shared.node),
+                },
+                Some(h) => h(&req),
+            }
+        }
     }
 }

@@ -122,6 +122,10 @@ pub enum EventKind {
     },
     /// A request to `node` missed its deadline after `waited_ns`.
     NetTimeout { node: u64, waited_ns: u64 },
+    /// `node` refused a request with nack code `code` (a *successful*
+    /// transport outcome, so neither retry nor timeout records it) —
+    /// admission rejections and limit refusals surface here.
+    NetNack { node: u64, code: u64 },
     /// Profiler flush: `samples` sampler hits attributed to this world
     /// at call-site `site`, alternative `alt`, and marker phase `phase`
     /// (see `worlds-prof`) since the previous flush. Each hit stands
@@ -207,6 +211,7 @@ impl EventKind {
             EventKind::NetRecv { .. } => "net_recv",
             EventKind::NetRetry { .. } => "net_retry",
             EventKind::NetTimeout { .. } => "net_timeout",
+            EventKind::NetNack { .. } => "net_nack",
             EventKind::CpuSamples { .. } => "cpu",
             EventKind::WorkerUtil { .. } => "wutil",
             EventKind::Stall { .. } => "stall",
@@ -362,6 +367,10 @@ impl Event {
             EventKind::NetTimeout { node, waited_ns } => {
                 push_field(&mut s, "node", *node);
                 push_field(&mut s, "waited", *waited_ns);
+            }
+            EventKind::NetNack { node, code } => {
+                push_field(&mut s, "node", *node);
+                push_field(&mut s, "code", *code);
             }
             EventKind::CpuSamples {
                 samples,
@@ -520,6 +529,10 @@ impl Event {
             "net_timeout" => EventKind::NetTimeout {
                 node: fields.u64_field("node")?,
                 waited_ns: fields.u64_field("waited")?,
+            },
+            "net_nack" => EventKind::NetNack {
+                node: fields.u64_field("node")?,
+                code: fields.u64_field("code")?,
             },
             "cpu" => EventKind::CpuSamples {
                 samples: fields.u64_field("samples")?,

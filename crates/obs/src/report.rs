@@ -120,6 +120,11 @@ counter_struct! {
         pub retries,
         /// Request deadlines missed.
         pub timeouts,
+        /// Requests the remote refused (admission rejections, limit
+        /// refusals, bad requests). Rendered only when nonzero so
+        /// replays of captures from before the nack event stay
+        /// byte-identical.
+        pub nacks,
     }
 }
 
@@ -290,6 +295,9 @@ impl RunStats {
             }
             EventKind::NetRetry { .. } => self.net.retries.incr(),
             EventKind::NetTimeout { .. } => self.net.timeouts.incr(),
+            // The per-reason breakdown lives in the `--net` table (it is
+            // per node+code); the summary carries only the total.
+            EventKind::NetNack { .. } => self.net.nacks.incr(),
             EventKind::CpuSamples {
                 samples, period_ns, ..
             } => {
@@ -351,7 +359,12 @@ impl RunStats {
 
         // Only runs that actually touched the wire print a [net] section,
         // so replays of captures from before worlds-net stay identical.
-        let net = self.net.snapshot();
+        let mut net = self.net.snapshot();
+        // `nacks` postdates the other wire counters; dropping the zero
+        // line keeps replays of older captures byte-identical.
+        if self.net.nacks.get() == 0 {
+            net.retain(|&(name, _)| name != "nacks");
+        }
         if net.iter().any(|&(_, v)| v > 0) {
             section(&mut out, "net", &net);
             hist_line(&mut out, "net_rtt", &self.net_rtt);
@@ -481,6 +494,7 @@ mod tests {
             node: 1,
             waited_ns: 99,
         }));
+        s.absorb(&ev(EventKind::NetNack { node: 1, code: 5 }));
 
         assert_eq!(s.kernel.worlds_spawned.get(), 1);
         assert_eq!(s.kernel.guard_pass.get(), 1);
@@ -504,6 +518,7 @@ mod tests {
         assert_eq!(s.dedupe.hash_skips.get(), 1);
         assert_eq!(s.dedupe.cache_evictions.get(), 1);
         assert_eq!(s.dedupe.cache_evict_bytes.get(), 8192);
+        assert_eq!(s.net.nacks.get(), 1);
         assert_eq!(s.pagestore.checkpoints.get(), 1);
         assert_eq!(s.ipc.snapshot().iter().map(|(_, v)| v).sum::<u64>(), 5);
         assert_eq!(s.ipc.split_spawns.get(), 1);

@@ -529,7 +529,8 @@ impl SpanTree {
             | EventKind::NetSend { .. }
             | EventKind::NetRecv { .. }
             | EventKind::NetRetry { .. }
-            | EventKind::NetTimeout { .. } => {
+            | EventKind::NetTimeout { .. }
+            | EventKind::NetNack { .. } => {
                 let span = self.ensure(w, vt);
                 span.marks.push(Mark {
                     vt_ns: vt,

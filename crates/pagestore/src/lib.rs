@@ -69,5 +69,5 @@ pub use file::{FileHandle, FileSystem};
 pub use frame::FrameId;
 pub use map::PageMap;
 pub use page::{PageData, Vpn, PAGE_SIZE_2K, PAGE_SIZE_4K, PAGE_SIZE_DEFAULT};
-pub use stats::{StoreStats, WorldStats};
+pub use stats::{ResidentFrames, StoreStats, WorldStats};
 pub use store::{PageStore, WorldId, NUM_SHARDS};

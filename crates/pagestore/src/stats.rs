@@ -145,6 +145,27 @@ impl WorldStats {
     }
 }
 
+/// A world's residency split by ownership, for per-tenant accounting
+/// ([`crate::PageStore::resident_frames_of`]): `private` frames are
+/// referenced by this world's map alone (refcount 1 — dropping the world
+/// returns exactly this much memory), `shared` frames are also mapped by
+/// at least one other world (or pinned by the content index) and cost
+/// the tenant nothing marginal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidentFrames {
+    /// Frames this world is the sole owner of.
+    pub private: u64,
+    /// Frames shared with other worlds.
+    pub shared: u64,
+}
+
+impl ResidentFrames {
+    /// All frames mapped by the world.
+    pub fn total(&self) -> u64 {
+        self.private + self.shared
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -113,7 +113,7 @@ use crate::error::{PageStoreError, Result};
 use crate::frame::FrameTable;
 use crate::map::PageMap;
 use crate::page::{PageData, Vpn};
-use crate::stats::{StatsInner, StoreStats, WorldStats};
+use crate::stats::{ResidentFrames, StatsInner, StoreStats, WorldStats};
 
 /// Number of world-table shards. A power of two so `id & (NUM_SHARDS - 1)`
 /// is the shard index; monotonically assigned ids then spread round-robin.
@@ -1195,6 +1195,31 @@ impl PageStore {
             .ok_or(PageStoreError::NoSuchWorld(world.0))
     }
 
+    /// Per-world residency split for tenant accounting: walk `world`'s
+    /// map and classify each frame by refcount — 1 means this world is
+    /// the sole owner (the marginal memory the tenant pays for; dropping
+    /// the world returns exactly this many frames), more means the frame
+    /// is shared and costs nothing extra. Taken under the world's shard
+    /// read lock; forks and drops elsewhere can move a frame between
+    /// classes concurrently, so this is a point-in-time account, not an
+    /// invariant.
+    pub fn resident_frames_of(&self, world: WorldId) -> Result<ResidentFrames> {
+        let shard = self.shard(world.0).read();
+        let w = shard
+            .worlds
+            .get(&world.0)
+            .ok_or(PageStoreError::NoSuchWorld(world.0))?;
+        let mut out = ResidentFrames::default();
+        for (_, frame) in w.map.iter() {
+            if self.frames.refs(frame) == 1 {
+                out.private += 1;
+            } else {
+                out.shared += 1;
+            }
+        }
+        Ok(out)
+    }
+
     /// Number of pages mapped in `world`.
     pub fn mapped_pages(&self, world: WorldId) -> Result<usize> {
         let shard = self.shard(world.0).read();
@@ -1816,6 +1841,27 @@ mod tests {
         s.drop_world(kids[1]).unwrap();
         s.drop_world(kids[2]).unwrap();
         s.verify_refcounts().unwrap();
+    }
+
+    #[test]
+    fn resident_frames_split_private_from_shared() {
+        let s = store();
+        let parent = s.create_world();
+        s.write(parent, 0, 0, &[1]).unwrap();
+        s.write(parent, 1, 0, &[2]).unwrap();
+        let r = s.resident_frames_of(parent).unwrap();
+        assert_eq!((r.private, r.shared), (2, 0));
+        let child = s.fork_world(parent).unwrap();
+        let r = s.resident_frames_of(child).unwrap();
+        assert_eq!((r.private, r.shared), (0, 2), "inherited pages are shared");
+        s.write(child, 0, 0, &[9]).unwrap();
+        let r = s.resident_frames_of(child).unwrap();
+        assert_eq!((r.private, r.shared), (1, 1), "COW page is now private");
+        assert_eq!(r.total(), 2);
+        s.drop_world(child).unwrap();
+        let r = s.resident_frames_of(parent).unwrap();
+        assert_eq!((r.private, r.shared), (2, 0), "sole owner again");
+        assert!(s.resident_frames_of(WorldId::from_raw(9999)).is_err());
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! The tenant side: a typed handle over one session's wire calls.
+//!
+//! [`SessionClient`] wraps a [`Conn`] and a session id. It is a thin
+//! convenience — benches that multiplex thousands of logical sessions
+//! over a few connections drive [`Request`]s on a shared `Conn`
+//! directly; tests and examples use this.
+
+use crate::limits::ResourceLimits;
+use std::net::SocketAddr;
+use worlds_net::{Conn, NetError, Request, RetryPolicy};
+use worlds_obs::Registry;
+
+/// One tenant session over its own connection.
+pub struct SessionClient {
+    conn: Conn,
+    session: u64,
+}
+
+impl SessionClient {
+    /// Connect to the front door at `addr` and open a named session
+    /// under `limits`.
+    pub fn open(
+        addr: SocketAddr,
+        name: &str,
+        limits: ResourceLimits,
+        policy: RetryPolicy,
+        obs: Registry,
+    ) -> Result<SessionClient, NetError> {
+        let mut conn = Conn::new(0, addr, policy, obs);
+        let session = conn.call_ack(&Request::SessionOpen {
+            name: name.to_string(),
+            max_live_worlds: limits.max_live_worlds,
+            max_resident_frames: limits.max_resident_frames,
+            vt_budget_ns: limits.vt_budget_ns,
+        })?;
+        Ok(SessionClient { conn, session })
+    }
+
+    /// The server-assigned session id.
+    pub fn id(&self) -> u64 {
+        self.session
+    }
+
+    /// Spawn one speculative world: declared cost `spin_ns`, page
+    /// `writes` applied to the fork. Returns the world id to commit.
+    pub fn spawn(&mut self, spin_ns: u64, writes: Vec<(u64, Vec<u8>)>) -> Result<u64, NetError> {
+        self.conn.call_ack(&Request::SessionSpawn {
+            session: self.session,
+            spin_ns,
+            writes,
+        })
+    }
+
+    /// Commit `world` into the session root; every sibling dies.
+    pub fn commit(&mut self, world: u64) -> Result<(), NetError> {
+        self.conn
+            .call_ack(&Request::SessionCommit {
+                session: self.session,
+                world,
+            })
+            .map(|_| ())
+    }
+
+    /// Open a child session (lineage fork) and return its id. The
+    /// child is driven through its own client or raw requests.
+    pub fn fork(&mut self, name: &str) -> Result<u64, NetError> {
+        self.conn.call_ack(&Request::SessionFork {
+            session: self.session,
+            name: name.to_string(),
+        })
+    }
+
+    /// Close the session, releasing everything it owns. With `adopt`,
+    /// fold its committed state into the parent session first.
+    pub fn close(mut self, adopt: bool) -> Result<(), NetError> {
+        self.conn
+            .call_ack(&Request::SessionClose {
+                session: self.session,
+                adopt,
+            })
+            .map(|_| ())
+    }
+}

@@ -1,0 +1,116 @@
+//! The TCP front door: a [`NetNode`] with a [`SessionManager`] behind
+//! the five `Session*` RPCs and a telemetry handler answering
+//! `worlds-top --sessions`.
+//!
+//! The wire layer stays ignorant of session semantics: worlds-net
+//! frames, CRCs, retries and the corr-id reply ledger are exactly the
+//! ones page traffic rides; the manager only sees decoded
+//! [`Request`]s through the pluggable handler hook. In particular a
+//! retried `SessionOpen` (client timed out, server was just slow)
+//! replays the recorded Ack with the *same* session id instead of
+//! admitting a second tenant — at-most-once comes from the ledger,
+//! for free.
+
+use crate::limits::ResourceLimits;
+use crate::manager::{ServerPolicy, SessionManager};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use worlds_net::{NetNode, Reply, Request};
+use worlds_obs::Registry;
+use worlds_pagestore::PageStore;
+use worlds_telemetry::{encode_session_table, MSG_SESSIONS};
+
+/// A serving front door: one TCP listener, one session manager, one
+/// shared store.
+pub struct FrontDoor {
+    node: NetNode,
+    manager: SessionManager,
+}
+
+impl FrontDoor {
+    /// Bind a front door for `store` on a kernel-assigned loopback
+    /// port, serving as cluster node `node_id`.
+    pub fn serve(
+        node_id: u64,
+        store: PageStore,
+        obs: Registry,
+        policy: ServerPolicy,
+    ) -> std::io::Result<FrontDoor> {
+        let node = NetNode::serve(node_id, store.clone(), obs.clone())?;
+        let manager = SessionManager::with_defaults(store, obs, policy);
+        install(&node, &manager);
+        Ok(FrontDoor { node, manager })
+    }
+
+    /// Where tenants connect.
+    pub fn addr(&self) -> SocketAddr {
+        self.node.addr()
+    }
+
+    /// The session layer, for in-process inspection and embedding.
+    pub fn manager(&self) -> &SessionManager {
+        &self.manager
+    }
+
+    /// The underlying node (e.g. to compose more handlers).
+    pub fn node(&self) -> &NetNode {
+        &self.node
+    }
+
+    /// Stop serving (dropping the door also stops it).
+    pub fn shutdown(&self) {
+        self.node.shutdown();
+    }
+}
+
+/// Put `manager` behind `node`'s session RPCs and session-table
+/// telemetry queries. Exposed separately so an existing node (one
+/// already serving pages) can become a front door too.
+pub fn install(node: &NetNode, manager: &SessionManager) {
+    let mgr = manager.clone();
+    node.set_session_handler(Arc::new(move |req| {
+        let out = match req {
+            Request::SessionOpen {
+                name,
+                max_live_worlds,
+                max_resident_frames,
+                vt_budget_ns,
+            } => mgr.open(
+                name,
+                ResourceLimits {
+                    max_live_worlds: *max_live_worlds,
+                    max_resident_frames: *max_resident_frames,
+                    vt_budget_ns: *vt_budget_ns,
+                },
+            ),
+            Request::SessionSpawn {
+                session,
+                spin_ns,
+                writes,
+            } => mgr.spawn(*session, *spin_ns, writes),
+            Request::SessionCommit { session, world } => {
+                mgr.commit(*session, *world).map(|()| *world)
+            }
+            Request::SessionFork { session, name } => mgr.fork(*session, name),
+            Request::SessionClose { session, adopt } => {
+                mgr.close(*session, *adopt).map(|()| *session)
+            }
+            other => Err(crate::SessionError::BadRequest(format!(
+                "kind {} is not a session request",
+                other.kind()
+            ))),
+        };
+        match out {
+            Ok(subject) => Reply::Ack { world: subject },
+            Err(e) => Reply::Nack {
+                code: e.nack_code(),
+                detail: e.to_string(),
+            },
+        }
+    }));
+    let mgr = manager.clone();
+    node.set_telemetry_handler(Arc::new(move |bytes| match bytes.first() {
+        Some(&MSG_SESSIONS) if bytes.len() == 1 => Ok(Some(encode_session_table(&mgr.reports()))),
+        _ => Err("front door answers session-table queries only".into()),
+    }));
+}

@@ -1,0 +1,73 @@
+//! Per-session resource limits and live usage accounting.
+//!
+//! The paper's economics (§3.4) hold per *program*: speculation is
+//! affordable because the state preserved per world is proportional to
+//! the pages it writes. A shared front door changes the failure mode —
+//! one tenant's fan-out can evict everyone else's working set — so
+//! every session carries a [`ResourceLimits`] contract and the manager
+//! keeps a live [`ResourceUsage`] ledger against it. Admission checks
+//! happen *before* a world is forked: a refused spawn costs the store
+//! nothing.
+
+/// What one session may consume. Each axis uses `0` to mean
+/// "unlimited", matching the `SessionOpen` wire encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceLimits {
+    /// Speculative worlds alive at once (the session's root world is
+    /// not counted — it exists whether or not the tenant speculates).
+    pub max_live_worlds: u64,
+    /// Frames resident across the session's root and speculative
+    /// worlds. Shared COW frames are charged once, to the session.
+    pub max_resident_frames: u64,
+    /// Total declared virtual time, ns. Spawns *declare* their cost
+    /// (`spin_ns`); the budget is burned at admission, so a tenant
+    /// cannot overshoot by queueing.
+    pub vt_budget_ns: u64,
+}
+
+impl ResourceLimits {
+    /// No cap on any axis.
+    pub fn unlimited() -> ResourceLimits {
+        ResourceLimits::default()
+    }
+
+    /// Whether a `0 = unlimited` axis admits `want` units.
+    pub fn axis_allows(limit: u64, want: u64) -> bool {
+        limit == 0 || want <= limit
+    }
+}
+
+/// A session's consumption, snapshotted by
+/// [`SessionManager::usage`](crate::SessionManager::usage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceUsage {
+    /// Speculative worlds currently alive.
+    pub live_worlds: u64,
+    /// Frames resident across root + speculative worlds right now.
+    pub resident_frames: u64,
+    /// Declared virtual time burned so far, ns.
+    pub vt_spent_ns: u64,
+    /// Lifetime spawns admitted.
+    pub spawns: u64,
+    /// Lifetime commits.
+    pub commits: u64,
+    /// Lifetime refusals (limit or overload), this session only.
+    pub rejected: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_means_unlimited_per_axis() {
+        assert!(ResourceLimits::axis_allows(0, u64::MAX));
+        assert!(ResourceLimits::axis_allows(8, 8));
+        assert!(!ResourceLimits::axis_allows(8, 9));
+        let l = ResourceLimits::unlimited();
+        assert_eq!(
+            (l.max_live_worlds, l.max_resident_frames, l.vt_budget_ns),
+            (0, 0, 0)
+        );
+    }
+}

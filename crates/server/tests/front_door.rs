@@ -1,0 +1,235 @@
+//! The front door over real TCP: wire round trips, nack reasons in
+//! client errors, retried/faulted delivery staying at-most-once, and
+//! teardown after a tenant's connection dies mid-speculation.
+
+use worlds_net::{
+    nack, Conn, FaultKind, FaultProxy, FaultSchedule, NetError, Request, RetryPolicy,
+};
+use worlds_obs::Registry;
+use worlds_pagestore::PageStore;
+use worlds_server::{FrontDoor, ResourceLimits, ServerPolicy, SessionClient};
+use worlds_telemetry::query_sessions;
+
+fn door() -> FrontDoor {
+    FrontDoor::serve(
+        1,
+        PageStore::new(4096),
+        Registry::disabled(),
+        ServerPolicy::default(),
+    )
+    .expect("bind front door")
+}
+
+#[test]
+fn session_lifecycle_over_tcp() {
+    let door = door();
+    let mut tenant = SessionClient::open(
+        door.addr(),
+        "tenant-a",
+        ResourceLimits {
+            max_live_worlds: 8,
+            ..ResourceLimits::unlimited()
+        },
+        RetryPolicy::default(),
+        Registry::disabled(),
+    )
+    .unwrap();
+
+    let w0 = tenant
+        .spawn(1_000, vec![(0, b"alt zero".to_vec())])
+        .unwrap();
+    let w1 = tenant
+        .spawn(1_000, vec![(0, b"alt one ".to_vec())])
+        .unwrap();
+    assert_ne!(w0, w1);
+    tenant.commit(w1).unwrap();
+
+    // Per-session telemetry rows are served off the same socket.
+    let rows = query_sessions(door.addr()).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].name, "tenant-a");
+    assert_eq!(rows[0].spawns, 2);
+    assert_eq!(rows[0].commits, 1);
+
+    // Lineage over the wire: fork, commit in the child, adopt.
+    let child_id = tenant.fork("tenant-a/scout").unwrap();
+    let mut conn = Conn::new(0, door.addr(), RetryPolicy::default(), Registry::disabled());
+    let w = conn
+        .call_ack(&Request::SessionSpawn {
+            session: child_id,
+            spin_ns: 0,
+            writes: vec![(7, b"scouted".to_vec())],
+        })
+        .unwrap();
+    conn.call_ack(&Request::SessionCommit {
+        session: child_id,
+        world: w,
+    })
+    .unwrap();
+    conn.call_ack(&Request::SessionClose {
+        session: child_id,
+        adopt: true,
+    })
+    .unwrap();
+
+    let mgr = door.manager();
+    let sess = tenant.id();
+    let root = mgr.root_of(sess).unwrap();
+    assert_eq!(
+        mgr.store().read_vec(root, 7, 0, 7).unwrap(),
+        b"scouted",
+        "child lineage adopted into parent over the wire"
+    );
+    tenant.close(false).unwrap();
+    assert_eq!(mgr.session_count(), 0);
+    mgr.quiesce();
+    mgr.store().verify_refcounts().unwrap();
+}
+
+#[test]
+fn nack_reasons_surface_in_client_errors() {
+    let door = door();
+    let mut conn = Conn::new(0, door.addr(), RetryPolicy::default(), Registry::disabled());
+
+    // Bad name → bad_request.
+    let err = conn
+        .call_ack(&Request::SessionOpen {
+            name: String::new(),
+            max_live_worlds: 0,
+            max_resident_frames: 0,
+            vt_budget_ns: 0,
+        })
+        .unwrap_err();
+    assert_eq!(err.nack_code(), Some(nack::BAD_REQUEST));
+    assert!(err.to_string().contains("bad_request"), "{err}");
+
+    // Unknown session → unknown_session.
+    let err = conn
+        .call_ack(&Request::SessionSpawn {
+            session: 999,
+            spin_ns: 0,
+            writes: vec![],
+        })
+        .unwrap_err();
+    assert_eq!(err.nack_code(), Some(nack::UNKNOWN_SESSION));
+    assert!(err.to_string().contains("unknown_session"), "{err}");
+
+    // Busting a limit → limit_exceeded.
+    let session = conn
+        .call_ack(&Request::SessionOpen {
+            name: "capped".into(),
+            max_live_worlds: 1,
+            max_resident_frames: 0,
+            vt_budget_ns: 0,
+        })
+        .unwrap();
+    conn.call_ack(&Request::SessionSpawn {
+        session,
+        spin_ns: 0,
+        writes: vec![],
+    })
+    .unwrap();
+    let err = conn
+        .call_ack(&Request::SessionSpawn {
+            session,
+            spin_ns: 0,
+            writes: vec![],
+        })
+        .unwrap_err();
+    assert_eq!(err.nack_code(), Some(nack::LIMIT_EXCEEDED));
+    assert!(err.to_string().contains("limit_exceeded"), "{err}");
+
+    // A node with no session handler refuses session traffic.
+    let plain = worlds_net::NetNode::serve(9, PageStore::new(4096), Registry::disabled()).unwrap();
+    let mut conn = Conn::new(0, plain.addr(), RetryPolicy::fast(), Registry::disabled());
+    let err = conn
+        .call_ack(&Request::SessionOpen {
+            name: "nobody-home".into(),
+            max_live_worlds: 0,
+            max_resident_frames: 0,
+            vt_budget_ns: 0,
+        })
+        .unwrap_err();
+    assert_eq!(err.nack_code(), Some(nack::BAD_REQUEST));
+}
+
+#[test]
+fn faulted_retries_stay_at_most_once() {
+    // Every second op loses its *reply*: the client times out and
+    // retries, the server's corr-id ledger replays the recorded Ack.
+    // If spawns were re-applied, live_worlds would overshoot.
+    let door = door();
+    let proxy = FaultProxy::spawn(
+        door.addr(),
+        FaultSchedule::every_with(2, FaultKind::DropReply),
+        Registry::disabled(),
+    )
+    .unwrap();
+    let mut tenant = SessionClient::open(
+        proxy.addr(),
+        "flaky",
+        ResourceLimits::unlimited(),
+        RetryPolicy::fast(),
+        Registry::disabled(),
+    )
+    .unwrap();
+    for i in 0..4u64 {
+        tenant.spawn(0, vec![(i, vec![i as u8; 16])]).unwrap();
+    }
+    assert!(proxy.faults_injected() > 0, "schedule actually fired");
+    let rows = query_sessions(door.addr()).unwrap();
+    assert_eq!(rows[0].live_worlds, 4, "retries never double-applied");
+    assert_eq!(rows[0].spawns, 4);
+    proxy.shutdown();
+}
+
+#[test]
+fn connection_reset_mid_speculation_then_close_releases_everything() {
+    let door = door();
+    let mgr = door.manager().clone();
+    let store = mgr.store().clone();
+    let world_baseline = store.world_count();
+    let frame_baseline = store.live_frames();
+
+    // The tenant speaks through a proxy that starts resetting its
+    // connection partway through the spawn storm.
+    let proxy = FaultProxy::spawn(
+        door.addr(),
+        FaultSchedule::every_with(5, FaultKind::Reset),
+        Registry::disabled(),
+    )
+    .unwrap();
+    let mut tenant = SessionClient::open(
+        proxy.addr(),
+        "unlucky",
+        ResourceLimits::unlimited(),
+        RetryPolicy::fast(),
+        Registry::disabled(),
+    )
+    .unwrap();
+    let session = tenant.id();
+    let mut outcomes: Vec<Result<u64, NetError>> = Vec::new();
+    for i in 0..8u64 {
+        outcomes.push(tenant.spawn(1_000, vec![(i, vec![i as u8; 32])]));
+    }
+    // Resets may or may not have eaten calls (retries absorb most);
+    // either way worlds are now live server-side and the tenant's
+    // connection story is a mess. No commit ever lands.
+    assert!(outcomes.iter().any(|r| r.is_ok()), "some spawns landed");
+    assert!(mgr.usage(session).unwrap().live_worlds > 0);
+    proxy.shutdown();
+
+    // The tenant is gone; the operator (or an idle sweeper) closes the
+    // session from a clean connection. Everything must come back.
+    let mut conn = Conn::new(0, door.addr(), RetryPolicy::default(), Registry::disabled());
+    conn.call_ack(&Request::SessionClose {
+        session,
+        adopt: false,
+    })
+    .unwrap();
+
+    assert_eq!(mgr.session_count(), 0);
+    assert_eq!(store.world_count(), world_baseline, "no world residue");
+    assert_eq!(store.live_frames(), frame_baseline, "no frame residue");
+    store.verify_refcounts().unwrap();
+}

@@ -7,6 +7,7 @@
 //! worlds-report --critical-path run.jsonl  # + winner-lineage table
 //! worlds-report --waste run.jsonl          # + waste-attribution table
 //! worlds-report --net run.jsonl            # + per-node wire-traffic table
+//! worlds-report --dedupe run.jsonl         # + per-world dedupe residency
 //! worlds-report --cpu run.jsonl            # + per-world CPU attribution
 //! worlds-report --trace-out t.json run.jsonl  # + Chrome trace for Perfetto
 //! worlds-report --live 127.0.0.1:4200      # refreshing cluster tables
@@ -34,13 +35,14 @@ fn main() {
     std::process::exit(run(std::env::args().skip(1).collect()));
 }
 
-const USAGE: &str = "usage: worlds-report [--critical-path] [--waste] [--net] [--cpu] [--trace-out FILE] [<events.jsonl> | -]\n       worlds-report --live ADDR [--once] [--interval MS]";
+const USAGE: &str = "usage: worlds-report [--critical-path] [--waste] [--net] [--dedupe] [--cpu] [--trace-out FILE] [<events.jsonl> | -]\n       worlds-report --live ADDR [--once] [--interval MS]";
 
 struct Options {
     path: String,
     critical_path: bool,
     waste: bool,
     net: bool,
+    dedupe: bool,
     cpu: bool,
     trace_out: Option<String>,
     live: Option<String>,
@@ -54,6 +56,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         critical_path: false,
         waste: false,
         net: false,
+        dedupe: false,
         cpu: false,
         trace_out: None,
         live: None,
@@ -67,6 +70,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             "--critical-path" => opts.critical_path = true,
             "--waste" => opts.waste = true,
             "--net" => opts.net = true,
+            "--dedupe" => opts.dedupe = true,
             "--cpu" => opts.cpu = true,
             "--trace-out" => {
                 opts.trace_out = Some(
@@ -132,7 +136,7 @@ fn run(args: Vec<String>) -> i32 {
     // The span analyses (and the per-node net table) need the events
     // themselves, not just the folded counters; collect as we stream.
     let need_spans = opts.critical_path || opts.waste || opts.cpu || opts.trace_out.is_some();
-    let need_events = need_spans || opts.net;
+    let need_events = need_spans || opts.net || opts.dedupe;
     let stats = RunStats::new();
     let mut events: Vec<Event> = Vec::new();
     let mut total = 0u64;
@@ -140,6 +144,7 @@ fn run(args: Vec<String>) -> i32 {
     let mut min_cores: Option<u64> = None;
     let mut saw_net = false;
     let mut saw_spawn = false;
+    let mut saw_dedupe = false;
     for line in BufReader::new(reader).lines() {
         let line = match line {
             Ok(l) => l,
@@ -164,8 +169,10 @@ fn run(args: Vec<String>) -> i32 {
                     EventKind::NetSend { .. }
                     | EventKind::NetRecv { .. }
                     | EventKind::NetRetry { .. }
-                    | EventKind::NetTimeout { .. } => saw_net = true,
+                    | EventKind::NetTimeout { .. }
+                    | EventKind::NetNack { .. } => saw_net = true,
                     EventKind::Spawn { .. } => saw_spawn = true,
+                    EventKind::FrameDedup { .. } => saw_dedupe = true,
                     _ => {}
                 }
                 if need_events {
@@ -204,6 +211,16 @@ fn run(args: Vec<String>) -> i32 {
     }
 
     let mut missing = 0;
+    if opts.dedupe {
+        println!("{}", render_dedupe_by_world(&events));
+        if !saw_dedupe {
+            eprintln!(
+                "worlds-report: --dedupe requested but the capture has no frame_dedup events \
+                 (record with PageStore::set_dedupe(true))"
+            );
+            missing += 1;
+        }
+    }
     if opts.net {
         println!("{}", render_net_by_node(&events));
         if !saw_net {
@@ -342,6 +359,70 @@ fn render_cpu(tree: &SpanTree) -> String {
     out
 }
 
+/// The `--dedupe` table: resident bytes attributed per world, split
+/// into *unique* (COW copies the world actually materialised, plus
+/// zero-filled pages) and *duplicated-avoided* (bytes the
+/// content-addressed index re-shared instead of copying —
+/// `frame_dedup` events). The companion to the folded `[dedupe]`
+/// section of the summary: that says how much the index saved overall,
+/// this says **which worlds** were the duplicates.
+fn render_dedupe_by_world(events: &[Event]) -> String {
+    use std::collections::BTreeMap;
+
+    #[derive(Default)]
+    struct Row {
+        cow_bytes: u64,
+        zero_pages: u64,
+        dedup_bytes: u64,
+    }
+
+    let mut rows: BTreeMap<u64, Row> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::CowCopy { bytes, .. } => rows.entry(e.world).or_default().cow_bytes += bytes,
+            EventKind::ZeroFill { .. } => rows.entry(e.world).or_default().zero_pages += 1,
+            EventKind::FrameDedup { bytes, .. } => {
+                rows.entry(e.world).or_default().dedup_bytes += bytes
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::from("== dedupe residency (per world) ==\n");
+    if rows.is_empty() {
+        out.push_str("  no cow_copy/zero_fill/frame_dedup events in this capture\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "  {:<8} {:>14} {:>11} {:>14} {:>7}\n",
+        "world", "unique_bytes", "zero_pages", "deduped_bytes", "shared"
+    ));
+    let (mut unique_total, mut dedup_total) = (0u64, 0u64);
+    for (world, r) in &rows {
+        let touched = r.cow_bytes + r.dedup_bytes;
+        let share = if touched == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.0}%", 100.0 * r.dedup_bytes as f64 / touched as f64)
+        };
+        out.push_str(&format!(
+            "  {:<8} {:>14} {:>11} {:>14} {:>7}\n",
+            world, r.cow_bytes, r.zero_pages, r.dedup_bytes, share
+        ));
+        unique_total += r.cow_bytes;
+        dedup_total += r.dedup_bytes;
+    }
+    let touched = unique_total + dedup_total;
+    if touched > 0 {
+        out.push_str(&format!(
+            "  total: {unique_total} unique bytes materialised, {dedup_total} duplicated bytes \
+             avoided ({:.0}% of touched bytes shared)\n",
+            100.0 * dedup_total as f64 / touched as f64
+        ));
+    }
+    out
+}
+
 /// The `--net` table: wire traffic attributed per destination node, plus
 /// the aggregate round-trip histogram. Built from the raw `net_*` events
 /// (the folded [`RunStats`] counters cannot say *which* node retried).
@@ -356,6 +437,9 @@ fn render_net_by_node(events: &[Event]) -> String {
         bytes_in: u64,
         retries: u64,
         timeouts: u64,
+        /// Refusals by nack code; rendered as a per-reason line only
+        /// when nonzero, so nack-free captures stay byte-identical.
+        nacks: BTreeMap<u32, u64>,
     }
 
     let mut rows: BTreeMap<u64, Row> = BTreeMap::new();
@@ -388,6 +472,14 @@ fn render_net_by_node(events: &[Event]) -> String {
             EventKind::NetTimeout { node, .. } => {
                 rows.entry(node).or_default().timeouts += 1;
             }
+            EventKind::NetNack { node, code } => {
+                *rows
+                    .entry(node)
+                    .or_default()
+                    .nacks
+                    .entry(code as u32)
+                    .or_default() += 1;
+            }
             _ => {}
         }
     }
@@ -413,6 +505,18 @@ fn render_net_by_node(events: &[Event]) -> String {
             "  {:<6} {:>10} {:>12} {:>10} {:>12} {:>8} {:>9}\n",
             node, r.frames_out, r.bytes_out, r.frames_in, r.bytes_in, r.retries, r.timeouts
         ));
+    }
+    for (node, r) in &rows {
+        if r.nacks.is_empty() {
+            continue;
+        }
+        let reasons = r
+            .nacks
+            .iter()
+            .map(|(code, n)| format!("{}={n}", worlds_net::nack::reason(*code)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&format!("  node {node} nacks        {reasons}\n"));
     }
     let snap = rtt.snapshot();
     if snap.count > 0 {

@@ -5,19 +5,26 @@
 //! worlds-top 127.0.0.1:4200 --interval 250 # faster
 //! worlds-top 127.0.0.1:4200 --once         # one snapshot (CI, scripts)
 //! worlds-top 127.0.0.1:4200 --once --json  # machine-readable snapshot
+//! worlds-top 127.0.0.1:4200 --sessions     # per-session rows (front door)
 //! ```
 //!
 //! Point it at a [`Collector`](worlds_telemetry::Collector) for the
 //! whole cluster, or at any single node that called
 //! [`install_node_handler`](worlds_telemetry::install_node_handler)
-//! for a one-row table. Each refresh is one `Telemetry` query over the
-//! worlds-net framed wire; the tables are the same ones
-//! `worlds-report --live` prints.
+//! for a one-row table. With `--sessions`, point it at a worlds-server
+//! front door instead: each refresh shows one row per admitted session
+//! (tenant name, lineage parent, live worlds, resident frames, vt
+//! budget burn-down, rejections, fair-queue depth). Each refresh is
+//! one `Telemetry` query over the worlds-net framed wire; the cluster
+//! tables are the same ones `worlds-report --live` prints.
 
 use std::io::Write;
-use worlds_telemetry::{query_table, render_cluster, render_cluster_json};
+use worlds_telemetry::{
+    query_sessions, query_table, render_cluster, render_cluster_json, render_sessions,
+    render_sessions_json,
+};
 
-const USAGE: &str = "usage: worlds-top ADDR [--once] [--json] [--interval MS]";
+const USAGE: &str = "usage: worlds-top ADDR [--once] [--json] [--sessions] [--interval MS]";
 
 fn main() {
     std::process::exit(run(std::env::args().skip(1).collect()));
@@ -27,12 +34,14 @@ fn run(args: Vec<String>) -> i32 {
     let mut addr: Option<String> = None;
     let mut once = false;
     let mut json = false;
+    let mut sessions = false;
     let mut interval_ms = 1000u64;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--once" => once = true,
             "--json" => json = true,
+            "--sessions" => sessions = true,
             "--interval" => {
                 interval_ms = match it.next().map(|v| v.parse()) {
                     Some(Ok(ms)) => ms,
@@ -74,17 +83,30 @@ fn run(args: Vec<String>) -> i32 {
     };
     let mut failures = 0u32;
     loop {
-        match query_table(addr) {
-            Ok(table) => {
+        let rendered = if sessions {
+            query_sessions(addr).map(|table| {
+                if json {
+                    render_sessions_json(&table)
+                } else {
+                    render_sessions(&table)
+                }
+            })
+        } else {
+            query_table(addr).map(|table| {
+                if json {
+                    render_cluster_json(&table)
+                } else {
+                    render_cluster(&table)
+                }
+            })
+        };
+        match rendered {
+            Ok(text) => {
                 failures = 0;
                 if !once && !json {
                     print!("\x1b[2J\x1b[H");
                 }
-                if json {
-                    print!("{}", render_cluster_json(&table));
-                } else {
-                    print!("{}", render_cluster(&table));
-                }
+                print!("{text}");
                 let _ = std::io::stdout().flush();
             }
             Err(e) => {

@@ -22,7 +22,8 @@
 
 use crate::rollup::TelemetryHub;
 use crate::wire::{
-    decode_msg, decode_table, encode_push, encode_query, encode_table, NodeReport, TelemetryMsg,
+    decode_msg, decode_session_table, decode_table, encode_push, encode_query,
+    encode_sessions_query, encode_table, NodeReport, SessionReport, TelemetryMsg,
 };
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -57,6 +58,7 @@ pub fn install_node_handler(node: &NetNode, hub: Arc<TelemetryHub>) {
     node.set_telemetry_handler(Arc::new(move |bytes| match decode_msg(bytes)? {
         TelemetryMsg::Query => Ok(Some(encode_table(&[node_report(&hub, id)]))),
         TelemetryMsg::Push(_) => Err("this node is not a collector".into()),
+        TelemetryMsg::SessionsQuery => Err("this node is not a session front door".into()),
     }));
 }
 
@@ -92,6 +94,7 @@ impl Collector {
                     .collect();
                 Ok(Some(encode_table(&table)))
             }
+            TelemetryMsg::SessionsQuery => Err("this node is not a session front door".into()),
         }));
         Ok(Collector { node, table })
     }
@@ -194,6 +197,22 @@ pub fn query_table(addr: SocketAddr) -> Result<Vec<NodeReport>, String> {
     };
     match conn.call(&req).map_err(|e| e.to_string())? {
         Reply::Telemetry { payload } => decode_table(&payload),
+        Reply::Nack { detail, .. } => Err(format!("refused: {detail}")),
+        Reply::Ack { .. } | Reply::Present { .. } => {
+            Err("peer answered a query with the wrong reply kind".into())
+        }
+    }
+}
+
+/// Ask a worlds-server front door at `addr` for its per-session table.
+/// Plain nodes and collectors refuse the query with a Nack.
+pub fn query_sessions(addr: SocketAddr) -> Result<Vec<SessionReport>, String> {
+    let mut conn = Conn::new(0, addr, RetryPolicy::fast(), Registry::disabled());
+    let req = Request::Telemetry {
+        payload: encode_sessions_query(),
+    };
+    match conn.call(&req).map_err(|e| e.to_string())? {
+        Reply::Telemetry { payload } => decode_session_table(&payload),
         Reply::Nack { detail, .. } => Err(format!("refused: {detail}")),
         Reply::Ack { .. } | Reply::Present { .. } => {
             Err("peer answered a query with the wrong reply kind".into())

@@ -47,13 +47,19 @@ mod rollup;
 mod wire;
 
 pub use collect::{
-    install_node_handler, node_report, query_table, Collector, Exporter, COLLECTOR_NODE_ID,
+    install_node_handler, node_report, query_sessions, query_table, Collector, Exporter,
+    COLLECTOR_NODE_ID,
 };
 pub use flight::{flight_dir, flight_path, install_panic_dump, FlightRecorder, FLIGHT_DIR_ENV};
 pub use pi::{AltSnapshot, SiteSnapshot, SiteStats, MAX_ALTS, MAX_SITES};
-pub use render::{render_cluster, render_cluster_json, render_sites};
+pub use render::{
+    render_cluster, render_cluster_json, render_sessions, render_sessions_json, render_sites,
+};
 pub use rollup::{Gauges, Rates, TelemetryConfig, TelemetryHub};
-pub use wire::{AltReport, NodeReport, SiteReport, TelemetryMsg};
+pub use wire::{
+    decode_session_table, encode_session_table, encode_sessions_query, AltReport, NodeReport,
+    SessionReport, SiteReport, TelemetryMsg, MSG_SESSIONS,
+};
 
 #[cfg(unix)]
 pub use flight::install_sigusr1_dump;

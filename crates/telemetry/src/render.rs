@@ -1,7 +1,7 @@
 //! Terminal tables for the live telemetry plane, shared by
 //! `worlds-top` and `worlds-report --live`.
 
-use crate::wire::NodeReport;
+use crate::wire::{NodeReport, SessionReport};
 use worlds_obs::fmt_ns;
 
 /// The full cluster view: a per-node table followed by the merged
@@ -104,6 +104,106 @@ pub fn render_sites(reports: &[NodeReport]) -> String {
         ));
     }
     out
+}
+
+/// The per-session table a worlds-server front door answers
+/// `worlds-top --sessions` with: one row per admitted session, id
+/// order, lineage shown as `parent → child`. Plain text, one trailing
+/// newline.
+pub fn render_sessions(reports: &[SessionReport]) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str(&format!(
+        "== worlds sessions ({} session{}) ==\n",
+        reports.len(),
+        if reports.len() == 1 { "" } else { "s" }
+    ));
+    if reports.is_empty() {
+        return out;
+    }
+    out.push_str(&format!(
+        "{:>5}  {:<24}  {:>6}  {:>6}  {:>7}  {:>9}  {:>9}  {:>7}  {:>7}  {:>6}  {:>6}\n",
+        "sess",
+        "name",
+        "parent",
+        "live",
+        "frames",
+        "vt spent",
+        "vt quota",
+        "spawns",
+        "commits",
+        "rej",
+        "queued"
+    ));
+    let mut rows: Vec<&SessionReport> = reports.iter().collect();
+    rows.sort_by_key(|r| r.session);
+    for r in rows {
+        let mut name = r.name.clone();
+        if name.len() > 24 {
+            let mut cut = 23;
+            while !name.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            name.truncate(cut);
+            name.push('\u{2026}');
+        }
+        let parent = if r.parent == 0 {
+            "-".to_string()
+        } else {
+            r.parent.to_string()
+        };
+        let quota = if r.vt_budget_ns == 0 {
+            format!("{:>9}", "\u{221e}")
+        } else {
+            format!("{:>9}", fmt_ns(r.vt_budget_ns))
+        };
+        out.push_str(&format!(
+            "{:>5}  {name:<24}  {parent:>6}  {:>6}  {:>7}  {:>9}  {quota}  {:>7}  {:>7}  {:>6}  {:>6}\n",
+            r.session,
+            r.live_worlds,
+            r.resident_frames,
+            fmt_ns(r.vt_spent_ns),
+            r.spawns,
+            r.commits,
+            r.rejected,
+            r.queued,
+        ));
+    }
+    out
+}
+
+/// The machine-readable session snapshot (`worlds-top --sessions
+/// --json`): one JSON object, stable key order, one trailing newline.
+pub fn render_sessions_json(reports: &[SessionReport]) -> String {
+    let mut rows: Vec<&SessionReport> = reports.iter().collect();
+    rows.sort_by_key(|r| r.session);
+    let mut s = String::with_capacity(512);
+    s.push_str("{\"sessions\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            concat!(
+                "{{\"session\":{},\"name\":{:?},\"parent\":{},",
+                "\"live_worlds\":{},\"resident_frames\":{},",
+                "\"vt_spent_ns\":{},\"vt_budget_ns\":{},",
+                "\"spawns\":{},\"commits\":{},\"rejected\":{},\"queued\":{}}}"
+            ),
+            r.session,
+            r.name,
+            r.parent,
+            r.live_worlds,
+            r.resident_frames,
+            r.vt_spent_ns,
+            r.vt_budget_ns,
+            r.spawns,
+            r.commits,
+            r.rejected,
+            r.queued,
+        ));
+    }
+    s.push_str("]}\n");
+    s
 }
 
 /// The machine-readable cluster snapshot (`worlds-top --json`): one
@@ -260,6 +360,55 @@ mod tests {
         let text = render_cluster(std::slice::from_ref(&r));
         assert!(!text.contains("(100%)"), "{text}");
         assert!(!text.contains("0.0  rootfinder"), "{text}");
+    }
+
+    #[test]
+    fn renders_session_table_in_id_order() {
+        let reports = vec![
+            SessionReport {
+                session: 2,
+                name: "tenant-b".into(),
+                parent: 1,
+                live_worlds: 4,
+                resident_frames: 12,
+                vt_spent_ns: 1_500_000,
+                vt_budget_ns: 0,
+                spawns: 8,
+                commits: 1,
+                rejected: 3,
+                queued: 2,
+            },
+            SessionReport {
+                session: 1,
+                name: "tenant-a".into(),
+                vt_budget_ns: 2_000_000_000,
+                ..SessionReport::default()
+            },
+        ];
+        let text = render_sessions(&reports);
+        assert!(text.contains("2 sessions"), "{text}");
+        let a = text.find("tenant-a").unwrap();
+        let b = text.find("tenant-b").unwrap();
+        assert!(a < b, "rows sorted by session id: {text}");
+        assert!(
+            text.contains('\u{221e}'),
+            "0 budget renders unlimited: {text}"
+        );
+        assert!(text.contains("2.00s"), "budget rendered via fmt_ns: {text}");
+        assert!(render_sessions(&[]).contains("0 sessions"));
+
+        let json = render_sessions_json(&reports);
+        worlds_obs::validate_json(&json).expect("session snapshot is valid JSON");
+        for key in [
+            "\"session\":1",
+            "\"name\":\"tenant-b\"",
+            "\"parent\":1",
+            "\"rejected\":3",
+            "\"queued\":2",
+        ] {
+            assert!(json.contains(key), "missing {key}: {json}");
+        }
+        worlds_obs::validate_json(&render_sessions_json(&[])).unwrap();
     }
 
     #[test]

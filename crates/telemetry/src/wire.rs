@@ -1,13 +1,21 @@
 //! Payload schema for `Request::Telemetry` frames.
 //!
 //! worlds-net treats telemetry payloads as opaque bytes; this module
-//! owns them. Two request payloads and one reply payload, all
+//! owns them. Three request payloads and two reply payloads, all
 //! little-endian, length-prefixed where variable:
 //!
 //! ```text
-//! push  := 0x00 node_report            (replied to with Ack)
-//! query := 0x01                        (replied to with Telemetry)
-//! reply := u32 n, n × node_report
+//! push     := 0x00 node_report         (replied to with Ack)
+//! query    := 0x01                     (replied to with Telemetry)
+//! sessions := 0x02                     (replied to with Telemetry)
+//! reply    := u32 n, n × node_report
+//! sessions_reply := u32 n, n × session_report
+//!
+//! session_report :=
+//!   u64 session   str name   u64 parent (0 = no parent)
+//!   u64 live_worlds   u64 resident_frames
+//!   u64 vt_spent_ns   u64 vt_budget_ns (0 = unlimited)
+//!   u64 spawns   u64 commits   u64 rejected   u64 queued
 //!
 //! node_report :=
 //!   u64 node            u64 window_ns      u64 wall_ns
@@ -40,6 +48,9 @@ use crate::rollup::{Gauges, Rates};
 pub const MSG_PUSH: u8 = 0x00;
 /// Lead byte of a query payload.
 pub const MSG_QUERY: u8 = 0x01;
+/// Lead byte of a session-table query payload (answered by a
+/// worlds-server front door; plain nodes and collectors refuse it).
+pub const MSG_SESSIONS: u8 = 0x02;
 /// Longest label shipped per site; longer ones are truncated at a
 /// UTF-8 boundary.
 pub const MAX_LABEL: usize = 128;
@@ -51,6 +62,36 @@ pub enum TelemetryMsg {
     Push(NodeReport),
     /// Someone asking for the table.
     Query,
+    /// Someone asking a front door for its per-session table.
+    SessionsQuery,
+}
+
+/// One session's live accounting row as it crosses the wire, built by
+/// a worlds-server front door from its `SessionManager`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionReport {
+    /// Session id on the serving node (ids start at 1).
+    pub session: u64,
+    /// The name the tenant opened the session under.
+    pub name: String,
+    /// Parent session id for lineage forks; 0 for top-level sessions.
+    pub parent: u64,
+    /// Speculative worlds currently alive on the session's behalf.
+    pub live_worlds: u64,
+    /// Frames resident across the session's root and spec worlds.
+    pub resident_frames: u64,
+    /// Declared virtual time spent so far, ns.
+    pub vt_spent_ns: u64,
+    /// Virtual time budget, ns; 0 = unlimited.
+    pub vt_budget_ns: u64,
+    /// Lifetime spawns admitted.
+    pub spawns: u64,
+    /// Lifetime commits.
+    pub commits: u64,
+    /// Lifetime admissions refused (limit or overload).
+    pub rejected: u64,
+    /// Spawns queued in the fair scheduler right now.
+    pub queued: u64,
 }
 
 /// One node's rollup snapshot as it crosses the wire.
@@ -217,6 +258,62 @@ pub fn encode_query() -> Vec<u8> {
     vec![MSG_QUERY]
 }
 
+/// Encode a session-table query payload.
+pub fn encode_sessions_query() -> Vec<u8> {
+    vec![MSG_SESSIONS]
+}
+
+/// Encode a front door's session-table reply.
+pub fn encode_session_table(reports: &[SessionReport]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + reports.len() * 96);
+    put_u32(&mut buf, reports.len() as u32);
+    for r in reports {
+        put_u64(&mut buf, r.session);
+        put_str(&mut buf, &r.name);
+        for v in [
+            r.parent,
+            r.live_worlds,
+            r.resident_frames,
+            r.vt_spent_ns,
+            r.vt_budget_ns,
+            r.spawns,
+            r.commits,
+            r.rejected,
+            r.queued,
+        ] {
+            put_u64(&mut buf, v);
+        }
+    }
+    buf
+}
+
+/// Decode a session-table reply.
+pub fn decode_session_table(bytes: &[u8]) -> Result<Vec<SessionReport>, String> {
+    let mut cur = Cursor::new(bytes);
+    let n = cur.u32()? as usize;
+    if n > 1 << 20 {
+        return Err(format!("implausible table of {n} sessions"));
+    }
+    let mut reports = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        reports.push(SessionReport {
+            session: cur.u64()?,
+            name: cur.str()?,
+            parent: cur.u64()?,
+            live_worlds: cur.u64()?,
+            resident_frames: cur.u64()?,
+            vt_spent_ns: cur.u64()?,
+            vt_budget_ns: cur.u64()?,
+            spawns: cur.u64()?,
+            commits: cur.u64()?,
+            rejected: cur.u64()?,
+            queued: cur.u64()?,
+        });
+    }
+    cur.finish()?;
+    Ok(reports)
+}
+
 /// Encode the collector's reply table.
 pub fn encode_table(reports: &[NodeReport]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(8 + reports.len() * 160);
@@ -242,6 +339,16 @@ pub fn decode_msg(bytes: &[u8]) -> Result<TelemetryMsg, String> {
                 Ok(TelemetryMsg::Query)
             } else {
                 Err(format!("{} trailing bytes after query", rest.len()))
+            }
+        }
+        MSG_SESSIONS => {
+            if rest.is_empty() {
+                Ok(TelemetryMsg::SessionsQuery)
+            } else {
+                Err(format!(
+                    "{} trailing bytes after sessions query",
+                    rest.len()
+                ))
             }
         }
         other => Err(format!("unknown telemetry message 0x{other:02x}")),
@@ -506,6 +613,44 @@ mod tests {
             }
         }
         assert_eq!(report.hot_site(), None);
+    }
+
+    #[test]
+    fn session_table_round_trips() {
+        let table = vec![
+            SessionReport {
+                session: 1,
+                name: "tenant-a".into(),
+                parent: 0,
+                live_worlds: 4,
+                resident_frames: 12,
+                vt_spent_ns: 5_000_000,
+                vt_budget_ns: 1_000_000_000,
+                spawns: 9,
+                commits: 2,
+                rejected: 1,
+                queued: 3,
+            },
+            SessionReport {
+                session: 2,
+                name: "tenant-a/child".into(),
+                parent: 1,
+                ..SessionReport::default()
+            },
+            SessionReport::default(),
+        ];
+        let bytes = encode_session_table(&table);
+        assert_eq!(decode_session_table(&bytes), Ok(table.clone()));
+        for cut in 0..bytes.len() {
+            assert!(decode_session_table(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        assert_eq!(
+            decode_msg(&encode_sessions_query()),
+            Ok(TelemetryMsg::SessionsQuery)
+        );
+        let mut trailing = encode_sessions_query();
+        trailing.push(0);
+        assert!(decode_msg(&trailing).is_err(), "trailing bytes");
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Speculation as a service: a multi-tenant front door on loopback TCP.
+//!
+//! ```sh
+//! cargo run --release --example speculation_service
+//! ```
+//!
+//! One `FrontDoor` owns a shared page store; three tenants connect over
+//! real sockets and speculate without ever seeing each other:
+//!
+//! * **alice** fans out three alternative worlds, commits the one she
+//!   likes, and the siblings are reaped — exactly-one-commit, per
+//!   tenant.
+//! * **bob** opened with `max_live_worlds = 1`; his second concurrent
+//!   spawn is refused `limit_exceeded` while alice is unaffected.
+//! * **carol** forks a *child session* to scout ahead, the scout
+//!   commits into its own root, and `close(adopt=true)` folds the
+//!   scout's results back into carol's world wholesale.
+//!
+//! The per-session telemetry table (`worlds-top --sessions` renders the
+//! same rows) is printed mid-run. To watch it live instead, hold the
+//! door open and point `worlds-top` at it:
+//!
+//! ```sh
+//! WORLDS_SERVER_HOLD_MS=20000 WORLDS_SERVER_ADDR_FILE=door.addr \
+//!   cargo run --release --example speculation_service &
+//! sleep 1 && cargo run --release -p worlds-telemetry --bin worlds-top -- \
+//!   "$(cat door.addr)" --sessions --once
+//! ```
+
+use worlds_obs::Registry;
+use worlds_pagestore::PageStore;
+use worlds_server::{
+    Conn, FrontDoor, Request, ResourceLimits, RetryPolicy, ServerPolicy, SessionClient,
+};
+use worlds_telemetry::{query_sessions, render_sessions};
+
+fn main() {
+    let door = FrontDoor::serve(
+        1,
+        PageStore::new(4096),
+        Registry::disabled(),
+        ServerPolicy::default(),
+    )
+    .expect("bind front door on loopback");
+    let addr = door.addr();
+    println!("front door listening on {addr}");
+    if let Ok(path) = std::env::var("WORLDS_SERVER_ADDR_FILE") {
+        std::fs::write(&path, addr.to_string()).expect("write addr file");
+    }
+
+    // --- alice: fan out, commit exactly one -----------------------------
+    let mut alice = SessionClient::open(
+        addr,
+        "alice",
+        ResourceLimits::unlimited(),
+        RetryPolicy::default(),
+        Registry::disabled(),
+    )
+    .expect("open alice");
+    let alts: Vec<u64> = (0..3)
+        .map(|i| {
+            alice
+                .spawn(50_000, vec![(0, format!("plan {i}").into_bytes())])
+                .expect("spawn within limits")
+        })
+        .collect();
+    alice.commit(alts[1]).expect("commit the chosen world");
+    let stale = alice.commit(alts[0]).expect_err("siblings were reaped");
+    println!(
+        "alice: committed world {}, sibling refused: {stale}",
+        alts[1]
+    );
+
+    // --- bob: a tight contract, visibly enforced ------------------------
+    let mut bob = SessionClient::open(
+        addr,
+        "bob",
+        ResourceLimits {
+            max_live_worlds: 1,
+            ..ResourceLimits::unlimited()
+        },
+        RetryPolicy::default(),
+        Registry::disabled(),
+    )
+    .expect("open bob");
+    let w = bob
+        .spawn(10_000, vec![(0, b"bob's one world".to_vec())])
+        .unwrap();
+    let refused = bob
+        .spawn(10_000, vec![(1, b"one too many".to_vec())])
+        .expect_err("second live world busts max_live_worlds=1");
+    println!("bob: world {w} live, second spawn refused: {refused}");
+
+    // --- carol: lineage — scout in a child session, adopt it back -------
+    let mut carol = SessionClient::open(
+        addr,
+        "carol",
+        ResourceLimits::unlimited(),
+        RetryPolicy::default(),
+        Registry::disabled(),
+    )
+    .expect("open carol");
+    let scout_id = carol.fork("carol/scout").expect("fork child session");
+    // The scout is its own session; drive it through a plain client
+    // bound to the id the fork returned.
+    let mut scout_conn = Conn::new(0, addr, RetryPolicy::default(), Registry::disabled());
+    let found = scout_conn
+        .call_ack(&Request::SessionSpawn {
+            session: scout_id,
+            spin_ns: 20_000,
+            writes: vec![(7, b"the pass through the mountains".to_vec())],
+        })
+        .expect("scout spawns");
+    scout_conn
+        .call_ack(&Request::SessionCommit {
+            session: scout_id,
+            world: found,
+        })
+        .expect("scout commits into its own root");
+
+    // The same rows `worlds-top --sessions` renders, straight off the
+    // telemetry socket while every tenant is live.
+    let rows = query_sessions(addr).expect("front door answers MSG_SESSIONS");
+    println!("\n{}", render_sessions(&rows));
+
+    scout_conn
+        .call_ack(&Request::SessionClose {
+            session: scout_id,
+            adopt: true,
+        })
+        .expect("adopt the scout's findings");
+    let mgr = door.manager();
+    let root = mgr.root_of(carol.id()).expect("carol is live");
+    let bytes = mgr.store().read_vec(root, 7, 0, 30).expect("read her root");
+    println!(
+        "carol adopted her scout: vpn 7 = {:?}",
+        String::from_utf8_lossy(&bytes)
+    );
+
+    if let Ok(hold) = std::env::var("WORLDS_SERVER_HOLD_MS") {
+        let ms: u64 = hold.parse().expect("WORLDS_SERVER_HOLD_MS in ms");
+        println!("holding the door open {ms} ms for worlds-top --sessions ...");
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+
+    alice.close(false).expect("close alice");
+    bob.close(false).expect("close bob");
+    carol.close(false).expect("close carol");
+    let mgr = door.manager().clone();
+    assert_eq!(mgr.session_count(), 0, "every tenant gone");
+    mgr.quiesce();
+    mgr.store()
+        .verify_refcounts()
+        .expect("store clean after teardown");
+    println!("all sessions closed; store back to baseline");
+    door.shutdown();
+}
